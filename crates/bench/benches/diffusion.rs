@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the graph-diffusion kernel `GD(l)` —
+//! the numeric core every implementation shares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use meloppr_bench::workload::sample_hub_seeds;
+use meloppr_core::diffusion::{diffuse_from_seed, DiffusionConfig};
+use meloppr_core::{exact_ppr, PprParams};
+use meloppr_graph::generators::corpus::PaperGraph;
+use meloppr_graph::{bfs_ball, Subgraph};
+
+fn bench_ball_diffusion(c: &mut Criterion) {
+    let g = PaperGraph::G3Pubmed.generate_scaled(0.5, 42).unwrap();
+    let hub = sample_hub_seeds(&g, 1)[0];
+    let mut group = c.benchmark_group("diffusion_on_ball");
+    for depth in [3usize, 6] {
+        let ball = bfs_ball(&g, hub, depth as u32).unwrap();
+        let sub = Subgraph::extract(&g, &ball).unwrap();
+        let config = DiffusionConfig::new(0.85, depth).unwrap();
+        let out = diffuse_from_seed(&sub, sub.seed_local(), config).unwrap();
+        group.throughput(Throughput::Elements(out.work.edge_updates as u64));
+        group.bench_with_input(
+            BenchmarkId::new("edges", sub.num_edges()),
+            &(sub, config),
+            |b, (sub, config)| {
+                b.iter(|| {
+                    diffuse_from_seed(black_box(sub), sub.seed_local(), *config).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_graph_ground_truth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_ppr_full_graph");
+    group.sample_size(20);
+    for (label, scale) in [("pubmed_25pct", 0.25f64), ("pubmed_50pct", 0.5)] {
+        let g = PaperGraph::G3Pubmed.generate_scaled(scale, 42).unwrap();
+        let params = PprParams::paper_defaults();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            b.iter(|| exact_ppr(black_box(g), 17, &params).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ball_diffusion, bench_full_graph_ground_truth);
+criterion_main!(benches);

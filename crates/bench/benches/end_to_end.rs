@@ -1,0 +1,67 @@
+//! Criterion end-to-end query benchmarks: baseline vs MeLoPPR (sequential
+//! and parallel) vs the simulated hybrid platform, native Rust wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use meloppr_bench::sample_seeds;
+use meloppr_core::{
+    local_ppr, parallel_query, MelopprEngine, MelopprParams, PprParams, SelectionStrategy,
+};
+use meloppr_fpga::{HybridConfig, HybridMeloppr};
+use meloppr_graph::generators::corpus::PaperGraph;
+
+fn params() -> MelopprParams {
+    MelopprParams {
+        ppr: PprParams::new(0.85, 6, 200).unwrap(),
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopFraction(0.02),
+        ..MelopprParams::paper_defaults()
+    }
+}
+
+fn bench_query_engines(c: &mut Criterion) {
+    let g = PaperGraph::G2Cora.generate(42).unwrap();
+    let seed = sample_seeds(&g, 1, 3)[0];
+    let p = params();
+
+    let mut group = c.benchmark_group("query_cora");
+    group.sample_size(30);
+    group.bench_function("local_ppr_baseline", |b| {
+        b.iter(|| local_ppr(black_box(&g), seed, &p.ppr).unwrap());
+    });
+    let engine = MelopprEngine::new(&g, p.clone()).unwrap();
+    group.bench_function("meloppr_sequential", |b| {
+        b.iter(|| engine.query(black_box(seed)).unwrap());
+    });
+    group.bench_function("meloppr_parallel_4", |b| {
+        b.iter(|| parallel_query(&g, &p, black_box(seed), 4).unwrap());
+    });
+    let hybrid = HybridMeloppr::new(&g, p.clone(), HybridConfig::default()).unwrap();
+    group.bench_function("hybrid_fpga_sim", |b| {
+        b.iter(|| hybrid.query(black_box(seed)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_selection_ratios(c: &mut Criterion) {
+    let g = PaperGraph::G1Citeseer.generate(42).unwrap();
+    let seed = sample_seeds(&g, 1, 5)[0];
+    let mut group = c.benchmark_group("meloppr_vs_ratio");
+    group.sample_size(20);
+    for ratio in [0.01f64, 0.05, 0.2] {
+        let p = params().with_selection(SelectionStrategy::TopFraction(ratio));
+        let engine = MelopprEngine::new(&g, p).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}pct", (ratio * 100.0) as u32)),
+            &engine,
+            |b, engine| {
+                b.iter(|| engine.query(black_box(seed)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_engines, bench_selection_ratios);
+criterion_main!(benches);

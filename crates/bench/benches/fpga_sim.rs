@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the accelerator simulator itself: how
+//! fast the cycle-level model runs (simulation throughput, not modelled
+//! hardware latency — that is Fig. 5's business).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use meloppr_bench::workload::sample_hub_seeds;
+use meloppr_fpga::scheduler::simulate_bank_conflicts;
+use meloppr_fpga::{AcceleratorConfig, FixedPointFormat, FpgaAccelerator};
+use meloppr_graph::generators::corpus::PaperGraph;
+use meloppr_graph::{bfs_ball, Subgraph};
+
+fn bench_integer_diffusion(c: &mut Criterion) {
+    let g = PaperGraph::G1Citeseer.generate(42).unwrap();
+    let hub = sample_hub_seeds(&g, 1)[0];
+    let ball = bfs_ball(&g, hub, 3).unwrap();
+    let sub = Subgraph::extract(&g, &ball).unwrap();
+    let fmt = FixedPointFormat::for_graph(&g, 0.85, 10, Default::default()).unwrap();
+
+    let mut group = c.benchmark_group("fpga_diffusion_sim");
+    for p in [1usize, 4, 16] {
+        let accel = FpgaAccelerator::new(AcceleratorConfig {
+            parallelism: p,
+            ..AcceleratorConfig::default()
+        })
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("P", p), &accel, |b, accel| {
+            b.iter(|| {
+                accel
+                    .run_diffusion(black_box(&sub), fmt.max_value(), 3, &fmt)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    // Synthetic conflict-heavy streams: 16 PEs, 4096 writes each, targets
+    // striped so every cycle has collisions.
+    let streams: Vec<Vec<u32>> = (0..16)
+        .map(|pe| (0..4096).map(|i| ((pe + i) % 16) as u32).collect())
+        .collect();
+    c.bench_function("scheduler_arbitration_64k_writes", |b| {
+        b.iter(|| simulate_bank_conflicts(black_box(&streams), 16));
+    });
+}
+
+criterion_group!(benches, bench_integer_diffusion, bench_scheduler);
+criterion_main!(benches);

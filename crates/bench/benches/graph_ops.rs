@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the graph substrate: BFS ball
+//! extraction, sub-graph induction and generator throughput — the
+//! host-side operations of every MeLoPPR query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use meloppr_bench::workload::sample_hub_seeds;
+use meloppr_graph::generators::corpus::PaperGraph;
+use meloppr_graph::{bfs_ball, Subgraph};
+
+fn bench_bfs_ball(c: &mut Criterion) {
+    let g = PaperGraph::G3Pubmed.generate_scaled(0.5, 42).unwrap();
+    let hub = sample_hub_seeds(&g, 1)[0];
+    let mut group = c.benchmark_group("bfs_ball");
+    for depth in [2u32, 3, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| bfs_ball(black_box(&g), black_box(hub), d).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_subgraph_extract(c: &mut Criterion) {
+    let g = PaperGraph::G3Pubmed.generate_scaled(0.5, 42).unwrap();
+    let hub = sample_hub_seeds(&g, 1)[0];
+    let mut group = c.benchmark_group("subgraph_extract");
+    for depth in [3u32, 6] {
+        let ball = bfs_ball(&g, hub, depth).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("nodes", ball.num_nodes()),
+            &ball,
+            |b, ball| {
+                b.iter(|| Subgraph::extract(black_box(&g), black_box(ball)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("citeseer_standin_full", |b| {
+        b.iter(|| PaperGraph::G1Citeseer.generate(black_box(7)).unwrap());
+    });
+    group.bench_function("pubmed_standin_10pct", |b| {
+        b.iter(|| PaperGraph::G3Pubmed.generate_scaled(0.1, black_box(7)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs_ball, bench_subgraph_extract, bench_generators);
+criterion_main!(benches);

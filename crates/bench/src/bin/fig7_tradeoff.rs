@@ -1,0 +1,98 @@
+//! **Experiment E5 — Fig. 7**: precision–latency trade-offs of
+//! MeLoPPR-CPU and MeLoPPR-FPGA (P = 16) against the LocalPPR-CPU
+//! baseline, on all six graphs.
+//!
+//! For each graph and selection ratio this prints: top-k precision, the
+//! modelled CPU speedup, the simulated FPGA speedup, and the BFS-time
+//! fraction of the hybrid query (the paper's light-blue bars). Paper
+//! headline: FPGA speedups from 3.1× to 21.8× at ~90 % precision, up to
+//! 707.9× at lower precision; MeLoPPR-CPU shows slowdown cases on G1, G2,
+//! G6 at high precision but 1.2×–2.58× gains on G3/G5.
+//!
+//! Usage: `cargo run --release -p meloppr-bench --bin fig7_tradeoff
+//! [--full] [--seeds N] [--scale F]`
+
+use meloppr_bench::table::TextTable;
+use meloppr_bench::{
+    measure_tradeoff, sample_seeds, CorpusGraph, CpuCostModel, ExperimentScale,
+};
+use meloppr_core::MelopprParams;
+use meloppr_fpga::{AcceleratorConfig, HybridConfig};
+use meloppr_graph::generators::corpus::PaperGraph;
+
+const RATIOS: [f64; 4] = [0.01, 0.02, 0.05, 0.10];
+
+/// The paper's annotated max FPGA speedups per graph (first bar of each
+/// group in Fig. 7).
+fn paper_max_fpga_speedup(pg: PaperGraph) -> f64 {
+    match pg {
+        PaperGraph::G1Citeseer => 48.9,
+        PaperGraph::G2Cora => 13.4,
+        PaperGraph::G3Pubmed => 78.6,
+        PaperGraph::G4ComAmazon => 281.8,
+        PaperGraph::G5ComDblp => 707.9,
+        PaperGraph::G6ComYoutube => 416.8,
+    }
+}
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1), 5);
+    let params = MelopprParams::paper_defaults();
+    let cost = CpuCostModel::default();
+    let hybrid = HybridConfig {
+        accel: AcceleratorConfig {
+            parallelism: 16,
+            ..AcceleratorConfig::default()
+        },
+        ..HybridConfig::default()
+    };
+
+    println!("== Fig. 7: precision-latency trade-offs (baseline = LocalPPR-CPU model) ==");
+    println!(
+        "config: L=6 (3+3), k=200, FPGA P=16 @ 100 MHz, {} seeds per graph{} (paper: 500)\n",
+        scale.seeds,
+        if scale.full { ", FULL sizes" } else { " (quick mode; --full for paper sizes)" }
+    );
+
+    for (gi, pg) in PaperGraph::ALL.into_iter().enumerate() {
+        let corpus = CorpusGraph::generate(pg, scale.scale_for(pg), 42 + gi as u64);
+        let seeds = sample_seeds(&corpus.graph, scale.seeds, 2000 + gi as u64);
+        println!(
+            "-- {}  (|V|={}, |E|={}; paper max FPGA speedup {:.1}x) --",
+            corpus.label(),
+            corpus.graph.num_nodes(),
+            corpus.graph.num_edges(),
+            paper_max_fpga_speedup(pg)
+        );
+        let mut table = TextTable::new(vec![
+            "ratio",
+            "precision",
+            "prec (FPGA)",
+            "CPU speedup",
+            "FPGA speedup",
+            "BFS frac",
+            "baseline ms",
+            "FPGA ms",
+            "diffusions",
+        ]);
+        for &ratio in &RATIOS {
+            let pt = measure_tradeoff(&corpus.graph, &seeds, &params, ratio, &cost, &hybrid);
+            table.row(vec![
+                format!("{:.0}%", ratio * 100.0),
+                format!("{:.1}%", pt.precision * 100.0),
+                format!("{:.1}%", pt.precision_fpga * 100.0),
+                format!("{:.2}x", pt.cpu_speedup),
+                format!("{:.1}x", pt.fpga_speedup),
+                format!("{:.0}%", pt.bfs_fraction * 100.0),
+                format!("{:.2}", pt.baseline_ms),
+                format!("{:.3}", pt.fpga_ms),
+                format!("{:.1}", pt.diffusions),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!("shape checks vs paper: precision rises and speedup falls with the ratio;");
+    println!("FPGA speedups >> CPU speedups; CPU can slow down at high ratios (G1/G2/G6);");
+    println!("BFS fraction grows with P=16 since extraction becomes the bottleneck.");
+}

@@ -1,0 +1,61 @@
+//! **Experiment E2 — Table I**: KC705 resource utilization under
+//! parallelism `P ∈ {1, 2, 4, 8, 16}`.
+//!
+//! Prints the calibrated component model's LUT/BRAM estimates next to the
+//! paper's published percentages. DSP usage is ~0 because divisions are
+//! implemented in logic (§V-A).
+//!
+//! Usage: `cargo run -p meloppr-bench --bin table1_resources`
+
+use meloppr_bench::table::TextTable;
+use meloppr_fpga::ResourceModel;
+
+/// The paper's Table I: (P, LUT %, BRAM %).
+const PAPER: [(usize, f64, f64); 5] = [
+    (1, 0.9, 4.8),
+    (2, 3.1, 9.9),
+    (4, 8.9, 19.2),
+    (8, 21.8, 36.1),
+    (16, 70.6, 72.8),
+];
+
+fn main() {
+    let model = ResourceModel::kc705();
+    println!("== Table I: FPGA resource utilization (Xilinx KC705, XC7K325T) ==\n");
+    let mut table = TextTable::new(vec![
+        "P",
+        "LUTs",
+        "LUT % (model)",
+        "LUT % (paper)",
+        "BRAM blocks",
+        "BRAM % (model)",
+        "BRAM % (paper)",
+    ]);
+    for &(p, lut_paper, bram_paper) in &PAPER {
+        let u = model.utilization(p);
+        table.row(vec![
+            p.to_string(),
+            u.luts.to_string(),
+            format!("{:.1}%", u.lut_fraction * 100.0),
+            format!("{lut_paper}%"),
+            u.bram_blocks.to_string(),
+            format!("{:.1}%", u.bram_fraction * 100.0),
+            format!("{bram_paper}%"),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "DSP usage: {:.2}% (divisions implemented in logic; paper: < 0.1%)",
+        model.utilization(16).dsp_fraction * 100.0
+    );
+    println!(
+        "largest parallelism that fits the device: P = {} (why the paper stops at 16)",
+        model.max_parallelism()
+    );
+    println!(
+        "per-PE BRAM budget: {} bytes ({} BRAM36 blocks)",
+        model.pe_capacity_bytes(),
+        model.pe_capacity_bytes() / meloppr_fpga::BRAM36_BYTES
+    );
+}

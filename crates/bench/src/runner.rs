@@ -1,0 +1,164 @@
+//! Shared experiment measurement loops (Fig. 6 / Fig. 7 cores).
+
+use meloppr_core::{
+    exact_top_k, local_ppr, mean_precision, precision_at_k, MelopprEngine, MelopprParams,
+    SelectionStrategy,
+};
+use meloppr_fpga::{HybridConfig, HybridMeloppr};
+use meloppr_graph::{CsrGraph, NodeId};
+
+use crate::costmodel::CpuCostModel;
+
+/// Average MeLoPPR precision over an ensemble of seeds, against exact
+/// ground truth.
+///
+/// # Panics
+///
+/// Panics on query errors (experiment binaries fail fast).
+pub fn measure_precision(graph: &CsrGraph, seeds: &[NodeId], params: &MelopprParams) -> f64 {
+    let engine = MelopprEngine::new(graph, params.clone()).expect("valid params");
+    let values: Vec<f64> = seeds
+        .iter()
+        .map(|&s| {
+            let outcome = engine.query(s).expect("query");
+            let exact = exact_top_k(graph, s, &params.ppr).expect("ground truth");
+            precision_at_k(&outcome.ranking, &exact, params.ppr.k)
+        })
+        .collect();
+    mean_precision(&values).unwrap_or(0.0)
+}
+
+/// One point of the Fig. 7 trade-off: everything measured for one graph at
+/// one selection ratio, averaged over the seed ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Selection ratio used.
+    pub ratio: f64,
+    /// Mean top-k precision of MeLoPPR-CPU (float engine).
+    pub precision: f64,
+    /// Mean top-k precision of MeLoPPR-FPGA (fixed-point engine).
+    pub precision_fpga: f64,
+    /// Modelled LocalPPR-CPU baseline latency (ms).
+    pub baseline_ms: f64,
+    /// Modelled MeLoPPR-CPU latency (ms).
+    pub cpu_ms: f64,
+    /// Simulated MeLoPPR-FPGA latency (ms).
+    pub fpga_ms: f64,
+    /// Speedup of MeLoPPR-CPU over the baseline.
+    pub cpu_speedup: f64,
+    /// Speedup of MeLoPPR-FPGA over the baseline.
+    pub fpga_speedup: f64,
+    /// Fraction of the FPGA query spent in host BFS (Fig. 7 light-blue).
+    pub bfs_fraction: f64,
+    /// Mean diffusions per query.
+    pub diffusions: f64,
+}
+
+/// Measures one trade-off point (Fig. 7 core loop).
+///
+/// # Panics
+///
+/// Panics on query errors (experiment binaries fail fast).
+pub fn measure_tradeoff(
+    graph: &CsrGraph,
+    seeds: &[NodeId],
+    base_params: &MelopprParams,
+    ratio: f64,
+    cost: &CpuCostModel,
+    hybrid: &HybridConfig,
+) -> TradeoffPoint {
+    let params = base_params
+        .clone()
+        .with_selection(SelectionStrategy::TopFraction(ratio));
+    let engine = MelopprEngine::new(graph, params.clone()).expect("valid params");
+    let fpga = HybridMeloppr::new(graph, params.clone(), *hybrid).expect("valid hybrid");
+
+    let mut precisions = Vec::with_capacity(seeds.len());
+    let mut precisions_fpga = Vec::with_capacity(seeds.len());
+    let (mut base_ns, mut cpu_ns, mut fpga_ns, mut bfs_frac, mut diffusions) =
+        (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
+
+    for &s in seeds {
+        let exact = exact_top_k(graph, s, &params.ppr).expect("ground truth");
+        let baseline = local_ppr(graph, s, &params.ppr).expect("baseline");
+        base_ns += cost.local_ppr_ns(&baseline.stats);
+
+        let outcome = engine.query(s).expect("cpu query");
+        precisions.push(precision_at_k(&outcome.ranking, &exact, params.ppr.k));
+        cpu_ns += cost.meloppr_cpu_ns(&outcome.stats);
+        diffusions += outcome.stats.total_diffusions as f64;
+
+        let hybrid_outcome = fpga.query(s).expect("fpga query");
+        precisions_fpga.push(precision_at_k(
+            &hybrid_outcome.ranking,
+            &exact,
+            params.ppr.k,
+        ));
+        fpga_ns += hybrid_outcome.latency.total_ns();
+        bfs_frac += hybrid_outcome.latency.bfs_fraction();
+    }
+    let n = seeds.len().max(1) as f64;
+    let (base_ns, cpu_ns, fpga_ns) = (base_ns / n, cpu_ns / n, fpga_ns / n);
+    TradeoffPoint {
+        ratio,
+        precision: mean_precision(&precisions).unwrap_or(0.0),
+        precision_fpga: mean_precision(&precisions_fpga).unwrap_or(0.0),
+        baseline_ms: base_ns / 1e6,
+        cpu_ms: cpu_ns / 1e6,
+        fpga_ms: fpga_ns / 1e6,
+        cpu_speedup: base_ns / cpu_ns.max(1.0),
+        fpga_speedup: base_ns / fpga_ns.max(1.0),
+        bfs_fraction: bfs_frac / n,
+        diffusions: diffusions / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::sample_seeds;
+    use meloppr_graph::generators::corpus::PaperGraph;
+
+    #[test]
+    fn precision_increases_with_ratio() {
+        let g = PaperGraph::G2Cora.generate_scaled(0.15, 9).unwrap();
+        let seeds = sample_seeds(&g, 4, 1);
+        let mut params = MelopprParams::paper_defaults();
+        params.ppr.k = 20;
+        let lo = measure_precision(
+            &g,
+            &seeds,
+            &params
+                .clone()
+                .with_selection(SelectionStrategy::TopFraction(0.01)),
+        );
+        let hi = measure_precision(
+            &g,
+            &seeds,
+            &params.with_selection(SelectionStrategy::TopFraction(1.0)),
+        );
+        assert!(hi >= lo, "precision lo={lo} hi={hi}");
+        assert!(hi > 0.9, "full selection should be near exact, got {hi}");
+    }
+
+    #[test]
+    fn tradeoff_point_is_coherent() {
+        let g = PaperGraph::G1Citeseer.generate_scaled(0.15, 2).unwrap();
+        let seeds = sample_seeds(&g, 3, 5);
+        let mut params = MelopprParams::paper_defaults();
+        params.ppr.k = 20;
+        let point = measure_tradeoff(
+            &g,
+            &seeds,
+            &params,
+            0.02,
+            &CpuCostModel::default(),
+            &HybridConfig::default(),
+        );
+        assert!(point.precision > 0.0 && point.precision <= 1.0);
+        assert!(point.baseline_ms > 0.0);
+        assert!(point.fpga_speedup > 1.0, "FPGA should beat the modelled CPU");
+        assert!((0.0..=1.0).contains(&point.bfs_fraction));
+        assert!(point.diffusions >= 1.0);
+    }
+}

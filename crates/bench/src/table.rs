@@ -1,0 +1,130 @@
+//! Minimal aligned text-table rendering for experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_bench::table::TextTable;
+///
+/// let mut t = TextTable::new(vec!["graph", "speedup"]);
+/// t.row(vec!["G1".into(), "3.1x".into()]);
+/// let s = t.render();
+/// assert!(s.contains("G1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with a header underline.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{:<w$}", cell, w = width + 2);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let underline: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        write_row(&mut out, &underline);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a byte count as a human-readable MB string (Table II style).
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.3}", bytes as f64 / 1e6)
+}
+
+/// Formats a ratio as the paper's `N.NNx` style.
+pub fn fmt_ratio(r: f64) -> String {
+    if r >= 100.0 {
+        format!("{r:.0}x")
+    } else if r >= 10.0 {
+        format!("{r:.1}x")
+    } else {
+        format!("{r:.2}x")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines equally long (trailing pad).
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("-"));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_mb(1_500_000), "1.500");
+        assert_eq!(fmt_ratio(3.17159), "3.17x");
+        assert_eq!(fmt_ratio(31.7159), "31.7x");
+        assert_eq!(fmt_ratio(317.159), "317x");
+        assert_eq!(fmt_pct(0.805), "80.5%");
+    }
+}

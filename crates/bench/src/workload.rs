@@ -1,0 +1,231 @@
+//! Workload construction: corpus graphs and seed sampling.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use meloppr_graph::components::connected_components;
+use meloppr_graph::generators::corpus::PaperGraph;
+use meloppr_graph::{CsrGraph, NodeId};
+
+/// Samples `count` distinct query seeds from the graph's largest connected
+/// component (so depth-`L` balls are non-trivial), deterministically under
+/// `rng_seed`.
+///
+/// Returns fewer seeds if the component is smaller than `count`.
+pub fn sample_seeds(g: &CsrGraph, count: usize, rng_seed: u64) -> Vec<NodeId> {
+    let (labels, num) = connected_components(g);
+    let mut sizes = vec![0usize; num];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let giant = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(l, _)| l as u32)
+        .unwrap_or(0);
+    let mut candidates: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+        .filter(|&v| labels[v as usize] == giant && g.degree(v) > 0)
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    candidates.shuffle(&mut rng);
+    candidates.truncate(count);
+    candidates.sort_unstable();
+    candidates
+}
+
+/// Picks the `count` highest-degree seeds (ties by ascending id) — hub
+/// queries whose balls are large enough to be diffusion-bound (used by the
+/// Fig. 5 scalability case study, where parallelism effects only show on
+/// non-trivial sub-graphs).
+pub fn sample_hub_seeds(g: &CsrGraph, count: usize) -> Vec<NodeId> {
+    let mut by_degree: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+        .filter(|&v| g.degree(v) > 0)
+        .collect();
+    by_degree.sort_unstable_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+    by_degree.truncate(count);
+    by_degree.sort_unstable();
+    by_degree
+}
+
+/// An experiment-ready corpus graph: the stand-in plus its provenance.
+#[derive(Debug, Clone)]
+pub struct CorpusGraph {
+    /// Which paper graph this stands in for.
+    pub paper: PaperGraph,
+    /// The scale factor used (1.0 = full Table II size).
+    pub scale: f64,
+    /// The generated graph.
+    pub graph: CsrGraph,
+}
+
+impl CorpusGraph {
+    /// Generates a stand-in at the given scale (1.0 = paper size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if generation fails (cannot happen for the fixed corpus
+    /// parameters and scales in `(0, 1]`).
+    pub fn generate(paper: PaperGraph, scale: f64, seed: u64) -> Self {
+        let graph = if (scale - 1.0).abs() < f64::EPSILON {
+            paper.generate(seed)
+        } else {
+            paper.generate_scaled(scale, seed)
+        }
+        .expect("corpus generation with valid scale");
+        CorpusGraph {
+            paper,
+            scale,
+            graph,
+        }
+    }
+
+    /// A human-readable label, e.g. `"G1 (citeseer)"` or
+    /// `"G4 (com-amazon, 2% scale)"`.
+    pub fn label(&self) -> String {
+        if (self.scale - 1.0).abs() < f64::EPSILON {
+            self.paper.to_string()
+        } else {
+            format!(
+                "{} ({}, {:.0}% scale)",
+                self.paper.id(),
+                self.paper.name(),
+                self.scale * 100.0
+            )
+        }
+    }
+}
+
+/// Experiment sizing parsed from command-line arguments.
+///
+/// Every experiment binary accepts:
+///
+/// * `--full` — run at the paper's full graph sizes and seed counts
+///   (minutes to hours for the large graphs);
+/// * `--seeds N` — override the number of query seeds per graph;
+/// * `--scale F` — override the corpus scale factor (0 < F ≤ 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Whether `--full` was requested.
+    pub full: bool,
+    /// Seeds per graph.
+    pub seeds: usize,
+    /// Scale for the small corpus graphs G1–G3.
+    pub small_scale: f64,
+    /// Scale for the large corpus graphs G4–G6.
+    pub large_scale: f64,
+}
+
+impl ExperimentScale {
+    /// The default quick configuration: full-size G1–G3 (they are small)
+    /// and 2 %-scale G4–G6, a handful of seeds.
+    pub fn quick(seeds: usize) -> Self {
+        ExperimentScale {
+            full: false,
+            seeds,
+            small_scale: 1.0,
+            large_scale: 0.02,
+        }
+    }
+
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed values (these are
+    /// experiment binaries; fail fast is the right behaviour).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I, default_seeds: usize) -> Self {
+        let mut scale = ExperimentScale::quick(default_seeds);
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => {
+                    scale.full = true;
+                    scale.small_scale = 1.0;
+                    scale.large_scale = 1.0;
+                }
+                "--seeds" => {
+                    let v = it.next().expect("--seeds needs a value");
+                    scale.seeds = v.parse().expect("--seeds needs an integer");
+                }
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    let f: f64 = v.parse().expect("--scale needs a float");
+                    assert!(f > 0.0 && f <= 1.0, "--scale must be in (0, 1]");
+                    scale.small_scale = f;
+                    scale.large_scale = f;
+                }
+                other => panic!("unknown argument {other:?} (supported: --full, --seeds N, --scale F)"),
+            }
+        }
+        scale
+    }
+
+    /// The scale to use for a given corpus graph.
+    pub fn scale_for(&self, paper: PaperGraph) -> f64 {
+        if paper.is_large() {
+            self.large_scale
+        } else {
+            self.small_scale
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_connected() {
+        let g = PaperGraph::G1Citeseer.generate_scaled(0.1, 7).unwrap();
+        let a = sample_seeds(&g, 5, 42);
+        let b = sample_seeds(&g, 5, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        for &s in &a {
+            assert!(g.degree(s) > 0);
+        }
+    }
+
+    #[test]
+    fn seed_count_capped_by_component() {
+        let g = meloppr_graph::generators::path(4).unwrap();
+        let seeds = sample_seeds(&g, 100, 1);
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn corpus_graph_labels() {
+        let cg = CorpusGraph::generate(PaperGraph::G1Citeseer, 1.0, 3);
+        assert_eq!(cg.label(), "G1 (citeseer)");
+        let cg = CorpusGraph::generate(PaperGraph::G4ComAmazon, 0.02, 3);
+        assert!(cg.label().contains("2% scale"));
+    }
+
+    #[test]
+    fn args_parsing() {
+        let s = ExperimentScale::from_args(Vec::<String>::new(), 10);
+        assert_eq!(s.seeds, 10);
+        assert!(!s.full);
+        assert_eq!(s.scale_for(PaperGraph::G1Citeseer), 1.0);
+        assert_eq!(s.scale_for(PaperGraph::G6ComYoutube), 0.02);
+
+        let s = ExperimentScale::from_args(
+            ["--full".to_string(), "--seeds".into(), "3".into()],
+            10,
+        );
+        assert!(s.full);
+        assert_eq!(s.seeds, 3);
+        assert_eq!(s.scale_for(PaperGraph::G6ComYoutube), 1.0);
+
+        let s = ExperimentScale::from_args(["--scale".to_string(), "0.5".into()], 10);
+        assert_eq!(s.scale_for(PaperGraph::G1Citeseer), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_arg_panics() {
+        let _ = ExperimentScale::from_args(["--bogus".to_string()], 1);
+    }
+}

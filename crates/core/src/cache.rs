@@ -1,0 +1,280 @@
+//! Sub-graph caching for repeated queries ("adaptively loading only the
+//! necessary sub-graphs", §IV-A).
+//!
+//! A PPR server answers many queries against the same graph, and popular
+//! next-stage nodes (hubs) recur across queries. Re-running BFS + induced
+//! extraction for them is the dominant host cost (Fig. 7's light-blue
+//! bars), so [`SubgraphCache`] memoizes extracted balls keyed by
+//! `(node, depth)` with LRU eviction, and
+//! [`MelopprEngine::query_cached`](crate::MelopprEngine::query_cached)
+//! consumes it — charging zero BFS work on hits.
+//!
+//! The cache stores [`Arc<Subgraph>`] so concurrent readers can share
+//! entries without copying.
+
+use std::sync::Arc;
+
+use meloppr_graph::{bfs_ball, FastHashMap, GraphView, NodeId, Subgraph};
+
+use crate::error::Result;
+
+struct Slot {
+    sub: Arc<Subgraph>,
+    last_used: u64,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot")
+            .field("nodes", &self.sub.num_nodes())
+            .field("last_used", &self.last_used)
+            .finish()
+    }
+}
+
+/// An LRU cache of extracted BFS-ball sub-graphs.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::cache::SubgraphCache;
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let mut cache = SubgraphCache::new(16);
+/// let a = cache.get_or_extract(&g, 0, 2)?;
+/// let b = cache.get_or_extract(&g, 0, 2)?; // served from cache
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(cache.hits(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SubgraphCache {
+    capacity: usize,
+    entries: FastHashMap<(NodeId, u32), Slot>,
+    clock: u64,
+    hits: usize,
+    misses: usize,
+}
+
+impl SubgraphCache {
+    /// Creates a cache holding at most `capacity` sub-graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        SubgraphCache {
+            capacity,
+            entries: FastHashMap::default(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the cached ball around `(node, depth)`, extracting and
+    /// inserting it on a miss (evicting the least-recently-used entry when
+    /// full).
+    ///
+    /// The second tuple element is the BFS work performed: 0 on a hit, the
+    /// scanned adjacency entries on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_or_extract<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+    ) -> Result<Arc<Subgraph>> {
+        Ok(self.get_or_extract_counted(g, node, depth)?.0)
+    }
+
+    /// As [`SubgraphCache::get_or_extract`], additionally reporting the
+    /// BFS work performed (0 on hits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_or_extract_counted<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+    ) -> Result<(Arc<Subgraph>, usize)> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(slot) = self.entries.get_mut(&(node, depth)) {
+            slot.last_used = clock;
+            self.hits += 1;
+            return Ok((Arc::clone(&slot.sub), 0));
+        }
+        self.misses += 1;
+        let ball = bfs_ball(g, node, depth)?;
+        let sub = Arc::new(Subgraph::extract(g, &ball)?);
+        if self.entries.len() >= self.capacity {
+            // O(capacity) eviction scan: capacities are modest (hundreds
+            // to thousands), and extraction dwarfs the scan.
+            if let Some(&key) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&key);
+            }
+        }
+        self.entries.insert(
+            (node, depth),
+            Slot {
+                sub: Arc::clone(&sub),
+                last_used: clock,
+            },
+        );
+        Ok((sub, ball.edges_scanned))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate resident bytes (sum of cached sub-graph footprints).
+    pub fn resident_bytes(&self) -> usize {
+        self.entries
+            .values()
+            .map(|s| s.sub.memory_bytes().total())
+            .sum()
+    }
+
+    /// Drops every entry (statistics are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meloppr_graph::generators;
+
+    #[test]
+    fn hit_returns_shared_arc() {
+        let g = generators::karate_club();
+        let mut cache = SubgraphCache::new(4);
+        let (a, work_a) = cache.get_or_extract_counted(&g, 0, 2).unwrap();
+        let (b, work_b) = cache.get_or_extract_counted(&g, 0, 2).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(work_a > 0);
+        assert_eq!(work_b, 0);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn different_depths_are_distinct_entries() {
+        let g = generators::karate_club();
+        let mut cache = SubgraphCache::new(4);
+        let a = cache.get_or_extract(&g, 0, 1).unwrap();
+        let b = cache.get_or_extract(&g, 0, 2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent() {
+        let g = generators::path(32).unwrap();
+        let mut cache = SubgraphCache::new(2);
+        cache.get_or_extract(&g, 0, 1).unwrap();
+        cache.get_or_extract(&g, 1, 1).unwrap();
+        // Touch node 0 so node 1 becomes the LRU victim.
+        cache.get_or_extract(&g, 0, 1).unwrap();
+        cache.get_or_extract(&g, 2, 1).unwrap(); // evicts (1, 1)
+        assert_eq!(cache.len(), 2);
+        let before = cache.misses();
+        cache.get_or_extract(&g, 0, 1).unwrap(); // still cached
+        assert_eq!(cache.misses(), before);
+        cache.get_or_extract(&g, 1, 1).unwrap(); // was evicted
+        assert_eq!(cache.misses(), before + 1);
+    }
+
+    #[test]
+    fn resident_bytes_and_clear() {
+        let g = generators::karate_club();
+        let mut cache = SubgraphCache::new(8);
+        cache.get_or_extract(&g, 0, 2).unwrap();
+        assert!(cache.resident_bytes() > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1); // stats survive clear
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SubgraphCache::new(0);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let g = generators::path(3).unwrap();
+        let mut cache = SubgraphCache::new(2);
+        assert!(cache.get_or_extract(&g, 99, 1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod engine_integration_tests {
+    use super::*;
+    use crate::{MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+    use meloppr_graph::generators::corpus::PaperGraph;
+
+    #[test]
+    fn cached_query_matches_uncached_and_saves_bfs() {
+        let g = PaperGraph::G2Cora.generate_scaled(0.2, 3).unwrap();
+        let params = MelopprParams {
+            ppr: PprParams::new(0.85, 6, 30).unwrap(),
+            stages: vec![3, 3],
+            selection: SelectionStrategy::TopFraction(0.1),
+            ..MelopprParams::paper_defaults()
+        };
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        let mut cache = SubgraphCache::new(512);
+
+        let plain = engine.query(7).unwrap();
+        let first = engine.query_cached(7, &mut cache).unwrap();
+        assert_eq!(first.ranking, plain.ranking);
+        assert_eq!(first.stats.bfs_edges_scanned, plain.stats.bfs_edges_scanned);
+
+        // Second identical query: all sub-graphs served from cache.
+        let second = engine.query_cached(7, &mut cache).unwrap();
+        assert_eq!(second.ranking, plain.ranking);
+        assert_eq!(second.stats.bfs_edges_scanned, 0);
+        assert!(cache.hits() >= plain.stats.total_diffusions);
+
+        // A nearby query shares hub sub-graphs: strictly less BFS work.
+        let third = engine.query_cached(8, &mut cache).unwrap();
+        let fresh = engine.query(8).unwrap();
+        assert_eq!(third.ranking, fresh.ranking);
+        assert!(third.stats.bfs_edges_scanned <= fresh.stats.bfs_edges_scanned);
+    }
+}

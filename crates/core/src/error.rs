@@ -1,0 +1,74 @@
+//! Error types for the MeLoPPR core.
+
+use std::error::Error;
+use std::fmt;
+
+use meloppr_graph::GraphError;
+
+/// Errors produced by PPR computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PprError {
+    /// A graph-substrate operation failed (bad seed node, malformed graph).
+    Graph(GraphError),
+    /// Parameters failed validation (α outside (0,1), empty stage list,
+    /// stage lengths not summing to the diffusion length, …).
+    InvalidParams {
+        /// Why the parameters were rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PprError::Graph(e) => write!(f, "graph error: {e}"),
+            PprError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+        }
+    }
+}
+
+impl Error for PprError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PprError::Graph(e) => Some(e),
+            PprError::InvalidParams { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for PprError {
+    fn from(err: GraphError) -> Self {
+        PprError::Graph(err)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PprError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_wraps_graph_error() {
+        let err = PprError::from(GraphError::EmptyGraph);
+        assert!(err.to_string().contains("graph error"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let err = PprError::from(GraphError::EmptyGraph);
+        assert!(err.source().is_some());
+        let err = PprError::InvalidParams {
+            reason: "x".into(),
+        };
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<PprError>();
+    }
+}

@@ -1,0 +1,96 @@
+//! # MeLoPPR core — memory-efficient, low-latency Personalized PageRank
+//!
+//! This crate implements the algorithmic contribution of *"MeLoPPR:
+//! Software/Hardware Co-design for Memory-efficient Low-latency
+//! Personalized PageRank"* (DAC 2021): a multi-stage decomposition of the
+//! graph-diffusion formulation of PPR that replaces one huge depth-`L` BFS
+//! ball with a cascade of small per-stage balls, plus the sparsity-driven
+//! next-stage selection that trades latency for precision.
+//!
+//! ## What's here
+//!
+//! * [`diffusion`] — the `GD(l)` kernel producing accumulated (`πa`) and
+//!   residual (`πr`) scores (Eq. 1, Fig. 3(b));
+//! * [`MelopprEngine`] — the multi-stage engine implementing stage
+//!   decomposition (Eq. 6), linear decomposition (Eq. 7) and sparsity
+//!   exploitation (Eq. 8, §IV-D);
+//! * [`local_ppr`] — the single-stage `LocalPPR-CPU` baseline the paper
+//!   compares against;
+//! * [`exact_top_k`] — ground truth `T(s, k)` and [`precision`] — the
+//!   `Prec(s, k)` metric;
+//! * [`monte_carlo`] — the Fig. 2(a) random-walk comparator;
+//! * [`GlobalScoreTable`] — the bounded `c·k` aggregation table of §V-B;
+//! * [`memory`] — the analytic CPU/FPGA memory models behind Table II;
+//! * [`sparsity`] — score-distribution analysis behind Fig. 6;
+//! * [`planner`] — budget-driven stage planning ("adaptive" extension);
+//! * [`parallel`] — parallel next-stage execution (the paper's stated
+//!   future work).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use meloppr_core::{MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+//! use meloppr_core::{exact_top_k, precision::precision_at_k};
+//! use meloppr_graph::generators;
+//!
+//! # fn main() -> Result<(), meloppr_core::PprError> {
+//! let graph = generators::karate_club();
+//!
+//! // Two-stage MeLoPPR: L = 4 split as 2 + 2, expanding the top half of
+//! // the next-stage candidates.
+//! let params = MelopprParams::two_stage(
+//!     PprParams::new(0.85, 4, 5)?,
+//!     2,
+//!     2,
+//!     SelectionStrategy::TopFraction(0.5),
+//! )?;
+//! let engine = MelopprEngine::new(&graph, params)?;
+//! let outcome = engine.query(0)?;
+//!
+//! // Compare against exact ground truth.
+//! let exact = exact_top_k(&graph, 0, &engine.params().ppr)?;
+//! let prec = precision_at_k(&outcome.ranking, &exact, 5);
+//! assert!(prec >= 0.6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod diffusion;
+mod error;
+mod global_table;
+mod ground_truth;
+mod local_ppr;
+mod meloppr;
+pub mod memory;
+pub mod monte_carlo;
+mod params;
+pub mod parallel;
+pub mod planner;
+pub mod precision;
+pub mod push;
+pub mod score_vec;
+mod selection;
+pub mod sparsity;
+#[cfg(test)]
+pub(crate) mod test_util;
+
+pub use cache::SubgraphCache;
+pub use diffusion::{diffuse, diffuse_from_seed, DiffusionConfig, DiffusionOutput, DiffusionWork};
+pub use error::{PprError, Result};
+pub use global_table::GlobalScoreTable;
+pub use ground_truth::{exact_ppr, exact_top_k};
+pub use local_ppr::{local_ppr, LocalPprResult, LocalPprStats};
+pub use meloppr::{
+    DiffusionRecord, MelopprEngine, MelopprOutcome, MelopprStats, StageStats,
+};
+pub use parallel::parallel_query;
+pub use params::{MelopprParams, PprParams, ResidualPolicy};
+pub use planner::{plan_stages, StagePlan};
+pub use precision::{mean_precision, precision_at_k};
+pub use push::{forward_push, PushResult};
+pub use score_vec::Ranking;
+pub use selection::SelectionStrategy;

@@ -1,0 +1,170 @@
+//! The baseline: single-stage local PPR (`LocalPPR-CPU` in the paper).
+//!
+//! This is the Fig. 2(b) strategy the paper compares against: extract the
+//! whole depth-`L` BFS ball `G_L(s)`, load it, and run one length-`L`
+//! diffusion on it. It is *exact* (equal to full-graph diffusion — the
+//! ball-exactness property), but its memory footprint is proportional to
+//! the exponentially-growing `G_L(s)`, which is precisely what MeLoPPR's
+//! stage decomposition avoids.
+
+use meloppr_graph::{bfs_ball, GraphView, NodeId, Subgraph};
+
+use crate::diffusion::{diffuse_from_seed, DiffusionConfig};
+use crate::error::Result;
+use crate::memory::{cpu_task_memory, CpuTaskMemory};
+use crate::params::PprParams;
+use crate::score_vec::{top_k_sparse, Ranking};
+
+/// Work and memory accounting of one baseline query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalPprStats {
+    /// Nodes in the depth-`L` ball `G_L(s)`.
+    pub ball_nodes: usize,
+    /// Undirected edges induced in the ball.
+    pub ball_edges: usize,
+    /// Adjacency entries scanned by the extraction BFS.
+    pub bfs_edges_scanned: usize,
+    /// Adjacency entries processed by the diffusion.
+    pub diffusion_edge_updates: usize,
+    /// Modelled CPU memory of the query (see
+    /// [`cpu_task_memory`](crate::memory::cpu_task_memory)).
+    pub memory: CpuTaskMemory,
+}
+
+/// Result of one baseline query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalPprResult {
+    /// The top-`k` ranking, in parent-graph node ids.
+    pub ranking: Ranking,
+    /// All non-zero accumulated scores, in parent-graph node ids
+    /// (unsorted).
+    pub scores: Vec<(NodeId, f64)>,
+    /// Work and memory accounting.
+    pub stats: LocalPprStats,
+}
+
+/// Runs the single-stage local PPR baseline.
+///
+/// # Errors
+///
+/// Returns [`PprError`](crate::PprError) variants for invalid parameters or
+/// an out-of-bounds seed.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::{local_ppr, PprParams};
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let params = PprParams::new(0.85, 4, 5)?;
+/// let result = local_ppr(&g, 0, &params)?;
+/// assert_eq!(result.ranking.len(), 5);
+/// assert_eq!(result.ranking[0].0, 0); // the seed dominates
+/// # Ok(())
+/// # }
+/// ```
+pub fn local_ppr<G: GraphView + ?Sized>(
+    g: &G,
+    seed: NodeId,
+    params: &PprParams,
+) -> Result<LocalPprResult> {
+    params.validate()?;
+    let ball = bfs_ball(g, seed, params.length as u32)?;
+    let sub = Subgraph::extract(g, &ball)?;
+    let config = DiffusionConfig::new(params.alpha, params.length)?;
+    let out = diffuse_from_seed(&sub, sub.seed_local(), config)?;
+
+    let scores: Vec<(NodeId, f64)> = out
+        .accumulated
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s > 0.0)
+        .map(|(local, &s)| (sub.to_global(local as NodeId), s))
+        .collect();
+    let ranking = top_k_sparse(&scores, params.k);
+
+    Ok(LocalPprResult {
+        ranking,
+        scores,
+        stats: LocalPprStats {
+            ball_nodes: ball.num_nodes(),
+            ball_edges: sub.num_edges(),
+            bfs_edges_scanned: ball.edges_scanned,
+            diffusion_edge_updates: out.work.edge_updates,
+            memory: cpu_task_memory(ball.num_nodes(), sub.num_edges()),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::exact_top_k;
+    use meloppr_graph::generators;
+
+    #[test]
+    fn ball_exactness_matches_full_graph() {
+        // Local PPR on the depth-L ball must equal exact full-graph
+        // diffusion: interior degrees are preserved and frontier nodes
+        // never propagate within L steps. (Rankings are compared modulo
+        // floating-point reordering of exactly-tied scores.)
+        let g = generators::karate_club();
+        for seed in [0u32, 5, 16, 33] {
+            for length in [1usize, 2, 4, 6] {
+                let params = PprParams::new(0.85, length, 10).unwrap();
+                let local = local_ppr(&g, seed, &params).unwrap();
+                let exact = exact_top_k(&g, seed, &params).unwrap();
+                crate::test_util::assert_ranking_equiv(&local.ranking, &exact, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_scores_match_not_just_ranking() {
+        let g = generators::grid(8, 8).unwrap();
+        let params = PprParams::new(0.85, 4, 64).unwrap();
+        let local = local_ppr(&g, 27, &params).unwrap();
+        let full = crate::ground_truth::exact_ppr(&g, 27, &params).unwrap();
+        for &(v, s) in &local.scores {
+            assert!((s - full.accumulated[v as usize]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = generators::karate_club();
+        let params = PprParams::paper_defaults();
+        let r = local_ppr(&g, 0, &params).unwrap();
+        assert!(r.stats.ball_nodes > 1);
+        assert!(r.stats.ball_edges > 0);
+        assert!(r.stats.bfs_edges_scanned > 0);
+        assert!(r.stats.diffusion_edge_updates > 0);
+        assert!(r.stats.memory.total() > 0);
+    }
+
+    #[test]
+    fn isolated_seed_returns_itself() {
+        let g = meloppr_graph::CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let params = PprParams::new(0.85, 3, 5).unwrap();
+        let r = local_ppr(&g, 2, &params).unwrap();
+        assert_eq!(r.ranking, vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn invalid_seed_rejected() {
+        let g = generators::path(4).unwrap();
+        let params = PprParams::new(0.85, 2, 2).unwrap();
+        assert!(local_ppr(&g, 99, &params).is_err());
+    }
+
+    #[test]
+    fn ranking_is_truncated_to_k() {
+        let g = generators::complete(20).unwrap();
+        let params = PprParams::new(0.85, 2, 7).unwrap();
+        let r = local_ppr(&g, 0, &params).unwrap();
+        assert_eq!(r.ranking.len(), 7);
+        assert!(r.scores.len() > 7);
+    }
+}

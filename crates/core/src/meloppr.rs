@@ -1,0 +1,667 @@
+//! The multi-stage MeLoPPR engine (§IV, Eq. 8).
+//!
+//! A query proceeds as a work queue of *diffusion tasks*. Stage one runs
+//! `GD(l1)` on the small ball `G_{l1}(s)`; its residual vector `Sʳ_{l1}`
+//! nominates next-stage nodes, the most promising of which (per the
+//! [`SelectionStrategy`]) spawn stage-two tasks `GD(l2)(e_v)` on their own
+//! balls `G_{l2}(v)`, scaled by `α^{l1}·Sʳ_{l1}[v]` (linear decomposition,
+//! Eq. 7). With more than two stages the recursion continues. Scores are
+//! aggregated in a [`GlobalScoreTable`] — unbounded for the exact CPU
+//! implementation, bounded to `c·k` entries when modelling the FPGA's
+//! global table (§V-B).
+//!
+//! # Exactness
+//!
+//! With [`SelectionStrategy::All`] the engine computes Eq. 8 exactly, so
+//! its output equals single-stage `GD(L)` (verified by tests and property
+//! tests). With partial selection, the [`ResidualPolicy`] decides what
+//! happens to unexpanded residual mass; the default
+//! ([`ResidualPolicy::ScaledKeep`]) retains its expected self-retention
+//! share, which empirically dominates both keeping and dropping it and
+//! matches the paper's high precision at small selection ratios (Fig. 6).
+
+use std::collections::VecDeque;
+
+use meloppr_graph::{bfs_ball, GraphView, NodeId, Subgraph};
+
+use crate::diffusion::{diffuse_from_seed, DiffusionConfig};
+use crate::error::Result;
+use crate::global_table::GlobalScoreTable;
+use crate::memory::{cpu_task_memory, meloppr_cpu_peak, meloppr_fpga_peak, CpuTaskMemory};
+use crate::params::{MelopprParams, ResidualPolicy};
+use crate::score_vec::Ranking;
+
+/// Default global-table factor used for FPGA memory estimates when the
+/// query itself runs with exact (unbounded) aggregation.
+const DEFAULT_TABLE_FACTOR: usize = 10;
+
+/// One sub-graph diffusion executed during a query — the replayable trace
+/// consumed by latency models and the FPGA host simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffusionRecord {
+    /// Stage index (0-based).
+    pub stage: usize,
+    /// The node the diffusion started from (parent-graph id).
+    pub node: NodeId,
+    /// The weight `w` multiplying this diffusion's output (1.0 for stage
+    /// one; `α^{l1}·Sʳ[v]`-products afterwards).
+    pub weight: f64,
+    /// Ball nodes.
+    pub ball_nodes: usize,
+    /// Ball edges (undirected).
+    pub ball_edges: usize,
+    /// Adjacency entries scanned by this task's BFS.
+    pub bfs_edges_scanned: usize,
+    /// Adjacency entries processed by this task's diffusion.
+    pub diffusion_edge_updates: usize,
+}
+
+/// Aggregated per-stage counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageStats {
+    /// Number of diffusions run in this stage.
+    pub diffusions: usize,
+    /// Total next-stage candidates (non-zero residual entries) produced.
+    pub candidates: usize,
+    /// Candidates actually expanded into the next stage.
+    pub expanded: usize,
+    /// BFS work in this stage.
+    pub bfs_edges_scanned: usize,
+    /// Diffusion work in this stage.
+    pub diffusion_edge_updates: usize,
+    /// Largest ball (nodes) diffused in this stage.
+    pub max_ball_nodes: usize,
+    /// Largest ball (edges) diffused in this stage.
+    pub max_ball_edges: usize,
+}
+
+/// Work, memory and trace accounting of one MeLoPPR query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MelopprStats {
+    /// Per-stage aggregates (index = stage).
+    pub stages: Vec<StageStats>,
+    /// Total diffusions across stages.
+    pub total_diffusions: usize,
+    /// Total BFS work.
+    pub bfs_edges_scanned: usize,
+    /// Total diffusion work.
+    pub diffusion_edge_updates: usize,
+    /// Memory of the largest single task (the paper's peak working set).
+    pub peak_task_memory: CpuTaskMemory,
+    /// Modelled peak CPU bytes (task + aggregation + queue).
+    pub peak_cpu_bytes: usize,
+    /// Modelled peak FPGA BRAM bytes (largest ball's tables + global
+    /// table).
+    pub peak_fpga_bytes: usize,
+    /// Entries resident in the aggregation table at the end.
+    pub aggregate_entries: usize,
+    /// Evictions/rejections in the bounded table (0 when unbounded).
+    pub table_evictions: usize,
+    /// The full diffusion trace, in execution order.
+    pub trace: Vec<DiffusionRecord>,
+}
+
+/// Result of one MeLoPPR query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MelopprOutcome {
+    /// The approximated top-`k` ranking `T̂(s, k)` in parent-graph ids.
+    pub ranking: Ranking,
+    /// Accounting and trace.
+    pub stats: MelopprStats,
+}
+
+/// The multi-stage MeLoPPR query engine over a borrowed graph.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::{MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let params = MelopprParams::two_stage(
+///     PprParams::new(0.85, 4, 5)?,
+///     2,
+///     2,
+///     SelectionStrategy::All,
+/// )?;
+/// let engine = MelopprEngine::new(&g, params)?;
+/// let outcome = engine.query(0)?;
+/// assert_eq!(outcome.ranking.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MelopprEngine<'g, G: GraphView + ?Sized> {
+    graph: &'g G,
+    params: MelopprParams,
+}
+
+/// A pending diffusion task: shared between the sequential engine and the
+/// parallel executor ([`crate::parallel`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TaskSpec {
+    pub(crate) node: NodeId,
+    pub(crate) weight: f64,
+    pub(crate) stage: usize,
+}
+
+/// Everything one executed task produces, before aggregation.
+#[derive(Debug, Clone)]
+pub(crate) struct TaskOutput {
+    /// Weighted `(global node, score)` contributions to the global vector.
+    pub(crate) contributions: Vec<(NodeId, f64)>,
+    /// Next-stage tasks spawned by this one, in selection order.
+    pub(crate) children: Vec<TaskSpec>,
+    /// Trace record.
+    pub(crate) record: DiffusionRecord,
+    /// Non-zero residual candidates seen (before selection).
+    pub(crate) candidates: usize,
+}
+
+/// Executes one diffusion task: ball extraction, diffusion, Eq. 8
+/// adjustment, selection. Pure with respect to aggregation state, so
+/// callers may run tasks of the same stage concurrently and merge outputs
+/// in task order.
+pub(crate) fn execute_task<G: GraphView + ?Sized>(
+    graph: &G,
+    params: &MelopprParams,
+    task: &TaskSpec,
+) -> Result<TaskOutput> {
+    let l = params.stages[task.stage];
+    let ball = bfs_ball(graph, task.node, l as u32)?;
+    let sub = Subgraph::extract(graph, &ball)?;
+    execute_task_on(&sub, ball.edges_scanned, params, task)
+}
+
+/// The diffusion/selection half of [`execute_task`], operating on an
+/// already-extracted sub-graph (possibly served from a
+/// [`SubgraphCache`](crate::cache::SubgraphCache), in which case
+/// `bfs_edges_scanned` should be 0 — the whole point of caching).
+pub(crate) fn execute_task_on(
+    sub: &Subgraph,
+    bfs_edges_scanned: usize,
+    params: &MelopprParams,
+    task: &TaskSpec,
+) -> Result<TaskOutput> {
+    let num_stages = params.stages.len();
+    let l = params.stages[task.stage];
+    let config = DiffusionConfig::new(params.ppr.alpha, l)?;
+    let out = diffuse_from_seed(sub, sub.seed_local(), config)?;
+
+    let last_stage = task.stage + 1 == num_stages;
+    let alpha_l = params.ppr.alpha.powi(l as i32);
+
+    // Adjusted contribution of this task (Eq. 8): the accumulated scores,
+    // minus α^l·residual for every node whose continuation is handled
+    // elsewhere (expanded next-stage nodes always; unexpanded ones too
+    // under DropUnexpanded).
+    let mut contribution = out.accumulated.clone();
+
+    let mut expanded: Vec<(NodeId, f64)> = Vec::new();
+    let mut candidates_count = 0usize;
+    if !last_stage {
+        let candidates: Vec<(NodeId, f64)> = out
+            .residual
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r > 0.0)
+            .map(|(local, &r)| (local as NodeId, r))
+            .collect();
+        candidates_count = candidates.len();
+        expanded = params.selection.select(candidates);
+
+        match params.residual_policy {
+            ResidualPolicy::KeepUnexpanded => {
+                for &(local, r) in &expanded {
+                    contribution[local as usize] =
+                        (contribution[local as usize] - alpha_l * r).max(0.0);
+                }
+            }
+            ResidualPolicy::DropUnexpanded => {
+                for (local, c) in contribution.iter_mut().enumerate() {
+                    let r = out.residual[local];
+                    if r > 0.0 {
+                        *c = (*c - alpha_l * r).max(0.0);
+                    }
+                }
+            }
+            ResidualPolicy::ScaledKeep => {
+                // Unexpanded nodes keep (1 - α)·α^l·r (the expected
+                // self-retention of the skipped diffusion); expanded nodes
+                // lose their residual entirely as usual.
+                for (local, c) in contribution.iter_mut().enumerate() {
+                    let r = out.residual[local];
+                    if r > 0.0 {
+                        *c = (*c - params.ppr.alpha * alpha_l * r).max(0.0);
+                    }
+                }
+                for &(local, r) in &expanded {
+                    contribution[local as usize] = (contribution[local as usize]
+                        - (1.0 - params.ppr.alpha) * alpha_l * r)
+                        .max(0.0);
+                }
+            }
+        }
+    }
+
+    let contributions: Vec<(NodeId, f64)> = contribution
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s > 0.0)
+        .map(|(local, &s)| (sub.to_global(local as NodeId), task.weight * s))
+        .collect();
+
+    let children: Vec<TaskSpec> = expanded
+        .iter()
+        .map(|&(local, r)| TaskSpec {
+            node: sub.to_global(local),
+            weight: task.weight * alpha_l * r,
+            stage: task.stage + 1,
+        })
+        .collect();
+
+    Ok(TaskOutput {
+        contributions,
+        children,
+        record: DiffusionRecord {
+            stage: task.stage,
+            node: task.node,
+            weight: task.weight,
+            ball_nodes: sub.num_nodes(),
+            ball_edges: sub.num_edges(),
+            bfs_edges_scanned,
+            diffusion_edge_updates: out.work.edge_updates,
+        },
+        candidates: candidates_count,
+    })
+}
+
+/// Mutable accounting shared by the sequential and parallel executors.
+#[derive(Debug)]
+pub(crate) struct QueryAccumulator {
+    pub(crate) table: GlobalScoreTable,
+    pub(crate) stages: Vec<StageStats>,
+    pub(crate) trace: Vec<DiffusionRecord>,
+    peak_task: CpuTaskMemory,
+    peak_ball: (usize, usize),
+    max_queue: usize,
+    table_factor: usize,
+    bounded_capacity: Option<usize>,
+    k: usize,
+}
+
+impl QueryAccumulator {
+    pub(crate) fn new(params: &MelopprParams) -> Self {
+        let k = params.ppr.k;
+        let table = match params.table_factor {
+            Some(c) => GlobalScoreTable::bounded(c * k),
+            None => GlobalScoreTable::unbounded(),
+        };
+        QueryAccumulator {
+            table,
+            stages: vec![StageStats::default(); params.stages.len()],
+            trace: Vec::new(),
+            peak_task: CpuTaskMemory::default(),
+            peak_ball: (0, 0),
+            max_queue: 0,
+            table_factor: params.table_factor.unwrap_or(DEFAULT_TABLE_FACTOR),
+            bounded_capacity: params.table_factor.map(|c| c * k),
+            k,
+        }
+    }
+
+    pub(crate) fn observe_queue(&mut self, len: usize) {
+        self.max_queue = self.max_queue.max(len);
+    }
+
+    /// Merges one task's output (must be called in task order for
+    /// bit-for-bit deterministic results).
+    pub(crate) fn merge(&mut self, output: &TaskOutput) {
+        let rec = output.record;
+        for &(node, score) in &output.contributions {
+            self.table.add(node, score);
+        }
+        let st = &mut self.stages[rec.stage];
+        st.diffusions += 1;
+        st.candidates += output.candidates;
+        st.expanded += output.children.len();
+        st.bfs_edges_scanned += rec.bfs_edges_scanned;
+        st.diffusion_edge_updates += rec.diffusion_edge_updates;
+        st.max_ball_nodes = st.max_ball_nodes.max(rec.ball_nodes);
+        st.max_ball_edges = st.max_ball_edges.max(rec.ball_edges);
+
+        let task_mem = cpu_task_memory(rec.ball_nodes, rec.ball_edges);
+        if task_mem.total() > self.peak_task.total() {
+            self.peak_task = task_mem;
+            self.peak_ball = (rec.ball_nodes, rec.ball_edges);
+        }
+        self.trace.push(rec);
+    }
+
+    pub(crate) fn finish(self) -> MelopprOutcome {
+        let ranking = self.table.ranking(self.k);
+        let aggregate_entries = self.table.len();
+        let stats = MelopprStats {
+            total_diffusions: self.trace.len(),
+            bfs_edges_scanned: self.stages.iter().map(|s| s.bfs_edges_scanned).sum(),
+            diffusion_edge_updates: self
+                .stages
+                .iter()
+                .map(|s| s.diffusion_edge_updates)
+                .sum(),
+            peak_task_memory: self.peak_task,
+            peak_cpu_bytes: meloppr_cpu_peak(
+                self.peak_task,
+                match self.bounded_capacity {
+                    Some(cap) => aggregate_entries.min(cap),
+                    None => aggregate_entries,
+                },
+                self.max_queue,
+            ),
+            peak_fpga_bytes: meloppr_fpga_peak(
+                self.peak_ball.0,
+                self.peak_ball.1,
+                self.table_factor,
+                self.k,
+            ),
+            aggregate_entries,
+            table_evictions: self.table.evictions(),
+            stages: self.stages,
+            trace: self.trace,
+        };
+        MelopprOutcome { ranking, stats }
+    }
+}
+
+impl<'g, G: GraphView + ?Sized> MelopprEngine<'g, G> {
+    /// Creates an engine, validating the parameters eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`](crate::PprError::InvalidParams)
+    /// if `params` fail validation.
+    pub fn new(graph: &'g G, params: MelopprParams) -> Result<Self> {
+        params.validate()?;
+        Ok(MelopprEngine { graph, params })
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &MelopprParams {
+        &self.params
+    }
+
+    /// Runs one query from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::Graph`](crate::PprError::Graph) if `seed` is out
+    /// of bounds.
+    pub fn query(&self, seed: NodeId) -> Result<MelopprOutcome> {
+        let mut acc = QueryAccumulator::new(&self.params);
+        let mut queue: VecDeque<TaskSpec> = VecDeque::new();
+        queue.push_back(TaskSpec {
+            node: seed,
+            weight: 1.0,
+            stage: 0,
+        });
+        while let Some(task) = queue.pop_front() {
+            acc.observe_queue(queue.len() + 1);
+            let output = execute_task(self.graph, &self.params, &task)?;
+            acc.merge(&output);
+            queue.extend(output.children.iter().copied());
+        }
+        Ok(acc.finish())
+    }
+
+    /// Runs one query, serving sub-graph extractions from (and populating)
+    /// `cache`. Results are identical to [`MelopprEngine::query`]; the
+    /// difference is purely in the BFS work counters, which record zero
+    /// for cache hits — see [`SubgraphCache`](crate::cache::SubgraphCache).
+    ///
+    /// # Errors
+    ///
+    /// As [`MelopprEngine::query`].
+    pub fn query_cached(
+        &self,
+        seed: NodeId,
+        cache: &mut crate::cache::SubgraphCache,
+    ) -> Result<MelopprOutcome> {
+        let mut acc = QueryAccumulator::new(&self.params);
+        let mut queue: VecDeque<TaskSpec> = VecDeque::new();
+        queue.push_back(TaskSpec {
+            node: seed,
+            weight: 1.0,
+            stage: 0,
+        });
+        while let Some(task) = queue.pop_front() {
+            acc.observe_queue(queue.len() + 1);
+            let depth = self.params.stages[task.stage] as u32;
+            let (sub, bfs_work) =
+                cache.get_or_extract_counted(self.graph, task.node, depth)?;
+            let output = execute_task_on(&sub, bfs_work, &self.params, &task)?;
+            acc.merge(&output);
+            queue.extend(output.children.iter().copied());
+        }
+        Ok(acc.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::exact_top_k;
+    use crate::params::PprParams;
+    use crate::precision::precision_at_k;
+    use crate::selection::SelectionStrategy;
+    use meloppr_graph::generators;
+
+    fn engine_params(
+        length: usize,
+        stages: Vec<usize>,
+        selection: SelectionStrategy,
+    ) -> MelopprParams {
+        MelopprParams {
+            ppr: PprParams::new(0.85, length, 10).unwrap(),
+            stages,
+            selection,
+            residual_policy: ResidualPolicy::KeepUnexpanded,
+            table_factor: None,
+        }
+    }
+
+    use crate::test_util::assert_ranking_equiv;
+
+    #[test]
+    fn full_selection_equals_exact_topk_karate() {
+        let g = generators::karate_club();
+        let params = engine_params(4, vec![2, 2], SelectionStrategy::All);
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        for seed in [0u32, 11, 33] {
+            let outcome = engine.query(seed).unwrap();
+            let exact = exact_top_k(&g, seed, &engine.params().ppr).unwrap();
+            assert_ranking_equiv(&outcome.ranking, &exact, 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_selection_scores_match_exact_values() {
+        // Stronger than ranking equality: the aggregated scores themselves
+        // must reproduce GD(L) (Eq. 8 is an identity).
+        let g = generators::grid(7, 7).unwrap();
+        let params = engine_params(4, vec![2, 2], SelectionStrategy::All);
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        let outcome = engine.query(24).unwrap();
+        let exact = crate::ground_truth::exact_ppr(&g, 24, &engine.params().ppr).unwrap();
+        for &(v, s) in &outcome.ranking {
+            assert!(
+                (s - exact.accumulated[v as usize]).abs() < 1e-9,
+                "node {v}: {s} vs {}",
+                exact.accumulated[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn three_stages_remain_exact_under_full_selection() {
+        let g = generators::karate_club();
+        let params = engine_params(6, vec![2, 2, 2], SelectionStrategy::All);
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        let outcome = engine.query(0).unwrap();
+        let exact = exact_top_k(&g, 0, &engine.params().ppr).unwrap();
+        assert_ranking_equiv(&outcome.ranking, &exact, 1e-9);
+    }
+
+    #[test]
+    fn uneven_stage_splits_remain_exact() {
+        let g = generators::grid(6, 6).unwrap();
+        for stages in [vec![1, 3], vec![3, 1], vec![1, 1, 2]] {
+            let params = engine_params(4, stages.clone(), SelectionStrategy::All);
+            let engine = MelopprEngine::new(&g, params).unwrap();
+            let outcome = engine.query(14).unwrap();
+            let exact = exact_top_k(&g, 14, &engine.params().ppr).unwrap();
+            assert_ranking_equiv(&outcome.ranking, &exact, 1e-9);
+        }
+    }
+
+    #[test]
+    fn partial_selection_degrades_gracefully() {
+        let g = generators::corpus::PaperGraph::G1Citeseer
+            .generate_scaled(0.2, 7)
+            .unwrap();
+        let exact_params = PprParams::new(0.85, 6, 20).unwrap();
+        let exact = exact_top_k(&g, 10, &exact_params).unwrap();
+
+        let mut last_precision = -1.0;
+        for fraction in [0.01, 0.1, 1.0] {
+            let params = MelopprParams {
+                ppr: exact_params,
+                stages: vec![3, 3],
+                selection: SelectionStrategy::TopFraction(fraction),
+                residual_policy: ResidualPolicy::KeepUnexpanded,
+                table_factor: None,
+            };
+            let engine = MelopprEngine::new(&g, params).unwrap();
+            let outcome = engine.query(10).unwrap();
+            let prec = precision_at_k(&outcome.ranking, &exact, 20);
+            assert!(
+                prec >= last_precision - 0.15,
+                "precision collapsed at fraction {fraction}: {prec} < {last_precision}"
+            );
+            last_precision = prec;
+        }
+        // Full selection is exact up to floating-point ties at the k-th
+        // boundary.
+        assert!(last_precision >= 0.95, "full selection precision {last_precision}");
+    }
+
+    #[test]
+    fn zero_selection_is_stage_one_only() {
+        let g = generators::karate_club();
+        let params = engine_params(4, vec![2, 2], SelectionStrategy::TopFraction(0.0));
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        let outcome = engine.query(0).unwrap();
+        assert_eq!(outcome.stats.total_diffusions, 1);
+        assert_eq!(outcome.stats.stages[1].diffusions, 0);
+        // Still a valid probability vector over the stage-one ball.
+        assert!(!outcome.ranking.is_empty());
+    }
+
+    #[test]
+    fn stats_trace_is_consistent() {
+        let g = generators::karate_club();
+        let params = engine_params(4, vec![2, 2], SelectionStrategy::TopCount(3));
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        let outcome = engine.query(0).unwrap();
+        let s = &outcome.stats;
+        assert_eq!(s.total_diffusions, s.trace.len());
+        assert_eq!(s.total_diffusions, 1 + 3);
+        assert_eq!(s.stages[0].diffusions, 1);
+        assert_eq!(s.stages[1].diffusions, 3);
+        assert_eq!(s.stages[0].expanded, 3);
+        let trace_bfs: usize = s.trace.iter().map(|t| t.bfs_edges_scanned).sum();
+        assert_eq!(trace_bfs, s.bfs_edges_scanned);
+        assert!(s.peak_cpu_bytes > 0);
+        assert!(s.peak_fpga_bytes > 0);
+        assert!(s.aggregate_entries > 0);
+    }
+
+    #[test]
+    fn stage_one_weight_is_unity_and_children_scaled() {
+        let g = generators::karate_club();
+        let params = engine_params(4, vec![2, 2], SelectionStrategy::TopCount(2));
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        let outcome = engine.query(0).unwrap();
+        let trace = &outcome.stats.trace;
+        assert_eq!(trace[0].weight, 1.0);
+        for rec in &trace[1..] {
+            assert!(rec.weight > 0.0 && rec.weight < 1.0);
+            assert_eq!(rec.stage, 1);
+        }
+    }
+
+    #[test]
+    fn bounded_table_tracks_evictions() {
+        let g = generators::corpus::PaperGraph::G2Cora
+            .generate_scaled(0.25, 3)
+            .unwrap();
+        let mut params = engine_params(6, vec![3, 3], SelectionStrategy::TopFraction(0.3));
+        params.table_factor = Some(1); // tiny table: k entries
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        let outcome = engine.query(5).unwrap();
+        assert!(outcome.stats.table_evictions > 0);
+        assert!(outcome.stats.aggregate_entries <= 10);
+    }
+
+    #[test]
+    fn peak_memory_smaller_than_baseline_on_sparse_graph() {
+        // MeLoPPR's whole point: the stage balls are much smaller than the
+        // depth-L ball.
+        let g = generators::corpus::PaperGraph::G3Pubmed
+            .generate_scaled(0.1, 11)
+            .unwrap();
+        let ppr = PprParams::new(0.85, 6, 20).unwrap();
+        let baseline = crate::local_ppr::local_ppr(&g, 50, &ppr).unwrap();
+        let params = MelopprParams {
+            ppr,
+            stages: vec![3, 3],
+            selection: SelectionStrategy::TopFraction(0.02),
+            residual_policy: ResidualPolicy::KeepUnexpanded,
+            table_factor: Some(10),
+        };
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        let outcome = engine.query(50).unwrap();
+        assert!(
+            outcome.stats.peak_task_memory.total() < baseline.stats.memory.total(),
+            "{} vs {}",
+            outcome.stats.peak_task_memory.total(),
+            baseline.stats.memory.total()
+        );
+    }
+
+    #[test]
+    fn residual_drop_policy_loses_mass_but_runs() {
+        let g = generators::karate_club();
+        let params = engine_params(4, vec![2, 2], SelectionStrategy::TopCount(1))
+            .with_residual_policy(ResidualPolicy::DropUnexpanded);
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        let outcome = engine.query(0).unwrap();
+        assert!(!outcome.ranking.is_empty());
+    }
+
+    #[test]
+    fn invalid_params_rejected_at_construction() {
+        let g = generators::path(4).unwrap();
+        let params = engine_params(4, vec![1, 2], SelectionStrategy::All);
+        assert!(MelopprEngine::new(&g, params).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_seed_rejected() {
+        let g = generators::path(4).unwrap();
+        let params = engine_params(4, vec![2, 2], SelectionStrategy::All);
+        let engine = MelopprEngine::new(&g, params).unwrap();
+        assert!(engine.query(77).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Monte-Carlo α-decay random-walk PPR — the Fig. 2(a) comparator.
+//!
+//! The classic MC estimator runs many α-decay random walks from the seed
+//! and counts terminal nodes. Its *on-chip* space is essentially zero (the
+//! paper quotes TopPPR's observation), but every step is a random probe
+//! into the full adjacency — the "low space, high accesses" corner of the
+//! design space that MeLoPPR's Fig. 2 motivates against. The estimator
+//! counts those off-chip accesses so the cost models can price them.
+
+use meloppr_graph::{GraphView, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{PprError, Result};
+use crate::params::PprParams;
+use crate::score_vec::{top_k_sparse, Ranking};
+
+/// Result of a Monte-Carlo PPR estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloResult {
+    /// Estimated top-`k` ranking (estimated probabilities as scores).
+    pub ranking: Ranking,
+    /// Sparse estimated score vector (terminal frequency / walks).
+    pub scores: Vec<(NodeId, f64)>,
+    /// Total random-walk steps taken — each one is an off-chip neighbor
+    /// lookup in the Fig. 2(a) cost model.
+    pub steps: usize,
+    /// Number of walks run.
+    pub walks: usize,
+}
+
+/// Estimates PPR scores with `walks` α-decay random walks of maximum
+/// length `params.length`.
+///
+/// Each walk terminates early with probability `1 - α` per step (the
+/// α-decay), or when the length budget is exhausted; walks stuck on an
+/// isolated node stay there, matching the self-retaining `W` used by the
+/// diffusion kernel.
+///
+/// # Errors
+///
+/// Returns [`PprError::InvalidParams`] if `walks == 0` or the parameters
+/// fail validation, and a graph error for an out-of-bounds seed.
+pub fn monte_carlo_ppr<G: GraphView + ?Sized>(
+    g: &G,
+    seed: NodeId,
+    params: &PprParams,
+    walks: usize,
+    rng_seed: u64,
+) -> Result<MonteCarloResult> {
+    params.validate()?;
+    if walks == 0 {
+        return Err(PprError::InvalidParams {
+            reason: "Monte-Carlo estimation needs at least one walk".into(),
+        });
+    }
+    if seed as usize >= g.num_nodes() {
+        return Err(PprError::Graph(meloppr_graph::GraphError::NodeOutOfBounds {
+            node: seed,
+            num_nodes: g.num_nodes(),
+        }));
+    }
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    let mut counts: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    let mut steps = 0usize;
+    for _ in 0..walks {
+        let mut node = seed;
+        for _ in 0..params.length {
+            // Terminate with probability 1 - α (the α-decay).
+            if !rng.gen_bool(params.alpha) {
+                break;
+            }
+            let nbrs = g.neighbors(node);
+            if nbrs.is_empty() {
+                // Isolated: self-retain, no adjacency access needed.
+                continue;
+            }
+            node = nbrs[rng.gen_range(0..nbrs.len())];
+            steps += 1;
+        }
+        *counts.entry(node).or_insert(0) += 1;
+    }
+    let mut scores: Vec<(NodeId, f64)> = counts
+        .into_iter()
+        .map(|(v, c)| (v, c as f64 / walks as f64))
+        .collect();
+    scores.sort_unstable_by_key(|&(v, _)| v);
+    let ranking = top_k_sparse(&scores, params.k);
+    Ok(MonteCarloResult {
+        ranking,
+        scores,
+        steps,
+        walks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::exact_top_k;
+    use crate::precision::precision_at_k;
+    use meloppr_graph::generators;
+
+    #[test]
+    fn estimates_converge_to_exact_topk() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 6, 5).unwrap();
+        let exact = exact_top_k(&g, 0, &params).unwrap();
+        let mc = monte_carlo_ppr(&g, 0, &params, 20_000, 42).unwrap();
+        let prec = precision_at_k(&mc.ranking, &exact, 5);
+        assert!(prec >= 0.6, "MC precision too low: {prec}");
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = generators::cycle(6).unwrap();
+        let params = PprParams::new(0.85, 4, 6).unwrap();
+        let mc = monte_carlo_ppr(&g, 0, &params, 1000, 7).unwrap();
+        let total: f64 = mc.scores.iter().map(|&(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let a = monte_carlo_ppr(&g, 3, &params, 500, 9).unwrap();
+        let b = monte_carlo_ppr(&g, 3, &params, 500, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn steps_bounded_by_walks_times_length() {
+        let g = generators::complete(8).unwrap();
+        let params = PprParams::new(0.85, 5, 3).unwrap();
+        let mc = monte_carlo_ppr(&g, 0, &params, 200, 3).unwrap();
+        assert!(mc.steps <= 200 * 5);
+        assert!(mc.steps > 0);
+    }
+
+    #[test]
+    fn isolated_seed_all_mass_at_seed() {
+        let g = meloppr_graph::CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let params = PprParams::new(0.85, 4, 2).unwrap();
+        let mc = monte_carlo_ppr(&g, 2, &params, 100, 1).unwrap();
+        assert_eq!(mc.ranking, vec![(2, 1.0)]);
+        assert_eq!(mc.steps, 0);
+    }
+
+    #[test]
+    fn zero_walks_rejected() {
+        let g = generators::path(3).unwrap();
+        let params = PprParams::new(0.85, 2, 2).unwrap();
+        assert!(monte_carlo_ppr(&g, 0, &params, 0, 0).is_err());
+    }
+
+    #[test]
+    fn bad_seed_rejected() {
+        let g = generators::path(3).unwrap();
+        let params = PprParams::new(0.85, 2, 2).unwrap();
+        assert!(monte_carlo_ppr(&g, 30, &params, 10, 0).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Query parameters for single-stage PPR and multi-stage MeLoPPR.
+
+use crate::error::{PprError, Result};
+use crate::selection::SelectionStrategy;
+
+/// Parameters of a personalized-PageRank query (§II of the paper).
+///
+/// Fields are public passive data; [`PprParams::validate`] enforces the
+/// domain constraints and is called by every query entry point.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::PprParams;
+///
+/// // The paper's evaluation setting: k = 200, L = 6.
+/// let params = PprParams::paper_defaults();
+/// assert_eq!(params.length, 6);
+/// assert_eq!(params.k, 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PprParams {
+    /// Decay factor α of the α-decay random walk; the walk continues with
+    /// probability α at every step. Must lie in `(0, 1)`.
+    pub alpha: f64,
+    /// Maximum diffusion length `L` (number of propagation iterations).
+    pub length: usize,
+    /// How many top-ranked nodes a query returns.
+    pub k: usize,
+}
+
+impl PprParams {
+    /// Creates parameters, validating them eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] when any field is out of domain.
+    pub fn new(alpha: f64, length: usize, k: usize) -> Result<Self> {
+        let params = PprParams { alpha, length, k };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// The configuration used throughout the paper's evaluation (§VI):
+    /// `k = 200`, `L = 6`, and the conventional PageRank decay `α = 0.85`
+    /// (the paper does not state α explicitly).
+    pub fn paper_defaults() -> Self {
+        PprParams {
+            alpha: 0.85,
+            length: 6,
+            k: 200,
+        }
+    }
+
+    /// Checks the domain constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] if `alpha ∉ (0, 1)`,
+    /// `length == 0`, or `k == 0`.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(PprError::InvalidParams {
+                reason: format!("alpha must be in (0, 1), got {}", self.alpha),
+            });
+        }
+        if self.length == 0 {
+            return Err(PprError::InvalidParams {
+                reason: "diffusion length L must be >= 1".into(),
+            });
+        }
+        if self.k == 0 {
+            return Err(PprError::InvalidParams {
+                reason: "top-k size must be >= 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for PprParams {
+    /// Same as [`PprParams::paper_defaults`].
+    fn default() -> Self {
+        PprParams::paper_defaults()
+    }
+}
+
+/// What happens to the residual mass of next-stage nodes that were **not**
+/// selected for expansion (§IV-D).
+///
+/// Exact MeLoPPR (Eq. 8) subtracts `α^{l1}·Sʳ_{l1}` and adds the stage-two
+/// diffusions back. When sparsity exploitation skips a node `v`, two
+/// approximations are possible.
+/// The paper states the decomposition (Eq. 8) exactly but leaves the
+/// treatment of *unselected* residual mass unspecified; the
+/// `ablation_residual` experiment compares the three natural choices, and
+/// [`ResidualPolicy::ScaledKeep`] dominates across the whole selection
+/// sweep, so it is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResidualPolicy {
+    /// Leave `α^{l1}·Sʳ_{l1}[v]` in place for unexpanded `v` — the
+    /// zeroth-order approximation of the skipped diffusion
+    /// (`GD(0)(x) = x`), as if the walk terminated at `v`. Strong at tiny
+    /// selection ratios, but overweights unexpanded nodes at medium
+    /// ratios.
+    KeepUnexpanded,
+    /// Drop the residual mass of unexpanded nodes entirely (subtract the
+    /// full `α^{l1}·Sʳ_{l1}` as in exact Eq. 8, add back only expanded
+    /// contributions). Weak at tiny ratios, competitive at high ones.
+    DropUnexpanded,
+    /// Keep only the *expected self-retention* of the skipped diffusion:
+    /// the exact continuation `GD(l')(e_v)` leaves roughly `(1 - α)` of
+    /// its mass at `v` (the immediate-termination term), so unexpanded
+    /// nodes keep `(1 - α)·α^{l1}·Sʳ_{l1}[v]`. Empirically dominates both
+    /// extremes at every ratio (see `ablation_residual`); the default.
+    #[default]
+    ScaledKeep,
+}
+
+/// Parameters of a multi-stage MeLoPPR query (§IV).
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::{MelopprParams, SelectionStrategy};
+///
+/// // The paper's two-stage split L = 6 = 3 + 3 selecting 2 % of
+/// // next-stage nodes.
+/// let params = MelopprParams::paper_defaults();
+/// assert_eq!(params.stages, vec![3, 3]);
+/// assert_eq!(params.selection, SelectionStrategy::TopFraction(0.02));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MelopprParams {
+    /// The underlying PPR query (α, total length `L`, `k`).
+    pub ppr: PprParams,
+    /// Stage lengths `l1, l2, …`; must be non-empty, all ≥ 1, and sum to
+    /// `ppr.length` (§IV-B "can be easily extended to more terms").
+    pub stages: Vec<usize>,
+    /// How next-stage nodes are chosen from the residual vector (§IV-D).
+    pub selection: SelectionStrategy,
+    /// Treatment of unexpanded residual mass.
+    pub residual_policy: ResidualPolicy,
+    /// When `Some(c)`, aggregate scores in a bounded table of `c·k`
+    /// entries as the FPGA does (§V-B); `None` keeps exact dense
+    /// aggregation (the CPU implementation).
+    pub table_factor: Option<usize>,
+}
+
+impl MelopprParams {
+    /// Creates a two-stage configuration (`L = l1 + l2`), the paper's
+    /// primary setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] if the stage lengths don't sum
+    /// to `ppr.length` or any other constraint fails.
+    pub fn two_stage(ppr: PprParams, l1: usize, l2: usize, selection: SelectionStrategy) -> Result<Self> {
+        let params = MelopprParams {
+            ppr,
+            stages: vec![l1, l2],
+            selection,
+            residual_policy: ResidualPolicy::default(),
+            table_factor: None,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// The paper's evaluation configuration: `L = 6 = 3 + 3`, `k = 200`,
+    /// 2 % next-stage selection, exact aggregation.
+    pub fn paper_defaults() -> Self {
+        MelopprParams {
+            ppr: PprParams::paper_defaults(),
+            stages: vec![3, 3],
+            selection: SelectionStrategy::TopFraction(0.02),
+            residual_policy: ResidualPolicy::default(),
+            table_factor: None,
+        }
+    }
+
+    /// Replaces the selection strategy (builder style).
+    #[must_use]
+    pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Replaces the residual policy (builder style).
+    #[must_use]
+    pub fn with_residual_policy(mut self, policy: ResidualPolicy) -> Self {
+        self.residual_policy = policy;
+        self
+    }
+
+    /// Enables bounded `c·k` score aggregation (builder style).
+    #[must_use]
+    pub fn with_table_factor(mut self, c: usize) -> Self {
+        self.table_factor = Some(c);
+        self
+    }
+
+    /// Checks all domain constraints, including those of the nested
+    /// [`PprParams`] and [`SelectionStrategy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] describing the violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        self.ppr.validate()?;
+        self.selection.validate()?;
+        if self.stages.is_empty() {
+            return Err(PprError::InvalidParams {
+                reason: "stage list must not be empty".into(),
+            });
+        }
+        if self.stages.contains(&0) {
+            return Err(PprError::InvalidParams {
+                reason: "every stage length must be >= 1".into(),
+            });
+        }
+        let total: usize = self.stages.iter().sum();
+        if total != self.ppr.length {
+            return Err(PprError::InvalidParams {
+                reason: format!(
+                    "stage lengths sum to {total} but diffusion length is {}",
+                    self.ppr.length
+                ),
+            });
+        }
+        if self.table_factor == Some(0) {
+            return Err(PprError::InvalidParams {
+                reason: "table factor c must be >= 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for MelopprParams {
+    /// Same as [`MelopprParams::paper_defaults`].
+    fn default() -> Self {
+        MelopprParams::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppr_params_validation() {
+        assert!(PprParams::new(0.85, 6, 200).is_ok());
+        assert!(PprParams::new(0.0, 6, 200).is_err());
+        assert!(PprParams::new(1.0, 6, 200).is_err());
+        assert!(PprParams::new(0.5, 0, 200).is_err());
+        assert!(PprParams::new(0.5, 6, 0).is_err());
+    }
+
+    #[test]
+    fn paper_defaults_match_evaluation_section() {
+        let p = PprParams::paper_defaults();
+        assert_eq!((p.length, p.k), (6, 200));
+        assert!(p.validate().is_ok());
+
+        let m = MelopprParams::paper_defaults();
+        assert_eq!(m.stages, vec![3, 3]);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn stage_sum_must_match_length() {
+        let ppr = PprParams::new(0.85, 6, 10).unwrap();
+        assert!(MelopprParams::two_stage(ppr, 3, 3, SelectionStrategy::All).is_ok());
+        assert!(MelopprParams::two_stage(ppr, 2, 3, SelectionStrategy::All).is_err());
+        assert!(MelopprParams::two_stage(ppr, 0, 6, SelectionStrategy::All).is_err());
+    }
+
+    #[test]
+    fn multi_stage_validation() {
+        let ppr = PprParams::new(0.85, 6, 10).unwrap();
+        let mut m = MelopprParams::paper_defaults();
+        m.ppr = ppr;
+        m.stages = vec![2, 2, 2];
+        assert!(m.validate().is_ok());
+        m.stages = vec![];
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let m = MelopprParams::paper_defaults()
+            .with_selection(SelectionStrategy::TopCount(5))
+            .with_residual_policy(ResidualPolicy::DropUnexpanded)
+            .with_table_factor(10);
+        assert_eq!(m.selection, SelectionStrategy::TopCount(5));
+        assert_eq!(m.residual_policy, ResidualPolicy::DropUnexpanded);
+        assert_eq!(m.table_factor, Some(10));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_table_factor_rejected() {
+        let m = MelopprParams::paper_defaults().with_table_factor(0);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn default_impls_agree_with_paper_defaults() {
+        assert_eq!(PprParams::default(), PprParams::paper_defaults());
+        assert_eq!(MelopprParams::default(), MelopprParams::paper_defaults());
+    }
+}

@@ -1,0 +1,222 @@
+//! Memory-budget stage planning — "adaptively breaks the large graph"
+//! (§IV-A).
+//!
+//! The paper fixes `L = 6 = 3 + 3` for its evaluation, but motivates
+//! MeLoPPR as *adaptive*: pick sub-graphs that "can entirely fit into the
+//! on-chip memory". This module makes that concrete: probe the ball growth
+//! around sample seeds, then choose the stage split of `L` whose largest
+//! per-stage ball fits a byte budget with as few stages as possible
+//! (fewer stages → fewer approximation points → better precision).
+//! The `ablation_stages` experiment quantifies the trade-off.
+
+use meloppr_graph::{ball_growth, BallSize, GraphView, NodeId};
+
+use crate::error::{PprError, Result};
+use crate::memory::cpu_task_memory;
+use crate::params::PprParams;
+
+/// A stage split chosen by [`plan_stages`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePlan {
+    /// The chosen stage lengths (sum = `L`).
+    pub stages: Vec<usize>,
+    /// Expected peak bytes of a single stage diffusion under the CPU
+    /// memory model, from the probed average ball sizes.
+    pub expected_peak_bytes: usize,
+    /// Whether the plan fits the requested budget ( [`plan_stages`] still
+    /// returns the minimal-peak plan when nothing fits).
+    pub fits_budget: bool,
+    /// Probed average ball size per depth `0..=L` (over the sample seeds).
+    pub probed_growth: Vec<BallSize>,
+}
+
+/// Probes ball growth from `sample_seeds` and picks the best stage split
+/// of `params.length` under `budget_bytes`.
+///
+/// Preference order: fits budget → fewest stages → largest first stage →
+/// lexicographically largest split (front-loading depth helps precision
+/// because stage-one output is exact).
+///
+/// # Errors
+///
+/// Returns [`PprError::InvalidParams`] if `sample_seeds` is empty, plus
+/// graph errors for out-of-bounds seeds.
+pub fn plan_stages<G: GraphView + ?Sized>(
+    g: &G,
+    params: &PprParams,
+    budget_bytes: usize,
+    sample_seeds: &[NodeId],
+) -> Result<StagePlan> {
+    params.validate()?;
+    if sample_seeds.is_empty() {
+        return Err(PprError::InvalidParams {
+            reason: "stage planning needs at least one sample seed".into(),
+        });
+    }
+    let depth = params.length as u32;
+    let mut sums: Vec<(usize, usize)> = vec![(0, 0); params.length + 1];
+    for &seed in sample_seeds {
+        let growth = ball_growth(g, seed, depth)?;
+        for (i, b) in growth.iter().enumerate() {
+            sums[i].0 += b.nodes;
+            sums[i].1 += b.edges;
+        }
+    }
+    let n = sample_seeds.len();
+    let probed_growth: Vec<BallSize> = sums
+        .iter()
+        .enumerate()
+        .map(|(d, &(nodes, edges))| BallSize {
+            depth: d as u32,
+            nodes: nodes / n,
+            edges: edges / n,
+        })
+        .collect();
+
+    let peak_of = |stages: &[usize]| -> usize {
+        stages
+            .iter()
+            .map(|&l| {
+                let b = probed_growth[l];
+                cpu_task_memory(b.nodes, b.edges).total()
+            })
+            .max()
+            .unwrap_or(0)
+    };
+
+    let mut best: Option<(Vec<usize>, usize, bool)> = None;
+    for split in compositions(params.length) {
+        let peak = peak_of(&split);
+        let fits = peak <= budget_bytes;
+        let better = match &best {
+            None => true,
+            Some((b_split, b_peak, b_fits)) => {
+                // Prefer fitting; then fewer stages; then larger first
+                // stage; then lexicographically larger split; when nothing
+                // fits, prefer the smallest peak.
+                match (fits, *b_fits) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => {
+                        (split.len(), std::cmp::Reverse(split.clone()))
+                            < (b_split.len(), std::cmp::Reverse(b_split.clone()))
+                    }
+                    (false, false) => peak < *b_peak,
+                }
+            }
+        };
+        if better {
+            best = Some((split, peak, fits));
+        }
+    }
+    let (stages, expected_peak_bytes, fits_budget) =
+        best.expect("length >= 1 has at least one composition");
+    Ok(StagePlan {
+        stages,
+        expected_peak_bytes,
+        fits_budget,
+        probed_growth,
+    })
+}
+
+/// All compositions (ordered integer partitions) of `n` into parts ≥ 1.
+/// `n = 6` has 32 compositions — trivially enumerable for realistic `L`.
+fn compositions(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    fn rec(remaining: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining == 0 {
+            out.push(current.clone());
+            return;
+        }
+        for part in 1..=remaining {
+            current.push(part);
+            rec(remaining - part, current, out);
+            current.pop();
+        }
+    }
+    rec(n, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meloppr_graph::generators;
+
+    #[test]
+    fn compositions_count_is_2_pow_n_minus_1() {
+        for n in 1..=7 {
+            assert_eq!(compositions(n).len(), 1 << (n - 1), "n = {n}");
+        }
+        assert!(compositions(0).is_empty());
+    }
+
+    #[test]
+    fn generous_budget_keeps_single_stage() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let plan = plan_stages(&g, &params, usize::MAX, &[0]).unwrap();
+        assert_eq!(plan.stages, vec![4]);
+        assert!(plan.fits_budget);
+    }
+
+    #[test]
+    fn tight_budget_splits_stages() {
+        let g = generators::corpus::PaperGraph::G3Pubmed
+            .generate_scaled(0.05, 4)
+            .unwrap();
+        let params = PprParams::new(0.85, 6, 20).unwrap();
+        // Budget chosen between the depth-3 ball and the depth-6 ball.
+        let generous = plan_stages(&g, &params, usize::MAX, &[10, 20, 30]).unwrap();
+        let depth6 = generous.expected_peak_bytes;
+        let plan = plan_stages(&g, &params, depth6 / 4, &[10, 20, 30]).unwrap();
+        assert!(plan.stages.len() >= 2, "plan = {:?}", plan.stages);
+        assert!(plan.expected_peak_bytes <= depth6 / 4 || !plan.fits_budget);
+        let total: usize = plan.stages.iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn impossible_budget_returns_minimal_peak() {
+        let g = generators::corpus::PaperGraph::G1Citeseer
+            .generate_scaled(0.1, 9)
+            .unwrap();
+        let params = PprParams::new(0.85, 6, 20).unwrap();
+        let plan = plan_stages(&g, &params, 1, &[5]).unwrap();
+        assert!(!plan.fits_budget);
+        // The minimal peak is the all-ones split (smallest balls).
+        assert_eq!(plan.stages, vec![1; 6]);
+    }
+
+    #[test]
+    fn front_loads_depth_on_ties() {
+        // On a path every split has identical tiny peaks, so the planner
+        // should pick the single-stage split.
+        let g = generators::path(64).unwrap();
+        let params = PprParams::new(0.85, 4, 3).unwrap();
+        let plan = plan_stages(&g, &params, usize::MAX, &[32]).unwrap();
+        assert_eq!(plan.stages, vec![4]);
+    }
+
+    #[test]
+    fn empty_seed_sample_rejected() {
+        let g = generators::path(4).unwrap();
+        let params = PprParams::new(0.85, 2, 2).unwrap();
+        assert!(plan_stages(&g, &params, 1000, &[]).is_err());
+    }
+
+    #[test]
+    fn probed_growth_is_monotone() {
+        let g = generators::grid(10, 10).unwrap();
+        let params = PprParams::new(0.85, 5, 5).unwrap();
+        let plan = plan_stages(&g, &params, usize::MAX, &[44, 55]).unwrap();
+        for w in plan.probed_growth.windows(2) {
+            assert!(w[1].nodes >= w[0].nodes);
+            assert!(w[1].edges >= w[0].edges);
+        }
+    }
+}

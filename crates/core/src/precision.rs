@@ -1,0 +1,107 @@
+//! The paper's precision metric `Prec(s, k)` (§II, Measurement).
+//!
+//! `Prec(s, k) = |{v : v ∈ T̂(s, k) ∧ v ∈ T(s, k)}| / k` — the fraction of
+//! the exact top-`k` set recovered by the approximation. One refinement for
+//! robustness on tiny graphs: when the exact ranking has fewer than `k`
+//! positive-score nodes, the denominator is the achievable maximum
+//! `min(k, |T|)` instead of `k`, so a perfect answer always scores 1.0.
+//! On the paper's workloads (`k = 200`, balls of thousands of nodes) the
+//! two definitions coincide.
+
+use crate::score_vec::Ranking;
+
+/// Precision of `approx` against the exact ranking, both truncated to
+/// their first `k` entries.
+///
+/// Returns a value in `[0, 1]`; an empty exact ranking yields 1.0 for an
+/// empty approximation and 0.0 otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::precision::precision_at_k;
+///
+/// let exact = vec![(1, 0.5), (2, 0.3), (3, 0.2)];
+/// let approx = vec![(1, 0.5), (3, 0.25), (9, 0.1)];
+/// assert!((precision_at_k(&approx, &exact, 3) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn precision_at_k(approx: &Ranking, exact: &Ranking, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let denom = k.min(exact.len());
+    if denom == 0 {
+        return if approx.is_empty() { 1.0 } else { 0.0 };
+    }
+    let truth: std::collections::HashSet<_> = exact.iter().take(k).map(|&(v, _)| v).collect();
+    let hits = approx
+        .iter()
+        .take(k)
+        .filter(|&&(v, _)| truth.contains(&v))
+        .count();
+    hits as f64 / denom as f64
+}
+
+/// Mean of a slice of precision values (ensemble averaging used by
+/// Fig. 6/7). Returns `None` for an empty slice.
+pub fn mean_precision(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_is_one() {
+        let exact = vec![(1, 0.5), (2, 0.3)];
+        assert_eq!(precision_at_k(&exact.clone(), &exact, 2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        let exact = vec![(1, 0.5), (2, 0.3)];
+        let approx = vec![(8, 0.5), (9, 0.3)];
+        assert_eq!(precision_at_k(&approx, &exact, 2), 0.0);
+    }
+
+    #[test]
+    fn order_within_top_k_does_not_matter() {
+        let exact = vec![(1, 0.5), (2, 0.3)];
+        let approx = vec![(2, 0.9), (1, 0.1)];
+        assert_eq!(precision_at_k(&approx, &exact, 2), 1.0);
+    }
+
+    #[test]
+    fn only_first_k_entries_count() {
+        let exact = vec![(1, 0.5), (2, 0.3), (3, 0.2)];
+        let approx = vec![(9, 1.0), (1, 0.5), (2, 0.4)];
+        // k = 2: truth {1, 2}, approx {9, 1} -> 1 hit / 2.
+        assert_eq!(precision_at_k(&approx, &exact, 2), 0.5);
+    }
+
+    #[test]
+    fn short_exact_ranking_uses_achievable_denominator() {
+        let exact = vec![(1, 0.5)];
+        let approx = vec![(1, 0.5), (2, 0.4), (3, 0.3)];
+        assert_eq!(precision_at_k(&approx, &exact, 3), 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(precision_at_k(&vec![], &vec![], 5), 1.0);
+        assert_eq!(precision_at_k(&vec![(1, 0.1)], &vec![], 5), 0.0);
+        assert_eq!(precision_at_k(&vec![], &vec![(1, 0.1)], 5), 0.0);
+        assert_eq!(precision_at_k(&vec![(1, 0.1)], &vec![(1, 0.1)], 0), 1.0);
+    }
+
+    #[test]
+    fn mean_precision_averages() {
+        assert_eq!(mean_precision(&[]), None);
+        assert_eq!(mean_precision(&[0.5, 1.0]), Some(0.75));
+    }
+}

@@ -1,0 +1,154 @@
+//! Score vectors and deterministic top-`k` extraction.
+//!
+//! PPR scores are probabilities, so every helper here assumes non-negative
+//! entries. Ranking ties are broken by ascending node id to make every
+//! result — and therefore every experiment — bit-for-bit reproducible.
+
+use meloppr_graph::NodeId;
+
+/// A ranked `(node, score)` list, highest score first.
+pub type Ranking = Vec<(NodeId, f64)>;
+
+/// Extracts the top-`k` entries of a dense score vector, sorted by
+/// descending score with ties broken by ascending node id. Zero-score
+/// entries are excluded, so the result may be shorter than `k`.
+///
+/// This is the paper's selection operator `R(S_L, k)` (Eq. 2).
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::score_vec::top_k_dense;
+///
+/// let scores = [0.1, 0.0, 0.5, 0.1];
+/// assert_eq!(top_k_dense(&scores, 2), vec![(2, 0.5), (0, 0.1)]);
+/// ```
+pub fn top_k_dense(scores: &[f64], k: usize) -> Ranking {
+    let entries = scores
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s > 0.0)
+        .map(|(i, &s)| (i as NodeId, s));
+    top_k_from_iter(entries, k)
+}
+
+/// Extracts the top-`k` of a sparse `(node, score)` list with the same
+/// ordering rules as [`top_k_dense`]. The input need not be sorted; nodes
+/// must be unique.
+pub fn top_k_sparse(scores: &[(NodeId, f64)], k: usize) -> Ranking {
+    top_k_from_iter(scores.iter().copied().filter(|&(_, s)| s > 0.0), k)
+}
+
+fn top_k_from_iter<I>(entries: I, k: usize) -> Ranking
+where
+    I: Iterator<Item = (NodeId, f64)>,
+{
+    let mut all: Vec<(NodeId, f64)> = entries.collect();
+    let cmp = |a: &(NodeId, f64), b: &(NodeId, f64)| {
+        b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+    };
+    if all.len() > k && k > 0 {
+        all.select_nth_unstable_by(k - 1, cmp);
+        all.truncate(k);
+    }
+    all.sort_unstable_by(cmp);
+    all.truncate(k);
+    all
+}
+
+/// The node set of a ranking (for precision computations).
+pub fn ranking_nodes(ranking: &Ranking) -> std::collections::HashSet<NodeId> {
+    ranking.iter().map(|&(v, _)| v).collect()
+}
+
+/// Sum of all entries of a dense score vector (mass-conservation checks).
+pub fn total_mass(scores: &[f64]) -> f64 {
+    scores.iter().sum()
+}
+
+/// Number of entries strictly greater than `threshold` — the sparsity
+/// measure behind Fig. 6's "less than 1 % of nodes have large scores".
+pub fn count_above(scores: &[f64], threshold: f64) -> usize {
+    scores.iter().filter(|&&s| s > threshold).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score_then_id() {
+        let scores = [0.3, 0.5, 0.3, 0.1];
+        let top = top_k_dense(&scores, 3);
+        assert_eq!(top, vec![(1, 0.5), (0, 0.3), (2, 0.3)]);
+    }
+
+    #[test]
+    fn top_k_excludes_zeros() {
+        let scores = [0.0, 0.2, 0.0];
+        let top = top_k_dense(&scores, 5);
+        assert_eq!(top, vec![(1, 0.2)]);
+    }
+
+    #[test]
+    fn top_k_zero_k_is_empty() {
+        let scores = [1.0, 2.0];
+        assert!(top_k_dense(&scores, 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_k_larger_than_input() {
+        let scores = [0.5, 0.25];
+        let top = top_k_dense(&scores, 10);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn top_k_sparse_matches_dense() {
+        let dense = [0.1, 0.0, 0.7, 0.2, 0.0, 0.7];
+        let sparse: Vec<(NodeId, f64)> = dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != 0.0)
+            .map(|(i, &s)| (i as NodeId, s))
+            .collect();
+        for k in 0..=6 {
+            assert_eq!(top_k_dense(&dense, k), top_k_sparse(&sparse, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_selection_boundary_is_deterministic() {
+        // Four tied scores, k = 2: the two smallest ids must win.
+        let scores = [0.4, 0.4, 0.4, 0.4];
+        let top = top_k_dense(&scores, 2);
+        assert_eq!(top, vec![(0, 0.4), (1, 0.4)]);
+    }
+
+    #[test]
+    fn ranking_nodes_collects_ids() {
+        let ranking = vec![(3, 0.5), (1, 0.2)];
+        let set = ranking_nodes(&ranking);
+        assert!(set.contains(&3) && set.contains(&1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn total_mass_and_count_above() {
+        let scores = [0.5, 0.25, 0.25];
+        assert!((total_mass(&scores) - 1.0).abs() < 1e-12);
+        assert_eq!(count_above(&scores, 0.3), 1);
+        assert_eq!(count_above(&scores, 0.0), 3);
+    }
+
+    #[test]
+    fn large_input_selection_is_correct() {
+        let scores: Vec<f64> = (0..10_000).map(|i| (i % 997) as f64 / 997.0).collect();
+        let top = top_k_dense(&scores, 10);
+        assert_eq!(top.len(), 10);
+        assert!(top.windows(2).all(|w| {
+            w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)
+        }));
+        assert!((top[0].1 - 996.0 / 997.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Next-stage node selection — the sparsity exploitation of §IV-D.
+//!
+//! After a stage diffusion, the residual vector `Sʳ` is extremely sparse:
+//! most of its mass sits on a handful of nodes (Fig. 6, bottom). MeLoPPR
+//! therefore expands only the most promising *next-stage nodes*, chosen in
+//! descending residual-score order. The strategies here control how many of
+//! the sorted candidates are expanded and thereby trade latency for
+//! precision (Fig. 6 top, Fig. 7).
+
+use meloppr_graph::NodeId;
+
+use crate::error::{PprError, Result};
+
+/// How many next-stage nodes to expand, applied to candidates sorted by
+/// descending residual score (ties broken by ascending node id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionStrategy {
+    /// Expand every node with non-zero residual: exact MeLoPPR (Eq. 8).
+    All,
+    /// Expand the top `ρ` fraction of the non-zero residual nodes
+    /// (`0 ≤ ρ ≤ 1`), rounding up so any `ρ > 0` expands at least one
+    /// node. Fig. 6 sweeps this knob from 0 % to 30 %.
+    TopFraction(f64),
+    /// Expand exactly the top `n` nodes (or all, if fewer exist).
+    TopCount(usize),
+    /// Expand every node whose residual score is at least `τ` times the
+    /// largest residual score (`0 < τ ≤ 1`).
+    RelativeThreshold(f64),
+}
+
+impl SelectionStrategy {
+    /// Validates the strategy's parameter domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] for fractions outside `[0, 1]`
+    /// or thresholds outside `(0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            SelectionStrategy::All | SelectionStrategy::TopCount(_) => Ok(()),
+            SelectionStrategy::TopFraction(f) => {
+                if (0.0..=1.0).contains(&f) {
+                    Ok(())
+                } else {
+                    Err(PprError::InvalidParams {
+                        reason: format!("selection fraction {f} outside [0, 1]"),
+                    })
+                }
+            }
+            SelectionStrategy::RelativeThreshold(t) => {
+                if t > 0.0 && t <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(PprError::InvalidParams {
+                        reason: format!("relative threshold {t} outside (0, 1]"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Sorts the candidates by descending score (ascending id on ties) and
+    /// truncates them according to the strategy. Zero-score candidates are
+    /// dropped first.
+    pub fn select(&self, mut candidates: Vec<(NodeId, f64)>) -> Vec<(NodeId, f64)> {
+        candidates.retain(|&(_, s)| s > 0.0);
+        candidates.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let keep = match *self {
+            SelectionStrategy::All => candidates.len(),
+            SelectionStrategy::TopFraction(f) => {
+                if f <= 0.0 {
+                    0
+                } else {
+                    ((candidates.len() as f64 * f).ceil() as usize).min(candidates.len())
+                }
+            }
+            SelectionStrategy::TopCount(n) => n.min(candidates.len()),
+            SelectionStrategy::RelativeThreshold(t) => {
+                let max = candidates.first().map_or(0.0, |&(_, s)| s);
+                let cut = max * t;
+                candidates.iter().take_while(|&&(_, s)| s >= cut).count()
+            }
+        };
+        candidates.truncate(keep);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<(NodeId, f64)> {
+        vec![(0, 0.1), (1, 0.4), (2, 0.0), (3, 0.2), (4, 0.3)]
+    }
+
+    #[test]
+    fn all_keeps_nonzero_sorted() {
+        let sel = SelectionStrategy::All.select(candidates());
+        assert_eq!(sel, vec![(1, 0.4), (4, 0.3), (3, 0.2), (0, 0.1)]);
+    }
+
+    #[test]
+    fn top_fraction_rounds_up() {
+        // 4 non-zero candidates, 30 % -> ceil(1.2) = 2.
+        let sel = SelectionStrategy::TopFraction(0.3).select(candidates());
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[0].0, 1);
+    }
+
+    #[test]
+    fn top_fraction_zero_selects_none() {
+        assert!(SelectionStrategy::TopFraction(0.0).select(candidates()).is_empty());
+    }
+
+    #[test]
+    fn top_fraction_tiny_selects_one() {
+        let sel = SelectionStrategy::TopFraction(1e-6).select(candidates());
+        assert_eq!(sel.len(), 1);
+    }
+
+    #[test]
+    fn top_count_caps_at_available() {
+        assert_eq!(SelectionStrategy::TopCount(2).select(candidates()).len(), 2);
+        assert_eq!(SelectionStrategy::TopCount(99).select(candidates()).len(), 4);
+        assert!(SelectionStrategy::TopCount(0).select(candidates()).is_empty());
+    }
+
+    #[test]
+    fn relative_threshold_filters() {
+        // max = 0.4; τ = 0.5 -> cut 0.2: keeps 0.4, 0.3, 0.2.
+        let sel = SelectionStrategy::RelativeThreshold(0.5).select(candidates());
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let sel = SelectionStrategy::TopCount(2).select(vec![(5, 0.3), (1, 0.3), (9, 0.3)]);
+        assert_eq!(sel, vec![(1, 0.3), (5, 0.3)]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SelectionStrategy::All.validate().is_ok());
+        assert!(SelectionStrategy::TopFraction(0.02).validate().is_ok());
+        assert!(SelectionStrategy::TopFraction(-0.1).validate().is_err());
+        assert!(SelectionStrategy::TopFraction(1.1).validate().is_err());
+        assert!(SelectionStrategy::RelativeThreshold(0.0).validate().is_err());
+        assert!(SelectionStrategy::RelativeThreshold(1.0).validate().is_ok());
+        assert!(SelectionStrategy::TopCount(0).validate().is_ok());
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert!(SelectionStrategy::All.select(vec![]).is_empty());
+        assert!(SelectionStrategy::TopFraction(0.5).select(vec![]).is_empty());
+    }
+}

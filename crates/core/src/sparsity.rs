@@ -1,0 +1,195 @@
+//! PPR-vector sparsity analysis (Fig. 6, bottom).
+//!
+//! The foundation of MeLoPPR's latency–precision trade-off is that after a
+//! stage diffusion "only less than 1 % of the total nodes inside `G_{l1}(s)`
+//! have relatively large PPR scores, while more than 90 % of the nodes have
+//! close-to-zero scores" (§IV-D). This module quantifies that claim: scores
+//! are normalized by the maximum and bucketed on a log10 scale, and summary
+//! fractions (`near-zero`, `large`) are reported.
+
+/// One bucket of a log-scale score histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogBucket {
+    /// Inclusive lower bound of `log10(score / max_score)` for this bucket.
+    pub log10_lo: f64,
+    /// Exclusive upper bound (the last bucket includes 0.0, i.e. the max).
+    pub log10_hi: f64,
+    /// Number of scores falling in the bucket.
+    pub count: usize,
+}
+
+/// Summary sparsity statistics of a non-negative score vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityStats {
+    /// Nodes with a strictly positive score.
+    pub nonzero: usize,
+    /// Fraction of *positive-score* nodes whose normalized score is below
+    /// `1e-3` (the paper's "close-to-zero", > 90 % in Fig. 6).
+    pub near_zero_fraction: f64,
+    /// Fraction of positive-score nodes whose normalized score is above
+    /// `1e-1` (the paper's "relatively large", < 1 % in Fig. 6).
+    pub large_fraction: f64,
+    /// The largest score (the normalization constant).
+    pub max_score: f64,
+}
+
+/// Normalized-score threshold under which a node counts as "close to
+/// zero".
+pub const NEAR_ZERO_THRESHOLD: f64 = 1e-3;
+
+/// Normalized-score threshold above which a node counts as "relatively
+/// large".
+pub const LARGE_THRESHOLD: f64 = 1e-1;
+
+/// Computes [`SparsityStats`] over a dense score vector. Zero entries are
+/// ignored (they are nodes the diffusion never touched).
+pub fn sparsity_stats(scores: &[f64]) -> SparsityStats {
+    let max_score = scores.iter().copied().fold(0.0f64, f64::max);
+    let mut nonzero = 0usize;
+    let mut near_zero = 0usize;
+    let mut large = 0usize;
+    if max_score > 0.0 {
+        for &s in scores {
+            if s <= 0.0 {
+                continue;
+            }
+            nonzero += 1;
+            let norm = s / max_score;
+            if norm < NEAR_ZERO_THRESHOLD {
+                near_zero += 1;
+            }
+            if norm > LARGE_THRESHOLD {
+                large += 1;
+            }
+        }
+    }
+    let denom = nonzero.max(1) as f64;
+    SparsityStats {
+        nonzero,
+        near_zero_fraction: near_zero as f64 / denom,
+        large_fraction: large as f64 / denom,
+        max_score,
+    }
+}
+
+/// Buckets positive scores by `log10(score / max)` into `buckets` bins
+/// spanning `[-range_decades, 0]`; scores below the range land in the first
+/// bucket.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0` or `range_decades <= 0.0`.
+pub fn log_histogram(scores: &[f64], buckets: usize, range_decades: f64) -> Vec<LogBucket> {
+    assert!(buckets > 0, "histogram needs at least one bucket");
+    assert!(range_decades > 0.0, "range must be positive");
+    let max_score = scores.iter().copied().fold(0.0f64, f64::max);
+    let width = range_decades / buckets as f64;
+    let mut out: Vec<LogBucket> = (0..buckets)
+        .map(|i| LogBucket {
+            log10_lo: -range_decades + i as f64 * width,
+            log10_hi: -range_decades + (i + 1) as f64 * width,
+            count: 0,
+        })
+        .collect();
+    if max_score <= 0.0 {
+        return out;
+    }
+    for &s in scores {
+        if s <= 0.0 {
+            continue;
+        }
+        let log = (s / max_score).log10();
+        let idx = if log <= -range_decades {
+            0
+        } else {
+            (((log + range_decades) / width) as usize).min(buckets - 1)
+        };
+        out[idx].count += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_peaked_vector() {
+        // One dominant score, many tiny ones: high near-zero fraction.
+        let mut scores = vec![1e-6; 99];
+        scores.push(1.0);
+        let s = sparsity_stats(&scores);
+        assert_eq!(s.nonzero, 100);
+        assert_eq!(s.max_score, 1.0);
+        assert!((s.near_zero_fraction - 0.99).abs() < 1e-12);
+        assert!((s.large_fraction - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_ignore_zero_entries() {
+        let scores = vec![0.0, 0.5, 0.0];
+        let s = sparsity_stats(&scores);
+        assert_eq!(s.nonzero, 1);
+        assert_eq!(s.large_fraction, 1.0);
+    }
+
+    #[test]
+    fn stats_on_all_zero() {
+        let s = sparsity_stats(&[0.0, 0.0]);
+        assert_eq!(s.nonzero, 0);
+        assert_eq!(s.max_score, 0.0);
+        assert_eq!(s.near_zero_fraction, 0.0);
+    }
+
+    #[test]
+    fn log_histogram_buckets_correctly() {
+        // Scores at 1, 0.1, 0.01 of max over 3 decades with 3 buckets.
+        let scores = vec![1.0, 0.1, 0.01];
+        let h = log_histogram(&scores, 3, 3.0);
+        // log10: 0 -> last bucket; -1 -> last bucket boundary... -1 falls in
+        // bucket [-1, 0); -2 in [-2, -1).
+        assert_eq!(h[2].count, 2); // 1.0 (log 0) clamps into last, 0.1 at -1
+        assert_eq!(h[1].count, 1); // 0.01 at -2
+        assert_eq!(h.iter().map(|b| b.count).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn log_histogram_underflow_goes_first_bucket() {
+        let scores = vec![1.0, 1e-9];
+        let h = log_histogram(&scores, 4, 4.0);
+        assert_eq!(h[0].count, 1);
+        assert_eq!(h[3].count, 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_range() {
+        let h = log_histogram(&[1.0], 5, 5.0);
+        assert_eq!(h[0].log10_lo, -5.0);
+        assert_eq!(h[4].log10_hi, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        let _ = log_histogram(&[1.0], 0, 3.0);
+    }
+
+    #[test]
+    fn real_diffusion_is_sparse() {
+        // The claim of §IV-D on a synthetic citation graph: diffusion from
+        // a seed leaves most touched nodes with near-zero normalized
+        // scores.
+        use crate::diffusion::{diffuse_from_seed, DiffusionConfig};
+        use meloppr_graph::generators::corpus::PaperGraph;
+        let g = PaperGraph::G1Citeseer.generate_scaled(0.3, 2).unwrap();
+        let out =
+            diffuse_from_seed(&g, 17, DiffusionConfig::new(0.85, 3).unwrap()).unwrap();
+        let s = sparsity_stats(&out.residual);
+        assert!(s.nonzero > 20, "ball too small for the claim: {}", s.nonzero);
+        assert!(
+            s.large_fraction < 0.25,
+            "large fraction unexpectedly high: {}",
+            s.large_fraction
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared test helpers (compiled only for `cfg(test)`).
+
+use crate::score_vec::Ranking;
+
+/// Asserts two rankings are equal up to floating-point noise.
+///
+/// Decomposed evaluation (Eq. 8) rounds differently from direct evaluation
+/// (Eq. 1), so nodes with *exactly tied* true scores may legally appear in
+/// either order — or, at the k-th boundary, be swapped for one another.
+/// This helper therefore checks:
+///
+/// 1. same length;
+/// 2. pairwise position scores agree within `tol` (the score *profile* is
+///    identical);
+/// 3. any node present in only one ranking is tied (within `tol`) with the
+///    other ranking's boundary score — i.e. only boundary ties differ.
+pub(crate) fn assert_ranking_equiv(a: &Ranking, b: &Ranking, tol: f64) {
+    assert_eq!(a.len(), b.len(), "ranking lengths differ: {a:?} vs {b:?}");
+    for (i, (&(_, sa), &(_, sb))) in a.iter().zip(b).enumerate() {
+        assert!(
+            (sa - sb).abs() <= tol,
+            "position {i}: score profile differs ({sa} vs {sb})"
+        );
+    }
+    let a_ids: std::collections::HashSet<_> = a.iter().map(|&(v, _)| v).collect();
+    let b_ids: std::collections::HashSet<_> = b.iter().map(|&(v, _)| v).collect();
+    let a_boundary = a.last().map_or(0.0, |&(_, s)| s);
+    let b_boundary = b.last().map_or(0.0, |&(_, s)| s);
+    for &(v, s) in a {
+        if !b_ids.contains(&v) {
+            assert!(
+                (s - b_boundary).abs() <= tol,
+                "node {v} (score {s}) only in first ranking and not a boundary tie"
+            );
+        }
+    }
+    for &(v, s) in b {
+        if !a_ids.contains(&v) {
+            assert!(
+                (s - a_boundary).abs() <= tol,
+                "node {v} (score {s}) only in second ranking and not a boundary tie"
+            );
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The diffusion accelerator: functional integer model + cycle-level
+//! timing model.
+//!
+//! [`FpgaAccelerator::run_diffusion`] executes one `GD(l)` on a sub-graph
+//! the way the hardware of Fig. 4 does:
+//!
+//! * **Functional model** — frontier-sparse integer diffusion in the
+//!   [`FixedPointFormat`] domain: per frontier node, one multiply-by-α
+//!   (shift–multiply) and one integer division by the walk degree; the
+//!   truncated shares propagate to neighbor residual banks while the
+//!   accumulator folds `(1-α)`-weighted terms into `πa` (Fig. 3(b)).
+//! * **Timing model** — per iteration, each PE's diffuser issues one
+//!   write per owned frontier node + one per outgoing arc;
+//!   [`simulate_bank_conflicts`](crate::scheduler::simulate_bank_conflicts)
+//!   arbitrates same-bank writes cycle by cycle. Ideal cycles count as
+//!   *diffusion*, stalls as *scheduling* (the Fig. 5 split).
+//!
+//! The functional result is bit-exact deterministic and independent of
+//! `P`; only the timing depends on the parallelism.
+
+use meloppr_graph::{GraphView, NodeId, Subgraph};
+
+use crate::error::{FpgaError, Result};
+use crate::fixed_point::{DegreeScale, FixedPointFormat};
+use crate::latency::CycleBreakdown;
+use crate::pe::PeArray;
+use crate::resource::ResourceModel;
+use crate::scheduler::simulate_bank_conflicts;
+
+/// Configuration of the accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Number of PEs `P` (the paper sweeps 1–16; uses 16 for Fig. 7).
+    pub parallelism: usize,
+    /// Clock frequency in MHz (the paper's KC705 design runs at 100 MHz).
+    pub clock_mhz: f64,
+    /// Words moved per cycle over the host streaming interface.
+    pub stream_words_per_cycle: usize,
+    /// Fixed-point shift amount `q` (paper: 10).
+    pub q: u32,
+    /// Policy for the fixed-point scale constant `d` (paper: half the
+    /// maximum degree).
+    pub degree_scale: DegreeScale,
+    /// Per-PE BRAM capacity in bytes (defaults to the KC705 resource
+    /// model's per-PE budget).
+    pub pe_capacity_bytes: usize,
+    /// Pipeline fill/drain cycles charged per diffusion iteration.
+    pub iteration_overhead_cycles: u64,
+}
+
+impl Default for AcceleratorConfig {
+    /// The paper's evaluation configuration: `P = 16`, 100 MHz, `q = 10`,
+    /// `d = max_degree / 2`.
+    fn default() -> Self {
+        AcceleratorConfig {
+            parallelism: 16,
+            clock_mhz: 100.0,
+            stream_words_per_cycle: 2,
+            q: 10,
+            degree_scale: DegreeScale::HalfMax,
+            pe_capacity_bytes: ResourceModel::kc705().pe_capacity_bytes(),
+            iteration_overhead_cycles: 4,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidConfig`] when any field is out of
+    /// domain.
+    pub fn validate(&self) -> Result<()> {
+        if self.parallelism == 0 {
+            return Err(FpgaError::InvalidConfig {
+                reason: "parallelism must be >= 1".into(),
+            });
+        }
+        if !self.clock_mhz.is_finite() || self.clock_mhz <= 0.0 {
+            return Err(FpgaError::InvalidConfig {
+                reason: format!("clock must be positive, got {} MHz", self.clock_mhz),
+            });
+        }
+        if self.stream_words_per_cycle == 0 {
+            return Err(FpgaError::InvalidConfig {
+                reason: "streaming interface must move >= 1 word per cycle".into(),
+            });
+        }
+        if self.pe_capacity_bytes == 0 {
+            return Err(FpgaError::InvalidConfig {
+                reason: "per-PE capacity must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of one accelerated diffusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FpgaDiffusionResult {
+    /// Accumulated integer scores `πa` per local node.
+    pub accumulated: Vec<u32>,
+    /// Residual integer scores per local node. Unlike the float kernel's
+    /// `W^l·S0`, these carry the `α^l` factor already (the hardware keeps
+    /// `α^k·W^k·S0` in the residual table), so a next-stage task's weight
+    /// is exactly `weighted(task_weight, residual[v])`.
+    pub residual: Vec<u32>,
+    /// Diffusion vs scheduling cycles (data movement is accounted by the
+    /// host).
+    pub cycles: CycleBreakdown,
+    /// Integer mass lost to truncation (division remainders and shift
+    /// round-down) — the source of the fixed-point precision loss.
+    pub truncation_loss: u64,
+}
+
+/// The diffusion accelerator (PE array + scheduler + accumulators).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaAccelerator {
+    config: AcceleratorConfig,
+}
+
+impl FpgaAccelerator {
+    /// Creates an accelerator after validating its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidConfig`] for invalid configurations.
+    pub fn new(config: AcceleratorConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(FpgaAccelerator { config })
+    }
+
+    /// The accelerator's configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Cycles to stream a sub-graph's table image
+    /// (`2·|V| + 2·|E|` words) onto the device.
+    pub fn stream_in_cycles(&self, sub: &Subgraph) -> u64 {
+        let words = 2 * sub.num_nodes() + sub.num_directed_edges();
+        (words as u64).div_ceil(self.config.stream_words_per_cycle as u64)
+    }
+
+    /// Cycles to stream `entries` `(node, score)` pairs back to the host.
+    pub fn stream_out_cycles(&self, entries: usize) -> u64 {
+        (2 * entries as u64).div_ceil(self.config.stream_words_per_cycle as u64)
+    }
+
+    /// Runs one integer diffusion of `iterations` steps from local seed 0
+    /// with initial score `init` (usually `fmt.max_value()`; the task
+    /// weight is applied at aggregation time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::CapacityExceeded`] if the sub-graph does not
+    /// fit the PE array's BRAM.
+    pub fn run_diffusion(
+        &self,
+        sub: &Subgraph,
+        init: u32,
+        iterations: usize,
+        fmt: &FixedPointFormat,
+    ) -> Result<FpgaDiffusionResult> {
+        let p = self.config.parallelism;
+        let array = PeArray::partition(sub, p);
+        let required = array.max_pe_bytes();
+        if required > self.config.pe_capacity_bytes {
+            return Err(FpgaError::CapacityExceeded {
+                required,
+                available: self.config.pe_capacity_bytes,
+            });
+        }
+
+        let n = sub.num_nodes();
+        let mut power = vec![0u32; n]; // α^k-scaled W^k S0
+        let mut next = vec![0u32; n];
+        let mut accumulated = vec![0u32; n];
+        let mut frontier: Vec<NodeId> = vec![sub.seed_local()];
+        power[sub.seed_local() as usize] = init;
+
+        let mut cycles = CycleBreakdown::default();
+        let mut truncation_loss: u64 = 0;
+        let mut next_frontier: Vec<NodeId> = Vec::new();
+
+        for _ in 0..iterations {
+            // Timing: the hardware scans every node of the sub-graph table
+            // each iteration (it keeps no frontier list) and issues writes
+            // only for nodes holding mass; arbitrate the resulting streams.
+            let streams = array.streams_for_scan(sub, |u| power[u as usize] > 0);
+            let sched = simulate_bank_conflicts(&streams, p);
+            cycles.diffusion += sched.ideal_cycles + self.config.iteration_overhead_cycles;
+            cycles.scheduling += sched.stall_cycles;
+
+            // Function: accumulate (1-α)-weighted term, then propagate the
+            // α-weighted shares.
+            for &u in &frontier {
+                let x = power[u as usize];
+                let one_minus = fmt.mul_one_minus_alpha(x);
+                accumulated[u as usize] = accumulated[u as usize].saturating_add(one_minus);
+                // Both shifts truncate, so x >= one_minus + alpha_part; the
+                // difference is the split's rounding loss (at most 2).
+                let alpha_part = fmt.mul_alpha(x);
+                truncation_loss += (x - one_minus - alpha_part) as u64;
+
+                let deg = sub.walk_degree(u);
+                if deg == 0 {
+                    if next[u as usize] == 0 && alpha_part > 0 {
+                        next_frontier.push(u);
+                    }
+                    next[u as usize] = next[u as usize].saturating_add(alpha_part);
+                    continue;
+                }
+                let share = alpha_part / deg;
+                let nbrs = sub.neighbors(u);
+                truncation_loss +=
+                    (alpha_part as u64).saturating_sub(share as u64 * nbrs.len() as u64);
+                if share == 0 {
+                    continue;
+                }
+                for &v in nbrs {
+                    if next[v as usize] == 0 {
+                        next_frontier.push(v);
+                    }
+                    next[v as usize] = next[v as usize].saturating_add(share);
+                }
+            }
+            for &u in &frontier {
+                power[u as usize] = 0;
+            }
+            std::mem::swap(&mut power, &mut next);
+            std::mem::swap(&mut frontier, &mut next_frontier);
+            next_frontier.clear();
+            // Dead frontier entries (share underflow) keep zero scores and
+            // simply produce no writes next iteration.
+        }
+
+        // Final term: πa += α^l·W^l·S0 (the residual table content).
+        for &u in &frontier {
+            accumulated[u as usize] =
+                accumulated[u as usize].saturating_add(power[u as usize]);
+        }
+
+        Ok(FpgaDiffusionResult {
+            accumulated,
+            residual: power,
+            cycles,
+            truncation_loss,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meloppr_core::diffusion::{diffuse_from_seed, DiffusionConfig};
+    use meloppr_graph::{bfs_ball, generators};
+
+    fn ball(depth: u32) -> Subgraph {
+        let g = generators::karate_club();
+        let b = bfs_ball(&g, 0, depth).unwrap();
+        Subgraph::extract(&g, &b).unwrap()
+    }
+
+    fn accel(p: usize) -> FpgaAccelerator {
+        FpgaAccelerator::new(AcceleratorConfig {
+            parallelism: p,
+            ..AcceleratorConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn integer_diffusion_tracks_float_kernel() {
+        let sub = ball(3);
+        let fmt = FixedPointFormat::new(16, 10_000, 0.85, 10).unwrap();
+        let hw = accel(4)
+            .run_diffusion(&sub, fmt.max_value(), 3, &fmt)
+            .unwrap();
+        // Compare against the float kernel run with the *effective* alpha
+        // (the αp/2^q approximation is part of the design, not an error).
+        let cfg = DiffusionConfig::new(fmt.effective_alpha(), 3).unwrap();
+        let float = diffuse_from_seed(&sub, sub.seed_local(), cfg).unwrap();
+        for u in 0..sub.num_nodes() {
+            let hw_p = fmt.dequantize(hw.accumulated[u]);
+            let delta = (hw_p - float.accumulated[u]).abs();
+            assert!(
+                delta < 0.01,
+                "node {u}: hw {hw_p} vs float {}",
+                float.accumulated[u]
+            );
+        }
+    }
+
+    #[test]
+    fn functional_result_independent_of_parallelism() {
+        let sub = ball(2);
+        let fmt = FixedPointFormat::new(16, 5_000, 0.85, 10).unwrap();
+        let base = accel(1)
+            .run_diffusion(&sub, fmt.max_value(), 2, &fmt)
+            .unwrap();
+        for p in [2, 4, 8, 16] {
+            let r = accel(p)
+                .run_diffusion(&sub, fmt.max_value(), 2, &fmt)
+                .unwrap();
+            assert_eq!(r.accumulated, base.accumulated, "P = {p}");
+            assert_eq!(r.residual, base.residual, "P = {p}");
+        }
+    }
+
+    #[test]
+    fn more_parallelism_fewer_diffusion_cycles() {
+        let sub = ball(3);
+        let fmt = FixedPointFormat::new(16, 10_000, 0.85, 10).unwrap();
+        let c1 = accel(1)
+            .run_diffusion(&sub, fmt.max_value(), 3, &fmt)
+            .unwrap()
+            .cycles;
+        let c8 = accel(8)
+            .run_diffusion(&sub, fmt.max_value(), 3, &fmt)
+            .unwrap()
+            .cycles;
+        assert!(
+            c8.total() < c1.total(),
+            "P=8 ({}) should beat P=1 ({})",
+            c8.total(),
+            c1.total()
+        );
+        // P=1 never stalls on conflicts.
+        assert_eq!(c1.scheduling, 0);
+        assert!(c8.scheduling > 0);
+    }
+
+    #[test]
+    fn integer_mass_is_conserved_up_to_truncation() {
+        let sub = ball(2);
+        let fmt = FixedPointFormat::new(16, 5_000, 0.85, 10).unwrap();
+        let r = accel(2)
+            .run_diffusion(&sub, fmt.max_value(), 2, &fmt)
+            .unwrap();
+        let acc_total: u64 = r.accumulated.iter().map(|&x| x as u64).sum();
+        assert!(acc_total <= fmt.max_value() as u64);
+        assert!(
+            acc_total + r.truncation_loss + 64 >= fmt.max_value() as u64,
+            "acc {acc_total} + loss {} far from Max {}",
+            r.truncation_loss,
+            fmt.max_value()
+        );
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let sub = ball(3);
+        let tiny = FpgaAccelerator::new(AcceleratorConfig {
+            parallelism: 1,
+            pe_capacity_bytes: 64,
+            ..AcceleratorConfig::default()
+        })
+        .unwrap();
+        let fmt = FixedPointFormat::new(16, 10_000, 0.85, 10).unwrap();
+        assert!(matches!(
+            tiny.run_diffusion(&sub, fmt.max_value(), 3, &fmt),
+            Err(FpgaError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_cycle_model() {
+        let sub = ball(2);
+        let a = accel(4);
+        let words = 2 * sub.num_nodes() + sub.num_directed_edges();
+        assert_eq!(a.stream_in_cycles(&sub), (words as u64).div_ceil(2));
+        assert_eq!(a.stream_out_cycles(200), 200);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(FpgaAccelerator::new(AcceleratorConfig {
+            parallelism: 0,
+            ..AcceleratorConfig::default()
+        })
+        .is_err());
+        assert!(FpgaAccelerator::new(AcceleratorConfig {
+            clock_mhz: 0.0,
+            ..AcceleratorConfig::default()
+        })
+        .is_err());
+        assert!(FpgaAccelerator::new(AcceleratorConfig {
+            stream_words_per_cycle: 0,
+            ..AcceleratorConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let sub = ball(1);
+        let fmt = FixedPointFormat::new(16, 1_000, 0.85, 10).unwrap();
+        let r = accel(2)
+            .run_diffusion(&sub, fmt.max_value(), 0, &fmt)
+            .unwrap();
+        assert_eq!(r.accumulated[0], fmt.max_value());
+        assert_eq!(r.residual[0], fmt.max_value());
+        assert_eq!(r.cycles.total(), 0);
+    }
+}

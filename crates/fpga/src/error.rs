@@ -1,0 +1,109 @@
+//! Error types for the accelerator simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the FPGA simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FpgaError {
+    /// A graph-substrate operation failed.
+    Graph(meloppr_graph::GraphError),
+    /// An algorithm-core operation failed.
+    Ppr(String),
+    /// Configuration failed validation (zero parallelism, zero clock, …).
+    InvalidConfig {
+        /// Why the configuration was rejected.
+        reason: String,
+    },
+    /// The fixed-point format cannot represent the requested graph
+    /// (`Max = d·|G_L(s)|` overflowing 32 bits, zero `d`, …).
+    FixedPointOverflow {
+        /// Human-readable description of the overflow.
+        reason: String,
+    },
+    /// A sub-graph exceeds the per-PE BRAM capacity of the device model.
+    CapacityExceeded {
+        /// Bytes the sub-graph needs.
+        required: usize,
+        /// Bytes one PE provides.
+        available: usize,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::Graph(e) => write!(f, "graph error: {e}"),
+            FpgaError::Ppr(msg) => write!(f, "ppr core error: {msg}"),
+            FpgaError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            FpgaError::FixedPointOverflow { reason } => {
+                write!(f, "fixed-point overflow: {reason}")
+            }
+            FpgaError::CapacityExceeded {
+                required,
+                available,
+            } => write!(
+                f,
+                "sub-graph needs {required} bytes but a PE provides {available}"
+            ),
+        }
+    }
+}
+
+impl Error for FpgaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FpgaError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<meloppr_graph::GraphError> for FpgaError {
+    fn from(err: meloppr_graph::GraphError) -> Self {
+        FpgaError::Graph(err)
+    }
+}
+
+impl From<meloppr_core::PprError> for FpgaError {
+    fn from(err: meloppr_core::PprError) -> Self {
+        match err {
+            meloppr_core::PprError::Graph(g) => FpgaError::Graph(g),
+            other => FpgaError::Ppr(other.to_string()),
+        }
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, FpgaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FpgaError::CapacityExceeded {
+            required: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn conversions() {
+        let g: FpgaError = meloppr_graph::GraphError::EmptyGraph.into();
+        assert!(matches!(g, FpgaError::Graph(_)));
+        let p: FpgaError =
+            meloppr_core::PprError::Graph(meloppr_graph::GraphError::EmptyGraph).into();
+        assert!(matches!(p, FpgaError::Graph(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<FpgaError>();
+    }
+}

@@ -1,0 +1,508 @@
+//! The hybrid CPU+FPGA platform: host orchestration of MeLoPPR queries
+//! (Fig. 4).
+//!
+//! The host CPU (the "PS" side) extracts sub-graphs with BFS, reorganizes
+//! them into table form, and streams them to the accelerator; the FPGA
+//! ("PL") runs the integer diffusions and keeps the bounded global score
+//! table on chip so scores never cross back per diffusion (§V-B). Only the
+//! selected next-stage node ids and, at the very end, the top-`k` result
+//! return to the host.
+//!
+//! [`HybridMeloppr`] mirrors `meloppr-core`'s engine task-for-task but in
+//! the fixed-point domain and with full latency accounting, producing the
+//! per-query [`LatencyBreakdown`] that Fig. 5 and Fig. 7 report.
+
+use std::collections::VecDeque;
+
+use meloppr_core::memory::fpga_bram_bytes;
+use meloppr_core::{MelopprParams, Ranking, ResidualPolicy};
+use meloppr_graph::{bfs_ball, GraphView, NodeId, Subgraph};
+
+use crate::accelerator::{AcceleratorConfig, FpgaAccelerator};
+use crate::error::Result;
+use crate::fixed_point::FixedPointFormat;
+use crate::latency::{CycleBreakdown, LatencyBreakdown};
+use crate::tables::IntGlobalTable;
+
+/// Cost model of the native host code driving the accelerator.
+///
+/// The defaults model a compiled host (the paper's PS-side C/C++ driver):
+/// tens of nanoseconds per adjacency entry scanned during BFS and per node
+/// reorganized into table form, plus a fixed per-query software overhead.
+/// These constants only scale the host component of the latency split;
+/// the experiment binaries print them alongside results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCostModel {
+    /// Nanoseconds per adjacency entry scanned by the extraction BFS.
+    pub ns_per_bfs_edge: f64,
+    /// Nanoseconds per ball node reorganized into the sub-graph table.
+    pub ns_per_extract_node: f64,
+    /// Fixed per-query overhead (driver calls, result assembly).
+    pub fixed_overhead_ns: f64,
+}
+
+impl Default for HostCostModel {
+    fn default() -> Self {
+        HostCostModel {
+            ns_per_bfs_edge: 12.0,
+            ns_per_extract_node: 40.0,
+            fixed_overhead_ns: 5_000.0,
+        }
+    }
+}
+
+/// Configuration of the hybrid platform.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HybridConfig {
+    /// The FPGA accelerator instance.
+    pub accel: AcceleratorConfig,
+    /// The host cost model.
+    pub host: HostCostModel,
+    /// When `true`, the streaming interface is double-buffered: the next
+    /// sub-graph's transfer overlaps the current diffusion, so only the
+    /// portion of each transfer exceeding the previous task's compute
+    /// shows up as exposed data-movement latency. Functionally invisible;
+    /// timing-only.
+    pub double_buffered: bool,
+}
+
+/// Work/memory statistics of one hybrid query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Total diffusions executed.
+    pub diffusions: usize,
+    /// Diffusions per stage.
+    pub stage_diffusions: Vec<usize>,
+    /// Next-stage nodes expanded in total.
+    pub expanded_total: usize,
+    /// Largest ball (nodes) diffused.
+    pub max_ball_nodes: usize,
+    /// Largest ball (edges) diffused.
+    pub max_ball_edges: usize,
+    /// Peak BRAM bytes: largest sub-graph's tables + the global table.
+    pub bram_peak_bytes: usize,
+    /// Evictions/rejections in the bounded global table.
+    pub table_evictions: usize,
+    /// Total integer mass lost to fixed-point truncation.
+    pub truncation_loss: u64,
+    /// Total FPGA cycles, by category.
+    pub cycles: CycleBreakdown,
+}
+
+/// Result of one hybrid CPU+FPGA query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridOutcome {
+    /// Top-`k` in raw integer scores.
+    pub ranking_int: Vec<(NodeId, u32)>,
+    /// Top-`k` dequantized to probability estimates (comparable to the
+    /// float engines).
+    pub ranking: Ranking,
+    /// End-to-end latency split.
+    pub latency: LatencyBreakdown,
+    /// Work/memory statistics.
+    pub stats: HybridStats,
+}
+
+/// The hybrid-platform MeLoPPR engine.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::MelopprParams;
+/// use meloppr_fpga::{HybridConfig, HybridMeloppr};
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_fpga::FpgaError> {
+/// let g = generators::karate_club();
+/// let mut params = MelopprParams::paper_defaults();
+/// params.ppr.k = 5;
+/// let engine = HybridMeloppr::new(&g, params, HybridConfig::default())?;
+/// let outcome = engine.query(0)?;
+/// assert_eq!(outcome.ranking.len(), 5);
+/// assert!(outcome.latency.total_ns() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HybridMeloppr<'g, G: GraphView + ?Sized> {
+    graph: &'g G,
+    params: MelopprParams,
+    config: HybridConfig,
+    accel: FpgaAccelerator,
+    format: FixedPointFormat,
+    table_capacity: usize,
+}
+
+struct IntTask {
+    node: NodeId,
+    weight: u32,
+    stage: usize,
+}
+
+impl<'g, G: GraphView + ?Sized> HybridMeloppr<'g, G> {
+    /// Creates a hybrid engine: validates parameters/configuration and
+    /// derives the per-graph fixed-point format (§V-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration, parameter or fixed-point errors.
+    pub fn new(graph: &'g G, params: MelopprParams, config: HybridConfig) -> Result<Self> {
+        params.validate()?;
+        let accel = FpgaAccelerator::new(config.accel)?;
+        let format = FixedPointFormat::for_graph(
+            graph,
+            params.ppr.alpha,
+            config.accel.q,
+            config.accel.degree_scale,
+        )?;
+        // The FPGA global table is always bounded; default to the paper's
+        // c = 10 when the parameters don't pin it.
+        let table_capacity = params.table_factor.unwrap_or(10) * params.ppr.k;
+        Ok(HybridMeloppr {
+            graph,
+            params,
+            config,
+            accel,
+            format,
+            table_capacity,
+        })
+    }
+
+    /// The fixed-point format the engine derived for its graph.
+    pub fn format(&self) -> &FixedPointFormat {
+        &self.format
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &MelopprParams {
+        &self.params
+    }
+
+    /// Runs one query from `seed` on the hybrid platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns graph errors for bad seeds and
+    /// [`FpgaError::CapacityExceeded`](crate::FpgaError::CapacityExceeded)
+    /// if a sub-graph overflows the PE array.
+    pub fn query(&self, seed: NodeId) -> Result<HybridOutcome> {
+        let p = &self.params;
+        let fmt = &self.format;
+        let mut table = IntGlobalTable::new(self.table_capacity);
+        let mut cycles = CycleBreakdown::default();
+        let mut host_ns = self.config.host.fixed_overhead_ns;
+        let mut truncation_loss = 0u64;
+        let mut stage_diffusions = vec![0usize; p.stages.len()];
+        let mut expanded_total = 0usize;
+        let mut max_ball = (0usize, 0usize);
+
+        let mut queue: VecDeque<IntTask> = VecDeque::new();
+        queue.push_back(IntTask {
+            node: seed,
+            weight: fmt.max_value(),
+            stage: 0,
+        });
+        // Compute cycles of the previous task, used to hide transfers when
+        // the streaming interface is double-buffered.
+        let mut prev_compute: u64 = 0;
+
+        while let Some(task) = queue.pop_front() {
+            let l = p.stages[task.stage];
+            let last_stage = task.stage + 1 == p.stages.len();
+
+            // Host: BFS extraction + reorganization.
+            let ball = bfs_ball(self.graph, task.node, l as u32)?;
+            let sub = Subgraph::extract(self.graph, &ball)?;
+            host_ns += ball.edges_scanned as f64 * self.config.host.ns_per_bfs_edge
+                + ball.num_nodes() as f64 * self.config.host.ns_per_extract_node;
+
+            // Stream the sub-graph table in (overlapped with the previous
+            // task's compute when double-buffered).
+            let stream_in = self.accel.stream_in_cycles(&sub);
+            cycles.data_movement += if self.config.double_buffered {
+                stream_in.saturating_sub(prev_compute)
+            } else {
+                stream_in
+            };
+
+            // FPGA: integer diffusion.
+            let result = self
+                .accel
+                .run_diffusion(&sub, fmt.max_value(), l, fmt)?;
+            cycles.diffusion += result.cycles.diffusion;
+            cycles.scheduling += result.cycles.scheduling;
+            truncation_loss += result.truncation_loss;
+            prev_compute = result.cycles.diffusion + result.cycles.scheduling;
+
+            // Selection (on the α^l-scaled integer residuals).
+            let mut expanded: Vec<(NodeId, u32)> = Vec::new();
+            if !last_stage {
+                let candidates: Vec<(NodeId, f64)> = result
+                    .residual
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &r)| r > 0)
+                    .map(|(local, &r)| (local as NodeId, r as f64))
+                    .collect();
+                expanded = p
+                    .selection
+                    .select(candidates)
+                    .into_iter()
+                    .map(|(local, r)| (local, r as u32))
+                    .collect();
+            }
+
+            // Localized aggregation (Eq. 8 in the integer domain).
+            let mut contribution = result.accumulated.clone();
+            match p.residual_policy {
+                ResidualPolicy::KeepUnexpanded => {
+                    for &(local, r) in &expanded {
+                        contribution[local as usize] =
+                            contribution[local as usize].saturating_sub(r);
+                    }
+                }
+                ResidualPolicy::DropUnexpanded => {
+                    if !last_stage {
+                        for (local, c) in contribution.iter_mut().enumerate() {
+                            *c = c.saturating_sub(result.residual[local]);
+                        }
+                    }
+                }
+                ResidualPolicy::ScaledKeep => {
+                    if !last_stage {
+                        // Unexpanded keep the (1 - α)-scaled residual: the
+                        // hardware subtracts the α-weighted share via the
+                        // shift-multiply datapath.
+                        for (local, c) in contribution.iter_mut().enumerate() {
+                            *c = c.saturating_sub(fmt.mul_alpha(result.residual[local]));
+                        }
+                        for &(local, r) in &expanded {
+                            contribution[local as usize] = contribution[local as usize]
+                                .saturating_sub(fmt.mul_one_minus_alpha(r));
+                        }
+                    }
+                }
+            }
+            for (local, &score) in contribution.iter().enumerate() {
+                if score > 0 {
+                    let weighted = fmt.weighted(task.weight, score);
+                    if weighted > 0 {
+                        table.add(sub.to_global(local as NodeId), weighted);
+                    }
+                }
+            }
+
+            // Next-stage node ids stream back to the host for BFS.
+            if !expanded.is_empty() {
+                cycles.data_movement += self.accel.stream_out_cycles(expanded.len());
+            }
+            for &(local, r) in &expanded {
+                let weight = fmt.weighted(task.weight, r);
+                if weight == 0 {
+                    continue; // underflow: the walk's mass is below 1 ulp
+                }
+                queue.push_back(IntTask {
+                    node: sub.to_global(local),
+                    weight,
+                    stage: task.stage + 1,
+                });
+            }
+
+            stage_diffusions[task.stage] += 1;
+            expanded_total += expanded.len();
+            let bn = ball.num_nodes();
+            let be = sub.num_edges();
+            if fpga_bram_bytes(bn, be) > fpga_bram_bytes(max_ball.0, max_ball.1) {
+                max_ball = (bn, be);
+            }
+        }
+
+        // Final top-k readback.
+        cycles.data_movement += self.accel.stream_out_cycles(p.ppr.k);
+
+        let ranking_int = table.ranking(p.ppr.k);
+        let ranking: Ranking = ranking_int
+            .iter()
+            .map(|&(v, s)| (v, fmt.dequantize(s)))
+            .collect();
+        let latency =
+            LatencyBreakdown::from_cycles(cycles, self.config.accel.clock_mhz, host_ns);
+        Ok(HybridOutcome {
+            ranking_int,
+            ranking,
+            latency,
+            stats: HybridStats {
+                diffusions: stage_diffusions.iter().sum(),
+                stage_diffusions,
+                expanded_total,
+                max_ball_nodes: max_ball.0,
+                max_ball_edges: max_ball.1,
+                bram_peak_bytes: fpga_bram_bytes(max_ball.0, max_ball.1) + table.bytes(),
+                table_evictions: table.evictions(),
+                truncation_loss,
+                cycles,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meloppr_core::{
+        exact_top_k, precision::precision_at_k, MelopprParams, PprParams, SelectionStrategy,
+    };
+    use meloppr_graph::generators;
+
+    fn small_params(k: usize) -> MelopprParams {
+        MelopprParams {
+            ppr: PprParams::new(0.85, 4, k).unwrap(),
+            stages: vec![2, 2],
+            selection: SelectionStrategy::All,
+            ..MelopprParams::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_exact_topk_closely() {
+        let g = generators::karate_club();
+        let engine = HybridMeloppr::new(&g, small_params(8), HybridConfig::default()).unwrap();
+        let outcome = engine.query(0).unwrap();
+        let exact = exact_top_k(&g, 0, &engine.params().ppr).unwrap();
+        let prec = precision_at_k(&outcome.ranking, &exact, 8);
+        assert!(prec >= 0.75, "integer-domain precision too low: {prec}");
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_parallelism() {
+        let g = generators::corpus::PaperGraph::G1Citeseer
+            .generate_scaled(0.15, 4)
+            .unwrap();
+        let mut params = small_params(20);
+        params.selection = SelectionStrategy::TopFraction(0.1);
+        let mk = |p: usize| {
+            let config = HybridConfig {
+                accel: AcceleratorConfig {
+                    parallelism: p,
+                    ..AcceleratorConfig::default()
+                },
+                ..HybridConfig::default()
+            };
+            HybridMeloppr::new(&g, params.clone(), config)
+                .unwrap()
+                .query(9)
+                .unwrap()
+        };
+        let a = mk(4);
+        let b = mk(4);
+        assert_eq!(a, b);
+        // Different parallelism: same functional answer, different timing.
+        // (On these tiny balls conflicts can eat the parallelism gain, but
+        // ideal diffusion cycles never increase when P grows by an integer
+        // factor: each P=16 PE owns a subset of some P=4 PE's nodes.)
+        let c = mk(16);
+        assert_eq!(a.ranking_int, c.ranking_int);
+        assert!(c.stats.cycles.diffusion <= a.stats.cycles.diffusion);
+    }
+
+    #[test]
+    fn latency_components_populated() {
+        let g = generators::karate_club();
+        let engine = HybridMeloppr::new(&g, small_params(5), HybridConfig::default()).unwrap();
+        let outcome = engine.query(0).unwrap();
+        let lat = &outcome.latency;
+        assert!(lat.host_bfs_ns > 0.0);
+        assert!(lat.diffusion_ns > 0.0);
+        assert!(lat.data_movement_ns > 0.0);
+        assert!(lat.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn bounded_table_capacity_respected() {
+        let g = generators::corpus::PaperGraph::G2Cora
+            .generate_scaled(0.2, 8)
+            .unwrap();
+        let mut params = small_params(10);
+        params.ppr.length = 6;
+        params.stages = vec![3, 3];
+        params.selection = SelectionStrategy::TopFraction(0.3);
+        params.table_factor = Some(1);
+        let engine = HybridMeloppr::new(&g, params, HybridConfig::default()).unwrap();
+        let outcome = engine.query(3).unwrap();
+        assert!(outcome.stats.table_evictions > 0);
+        assert!(outcome.ranking_int.len() <= 10);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = generators::karate_club();
+        let mut params = small_params(5);
+        params.selection = SelectionStrategy::TopCount(2);
+        let engine = HybridMeloppr::new(&g, params, HybridConfig::default()).unwrap();
+        let outcome = engine.query(0).unwrap();
+        assert_eq!(outcome.stats.diffusions, 3);
+        assert_eq!(outcome.stats.stage_diffusions, vec![1, 2]);
+        assert_eq!(outcome.stats.expanded_total, 2);
+        assert!(outcome.stats.bram_peak_bytes > 0);
+        assert!(outcome.stats.max_ball_nodes > 0);
+    }
+
+    #[test]
+    fn dequantized_scores_are_probabilities() {
+        let g = generators::karate_club();
+        let engine = HybridMeloppr::new(&g, small_params(10), HybridConfig::default()).unwrap();
+        let outcome = engine.query(0).unwrap();
+        for &(_, s) in &outcome.ranking {
+            assert!((0.0..=1.0).contains(&s), "score {s} not a probability");
+        }
+        // Seed keeps the largest mass.
+        assert_eq!(outcome.ranking[0].0, 0);
+    }
+
+    #[test]
+    fn invalid_seed_rejected() {
+        let g = generators::path(5).unwrap();
+        let engine = HybridMeloppr::new(&g, small_params(3), HybridConfig::default()).unwrap();
+        assert!(engine.query(99).is_err());
+    }
+}
+
+#[cfg(test)]
+mod double_buffer_tests {
+    use super::*;
+    use meloppr_core::{MelopprParams, PprParams, SelectionStrategy};
+    use meloppr_graph::generators::corpus::PaperGraph;
+
+    #[test]
+    fn double_buffering_hides_transfers_without_changing_results() {
+        let g = PaperGraph::G1Citeseer.generate_scaled(0.2, 11).unwrap();
+        let params = MelopprParams {
+            ppr: PprParams::new(0.85, 6, 20).unwrap(),
+            stages: vec![3, 3],
+            selection: SelectionStrategy::TopFraction(0.1),
+            ..MelopprParams::paper_defaults()
+        };
+        let run = |db: bool| {
+            let config = HybridConfig {
+                double_buffered: db,
+                ..HybridConfig::default()
+            };
+            HybridMeloppr::new(&g, params.clone(), config)
+                .unwrap()
+                .query(4)
+                .unwrap()
+        };
+        let plain = run(false);
+        let buffered = run(true);
+        assert_eq!(plain.ranking_int, buffered.ranking_int);
+        assert_eq!(plain.stats.truncation_loss, buffered.stats.truncation_loss);
+        assert!(
+            buffered.stats.cycles.data_movement < plain.stats.cycles.data_movement,
+            "double buffering should hide transfer cycles: {} vs {}",
+            buffered.stats.cycles.data_movement,
+            plain.stats.cycles.data_movement
+        );
+        assert_eq!(plain.stats.cycles.diffusion, buffered.stats.cycles.diffusion);
+        assert!(buffered.latency.total_ns() < plain.latency.total_ns());
+    }
+}

@@ -1,0 +1,179 @@
+//! Cycle and wall-clock latency accounting (Fig. 5 / Fig. 7 breakdowns).
+
+use std::ops::{Add, AddAssign};
+
+/// FPGA-side cycle counts of one or more diffusions, split the way Fig. 5
+/// reports them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBreakdown {
+    /// Ideal pipelined diffusion cycles (every PE streaming one edge per
+    /// cycle, no conflicts).
+    pub diffusion: u64,
+    /// Stall cycles introduced by the scheduler resolving same-bank write
+    /// conflicts between diffusers.
+    pub scheduling: u64,
+    /// Cycles spent streaming sub-graphs in and results/next-stage nodes
+    /// out over the host interface.
+    pub data_movement: u64,
+}
+
+impl CycleBreakdown {
+    /// Total FPGA cycles.
+    pub fn total(&self) -> u64 {
+        self.diffusion + self.scheduling + self.data_movement
+    }
+}
+
+impl Add for CycleBreakdown {
+    type Output = CycleBreakdown;
+
+    fn add(self, rhs: CycleBreakdown) -> CycleBreakdown {
+        CycleBreakdown {
+            diffusion: self.diffusion + rhs.diffusion,
+            scheduling: self.scheduling + rhs.scheduling,
+            data_movement: self.data_movement + rhs.data_movement,
+        }
+    }
+}
+
+impl AddAssign for CycleBreakdown {
+    fn add_assign(&mut self, rhs: CycleBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// Converts FPGA cycles at `clock_mhz` into nanoseconds.
+pub fn cycles_to_ns(cycles: u64, clock_mhz: f64) -> f64 {
+    cycles as f64 * 1000.0 / clock_mhz
+}
+
+/// End-to-end latency of a hybrid CPU+FPGA query in nanoseconds, split
+/// into the four components of Fig. 5 / Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Host-side BFS extraction and sub-graph reorganization.
+    pub host_bfs_ns: f64,
+    /// FPGA diffusion (ideal pipelined work).
+    pub diffusion_ns: f64,
+    /// FPGA scheduling stalls.
+    pub scheduling_ns: f64,
+    /// CPU↔FPGA data movement.
+    pub data_movement_ns: f64,
+}
+
+impl LatencyBreakdown {
+    /// Builds the wall-clock breakdown from FPGA cycles plus host time.
+    pub fn from_cycles(cycles: CycleBreakdown, clock_mhz: f64, host_bfs_ns: f64) -> Self {
+        LatencyBreakdown {
+            host_bfs_ns,
+            diffusion_ns: cycles_to_ns(cycles.diffusion, clock_mhz),
+            scheduling_ns: cycles_to_ns(cycles.scheduling, clock_mhz),
+            data_movement_ns: cycles_to_ns(cycles.data_movement, clock_mhz),
+        }
+    }
+
+    /// Total latency in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.host_bfs_ns + self.diffusion_ns + self.scheduling_ns + self.data_movement_ns
+    }
+
+    /// Total latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns() / 1e6
+    }
+
+    /// Fraction of the total spent in host BFS (the light-blue bars of
+    /// Fig. 7).
+    pub fn bfs_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.host_bfs_ns / total
+        }
+    }
+
+    /// Fraction of the total spent in scheduler stalls.
+    pub fn scheduling_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.scheduling_ns / total
+        }
+    }
+}
+
+impl Add for LatencyBreakdown {
+    type Output = LatencyBreakdown;
+
+    fn add(self, rhs: LatencyBreakdown) -> LatencyBreakdown {
+        LatencyBreakdown {
+            host_bfs_ns: self.host_bfs_ns + rhs.host_bfs_ns,
+            diffusion_ns: self.diffusion_ns + rhs.diffusion_ns,
+            scheduling_ns: self.scheduling_ns + rhs.scheduling_ns,
+            data_movement_ns: self.data_movement_ns + rhs.data_movement_ns,
+        }
+    }
+}
+
+impl AddAssign for LatencyBreakdown {
+    fn add_assign(&mut self, rhs: LatencyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_totals_and_addition() {
+        let a = CycleBreakdown {
+            diffusion: 100,
+            scheduling: 20,
+            data_movement: 30,
+        };
+        let b = CycleBreakdown {
+            diffusion: 1,
+            scheduling: 2,
+            data_movement: 3,
+        };
+        assert_eq!(a.total(), 150);
+        assert_eq!((a + b).total(), 156);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn cycles_convert_at_100mhz() {
+        // 100 MHz -> 10 ns per cycle.
+        assert!((cycles_to_ns(1, 100.0) - 10.0).abs() < 1e-12);
+        assert!((cycles_to_ns(1_000_000, 100.0) - 1e7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_from_cycles() {
+        let cycles = CycleBreakdown {
+            diffusion: 1000,
+            scheduling: 500,
+            data_movement: 250,
+        };
+        let lat = LatencyBreakdown::from_cycles(cycles, 100.0, 2500.0);
+        assert!((lat.diffusion_ns - 10_000.0).abs() < 1e-9);
+        assert!((lat.scheduling_ns - 5_000.0).abs() < 1e-9);
+        assert!((lat.data_movement_ns - 2_500.0).abs() < 1e-9);
+        assert!((lat.total_ns() - 20_000.0).abs() < 1e-9);
+        assert!((lat.total_ms() - 0.02).abs() < 1e-12);
+        assert!((lat.bfs_fraction() - 0.125).abs() < 1e-12);
+        assert!((lat.scheduling_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_fractions_are_zero() {
+        let lat = LatencyBreakdown::default();
+        assert_eq!(lat.bfs_fraction(), 0.0);
+        assert_eq!(lat.scheduling_fraction(), 0.0);
+    }
+}

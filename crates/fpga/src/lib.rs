@@ -1,0 +1,76 @@
+//! # MeLoPPR FPGA — cycle-approximate accelerator simulator
+//!
+//! A from-scratch simulator of the CPU+FPGA co-design of *"MeLoPPR:
+//! Software/Hardware Co-design for Memory-efficient Low-latency
+//! Personalized PageRank"* (DAC 2021, §V): since the paper's Kintex-7
+//! KC705 board is not required hardware for this reproduction, the
+//! accelerator is modelled structurally — functional fixed-point datapaths
+//! plus a cycle-level timing model — so every number the paper's
+//! evaluation reports (latency breakdowns, BRAM bytes, resource
+//! utilization) can be regenerated.
+//!
+//! ## Components (mirroring Fig. 4)
+//!
+//! * [`FixedPointFormat`] — the 32-bit integer score domain
+//!   (`Max = d·|G_L(s)|`, `α ≈ αp/2^q`) of §V-A;
+//! * [`tables`] — sub-graph / accumulated / residual score tables with the
+//!   paper's exact BRAM byte accounting, plus the bounded on-chip global
+//!   score table of §V-B;
+//! * [`pe`] — the PE array partitioning and per-iteration write streams;
+//! * [`scheduler`] — exact cycle-by-cycle arbitration of same-bank write
+//!   conflicts (the "FPGA-Scheduling" bars of Fig. 5);
+//! * [`FpgaAccelerator`] — one diffusion: functional integer model +
+//!   timing model;
+//! * [`HybridMeloppr`] — the full host+device query loop with end-to-end
+//!   [`LatencyBreakdown`]s;
+//! * [`ResourceModel`] — KC705 LUT/BRAM estimates vs parallelism
+//!   (Table I).
+//!
+//! ## Example
+//!
+//! ```
+//! use meloppr_core::MelopprParams;
+//! use meloppr_fpga::{AcceleratorConfig, HybridConfig, HybridMeloppr};
+//! use meloppr_graph::generators;
+//!
+//! # fn main() -> Result<(), meloppr_fpga::FpgaError> {
+//! let g = generators::karate_club();
+//! let mut params = MelopprParams::paper_defaults();
+//! params.ppr.k = 5;
+//!
+//! // P = 8 at 100 MHz.
+//! let config = HybridConfig {
+//!     accel: AcceleratorConfig { parallelism: 8, ..AcceleratorConfig::default() },
+//!     ..HybridConfig::default()
+//! };
+//! let engine = HybridMeloppr::new(&g, params, config)?;
+//! let outcome = engine.query(0)?;
+//! println!(
+//!     "top-{} in {:.3} ms ({}% scheduling)",
+//!     outcome.ranking.len(),
+//!     outcome.latency.total_ms(),
+//!     (outcome.latency.scheduling_fraction() * 100.0) as u32
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accelerator;
+mod error;
+mod fixed_point;
+mod host;
+mod latency;
+pub mod pe;
+mod resource;
+pub mod scheduler;
+pub mod tables;
+
+pub use accelerator::{AcceleratorConfig, FpgaAccelerator, FpgaDiffusionResult};
+pub use error::{FpgaError, Result};
+pub use fixed_point::{DegreeScale, FixedPointFormat};
+pub use host::{HostCostModel, HybridConfig, HybridMeloppr, HybridOutcome, HybridStats};
+pub use latency::{cycles_to_ns, CycleBreakdown, LatencyBreakdown};
+pub use resource::{ResourceModel, ResourceUtilization, BRAM36_BYTES};

@@ -1,0 +1,201 @@
+//! Processing-element array: node partitioning and write-stream
+//! generation.
+//!
+//! The accelerator instantiates `P` PEs (Fig. 4). Sub-graph nodes are
+//! interleaved across PEs (`owner = local_id mod P`): each PE's sub-graph
+//! table holds the adjacency of its own nodes, and each PE's score banks
+//! hold its own nodes' `πa`/`πr` entries. A diffuser walks its *own*
+//! nodes' edges but writes to the score bank of each *neighbor's* owner —
+//! the cross-PE traffic the scheduler must arbitrate.
+
+use meloppr_graph::{GraphView, NodeId, Subgraph};
+
+use crate::tables::WORD_BYTES;
+
+/// Which PE owns a local node id under interleaved partitioning.
+pub fn owner(node: NodeId, parallelism: usize) -> usize {
+    debug_assert!(parallelism > 0);
+    node as usize % parallelism
+}
+
+/// Static partition of one sub-graph across `P` PEs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeArray {
+    parallelism: usize,
+    /// Per-PE owned node count.
+    nodes_per_pe: Vec<usize>,
+    /// Per-PE directed adjacency entries (edges its diffuser issues).
+    arcs_per_pe: Vec<usize>,
+}
+
+impl PeArray {
+    /// Partitions `sub` across `parallelism` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism == 0`.
+    pub fn partition(sub: &Subgraph, parallelism: usize) -> Self {
+        assert!(parallelism > 0, "parallelism must be positive");
+        let mut nodes_per_pe = vec![0usize; parallelism];
+        let mut arcs_per_pe = vec![0usize; parallelism];
+        for u in 0..sub.num_nodes() as NodeId {
+            let pe = owner(u, parallelism);
+            nodes_per_pe[pe] += 1;
+            arcs_per_pe[pe] += sub.neighbors(u).len();
+        }
+        PeArray {
+            parallelism,
+            nodes_per_pe,
+            arcs_per_pe,
+        }
+    }
+
+    /// Number of PEs.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Nodes owned by PE `pe`.
+    pub fn nodes(&self, pe: usize) -> usize {
+        self.nodes_per_pe[pe]
+    }
+
+    /// Directed adjacency entries issued by PE `pe`'s diffuser.
+    pub fn arcs(&self, pe: usize) -> usize {
+        self.arcs_per_pe[pe]
+    }
+
+    /// BRAM bytes resident in PE `pe`: its slice of the sub-graph table
+    /// (`2` address words per node + its arcs) plus its slice of the score
+    /// tables (`2 + 1` words per node), mirroring the paper's formula at
+    /// per-PE granularity.
+    pub fn pe_bytes(&self, pe: usize) -> usize {
+        let v = self.nodes_per_pe[pe];
+        let arcs = self.arcs_per_pe[pe];
+        (2 * v + arcs + 2 * v + v) * WORD_BYTES
+    }
+
+    /// The largest per-PE BRAM requirement (what must fit the device's
+    /// per-PE capacity).
+    pub fn max_pe_bytes(&self) -> usize {
+        (0..self.parallelism).map(|p| self.pe_bytes(p)).max().unwrap_or(0)
+    }
+
+    /// Builds per-PE write streams for one iteration: for every frontier
+    /// node (in order), its owner PE first issues one own-bank bookkeeping
+    /// write (degree fetch + accumulator update), then one residual write
+    /// per neighbor targeting the neighbor's owner bank.
+    pub fn streams_for_frontier(&self, sub: &Subgraph, frontier: &[NodeId]) -> Vec<Vec<u32>> {
+        let mut streams: Vec<Vec<u32>> = vec![Vec::new(); self.parallelism];
+        for &u in frontier {
+            let pe = owner(u, self.parallelism);
+            streams[pe].push(pe as u32);
+            for &v in sub.neighbors(u) {
+                streams[pe].push(owner(v, self.parallelism) as u32);
+            }
+        }
+        streams
+    }
+
+    /// Builds per-PE streams for one *hardware* iteration: each diffuser
+    /// scans its whole slice of the sub-graph table (one own-bank cycle
+    /// per owned node — the hardware has no frontier list), and issues one
+    /// cross-bank residual write per outgoing arc of every node whose
+    /// current score is non-zero (`active`).
+    pub fn streams_for_scan<F>(&self, sub: &Subgraph, active: F) -> Vec<Vec<u32>>
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let mut streams: Vec<Vec<u32>> = vec![Vec::new(); self.parallelism];
+        for u in 0..sub.num_nodes() as NodeId {
+            let pe = owner(u, self.parallelism);
+            streams[pe].push(pe as u32);
+            if active(u) {
+                for &v in sub.neighbors(u) {
+                    streams[pe].push(owner(v, self.parallelism) as u32);
+                }
+            }
+        }
+        streams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meloppr_core::memory::fpga_bram_bytes;
+    use meloppr_graph::{bfs_ball, generators};
+
+    fn sample() -> Subgraph {
+        let g = generators::karate_club();
+        let ball = bfs_ball(&g, 0, 2).unwrap();
+        Subgraph::extract(&g, &ball).unwrap()
+    }
+
+    #[test]
+    fn owner_interleaves() {
+        assert_eq!(owner(0, 4), 0);
+        assert_eq!(owner(5, 4), 1);
+        assert_eq!(owner(7, 4), 3);
+        assert_eq!(owner(9, 1), 0);
+    }
+
+    #[test]
+    fn partition_conserves_nodes_and_arcs() {
+        let sub = sample();
+        for p in [1, 2, 4, 8] {
+            let array = PeArray::partition(&sub, p);
+            let nodes: usize = (0..p).map(|i| array.nodes(i)).sum();
+            let arcs: usize = (0..p).map(|i| array.arcs(i)).sum();
+            assert_eq!(nodes, sub.num_nodes());
+            assert_eq!(arcs, sub.num_directed_edges());
+        }
+    }
+
+    #[test]
+    fn pe_bytes_sum_to_paper_formula() {
+        let sub = sample();
+        for p in [1, 3, 5] {
+            let array = PeArray::partition(&sub, p);
+            let total: usize = (0..p).map(|i| array.pe_bytes(i)).sum();
+            assert_eq!(total, fpga_bram_bytes(sub.num_nodes(), sub.num_edges()), "P = {p}");
+        }
+    }
+
+    #[test]
+    fn single_pe_holds_everything() {
+        let sub = sample();
+        let array = PeArray::partition(&sub, 1);
+        assert_eq!(array.max_pe_bytes(), fpga_bram_bytes(sub.num_nodes(), sub.num_edges()));
+    }
+
+    #[test]
+    fn streams_cover_frontier_work() {
+        let sub = sample();
+        let array = PeArray::partition(&sub, 4);
+        let frontier: Vec<NodeId> = (0..sub.num_nodes() as NodeId).collect();
+        let streams = array.streams_for_frontier(&sub, &frontier);
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        // One bookkeeping write per node + one write per arc.
+        assert_eq!(total, sub.num_nodes() + sub.num_directed_edges());
+        for (pe, s) in streams.iter().enumerate() {
+            for &bank in s {
+                assert!((bank as usize) < 4, "PE {pe} targets bad bank {bank}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_frontier_empty_streams() {
+        let sub = sample();
+        let array = PeArray::partition(&sub, 2);
+        let streams = array.streams_for_frontier(&sub, &[]);
+        assert!(streams.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be positive")]
+    fn zero_parallelism_panics() {
+        let _ = PeArray::partition(&sample(), 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! On-chip table models: sub-graph, score and global tables (Fig. 4).
+//!
+//! Each PE owns three BRAM-backed tables:
+//!
+//! * a **sub-graph table** — per-node `(first, last)` neighbor addresses
+//!   plus the packed neighbor list (`2·|V| + 2·|E|` words);
+//! * an **accumulated score table** (`πa`, 2 words/node — id + score);
+//! * a **residual score table** (`πr`, 1 word/node).
+//!
+//! Their byte accounting reproduces the paper's §VI-B formula
+//! `BRAM_bytes = 4·(2|V| + 2|E| + 2|V| + |V|)`, which
+//! [`meloppr_core::memory::fpga_bram_bytes`] encodes and the tests here
+//! cross-check against the structural sizes.
+//!
+//! The **global score table** keeps the running top-`c·k` integer scores on
+//! chip so nothing is transferred to the host between diffusions (§V-B).
+
+use std::collections::{BTreeSet, HashMap};
+
+use meloppr_graph::{GraphView, NodeId, Subgraph};
+
+/// Bytes per table word (§V-A: 32-bit integers everywhere).
+pub const WORD_BYTES: usize = 4;
+
+/// The packed adjacency of one sub-graph as stored in PE BRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubgraphTable {
+    first_last: Vec<(u32, u32)>,
+    neighbors: Vec<NodeId>,
+}
+
+impl SubgraphTable {
+    /// Packs a [`Subgraph`] (local ids) into table form.
+    pub fn from_subgraph(sub: &Subgraph) -> Self {
+        let n = sub.num_nodes();
+        let mut first_last = Vec::with_capacity(n);
+        let mut neighbors = Vec::with_capacity(sub.num_directed_edges());
+        for u in 0..n as NodeId {
+            let first = neighbors.len() as u32;
+            neighbors.extend_from_slice(sub.neighbors(u));
+            first_last.push((first, neighbors.len() as u32));
+        }
+        SubgraphTable {
+            first_last,
+            neighbors,
+        }
+    }
+
+    /// Number of nodes stored.
+    pub fn num_nodes(&self) -> usize {
+        self.first_last.len()
+    }
+
+    /// Neighbor list of local node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let (first, last) = self.first_last[u as usize];
+        &self.neighbors[first as usize..last as usize]
+    }
+
+    /// BRAM bytes: `(2·|V| + 2·|E|)` 4-byte words — the paper's `Bg`.
+    pub fn bytes(&self) -> usize {
+        (2 * self.first_last.len() + self.neighbors.len()) * WORD_BYTES
+    }
+}
+
+/// The accumulated score table `πa` (2 words per node: id + score).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccScoreTable {
+    scores: Vec<u32>,
+}
+
+impl AccScoreTable {
+    /// A zeroed table for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        AccScoreTable {
+            scores: vec![0; n],
+        }
+    }
+
+    /// Current score of local node `u`.
+    pub fn get(&self, u: NodeId) -> u32 {
+        self.scores[u as usize]
+    }
+
+    /// Adds to a node's score, saturating at `u32::MAX`.
+    pub fn accumulate(&mut self, u: NodeId, delta: u32) {
+        let s = &mut self.scores[u as usize];
+        *s = s.saturating_add(delta);
+    }
+
+    /// Borrow all scores (local-id indexed).
+    pub fn scores(&self) -> &[u32] {
+        &self.scores
+    }
+
+    /// BRAM bytes: `2·|V|` words — the paper's `Ba`.
+    pub fn bytes(&self) -> usize {
+        2 * self.scores.len() * WORD_BYTES
+    }
+}
+
+/// The residual score table `πr` (1 word per node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResScoreTable {
+    scores: Vec<u32>,
+}
+
+impl ResScoreTable {
+    /// A zeroed table for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ResScoreTable {
+            scores: vec![0; n],
+        }
+    }
+
+    /// Current residual of local node `u`.
+    pub fn get(&self, u: NodeId) -> u32 {
+        self.scores[u as usize]
+    }
+
+    /// Sets a node's residual.
+    pub fn set(&mut self, u: NodeId, value: u32) {
+        self.scores[u as usize] = value;
+    }
+
+    /// Adds to a node's residual, saturating.
+    pub fn accumulate(&mut self, u: NodeId, delta: u32) {
+        let s = &mut self.scores[u as usize];
+        *s = s.saturating_add(delta);
+    }
+
+    /// Borrow all residuals (local-id indexed).
+    pub fn scores(&self) -> &[u32] {
+        &self.scores
+    }
+
+    /// Resets every entry to zero (between iterations).
+    pub fn clear(&mut self) {
+        self.scores.fill(0);
+    }
+
+    /// BRAM bytes: `|V|` words — the paper's `Br`.
+    pub fn bytes(&self) -> usize {
+        self.scores.len() * WORD_BYTES
+    }
+}
+
+/// The on-chip bounded global score table (integer flavour of
+/// [`meloppr_core::GlobalScoreTable`], §V-B).
+///
+/// Holds at most `capacity = c·k` `(node, score)` entries; a new node
+/// competes with the resident minimum. Ties keep the incumbent, matching
+/// the "replace only if strictly larger" comparator a hardware min-tracker
+/// implements.
+#[derive(Debug, Clone, Default)]
+pub struct IntGlobalTable {
+    capacity: usize,
+    scores: HashMap<NodeId, u32>,
+    index: BTreeSet<(u32, NodeId)>,
+    evictions: usize,
+}
+
+impl IntGlobalTable {
+    /// A table of the given capacity (`c·k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "global table capacity must be positive");
+        IntGlobalTable {
+            capacity,
+            ..IntGlobalTable::default()
+        }
+    }
+
+    /// Accumulates `delta` onto `node`, inserting or evicting as needed.
+    pub fn add(&mut self, node: NodeId, delta: u32) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(&old) = self.scores.get(&node) {
+            self.index.remove(&(old, node));
+            let new = old.saturating_add(delta);
+            self.scores.insert(node, new);
+            self.index.insert((new, node));
+            return;
+        }
+        if self.scores.len() >= self.capacity {
+            let &(min_score, min_node) = self.index.iter().next().expect("non-empty at cap");
+            if delta <= min_score {
+                self.evictions += 1;
+                return;
+            }
+            self.index.remove(&(min_score, min_node));
+            self.scores.remove(&min_node);
+            self.evictions += 1;
+        }
+        self.scores.insert(node, delta);
+        self.index.insert((delta, node));
+    }
+
+    /// Current score of a resident node.
+    pub fn get(&self, node: NodeId) -> Option<u32> {
+        self.scores.get(&node).copied()
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Evictions/rejections so far.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// The top-`k` entries, ordered by descending score then ascending
+    /// node id.
+    pub fn ranking(&self, k: usize) -> Vec<(NodeId, u32)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(NodeId, u32)> = Vec::with_capacity(k);
+        let mut boundary: Option<u32> = None;
+        for &(score, node) in self.index.iter().rev() {
+            if out.len() >= k && boundary != Some(score) {
+                break;
+            }
+            out.push((node, score));
+            if out.len() == k {
+                boundary = Some(score);
+            }
+        }
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// BRAM bytes: 2 words per entry at full capacity.
+    pub fn bytes(&self) -> usize {
+        self.capacity * 2 * WORD_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meloppr_core::memory::fpga_bram_bytes;
+    use meloppr_graph::{bfs_ball, generators};
+
+    fn sample_subgraph() -> Subgraph {
+        let g = generators::karate_club();
+        let ball = bfs_ball(&g, 0, 2).unwrap();
+        Subgraph::extract(&g, &ball).unwrap()
+    }
+
+    #[test]
+    fn subgraph_table_preserves_adjacency() {
+        let sub = sample_subgraph();
+        let table = SubgraphTable::from_subgraph(&sub);
+        assert_eq!(table.num_nodes(), sub.num_nodes());
+        for u in 0..sub.num_nodes() as NodeId {
+            assert_eq!(table.neighbors(u), sub.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn per_pe_tables_reproduce_paper_bram_formula() {
+        let sub = sample_subgraph();
+        let (v, e) = (sub.num_nodes(), sub.num_edges());
+        let table = SubgraphTable::from_subgraph(&sub);
+        let acc = AccScoreTable::new(v);
+        let res = ResScoreTable::new(v);
+        let structural = table.bytes() + acc.bytes() + res.bytes();
+        assert_eq!(structural, fpga_bram_bytes(v, e));
+    }
+
+    #[test]
+    fn acc_table_accumulates_and_saturates() {
+        let mut acc = AccScoreTable::new(3);
+        acc.accumulate(1, 10);
+        acc.accumulate(1, 5);
+        assert_eq!(acc.get(1), 15);
+        acc.accumulate(2, u32::MAX);
+        acc.accumulate(2, 1);
+        assert_eq!(acc.get(2), u32::MAX);
+    }
+
+    #[test]
+    fn res_table_set_clear() {
+        let mut res = ResScoreTable::new(2);
+        res.set(0, 7);
+        res.accumulate(0, 3);
+        assert_eq!(res.get(0), 10);
+        res.clear();
+        assert_eq!(res.scores(), &[0, 0]);
+    }
+
+    #[test]
+    fn global_table_eviction_semantics() {
+        let mut t = IntGlobalTable::new(2);
+        t.add(1, 50);
+        t.add(2, 30);
+        t.add(3, 40); // evicts 2
+        assert_eq!(t.get(2), None);
+        t.add(4, 39); // rejected (min is 40)
+        assert_eq!(t.get(4), None);
+        assert_eq!(t.evictions(), 2);
+        assert_eq!(t.ranking(2), vec![(1, 50), (3, 40)]);
+    }
+
+    #[test]
+    fn global_table_tie_keeps_incumbent() {
+        let mut t = IntGlobalTable::new(1);
+        t.add(1, 10);
+        t.add(2, 10); // tie: incumbent stays
+        assert_eq!(t.get(1), Some(10));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn global_table_ranking_tie_order() {
+        let mut t = IntGlobalTable::new(10);
+        t.add(9, 5);
+        t.add(3, 5);
+        t.add(7, 8);
+        assert_eq!(t.ranking(3), vec![(7, 8), (3, 5), (9, 5)]);
+    }
+
+    #[test]
+    fn global_table_bytes() {
+        let t = IntGlobalTable::new(2000);
+        assert_eq!(t.bytes(), 16_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = IntGlobalTable::new(0);
+    }
+}

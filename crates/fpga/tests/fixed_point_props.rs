@@ -1,0 +1,132 @@
+//! Property-based tests of the fixed-point datapath against the float
+//! kernel.
+
+use proptest::prelude::*;
+
+use meloppr_core::diffusion::{diffuse_from_seed, DiffusionConfig};
+use meloppr_fpga::{AcceleratorConfig, FixedPointFormat, FpgaAccelerator};
+use meloppr_graph::{bfs_ball, generators, GraphView, NodeId, Subgraph};
+
+fn arb_ball() -> impl Strategy<Value = Subgraph> {
+    (8usize..80, any::<u64>(), 1u32..4).prop_map(|(n, seed, depth)| {
+        let g = generators::locality_preferential(n, n + n / 2, 0.5, n / 3 + 2, seed)
+            .expect("generator");
+        let ball = bfs_ball(&g, 0, depth).expect("ball");
+        Subgraph::extract(&g, &ball).expect("extract")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mul_alpha_never_exceeds_true_product(x in any::<u32>(), q in 1u32..15) {
+        let fmt = FixedPointFormat::new(1, 100, 0.85, q).unwrap();
+        let hw = fmt.mul_alpha(x) as f64;
+        let exact = x as f64 * fmt.effective_alpha();
+        prop_assert!(hw <= exact + 1e-9);
+        prop_assert!(hw >= exact - 1.0); // truncation loses < 1 unit
+    }
+
+    #[test]
+    fn split_is_conservative(x in any::<u32>(), q in 1u32..15) {
+        let fmt = FixedPointFormat::new(1, 100, 0.85, q).unwrap();
+        let sum = fmt.mul_alpha(x) as u64 + fmt.mul_one_minus_alpha(x) as u64;
+        prop_assert!(sum <= x as u64);
+        prop_assert!(x as u64 - sum <= 2);
+    }
+
+    #[test]
+    fn integer_diffusion_tracks_float(sub in arb_ball(), iters in 1usize..4) {
+        let iters = iters.min(sub.num_nodes());
+        let fmt = FixedPointFormat::new(64, 10_000, 0.85, 10).unwrap();
+        let accel = FpgaAccelerator::new(AcceleratorConfig {
+            parallelism: 4,
+            ..AcceleratorConfig::default()
+        })
+        .unwrap();
+        let hw = accel
+            .run_diffusion(&sub, fmt.max_value(), iters, &fmt)
+            .unwrap();
+        let float = diffuse_from_seed(
+            &sub,
+            sub.seed_local(),
+            DiffusionConfig::new(fmt.effective_alpha(), iters).unwrap(),
+        )
+        .unwrap();
+        for u in 0..sub.num_nodes() {
+            let hw_p = fmt.dequantize(hw.accumulated[u]);
+            prop_assert!(
+                (hw_p - float.accumulated[u]).abs() < 0.02,
+                "node {u}: {hw_p} vs {}",
+                float.accumulated[u]
+            );
+        }
+        // Truncation only loses mass, never creates it.
+        let total: u64 = hw.accumulated.iter().map(|&x| x as u64).sum();
+        prop_assert!(total <= fmt.max_value() as u64);
+    }
+
+    #[test]
+    fn timing_is_deterministic_and_monotone_in_work(sub in arb_ball()) {
+        let fmt = FixedPointFormat::new(64, 10_000, 0.85, 10).unwrap();
+        let accel = FpgaAccelerator::new(AcceleratorConfig {
+            parallelism: 2,
+            ..AcceleratorConfig::default()
+        })
+        .unwrap();
+        let one = accel.run_diffusion(&sub, fmt.max_value(), 1, &fmt).unwrap();
+        let one_again = accel.run_diffusion(&sub, fmt.max_value(), 1, &fmt).unwrap();
+        prop_assert_eq!(&one, &one_again);
+        let two = accel.run_diffusion(&sub, fmt.max_value(), 2, &fmt).unwrap();
+        prop_assert!(two.cycles.total() >= one.cycles.total());
+    }
+
+    #[test]
+    fn functional_result_parallelism_invariant(sub in arb_ball()) {
+        let fmt = FixedPointFormat::new(64, 10_000, 0.85, 10).unwrap();
+        let run = |p: usize| {
+            FpgaAccelerator::new(AcceleratorConfig {
+                parallelism: p,
+                ..AcceleratorConfig::default()
+            })
+            .unwrap()
+            .run_diffusion(&sub, fmt.max_value(), 2, &fmt)
+            .unwrap()
+        };
+        let base = run(1);
+        for p in [3usize, 8] {
+            let r = run(p);
+            prop_assert_eq!(&r.accumulated, &base.accumulated);
+            prop_assert_eq!(&r.residual, &base.residual);
+        }
+    }
+}
+
+#[test]
+fn pe_scan_streams_cover_whole_table() {
+    use meloppr_fpga::pe::PeArray;
+    let g = generators::karate_club();
+    let ball = bfs_ball(&g, 0, 2).unwrap();
+    let sub = Subgraph::extract(&g, &ball).unwrap();
+    let array = PeArray::partition(&sub, 4);
+    // No active node: still one scan cycle per owned node.
+    let streams = array.streams_for_scan(&sub, |_| false);
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    assert_eq!(total, sub.num_nodes());
+    // All active: adds one write per arc.
+    let streams = array.streams_for_scan(&sub, |_| true);
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    assert_eq!(
+        total,
+        sub.num_nodes() + sub.num_directed_edges()
+    );
+    // Activity restricted to even local ids.
+    let streams = array.streams_for_scan(&sub, |u| u % 2 == 0);
+    let arcs_even: usize = (0..sub.num_nodes() as NodeId)
+        .filter(|&u| u % 2 == 0)
+        .map(|u| sub.neighbors(u).len())
+        .sum();
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    assert_eq!(total, sub.num_nodes() + arcs_even);
+}

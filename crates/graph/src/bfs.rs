@@ -1,0 +1,320 @@
+//! Depth-limited breadth-first search and ball profiling.
+//!
+//! MeLoPPR extracts the depth-`l` BFS ball `G_l(v)` around a node before
+//! every diffusion stage (§IV-A). The ball — not the full graph — is what
+//! gets loaded into on-chip memory, so ball sizes drive both the memory
+//! model (Table II) and the host-side BFS latency (light-blue bars of
+//! Fig. 7). [`bfs_ball`] returns the visited node set together with the
+//! exact amount of adjacency-scanning work performed, which the cost models
+//! consume.
+
+use std::collections::VecDeque;
+
+use crate::fast_hash::FastHashMap;
+
+use crate::error::{GraphError, Result};
+use crate::view::GraphView;
+use crate::NodeId;
+
+/// The result of a depth-limited BFS from a seed node.
+///
+/// `nodes[0]` is always the seed; nodes appear in BFS (non-decreasing
+/// distance) order, with `dist[i]` the hop distance of `nodes[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsBall {
+    /// The node the search started from.
+    pub seed: NodeId,
+    /// The depth limit the search was run with.
+    pub depth: u32,
+    /// Visited nodes in BFS order (seed first).
+    pub nodes: Vec<NodeId>,
+    /// Hop distance from the seed, parallel to `nodes`.
+    pub dist: Vec<u32>,
+    /// Total adjacency entries scanned while expanding nodes at distance
+    /// `< depth`. This is the unit of work charged by the host BFS cost
+    /// model.
+    pub edges_scanned: usize,
+}
+
+impl BfsBall {
+    /// Number of nodes in the ball.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes at exactly the depth limit (the unexpanded frontier).
+    pub fn frontier(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .zip(&self.dist)
+            .filter(move |(_, &d)| d == self.depth)
+            .map(|(&v, _)| v)
+    }
+}
+
+/// Runs a BFS from `seed`, visiting every node within `depth` hops.
+///
+/// Nodes at distance exactly `depth` are recorded but not expanded, so
+/// [`BfsBall::edges_scanned`] counts only the adjacency entries of interior
+/// nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if `seed` is not a node of `g`.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_graph::{bfs_ball, generators};
+///
+/// # fn main() -> Result<(), meloppr_graph::GraphError> {
+/// let g = generators::path(10)?;
+/// let ball = bfs_ball(&g, 0, 3)?;
+/// assert_eq!(ball.nodes, vec![0, 1, 2, 3]);
+/// assert_eq!(ball.dist, vec![0, 1, 2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bfs_ball<G: GraphView + ?Sized>(g: &G, seed: NodeId, depth: u32) -> Result<BfsBall> {
+    if seed as usize >= g.num_nodes() {
+        return Err(GraphError::NodeOutOfBounds {
+            node: seed,
+            num_nodes: g.num_nodes(),
+        });
+    }
+    let mut nodes = vec![seed];
+    let mut dist = vec![0u32];
+    let mut seen: FastHashMap<NodeId, u32> = FastHashMap::default();
+    seen.insert(seed, 0);
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    queue.push_back((seed, 0));
+    let mut edges_scanned = 0usize;
+
+    while let Some((u, d)) = queue.pop_front() {
+        if d == depth {
+            continue;
+        }
+        let nbrs = g.neighbors(u);
+        edges_scanned += nbrs.len();
+        for &v in nbrs {
+            if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(v) {
+                slot.insert(d + 1);
+                nodes.push(v);
+                dist.push(d + 1);
+                queue.push_back((v, d + 1));
+            }
+        }
+    }
+    Ok(BfsBall {
+        seed,
+        depth,
+        nodes,
+        dist,
+        edges_scanned,
+    })
+}
+
+/// Full-graph BFS distances from `seed` (`u32::MAX` for unreachable nodes).
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if `seed` is not a node of `g`.
+pub fn bfs_distances<G: GraphView + ?Sized>(g: &G, seed: NodeId) -> Result<Vec<u32>> {
+    if seed as usize >= g.num_nodes() {
+        return Err(GraphError::NodeOutOfBounds {
+            node: seed,
+            num_nodes: g.num_nodes(),
+        });
+    }
+    let mut dist = vec![u32::MAX; g.num_nodes()];
+    dist[seed as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(seed);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = d + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Size of the ball around `seed` at every depth `0..=max_depth`.
+///
+/// Entry `i` reports `(nodes, undirected_edges)` of the induced ball of
+/// depth `i`. Used by the memory-budget planner to choose stage splits and
+/// by documentation examples to illustrate exponential ball growth.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if `seed` is not a node of `g`.
+pub fn ball_growth<G: GraphView + ?Sized>(
+    g: &G,
+    seed: NodeId,
+    max_depth: u32,
+) -> Result<Vec<BallSize>> {
+    let ball = bfs_ball(g, seed, max_depth)?;
+    let mut dist_of: FastHashMap<NodeId, u32> =
+        FastHashMap::with_capacity_and_hasher(ball.nodes.len(), Default::default());
+    for (i, &v) in ball.nodes.iter().enumerate() {
+        dist_of.insert(v, ball.dist[i]);
+    }
+    // nodes_at[d] = number of nodes at distance exactly d.
+    let mut nodes_at = vec![0usize; max_depth as usize + 1];
+    for &d in &ball.dist {
+        nodes_at[d as usize] += 1;
+    }
+    // edges_at[d] = undirected edges with max endpoint distance exactly d.
+    let mut edges_at = vec![0usize; max_depth as usize + 1];
+    for (i, &u) in ball.nodes.iter().enumerate() {
+        let du = ball.dist[i];
+        for &v in g.neighbors(u) {
+            if let Some(&dv) = dist_of.get(&v) {
+                // Count each undirected edge once, attributed to the deeper
+                // endpoint; break ties by node id to avoid double counting.
+                let deeper = du.max(dv);
+                if du > dv || (du == dv && u < v) {
+                    edges_at[deeper as usize] += 1;
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(max_depth as usize + 1);
+    let (mut nodes_acc, mut edges_acc) = (0usize, 0usize);
+    for d in 0..=max_depth as usize {
+        nodes_acc += nodes_at[d];
+        edges_acc += edges_at[d];
+        out.push(BallSize {
+            depth: d as u32,
+            nodes: nodes_acc,
+            edges: edges_acc,
+        });
+    }
+    Ok(out)
+}
+
+/// Node and edge count of a BFS ball at a given depth, produced by
+/// [`ball_growth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BallSize {
+    /// Ball radius in hops.
+    pub depth: u32,
+    /// Number of nodes within `depth` hops of the seed.
+    pub nodes: usize,
+    /// Number of undirected edges in the induced ball.
+    pub edges: usize,
+}
+
+impl BallSize {
+    /// The paper's size measure `|V| + |E|` for this ball.
+    pub fn size(&self) -> usize {
+        self.nodes + self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::generators;
+
+    #[test]
+    fn ball_on_path() {
+        let g = generators::path(6).unwrap();
+        let ball = bfs_ball(&g, 2, 2).unwrap();
+        assert_eq!(ball.nodes, vec![2, 1, 3, 0, 4]);
+        assert_eq!(ball.dist, vec![0, 1, 1, 2, 2]);
+        // Expanded nodes: 2 (deg 2), 1 (deg 2), 3 (deg 2) -> 6 entries.
+        assert_eq!(ball.edges_scanned, 6);
+    }
+
+    #[test]
+    fn depth_zero_is_just_seed() {
+        let g = generators::star(5).unwrap();
+        let ball = bfs_ball(&g, 0, 0).unwrap();
+        assert_eq!(ball.nodes, vec![0]);
+        assert_eq!(ball.edges_scanned, 0);
+    }
+
+    #[test]
+    fn star_center_depth_one_covers_all() {
+        let g = generators::star(9).unwrap();
+        let ball = bfs_ball(&g, 0, 1).unwrap();
+        assert_eq!(ball.num_nodes(), 9);
+        assert!(ball.dist[1..].iter().all(|&d| d == 1));
+        assert_eq!(ball.frontier().count(), 8);
+    }
+
+    #[test]
+    fn disconnected_component_not_reached() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let ball = bfs_ball(&g, 0, 10).unwrap();
+        assert_eq!(ball.num_nodes(), 2);
+    }
+
+    #[test]
+    fn seed_out_of_bounds() {
+        let g = generators::path(3).unwrap();
+        assert!(matches!(
+            bfs_ball(&g, 99, 1),
+            Err(GraphError::NodeOutOfBounds { node: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn distances_full_graph() {
+        let g = generators::cycle(6).unwrap();
+        let dist = bfs_distances(&g, 0).unwrap();
+        assert_eq!(dist, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn distances_unreachable_is_max() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let dist = bfs_distances(&g, 0).unwrap();
+        assert_eq!(dist[2], u32::MAX);
+    }
+
+    #[test]
+    fn ball_growth_on_path_counts_nodes_and_edges() {
+        let g = generators::path(9).unwrap();
+        let growth = ball_growth(&g, 4, 3).unwrap();
+        assert_eq!(growth.len(), 4);
+        assert_eq!(growth[0], BallSize { depth: 0, nodes: 1, edges: 0 });
+        assert_eq!(growth[1], BallSize { depth: 1, nodes: 3, edges: 2 });
+        assert_eq!(growth[2], BallSize { depth: 2, nodes: 5, edges: 4 });
+        assert_eq!(growth[3], BallSize { depth: 3, nodes: 7, edges: 6 });
+        assert_eq!(growth[3].size(), 13);
+    }
+
+    #[test]
+    fn ball_growth_counts_same_depth_edges_once() {
+        // Triangle: at depth 1 from node 0 the ball includes the 1-2 edge.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let growth = ball_growth(&g, 0, 1).unwrap();
+        assert_eq!(growth[1].nodes, 3);
+        assert_eq!(growth[1].edges, 3);
+    }
+
+    #[test]
+    fn ball_growth_matches_bfs_ball_node_count() {
+        let g = generators::grid(7, 5).unwrap();
+        for depth in 0..4 {
+            let ball = bfs_ball(&g, 12, depth).unwrap();
+            let growth = ball_growth(&g, 12, depth).unwrap();
+            assert_eq!(growth[depth as usize].nodes, ball.num_nodes());
+        }
+    }
+
+    #[test]
+    fn bfs_order_is_non_decreasing_distance() {
+        let g = generators::grid(6, 6).unwrap();
+        let ball = bfs_ball(&g, 0, 5).unwrap();
+        for w in ball.dist.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Incremental construction of [`CsrGraph`]s with deduplication and
+//! self-loop policies.
+
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::NodeId;
+
+/// What to do when an edge `(v, v)` is added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelfLoopPolicy {
+    /// Silently drop self-loops (convenient when ingesting real-world edge
+    /// lists, which frequently contain them). This is the default.
+    #[default]
+    Skip,
+    /// Fail the build with [`GraphError::SelfLoop`].
+    Reject,
+}
+
+/// Builder for [`CsrGraph`] that accepts edges in any order, deduplicates
+/// them, and applies a configurable [`SelfLoopPolicy`].
+///
+/// Two sizing modes are supported:
+///
+/// * [`GraphBuilder::new(n)`](GraphBuilder::new) fixes the node count; edges
+///   referencing ids `>= n` fail the build.
+/// * [`GraphBuilder::auto`] grows the node count to `max id + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), meloppr_graph::GraphError> {
+/// let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).build()?;
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: Option<usize>,
+    edges: Vec<(NodeId, NodeId)>,
+    self_loops: SelfLoopPolicy,
+    max_seen: Option<NodeId>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with exactly `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes: Some(num_nodes),
+            ..GraphBuilder::default()
+        }
+    }
+
+    /// Creates a builder whose node count is inferred as `max id + 1`.
+    pub fn auto() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Switches the self-loop policy to [`SelfLoopPolicy::Reject`].
+    pub fn reject_self_loops(&mut self) -> &mut Self {
+        self.self_loops = SelfLoopPolicy::Reject;
+        self
+    }
+
+    /// Adds an undirected edge. Duplicates (in either orientation) are
+    /// collapsed at build time.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.max_seen = Some(self.max_seen.map_or(u.max(v), |m| m.max(u).max(v)));
+        self.edges.push(if u <= v { (u, v) } else { (v, u) });
+        self
+    }
+
+    /// Chainable, by-value variant of [`GraphBuilder::add_edge`].
+    #[must_use]
+    pub fn edge(mut self, u: NodeId, v: NodeId) -> Self {
+        self.add_edge(u, v);
+        self
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I>(&mut self, edges: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of edges currently recorded (before deduplication).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the builder into a validated [`CsrGraph`].
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::EmptyGraph`] if the node count is zero (explicit or
+    ///   inferred from zero edges);
+    /// * [`GraphError::NodeOutOfBounds`] if an edge references a node `>=`
+    ///   the explicit node count;
+    /// * [`GraphError::SelfLoop`] under [`SelfLoopPolicy::Reject`].
+    pub fn build(&self) -> Result<CsrGraph> {
+        let n = match self.num_nodes {
+            Some(n) => n,
+            None => match self.max_seen {
+                Some(m) => m as usize + 1,
+                None => return Err(GraphError::EmptyGraph),
+            },
+        };
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for &(u, v) in &self.edges {
+            if u == v {
+                match self.self_loops {
+                    SelfLoopPolicy::Skip => continue,
+                    SelfLoopPolicy::Reject => return Err(GraphError::SelfLoop { node: u }),
+                }
+            }
+            let hi = u.max(v);
+            if hi as usize >= n {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: hi,
+                    num_nodes: n,
+                });
+            }
+            edges.push((u, v));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        // Counting sort into CSR: each undirected edge contributes two arcs.
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as NodeId; acc];
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each node's slice was filled from edges sorted by (min, max), so
+        // per-node lists may be unsorted; sort them.
+        for u in 0..n {
+            neighbors[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        CsrGraph::from_parts(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_sorts() {
+        let g = GraphBuilder::new(4)
+            .edge(3, 0)
+            .edge(2, 0)
+            .edge(1, 0)
+            .build()
+            .unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn dedup_collapses_both_orientations() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn skip_self_loops_by_default() {
+        let g = GraphBuilder::new(2).edge(0, 0).edge(0, 1).build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn reject_self_loops_policy() {
+        let mut b = GraphBuilder::new(2);
+        b.reject_self_loops();
+        b.add_edge(1, 1);
+        let err = b.build().unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn auto_infers_node_count() {
+        let g = GraphBuilder::auto().edge(0, 7).build().unwrap();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn auto_with_no_edges_is_empty() {
+        let err = GraphBuilder::auto().build().unwrap_err();
+        assert_eq!(err, GraphError::EmptyGraph);
+    }
+
+    #[test]
+    fn explicit_zero_nodes_is_empty() {
+        let err = GraphBuilder::new(0).build().unwrap_err();
+        assert_eq!(err, GraphError::EmptyGraph);
+    }
+
+    #[test]
+    fn out_of_bounds_edge_fails() {
+        let err = GraphBuilder::new(3).edge(0, 3).build().unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { node: 3, .. }));
+    }
+
+    #[test]
+    fn extend_edges_works() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges(vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.pending_edges(), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn build_is_idempotent() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g1 = b.build().unwrap();
+        let g2 = b.build().unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn large_star_is_correct() {
+        let mut b = GraphBuilder::new(1001);
+        for i in 1..=1000 {
+            b.add_edge(0, i);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.degree(0), 1000);
+        assert_eq!(g.num_edges(), 1000);
+        for i in 1..=1000u32 {
+            assert_eq!(g.neighbors(i), &[0]);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Connected components (used to validate generators and pick seeds that
+//! live in the giant component).
+
+use std::collections::VecDeque;
+
+use crate::view::GraphView;
+use crate::NodeId;
+
+/// Labels every node with a component id (`0..count`) and returns
+/// `(labels, count)`. Components are numbered in order of their smallest
+/// node id.
+pub fn connected_components<G: GraphView + ?Sized>(g: &G) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = count;
+        queue.push_back(start as NodeId);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (labels, count as usize)
+}
+
+/// Size and label of the largest connected component.
+pub fn largest_component<G: GraphView + ?Sized>(g: &G) -> (usize, u32) {
+    let (labels, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let (label, &size) = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .expect("graph has at least one node");
+    (size, label as u32)
+}
+
+/// Whether the graph is a single connected component.
+pub fn is_connected<G: GraphView + ?Sized>(g: &G) -> bool {
+    let (_, count) = connected_components(g);
+    count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::generators;
+
+    #[test]
+    fn single_component() {
+        let g = generators::cycle(5).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1}, {2,3}, {4}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn largest_component_found() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (size, label) = largest_component(&g);
+        assert_eq!(size, 3);
+        assert_eq!(label, 0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_components() {
+        let g = CsrGraph::from_edges(3, &[]).unwrap();
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 3);
+    }
+}

@@ -1,0 +1,433 @@
+//! Compressed sparse row (CSR) storage for simple undirected graphs.
+//!
+//! The paper stores graphs and performs all matrix–vector products in CSR
+//! format (§VI). [`CsrGraph`] is the canonical in-memory representation used
+//! throughout this workspace: an `offsets` array of length `|V| + 1` and a
+//! `neighbors` array of length `2·|E|` (each undirected edge appears in both
+//! endpoint lists). Neighbor lists are sorted, contain no duplicates and no
+//! self-loops.
+
+use crate::error::{GraphError, Result};
+use crate::view::GraphView;
+use crate::NodeId;
+
+/// A simple undirected graph in compressed sparse row form.
+///
+/// Invariants (enforced by [`CsrGraph::from_parts`] and all constructors):
+///
+/// * `offsets.len() == num_nodes + 1`, monotonically non-decreasing,
+///   `offsets[0] == 0`, `offsets[num_nodes] == neighbors.len()`;
+/// * every neighbor id is `< num_nodes`;
+/// * each node's neighbor list is strictly increasing (sorted, no
+///   duplicates);
+/// * no self-loops;
+/// * adjacency is symmetric: `v ∈ N(u) ⇔ u ∈ N(v)`.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_graph::{CsrGraph, GraphView};
+///
+/// # fn main() -> Result<(), meloppr_graph::GraphError> {
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.neighbors(0), &[1, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from an explicit node count and undirected edge list.
+    ///
+    /// Duplicate edges are collapsed; `(u, v)` and `(v, u)` are the same
+    /// edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if an endpoint is
+    /// `>= num_nodes`, [`GraphError::SelfLoop`] for `(v, v)` entries, and
+    /// [`GraphError::EmptyGraph`] when `num_nodes == 0`.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Result<Self> {
+        let mut builder = crate::builder::GraphBuilder::new(num_nodes);
+        builder.reject_self_loops();
+        for &(u, v) in edges {
+            builder.add_edge(u, v);
+        }
+        builder.build()
+    }
+
+    /// Assembles a graph directly from CSR arrays, validating every
+    /// invariant listed in the type-level documentation.
+    ///
+    /// This is the constructor used by [`GraphBuilder`](crate::GraphBuilder)
+    /// and the generators; prefer those for ergonomic construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] describing the first violated
+    /// invariant, or [`GraphError::EmptyGraph`] when `offsets` implies zero
+    /// nodes.
+    pub fn from_parts(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Result<Self> {
+        if offsets.len() < 2 {
+            if offsets.len() == 1 && neighbors.is_empty() && offsets[0] == 0 {
+                return Err(GraphError::EmptyGraph);
+            }
+            return Err(GraphError::InvalidCsr {
+                reason: format!("offsets array too short: {}", offsets.len()),
+            });
+        }
+        let n = offsets.len() - 1;
+        if offsets[0] != 0 {
+            return Err(GraphError::InvalidCsr {
+                reason: format!("offsets[0] must be 0, got {}", offsets[0]),
+            });
+        }
+        if *offsets.last().expect("non-empty") != neighbors.len() {
+            return Err(GraphError::InvalidCsr {
+                reason: format!(
+                    "offsets[last] = {} does not match neighbors.len() = {}",
+                    offsets.last().expect("non-empty"),
+                    neighbors.len()
+                ),
+            });
+        }
+        for w in offsets.windows(2) {
+            if w[1] < w[0] {
+                return Err(GraphError::InvalidCsr {
+                    reason: "offsets must be non-decreasing".into(),
+                });
+            }
+        }
+        let graph = CsrGraph { offsets, neighbors };
+        graph.validate(n)?;
+        Ok(graph)
+    }
+
+    fn validate(&self, n: usize) -> Result<()> {
+        for u in 0..n {
+            let list = &self.neighbors[self.offsets[u]..self.offsets[u + 1]];
+            let mut prev: Option<NodeId> = None;
+            for &v in list {
+                if v as usize >= n {
+                    return Err(GraphError::InvalidCsr {
+                        reason: format!("neighbor {v} of node {u} out of bounds (n = {n})"),
+                    });
+                }
+                if v as usize == u {
+                    return Err(GraphError::InvalidCsr {
+                        reason: format!("self-loop on node {u}"),
+                    });
+                }
+                if let Some(p) = prev {
+                    if v <= p {
+                        return Err(GraphError::InvalidCsr {
+                            reason: format!(
+                                "neighbor list of node {u} not strictly increasing ({p} then {v})"
+                            ),
+                        });
+                    }
+                }
+                prev = Some(v);
+            }
+        }
+        // Symmetry: every directed arc must have its reverse.
+        for u in 0..n {
+            for &v in &self.neighbors[self.offsets[u]..self.offsets[u + 1]] {
+                if !self.has_arc(v, u as NodeId) {
+                    return Err(GraphError::InvalidCsr {
+                        reason: format!("edge {u}->{v} present but {v}->{u} missing"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        let list = &self.neighbors[self.offsets[u as usize]..self.offsets[u as usize + 1]];
+        list.binary_search(&v).is_ok()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *undirected* edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn degree(&self, u: NodeId) -> u32 {
+        let u = u as usize;
+        (self.offsets[u + 1] - self.offsets[u]) as u32
+    }
+
+    /// Sorted neighbor list of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    ///
+    /// Runs in `O(log deg(u))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds (checked via indexing).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        assert!((v as usize) < self.num_nodes(), "node {v} out of bounds");
+        self.has_arc(u, v)
+    }
+
+    /// Iterator over undirected edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges {
+            graph: self,
+            node: 0,
+            idx: 0,
+        }
+    }
+
+    /// Maximum degree over all nodes (0 for a graph with no edges).
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_nodes())
+            .map(|u| self.degree(u as NodeId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean degree (`2·|E| / |V|`).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.neighbors.len() as f64 / self.num_nodes() as f64
+    }
+
+    /// Estimated heap footprint of the CSR arrays in bytes.
+    ///
+    /// Used by the memory-accounting model (`meloppr-core`'s `memory`
+    /// module) to charge implementations for graph storage.
+    pub fn csr_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Consumes the graph and returns its raw `(offsets, neighbors)` arrays.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<NodeId>) {
+        (self.offsets, self.neighbors)
+    }
+
+    /// Borrow the raw offsets array (`len == num_nodes + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Borrow the raw concatenated neighbor array (`len == 2·num_edges`).
+    pub fn neighbor_array(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+}
+
+impl GraphView for CsrGraph {
+    fn num_nodes(&self) -> usize {
+        CsrGraph::num_nodes(self)
+    }
+
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        CsrGraph::neighbors(self, u)
+    }
+
+    fn walk_degree(&self, u: NodeId) -> u32 {
+        self.degree(u)
+    }
+
+    fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+/// Iterator over undirected edges of a [`CsrGraph`], created by
+/// [`CsrGraph::edges`]. Yields each edge once as `(u, v)` with `u < v`.
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    graph: &'a CsrGraph,
+    node: usize,
+    idx: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.graph.num_nodes();
+        while self.node < n {
+            let end = self.graph.offsets[self.node + 1];
+            while self.idx < end {
+                let v = self.graph.neighbors[self.idx];
+                self.idx += 1;
+                if (self.node as NodeId) < v {
+                    return Some((self.node as NodeId, v));
+                }
+            }
+            self.node += 1;
+            if self.node < n {
+                self.idx = self.graph.offsets[self.node];
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_basic() {
+        let g = square();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_bounds() {
+        let err = CsrGraph::from_edges(2, &[(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { node: 5, .. }));
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loop() {
+        let err = CsrGraph::from_edges(2, &[(1, 1)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn from_edges_rejects_empty() {
+        let err = CsrGraph::from_edges(0, &[]).unwrap_err();
+        assert_eq!(err, GraphError::EmptyGraph);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = CsrGraph::from_edges(5, &[(0, 1)]).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(4), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = square();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn has_edge_panics_on_bad_target() {
+        let g = square();
+        let _ = g.has_edge(0, 99);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = square();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn edges_iterator_empty_graph_with_isolated_nodes() {
+        let g = CsrGraph::from_edges(3, &[]).unwrap();
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let g = square();
+        let (offsets, neighbors) = g.clone().into_parts();
+        let g2 = CsrGraph::from_parts(offsets, neighbors).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn from_parts_rejects_asymmetric() {
+        // 0 -> 1 without 1 -> 0.
+        let err = CsrGraph::from_parts(vec![0, 1, 1], vec![1]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidCsr { .. }));
+    }
+
+    #[test]
+    fn from_parts_rejects_unsorted() {
+        let err = CsrGraph::from_parts(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidCsr { .. }));
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_offsets() {
+        let err = CsrGraph::from_parts(vec![0, 2, 1], vec![1, 0]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidCsr { .. }));
+    }
+
+    #[test]
+    fn from_parts_rejects_offset_mismatch() {
+        let err = CsrGraph::from_parts(vec![0, 1, 2], vec![1, 0, 1]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidCsr { .. }));
+    }
+
+    #[test]
+    fn graph_view_impl() {
+        let g = square();
+        let view: &dyn GraphView = &g;
+        assert_eq!(view.num_nodes(), 4);
+        assert_eq!(view.walk_degree(2), 2);
+        assert_eq!(view.num_directed_edges(), 8);
+        assert_eq!(view.size(), 8);
+    }
+
+    #[test]
+    fn csr_bytes_positive() {
+        let g = square();
+        assert!(g.csr_bytes() >= 5 * 8 + 8 * 4);
+    }
+}

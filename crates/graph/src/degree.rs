@@ -1,0 +1,136 @@
+//! Degree statistics and histograms.
+//!
+//! The fixed-point accelerator scales the seed score by a degree-derived
+//! constant (`Max = d·|G_L(s)|` with `d` set to half the maximum degree,
+//! §V-A), and the sparsity analysis of Fig. 6 buckets normalized PPR scores
+//! — both consume the helpers in this module.
+
+use crate::view::GraphView;
+
+/// Summary statistics over a graph's degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: u32,
+    /// Largest degree.
+    pub max: u32,
+    /// Mean degree (`2·|E| / |V|`).
+    pub mean: f64,
+    /// Median degree (lower median for even counts).
+    pub median: u32,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated: usize,
+}
+
+/// Computes [`DegreeStats`] for any graph view.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_graph::{degree::degree_stats, generators};
+///
+/// # fn main() -> Result<(), meloppr_graph::GraphError> {
+/// let g = generators::star(5)?;
+/// let stats = degree_stats(&g);
+/// assert_eq!(stats.max, 4);
+/// assert_eq!(stats.median, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn degree_stats<G: GraphView + ?Sized>(g: &G) -> DegreeStats {
+    let n = g.num_nodes();
+    let mut degrees: Vec<u32> = (0..n)
+        .map(|u| g.neighbors(u as crate::NodeId).len() as u32)
+        .collect();
+    degrees.sort_unstable();
+    let isolated = degrees.iter().take_while(|&&d| d == 0).count();
+    let sum: u64 = degrees.iter().map(|&d| d as u64).sum();
+    DegreeStats {
+        min: degrees.first().copied().unwrap_or(0),
+        max: degrees.last().copied().unwrap_or(0),
+        mean: if n == 0 { 0.0 } else { sum as f64 / n as f64 },
+        median: degrees.get((n.saturating_sub(1)) / 2).copied().unwrap_or(0),
+        isolated,
+    }
+}
+
+/// Returns `(degree, node_count)` pairs sorted by degree — the empirical
+/// degree distribution.
+pub fn degree_distribution<G: GraphView + ?Sized>(g: &G) -> Vec<(u32, usize)> {
+    let mut counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    for u in 0..g.num_nodes() {
+        *counts
+            .entry(g.neighbors(u as crate::NodeId).len() as u32)
+            .or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Bins the degree sequence into `buckets` equal-width bins over
+/// `[0, max_degree]` and returns the per-bin node counts.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`.
+pub fn degree_histogram<G: GraphView + ?Sized>(g: &G, buckets: usize) -> Vec<usize> {
+    assert!(buckets > 0, "histogram needs at least one bucket");
+    let n = g.num_nodes();
+    let max = (0..n)
+        .map(|u| g.neighbors(u as crate::NodeId).len() as u32)
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; buckets];
+    let width = (max as f64 + 1.0) / buckets as f64;
+    for u in 0..n {
+        let d = g.neighbors(u as crate::NodeId).len() as f64;
+        let idx = ((d / width) as usize).min(buckets - 1);
+        hist[idx] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_on_star() {
+        let g = generators::star(10).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.median, 1);
+        assert_eq!(s.isolated, 0);
+        assert!((s.mean - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_counts_isolated() {
+        let g = crate::CsrGraph::from_edges(5, &[(0, 1)]).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.isolated, 3);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn distribution_on_path() {
+        let g = generators::path(5).unwrap();
+        let dist = degree_distribution(&g);
+        assert_eq!(dist, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = generators::grid(6, 6).unwrap();
+        let h = degree_histogram(&g, 4);
+        assert_eq!(h.iter().sum::<usize>(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_zero_buckets_panics() {
+        let g = generators::path(3).unwrap();
+        let _ = degree_histogram(&g, 0);
+    }
+}

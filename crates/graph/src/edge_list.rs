@@ -1,0 +1,279 @@
+//! SNAP-compatible edge-list text I/O.
+//!
+//! The paper's datasets ship as whitespace-separated edge lists with `#`
+//! comment headers (the SNAP convention). [`parse_edge_list`] accepts that
+//! format (plus `%`-style comments used by some mirrors), optionally
+//! relabelling arbitrary node ids into the dense `0..n` range required by
+//! [`CsrGraph`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::NodeId;
+
+/// Parsing options for [`parse_edge_list`].
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeListOptions {
+    /// Relabel arbitrary (possibly sparse, 64-bit) node ids into dense
+    /// `0..n` ids in order of first appearance. When `false`, ids must
+    /// already be dense `u32` values. Default: `true`.
+    pub relabel: bool,
+    /// Drop `(v, v)` lines instead of failing. Default: `true`.
+    pub skip_self_loops: bool,
+}
+
+impl Default for EdgeListOptions {
+    fn default() -> Self {
+        EdgeListOptions {
+            relabel: true,
+            skip_self_loops: true,
+        }
+    }
+}
+
+/// A parsed edge list: the graph plus (when relabelling was active) the
+/// original id of each dense node.
+#[derive(Debug, Clone)]
+pub struct ParsedEdgeList {
+    /// The parsed graph.
+    pub graph: CsrGraph,
+    /// `original_ids[v]` is the id node `v` had in the input; `None` when
+    /// relabelling was disabled.
+    pub original_ids: Option<Vec<u64>>,
+}
+
+/// Parses an edge list from a string. Empty lines and lines starting with
+/// `#`, `%` or `//` are skipped.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] (with a 1-based line number) for malformed
+/// lines, plus any graph-construction error.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_graph::edge_list::{parse_edge_list, EdgeListOptions};
+///
+/// # fn main() -> Result<(), meloppr_graph::GraphError> {
+/// let text = "# a comment\n0 1\n1 2\n";
+/// let parsed = parse_edge_list(text, EdgeListOptions::default())?;
+/// assert_eq!(parsed.graph.num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_edge_list(text: &str, options: EdgeListOptions) -> Result<ParsedEdgeList> {
+    parse_lines(text.lines().map(Ok::<&str, std::io::Error>), options)
+}
+
+/// Parses an edge list from any reader (buffered internally).
+///
+/// # Errors
+///
+/// As [`parse_edge_list`], plus [`GraphError::Io`] for read failures.
+pub fn read_edge_list<R: Read>(reader: R, options: EdgeListOptions) -> Result<ParsedEdgeList> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for line in buf.lines() {
+        lines.push(line.map_err(GraphError::from)?);
+    }
+    parse_lines(lines.iter().map(|l| Ok::<&str, std::io::Error>(l)), options)
+}
+
+/// Convenience wrapper: reads an edge list from a filesystem path.
+///
+/// # Errors
+///
+/// As [`read_edge_list`].
+pub fn read_edge_list_file<P: AsRef<Path>>(
+    path: P,
+    options: EdgeListOptions,
+) -> Result<ParsedEdgeList> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, options)
+}
+
+fn parse_lines<'a, I>(lines: I, options: EdgeListOptions) -> Result<ParsedEdgeList>
+where
+    I: Iterator<Item = std::result::Result<&'a str, std::io::Error>>,
+{
+    let mut remap: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut builder = GraphBuilder::auto();
+    if !options.skip_self_loops {
+        builder.reject_self_loops();
+    }
+    let mut max_dense: Option<u64> = None;
+
+    for (lineno, line) in lines.enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(GraphError::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty()
+            || trimmed.starts_with('#')
+            || trimmed.starts_with('%')
+            || trimmed.starts_with("//")
+        {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    reason: format!("expected two node ids, got {trimmed:?}"),
+                })
+            }
+        };
+        let parse_id = |tok: &str| -> Result<u64> {
+            tok.parse::<u64>().map_err(|e| GraphError::Parse {
+                line: lineno,
+                reason: format!("invalid node id {tok:?}: {e}"),
+            })
+        };
+        let (ua, ub) = (parse_id(a)?, parse_id(b)?);
+        let (u, v) = if options.relabel {
+            let mut map = |raw: u64| -> NodeId {
+                *remap.entry(raw).or_insert_with(|| {
+                    original_ids.push(raw);
+                    (original_ids.len() - 1) as NodeId
+                })
+            };
+            (map(ua), map(ub))
+        } else {
+            for &raw in [&ua, &ub] {
+                if raw > u32::MAX as u64 {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        reason: format!("node id {raw} exceeds u32 range (enable relabelling)"),
+                    });
+                }
+            }
+            max_dense = Some(max_dense.map_or(ua.max(ub), |m| m.max(ua).max(ub)));
+            (ua as NodeId, ub as NodeId)
+        };
+        builder.add_edge(u, v);
+    }
+
+    let graph = builder.build()?;
+    Ok(ParsedEdgeList {
+        graph,
+        original_ids: options.relabel.then_some(original_ids),
+    })
+}
+
+/// Writes a graph as a SNAP-style edge list (one `u v` line per undirected
+/// edge, `u < v`, preceded by a summary comment).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<()> {
+    writeln!(
+        writer,
+        "# Undirected graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let parsed = parse_edge_list("0 1\n1 2\n", EdgeListOptions::default()).unwrap();
+        assert_eq!(parsed.graph.num_nodes(), 3);
+        assert_eq!(parsed.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let text = "# header\n% other\n// slashes\n\n  0 1  \n";
+        let parsed = parse_edge_list(text, EdgeListOptions::default()).unwrap();
+        assert_eq!(parsed.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_relabels_sparse_ids() {
+        let text = "1000000000000 5\n5 42\n";
+        let parsed = parse_edge_list(text, EdgeListOptions::default()).unwrap();
+        assert_eq!(parsed.graph.num_nodes(), 3);
+        let ids = parsed.original_ids.unwrap();
+        assert_eq!(ids, vec![1000000000000, 5, 42]);
+    }
+
+    #[test]
+    fn parse_without_relabel_requires_dense_u32() {
+        let opts = EdgeListOptions {
+            relabel: false,
+            ..EdgeListOptions::default()
+        };
+        let parsed = parse_edge_list("0 1\n1 2\n", opts).unwrap();
+        assert!(parsed.original_ids.is_none());
+        assert_eq!(parsed.graph.num_nodes(), 3);
+
+        let err = parse_edge_list("99999999999 1\n", opts).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_line() {
+        let err = parse_edge_list("0 1\njunk\n", EdgeListOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric() {
+        let err = parse_edge_list("a b\n", EdgeListOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn self_loops_skipped_by_default_rejected_on_demand() {
+        let parsed = parse_edge_list("3 3\n0 1\n", EdgeListOptions::default()).unwrap();
+        assert_eq!(parsed.graph.num_edges(), 1);
+
+        let opts = EdgeListOptions {
+            skip_self_loops: false,
+            ..EdgeListOptions::default()
+        };
+        assert!(parse_edge_list("3 3\n0 1\n", opts).is_err());
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let g = crate::generators::karate_club();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let opts = EdgeListOptions {
+            relabel: false,
+            ..EdgeListOptions::default()
+        };
+        let parsed = parse_edge_list(&text, opts).unwrap();
+        assert_eq!(parsed.graph, g);
+    }
+
+    #[test]
+    fn read_from_reader() {
+        let data = b"0 1\n2 1\n" as &[u8];
+        let parsed = read_edge_list(data, EdgeListOptions::default()).unwrap();
+        assert_eq!(parsed.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph_error() {
+        let err = parse_edge_list("# only comments\n", EdgeListOptions::default()).unwrap_err();
+        assert_eq!(err, GraphError::EmptyGraph);
+    }
+}

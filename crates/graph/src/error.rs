@@ -1,0 +1,136 @@
+//! Error types for the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced while constructing, validating or parsing graphs.
+///
+/// All variants carry enough context to diagnose the offending input
+/// (node ids, line numbers, human-readable reasons).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced an index at or beyond the declared node count.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A self-loop `(v, v)` was encountered and the active policy rejects
+    /// self-loops (the paper assumes simple graphs).
+    SelfLoop {
+        /// The node with the self-loop.
+        node: NodeId,
+    },
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// Raw CSR arrays failed structural validation.
+    InvalidCsr {
+        /// Why validation failed.
+        reason: String,
+    },
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Why the line was rejected.
+        reason: String,
+    },
+    /// An I/O failure while reading or writing an edge list.
+    ///
+    /// The underlying [`std::io::Error`] is stringified so the error type
+    /// stays `Clone + Eq`.
+    Io {
+        /// The stringified I/O error.
+        reason: String,
+    },
+    /// A generator was asked for an impossible topology
+    /// (e.g. more edges than a simple graph on `n` nodes can hold).
+    InvalidGenerator {
+        /// Why the parameters are unsatisfiable.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} (simple graph required)")
+            }
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::InvalidCsr { reason } => write!(f, "invalid CSR structure: {reason}"),
+            GraphError::Parse { line, reason } => {
+                write!(f, "edge-list parse error at line {line}: {reason}")
+            }
+            GraphError::Io { reason } => write!(f, "edge-list I/O error: {reason}"),
+            GraphError::InvalidGenerator { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io {
+            reason: err.to_string(),
+        }
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_node_out_of_bounds() {
+        let err = GraphError::NodeOutOfBounds {
+            node: 7,
+            num_nodes: 5,
+        };
+        assert_eq!(err.to_string(), "node 7 out of bounds for graph with 5 nodes");
+    }
+
+    #[test]
+    fn display_self_loop() {
+        let err = GraphError::SelfLoop { node: 3 };
+        assert!(err.to_string().contains("self-loop on node 3"));
+    }
+
+    #[test]
+    fn display_parse_contains_line() {
+        let err = GraphError::Parse {
+            line: 42,
+            reason: "expected two integers".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("line 42"));
+        assert!(msg.contains("expected two integers"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let err: GraphError = io.into();
+        assert!(matches!(err, GraphError::Io { .. }));
+        assert!(err.to_string().contains("missing file"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,222 @@
+//! Small deterministic graphs used throughout tests and documentation.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::NodeId;
+
+/// Path graph `0 - 1 - … - (n-1)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] if `n == 0`.
+pub fn path(n: usize) -> Result<CsrGraph> {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as NodeId, i as NodeId);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n` nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGenerator`] if `n < 3` (smaller cycles are
+/// not simple graphs).
+pub fn cycle(n: usize) -> Result<CsrGraph> {
+    if n < 3 {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("cycle requires n >= 3, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+    }
+    b.build()
+}
+
+/// Star graph: node 0 connected to nodes `1..n`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] if `n == 0`.
+pub fn star(n: usize) -> Result<CsrGraph> {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i as NodeId);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] if `n == 0`.
+pub fn complete(n: usize) -> Result<CsrGraph> {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as NodeId, j as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// `w × h` grid graph (4-neighborhood); node `(x, y)` has id `y·w + x`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] if `w == 0 || h == 0`.
+pub fn grid(w: usize, h: usize) -> Result<CsrGraph> {
+    if w == 0 || h == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let id = (y * w + x) as NodeId;
+            if x + 1 < w {
+                b.add_edge(id, id + 1);
+            }
+            if y + 1 < h {
+                b.add_edge(id, id + w as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree of the given `depth` (`depth = 0` is a single
+/// node). Node 0 is the root; node `i` has children `2i + 1` and `2i + 2`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGenerator`] if the tree would exceed
+/// `u32::MAX` nodes.
+pub fn binary_tree(depth: u32) -> Result<CsrGraph> {
+    if depth >= 31 {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("binary tree of depth {depth} exceeds NodeId range"),
+        });
+    }
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        let left = 2 * i + 1;
+        let right = 2 * i + 2;
+        if left < n {
+            b.add_edge(i as NodeId, left as NodeId);
+        }
+        if right < n {
+            b.add_edge(i as NodeId, right as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Zachary's karate club (34 nodes, 78 edges), the classic community-
+/// structure benchmark. Useful for eyeballing PPR results: querying from
+/// node 0 (the instructor) should rank its faction highly.
+pub fn karate_club() -> CsrGraph {
+    // 1-based edge list from Zachary (1977), converted to 0-based below.
+    const EDGES: [(NodeId, NodeId); 78] = [
+        (1, 2), (1, 3), (2, 3), (1, 4), (2, 4), (3, 4), (1, 5), (1, 6), (1, 7),
+        (5, 7), (6, 7), (1, 8), (2, 8), (3, 8), (4, 8), (1, 9), (3, 9), (3, 10),
+        (1, 11), (5, 11), (6, 11), (1, 12), (1, 13), (4, 13), (1, 14), (2, 14),
+        (3, 14), (4, 14), (6, 17), (7, 17), (1, 18), (2, 18), (1, 20), (2, 20),
+        (1, 22), (2, 22), (24, 26), (25, 26), (3, 28), (24, 28), (25, 28),
+        (3, 29), (24, 30), (27, 30), (2, 31), (9, 31), (1, 32), (25, 32),
+        (26, 32), (29, 32), (3, 33), (9, 33), (15, 33), (16, 33), (19, 33),
+        (21, 33), (23, 33), (24, 33), (30, 33), (31, 33), (32, 33), (9, 34),
+        (10, 34), (14, 34), (15, 34), (16, 34), (19, 34), (20, 34), (21, 34),
+        (23, 34), (24, 34), (27, 34), (28, 34), (29, 34), (30, 34), (31, 34),
+        (32, 34), (33, 34),
+    ];
+    let mut b = GraphBuilder::new(34);
+    for &(u, v) in &EDGES {
+        b.add_edge(u - 1, v - 1);
+    }
+    b.build().expect("karate club edge list is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn path_single_node() {
+        let g = path(1).unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert!((0..6).all(|i| g.degree(i) == 2));
+    }
+
+    #[test]
+    fn cycle_too_small() {
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7).unwrap();
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5).unwrap();
+        assert_eq!(g.num_edges(), 10);
+        assert!((0..5).all(|i| g.degree(i) == 4));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.num_nodes(), 12);
+        // 4 rows of 2 horizontal + 3 cols of 3 vertical = 8 + 9.
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(4), 4); // interior
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(3).unwrap();
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(14), 1);
+    }
+
+    #[test]
+    fn karate_club_statistics() {
+        let g = karate_club();
+        assert_eq!(g.num_nodes(), 34);
+        assert_eq!(g.num_edges(), 78);
+        // Instructor (0) and president (33) are the hubs.
+        assert_eq!(g.degree(0), 16);
+        assert_eq!(g.degree(33), 17);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Graph generators: deterministic fixtures, classic random models and the
+//! paper-corpus stand-ins.
+//!
+//! The MeLoPPR paper evaluates on six SNAP graphs that are not shipped with
+//! this repository; [`corpus`] provides deterministic synthetic stand-ins
+//! with matched node/edge counts (see `DESIGN.md` §2 for the substitution
+//! rationale). The remaining generators are general-purpose substrates used
+//! by tests, examples and ablation studies.
+//!
+//! Every random generator takes an explicit `u64` seed and is fully
+//! deterministic given it.
+
+mod fixtures;
+mod random;
+
+pub mod corpus;
+
+pub use fixtures::{binary_tree, complete, cycle, grid, karate_club, path, star};
+pub use random::{
+    barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, locality_preferential, planted_partition,
+    rmat, watts_strogatz, RmatProbabilities,
+};

@@ -1,0 +1,689 @@
+//! Classic random-graph models, all deterministic under an explicit seed.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::NodeId;
+
+fn max_simple_edges(n: usize) -> usize {
+    n.saturating_mul(n.saturating_sub(1)) / 2
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges sampled uniformly.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGenerator`] if `m` exceeds the number of
+/// edges a simple graph on `n` nodes can hold, or
+/// [`GraphError::EmptyGraph`] if `n == 0`.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if m > max_simple_edges(n) {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("G(n={n}, m={m}) exceeds simple-graph capacity"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m);
+    let mut builder = GraphBuilder::new(n);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+/// Erdős–Rényi `G(n, p)` using geometric skipping, `O(n + m)` expected
+/// time.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] if `n == 0` or
+/// [`GraphError::InvalidGenerator`] if `p` is not in `[0, 1]`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Result<CsrGraph> {
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("edge probability {p} outside [0, 1]"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    if p > 0.0 {
+        // Enumerate the n*(n-1)/2 pairs lexicographically and jump ahead by
+        // geometric gaps.
+        let log_q = (1.0 - p).ln();
+        let total = max_simple_edges(n) as u64;
+        let mut idx: u64 = 0;
+        if p >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    builder.add_edge(u as NodeId, v as NodeId);
+                }
+            }
+        } else {
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let skip = (u.ln() / log_q).floor() as u64 + 1;
+                idx = match idx.checked_add(skip) {
+                    Some(i) => i,
+                    None => break,
+                };
+                if idx > total {
+                    break;
+                }
+                let (a, b) = pair_from_index(n as u64, idx - 1);
+                builder.add_edge(a as NodeId, b as NodeId);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Maps a linear index in `0..n*(n-1)/2` to the lexicographic pair `(a, b)`
+/// with `a < b`.
+fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
+    // Row a starts at offset a*n - a*(a+1)/2 - a ... solve incrementally to
+    // avoid floating-point edge cases on huge n (binary search on row).
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    let row_start = |a: u64| a * (2 * n - a - 1) / 2;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if row_start(mid) <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let a = lo;
+    let b = a + 1 + (idx - row_start(a));
+    (a, b)
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m + 1` nodes, then each new node attaches to `m` distinct existing
+/// nodes with probability proportional to degree.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGenerator`] if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
+    if m == 0 || n <= m {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("Barabási–Albert requires 0 < m < n (m={m}, n={n})"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    // Endpoint multiset for preferential sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    let core = m + 1;
+    for u in 0..core {
+        for v in (u + 1)..core {
+            builder.add_edge(u as NodeId, v as NodeId);
+            endpoints.push(u as NodeId);
+            endpoints.push(v as NodeId);
+        }
+    }
+    for u in core..n {
+        let mut targets: HashSet<NodeId> = HashSet::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t as usize != u {
+                targets.insert(t);
+            }
+        }
+        for &t in &targets {
+            builder.add_edge(u as NodeId, t);
+            endpoints.push(u as NodeId);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+/// Watts–Strogatz small world: ring lattice where each node connects to its
+/// `k` nearest neighbors (`k` even), each edge rewired with probability
+/// `beta`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGenerator`] if `k` is odd, `k >= n`, or
+/// `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<CsrGraph> {
+    if !k.is_multiple_of(2) || k == 0 || k >= n {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("Watts–Strogatz requires even 0 < k < n (k={k}, n={n})"),
+        });
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("rewiring probability {beta} outside [0, 1]"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(n * k / 2);
+    let norm = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            edges.insert(norm(u as NodeId, v as NodeId));
+        }
+    }
+    let mut list: Vec<(NodeId, NodeId)> = edges.iter().copied().collect();
+    list.sort_unstable();
+    for &(u, v) in &list {
+        if rng.gen_bool(beta) {
+            // Rewire the far endpoint to a uniformly random non-duplicate.
+            for _ in 0..32 {
+                let w = rng.gen_range(0..n) as NodeId;
+                if w != u && w != v && !edges.contains(&norm(u, w)) {
+                    edges.remove(&norm(u, v));
+                    edges.insert(norm(u, w));
+                    break;
+                }
+            }
+        }
+    }
+    let mut builder = GraphBuilder::new(n);
+    for (u, v) in edges {
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+/// Quadrant probabilities for the [`rmat`] generator. Must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatProbabilities {
+    /// Top-left quadrant weight.
+    pub a: f64,
+    /// Top-right quadrant weight.
+    pub b: f64,
+    /// Bottom-left quadrant weight.
+    pub c: f64,
+    /// Bottom-right quadrant weight.
+    pub d: f64,
+}
+
+impl Default for RmatProbabilities {
+    /// The canonical `(0.57, 0.19, 0.19, 0.05)` parameters from the R-MAT
+    /// paper.
+    fn default() -> Self {
+        RmatProbabilities {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+/// R-MAT power-law generator on `2^scale` nodes with `m` unique undirected
+/// edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGenerator`] if the probabilities do not sum
+/// to ~1, if `scale` exceeds 31, if `m` exceeds simple-graph capacity, or if
+/// edge sampling fails to find `m` unique edges within a retry budget
+/// (overly dense requests).
+pub fn rmat(scale: u32, m: usize, probs: RmatProbabilities, seed: u64) -> Result<CsrGraph> {
+    if scale == 0 || scale > 31 {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("R-MAT scale must be in 1..=31, got {scale}"),
+        });
+    }
+    let sum = probs.a + probs.b + probs.c + probs.d;
+    if (sum - 1.0).abs() > 1e-9 || [probs.a, probs.b, probs.c, probs.d].iter().any(|&p| p < 0.0) {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("R-MAT probabilities must be non-negative and sum to 1 (sum={sum})"),
+        });
+    }
+    let n = 1usize << scale;
+    if m > max_simple_edges(n) {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("R-MAT m={m} exceeds simple-graph capacity of n={n}"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m);
+    let mut builder = GraphBuilder::new(n);
+    let budget = 100usize.saturating_mul(m).max(10_000);
+    let mut attempts = 0usize;
+    while chosen.len() < m {
+        attempts += 1;
+        if attempts > budget {
+            return Err(GraphError::InvalidGenerator {
+                reason: format!(
+                    "R-MAT failed to find {m} unique edges within {budget} attempts"
+                ),
+            });
+        }
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < probs.a {
+                (0, 0)
+            } else if r < probs.a + probs.b {
+                (0, 1)
+            } else if r < probs.a + probs.b + probs.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u == v {
+            continue;
+        }
+        let key = ((u.min(v)) as NodeId, (u.max(v)) as NodeId);
+        if chosen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+/// Planted-partition stochastic block model: `blocks` communities of
+/// `block_size` nodes each, intra-community edge probability `p_in`,
+/// inter-community probability `p_out`. Uses geometric skipping, so it
+/// scales to large sparse graphs.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGenerator`] for zero-sized blocks or
+/// probabilities outside `[0, 1]`.
+pub fn planted_partition(
+    blocks: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<CsrGraph> {
+    if blocks == 0 || block_size == 0 {
+        return Err(GraphError::InvalidGenerator {
+            reason: "planted partition requires blocks >= 1 and block_size >= 1".into(),
+        });
+    }
+    for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidGenerator {
+                reason: format!("{name} = {p} outside [0, 1]"),
+            });
+        }
+    }
+    let n = blocks * block_size;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    // Sample pairs with geometric skipping over the full pair index space,
+    // accepting with the block-dependent probability ratio. Dominant
+    // probability first keeps the expected work near m.
+    let p_max = p_in.max(p_out);
+    if p_max > 0.0 {
+        let log_q = if p_max >= 1.0 { f64::NEG_INFINITY } else { (1.0 - p_max).ln() };
+        let total = max_simple_edges(n) as u64;
+        let mut idx: u64 = 0;
+        loop {
+            let skip = if p_max >= 1.0 {
+                1
+            } else {
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (r.ln() / log_q).floor() as u64 + 1
+            };
+            idx = match idx.checked_add(skip) {
+                Some(i) => i,
+                None => break,
+            };
+            if idx > total {
+                break;
+            }
+            let (a, b) = pair_from_index(n as u64, idx - 1);
+            let same_block = (a as usize / block_size) == (b as usize / block_size);
+            let p = if same_block { p_in } else { p_out };
+            if p >= p_max || rng.gen_bool(p / p_max) {
+                builder.add_edge(a as NodeId, b as NodeId);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Citation-style generator combining preferential attachment with id
+/// locality; used by the paper-corpus stand-ins ([`crate::generators::corpus`]).
+///
+/// Nodes arrive in id order. Node `i` creates `e_i ≥ 1` edges
+/// (`Σ e_i = target_edges`); each edge endpoint is drawn from a recency
+/// window `[i - window, i)` with probability `locality` (citation
+/// behaviour), otherwise by global preferential attachment (hub behaviour).
+/// The resulting graphs are connected, power-law-ish, and exhibit the local
+/// community structure that makes BFS balls grow like those of real
+/// citation/co-purchase networks.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGenerator`] if `n < 2`,
+/// `target_edges < n - 1` (connectivity requires a spanning structure), if
+/// `locality` is outside `[0, 1]`, or if `target_edges` exceeds
+/// simple-graph capacity.
+pub fn locality_preferential(
+    n: usize,
+    target_edges: usize,
+    locality: f64,
+    window: usize,
+    seed: u64,
+) -> Result<CsrGraph> {
+    if n < 2 {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("locality_preferential requires n >= 2, got {n}"),
+        });
+    }
+    if target_edges < n - 1 {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!(
+                "target_edges = {target_edges} < n - 1 = {} cannot keep the graph connected",
+                n - 1
+            ),
+        });
+    }
+    if target_edges > max_simple_edges(n) {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("target_edges = {target_edges} exceeds simple-graph capacity"),
+        });
+    }
+    if !(0.0..=1.0).contains(&locality) {
+        return Err(GraphError::InvalidGenerator {
+            reason: format!("locality = {locality} outside [0, 1]"),
+        });
+    }
+    let window = window.max(2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Distribute edge budget: every node i >= 1 gets one edge (spanning),
+    // the surplus is assigned to uniformly random nodes (re-rolled below
+    // when a node's budget cannot be met by distinct targets).
+    let mut budget = vec![0usize; n];
+    for b in budget.iter_mut().skip(1) {
+        *b = 1;
+    }
+    // (budget[0] stays 0: node 0 has no earlier node to cite.)
+    let mut surplus = target_edges - (n - 1);
+    while surplus > 0 {
+        let i = rng.gen_range(1..n);
+        // Node i can host at most i distinct earlier targets.
+        if budget[i] < i {
+            budget[i] += 1;
+            surplus -= 1;
+        }
+    }
+
+    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(target_edges);
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * target_edges);
+    let mut builder = GraphBuilder::new(n);
+    let connect = |u: usize, v: usize,
+                       chosen: &mut HashSet<(NodeId, NodeId)>,
+                       endpoints: &mut Vec<NodeId>,
+                       builder: &mut GraphBuilder|
+     -> bool {
+        let key = ((u.min(v)) as NodeId, (u.max(v)) as NodeId);
+        if u == v || !chosen.insert(key) {
+            return false;
+        }
+        builder.add_edge(key.0, key.1);
+        endpoints.push(key.0);
+        endpoints.push(key.1);
+        true
+    };
+
+    for (i, &node_budget) in budget.iter().enumerate().skip(1) {
+        let mut placed = 0usize;
+        let mut misses = 0usize;
+        while placed < node_budget {
+            let target = if endpoints.is_empty() || rng.gen_bool(locality) {
+                // Recency window [i - window, i).
+                let lo = i.saturating_sub(window);
+                rng.gen_range(lo..i)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())] as usize
+            };
+            if connect(i, target, &mut chosen, &mut endpoints, &mut builder) {
+                placed += 1;
+                misses = 0;
+            } else {
+                misses += 1;
+                if misses > 64 {
+                    // Dense neighborhood: fall back to scanning for any free
+                    // earlier node (guaranteed to exist since budget[i] <= i).
+                    for cand in (0..i).rev() {
+                        if connect(i, cand, &mut chosen, &mut endpoints, &mut builder) {
+                            placed += 1;
+                            break;
+                        }
+                    }
+                    misses = 0;
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::view::GraphView;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, 7).unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        let a = erdos_renyi_gnm(50, 100, 42).unwrap();
+        let b = erdos_renyi_gnm(50, 100, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnm_different_seeds_differ() {
+        let a = erdos_renyi_gnm(50, 100, 1).unwrap();
+        let b = erdos_renyi_gnm(50, 100, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gnm_rejects_too_many_edges() {
+        assert!(erdos_renyi_gnm(4, 7, 0).is_err());
+    }
+
+    #[test]
+    fn gnm_complete_graph_possible() {
+        let g = erdos_renyi_gnm(5, 10, 3).unwrap();
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let g = erdos_renyi_gnp(400, 0.05, 11).unwrap();
+        let expected = 0.05 * (400.0 * 399.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!((m - expected).abs() < 4.0 * expected.sqrt() + 20.0, "m = {m}");
+    }
+
+    #[test]
+    fn gnp_zero_probability_empty() {
+        let g = erdos_renyi_gnp(10, 0.0, 5).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_one_probability_complete() {
+        let g = erdos_renyi_gnp(6, 1.0, 5).unwrap();
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn gnp_rejects_bad_probability() {
+        assert!(erdos_renyi_gnp(10, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn pair_from_index_enumerates_lexicographically() {
+        let n = 5u64;
+        let mut expected = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                expected.push((a, b));
+            }
+        }
+        for (idx, &pair) in expected.iter().enumerate() {
+            assert_eq!(pair_from_index(n, idx as u64), pair);
+        }
+    }
+
+    #[test]
+    fn ba_edge_count_and_connectivity() {
+        let g = barabasi_albert(200, 3, 13).unwrap();
+        assert_eq!(g.num_nodes(), 200);
+        // Clique of 4 (6 edges) + 196 nodes x 3 edges.
+        assert_eq!(g.num_edges(), 6 + 196 * 3);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn ba_rejects_degenerate() {
+        assert!(barabasi_albert(5, 0, 0).is_err());
+        assert!(barabasi_albert(3, 3, 0).is_err());
+    }
+
+    #[test]
+    fn ba_has_skewed_degrees() {
+        let g = barabasi_albert(500, 2, 99).unwrap();
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn ws_keeps_edge_count() {
+        let g = watts_strogatz(100, 4, 0.1, 21).unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        // Rewiring never removes edges without replacing (up to rare
+        // saturation), so the count stays at n*k/2.
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn ws_beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(10, 2, 0.0, 0).unwrap();
+        for u in 0..10u32 {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn ws_rejects_odd_k() {
+        assert!(watts_strogatz(10, 3, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn rmat_edge_count() {
+        let g = rmat(10, 4000, RmatProbabilities::default(), 77).unwrap();
+        assert_eq!(g.num_nodes(), 1024);
+        assert_eq!(g.num_edges(), 4000);
+    }
+
+    #[test]
+    fn rmat_rejects_bad_probs() {
+        let bad = RmatProbabilities {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+        };
+        assert!(rmat(8, 100, bad, 0).is_err());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(11, 8000, RmatProbabilities::default(), 5).unwrap();
+        assert!(g.max_degree() as f64 > 3.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn planted_partition_prefers_intra_edges() {
+        let g = planted_partition(4, 50, 0.2, 0.002, 31).unwrap();
+        assert_eq!(g.num_nodes(), 200);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            if u / 50 == v / 50 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra = {intra}, inter = {inter}");
+    }
+
+    #[test]
+    fn planted_partition_rejects_bad_probs() {
+        assert!(planted_partition(2, 10, 1.5, 0.0, 0).is_err());
+        assert!(planted_partition(0, 10, 0.5, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn locality_preferential_exact_edges_and_connected() {
+        let g = locality_preferential(1000, 2800, 0.7, 50, 17).unwrap();
+        assert_eq!(g.num_nodes(), 1000);
+        assert_eq!(g.num_edges(), 2800);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn locality_preferential_deterministic() {
+        let a = locality_preferential(300, 900, 0.8, 30, 4).unwrap();
+        let b = locality_preferential(300, 900, 0.8, 30, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn locality_preferential_rejects_disconnected_budget() {
+        assert!(locality_preferential(10, 5, 0.5, 5, 0).is_err());
+    }
+
+    #[test]
+    fn locality_preferential_dense_fallback() {
+        // Nearly complete graph forces the dense-neighborhood fallback path.
+        let g = locality_preferential(12, 60, 0.9, 4, 8).unwrap();
+        assert_eq!(g.num_edges(), 60);
+    }
+
+    #[test]
+    fn locality_preferential_skewed_like_citations() {
+        let g = locality_preferential(2000, 5600, 0.6, 100, 23).unwrap();
+        assert!(g.max_degree() as f64 > 3.0 * g.avg_degree());
+        assert_eq!(g.size(), 2000 + 5600);
+    }
+}

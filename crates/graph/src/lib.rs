@@ -1,0 +1,72 @@
+//! Graph substrate for the MeLoPPR reproduction.
+//!
+//! This crate provides everything the MeLoPPR algorithm
+//! (`meloppr-core`) and its FPGA accelerator simulator (`meloppr-fpga`)
+//! need from a graph library:
+//!
+//! * [`CsrGraph`] — simple undirected graphs in compressed sparse row form,
+//!   the storage format the paper uses for all matrix–vector products;
+//! * [`GraphBuilder`] — ergonomic, validating construction;
+//! * [`bfs_ball`] / [`Subgraph`] — depth-limited BFS ball extraction with
+//!   local↔global id mapping, the operation at the heart of MeLoPPR's
+//!   stage decomposition (§IV);
+//! * [`generators`] — deterministic fixtures, classic random models, and
+//!   [`generators::corpus`] with synthetic stand-ins for the paper's six
+//!   SNAP evaluation graphs;
+//! * [`edge_list`] — SNAP-compatible text I/O;
+//! * [`degree`] / [`components`] — statistics used by the fixed-point
+//!   scaling rules and generator validation.
+//!
+//! # The `GraphView` abstraction
+//!
+//! Diffusion must behave identically on the full graph and on extracted
+//! balls. The [`GraphView`] trait exposes `walk_degree` — the degree used
+//! as the random-walk divisor — separately from the physically present
+//! adjacency, so a [`Subgraph`] can report parent-graph degrees and keep
+//! ball-restricted diffusion exact. See the `meloppr-core` crate's
+//! ball-exactness tests for the precise statement.
+//!
+//! # Example
+//!
+//! ```
+//! use meloppr_graph::{bfs_ball, generators, GraphView, Subgraph};
+//!
+//! # fn main() -> Result<(), meloppr_graph::GraphError> {
+//! // A synthetic stand-in for the paper's citeseer graph, scaled down.
+//! let g = generators::corpus::PaperGraph::G1Citeseer.generate_scaled(0.1, 42)?;
+//!
+//! // Extract the depth-3 ball around node 0 — the stage-one sub-graph.
+//! let ball = bfs_ball(&g, 0, 3)?;
+//! let sub = Subgraph::extract(&g, &ball)?;
+//! assert!(sub.num_nodes() <= g.num_nodes());
+//! assert_eq!(sub.to_global(sub.seed_local()), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+/// Node identifier. `u32` comfortably covers the paper's largest graph
+/// (com-youtube, 1.13 M nodes) while halving index-array memory.
+pub type NodeId = u32;
+
+mod bfs;
+mod builder;
+pub mod components;
+mod csr;
+pub mod degree;
+pub mod edge_list;
+mod error;
+pub mod fast_hash;
+pub mod generators;
+mod subgraph;
+mod view;
+
+pub use bfs::{ball_growth, bfs_ball, bfs_distances, BallSize, BfsBall};
+pub use builder::{GraphBuilder, SelfLoopPolicy};
+pub use csr::{CsrGraph, Edges};
+pub use error::{GraphError, Result};
+pub use fast_hash::{FastHashMap, FastHashSet};
+pub use subgraph::{Subgraph, SubgraphBytes};
+pub use view::GraphView;

@@ -1,0 +1,70 @@
+//! The [`GraphView`] abstraction shared by full graphs and extracted
+//! sub-graphs.
+//!
+//! MeLoPPR's diffusion kernel must run both on the full graph (for ground
+//! truth) and on BFS-extracted sub-graphs (for the multi-stage algorithm).
+//! The crucial subtlety is the *random-walk divisor*: the transition matrix
+//! `W = A·D⁻¹` uses the degree of each node **in the original graph**, even
+//! when the diffusion itself only touches a sub-graph. [`GraphView`]
+//! therefore separates the adjacency that is physically present
+//! ([`GraphView::neighbors`]) from the degree used to split propagated mass
+//! ([`GraphView::walk_degree`]).
+
+use crate::NodeId;
+
+/// A read-only view of an undirected graph suitable for diffusion.
+///
+/// Implemented by [`CsrGraph`](crate::CsrGraph) (where `walk_degree` is the
+/// plain degree) and by [`Subgraph`](crate::Subgraph) (where `walk_degree`
+/// is the node's degree in the *parent* graph, preserving the exactness of
+/// diffusion on BFS balls — see the crate-level documentation).
+pub trait GraphView {
+    /// Number of nodes in this view. Node ids are `0..num_nodes`.
+    fn num_nodes(&self) -> usize;
+
+    /// Neighbors of `u` within this view, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes() as NodeId`.
+    fn neighbors(&self, u: NodeId) -> &[NodeId];
+
+    /// The degree used as the random-walk divisor for node `u`.
+    ///
+    /// For a full graph this equals `neighbors(u).len()`. For a sub-graph it
+    /// is the degree of `u` in the parent graph, which may be larger than
+    /// the number of neighbors physically present in the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes() as NodeId`.
+    fn walk_degree(&self, u: NodeId) -> u32;
+
+    /// Number of *directed* adjacency entries in the view
+    /// (twice the undirected edge count).
+    fn num_directed_edges(&self) -> usize;
+
+    /// The paper's graph size measure `|V| + |E|` (undirected edge count).
+    fn size(&self) -> usize {
+        self.num_nodes() + self.num_directed_edges() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn size_counts_undirected_edges_once() {
+        // Triangle: 3 nodes, 3 undirected edges -> size 6.
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.size(), 6);
+        assert_eq!(g.num_directed_edges(), 6);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the graph substrate's structural invariants.
+
+use proptest::prelude::*;
+
+use meloppr_graph::edge_list::{parse_edge_list, write_edge_list, EdgeListOptions};
+use meloppr_graph::{
+    bfs_ball, bfs_distances, components, generators, CsrGraph, GraphBuilder, NodeId,
+};
+
+fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        (Just(n), prop::collection::vec(edge, 0..n * 3))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn builder_always_produces_valid_csr((n, edges) in arb_edges(64)) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        prop_assert_eq!(g.num_nodes(), n);
+        // Symmetric, sorted, loop-free adjacency.
+        for u in 0..n as NodeId {
+            let nbrs = g.neighbors(u);
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &v in nbrs {
+                prop_assert!(v != u);
+                prop_assert!(g.neighbors(v).contains(&u));
+            }
+        }
+        // Round-trip through raw parts re-validates.
+        let (offsets, neighbors) = g.clone().into_parts();
+        prop_assert_eq!(CsrGraph::from_parts(offsets, neighbors).unwrap(), g);
+    }
+
+    #[test]
+    fn edge_list_roundtrip((n, edges) in arb_edges(48)) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(edges.iter().copied());
+        let g = b.build().unwrap();
+        prop_assume!(g.num_edges() > 0);
+
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let opts = EdgeListOptions { relabel: false, ..EdgeListOptions::default() };
+        let parsed = parse_edge_list(&text, opts).unwrap();
+        // Node counts can shrink if trailing nodes are isolated; edges and
+        // adjacency of surviving nodes must match exactly.
+        prop_assert_eq!(parsed.graph.num_edges(), g.num_edges());
+        for u in 0..parsed.graph.num_nodes() as NodeId {
+            prop_assert_eq!(parsed.graph.neighbors(u), g.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_property((n, edges) in arb_edges(48)) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(edges.iter().copied());
+        let g = b.build().unwrap();
+        let dist = bfs_distances(&g, 0).unwrap();
+        prop_assert_eq!(dist[0], 0);
+        // Adjacent nodes differ by at most one hop.
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u as usize], dist[v as usize]);
+            if du != u32::MAX && dv != u32::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+            } else {
+                prop_assert_eq!(du, dv); // both unreachable together
+            }
+        }
+    }
+
+    #[test]
+    fn ball_nodes_match_distance_filter((n, edges) in arb_edges(48), depth in 0u32..5) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(edges.iter().copied());
+        let g = b.build().unwrap();
+        let ball = bfs_ball(&g, 0, depth).unwrap();
+        let dist = bfs_distances(&g, 0).unwrap();
+        let expected: std::collections::HashSet<NodeId> = (0..n as NodeId)
+            .filter(|&v| dist[v as usize] <= depth)
+            .collect();
+        let actual: std::collections::HashSet<NodeId> = ball.nodes.iter().copied().collect();
+        prop_assert_eq!(actual, expected);
+        // Reported distances agree with the full BFS.
+        for (i, &v) in ball.nodes.iter().enumerate() {
+            prop_assert_eq!(ball.dist[i], dist[v as usize]);
+        }
+    }
+
+    #[test]
+    fn components_partition_the_graph((n, edges) in arb_edges(48)) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(edges.iter().copied());
+        let g = b.build().unwrap();
+        let (labels, count) = components::connected_components(&g);
+        prop_assert_eq!(labels.len(), n);
+        prop_assert!(labels.iter().all(|&l| (l as usize) < count));
+        // Edges never cross component boundaries.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+        // Each label is used.
+        let used: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        prop_assert_eq!(used.len(), count);
+    }
+
+    #[test]
+    fn gnm_generator_respects_parameters(n in 2usize..64, m_frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let max_m = n * (n - 1) / 2;
+        let m = (max_m as f64 * m_frac) as usize;
+        let g = generators::erdos_renyi_gnm(n, m, seed).unwrap();
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn locality_preferential_always_connected(
+        n in 3usize..120,
+        extra in 0usize..60,
+        loc in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let target = (n - 1 + extra).min(n * (n - 1) / 2);
+        let g = generators::locality_preferential(n, target, loc, n / 4 + 2, seed).unwrap();
+        prop_assert_eq!(g.num_edges(), target);
+        prop_assert!(components::is_connected(&g));
+    }
+}

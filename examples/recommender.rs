@@ -1,0 +1,67 @@
+//! Who-to-follow recommendation on a synthetic social network.
+//!
+//! The paper's motivating application (§I): given a user, recommend the
+//! `k` most relevant other users by Personalized PageRank, under a tight
+//! memory budget. This example runs MeLoPPR on a community-structured
+//! graph and checks that the recommendations respect community boundaries.
+//!
+//! Run with: `cargo run --release --example recommender`
+
+use meloppr::core::precision::precision_at_k;
+use meloppr::graph::generators;
+use meloppr::{exact_top_k, MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+
+const BLOCKS: usize = 8;
+const BLOCK_SIZE: usize = 250;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A planted-partition "social network": 8 communities of 250 users,
+    // dense inside (p_in) and sparse across (p_out).
+    let graph = generators::planted_partition(BLOCKS, BLOCK_SIZE, 0.04, 0.001, 7)?;
+    println!(
+        "social graph: {} users, {} friendships, {} communities",
+        graph.num_nodes(),
+        graph.num_edges(),
+        BLOCKS
+    );
+
+    let params = MelopprParams::two_stage(
+        PprParams::new(0.85, 6, 20)?,
+        3,
+        3,
+        SelectionStrategy::TopFraction(0.05),
+    )?;
+    let engine = MelopprEngine::new(&graph, params)?;
+
+    for user in [10u32, 760, 1510] {
+        let community = user as usize / BLOCK_SIZE;
+        let outcome = engine.query(user)?;
+        let same_community = outcome
+            .ranking
+            .iter()
+            .filter(|&&(v, _)| v as usize / BLOCK_SIZE == community)
+            .count();
+        let exact = exact_top_k(&graph, user, &engine.params().ppr)?;
+        let precision = precision_at_k(&outcome.ranking, &exact, 20);
+
+        println!(
+            "\nuser {user} (community {community}): top-20 recommendations, \
+             {same_community}/20 in the same community, precision {:.0}%",
+            precision * 100.0
+        );
+        for (v, score) in outcome.ranking.iter().take(5) {
+            let flag = if *v as usize / BLOCK_SIZE == community {
+                "same"
+            } else {
+                "OTHER"
+            };
+            println!("  follow {v:>4}  score {score:.5}  [{flag} community]");
+        }
+        assert!(
+            same_community >= 15,
+            "recommendations should stay inside the community"
+        );
+    }
+    println!("\nrecommendations respect community structure — as PPR should.");
+    Ok(())
+}

@@ -1,0 +1,235 @@
+//! `meloppr-cli` — run PPR queries from the command line.
+//!
+//! ```text
+//! meloppr-cli info   <graph>
+//! meloppr-cli query  <graph> --seed-node N [--k K] [--length L]
+//!                    [--stages a,b,..] [--ratio R] [--alpha A] [--fpga]
+//! meloppr-cli exact  <graph> --seed-node N [--k K] [--length L] [--alpha A]
+//! ```
+//!
+//! `<graph>` is either a SNAP-style edge-list file path, or
+//! `corpus:<G1..G6>[:scale]` for the paper stand-ins
+//! (e.g. `corpus:G3:0.1`). All randomness is seeded; runs are
+//! reproducible.
+
+use std::process::ExitCode;
+
+use meloppr::core::precision::precision_at_k;
+use meloppr::graph::degree::degree_stats;
+use meloppr::graph::edge_list::{read_edge_list_file, EdgeListOptions};
+use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::graph::{components, CsrGraph};
+use meloppr::{
+    exact_top_k, AcceleratorConfig, HybridConfig, HybridMeloppr, MelopprEngine, MelopprParams,
+    NodeId, PprParams, SelectionStrategy,
+};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  meloppr-cli info  <graph>
+  meloppr-cli query <graph> --seed-node N [--k K] [--length L] \\
+                    [--stages a,b,..] [--ratio R] [--alpha A] [--fpga]
+  meloppr-cli exact <graph> --seed-node N [--k K] [--length L] [--alpha A]
+
+  <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]";
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err("missing command".into());
+    }
+    let command = args.remove(0);
+    if args.is_empty() {
+        return Err("missing graph specification".into());
+    }
+    let graph_spec = args.remove(0);
+    let graph = load_graph(&graph_spec)?;
+
+    match command.as_str() {
+        "info" => info(&graph_spec, &graph),
+        "query" => query(&graph, &args, false),
+        "exact" => query(&graph, &args, true),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_graph(spec: &str) -> Result<CsrGraph, String> {
+    if let Some(rest) = spec.strip_prefix("corpus:") {
+        let mut parts = rest.split(':');
+        let id = parts.next().unwrap_or_default();
+        let paper = PaperGraph::ALL
+            .into_iter()
+            .find(|p| p.id().eq_ignore_ascii_case(id))
+            .ok_or_else(|| format!("unknown corpus graph {id:?} (use G1..G6)"))?;
+        let scale: f64 = match parts.next() {
+            Some(s) => s
+                .parse()
+                .map_err(|e| format!("bad scale {s:?}: {e}"))?,
+            None => 1.0,
+        };
+        let g = if (scale - 1.0).abs() < f64::EPSILON {
+            paper.generate(42)
+        } else {
+            paper.generate_scaled(scale, 42)
+        }
+        .map_err(|e| e.to_string())?;
+        Ok(g)
+    } else {
+        let parsed = read_edge_list_file(spec, EdgeListOptions::default())
+            .map_err(|e| format!("reading {spec:?}: {e}"))?;
+        Ok(parsed.graph)
+    }
+}
+
+fn info(spec: &str, g: &CsrGraph) -> Result<(), String> {
+    let stats = degree_stats(g);
+    let (_, components) = components::connected_components(g);
+    let (largest, _) = components::largest_component(g);
+    println!("graph: {spec}");
+    println!("  nodes:              {}", g.num_nodes());
+    println!("  edges:              {}", g.num_edges());
+    println!("  degree min/med/max: {}/{}/{}", stats.min, stats.median, stats.max);
+    println!("  mean degree:        {:.2}", stats.mean);
+    println!("  isolated nodes:     {}", stats.isolated);
+    println!("  components:         {components} (largest: {largest})");
+    Ok(())
+}
+
+struct QueryArgs {
+    seed: NodeId,
+    k: usize,
+    length: usize,
+    alpha: f64,
+    stages: Vec<usize>,
+    ratio: f64,
+    fpga: bool,
+}
+
+fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
+    let mut out = QueryArgs {
+        seed: u32::MAX,
+        k: 10,
+        length: 6,
+        alpha: 0.85,
+        stages: vec![3, 3],
+        ratio: 0.05,
+        fpga: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed-node" => {
+                out.seed = value("--seed-node")?
+                    .parse()
+                    .map_err(|e| format!("--seed-node: {e}"))?
+            }
+            "--k" => out.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--length" => {
+                out.length = value("--length")?
+                    .parse()
+                    .map_err(|e| format!("--length: {e}"))?
+            }
+            "--alpha" => {
+                out.alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?
+            }
+            "--stages" => {
+                out.stages = value("--stages")?
+                    .split(',')
+                    .map(|s| s.parse::<usize>().map_err(|e| format!("--stages: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--ratio" => {
+                out.ratio = value("--ratio")?
+                    .parse()
+                    .map_err(|e| format!("--ratio: {e}"))?
+            }
+            "--fpga" => out.fpga = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if out.seed == u32::MAX {
+        return Err("--seed-node is required".into());
+    }
+    Ok(out)
+}
+
+fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> {
+    let qa = parse_query_args(args)?;
+    let ppr = PprParams::new(qa.alpha, qa.length, qa.k).map_err(|e| e.to_string())?;
+
+    if exact_only {
+        let ranking = exact_top_k(g, qa.seed, &ppr).map_err(|e| e.to_string())?;
+        println!("exact top-{} from node {} (L = {}):", qa.k, qa.seed, qa.length);
+        for (rank, (node, score)) in ranking.iter().enumerate() {
+            println!("  {:>3}. node {node:>8}  score {score:.6}", rank + 1);
+        }
+        return Ok(());
+    }
+
+    let params = MelopprParams {
+        ppr,
+        stages: qa.stages.clone(),
+        selection: SelectionStrategy::TopFraction(qa.ratio),
+        ..MelopprParams::paper_defaults()
+    };
+    params.validate().map_err(|e| e.to_string())?;
+    let exact = exact_top_k(g, qa.seed, &ppr).map_err(|e| e.to_string())?;
+
+    if qa.fpga {
+        let config = HybridConfig {
+            accel: AcceleratorConfig {
+                parallelism: 16,
+                ..AcceleratorConfig::default()
+            },
+            ..HybridConfig::default()
+        };
+        let engine = HybridMeloppr::new(g, params, config).map_err(|e| e.to_string())?;
+        let outcome = engine.query(qa.seed).map_err(|e| e.to_string())?;
+        println!(
+            "MeLoPPR-FPGA top-{} from node {} (stages {:?}, ratio {}, P = 16):",
+            qa.k, qa.seed, qa.stages, qa.ratio
+        );
+        for (rank, (node, score)) in outcome.ranking.iter().enumerate() {
+            println!("  {:>3}. node {node:>8}  score {score:.6}", rank + 1);
+        }
+        println!(
+            "precision vs exact: {:.1}%   simulated latency: {:.3} ms (BFS {:.0}%)",
+            precision_at_k(&outcome.ranking, &exact, qa.k) * 100.0,
+            outcome.latency.total_ms(),
+            outcome.latency.bfs_fraction() * 100.0
+        );
+    } else {
+        let engine = MelopprEngine::new(g, params).map_err(|e| e.to_string())?;
+        let outcome = engine.query(qa.seed).map_err(|e| e.to_string())?;
+        println!(
+            "MeLoPPR top-{} from node {} (stages {:?}, ratio {}):",
+            qa.k, qa.seed, qa.stages, qa.ratio
+        );
+        for (rank, (node, score)) in outcome.ranking.iter().enumerate() {
+            println!("  {:>3}. node {node:>8}  score {score:.6}", rank + 1);
+        }
+        println!(
+            "precision vs exact: {:.1}%   diffusions: {}   peak task bytes: {}",
+            precision_at_k(&outcome.ranking, &exact, qa.k) * 100.0,
+            outcome.stats.total_diffusions,
+            outcome.stats.peak_task_memory.total()
+        );
+    }
+    Ok(())
+}

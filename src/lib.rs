@@ -1,0 +1,62 @@
+//! # MeLoPPR — memory-efficient, low-latency Personalized PageRank
+//!
+//! A from-scratch Rust reproduction of *"MeLoPPR: Software/Hardware
+//! Co-design for Memory-efficient Low-latency Personalized PageRank"*
+//! (Li, Chen, Zirnheld, Li, Hao — DAC 2021, arXiv:2104.09616).
+//!
+//! This facade crate re-exports the three library layers so applications
+//! can depend on a single crate:
+//!
+//! * [`graph`] ([`meloppr_graph`]) — CSR graphs, BFS ball extraction,
+//!   sub-graphs, generators (including synthetic stand-ins for the
+//!   paper's six SNAP evaluation graphs) and SNAP edge-list I/O;
+//! * [`core`] ([`meloppr_core`]) — the MeLoPPR algorithm: graph
+//!   diffusion, stage/linear decomposition, sparsity-driven selection,
+//!   baselines, precision and memory models;
+//! * [`fpga`] ([`meloppr_fpga`]) — the cycle-approximate CPU+FPGA
+//!   accelerator simulator (fixed-point PEs, conflict scheduler, BRAM
+//!   tables, KC705 resource model).
+//!
+//! The most commonly used items are also re-exported at the crate root.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use meloppr::{MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+//! use meloppr::graph::generators;
+//!
+//! # fn main() -> Result<(), meloppr::core::PprError> {
+//! // Who should node 0 of the karate club follow?
+//! let g = generators::karate_club();
+//! let params = MelopprParams::two_stage(
+//!     PprParams::new(0.85, 4, 5)?,
+//!     2,
+//!     2,
+//!     SelectionStrategy::TopFraction(0.3),
+//! )?;
+//! let engine = MelopprEngine::new(&g, params)?;
+//! let outcome = engine.query(0)?;
+//! for (node, score) in &outcome.ranking {
+//!     println!("node {node}: {score:.4}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios (recommender,
+//! accelerated queries, precision sweeps, edge-device planning) and the
+//! `meloppr-bench` crate for the experiment harness that regenerates
+//! every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use meloppr_core as core;
+pub use meloppr_fpga as fpga;
+pub use meloppr_graph as graph;
+
+pub use meloppr_core::{
+    exact_ppr, exact_top_k, local_ppr, parallel_query, precision_at_k, MelopprEngine,
+    MelopprOutcome, MelopprParams, PprParams, Ranking, ResidualPolicy, SelectionStrategy,
+};
+pub use meloppr_fpga::{AcceleratorConfig, HybridConfig, HybridMeloppr};
+pub use meloppr_graph::{bfs_ball, CsrGraph, GraphBuilder, GraphView, NodeId, Subgraph};

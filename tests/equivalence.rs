@@ -1,0 +1,121 @@
+//! Cross-crate equivalence tests: the decomposed engines must agree with
+//! exact ground truth under full selection, across graph families and
+//! parameterizations.
+
+use meloppr::core::precision::precision_at_k;
+use meloppr::graph::generators::{self, corpus::PaperGraph};
+use meloppr::{
+    exact_ppr, exact_top_k, local_ppr, MelopprEngine, MelopprParams, PprParams,
+    SelectionStrategy,
+};
+
+/// The exactness matrix: every stage split of every length on every graph
+/// family must reproduce exact scores under full selection.
+#[test]
+fn meloppr_full_selection_is_exact_everywhere() {
+    let graphs: Vec<(&str, meloppr::CsrGraph)> = vec![
+        ("karate", generators::karate_club()),
+        ("grid", generators::grid(9, 7).unwrap()),
+        ("ba", generators::barabasi_albert(300, 3, 5).unwrap()),
+        ("ws", generators::watts_strogatz(200, 6, 0.2, 9).unwrap()),
+        (
+            "citeseer-ish",
+            PaperGraph::G1Citeseer.generate_scaled(0.1, 3).unwrap(),
+        ),
+    ];
+    for (name, g) in &graphs {
+        for (length, stages) in [(4usize, vec![2, 2]), (5, vec![2, 3]), (6, vec![3, 3])] {
+            let ppr = PprParams::new(0.85, length, 15).unwrap();
+            let params = MelopprParams {
+                ppr,
+                stages,
+                selection: SelectionStrategy::All,
+                ..MelopprParams::paper_defaults()
+            };
+            let engine = MelopprEngine::new(g, params).unwrap();
+            let outcome = engine.query(0).unwrap();
+            let exact = exact_ppr(g, 0, &ppr).unwrap();
+            for &(v, s) in &outcome.ranking {
+                let want = exact.accumulated[v as usize];
+                assert!(
+                    (s - want).abs() < 1e-9,
+                    "{name} L={length}: node {v} got {s}, want {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn local_ppr_equals_exact_on_every_family() {
+    let graphs = [
+        generators::karate_club(),
+        generators::binary_tree(6).unwrap(),
+        generators::erdos_renyi_gnm(400, 1200, 8).unwrap(),
+        PaperGraph::G2Cora.generate_scaled(0.1, 4).unwrap(),
+    ];
+    for (i, g) in graphs.iter().enumerate() {
+        let params = PprParams::new(0.85, 5, 20).unwrap();
+        let baseline = local_ppr(g, 1, &params).unwrap();
+        let exact = exact_ppr(g, 1, &params).unwrap();
+        for &(v, s) in &baseline.scores {
+            assert!(
+                (s - exact.accumulated[v as usize]).abs() < 1e-12,
+                "graph {i}: node {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_fpga_tracks_float_engine() {
+    let g = PaperGraph::G1Citeseer.generate_scaled(0.2, 6).unwrap();
+    let params = MelopprParams {
+        ppr: PprParams::new(0.85, 6, 50).unwrap(),
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopFraction(0.1),
+        ..MelopprParams::paper_defaults()
+    };
+    let float_engine = MelopprEngine::new(&g, params.clone()).unwrap();
+    let hybrid =
+        meloppr::HybridMeloppr::new(&g, params, meloppr::HybridConfig::default()).unwrap();
+    for seed in [2u32, 77, 300] {
+        let float_rank = float_engine.query(seed).unwrap().ranking;
+        let int_rank = hybrid.query(seed).unwrap().ranking;
+        let agreement = precision_at_k(&int_rank, &float_rank, 50);
+        assert!(
+            agreement >= 0.9,
+            "seed {seed}: fixed-point ranking diverged ({agreement})"
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_agrees_with_diffusion_ground_truth() {
+    let g = generators::karate_club();
+    let params = PprParams::new(0.85, 6, 8).unwrap();
+    let exact = exact_top_k(&g, 33, &params).unwrap();
+    let mc = meloppr::core::monte_carlo::monte_carlo_ppr(&g, 33, &params, 50_000, 11).unwrap();
+    let prec = precision_at_k(&mc.ranking, &exact, 8);
+    assert!(prec >= 0.7, "MC estimator too far off: {prec}");
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade crate must expose a workable one-stop API.
+    let g = meloppr::GraphBuilder::new(4)
+        .edge(0, 1)
+        .edge(1, 2)
+        .edge(2, 3)
+        .build()
+        .unwrap();
+    let params = MelopprParams::two_stage(
+        PprParams::new(0.5, 2, 2).unwrap(),
+        1,
+        1,
+        SelectionStrategy::All,
+    )
+    .unwrap();
+    let outcome = MelopprEngine::new(&g, params).unwrap().query(0).unwrap();
+    assert_eq!(outcome.ranking.len(), 2);
+}

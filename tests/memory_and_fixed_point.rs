@@ -1,0 +1,143 @@
+//! Integration tests for the paper's quantitative claims: Table II's
+//! memory directions and §V-A/§V-B's fixed-point and global-table bounds.
+
+use meloppr::core::memory::{cpu_task_memory, fpga_bram_bytes};
+use meloppr::core::precision::precision_at_k;
+use meloppr::fpga::{DegreeScale, FixedPointFormat, ResourceModel};
+use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::{
+    local_ppr, AcceleratorConfig, HybridConfig, HybridMeloppr, MelopprEngine, MelopprParams,
+    PprParams, SelectionStrategy,
+};
+
+fn paper_like_params(k: usize) -> MelopprParams {
+    MelopprParams {
+        ppr: PprParams::new(0.85, 6, k).unwrap(),
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopFraction(0.02),
+        ..MelopprParams::paper_defaults()
+    }
+}
+
+/// Table II's headline: MeLoPPR's peak working set is smaller than the
+/// baseline's depth-L ball, and the FPGA's packed tables are smaller
+/// still. Verified on scaled stand-ins of every corpus graph.
+#[test]
+fn memory_reductions_hold_across_corpus() {
+    for pg in PaperGraph::ALL {
+        let scale = if pg.is_large() { 0.01 } else { 0.2 };
+        let g = pg.generate_scaled(scale, 42).unwrap();
+        let params = paper_like_params(50);
+        let engine = MelopprEngine::new(&g, params.clone()).unwrap();
+
+        let mut wins = 0usize;
+        let seeds = [1u32, 7, 23];
+        for &s in &seeds {
+            let baseline = local_ppr(&g, s, &params.ppr).unwrap();
+            let outcome = engine.query(s).unwrap();
+            if outcome.stats.peak_task_memory.total() <= baseline.stats.memory.total() {
+                wins += 1;
+            }
+            // The FPGA tables for the same peak ball are smaller than the
+            // CPU model of that ball (packed 4-byte words vs 8-byte).
+            let peak = outcome
+                .stats
+                .trace
+                .iter()
+                .max_by_key(|t| t.ball_nodes)
+                .unwrap();
+            assert!(
+                fpga_bram_bytes(peak.ball_nodes, peak.ball_edges)
+                    < cpu_task_memory(peak.ball_nodes, peak.ball_edges).total(),
+                "{pg}: FPGA tables should undercut the CPU model"
+            );
+        }
+        assert!(
+            wins >= 2,
+            "{pg}: MeLoPPR should reduce memory for most seeds ({wins}/3)"
+        );
+    }
+}
+
+/// §V-A: top-k precision loss from 32-bit integer scores obeys the paper's
+/// ordering — `d = max_degree` is (near-)lossless, `d = avg` loses a few
+/// percent at most.
+#[test]
+fn fixed_point_loss_bounds() {
+    let g = PaperGraph::G1Citeseer.generate_scaled(0.3, 9).unwrap();
+    let params = paper_like_params(100).with_selection(SelectionStrategy::TopFraction(0.05));
+    let float_engine = MelopprEngine::new(&g, params.clone()).unwrap();
+
+    let mut results = Vec::new();
+    for scale in [DegreeScale::Average, DegreeScale::HalfMax, DegreeScale::Max] {
+        let config = HybridConfig {
+            accel: AcceleratorConfig {
+                degree_scale: scale,
+                ..AcceleratorConfig::default()
+            },
+            ..HybridConfig::default()
+        };
+        let hybrid = HybridMeloppr::new(&g, params.clone(), config).unwrap();
+        let mut total = 0.0;
+        let seeds = [3u32, 50, 200, 444];
+        for &s in &seeds {
+            let float_rank = float_engine.query(s).unwrap().ranking;
+            let int_rank = hybrid.query(s).unwrap().ranking;
+            total += precision_at_k(&int_rank, &float_rank, 100);
+        }
+        results.push(total / 4.0);
+    }
+    let (avg, half, max) = (results[0], results[1], results[2]);
+    assert!(avg >= 0.9, "avg-degree scaling too lossy: {avg}");
+    assert!(half >= 0.95, "paper's d = max/2 should be nearly lossless: {half}");
+    assert!(max >= 0.95, "d = max should be nearly lossless: {max}");
+    assert!(max >= avg - 1e-9, "loss must not grow with d");
+}
+
+/// §V-B: a `c·k` table with c ≥ 8 is effectively lossless; c = 1 costs
+/// noticeably more.
+#[test]
+fn global_table_factor_bounds() {
+    let g = PaperGraph::G2Cora.generate_scaled(0.3, 5).unwrap();
+    let base = paper_like_params(100).with_selection(SelectionStrategy::TopFraction(0.2));
+    let exact_engine = MelopprEngine::new(&g, base.clone()).unwrap();
+    let seeds = [2u32, 111, 321];
+
+    let measure = |c: usize| {
+        let engine = MelopprEngine::new(&g, base.clone().with_table_factor(c)).unwrap();
+        let mut total = 0.0;
+        for &s in &seeds {
+            let reference = exact_engine.query(s).unwrap().ranking;
+            let bounded = engine.query(s).unwrap().ranking;
+            total += precision_at_k(&bounded, &reference, 100);
+        }
+        total / seeds.len() as f64
+    };
+    let c8 = measure(8);
+    let c1 = measure(1);
+    assert!(c8 >= 0.99, "c = 8 should be near-lossless: {c8}");
+    assert!(c8 >= c1, "larger tables can't be worse: c8 {c8} vs c1 {c1}");
+}
+
+/// The fixed-point format is consistent for every corpus graph (no
+/// overflow at paper scales).
+#[test]
+fn fixed_point_format_fits_all_corpus_graphs() {
+    for pg in PaperGraph::ALL {
+        let scale = if pg.is_large() { 0.01 } else { 0.5 };
+        let g = pg.generate_scaled(scale, 1).unwrap();
+        let fmt = FixedPointFormat::for_graph(&g, 0.85, 10, DegreeScale::HalfMax).unwrap();
+        assert!(fmt.max_value() > 0);
+        assert!((fmt.effective_alpha() - 0.85).abs() < 1e-2, "{pg}");
+    }
+}
+
+/// Resource model sanity: the paper's design point (P = 16) fits the
+/// KC705; doubling it does not.
+#[test]
+fn resource_model_limits() {
+    let model = ResourceModel::kc705();
+    assert!(model.utilization(16).lut_fraction < 1.0);
+    assert!(model.utilization(16).bram_fraction < 1.0);
+    assert!(model.utilization(32).lut_fraction > 1.0);
+}
