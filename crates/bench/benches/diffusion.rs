@@ -24,9 +24,7 @@ fn bench_ball_diffusion(c: &mut Criterion) {
             BenchmarkId::new("edges", sub.num_edges()),
             &(sub, config),
             |b, (sub, config)| {
-                b.iter(|| {
-                    diffuse_from_seed(black_box(sub), sub.seed_local(), *config).unwrap()
-                });
+                b.iter(|| diffuse_from_seed(black_box(sub), sub.seed_local(), *config).unwrap());
             },
         );
     }

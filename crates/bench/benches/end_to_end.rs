@@ -1,14 +1,14 @@
 //! Criterion end-to-end query benchmarks: baseline vs MeLoPPR (sequential
-//! and parallel) vs the simulated hybrid platform, native Rust wall-clock.
+//! and parallel) vs the simulated hybrid platform, native Rust wall-clock,
+//! all driven through the unified `PprBackend` API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use meloppr_bench::sample_seeds;
-use meloppr_core::{
-    local_ppr, parallel_query, MelopprEngine, MelopprParams, PprParams, SelectionStrategy,
-};
-use meloppr_fpga::{HybridConfig, HybridMeloppr};
+use meloppr_core::backend::{LocalPpr, Meloppr, PprBackend, QueryRequest};
+use meloppr_core::{MelopprParams, PprParams, SelectionStrategy};
+use meloppr_fpga::{FpgaHybrid, HybridConfig};
 use meloppr_graph::generators::corpus::PaperGraph;
 
 fn params() -> MelopprParams {
@@ -24,22 +24,28 @@ fn bench_query_engines(c: &mut Criterion) {
     let g = PaperGraph::G2Cora.generate(42).unwrap();
     let seed = sample_seeds(&g, 1, 3)[0];
     let p = params();
+    let req = QueryRequest::new(seed);
 
     let mut group = c.benchmark_group("query_cora");
     group.sample_size(30);
+    let baseline = LocalPpr::new(&g, p.ppr).unwrap();
     group.bench_function("local_ppr_baseline", |b| {
-        b.iter(|| local_ppr(black_box(&g), seed, &p.ppr).unwrap());
+        b.iter(|| baseline.query(black_box(&req)).unwrap());
     });
-    let engine = MelopprEngine::new(&g, p.clone()).unwrap();
+    let engine = Meloppr::new(&g, p.clone()).unwrap();
     group.bench_function("meloppr_sequential", |b| {
-        b.iter(|| engine.query(black_box(seed)).unwrap());
+        b.iter(|| engine.query(black_box(&req)).unwrap());
     });
+    let parallel = Meloppr::new(&g, p.clone())
+        .unwrap()
+        .with_threads(4)
+        .unwrap();
     group.bench_function("meloppr_parallel_4", |b| {
-        b.iter(|| parallel_query(&g, &p, black_box(seed), 4).unwrap());
+        b.iter(|| parallel.query(black_box(&req)).unwrap());
     });
-    let hybrid = HybridMeloppr::new(&g, p.clone(), HybridConfig::default()).unwrap();
+    let hybrid = FpgaHybrid::new(&g, p.clone(), HybridConfig::default()).unwrap();
     group.bench_function("hybrid_fpga_sim", |b| {
-        b.iter(|| hybrid.query(black_box(seed)).unwrap());
+        b.iter(|| hybrid.query(black_box(&req)).unwrap());
     });
     group.finish();
 }
@@ -47,16 +53,17 @@ fn bench_query_engines(c: &mut Criterion) {
 fn bench_selection_ratios(c: &mut Criterion) {
     let g = PaperGraph::G1Citeseer.generate(42).unwrap();
     let seed = sample_seeds(&g, 1, 5)[0];
+    let req = QueryRequest::new(seed);
     let mut group = c.benchmark_group("meloppr_vs_ratio");
     group.sample_size(20);
     for ratio in [0.01f64, 0.05, 0.2] {
         let p = params().with_selection(SelectionStrategy::TopFraction(ratio));
-        let engine = MelopprEngine::new(&g, p).unwrap();
+        let backend = Meloppr::new(&g, p).unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}pct", (ratio * 100.0) as u32)),
-            &engine,
-            |b, engine| {
-                b.iter(|| engine.query(black_box(seed)).unwrap());
+            &backend,
+            |b, backend| {
+                b.iter(|| backend.query(black_box(&req)).unwrap());
             },
         );
     }

@@ -45,10 +45,19 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| PaperGraph::G1Citeseer.generate(black_box(7)).unwrap());
     });
     group.bench_function("pubmed_standin_10pct", |b| {
-        b.iter(|| PaperGraph::G3Pubmed.generate_scaled(0.1, black_box(7)).unwrap());
+        b.iter(|| {
+            PaperGraph::G3Pubmed
+                .generate_scaled(0.1, black_box(7))
+                .unwrap()
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_bfs_ball, bench_subgraph_extract, bench_generators);
+criterion_group!(
+    benches,
+    bench_bfs_ball,
+    bench_subgraph_extract,
+    bench_generators
+);
 criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! §VI-C: "MeLoPPR allows multiple next-stage nodes to be computed in
 //! parallel, which can further reduce the overall latency. We leave this
 //! for future experiments." Here are those experiments: wall-clock time of
-//! the native Rust engine with 1–8 worker threads, verifying bit-identical
-//! results.
+//! the native Rust engine with 1–8 worker threads (the `Meloppr` backend's
+//! `with_threads` option), verifying bit-identical results.
 //!
 //! Usage: `cargo run --release -p meloppr-bench --bin ablation_parallel
 //! [--seeds N] [--scale F]`
@@ -14,7 +14,8 @@ use std::time::Instant;
 
 use meloppr_bench::table::TextTable;
 use meloppr_bench::{sample_seeds, CorpusGraph, ExperimentScale};
-use meloppr_core::{parallel_query, MelopprParams, SelectionStrategy};
+use meloppr_core::backend::{Meloppr, PprBackend, QueryRequest};
+use meloppr_core::{MelopprParams, SelectionStrategy};
 use meloppr_graph::generators::corpus::PaperGraph;
 
 fn main() {
@@ -34,9 +35,15 @@ fn main() {
         seeds.len()
     );
 
+    let sequential = Meloppr::new(g, params.clone()).expect("params");
     let reference: Vec<_> = seeds
         .iter()
-        .map(|&s| parallel_query(g, &params, s, 1).expect("query").ranking)
+        .map(|&s| {
+            sequential
+                .query(&QueryRequest::new(s))
+                .expect("query")
+                .ranking
+        })
         .collect();
 
     let mut table = TextTable::new(vec![
@@ -47,10 +54,14 @@ fn main() {
     ]);
     let mut base_ms: Option<f64> = None;
     for threads in [1usize, 2, 4, 8] {
+        let backend = Meloppr::new(g, params.clone())
+            .expect("params")
+            .with_threads(threads)
+            .expect("threads");
         let start = Instant::now();
         let mut identical = true;
         for (&s, reference) in seeds.iter().zip(&reference) {
-            let outcome = parallel_query(g, &params, s, threads).expect("query");
+            let outcome = backend.query(&QueryRequest::new(s)).expect("query");
             identical &= &outcome.ranking == reference;
         }
         let ms = start.elapsed().as_secs_f64() * 1e3 / seeds.len().max(1) as f64;

@@ -89,8 +89,8 @@ fn main() {
         let clock = accel.config().clock_mhz;
         let mut cycles = CycleBreakdown::default();
         for sub in &subs {
-            let fmt = FixedPointFormat::for_graph(g, alpha, 10, Default::default())
-                .expect("format");
+            let fmt =
+                FixedPointFormat::for_graph(g, alpha, 10, Default::default()).expect("format");
             cycles.data_movement += accel.stream_in_cycles(sub);
             let result = accel
                 .run_diffusion(sub, fmt.max_value(), L1, &fmt)

@@ -56,9 +56,7 @@ fn main() {
         .collect();
 
     // Top: precision curve.
-    let mut table = TextTable::new(vec![
-        "ratio", "G1", "G2", "G3", "mean", "paper mean",
-    ]);
+    let mut table = TextTable::new(vec!["ratio", "G1", "G2", "G3", "mean", "paper mean"]);
     for &ratio in &RATIOS {
         let p = params
             .clone()
@@ -103,7 +101,9 @@ fn main() {
             total_nonzero += stats.nonzero;
         }
     }
-    let buckets = ["<= -5", "(-5,-4]", "(-4,-3]", "(-3,-2]", "(-2,-1]", "(-1,0]"];
+    let buckets = [
+        "<= -5", "(-5,-4]", "(-4,-3]", "(-3,-2]", "(-2,-1]", "(-1,0]",
+    ];
     for (label, &count) in buckets.iter().zip(&counts) {
         hist_table.row(vec![
             label.to_string(),

@@ -13,9 +13,7 @@
 //! [--full] [--seeds N] [--scale F]`
 
 use meloppr_bench::table::TextTable;
-use meloppr_bench::{
-    measure_tradeoff, sample_seeds, CorpusGraph, CpuCostModel, ExperimentScale,
-};
+use meloppr_bench::{measure_tradeoff, sample_seeds, CorpusGraph, CpuCostModel, ExperimentScale};
 use meloppr_core::MelopprParams;
 use meloppr_fpga::{AcceleratorConfig, HybridConfig};
 use meloppr_graph::generators::corpus::PaperGraph;
@@ -51,7 +49,11 @@ fn main() {
     println!(
         "config: L=6 (3+3), k=200, FPGA P=16 @ 100 MHz, {} seeds per graph{} (paper: 500)\n",
         scale.seeds,
-        if scale.full { ", FULL sizes" } else { " (quick mode; --full for paper sizes)" }
+        if scale.full {
+            ", FULL sizes"
+        } else {
+            " (quick mode; --full for paper sizes)"
+        }
     );
 
     for (gi, pg) in PaperGraph::ALL.into_iter().enumerate() {

@@ -18,11 +18,10 @@
 
 use meloppr_bench::table::TextTable;
 use meloppr_bench::{sample_seeds, CorpusGraph, ExperimentScale};
-use meloppr_core::monte_carlo::monte_carlo_ppr;
+use meloppr_core::backend::{LocalPpr, Meloppr, MonteCarlo, PprBackend, QueryRequest};
 use meloppr_core::push::forward_push;
 use meloppr_core::{
-    exact_top_k, local_ppr, mean_precision, precision_at_k, MelopprEngine, MelopprParams,
-    PprParams, SelectionStrategy,
+    exact_top_k, mean_precision, precision_at_k, MelopprParams, PprParams, SelectionStrategy,
 };
 use meloppr_graph::generators::corpus::PaperGraph;
 
@@ -35,7 +34,12 @@ fn main() {
     let ppr = PprParams::new(0.85, 6, 100).unwrap();
 
     println!("== Fig. 2 design-space study: space vs accesses vs precision ==");
-    println!("graph: {}  seeds: {}  k = {}\n", corpus.label(), seeds.len(), ppr.k);
+    println!(
+        "graph: {}  seeds: {}  k = {}\n",
+        corpus.label(),
+        seeds.len(),
+        ppr.k
+    );
 
     #[derive(Default)]
     struct Acc {
@@ -56,28 +60,44 @@ fn main() {
         selection: SelectionStrategy::TopFraction(0.05),
         ..MelopprParams::paper_defaults()
     };
-    let engine = MelopprEngine::new(g, params).unwrap();
+    // Three of the four families are unified-API backends; forward push
+    // stays a free function (it is a software comparator, not a serving
+    // backend).
+    let mc = MonteCarlo::new(g, ppr, 10_000, 7).unwrap();
+    let baseline = LocalPpr::new(g, ppr).unwrap();
+    let meloppr = Meloppr::new(g, params).unwrap();
 
     for &s in &seeds {
         let exact = exact_top_k(g, s, &ppr).unwrap();
+        let req = QueryRequest::new(s);
 
-        let mc = monte_carlo_ppr(g, s, &ppr, 10_000, 7).unwrap();
-        rows[0].1.space += (mc.scores.len() * 16) as f64; // terminal counts only
-        rows[0].1.offchip += mc.steps as f64;
-        rows[0].1.precision.push(precision_at_k(&mc.ranking, &exact, ppr.k));
+        let outcome = mc.query(&req).unwrap();
+        // Terminal counts only: key + count per aggregate entry.
+        rows[0].1.space += (outcome.stats.aggregate_entries * 16) as f64;
+        rows[0].1.offchip += outcome.stats.random_walk_steps as f64;
+        rows[0]
+            .1
+            .precision
+            .push(precision_at_k(&outcome.ranking, &exact, ppr.k));
 
         let push = forward_push(g, s, ppr.alpha, 1e-7, ppr.k).unwrap();
         rows[1].1.space += (push.touched_nodes * 24) as f64; // p + r + queue entry
         rows[1].1.offchip += push.edges_touched as f64;
-        rows[1].1.precision.push(precision_at_k(&push.ranking, &exact, ppr.k));
+        rows[1]
+            .1
+            .precision
+            .push(precision_at_k(&push.ranking, &exact, ppr.k));
 
-        let base = local_ppr(g, s, &ppr).unwrap();
-        rows[2].1.space += base.stats.memory.total() as f64;
-        rows[2].1.offchip += base.stats.bfs_edges_scanned as f64;
-        rows[2].1.precision.push(precision_at_k(&base.ranking, &exact, ppr.k));
+        let outcome = baseline.query(&req).unwrap();
+        rows[2].1.space += outcome.stats.peak_memory_bytes as f64;
+        rows[2].1.offchip += outcome.stats.bfs_edges_scanned as f64;
+        rows[2]
+            .1
+            .precision
+            .push(precision_at_k(&outcome.ranking, &exact, ppr.k));
 
-        let outcome = engine.query(s).unwrap();
-        rows[3].1.space += outcome.stats.peak_task_memory.total() as f64;
+        let outcome = meloppr.query(&req).unwrap();
+        rows[3].1.space += outcome.stats.peak_task_memory_bytes as f64;
         rows[3].1.offchip += outcome.stats.bfs_edges_scanned as f64;
         rows[3]
             .1
@@ -97,7 +117,10 @@ fn main() {
             name.to_string(),
             format!("{:.1}", acc.space / n / 1024.0),
             format!("{:.0}", acc.offchip / n),
-            format!("{:.1}%", mean_precision(&acc.precision).unwrap_or(0.0) * 100.0),
+            format!(
+                "{:.1}%",
+                mean_precision(&acc.precision).unwrap_or(0.0) * 100.0
+            ),
         ]);
     }
     table.print();

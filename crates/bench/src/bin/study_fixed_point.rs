@@ -80,7 +80,11 @@ fn main() {
                 q.to_string(),
                 format!("{:.2}%", prec * 100.0),
                 format!("{:.2}%", (1.0 - prec) * 100.0),
-                if q == 10 { bound.to_string() } else { String::new() },
+                if q == 10 {
+                    bound.to_string()
+                } else {
+                    String::new()
+                },
             ]);
         }
     }

@@ -25,7 +25,12 @@ fn main() {
     println!("selection: 10%, k = 200; reference: unbounded aggregation\n");
 
     let mut table = TextTable::new(vec![
-        "c", "capacity", "match", "loss", "evictions/query", "paper bound",
+        "c",
+        "capacity",
+        "match",
+        "loss",
+        "evictions/query",
+        "paper bound",
     ]);
     let corpora: Vec<CorpusGraph> = [PaperGraph::G1Citeseer, PaperGraph::G2Cora]
         .into_iter()

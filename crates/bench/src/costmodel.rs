@@ -10,10 +10,12 @@
 //! diffusion on G1), and count work units exactly.
 //!
 //! Speedup ratios then depend only on counted work — which we reproduce
-//! faithfully — while the constants set the axis scale. The Criterion
+//! faithfully — while the constants set the axis scale. Work units come
+//! from the unified API's normalized
+//! [`QueryStats`], so every backend is charged identically. The Criterion
 //! benches measure the native Rust implementations separately.
 
-use meloppr_core::{LocalPprStats, MelopprStats};
+use meloppr_core::QueryStats;
 
 /// Per-work-unit costs of a NetworkX-class CPU implementation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,27 +44,20 @@ impl Default for CpuCostModel {
 }
 
 impl CpuCostModel {
-    /// Modelled latency of one `LocalPPR-CPU` baseline query.
-    pub fn local_ppr_ns(&self, stats: &LocalPprStats) -> f64 {
-        self.fixed_overhead_ns
+    /// Modelled latency of one query from its normalized [`QueryStats`] —
+    /// the same unit costs for every backend: BFS scans, diffusion edge
+    /// updates and node touches, plus a fixed overhead that grows 2 % per
+    /// additional diffusion task (per-task dispatch bookkeeping).
+    pub fn query_ns(&self, stats: &QueryStats) -> f64 {
+        self.fixed_overhead_ns * (1.0 + stats.total_diffusions.saturating_sub(1) as f64 * 0.02)
             + stats.bfs_edges_scanned as f64 * self.ns_per_bfs_edge
             + stats.diffusion_edge_updates as f64 * self.ns_per_diffusion_edge
-            + stats.ball_nodes as f64 * self.ns_per_node_touch
+            + stats.nodes_touched as f64 * self.ns_per_node_touch
     }
 
-    /// Modelled latency of one `MeLoPPR-CPU` query (same unit costs,
-    /// MeLoPPR's own work counts).
-    pub fn meloppr_cpu_ns(&self, stats: &MelopprStats) -> f64 {
-        let nodes_touched: usize = stats.trace.iter().map(|t| t.ball_nodes).sum();
-        self.fixed_overhead_ns * (1.0 + stats.total_diffusions as f64 * 0.02)
-            + stats.bfs_edges_scanned as f64 * self.ns_per_bfs_edge
-            + stats.diffusion_edge_updates as f64 * self.ns_per_diffusion_edge
-            + nodes_touched as f64 * self.ns_per_node_touch
-    }
-
-    /// Modelled latency of just the BFS-extraction portion of a MeLoPPR
-    /// query (the light-blue "BFS time percentage" bars of Fig. 7).
-    pub fn meloppr_bfs_ns(&self, stats: &MelopprStats) -> f64 {
+    /// Modelled latency of just the BFS-extraction portion of a query
+    /// (the light-blue "BFS time percentage" bars of Fig. 7).
+    pub fn bfs_ns(&self, stats: &QueryStats) -> f64 {
         stats.bfs_edges_scanned as f64 * self.ns_per_bfs_edge
     }
 }
@@ -70,16 +65,23 @@ impl CpuCostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use meloppr_core::{local_ppr, MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+    use meloppr_core::backend::{LocalPpr, Meloppr, PprBackend, QueryRequest};
+    use meloppr_core::{MelopprParams, PprParams, SelectionStrategy};
     use meloppr_graph::generators;
 
     #[test]
     fn local_model_scales_with_work() {
         let g = generators::karate_club();
-        let small = local_ppr(&g, 0, &PprParams::new(0.85, 1, 5).unwrap()).unwrap();
-        let large = local_ppr(&g, 0, &PprParams::new(0.85, 6, 5).unwrap()).unwrap();
         let model = CpuCostModel::default();
-        assert!(model.local_ppr_ns(&large.stats) > model.local_ppr_ns(&small.stats));
+        let run = |length: usize| {
+            LocalPpr::new(&g, PprParams::new(0.85, length, 5).unwrap())
+                .unwrap()
+                .query(&QueryRequest::new(0))
+                .unwrap()
+        };
+        let small = run(1);
+        let large = run(6);
+        assert!(model.query_ns(&large.stats) > model.query_ns(&small.stats));
     }
 
     #[test]
@@ -95,8 +97,11 @@ mod tests {
                 selection: SelectionStrategy::TopFraction(frac),
                 ..MelopprParams::paper_defaults()
             };
-            let outcome = MelopprEngine::new(&g, params).unwrap().query(11).unwrap();
-            model.meloppr_cpu_ns(&outcome.stats)
+            let outcome = Meloppr::new(&g, params)
+                .unwrap()
+                .query(&QueryRequest::new(11))
+                .unwrap();
+            model.query_ns(&outcome.stats)
         };
         assert!(run(0.3) > run(0.01));
     }
@@ -110,9 +115,12 @@ mod tests {
             selection: SelectionStrategy::TopCount(3),
             ..MelopprParams::paper_defaults()
         };
-        let outcome = MelopprEngine::new(&g, params).unwrap().query(0).unwrap();
+        let outcome = Meloppr::new(&g, params)
+            .unwrap()
+            .query(&QueryRequest::new(0))
+            .unwrap();
         let model = CpuCostModel::default();
-        assert!(model.meloppr_bfs_ns(&outcome.stats) < model.meloppr_cpu_ns(&outcome.stats));
+        assert!(model.bfs_ns(&outcome.stats) < model.query_ns(&outcome.stats));
     }
 
     #[test]
@@ -120,9 +128,14 @@ mod tests {
         // One stage-one diffusion on the full G1 stand-in, from a hub seed
         // (node 0 is the oldest preferential-attachment node), should land
         // within an order of magnitude of the paper's ~9 ms CPU bar.
-        let g = generators::corpus::PaperGraph::G1Citeseer.generate(1).unwrap();
-        let baseline = local_ppr(&g, 0, &PprParams::new(0.85, 3, 200).unwrap()).unwrap();
-        let ms = CpuCostModel::default().local_ppr_ns(&baseline.stats) / 1e6;
+        let g = generators::corpus::PaperGraph::G1Citeseer
+            .generate(1)
+            .unwrap();
+        let baseline = LocalPpr::new(&g, PprParams::new(0.85, 3, 200).unwrap())
+            .unwrap()
+            .query(&QueryRequest::new(0))
+            .unwrap();
+        let ms = CpuCostModel::default().query_ns(&baseline.stats) / 1e6;
         assert!(ms > 0.5 && ms < 90.0, "calibration off: {ms} ms");
     }
 }

@@ -1,10 +1,13 @@
 //! Shared experiment measurement loops (Fig. 6 / Fig. 7 cores).
+//!
+//! All engines are driven through the unified `PprBackend` API, so each
+//! loop builds one backend per solver and feeds it the same
+//! `QueryRequest`s; the normalized `QueryStats` feed the calibrated CPU
+//! cost model uniformly.
 
-use meloppr_core::{
-    exact_top_k, local_ppr, mean_precision, precision_at_k, MelopprEngine, MelopprParams,
-    SelectionStrategy,
-};
-use meloppr_fpga::{HybridConfig, HybridMeloppr};
+use meloppr_core::backend::{LocalPpr, Meloppr, PprBackend, QueryRequest};
+use meloppr_core::{exact_top_k, mean_precision, precision_at_k, MelopprParams, SelectionStrategy};
+use meloppr_fpga::{FpgaHybrid, HybridConfig};
 use meloppr_graph::{CsrGraph, NodeId};
 
 use crate::costmodel::CpuCostModel;
@@ -16,11 +19,11 @@ use crate::costmodel::CpuCostModel;
 ///
 /// Panics on query errors (experiment binaries fail fast).
 pub fn measure_precision(graph: &CsrGraph, seeds: &[NodeId], params: &MelopprParams) -> f64 {
-    let engine = MelopprEngine::new(graph, params.clone()).expect("valid params");
+    let backend = Meloppr::new(graph, params.clone()).expect("valid params");
     let values: Vec<f64> = seeds
         .iter()
         .map(|&s| {
-            let outcome = engine.query(s).expect("query");
+            let outcome = backend.query(&QueryRequest::new(s)).expect("query");
             let exact = exact_top_k(graph, s, &params.ppr).expect("ground truth");
             precision_at_k(&outcome.ranking, &exact, params.ppr.k)
         })
@@ -70,8 +73,9 @@ pub fn measure_tradeoff(
     let params = base_params
         .clone()
         .with_selection(SelectionStrategy::TopFraction(ratio));
-    let engine = MelopprEngine::new(graph, params.clone()).expect("valid params");
-    let fpga = HybridMeloppr::new(graph, params.clone(), *hybrid).expect("valid hybrid");
+    let baseline = LocalPpr::new(graph, params.ppr).expect("valid params");
+    let engine = Meloppr::new(graph, params.clone()).expect("valid params");
+    let fpga = FpgaHybrid::new(graph, params.clone(), *hybrid).expect("valid hybrid");
 
     let mut precisions = Vec::with_capacity(seeds.len());
     let mut precisions_fpga = Vec::with_capacity(seeds.len());
@@ -79,23 +83,34 @@ pub fn measure_tradeoff(
         (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
 
     for &s in seeds {
+        let req = QueryRequest::new(s);
         let exact = exact_top_k(graph, s, &params.ppr).expect("ground truth");
-        let baseline = local_ppr(graph, s, &params.ppr).expect("baseline");
-        base_ns += cost.local_ppr_ns(&baseline.stats);
+        let base = baseline.query(&req).expect("baseline");
+        base_ns += cost.query_ns(&base.stats);
 
-        let outcome = engine.query(s).expect("cpu query");
+        let outcome = engine.query(&req).expect("cpu query");
         precisions.push(precision_at_k(&outcome.ranking, &exact, params.ppr.k));
-        cpu_ns += cost.meloppr_cpu_ns(&outcome.stats);
+        cpu_ns += cost.query_ns(&outcome.stats);
         diffusions += outcome.stats.total_diffusions as f64;
 
-        let hybrid_outcome = fpga.query(s).expect("fpga query");
+        let hybrid_outcome = fpga.query(&req).expect("fpga query");
         precisions_fpga.push(precision_at_k(
             &hybrid_outcome.ranking,
             &exact,
             params.ppr.k,
         ));
-        fpga_ns += hybrid_outcome.latency.total_ns();
-        bfs_frac += hybrid_outcome.latency.bfs_fraction();
+        // The accelerator's own timing model is authoritative; it also
+        // reports the host-BFS share of that total.
+        let total_ns = hybrid_outcome
+            .stats
+            .latency_estimate_ns
+            .expect("fpga backend reports latency");
+        let host_ns = hybrid_outcome
+            .stats
+            .host_latency_ns
+            .expect("fpga backend reports host split");
+        fpga_ns += total_ns;
+        bfs_frac += host_ns / total_ns.max(1.0);
     }
     let n = seeds.len().max(1) as f64;
     let (base_ns, cpu_ns, fpga_ns) = (base_ns / n, cpu_ns / n, fpga_ns / n);
@@ -157,7 +172,10 @@ mod tests {
         );
         assert!(point.precision > 0.0 && point.precision <= 1.0);
         assert!(point.baseline_ms > 0.0);
-        assert!(point.fpga_speedup > 1.0, "FPGA should beat the modelled CPU");
+        assert!(
+            point.fpga_speedup > 1.0,
+            "FPGA should beat the modelled CPU"
+        );
         assert!((0.0..=1.0).contains(&point.bfs_fraction));
         assert!(point.diffusions >= 1.0);
     }

@@ -156,7 +156,9 @@ impl ExperimentScale {
                     scale.small_scale = f;
                     scale.large_scale = f;
                 }
-                other => panic!("unknown argument {other:?} (supported: --full, --seeds N, --scale F)"),
+                other => {
+                    panic!("unknown argument {other:?} (supported: --full, --seeds N, --scale F)")
+                }
             }
         }
         scale
@@ -211,10 +213,8 @@ mod tests {
         assert_eq!(s.scale_for(PaperGraph::G1Citeseer), 1.0);
         assert_eq!(s.scale_for(PaperGraph::G6ComYoutube), 0.02);
 
-        let s = ExperimentScale::from_args(
-            ["--full".to_string(), "--seeds".into(), "3".into()],
-            10,
-        );
+        let s =
+            ExperimentScale::from_args(["--full".to_string(), "--seeds".into(), "3".into()], 10);
         assert!(s.full);
         assert_eq!(s.seeds, 3);
         assert_eq!(s.scale_for(PaperGraph::G6ComYoutube), 1.0);

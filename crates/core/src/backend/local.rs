@@ -1,0 +1,151 @@
+//! The `LocalPPR-CPU` baseline behind the unified API.
+
+use meloppr_graph::GraphView;
+
+use super::{
+    BackendCaps, BackendKind, CostEstimate, LatencyModel, PprBackend, QueryOutcome, QueryRequest,
+    QueryStats, WorkProfile,
+};
+use crate::error::Result;
+use crate::local_ppr::local_ppr_impl;
+use crate::memory::cpu_task_memory;
+use crate::params::PprParams;
+
+/// Single-stage diffusion on the whole depth-`L` ball (Fig. 2(b)).
+///
+/// Exact (ball exactness) but memory-proportional to the
+/// exponentially-growing `G_L(s)` — the solver MeLoPPR's stage
+/// decomposition exists to beat. Routing picks it when exactness is
+/// required and the ball fits the memory budget.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::backend::{LocalPpr, PprBackend, QueryRequest};
+/// use meloppr_core::PprParams;
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let backend = LocalPpr::new(&g, PprParams::new(0.85, 4, 5)?)?;
+/// let outcome = backend.query(&QueryRequest::new(0))?;
+/// assert_eq!(outcome.ranking.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LocalPpr<'g, G: GraphView + ?Sized> {
+    graph: &'g G,
+    params: PprParams,
+    profile: WorkProfile,
+    latency: LatencyModel,
+}
+
+impl<'g, G: GraphView + ?Sized> LocalPpr<'g, G> {
+    /// Creates the backend, validating `params` and probing the graph's
+    /// ball growth for cost estimation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`](crate::PprError::InvalidParams)
+    /// on invalid parameters.
+    pub fn new(graph: &'g G, params: PprParams) -> Result<Self> {
+        params.validate()?;
+        let profile = WorkProfile::probe_default(graph, params.length as u32)?;
+        Ok(LocalPpr {
+            graph,
+            params,
+            profile,
+            latency: LatencyModel::default(),
+        })
+    }
+
+    /// The backend's configured base parameters.
+    pub fn params(&self) -> &PprParams {
+        &self.params
+    }
+}
+
+impl<G: GraphView + ?Sized> PprBackend for LocalPpr<'_, G> {
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            kind: BackendKind::LocalPpr,
+            exact: true,
+            deterministic: true,
+            accelerated: false,
+            batch_aware: false,
+        }
+    }
+
+    fn estimate(&self, req: &QueryRequest) -> Result<CostEstimate> {
+        let params = req.effective_params(&self.params)?;
+        let ball = self.profile.ball(params.length);
+        let m = self.latency;
+        let directed = 2.0 * ball.edges as f64;
+        Ok(CostEstimate {
+            latency_ns: m.fixed_overhead_ns
+                + directed * m.ns_per_bfs_edge
+                + params.length as f64 * directed * m.ns_per_diffusion_edge
+                + ball.nodes as f64 * m.ns_per_node,
+            peak_memory_bytes: cpu_task_memory(ball.nodes, ball.edges).total(),
+            expected_precision: 1.0,
+        })
+    }
+
+    fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+        let params = req.effective_params(&self.params)?;
+        let result = local_ppr_impl(self.graph, req.seed, &params)?;
+        Ok(QueryOutcome {
+            stats: QueryStats::from_local(&result.stats),
+            ranking: result.ranking,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_ppr::local_ppr_impl;
+    use meloppr_graph::generators;
+
+    #[test]
+    fn matches_direct_call_bit_for_bit() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 10).unwrap();
+        let backend = LocalPpr::new(&g, params).unwrap();
+        for seed in [0u32, 5, 33] {
+            let via_trait = backend.query(&QueryRequest::new(seed)).unwrap();
+            let direct = local_ppr_impl(&g, seed, &params).unwrap();
+            assert_eq!(via_trait.ranking, direct.ranking);
+            assert_eq!(
+                via_trait.stats.peak_memory_bytes,
+                direct.stats.memory.total()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_normalize_to_one_stage() {
+        let g = generators::karate_club();
+        let backend = LocalPpr::new(&g, PprParams::new(0.85, 4, 5).unwrap()).unwrap();
+        let outcome = backend.query(&QueryRequest::new(0)).unwrap();
+        assert_eq!(outcome.stats.stages.len(), 1);
+        assert_eq!(outcome.stats.total_diffusions, 1);
+        assert!(outcome.stats.bfs_edges_scanned > 0);
+        assert_eq!(outcome.stats.backend, BackendKind::LocalPpr);
+    }
+
+    #[test]
+    fn estimate_grows_with_length() {
+        let g = generators::corpus::PaperGraph::G2Cora
+            .generate_scaled(0.2, 3)
+            .unwrap();
+        let backend = LocalPpr::new(&g, PprParams::new(0.85, 6, 20).unwrap()).unwrap();
+        let short = backend
+            .estimate(&QueryRequest::new(0).with_length(2))
+            .unwrap();
+        let long = backend.estimate(&QueryRequest::new(0)).unwrap();
+        assert!(long.latency_ns > short.latency_ns);
+        assert!(long.peak_memory_bytes >= short.peak_memory_bytes);
+    }
+}

@@ -1,0 +1,335 @@
+//! The routing budget model: probed ball growth plus latency constants.
+//!
+//! Backend [`CostEstimate`](super::CostEstimate)s have to come from
+//! somewhere cheap and deterministic. Following the planner (§IV-A's
+//! "adaptively breaks the large graph"), every backend probes average
+//! ball growth around a handful of sample seeds at construction time
+//! ([`WorkProfile`]), then prices predicted work units with the
+//! [`LatencyModel`] constants. The absolute nanosecond figures are rough;
+//! what routing needs — and what the probes deliver — are the *relative*
+//! costs between solvers on the same graph.
+
+use meloppr_graph::{ball_growth, BallSize, GraphView, NodeId};
+
+use crate::error::Result;
+use crate::params::MelopprParams;
+use crate::selection::SelectionStrategy;
+
+/// Default number of probe seeds for [`WorkProfile::probe_default`].
+const DEFAULT_PROBE_SEEDS: usize = 3;
+
+/// Per-work-unit latency constants of the native Rust kernels.
+///
+/// Unlike the bench crate's `CpuCostModel` (which is calibrated to the
+/// paper's NetworkX baselines so figures reproduce), these model the
+/// in-process Rust implementations and exist purely to rank backends
+/// against a deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Nanoseconds per adjacency entry scanned by extraction BFS.
+    pub ns_per_bfs_edge: f64,
+    /// Nanoseconds per adjacency entry processed by diffusion.
+    pub ns_per_diffusion_edge: f64,
+    /// Nanoseconds per random-walk step (an uncached adjacency probe).
+    pub ns_per_walk_step: f64,
+    /// Nanoseconds per ball node touched (allocation, id mapping).
+    pub ns_per_node: f64,
+    /// Fixed per-query overhead.
+    pub fixed_overhead_ns: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            ns_per_bfs_edge: 6.0,
+            ns_per_diffusion_edge: 3.0,
+            ns_per_walk_step: 40.0,
+            ns_per_node: 4.0,
+            fixed_overhead_ns: 2_000.0,
+        }
+    }
+}
+
+/// Probed average ball growth of a graph — the shared substrate of every
+/// backend's cost estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkProfile {
+    /// Average ball size per depth `0..=max_depth` over the probe seeds.
+    pub growth: Vec<BallSize>,
+    /// `|V|` of the profiled graph.
+    pub num_nodes: usize,
+    /// `|E|` (undirected) of the profiled graph.
+    pub num_edges: usize,
+}
+
+impl WorkProfile {
+    /// Probes ball growth to `max_depth` around `sample_seeds`
+    /// (out-of-bounds seeds are skipped; an empty effective sample yields
+    /// a whole-graph-sized pessimistic profile).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for in-bounds seeds; kept fallible for parity
+    /// with the probing planner.
+    pub fn probe<G: GraphView + ?Sized>(
+        g: &G,
+        max_depth: u32,
+        sample_seeds: &[NodeId],
+    ) -> Result<Self> {
+        let num_nodes = g.num_nodes();
+        let num_edges = g.num_directed_edges() / 2;
+        let mut sums = vec![(0usize, 0usize); max_depth as usize + 1];
+        let mut sampled = 0usize;
+        for &seed in sample_seeds {
+            if (seed as usize) >= num_nodes {
+                continue;
+            }
+            let growth = ball_growth(g, seed, max_depth)?;
+            for (i, b) in growth.iter().enumerate() {
+                sums[i].0 += b.nodes;
+                sums[i].1 += b.edges;
+            }
+            sampled += 1;
+        }
+        let growth = sums
+            .iter()
+            .enumerate()
+            .map(|(d, &(nodes, edges))| match sampled {
+                // No usable probe: assume the worst (whole graph).
+                0 => BallSize {
+                    depth: d as u32,
+                    nodes: num_nodes,
+                    edges: num_edges,
+                },
+                sampled => BallSize {
+                    depth: d as u32,
+                    nodes: nodes / sampled,
+                    edges: edges / sampled,
+                },
+            })
+            .collect();
+        Ok(WorkProfile {
+            growth,
+            num_nodes,
+            num_edges,
+        })
+    }
+
+    /// Probes with the deterministic default sample of
+    /// [`default_probe_seeds`].
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkProfile::probe`].
+    pub fn probe_default<G: GraphView + ?Sized>(g: &G, max_depth: u32) -> Result<Self> {
+        WorkProfile::probe(g, max_depth, &default_probe_seeds(g.num_nodes()))
+    }
+
+    /// The average ball at `depth`, clamping past the probed horizon.
+    pub fn ball(&self, depth: usize) -> BallSize {
+        let idx = depth.min(self.growth.len().saturating_sub(1));
+        self.growth.get(idx).copied().unwrap_or(BallSize {
+            depth: depth as u32,
+            nodes: self.num_nodes,
+            edges: self.num_edges,
+        })
+    }
+
+    /// Predicted non-zero residual candidates after a diffusion of
+    /// `depth` — the frontier of the average ball, approximated as the
+    /// ball's node count (every reached node can hold residual).
+    pub fn candidates(&self, depth: usize) -> usize {
+        self.ball(depth).nodes
+    }
+}
+
+/// The deterministic default probe sample for a graph with `num_nodes`
+/// nodes: up to [`DEFAULT_PROBE_SEEDS`] seeds spread evenly over the node
+/// range. Shared by [`WorkProfile::probe_default`] and cache warm-up so
+/// warmed entries match the profiled balls.
+pub fn default_probe_seeds(num_nodes: usize) -> Vec<NodeId> {
+    let count = DEFAULT_PROBE_SEEDS.min(num_nodes.max(1));
+    (0..count.min(num_nodes))
+        .map(|i| (i * num_nodes / count) as NodeId)
+        .collect()
+}
+
+/// How many of `candidates` next-stage nodes a strategy is expected to
+/// expand (the routing-time analogue of
+/// [`SelectionStrategy::select`]).
+pub fn expected_selected(selection: &SelectionStrategy, candidates: usize) -> f64 {
+    match *selection {
+        SelectionStrategy::All => candidates as f64,
+        SelectionStrategy::TopFraction(f) => {
+            if f <= 0.0 {
+                0.0
+            } else {
+                (candidates as f64 * f).ceil().max(1.0)
+            }
+        }
+        SelectionStrategy::TopCount(n) => n.min(candidates) as f64,
+        // Residual mass is heavily concentrated (Fig. 6 bottom), so a
+        // relative threshold keeps only a small head; model it as 10 %.
+        SelectionStrategy::RelativeThreshold(_) => (candidates as f64 * 0.1).ceil(),
+    }
+}
+
+/// Predicted work of a staged MeLoPPR query under `params`, from the
+/// probed ball growth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedWorkEstimate {
+    /// Expected diffusions per stage.
+    pub stage_diffusions: Vec<f64>,
+    /// Expected BFS adjacency scans across the query.
+    pub bfs_edges: f64,
+    /// Expected diffusion edge updates across the query.
+    pub diffusion_edges: f64,
+    /// Expected ball nodes touched across the query.
+    pub nodes_touched: f64,
+    /// The largest per-stage average ball (peak working set driver).
+    pub peak_ball: BallSize,
+}
+
+/// Estimates staged work: stage `i+1` runs
+/// `diffusions_i · expected_selected(candidates_i)` diffusions over the
+/// average depth-`l_{i+1}` ball.
+pub fn estimate_staged_work(profile: &WorkProfile, params: &MelopprParams) -> StagedWorkEstimate {
+    let mut stage_diffusions = Vec::with_capacity(params.stages.len());
+    let mut tasks = 1.0f64;
+    let (mut bfs_edges, mut diffusion_edges, mut nodes_touched) = (0.0f64, 0.0, 0.0);
+    let mut peak_ball = BallSize {
+        depth: 0,
+        nodes: 0,
+        edges: 0,
+    };
+    for (i, &l) in params.stages.iter().enumerate() {
+        let ball = profile.ball(l);
+        stage_diffusions.push(tasks);
+        bfs_edges += tasks * 2.0 * ball.edges as f64;
+        diffusion_edges += tasks * l as f64 * 2.0 * ball.edges as f64;
+        nodes_touched += tasks * ball.nodes as f64;
+        if ball.nodes + ball.edges > peak_ball.nodes + peak_ball.edges {
+            peak_ball = ball;
+        }
+        if i + 1 < params.stages.len() {
+            tasks *= expected_selected(&params.selection, profile.candidates(l));
+        }
+    }
+    StagedWorkEstimate {
+        stage_diffusions,
+        bfs_edges,
+        diffusion_edges,
+        nodes_touched,
+        peak_ball,
+    }
+}
+
+/// Expected top-`k` precision of staged MeLoPPR under `params` — a
+/// documented heuristic calibrated on the shape of the paper's Fig. 6
+/// sweep (full selection is exact; 2 % selection holds ≈ 90 %), not a
+/// measurement.
+pub fn staged_precision_heuristic(params: &MelopprParams) -> f64 {
+    let selection = match params.selection {
+        SelectionStrategy::All => 1.0,
+        SelectionStrategy::TopFraction(f) => 0.9 + 0.1 * f.clamp(0.0, 1.0),
+        SelectionStrategy::TopCount(_) => 0.92,
+        SelectionStrategy::RelativeThreshold(_) => 0.92,
+    };
+    // Small bounded tables cost extra precision (§V-B: c >= 8 is
+    // effectively lossless).
+    let table = match params.table_factor {
+        Some(c) if c < 8 => 0.02,
+        _ => 0.0,
+    };
+    (selection - table).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meloppr_graph::generators;
+
+    #[test]
+    fn probe_is_monotone_in_depth() {
+        let g = generators::grid(12, 12).unwrap();
+        let profile = WorkProfile::probe(&g, 5, &[0, 70, 140]).unwrap();
+        for w in profile.growth.windows(2) {
+            assert!(w[1].nodes >= w[0].nodes);
+            assert!(w[1].edges >= w[0].edges);
+        }
+        assert_eq!(profile.growth.len(), 6);
+    }
+
+    #[test]
+    fn probe_default_is_deterministic() {
+        let g = generators::karate_club();
+        let a = WorkProfile::probe_default(&g, 4).unwrap();
+        let b = WorkProfile::probe_default(&g, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ball_clamps_past_probe_horizon() {
+        let g = generators::path(10).unwrap();
+        let profile = WorkProfile::probe(&g, 3, &[5]).unwrap();
+        assert_eq!(profile.ball(3), profile.ball(99));
+    }
+
+    #[test]
+    fn out_of_bounds_seeds_are_skipped() {
+        let g = generators::path(4).unwrap();
+        let profile = WorkProfile::probe(&g, 2, &[999, 1]).unwrap();
+        // Probed from node 1 only; still a usable profile.
+        assert!(profile.ball(1).nodes >= 2);
+    }
+
+    #[test]
+    fn empty_sample_is_pessimistic() {
+        let g = generators::path(4).unwrap();
+        let profile = WorkProfile::probe(&g, 2, &[]).unwrap();
+        assert_eq!(profile.ball(2).nodes, g.num_nodes());
+    }
+
+    #[test]
+    fn expected_selection_counts() {
+        assert_eq!(expected_selected(&SelectionStrategy::All, 50), 50.0);
+        assert_eq!(
+            expected_selected(&SelectionStrategy::TopFraction(0.1), 50),
+            5.0
+        );
+        assert_eq!(
+            expected_selected(&SelectionStrategy::TopFraction(0.0), 50),
+            0.0
+        );
+        assert_eq!(expected_selected(&SelectionStrategy::TopCount(7), 3), 3.0);
+    }
+
+    #[test]
+    fn staged_work_grows_with_selection() {
+        let g = generators::grid(10, 10).unwrap();
+        let profile = WorkProfile::probe_default(&g, 6).unwrap();
+        let narrow = MelopprParams::paper_defaults();
+        let wide = MelopprParams {
+            selection: SelectionStrategy::TopFraction(0.5),
+            ..MelopprParams::paper_defaults()
+        };
+        let a = estimate_staged_work(&profile, &narrow);
+        let b = estimate_staged_work(&profile, &wide);
+        assert!(b.diffusion_edges > a.diffusion_edges);
+        assert_eq!(a.stage_diffusions.len(), 2);
+        assert_eq!(a.stage_diffusions[0], 1.0);
+    }
+
+    #[test]
+    fn precision_heuristic_orders_selections() {
+        let exact = MelopprParams {
+            selection: SelectionStrategy::All,
+            ..MelopprParams::paper_defaults()
+        };
+        let partial = MelopprParams::paper_defaults();
+        let tiny_table = MelopprParams::paper_defaults().with_table_factor(1);
+        assert_eq!(staged_precision_heuristic(&exact), 1.0);
+        assert!(staged_precision_heuristic(&partial) < 1.0);
+        assert!(staged_precision_heuristic(&tiny_table) < staged_precision_heuristic(&partial));
+    }
+}

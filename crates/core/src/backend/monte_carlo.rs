@@ -1,0 +1,182 @@
+//! The Monte-Carlo random-walk estimator behind the unified API.
+
+use meloppr_graph::GraphView;
+
+use super::{
+    BackendCaps, BackendKind, CostEstimate, LatencyModel, PprBackend, QueryOutcome, QueryRequest,
+    QueryStats,
+};
+use crate::error::{PprError, Result};
+use crate::memory::CPU_WORD_BYTES;
+use crate::monte_carlo::monte_carlo_ppr_impl;
+use crate::params::PprParams;
+
+/// α-decay random-walk PPR estimation (Fig. 2(a)) as a backend.
+///
+/// The "low space, high accesses" corner of the paper's design space:
+/// nearly no working set, but every step probes the full adjacency. The
+/// [`Router`](super::Router) reaches for it under very tight memory or
+/// latency budgets that tolerate approximate answers.
+///
+/// Results are deterministic under the configured `rng_seed` and
+/// bit-identical to the pre-redesign `monte_carlo_ppr(g, seed, params,
+/// walks, rng_seed)` call.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::backend::{MonteCarlo, PprBackend, QueryRequest};
+/// use meloppr_core::PprParams;
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let backend = MonteCarlo::new(&g, PprParams::new(0.85, 4, 5)?, 2000, 42)?;
+/// let outcome = backend.query(&QueryRequest::new(0))?;
+/// assert!(outcome.stats.random_walk_steps > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MonteCarlo<'g, G: GraphView + ?Sized> {
+    graph: &'g G,
+    params: PprParams,
+    walks: usize,
+    rng_seed: u64,
+    latency: LatencyModel,
+}
+
+impl<'g, G: GraphView + ?Sized> MonteCarlo<'g, G> {
+    /// Creates the backend running `walks` seeded walks per query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] if `walks == 0` or `params`
+    /// fail validation.
+    pub fn new(graph: &'g G, params: PprParams, walks: usize, rng_seed: u64) -> Result<Self> {
+        params.validate()?;
+        if walks == 0 {
+            return Err(PprError::InvalidParams {
+                reason: "Monte-Carlo estimation needs at least one walk".into(),
+            });
+        }
+        Ok(MonteCarlo {
+            graph,
+            params,
+            walks,
+            rng_seed,
+            latency: LatencyModel::default(),
+        })
+    }
+
+    /// The backend's configured base parameters.
+    pub fn params(&self) -> &PprParams {
+        &self.params
+    }
+
+    /// Number of walks each query runs.
+    pub fn walks(&self) -> usize {
+        self.walks
+    }
+
+    /// Expected precision heuristic for `walks` samples: grows with the
+    /// sample count, saturating at 0.9 (the estimator ranks the head well
+    /// but churns the top-`k` tail — compare Fig. 2(a)). Documented
+    /// calibration, not a measurement.
+    fn precision_heuristic(&self) -> f64 {
+        let walks = self.walks as f64;
+        (walks / (walks + 1000.0)).min(0.9)
+    }
+}
+
+impl<G: GraphView + ?Sized> PprBackend for MonteCarlo<'_, G> {
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            kind: BackendKind::MonteCarlo,
+            exact: false,
+            deterministic: true,
+            accelerated: false,
+            batch_aware: false,
+        }
+    }
+
+    fn estimate(&self, req: &QueryRequest) -> Result<CostEstimate> {
+        let params = req.effective_params(&self.params)?;
+        // Expected steps per walk: sum of survival probabilities
+        // α + α² + … + α^L.
+        let alpha = params.alpha;
+        let expected_len = alpha * (1.0 - alpha.powi(params.length as i32)) / (1.0 - alpha);
+        let distinct_terminals = self.walks.min(self.graph.num_nodes());
+        Ok(CostEstimate {
+            latency_ns: self.latency.fixed_overhead_ns
+                + self.walks as f64 * expected_len * self.latency.ns_per_walk_step,
+            // Terminal-count map entries: key + count + bucket word.
+            peak_memory_bytes: distinct_terminals * 3 * CPU_WORD_BYTES,
+            expected_precision: self.precision_heuristic(),
+        })
+    }
+
+    fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+        let params = req.effective_params(&self.params)?;
+        let result =
+            monte_carlo_ppr_impl(self.graph, req.seed, &params, self.walks, self.rng_seed)?;
+        let stats = QueryStats {
+            random_walk_steps: result.steps,
+            peak_memory_bytes: result.scores.len() * 3 * CPU_WORD_BYTES,
+            peak_task_memory_bytes: result.scores.len() * 3 * CPU_WORD_BYTES,
+            aggregate_entries: result.scores.len(),
+            ..QueryStats::empty(BackendKind::MonteCarlo)
+        };
+        Ok(QueryOutcome {
+            ranking: result.ranking,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::monte_carlo_ppr_impl;
+    use meloppr_graph::generators;
+
+    #[test]
+    fn matches_direct_call_bit_for_bit() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 6, 5).unwrap();
+        let backend = MonteCarlo::new(&g, params, 2000, 42).unwrap();
+        let via_trait = backend.query(&QueryRequest::new(0)).unwrap();
+        let direct = monte_carlo_ppr_impl(&g, 0, &params, 2000, 42).unwrap();
+        assert_eq!(via_trait.ranking, direct.ranking);
+        assert_eq!(via_trait.stats.random_walk_steps, direct.steps);
+    }
+
+    #[test]
+    fn repeated_queries_are_deterministic() {
+        let g = generators::karate_club();
+        let backend = MonteCarlo::new(&g, PprParams::new(0.85, 4, 5).unwrap(), 500, 9).unwrap();
+        let a = backend.query(&QueryRequest::new(3)).unwrap();
+        let b = backend.query(&QueryRequest::new(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_walks_rejected_at_construction() {
+        let g = generators::path(3).unwrap();
+        assert!(MonteCarlo::new(&g, PprParams::new(0.85, 2, 2).unwrap(), 0, 0).is_err());
+    }
+
+    #[test]
+    fn estimate_precision_grows_with_walks() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let few = MonteCarlo::new(&g, params, 100, 1).unwrap();
+        let many = MonteCarlo::new(&g, params, 100_000, 1).unwrap();
+        let req = QueryRequest::new(0);
+        let few_est = few.estimate(&req).unwrap();
+        let many_est = many.estimate(&req).unwrap();
+        assert!(many_est.expected_precision > few_est.expected_precision);
+        assert!(many_est.latency_ns > few_est.latency_ns);
+        assert!(few_est.expected_precision < 1.0);
+    }
+}

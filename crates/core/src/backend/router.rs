@@ -1,0 +1,332 @@
+//! Per-request backend selection from capabilities and cost estimates.
+
+use super::{BackendKind, CostEstimate, PprBackend, QueryOutcome, QueryRequest};
+use crate::error::{BackendError, PprError, Result};
+
+/// The router's verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Route {
+    /// Index of the chosen backend in the router's registration order.
+    pub index: usize,
+    /// Which solver that is.
+    pub kind: BackendKind,
+    /// The estimate the decision was based on.
+    pub estimate: CostEstimate,
+    /// Whether the chosen backend satisfies every budget constraint
+    /// (`false` means best-effort fallback: nothing fit).
+    pub fits_budget: bool,
+}
+
+/// Routes each [`QueryRequest`] to the most suitable registered backend.
+///
+/// Policy, evaluated against each backend's
+/// [`estimate`](PprBackend::estimate) for the concrete request:
+///
+/// 1. Backends whose estimate satisfies every constraint of the request's
+///    [`QueryBudget`](super::QueryBudget) are *admissible*.
+/// 2. Among admissible backends the router picks the highest expected
+///    precision, breaking ties by lower predicted latency, then by
+///    registration order.
+/// 3. If nothing is admissible it falls back to the backend violating the
+///    fewest constraints (ties again by latency, then order) and reports
+///    `fits_budget = false` in the [`Route`].
+///
+/// With no budget at all, rule 2 therefore serves the most precise
+/// backend that is cheapest to run — and different budget hints
+/// demonstrably select different solvers (see the `router` integration
+/// tests).
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::backend::{
+///     ExactPower, LocalPpr, MonteCarlo, PprBackend, QueryRequest, Router,
+/// };
+/// use meloppr_core::PprParams;
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let params = PprParams::new(0.85, 4, 5)?;
+/// let router = Router::new()
+///     .with_backend(Box::new(ExactPower::new(&g, params)?))
+///     .with_backend(Box::new(LocalPpr::new(&g, params)?))
+///     .with_backend(Box::new(MonteCarlo::new(&g, params, 2000, 42)?));
+/// let outcome = router.query(&QueryRequest::new(0))?;
+/// assert_eq!(outcome.ranking.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct Router<'g> {
+    backends: Vec<Box<dyn PprBackend + 'g>>,
+}
+
+impl std::fmt::Debug for Router<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kinds: Vec<BackendKind> = self
+            .backends
+            .iter()
+            .map(|b| b.capabilities().kind)
+            .collect();
+        f.debug_struct("Router").field("backends", &kinds).finish()
+    }
+}
+
+impl<'g> Router<'g> {
+    /// An empty router.
+    pub fn new() -> Self {
+        Router {
+            backends: Vec::new(),
+        }
+    }
+
+    /// Registers a backend (builder style). Registration order is the
+    /// final tie-breaker in routing.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Box<dyn PprBackend + 'g>) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Registers a backend.
+    pub fn push(&mut self, backend: Box<dyn PprBackend + 'g>) {
+        self.backends.push(backend);
+    }
+
+    /// The registered backends, in registration order.
+    pub fn backends(&self) -> &[Box<dyn PprBackend + 'g>] {
+        &self.backends
+    }
+
+    /// Number of registered backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether no backend is registered.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Prepares every backend (probes, caches, formats).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend preparation failure.
+    pub fn prepare(&mut self) -> Result<()> {
+        for backend in &mut self.backends {
+            backend.prepare()?;
+        }
+        Ok(())
+    }
+
+    /// Chooses the backend for `req` without running the query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::NoBackendAvailable`] (inside
+    /// [`PprError::Backend`]) if no backend is registered or every
+    /// estimate fails.
+    pub fn select(&self, req: &QueryRequest) -> Result<Route> {
+        if self.backends.is_empty() {
+            return Err(PprError::Backend(BackendError::NoBackendAvailable {
+                reason: "router has no registered backends".into(),
+            }));
+        }
+        let budget = &req.budget;
+        let mut best: Option<(Route, usize)> = None; // (route, violations)
+        let mut estimate_failures: Vec<String> = Vec::new();
+        for (index, backend) in self.backends.iter().enumerate() {
+            let estimate = match backend.estimate(req) {
+                Ok(est) => est,
+                // A backend that cannot even estimate the request (e.g.
+                // invalid overrides for it) is not a candidate, but its
+                // reason must survive into the routing error.
+                Err(err) => {
+                    estimate_failures.push(format!("{}: {err}", backend.capabilities().kind));
+                    continue;
+                }
+            };
+            let violations = count_violations(&estimate, budget);
+            let candidate = Route {
+                index,
+                kind: backend.capabilities().kind,
+                estimate,
+                fits_budget: violations == 0,
+            };
+            let better = match &best {
+                None => true,
+                Some((incumbent, inc_violations)) => {
+                    match violations.cmp(inc_violations) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Greater => false,
+                        std::cmp::Ordering::Equal => {
+                            if violations == 0 {
+                                // Admissible: maximize precision, then
+                                // minimize latency.
+                                (
+                                    -candidate.estimate.expected_precision,
+                                    candidate.estimate.latency_ns,
+                                ) < (
+                                    -incumbent.estimate.expected_precision,
+                                    incumbent.estimate.latency_ns,
+                                )
+                            } else {
+                                // Best effort: minimize latency.
+                                candidate.estimate.latency_ns < incumbent.estimate.latency_ns
+                            }
+                        }
+                    }
+                }
+            };
+            if better {
+                best = Some((candidate, violations));
+            }
+        }
+        best.map(|(route, _)| route).ok_or_else(|| {
+            PprError::Backend(BackendError::NoBackendAvailable {
+                reason: format!(
+                    "every registered backend failed to estimate the request: [{}]",
+                    estimate_failures.join("; ")
+                ),
+            })
+        })
+    }
+
+    /// Routes and runs one query.
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::select`], plus any error from the chosen backend.
+    pub fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+        let route = self.select(req)?;
+        self.backends[route.index].query(req)
+    }
+
+    /// Routes and runs a batch, selecting per request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::query`]; fails fast on the first error.
+    pub fn query_batch(&self, reqs: &[QueryRequest]) -> Result<Vec<QueryOutcome>> {
+        reqs.iter().map(|req| self.query(req)).collect()
+    }
+}
+
+fn count_violations(estimate: &CostEstimate, budget: &super::QueryBudget) -> usize {
+    let mut violations = 0;
+    if let Some(ms) = budget.max_latency_ms {
+        if estimate.latency_ns > ms * 1e6 {
+            violations += 1;
+        }
+    }
+    if let Some(bytes) = budget.max_memory_bytes {
+        if estimate.peak_memory_bytes > bytes {
+            violations += 1;
+        }
+    }
+    if let Some(precision) = budget.min_precision {
+        if estimate.expected_precision + 1e-12 < precision {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ExactPower, LocalPpr, MonteCarlo, QueryBudget};
+    use super::*;
+    use crate::params::PprParams;
+    use meloppr_graph::generators;
+
+    #[test]
+    fn empty_router_reports_no_backend() {
+        let router = Router::new();
+        let err = router.select(&QueryRequest::new(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            PprError::Backend(BackendError::NoBackendAvailable { .. })
+        ));
+    }
+
+    #[test]
+    fn unconstrained_requests_prefer_precision_then_speed() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let router = Router::new()
+            .with_backend(Box::new(ExactPower::new(&g, params).unwrap()))
+            .with_backend(Box::new(LocalPpr::new(&g, params).unwrap()))
+            .with_backend(Box::new(MonteCarlo::new(&g, params, 500, 1).unwrap()));
+        let route = router.select(&QueryRequest::new(0)).unwrap();
+        // Both exact backends tie at precision 1.0; the ball-local one is
+        // cheaper on this small graph or equal — either exact backend is
+        // acceptable, Monte-Carlo is not.
+        assert!(route.fits_budget);
+        assert_ne!(route.kind, BackendKind::MonteCarlo);
+        assert_eq!(route.estimate.expected_precision, 1.0);
+    }
+
+    #[test]
+    fn query_routes_and_runs() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let router = Router::new().with_backend(Box::new(LocalPpr::new(&g, params).unwrap()));
+        let outcome = router.query(&QueryRequest::new(0)).unwrap();
+        assert_eq!(outcome.ranking.len(), 5);
+        let batch = router
+            .query_batch(&[QueryRequest::new(0), QueryRequest::new(1)])
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn impossible_budget_falls_back_best_effort() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let router = Router::new()
+            .with_backend(Box::new(ExactPower::new(&g, params).unwrap()))
+            .with_backend(Box::new(LocalPpr::new(&g, params).unwrap()));
+        let req = QueryRequest::new(0).with_budget(QueryBudget {
+            max_latency_ms: Some(0.0),
+            max_memory_bytes: Some(1),
+            min_precision: Some(1.0),
+        });
+        let route = router.select(&req).unwrap();
+        assert!(!route.fits_budget);
+        // Still runnable.
+        assert!(router.query(&req).is_ok());
+    }
+
+    #[test]
+    fn estimate_failures_surface_in_routing_error() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let router = Router::new()
+            .with_backend(Box::new(ExactPower::new(&g, params).unwrap()))
+            .with_backend(Box::new(LocalPpr::new(&g, params).unwrap()));
+        // An alpha override that no backend can validate: the underlying
+        // reason must appear in the NoBackendAvailable message.
+        let err = router
+            .select(&QueryRequest::new(0).with_alpha(1.5))
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("alpha"),
+            "unhelpful routing error: {message}"
+        );
+        assert!(
+            message.contains("exact-power"),
+            "missing backend name: {message}"
+        );
+    }
+
+    #[test]
+    fn debug_lists_backend_kinds() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let router = Router::new().with_backend(Box::new(LocalPpr::new(&g, params).unwrap()));
+        assert!(format!("{router:?}").contains("LocalPpr"));
+    }
+}

@@ -1,0 +1,349 @@
+//! The staged MeLoPPR engine behind the unified API.
+
+use std::sync::Mutex;
+
+use meloppr_graph::GraphView;
+
+use super::{
+    estimate_staged_work, staged_precision_heuristic, BackendCaps, BackendKind, CostEstimate,
+    LatencyModel, PprBackend, QueryOutcome, QueryRequest, QueryStats, WorkProfile,
+};
+use crate::cache::SubgraphCache;
+use crate::error::{PprError, Result};
+use crate::meloppr::MelopprEngine;
+use crate::memory::{cpu_task_memory, fpga_global_table_bytes};
+use crate::parallel::parallel_query_impl;
+use crate::params::MelopprParams;
+use crate::selection::SelectionStrategy;
+
+/// Multi-stage MeLoPPR (§IV) as a backend.
+///
+/// Absorbs the pre-redesign execution variants as constructor options:
+///
+/// * [`Meloppr::with_threads`] — the old `parallel_query` free function
+///   (stage-level parallelism, bit-identical to sequential);
+/// * [`Meloppr::with_cache`] — the old `MelopprEngine::query_cached`
+///   (LRU sub-graph cache shared across queries).
+///
+/// All modes return identical rankings for identical requests; they
+/// differ only in wall-clock and BFS work accounting (cache hits charge
+/// zero BFS).
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::backend::{Meloppr, PprBackend, QueryRequest};
+/// use meloppr_core::MelopprParams;
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let mut params = MelopprParams::paper_defaults();
+/// params.ppr.k = 5;
+/// let backend = Meloppr::new(&g, params)?.with_threads(4)?;
+/// let outcome = backend.query(&QueryRequest::new(0))?;
+/// assert_eq!(outcome.ranking.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Meloppr<'g, G: GraphView + Sync + ?Sized> {
+    graph: &'g G,
+    params: MelopprParams,
+    threads: usize,
+    cache: Option<Mutex<SubgraphCache>>,
+    profile: WorkProfile,
+    latency: LatencyModel,
+}
+
+impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
+    /// Creates a sequential staged backend, validating `params` and
+    /// probing ball growth for cost estimation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] on invalid parameters.
+    pub fn new(graph: &'g G, params: MelopprParams) -> Result<Self> {
+        params.validate()?;
+        let profile = WorkProfile::probe_default(graph, params.ppr.length as u32)?;
+        Ok(Meloppr {
+            graph,
+            params,
+            threads: 1,
+            cache: None,
+            profile,
+            latency: LatencyModel::default(),
+        })
+    }
+
+    /// Enables stage-level parallelism with `threads` workers (absorbs
+    /// the old `parallel_query`). `1` keeps the sequential schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Result<Self> {
+        if threads == 0 {
+            return Err(PprError::InvalidParams {
+                reason: "thread count must be >= 1".into(),
+            });
+        }
+        self.threads = threads;
+        Ok(self)
+    }
+
+    /// Enables the LRU sub-graph cache with `capacity` entries (absorbs
+    /// the old `query_cached`). Cached execution is sequential; it takes
+    /// precedence over [`Meloppr::with_threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (as [`SubgraphCache::new`] does).
+    #[must_use]
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(Mutex::new(SubgraphCache::new(capacity)));
+        self
+    }
+
+    /// The backend's configured base parameters.
+    pub fn params(&self) -> &MelopprParams {
+        &self.params
+    }
+
+    /// Worker threads used per query (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The effective staged parameters for a request: overrides merged,
+    /// and a `length` override redistributed over the configured stage
+    /// count, front-loading depth as the planner does (stage-one output
+    /// is exact, so deeper early stages help precision).
+    fn effective_meloppr(&self, req: &QueryRequest) -> Result<MelopprParams> {
+        let ppr = req.effective_params(&self.params.ppr)?;
+        let stages = if ppr.length == self.params.ppr.length {
+            self.params.stages.clone()
+        } else {
+            restage(self.params.stages.len(), ppr.length)
+        };
+        let params = MelopprParams {
+            ppr,
+            stages,
+            ..self.params.clone()
+        };
+        params.validate()?;
+        Ok(params)
+    }
+}
+
+/// Distributes `length` over at most `parts` stages, all ≥ 1, larger
+/// stages first.
+fn restage(parts: usize, length: usize) -> Vec<usize> {
+    let parts = parts.clamp(1, length);
+    let base = length / parts;
+    let extra = length % parts;
+    (0..parts)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect()
+}
+
+impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            kind: BackendKind::Meloppr,
+            exact: matches!(self.params.selection, SelectionStrategy::All)
+                && self.params.table_factor.is_none(),
+            deterministic: true,
+            accelerated: false,
+            // No cross-query batching yet: query_batch is the default
+            // per-request loop even in threaded mode (parallelism lives
+            // *inside* a query).
+            batch_aware: false,
+        }
+    }
+
+    fn prepare(&mut self) -> Result<()> {
+        // Re-probe with the current stage horizon (idempotent) and, when
+        // caching, pre-extract the probe seeds' stage-one balls.
+        self.profile = WorkProfile::probe_default(self.graph, self.params.ppr.length as u32)?;
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().expect("cache poisoned");
+            let depth = self.params.stages[0] as u32;
+            let n = self.graph.num_nodes();
+            for seed in super::model::default_probe_seeds(n) {
+                cache.get_or_extract(self.graph, seed, depth)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn estimate(&self, req: &QueryRequest) -> Result<CostEstimate> {
+        let params = self.effective_meloppr(req)?;
+        let work = estimate_staged_work(&self.profile, &params);
+        let m = self.latency;
+        let threads = self.threads.max(1) as f64;
+        let cost_of = |bfs: f64, diffusion_edges: f64, nodes: f64| {
+            bfs * m.ns_per_bfs_edge
+                + diffusion_edges * m.ns_per_diffusion_edge
+                + nodes * m.ns_per_node
+        };
+        let compute_ns = cost_of(work.bfs_edges, work.diffusion_edges, work.nodes_touched);
+        // Stage one is a single serial task; worker threads only spread
+        // the later stages' diffusions.
+        let stage1 = self.profile.ball(params.stages[0]);
+        let l1 = params.stages[0] as f64;
+        let stage1_ns = cost_of(
+            2.0 * stage1.edges as f64,
+            l1 * 2.0 * stage1.edges as f64,
+            stage1.nodes as f64,
+        )
+        .min(compute_ns);
+        let table_bytes = fpga_global_table_bytes(params.table_factor.unwrap_or(10), params.ppr.k);
+        Ok(CostEstimate {
+            latency_ns: m.fixed_overhead_ns + stage1_ns + (compute_ns - stage1_ns) / threads,
+            peak_memory_bytes: cpu_task_memory(work.peak_ball.nodes, work.peak_ball.edges).total()
+                + table_bytes,
+            expected_precision: staged_precision_heuristic(&params),
+        })
+    }
+
+    fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+        let params = self.effective_meloppr(req)?;
+        let outcome = if let Some(cache) = &self.cache {
+            let engine = MelopprEngine::new(self.graph, params)?;
+            let mut cache = cache.lock().expect("cache poisoned");
+            engine.query_cached_impl(req.seed, &mut cache)?
+        } else if self.threads > 1 {
+            parallel_query_impl(self.graph, &params, req.seed, self.threads)?
+        } else {
+            MelopprEngine::new(self.graph, params)?.query(req.seed)?
+        };
+        Ok(QueryOutcome {
+            stats: QueryStats::from_meloppr(&outcome.stats),
+            ranking: outcome.ranking,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PprParams;
+
+    use meloppr_graph::generators;
+
+    fn params() -> MelopprParams {
+        MelopprParams {
+            ppr: PprParams::new(0.85, 6, 20).unwrap(),
+            stages: vec![3, 3],
+            selection: SelectionStrategy::TopFraction(0.1),
+            ..MelopprParams::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn matches_direct_engine_bit_for_bit() {
+        let g = generators::corpus::PaperGraph::G2Cora
+            .generate_scaled(0.2, 5)
+            .unwrap();
+        let backend = Meloppr::new(&g, params()).unwrap();
+        let direct = MelopprEngine::new(&g, params()).unwrap().query(7).unwrap();
+        let via_trait = backend.query(&QueryRequest::new(7)).unwrap();
+        assert_eq!(via_trait.ranking, direct.ranking);
+        assert_eq!(via_trait.stats.stages, direct.stats.stages);
+        assert_eq!(
+            via_trait.stats.peak_memory_bytes,
+            direct.stats.peak_cpu_bytes
+        );
+    }
+
+    #[test]
+    fn all_execution_modes_agree() {
+        let g = generators::corpus::PaperGraph::G1Citeseer
+            .generate_scaled(0.2, 6)
+            .unwrap();
+        let sequential = Meloppr::new(&g, params()).unwrap();
+        let threaded = Meloppr::new(&g, params()).unwrap().with_threads(4).unwrap();
+        let cached = Meloppr::new(&g, params()).unwrap().with_cache(64);
+        let req = QueryRequest::new(3);
+        let a = sequential.query(&req).unwrap();
+        let b = threaded.query(&req).unwrap();
+        let c = cached.query(&req).unwrap();
+        assert_eq!(a.ranking, b.ranking);
+        assert_eq!(a.ranking, c.ranking);
+        // The cache changes only BFS accounting, never the answer; a
+        // repeat query hits the cache and charges less BFS.
+        let c2 = cached.query(&req).unwrap();
+        assert_eq!(c2.ranking, c.ranking);
+        assert!(c2.stats.bfs_edges_scanned < c.stats.bfs_edges_scanned);
+    }
+
+    #[test]
+    fn length_override_restages() {
+        let g = generators::karate_club();
+        let backend = Meloppr::new(&g, params()).unwrap();
+        let outcome = backend
+            .query(&QueryRequest::new(0).with_length(4).with_k(5))
+            .unwrap();
+        assert_eq!(outcome.stats.stages.len(), 2); // 4 = 2 + 2
+        assert_eq!(outcome.ranking.len(), 5);
+    }
+
+    #[test]
+    fn restage_distributions() {
+        assert_eq!(restage(2, 6), vec![3, 3]);
+        assert_eq!(restage(2, 5), vec![3, 2]);
+        assert_eq!(restage(3, 7), vec![3, 2, 2]);
+        assert_eq!(restage(3, 2), vec![1, 1]); // clamped to length
+        assert_eq!(restage(1, 4), vec![4]);
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let g = generators::karate_club();
+        assert!(Meloppr::new(&g, params()).unwrap().with_threads(0).is_err());
+    }
+
+    #[test]
+    fn exactness_capability_tracks_selection() {
+        let g = generators::karate_club();
+        let approx = Meloppr::new(&g, params()).unwrap();
+        assert!(!approx.capabilities().exact);
+        let exact_params = MelopprParams {
+            selection: SelectionStrategy::All,
+            ..params()
+        };
+        let exact = Meloppr::new(&g, exact_params).unwrap();
+        assert!(exact.capabilities().exact);
+    }
+
+    #[test]
+    fn estimate_scales_with_selection_and_threads() {
+        let g = generators::corpus::PaperGraph::G2Cora
+            .generate_scaled(0.15, 9)
+            .unwrap();
+        let narrow = Meloppr::new(&g, params()).unwrap();
+        let wide_params = MelopprParams {
+            selection: SelectionStrategy::TopFraction(0.8),
+            ..params()
+        };
+        let wide = Meloppr::new(&g, wide_params).unwrap();
+        let req = QueryRequest::new(0);
+        assert!(
+            wide.estimate(&req).unwrap().latency_ns > narrow.estimate(&req).unwrap().latency_ns
+        );
+        let threaded = Meloppr::new(&g, params()).unwrap().with_threads(8).unwrap();
+        assert!(
+            threaded.estimate(&req).unwrap().latency_ns < narrow.estimate(&req).unwrap().latency_ns
+        );
+    }
+
+    #[test]
+    fn prepare_probes_and_warms() {
+        let g = generators::karate_club();
+        let mut backend = Meloppr::new(&g, params()).unwrap().with_cache(8);
+        backend.prepare().unwrap();
+        backend.prepare().unwrap(); // idempotent
+        assert!(backend.query(&QueryRequest::new(0)).is_ok());
+    }
+}

@@ -6,7 +6,7 @@
 //! extraction for them is the dominant host cost (Fig. 7's light-blue
 //! bars), so [`SubgraphCache`] memoizes extracted balls keyed by
 //! `(node, depth)` with LRU eviction, and
-//! [`MelopprEngine::query_cached`](crate::MelopprEngine::query_cached)
+//! the cached [`backend::Meloppr`](crate::backend::Meloppr) mode
 //! consumes it — charging zero BFS work on hits.
 //!
 //! The cache stores [`Arc<Subgraph>`] so concurrent readers can share
@@ -261,18 +261,18 @@ mod engine_integration_tests {
         let mut cache = SubgraphCache::new(512);
 
         let plain = engine.query(7).unwrap();
-        let first = engine.query_cached(7, &mut cache).unwrap();
+        let first = engine.query_cached_impl(7, &mut cache).unwrap();
         assert_eq!(first.ranking, plain.ranking);
         assert_eq!(first.stats.bfs_edges_scanned, plain.stats.bfs_edges_scanned);
 
         // Second identical query: all sub-graphs served from cache.
-        let second = engine.query_cached(7, &mut cache).unwrap();
+        let second = engine.query_cached_impl(7, &mut cache).unwrap();
         assert_eq!(second.ranking, plain.ranking);
         assert_eq!(second.stats.bfs_edges_scanned, 0);
         assert!(cache.hits() >= plain.stats.total_diffusions);
 
         // A nearby query shares hub sub-graphs: strictly less BFS work.
-        let third = engine.query_cached(8, &mut cache).unwrap();
+        let third = engine.query_cached_impl(8, &mut cache).unwrap();
         let fresh = engine.query(8).unwrap();
         assert_eq!(third.ranking, fresh.ranking);
         assert!(third.stats.bfs_edges_scanned <= fresh.stats.bfs_edges_scanned);

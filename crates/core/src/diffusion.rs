@@ -122,10 +122,12 @@ pub fn diffuse<G: GraphView + ?Sized>(
     let mut frontier: Vec<NodeId> = Vec::new();
     for &(v, mass) in init {
         if v as usize >= n {
-            return Err(PprError::Graph(meloppr_graph::GraphError::NodeOutOfBounds {
-                node: v,
-                num_nodes: n,
-            }));
+            return Err(PprError::Graph(
+                meloppr_graph::GraphError::NodeOutOfBounds {
+                    node: v,
+                    num_nodes: n,
+                },
+            ));
         }
         if power[v as usize] == 0.0 && mass != 0.0 {
             frontier.push(v);

@@ -17,13 +17,61 @@ pub enum PprError {
         /// Why the parameters were rejected.
         reason: String,
     },
+    /// A unified-API backend refused or failed a query (see
+    /// [`BackendError`]).
+    Backend(BackendError),
 }
+
+/// The backend-taxonomy half of [`PprError`]: failures specific to the
+/// unified [`backend`](crate::backend) query API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BackendError {
+    /// The backend cannot serve this request under its configuration
+    /// (e.g. an override it cannot honour).
+    Unsupported {
+        /// Which backend refused.
+        backend: &'static str,
+        /// Why the request was refused.
+        reason: String,
+    },
+    /// The router found no backend to serve a request.
+    NoBackendAvailable {
+        /// Why routing failed.
+        reason: String,
+    },
+    /// An accelerator-simulator failure surfaced through the unified API
+    /// (capacity overflows, fixed-point range errors, bad configuration).
+    Accelerator {
+        /// The underlying accelerator error, rendered.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unsupported { backend, reason } => {
+                write!(f, "backend {backend} cannot serve this request: {reason}")
+            }
+            BackendError::NoBackendAvailable { reason } => {
+                write!(f, "no backend available: {reason}")
+            }
+            BackendError::Accelerator { reason } => {
+                write!(f, "accelerator error: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for BackendError {}
 
 impl fmt::Display for PprError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PprError::Graph(e) => write!(f, "graph error: {e}"),
             PprError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+            PprError::Backend(e) => write!(f, "backend error: {e}"),
         }
     }
 }
@@ -33,6 +81,7 @@ impl Error for PprError {
         match self {
             PprError::Graph(e) => Some(e),
             PprError::InvalidParams { .. } => None,
+            PprError::Backend(e) => Some(e),
         }
     }
 }
@@ -40,6 +89,12 @@ impl Error for PprError {
 impl From<GraphError> for PprError {
     fn from(err: GraphError) -> Self {
         PprError::Graph(err)
+    }
+}
+
+impl From<BackendError> for PprError {
+    fn from(err: BackendError) -> Self {
+        PprError::Backend(err)
     }
 }
 
@@ -60,9 +115,7 @@ mod tests {
     fn source_chains() {
         let err = PprError::from(GraphError::EmptyGraph);
         assert!(err.source().is_some());
-        let err = PprError::InvalidParams {
-            reason: "x".into(),
-        };
+        let err = PprError::InvalidParams { reason: "x".into() };
         assert!(err.source().is_none());
     }
 
@@ -70,5 +123,25 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync + 'static>() {}
         assert_send_sync::<PprError>();
+        assert_send_sync::<BackendError>();
+    }
+
+    #[test]
+    fn backend_errors_fold_into_ppr_error() {
+        let err = PprError::from(BackendError::NoBackendAvailable {
+            reason: "empty router".into(),
+        });
+        assert!(err.to_string().contains("backend error"));
+        assert!(err.to_string().contains("empty router"));
+        assert!(err.source().is_some());
+        let err = BackendError::Unsupported {
+            backend: "monte-carlo",
+            reason: "length override".into(),
+        };
+        assert!(err.to_string().contains("monte-carlo"));
+        let err = BackendError::Accelerator {
+            reason: "capacity".into(),
+        };
+        assert!(err.to_string().contains("accelerator"));
     }
 }

@@ -156,8 +156,7 @@ impl GlobalScoreTable {
         }
         if self.capacity.is_none() {
             // Unbounded mode keeps no ordered index; select from the map.
-            let entries: Vec<(NodeId, f64)> =
-                self.scores.iter().map(|(&v, &s)| (v, s)).collect();
+            let entries: Vec<(NodeId, f64)> = self.scores.iter().map(|(&v, &s)| (v, s)).collect();
             return crate::score_vec::top_k_sparse(&entries, k);
         }
         // BTreeSet orders ascending by (score, id); reversed iteration

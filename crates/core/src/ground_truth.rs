@@ -86,7 +86,7 @@ mod tests {
         // Monotonicity therefore holds within each parity class.
         assert!(s[4] > s[2] && s[2] > s[0]); // even distances 0 < 2 < 4
         assert!(s[3] > s[1]); // odd distances 1 < 3
-        // Symmetry of the path around the seed.
+                              // Symmetry of the path around the seed.
         assert!((s[3] - s[5]).abs() < 1e-12);
         assert!((s[2] - s[6]).abs() < 1e-12);
         assert!((s[1] - s[7]).abs() < 1e-12);

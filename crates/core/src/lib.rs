@@ -9,28 +9,38 @@
 //!
 //! ## What's here
 //!
+//! * [`backend`] — **the unified query API**: the [`PprBackend`] trait,
+//!   [`QueryRequest`]/[`QueryOutcome`], four of its five solvers
+//!   ([`ExactPower`], [`LocalPpr`](backend::LocalPpr),
+//!   [`MonteCarlo`](backend::MonteCarlo), staged
+//!   [`Meloppr`](backend::Meloppr)) and the budget-driven [`Router`];
 //! * [`diffusion`] — the `GD(l)` kernel producing accumulated (`πa`) and
 //!   residual (`πr`) scores (Eq. 1, Fig. 3(b));
 //! * [`MelopprEngine`] — the multi-stage engine implementing stage
 //!   decomposition (Eq. 6), linear decomposition (Eq. 7) and sparsity
 //!   exploitation (Eq. 8, §IV-D);
-//! * [`local_ppr`] — the single-stage `LocalPPR-CPU` baseline the paper
-//!   compares against;
 //! * [`exact_top_k`] — ground truth `T(s, k)` and [`precision`] — the
 //!   `Prec(s, k)` metric;
 //! * [`monte_carlo`] — the Fig. 2(a) random-walk comparator;
 //! * [`GlobalScoreTable`] — the bounded `c·k` aggregation table of §V-B;
 //! * [`memory`] — the analytic CPU/FPGA memory models behind Table II;
 //! * [`sparsity`] — score-distribution analysis behind Fig. 6;
-//! * [`planner`] — budget-driven stage planning ("adaptive" extension);
-//! * [`parallel`] — parallel next-stage execution (the paper's stated
-//!   future work).
+//! * [`planner`] — budget-driven stage planning ("adaptive" extension).
+//!
+//! The pre-redesign free functions (`local_ppr`, `monte_carlo_ppr`,
+//! `parallel_query`, `MelopprEngine::query_cached`) remain as thin
+//! deprecated shims for one release; new code should go through
+//! [`backend`].
 //!
 //! ## Quick start
 //!
+//! Every solver answers the same [`QueryRequest`] and returns the same
+//! [`QueryOutcome`]:
+//!
 //! ```
-//! use meloppr_core::{MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+//! use meloppr_core::backend::{Meloppr, PprBackend, QueryRequest};
 //! use meloppr_core::{exact_top_k, precision::precision_at_k};
+//! use meloppr_core::{MelopprParams, PprParams, SelectionStrategy};
 //! use meloppr_graph::generators;
 //!
 //! # fn main() -> Result<(), meloppr_core::PprError> {
@@ -44,13 +54,40 @@
 //!     2,
 //!     SelectionStrategy::TopFraction(0.5),
 //! )?;
-//! let engine = MelopprEngine::new(&graph, params)?;
-//! let outcome = engine.query(0)?;
+//! let backend = Meloppr::new(&graph, params)?;
+//! let outcome = backend.query(&QueryRequest::new(0))?;
 //!
 //! // Compare against exact ground truth.
-//! let exact = exact_top_k(&graph, 0, &engine.params().ppr)?;
+//! let exact = exact_top_k(&graph, 0, &backend.params().ppr)?;
 //! let prec = precision_at_k(&outcome.ranking, &exact, 5);
 //! assert!(prec >= 0.6);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Or let the [`Router`] pick a solver per request from its budget hint:
+//!
+//! ```
+//! use meloppr_core::backend::{
+//!     ExactPower, LocalPpr, MonteCarlo, QueryRequest, Router,
+//! };
+//! use meloppr_core::PprParams;
+//! use meloppr_graph::generators;
+//!
+//! # fn main() -> Result<(), meloppr_core::PprError> {
+//! let graph = generators::karate_club();
+//! let params = PprParams::new(0.85, 4, 5)?;
+//! let router = Router::new()
+//!     .with_backend(Box::new(ExactPower::new(&graph, params)?))
+//!     .with_backend(Box::new(LocalPpr::new(&graph, params)?))
+//!     .with_backend(Box::new(MonteCarlo::new(&graph, params, 2000, 42)?));
+//!
+//! // A tight deadline tolerating approximation routes differently than
+//! // an exactness requirement.
+//! let fast = QueryRequest::new(0).with_max_latency_ms(0.05);
+//! let exact = QueryRequest::new(0).with_min_precision(1.0);
+//! assert_eq!(router.query(&fast)?.ranking.len(), 5);
+//! assert_eq!(router.query(&exact)?.ranking.len(), 5);
 //! # Ok(())
 //! # }
 //! ```
@@ -58,6 +95,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod cache;
 pub mod diffusion;
 mod error;
@@ -67,8 +105,8 @@ mod local_ppr;
 mod meloppr;
 pub mod memory;
 pub mod monte_carlo;
-mod params;
 pub mod parallel;
+mod params;
 pub mod planner;
 pub mod precision;
 pub mod push;
@@ -78,15 +116,20 @@ pub mod sparsity;
 #[cfg(test)]
 pub(crate) mod test_util;
 
+pub use backend::{
+    BackendCaps, BackendKind, CostEstimate, ExactPower, PprBackend, QueryBudget, QueryOutcome,
+    QueryRequest, QueryStats, Route, Router,
+};
 pub use cache::SubgraphCache;
 pub use diffusion::{diffuse, diffuse_from_seed, DiffusionConfig, DiffusionOutput, DiffusionWork};
-pub use error::{PprError, Result};
+pub use error::{BackendError, PprError, Result};
 pub use global_table::GlobalScoreTable;
 pub use ground_truth::{exact_ppr, exact_top_k};
-pub use local_ppr::{local_ppr, LocalPprResult, LocalPprStats};
-pub use meloppr::{
-    DiffusionRecord, MelopprEngine, MelopprOutcome, MelopprStats, StageStats,
-};
+#[allow(deprecated)]
+pub use local_ppr::local_ppr;
+pub use local_ppr::{LocalPprResult, LocalPprStats};
+pub use meloppr::{DiffusionRecord, MelopprEngine, MelopprOutcome, MelopprStats, StageStats};
+#[allow(deprecated)]
 pub use parallel::parallel_query;
 pub use params::{MelopprParams, PprParams, ResidualPolicy};
 pub use planner::{plan_stages, StagePlan};

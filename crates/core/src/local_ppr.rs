@@ -49,23 +49,21 @@ pub struct LocalPprResult {
 ///
 /// Returns [`PprError`](crate::PprError) variants for invalid parameters or
 /// an out-of-bounds seed.
-///
-/// # Examples
-///
-/// ```
-/// use meloppr_core::{local_ppr, PprParams};
-/// use meloppr_graph::generators;
-///
-/// # fn main() -> Result<(), meloppr_core::PprError> {
-/// let g = generators::karate_club();
-/// let params = PprParams::new(0.85, 4, 5)?;
-/// let result = local_ppr(&g, 0, &params)?;
-/// assert_eq!(result.ranking.len(), 5);
-/// assert_eq!(result.ranking[0].0, 0); // the seed dominates
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use the unified query API: `backend::LocalPpr::new(g, params)?.query(&QueryRequest::new(seed))`"
+)]
 pub fn local_ppr<G: GraphView + ?Sized>(
+    g: &G,
+    seed: NodeId,
+    params: &PprParams,
+) -> Result<LocalPprResult> {
+    local_ppr_impl(g, seed, params)
+}
+
+/// Implementation shared by the deprecated free function and the
+/// [`backend::LocalPpr`](crate::backend::LocalPpr) backend.
+pub(crate) fn local_ppr_impl<G: GraphView + ?Sized>(
     g: &G,
     seed: NodeId,
     params: &PprParams,
@@ -114,7 +112,7 @@ mod tests {
         for seed in [0u32, 5, 16, 33] {
             for length in [1usize, 2, 4, 6] {
                 let params = PprParams::new(0.85, length, 10).unwrap();
-                let local = local_ppr(&g, seed, &params).unwrap();
+                let local = local_ppr_impl(&g, seed, &params).unwrap();
                 let exact = exact_top_k(&g, seed, &params).unwrap();
                 crate::test_util::assert_ranking_equiv(&local.ranking, &exact, 1e-9);
             }
@@ -125,7 +123,7 @@ mod tests {
     fn exact_scores_match_not_just_ranking() {
         let g = generators::grid(8, 8).unwrap();
         let params = PprParams::new(0.85, 4, 64).unwrap();
-        let local = local_ppr(&g, 27, &params).unwrap();
+        let local = local_ppr_impl(&g, 27, &params).unwrap();
         let full = crate::ground_truth::exact_ppr(&g, 27, &params).unwrap();
         for &(v, s) in &local.scores {
             assert!((s - full.accumulated[v as usize]).abs() < 1e-12);
@@ -136,7 +134,7 @@ mod tests {
     fn stats_are_populated() {
         let g = generators::karate_club();
         let params = PprParams::paper_defaults();
-        let r = local_ppr(&g, 0, &params).unwrap();
+        let r = local_ppr_impl(&g, 0, &params).unwrap();
         assert!(r.stats.ball_nodes > 1);
         assert!(r.stats.ball_edges > 0);
         assert!(r.stats.bfs_edges_scanned > 0);
@@ -148,7 +146,7 @@ mod tests {
     fn isolated_seed_returns_itself() {
         let g = meloppr_graph::CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
         let params = PprParams::new(0.85, 3, 5).unwrap();
-        let r = local_ppr(&g, 2, &params).unwrap();
+        let r = local_ppr_impl(&g, 2, &params).unwrap();
         assert_eq!(r.ranking, vec![(2, 1.0)]);
     }
 
@@ -156,14 +154,14 @@ mod tests {
     fn invalid_seed_rejected() {
         let g = generators::path(4).unwrap();
         let params = PprParams::new(0.85, 2, 2).unwrap();
-        assert!(local_ppr(&g, 99, &params).is_err());
+        assert!(local_ppr_impl(&g, 99, &params).is_err());
     }
 
     #[test]
     fn ranking_is_truncated_to_k() {
         let g = generators::complete(20).unwrap();
         let params = PprParams::new(0.85, 2, 7).unwrap();
-        let r = local_ppr(&g, 0, &params).unwrap();
+        let r = local_ppr_impl(&g, 0, &params).unwrap();
         assert_eq!(r.ranking.len(), 7);
         assert!(r.scores.len() > 7);
     }

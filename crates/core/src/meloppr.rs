@@ -346,11 +346,7 @@ impl QueryAccumulator {
         let stats = MelopprStats {
             total_diffusions: self.trace.len(),
             bfs_edges_scanned: self.stages.iter().map(|s| s.bfs_edges_scanned).sum(),
-            diffusion_edge_updates: self
-                .stages
-                .iter()
-                .map(|s| s.diffusion_edge_updates)
-                .sum(),
+            diffusion_edge_updates: self.stages.iter().map(|s| s.diffusion_edge_updates).sum(),
             peak_task_memory: self.peak_task,
             peak_cpu_bytes: meloppr_cpu_peak(
                 self.peak_task,
@@ -423,7 +419,21 @@ impl<'g, G: GraphView + ?Sized> MelopprEngine<'g, G> {
     /// # Errors
     ///
     /// As [`MelopprEngine::query`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the unified query API: `backend::Meloppr::new(g, params)?.with_cache(capacity)`"
+    )]
     pub fn query_cached(
+        &self,
+        seed: NodeId,
+        cache: &mut crate::cache::SubgraphCache,
+    ) -> Result<MelopprOutcome> {
+        self.query_cached_impl(seed, cache)
+    }
+
+    /// Implementation shared by the deprecated method and the
+    /// [`backend::Meloppr`](crate::backend::Meloppr) backend's cached mode.
+    pub(crate) fn query_cached_impl(
         &self,
         seed: NodeId,
         cache: &mut crate::cache::SubgraphCache,
@@ -438,8 +448,7 @@ impl<'g, G: GraphView + ?Sized> MelopprEngine<'g, G> {
         while let Some(task) = queue.pop_front() {
             acc.observe_queue(queue.len() + 1);
             let depth = self.params.stages[task.stage] as u32;
-            let (sub, bfs_work) =
-                cache.get_or_extract_counted(self.graph, task.node, depth)?;
+            let (sub, bfs_work) = cache.get_or_extract_counted(self.graph, task.node, depth)?;
             let output = execute_task_on(&sub, bfs_work, &self.params, &task)?;
             acc.merge(&output);
             queue.extend(output.children.iter().copied());
@@ -553,7 +562,10 @@ mod tests {
         }
         // Full selection is exact up to floating-point ties at the k-th
         // boundary.
-        assert!(last_precision >= 0.95, "full selection precision {last_precision}");
+        assert!(
+            last_precision >= 0.95,
+            "full selection precision {last_precision}"
+        );
     }
 
     #[test]
@@ -622,7 +634,7 @@ mod tests {
             .generate_scaled(0.1, 11)
             .unwrap();
         let ppr = PprParams::new(0.85, 6, 20).unwrap();
-        let baseline = crate::local_ppr::local_ppr(&g, 50, &ppr).unwrap();
+        let baseline = crate::local_ppr::local_ppr_impl(&g, 50, &ppr).unwrap();
         let params = MelopprParams {
             ppr,
             stages: vec![3, 3],

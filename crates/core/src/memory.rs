@@ -72,9 +72,7 @@ pub fn meloppr_cpu_peak(
     aggregate_entries: usize,
     pending_nodes: usize,
 ) -> usize {
-    peak_task.total()
-        + aggregate_entries * 2 * CPU_WORD_BYTES
-        + pending_nodes * 2 * CPU_WORD_BYTES
+    peak_task.total() + aggregate_entries * 2 * CPU_WORD_BYTES + pending_nodes * 2 * CPU_WORD_BYTES
 }
 
 /// The paper's FPGA BRAM formula (§VI-B):

@@ -7,7 +7,7 @@
 //! design space that MeLoPPR's Fig. 2 motivates against. The estimator
 //! counts those off-chip accesses so the cost models can price them.
 
-use meloppr_graph::{GraphView, NodeId};
+use meloppr_graph::{FastHashMap, GraphView, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,7 +41,23 @@ pub struct MonteCarloResult {
 ///
 /// Returns [`PprError::InvalidParams`] if `walks == 0` or the parameters
 /// fail validation, and a graph error for an out-of-bounds seed.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the unified query API: `backend::MonteCarlo::new(g, params, walks, rng_seed)?.query(&QueryRequest::new(seed))`"
+)]
 pub fn monte_carlo_ppr<G: GraphView + ?Sized>(
+    g: &G,
+    seed: NodeId,
+    params: &PprParams,
+    walks: usize,
+    rng_seed: u64,
+) -> Result<MonteCarloResult> {
+    monte_carlo_ppr_impl(g, seed, params, walks, rng_seed)
+}
+
+/// Implementation shared by the deprecated free function and the
+/// [`backend::MonteCarlo`](crate::backend::MonteCarlo) backend.
+pub(crate) fn monte_carlo_ppr_impl<G: GraphView + ?Sized>(
     g: &G,
     seed: NodeId,
     params: &PprParams,
@@ -55,13 +71,17 @@ pub fn monte_carlo_ppr<G: GraphView + ?Sized>(
         });
     }
     if seed as usize >= g.num_nodes() {
-        return Err(PprError::Graph(meloppr_graph::GraphError::NodeOutOfBounds {
-            node: seed,
-            num_nodes: g.num_nodes(),
-        }));
+        return Err(PprError::Graph(
+            meloppr_graph::GraphError::NodeOutOfBounds {
+                node: seed,
+                num_nodes: g.num_nodes(),
+            },
+        ));
     }
     let mut rng = SmallRng::seed_from_u64(rng_seed);
-    let mut counts: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    // FastHashMap (not std's randomly-seeded SipHash) keeps iteration
+    // effects off the query path; the sort below pins the output order.
+    let mut counts: FastHashMap<NodeId, usize> = FastHashMap::default();
     let mut steps = 0usize;
     for _ in 0..walks {
         let mut node = seed;
@@ -106,7 +126,7 @@ mod tests {
         let g = generators::karate_club();
         let params = PprParams::new(0.85, 6, 5).unwrap();
         let exact = exact_top_k(&g, 0, &params).unwrap();
-        let mc = monte_carlo_ppr(&g, 0, &params, 20_000, 42).unwrap();
+        let mc = monte_carlo_ppr_impl(&g, 0, &params, 20_000, 42).unwrap();
         let prec = precision_at_k(&mc.ranking, &exact, 5);
         assert!(prec >= 0.6, "MC precision too low: {prec}");
     }
@@ -115,7 +135,7 @@ mod tests {
     fn scores_sum_to_one() {
         let g = generators::cycle(6).unwrap();
         let params = PprParams::new(0.85, 4, 6).unwrap();
-        let mc = monte_carlo_ppr(&g, 0, &params, 1000, 7).unwrap();
+        let mc = monte_carlo_ppr_impl(&g, 0, &params, 1000, 7).unwrap();
         let total: f64 = mc.scores.iter().map(|&(_, s)| s).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
@@ -124,8 +144,8 @@ mod tests {
     fn deterministic_under_seed() {
         let g = generators::karate_club();
         let params = PprParams::new(0.85, 4, 5).unwrap();
-        let a = monte_carlo_ppr(&g, 3, &params, 500, 9).unwrap();
-        let b = monte_carlo_ppr(&g, 3, &params, 500, 9).unwrap();
+        let a = monte_carlo_ppr_impl(&g, 3, &params, 500, 9).unwrap();
+        let b = monte_carlo_ppr_impl(&g, 3, &params, 500, 9).unwrap();
         assert_eq!(a, b);
     }
 
@@ -133,7 +153,7 @@ mod tests {
     fn steps_bounded_by_walks_times_length() {
         let g = generators::complete(8).unwrap();
         let params = PprParams::new(0.85, 5, 3).unwrap();
-        let mc = monte_carlo_ppr(&g, 0, &params, 200, 3).unwrap();
+        let mc = monte_carlo_ppr_impl(&g, 0, &params, 200, 3).unwrap();
         assert!(mc.steps <= 200 * 5);
         assert!(mc.steps > 0);
     }
@@ -142,7 +162,7 @@ mod tests {
     fn isolated_seed_all_mass_at_seed() {
         let g = meloppr_graph::CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
         let params = PprParams::new(0.85, 4, 2).unwrap();
-        let mc = monte_carlo_ppr(&g, 2, &params, 100, 1).unwrap();
+        let mc = monte_carlo_ppr_impl(&g, 2, &params, 100, 1).unwrap();
         assert_eq!(mc.ranking, vec![(2, 1.0)]);
         assert_eq!(mc.steps, 0);
     }
@@ -151,13 +171,13 @@ mod tests {
     fn zero_walks_rejected() {
         let g = generators::path(3).unwrap();
         let params = PprParams::new(0.85, 2, 2).unwrap();
-        assert!(monte_carlo_ppr(&g, 0, &params, 0, 0).is_err());
+        assert!(monte_carlo_ppr_impl(&g, 0, &params, 0, 0).is_err());
     }
 
     #[test]
     fn bad_seed_rejected() {
         let g = generators::path(3).unwrap();
         let params = PprParams::new(0.85, 2, 2).unwrap();
-        assert!(monte_carlo_ppr(&g, 30, &params, 10, 0).is_err());
+        assert!(monte_carlo_ppr_impl(&g, 30, &params, 10, 0).is_err());
     }
 }

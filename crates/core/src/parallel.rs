@@ -25,22 +25,25 @@ use crate::params::MelopprParams;
 /// Returns [`PprError::InvalidParams`] if `threads == 0` or the parameters
 /// fail validation, plus any graph error from the underlying query.
 ///
-/// # Examples
-///
-/// ```
-/// use meloppr_core::{parallel_query, MelopprParams};
-/// use meloppr_graph::generators;
-///
-/// # fn main() -> Result<(), meloppr_core::PprError> {
-/// let g = generators::karate_club();
-/// let mut params = MelopprParams::paper_defaults();
-/// params.ppr.k = 5;
-/// let outcome = parallel_query(&g, &params, 0, 4)?;
-/// assert_eq!(outcome.ranking.len(), 5);
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use the unified query API: `backend::Meloppr::new(g, params)?.with_threads(n)?.query(&QueryRequest::new(seed))`"
+)]
 pub fn parallel_query<G>(
+    graph: &G,
+    params: &MelopprParams,
+    seed: NodeId,
+    threads: usize,
+) -> Result<MelopprOutcome>
+where
+    G: GraphView + Sync + ?Sized,
+{
+    parallel_query_impl(graph, params, seed, threads)
+}
+
+/// Implementation shared by the deprecated free function and the
+/// [`backend::Meloppr`](crate::backend::Meloppr) backend's threaded mode.
+pub(crate) fn parallel_query_impl<G>(
     graph: &G,
     params: &MelopprParams,
     seed: NodeId,
@@ -99,11 +102,11 @@ where
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Vec<Result<Vec<(usize, crate::meloppr::TaskOutput)>>> =
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut mine = Vec::new();
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -120,8 +123,7 @@ where
                 .into_iter()
                 .map(|h| h.join().expect("stage worker panicked"))
                 .collect()
-        })
-        .expect("thread scope failed");
+        });
 
     let mut indexed = Vec::with_capacity(tasks.len());
     for r in results {
@@ -157,7 +159,7 @@ mod tests {
         let engine = MelopprEngine::new(&g, p.clone()).unwrap();
         let sequential = engine.query(7).unwrap();
         for threads in [1, 2, 4, 7] {
-            let parallel = parallel_query(&g, &p, 7, threads).unwrap();
+            let parallel = parallel_query_impl(&g, &p, 7, threads).unwrap();
             assert_eq!(parallel.ranking, sequential.ranking, "threads = {threads}");
             assert_eq!(parallel.stats.trace, sequential.stats.trace);
             assert_eq!(
@@ -173,8 +175,8 @@ mod tests {
             .generate_scaled(0.2, 6)
             .unwrap();
         let p = params().with_table_factor(2);
-        let a = parallel_query(&g, &p, 3, 1).unwrap();
-        let b = parallel_query(&g, &p, 3, 5).unwrap();
+        let a = parallel_query_impl(&g, &p, 3, 1).unwrap();
+        let b = parallel_query_impl(&g, &p, 3, 5).unwrap();
         assert_eq!(a.ranking, b.ranking);
         assert_eq!(a.stats.table_evictions, b.stats.table_evictions);
     }
@@ -182,7 +184,7 @@ mod tests {
     #[test]
     fn zero_threads_rejected() {
         let g = generators::path(4).unwrap();
-        assert!(parallel_query(&g, &params(), 0, 0).is_err());
+        assert!(parallel_query_impl(&g, &params(), 0, 0).is_err());
     }
 
     #[test]
@@ -190,7 +192,7 @@ mod tests {
         let g = generators::karate_club();
         let mut p = params();
         p.ppr.k = 5;
-        let outcome = parallel_query(&g, &p, 0, 64).unwrap();
+        let outcome = parallel_query_impl(&g, &p, 0, 64).unwrap();
         assert_eq!(outcome.ranking.len(), 5);
     }
 }

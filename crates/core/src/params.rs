@@ -155,7 +155,12 @@ impl MelopprParams {
     ///
     /// Returns [`PprError::InvalidParams`] if the stage lengths don't sum
     /// to `ppr.length` or any other constraint fails.
-    pub fn two_stage(ppr: PprParams, l1: usize, l2: usize, selection: SelectionStrategy) -> Result<Self> {
+    pub fn two_stage(
+        ppr: PprParams,
+        l1: usize,
+        l2: usize,
+        selection: SelectionStrategy,
+    ) -> Result<Self> {
         let params = MelopprParams {
             ppr,
             stages: vec![l1, l2],

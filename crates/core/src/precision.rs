@@ -33,7 +33,7 @@ pub fn precision_at_k(approx: &Ranking, exact: &Ranking, k: usize) -> f64 {
     if denom == 0 {
         return if approx.is_empty() { 1.0 } else { 0.0 };
     }
-    let truth: std::collections::HashSet<_> = exact.iter().take(k).map(|&(v, _)| v).collect();
+    let truth: meloppr_graph::FastHashSet<_> = exact.iter().take(k).map(|&(v, _)| v).collect();
     let hits = approx
         .iter()
         .take(k)

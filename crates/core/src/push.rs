@@ -94,10 +94,12 @@ pub fn forward_push<G: GraphView + ?Sized>(
         });
     }
     if seed as usize >= g.num_nodes() {
-        return Err(PprError::Graph(meloppr_graph::GraphError::NodeOutOfBounds {
-            node: seed,
-            num_nodes: g.num_nodes(),
-        }));
+        return Err(PprError::Graph(
+            meloppr_graph::GraphError::NodeOutOfBounds {
+                node: seed,
+                num_nodes: g.num_nodes(),
+            },
+        ));
     }
 
     let mut estimate: FastHashMap<NodeId, f64> = FastHashMap::default();
@@ -134,8 +136,7 @@ pub fn forward_push<G: GraphView + ?Sized>(
         for &v in nbrs {
             let rv = residual.entry(v).or_insert(0.0);
             *rv += share;
-            if *rv >= threshold(g.walk_degree(v)) && !in_queue.get(&v).copied().unwrap_or(false)
-            {
+            if *rv >= threshold(g.walk_degree(v)) && !in_queue.get(&v).copied().unwrap_or(false) {
                 in_queue.insert(v, true);
                 queue.push_back(v);
             }
@@ -144,10 +145,8 @@ pub fn forward_push<G: GraphView + ?Sized>(
 
     let residual_mass: f64 = residual.values().sum();
     let touched_nodes = residual.len().max(estimate.len());
-    let mut estimates: Vec<(NodeId, f64)> = estimate
-        .into_iter()
-        .filter(|&(_, p)| p > 0.0)
-        .collect();
+    let mut estimates: Vec<(NodeId, f64)> =
+        estimate.into_iter().filter(|&(_, p)| p > 0.0).collect();
     estimates.sort_unstable_by_key(|&(v, _)| v);
     let ranking = top_k_sparse(&estimates, k);
     Ok(PushResult {
@@ -190,8 +189,7 @@ mod tests {
             .generate_scaled(0.15, 4)
             .unwrap();
         let push = forward_push(&g, 10, 0.85, 1e-8, 20).unwrap();
-        let long =
-            diffuse_from_seed(&g, 10, DiffusionConfig::new(0.85, 120).unwrap()).unwrap();
+        let long = diffuse_from_seed(&g, 10, DiffusionConfig::new(0.85, 120).unwrap()).unwrap();
         let exact = top_k_dense(&long.accumulated, 20);
         let prec = precision_at_k(&push.ranking, &exact, 20);
         assert!(prec >= 0.9, "push ranking precision {prec}");

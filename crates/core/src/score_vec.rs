@@ -44,9 +44,8 @@ where
     I: Iterator<Item = (NodeId, f64)>,
 {
     let mut all: Vec<(NodeId, f64)> = entries.collect();
-    let cmp = |a: &(NodeId, f64), b: &(NodeId, f64)| {
-        b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
-    };
+    let cmp =
+        |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0));
     if all.len() > k && k > 0 {
         all.select_nth_unstable_by(k - 1, cmp);
         all.truncate(k);
@@ -56,8 +55,10 @@ where
     all
 }
 
-/// The node set of a ranking (for precision computations).
-pub fn ranking_nodes(ranking: &Ranking) -> std::collections::HashSet<NodeId> {
+/// The node set of a ranking (for precision computations). Keyed by the
+/// deterministic [`FastHashSet`](meloppr_graph::FastHashSet) so query-path
+/// consumers stay reproducible across runs.
+pub fn ranking_nodes(ranking: &Ranking) -> meloppr_graph::FastHashSet<NodeId> {
     ranking.iter().map(|&(v, _)| v).collect()
 }
 
@@ -146,9 +147,9 @@ mod tests {
         let scores: Vec<f64> = (0..10_000).map(|i| (i % 997) as f64 / 997.0).collect();
         let top = top_k_dense(&scores, 10);
         assert_eq!(top.len(), 10);
-        assert!(top.windows(2).all(|w| {
-            w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)
-        }));
+        assert!(top
+            .windows(2)
+            .all(|w| { w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0) }));
         assert!((top[0].1 - 996.0 / 997.0).abs() < 1e-12);
     }
 }

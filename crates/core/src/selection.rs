@@ -110,7 +110,9 @@ mod tests {
 
     #[test]
     fn top_fraction_zero_selects_none() {
-        assert!(SelectionStrategy::TopFraction(0.0).select(candidates()).is_empty());
+        assert!(SelectionStrategy::TopFraction(0.0)
+            .select(candidates())
+            .is_empty());
     }
 
     #[test]
@@ -122,8 +124,13 @@ mod tests {
     #[test]
     fn top_count_caps_at_available() {
         assert_eq!(SelectionStrategy::TopCount(2).select(candidates()).len(), 2);
-        assert_eq!(SelectionStrategy::TopCount(99).select(candidates()).len(), 4);
-        assert!(SelectionStrategy::TopCount(0).select(candidates()).is_empty());
+        assert_eq!(
+            SelectionStrategy::TopCount(99).select(candidates()).len(),
+            4
+        );
+        assert!(SelectionStrategy::TopCount(0)
+            .select(candidates())
+            .is_empty());
     }
 
     #[test]
@@ -145,7 +152,9 @@ mod tests {
         assert!(SelectionStrategy::TopFraction(0.02).validate().is_ok());
         assert!(SelectionStrategy::TopFraction(-0.1).validate().is_err());
         assert!(SelectionStrategy::TopFraction(1.1).validate().is_err());
-        assert!(SelectionStrategy::RelativeThreshold(0.0).validate().is_err());
+        assert!(SelectionStrategy::RelativeThreshold(0.0)
+            .validate()
+            .is_err());
         assert!(SelectionStrategy::RelativeThreshold(1.0).validate().is_ok());
         assert!(SelectionStrategy::TopCount(0).validate().is_ok());
     }
@@ -153,6 +162,8 @@ mod tests {
     #[test]
     fn empty_candidates() {
         assert!(SelectionStrategy::All.select(vec![]).is_empty());
-        assert!(SelectionStrategy::TopFraction(0.5).select(vec![]).is_empty());
+        assert!(SelectionStrategy::TopFraction(0.5)
+            .select(vec![])
+            .is_empty());
     }
 }

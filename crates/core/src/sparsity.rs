@@ -182,10 +182,13 @@ mod tests {
         use crate::diffusion::{diffuse_from_seed, DiffusionConfig};
         use meloppr_graph::generators::corpus::PaperGraph;
         let g = PaperGraph::G1Citeseer.generate_scaled(0.3, 2).unwrap();
-        let out =
-            diffuse_from_seed(&g, 17, DiffusionConfig::new(0.85, 3).unwrap()).unwrap();
+        let out = diffuse_from_seed(&g, 17, DiffusionConfig::new(0.85, 3).unwrap()).unwrap();
         let s = sparsity_stats(&out.residual);
-        assert!(s.nonzero > 20, "ball too small for the claim: {}", s.nonzero);
+        assert!(
+            s.nonzero > 20,
+            "ball too small for the claim: {}",
+            s.nonzero
+        );
         assert!(
             s.large_fraction < 0.25,
             "large fraction unexpectedly high: {}",

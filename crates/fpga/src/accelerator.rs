@@ -238,8 +238,7 @@ impl FpgaAccelerator {
 
         // Final term: πa += α^l·W^l·S0 (the residual table content).
         for &u in &frontier {
-            accumulated[u as usize] =
-                accumulated[u as usize].saturating_add(power[u as usize]);
+            accumulated[u as usize] = accumulated[u as usize].saturating_add(power[u as usize]);
         }
 
         Ok(FpgaDiffusionResult {

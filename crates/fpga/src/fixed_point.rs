@@ -178,9 +178,13 @@ impl FixedPointFormat {
     /// Rescales a product of two Max-scaled integers back to the Max
     /// scale — the multiply-accumulate used when weighting a stage's
     /// output by its task weight (64-bit intermediate, like the DSP-free
-    /// MAC in the accumulator).
+    /// MAC in the accumulator). Rounds to nearest — in hardware a single
+    /// adder ahead of the divider — which halves the per-entry error of
+    /// plain truncation; small-`Max` formats (`d = avg_degree`) are the
+    /// main beneficiary.
     pub fn weighted(&self, weight: u32, score: u32) -> u32 {
-        ((weight as u64 * score as u64) / self.max_value as u64) as u32
+        let half = self.max_value as u64 / 2;
+        ((weight as u64 * score as u64 + half) / self.max_value as u64) as u32
     }
 }
 

@@ -226,9 +226,7 @@ impl<'g, G: GraphView + ?Sized> HybridMeloppr<'g, G> {
             };
 
             // FPGA: integer diffusion.
-            let result = self
-                .accel
-                .run_diffusion(&sub, fmt.max_value(), l, fmt)?;
+            let result = self.accel.run_diffusion(&sub, fmt.max_value(), l, fmt)?;
             cycles.diffusion += result.cycles.diffusion;
             cycles.scheduling += result.cycles.scheduling;
             truncation_loss += result.truncation_loss;
@@ -325,8 +323,7 @@ impl<'g, G: GraphView + ?Sized> HybridMeloppr<'g, G> {
             .iter()
             .map(|&(v, s)| (v, fmt.dequantize(s)))
             .collect();
-        let latency =
-            LatencyBreakdown::from_cycles(cycles, self.config.accel.clock_mhz, host_ns);
+        let latency = LatencyBreakdown::from_cycles(cycles, self.config.accel.clock_mhz, host_ns);
         Ok(HybridOutcome {
             ranking_int,
             ranking,
@@ -502,7 +499,10 @@ mod double_buffer_tests {
             buffered.stats.cycles.data_movement,
             plain.stats.cycles.data_movement
         );
-        assert_eq!(plain.stats.cycles.diffusion, buffered.stats.cycles.diffusion);
+        assert_eq!(
+            plain.stats.cycles.diffusion,
+            buffered.stats.cycles.diffusion
+        );
         assert!(buffered.latency.total_ns() < plain.latency.total_ns());
     }
 }

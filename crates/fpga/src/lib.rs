@@ -23,6 +23,9 @@
 //!   timing model;
 //! * [`HybridMeloppr`] — the full host+device query loop with end-to-end
 //!   [`LatencyBreakdown`]s;
+//! * [`FpgaHybrid`] — the same engine behind the unified
+//!   [`meloppr_core::backend::PprBackend`] query API (trait-object
+//!   serving and budget routing next to the CPU solvers);
 //! * [`ResourceModel`] — KC705 LUT/BRAM estimates vs parallelism
 //!   (Table I).
 //!
@@ -59,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 mod accelerator;
+mod backend;
 mod error;
 mod fixed_point;
 mod host;
@@ -69,6 +73,7 @@ pub mod scheduler;
 pub mod tables;
 
 pub use accelerator::{AcceleratorConfig, FpgaAccelerator, FpgaDiffusionResult};
+pub use backend::FpgaHybrid;
 pub use error::{FpgaError, Result};
 pub use fixed_point::{DegreeScale, FixedPointFormat};
 pub use host::{HostCostModel, HybridConfig, HybridMeloppr, HybridOutcome, HybridStats};

@@ -78,7 +78,10 @@ impl PeArray {
     /// The largest per-PE BRAM requirement (what must fit the device's
     /// per-PE capacity).
     pub fn max_pe_bytes(&self) -> usize {
-        (0..self.parallelism).map(|p| self.pe_bytes(p)).max().unwrap_or(0)
+        (0..self.parallelism)
+            .map(|p| self.pe_bytes(p))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Builds per-PE write streams for one iteration: for every frontier
@@ -158,7 +161,11 @@ mod tests {
         for p in [1, 3, 5] {
             let array = PeArray::partition(&sub, p);
             let total: usize = (0..p).map(|i| array.pe_bytes(i)).sum();
-            assert_eq!(total, fpga_bram_bytes(sub.num_nodes(), sub.num_edges()), "P = {p}");
+            assert_eq!(
+                total,
+                fpga_bram_bytes(sub.num_nodes(), sub.num_edges()),
+                "P = {p}"
+            );
         }
     }
 
@@ -166,7 +173,10 @@ mod tests {
     fn single_pe_holds_everything() {
         let sub = sample();
         let array = PeArray::partition(&sub, 1);
-        assert_eq!(array.max_pe_bytes(), fpga_bram_bytes(sub.num_nodes(), sub.num_edges()));
+        assert_eq!(
+            array.max_pe_bytes(),
+            fpga_bram_bytes(sub.num_nodes(), sub.num_edges())
+        );
     }
 
     #[test]

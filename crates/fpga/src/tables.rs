@@ -76,9 +76,7 @@ pub struct AccScoreTable {
 impl AccScoreTable {
     /// A zeroed table for `n` nodes.
     pub fn new(n: usize) -> Self {
-        AccScoreTable {
-            scores: vec![0; n],
-        }
+        AccScoreTable { scores: vec![0; n] }
     }
 
     /// Current score of local node `u`.
@@ -112,9 +110,7 @@ pub struct ResScoreTable {
 impl ResScoreTable {
     /// A zeroed table for `n` nodes.
     pub fn new(n: usize) -> Self {
-        ResScoreTable {
-            scores: vec![0; n],
-        }
+        ResScoreTable { scores: vec![0; n] }
     }
 
     /// Current residual of local node `u`.

@@ -117,10 +117,7 @@ fn pe_scan_streams_cover_whole_table() {
     // All active: adds one write per arc.
     let streams = array.streams_for_scan(&sub, |_| true);
     let total: usize = streams.iter().map(|s| s.len()).sum();
-    assert_eq!(
-        total,
-        sub.num_nodes() + sub.num_directed_edges()
-    );
+    assert_eq!(total, sub.num_nodes() + sub.num_directed_edges());
     // Activity restricted to even local ids.
     let streams = array.streams_for_scan(&sub, |u| u % 2 == 0);
     let arcs_even: usize = (0..sub.num_nodes() as NodeId)

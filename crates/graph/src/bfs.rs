@@ -283,10 +283,38 @@ mod tests {
         let g = generators::path(9).unwrap();
         let growth = ball_growth(&g, 4, 3).unwrap();
         assert_eq!(growth.len(), 4);
-        assert_eq!(growth[0], BallSize { depth: 0, nodes: 1, edges: 0 });
-        assert_eq!(growth[1], BallSize { depth: 1, nodes: 3, edges: 2 });
-        assert_eq!(growth[2], BallSize { depth: 2, nodes: 5, edges: 4 });
-        assert_eq!(growth[3], BallSize { depth: 3, nodes: 7, edges: 6 });
+        assert_eq!(
+            growth[0],
+            BallSize {
+                depth: 0,
+                nodes: 1,
+                edges: 0
+            }
+        );
+        assert_eq!(
+            growth[1],
+            BallSize {
+                depth: 1,
+                nodes: 3,
+                edges: 2
+            }
+        );
+        assert_eq!(
+            growth[2],
+            BallSize {
+                depth: 2,
+                nodes: 5,
+                edges: 4
+            }
+        );
+        assert_eq!(
+            growth[3],
+            BallSize {
+                depth: 3,
+                nodes: 7,
+                edges: 6
+            }
+        );
         assert_eq!(growth[3].size(), 13);
     }
 

@@ -59,7 +59,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} (simple graph required)")
@@ -100,7 +103,10 @@ mod tests {
             node: 7,
             num_nodes: 5,
         };
-        assert_eq!(err.to_string(), "node 7 out of bounds for graph with 5 nodes");
+        assert_eq!(
+            err.to_string(),
+            "node 7 out of bounds for graph with 5 nodes"
+        );
     }
 
     #[test]

@@ -126,15 +126,33 @@ impl PaperGraph {
         // co-purchase/collaboration graphs are more cluster-local; social
         // networks are strongly hub-driven.
         match self {
-            PaperGraph::G1Citeseer => Profile { locality: 0.35, window_div: 8 },
-            PaperGraph::G2Cora => Profile { locality: 0.35, window_div: 8 },
-            PaperGraph::G3Pubmed => Profile { locality: 0.30, window_div: 10 },
+            PaperGraph::G1Citeseer => Profile {
+                locality: 0.35,
+                window_div: 8,
+            },
+            PaperGraph::G2Cora => Profile {
+                locality: 0.35,
+                window_div: 8,
+            },
+            PaperGraph::G3Pubmed => Profile {
+                locality: 0.30,
+                window_div: 10,
+            },
             // Co-purchase: local clusters with occasional bestseller hubs.
-            PaperGraph::G4ComAmazon => Profile { locality: 0.55, window_div: 400 },
+            PaperGraph::G4ComAmazon => Profile {
+                locality: 0.55,
+                window_div: 400,
+            },
             // Collaboration: local with moderate hubs.
-            PaperGraph::G5ComDblp => Profile { locality: 0.45, window_div: 300 },
+            PaperGraph::G5ComDblp => Profile {
+                locality: 0.45,
+                window_div: 300,
+            },
             // Social: hub-driven.
-            PaperGraph::G6ComYoutube => Profile { locality: 0.25, window_div: 200 },
+            PaperGraph::G6ComYoutube => Profile {
+                locality: 0.25,
+                window_div: 200,
+            },
         }
     }
 
@@ -209,7 +227,11 @@ mod tests {
         let pg = PaperGraph::G3Pubmed;
         let g = pg.generate_scaled(0.05, 9).unwrap();
         let paper_avg = 2.0 * pg.paper_edges() as f64 / pg.paper_nodes() as f64;
-        assert!((g.avg_degree() - paper_avg).abs() < 0.5, "avg = {}", g.avg_degree());
+        assert!(
+            (g.avg_degree() - paper_avg).abs() < 0.5,
+            "avg = {}",
+            g.avg_degree()
+        );
     }
 
     #[test]

@@ -123,17 +123,84 @@ pub fn binary_tree(depth: u32) -> Result<CsrGraph> {
 pub fn karate_club() -> CsrGraph {
     // 1-based edge list from Zachary (1977), converted to 0-based below.
     const EDGES: [(NodeId, NodeId); 78] = [
-        (1, 2), (1, 3), (2, 3), (1, 4), (2, 4), (3, 4), (1, 5), (1, 6), (1, 7),
-        (5, 7), (6, 7), (1, 8), (2, 8), (3, 8), (4, 8), (1, 9), (3, 9), (3, 10),
-        (1, 11), (5, 11), (6, 11), (1, 12), (1, 13), (4, 13), (1, 14), (2, 14),
-        (3, 14), (4, 14), (6, 17), (7, 17), (1, 18), (2, 18), (1, 20), (2, 20),
-        (1, 22), (2, 22), (24, 26), (25, 26), (3, 28), (24, 28), (25, 28),
-        (3, 29), (24, 30), (27, 30), (2, 31), (9, 31), (1, 32), (25, 32),
-        (26, 32), (29, 32), (3, 33), (9, 33), (15, 33), (16, 33), (19, 33),
-        (21, 33), (23, 33), (24, 33), (30, 33), (31, 33), (32, 33), (9, 34),
-        (10, 34), (14, 34), (15, 34), (16, 34), (19, 34), (20, 34), (21, 34),
-        (23, 34), (24, 34), (27, 34), (28, 34), (29, 34), (30, 34), (31, 34),
-        (32, 34), (33, 34),
+        (1, 2),
+        (1, 3),
+        (2, 3),
+        (1, 4),
+        (2, 4),
+        (3, 4),
+        (1, 5),
+        (1, 6),
+        (1, 7),
+        (5, 7),
+        (6, 7),
+        (1, 8),
+        (2, 8),
+        (3, 8),
+        (4, 8),
+        (1, 9),
+        (3, 9),
+        (3, 10),
+        (1, 11),
+        (5, 11),
+        (6, 11),
+        (1, 12),
+        (1, 13),
+        (4, 13),
+        (1, 14),
+        (2, 14),
+        (3, 14),
+        (4, 14),
+        (6, 17),
+        (7, 17),
+        (1, 18),
+        (2, 18),
+        (1, 20),
+        (2, 20),
+        (1, 22),
+        (2, 22),
+        (24, 26),
+        (25, 26),
+        (3, 28),
+        (24, 28),
+        (25, 28),
+        (3, 29),
+        (24, 30),
+        (27, 30),
+        (2, 31),
+        (9, 31),
+        (1, 32),
+        (25, 32),
+        (26, 32),
+        (29, 32),
+        (3, 33),
+        (9, 33),
+        (15, 33),
+        (16, 33),
+        (19, 33),
+        (21, 33),
+        (23, 33),
+        (24, 33),
+        (30, 33),
+        (31, 33),
+        (32, 33),
+        (9, 34),
+        (10, 34),
+        (14, 34),
+        (15, 34),
+        (16, 34),
+        (19, 34),
+        (20, 34),
+        (21, 34),
+        (23, 34),
+        (24, 34),
+        (27, 34),
+        (28, 34),
+        (29, 34),
+        (30, 34),
+        (31, 34),
+        (32, 34),
+        (33, 34),
     ];
     let mut b = GraphBuilder::new(34);
     for &(u, v) in &EDGES {

@@ -251,7 +251,11 @@ pub fn rmat(scale: u32, m: usize, probs: RmatProbabilities, seed: u64) -> Result
         });
     }
     let sum = probs.a + probs.b + probs.c + probs.d;
-    if (sum - 1.0).abs() > 1e-9 || [probs.a, probs.b, probs.c, probs.d].iter().any(|&p| p < 0.0) {
+    if (sum - 1.0).abs() > 1e-9
+        || [probs.a, probs.b, probs.c, probs.d]
+            .iter()
+            .any(|&p| p < 0.0)
+    {
         return Err(GraphError::InvalidGenerator {
             reason: format!("R-MAT probabilities must be non-negative and sum to 1 (sum={sum})"),
         });
@@ -271,9 +275,7 @@ pub fn rmat(scale: u32, m: usize, probs: RmatProbabilities, seed: u64) -> Result
         attempts += 1;
         if attempts > budget {
             return Err(GraphError::InvalidGenerator {
-                reason: format!(
-                    "R-MAT failed to find {m} unique edges within {budget} attempts"
-                ),
+                reason: format!("R-MAT failed to find {m} unique edges within {budget} attempts"),
             });
         }
         let (mut u, mut v) = (0usize, 0usize);
@@ -338,7 +340,11 @@ pub fn planted_partition(
     // probability first keeps the expected work near m.
     let p_max = p_in.max(p_out);
     if p_max > 0.0 {
-        let log_q = if p_max >= 1.0 { f64::NEG_INFINITY } else { (1.0 - p_max).ln() };
+        let log_q = if p_max >= 1.0 {
+            f64::NEG_INFINITY
+        } else {
+            (1.0 - p_max).ln()
+        };
         let total = max_simple_edges(n) as u64;
         let mut idx: u64 = 0;
         loop {
@@ -437,10 +443,11 @@ pub fn locality_preferential(
     let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(target_edges);
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * target_edges);
     let mut builder = GraphBuilder::new(n);
-    let connect = |u: usize, v: usize,
-                       chosen: &mut HashSet<(NodeId, NodeId)>,
-                       endpoints: &mut Vec<NodeId>,
-                       builder: &mut GraphBuilder|
+    let connect = |u: usize,
+                   v: usize,
+                   chosen: &mut HashSet<(NodeId, NodeId)>,
+                   endpoints: &mut Vec<NodeId>,
+                   builder: &mut GraphBuilder|
      -> bool {
         let key = ((u.min(v)) as NodeId, (u.max(v)) as NodeId);
         if u == v || !chosen.insert(key) {
@@ -528,7 +535,10 @@ mod tests {
         let g = erdos_renyi_gnp(400, 0.05, 11).unwrap();
         let expected = 0.05 * (400.0 * 399.0 / 2.0);
         let m = g.num_edges() as f64;
-        assert!((m - expected).abs() < 4.0 * expected.sqrt() + 20.0, "m = {m}");
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt() + 20.0,
+            "m = {m}"
+        );
     }
 
     #[test]

@@ -3,23 +3,25 @@
 //! The paper's motivation (§I): PPR must sometimes run on memory-
 //! constrained devices (privacy-preserving personalization on a phone,
 //! say). This example uses the budget planner to choose a stage split that
-//! fits progressively tighter memory budgets, then verifies the peak
-//! working set actually stays under each budget.
+//! fits progressively tighter memory budgets, runs each plan through the
+//! unified backend API, and verifies the peak working set actually stays
+//! under each budget.
 //!
 //! Run with: `cargo run --release --example edge_device`
 
+use meloppr::backend::{Meloppr, PprBackend, QueryRequest};
 use meloppr::core::planner::plan_stages;
 use meloppr::core::precision::precision_at_k;
-use meloppr::{exact_top_k, MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
 use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::{exact_top_k, MelopprParams, PprParams, SelectionStrategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A pubmed-like graph, scaled to laptop size.
     let graph = PaperGraph::G3Pubmed.generate_scaled(0.25, 42)?;
-    let seed = 77;
+    let request = QueryRequest::new(77);
     let ppr = PprParams::new(0.85, 6, 50)?;
     let probe_seeds = [77u32, 500, 2500];
-    let exact = exact_top_k(&graph, seed, &ppr)?;
+    let exact = exact_top_k(&graph, request.seed, &ppr)?;
 
     println!(
         "graph: pubmed stand-in at 25% scale ({} nodes, {} edges)\n",
@@ -45,12 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             selection: SelectionStrategy::TopFraction(0.05),
             ..MelopprParams::paper_defaults()
         };
-        let engine = MelopprEngine::new(&graph, params)?;
-        let outcome = engine.query(seed)?;
+        let backend = Meloppr::new(&graph, params)?;
+        let outcome = backend.query(&request)?;
         let precision = precision_at_k(&outcome.ranking, &exact, ppr.k);
-        let peak = outcome.stats.peak_task_memory.total();
+        // The peak *task* memory is what the device constraint bounds
+        // (the whole-query peak also counts persistent aggregation).
+        let peak = outcome.stats.peak_task_memory_bytes;
         println!(
-            "{label}: stages {:?}  peak {peak:>8} bytes (plan fits: {})  precision {:>5.1}%",
+            "{label}: stages {:?}  peak task {peak:>8} bytes (plan fits: {})  precision {:>5.1}%",
             plan.stages,
             plan.fits_budget,
             precision * 100.0

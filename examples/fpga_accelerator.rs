@@ -6,11 +6,11 @@
 //!
 //! Run with: `cargo run --release --example fpga_accelerator`
 
+use meloppr::backend::{PprBackend, QueryRequest};
 use meloppr::fpga::ResourceModel;
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::{
-    AcceleratorConfig, HybridConfig, HybridMeloppr, MelopprParams, PprParams,
-    SelectionStrategy,
+    AcceleratorConfig, FpgaHybrid, HybridConfig, MelopprParams, PprParams, SelectionStrategy,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,32 +39,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ..HybridConfig::default()
     };
-    let engine = HybridMeloppr::new(&graph, params, config)?;
+    // The backend wraps the simulator behind the unified query API; the
+    // underlying engine stays reachable for the detailed latency split.
+    let backend = FpgaHybrid::new(&graph, params, config)?;
+    let format = backend.engine().format();
     println!(
         "fixed-point format: Max = {}, alpha ~= {:.4} ({} / 2^{})",
-        engine.format().max_value(),
-        engine.format().effective_alpha(),
-        engine.format().alpha_p(),
-        engine.format().q()
+        format.max_value(),
+        format.effective_alpha(),
+        format.alpha_p(),
+        format.q()
     );
 
-    let outcome = engine.query(0)?;
+    let outcome = backend
+        .query(&QueryRequest::new(0))
+        .map_err(|e| e.to_string())?;
     println!("\ntop-10 (dequantized scores):");
     for (node, score) in &outcome.ranking {
         println!("  node {node:>4}  score {score:.5}");
     }
 
-    let lat = &outcome.latency;
+    let raw = backend.engine().query(0)?;
+    let lat = &raw.latency;
     println!("\nlatency breakdown ({:.3} ms total):", lat.total_ms());
-    println!("  host BFS       {:>9.1} ns ({:.0}%)", lat.host_bfs_ns, lat.bfs_fraction() * 100.0);
+    println!(
+        "  host BFS       {:>9.1} ns ({:.0}%)",
+        lat.host_bfs_ns,
+        lat.bfs_fraction() * 100.0
+    );
     println!("  diffusion      {:>9.1} ns", lat.diffusion_ns);
     println!("  scheduling     {:>9.1} ns", lat.scheduling_ns);
     println!("  data movement  {:>9.1} ns", lat.data_movement_ns);
 
     let stats = &outcome.stats;
     println!(
-        "\n{} diffusions, peak BRAM {} bytes, {} global-table evictions",
-        stats.diffusions, stats.bram_peak_bytes, stats.table_evictions
+        "\n{} diffusions, peak BRAM {} bytes, {} global-table evictions \
+         (simulated latency {:.3} ms)",
+        stats.total_diffusions,
+        stats.peak_memory_bytes,
+        stats.table_evictions,
+        stats.latency_estimate_ns.unwrap_or(0.0) / 1e6
     );
 
     // What does this design cost on the KC705?

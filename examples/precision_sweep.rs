@@ -6,9 +6,10 @@
 //!
 //! Run with: `cargo run --release --example precision_sweep`
 
+use meloppr::backend::{Meloppr, PprBackend, QueryRequest};
 use meloppr::core::precision::precision_at_k;
 use meloppr::graph::generators::corpus::PaperGraph;
-use meloppr::{exact_top_k, MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+use meloppr::{exact_top_k, MelopprParams, PprParams, SelectionStrategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = PaperGraph::G2Cora.generate(42)?;
@@ -22,12 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.num_nodes(),
         ppr.k
     );
-    println!("\nratio    precision  diffusions  edge-updates  peak-task-bytes");
+    println!("\nratio    precision  diffusions  edge-updates  peak-mem-bytes");
     for ratio in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0] {
-        let params =
-            MelopprParams::two_stage(ppr, 3, 3, SelectionStrategy::TopFraction(ratio))?;
-        let engine = MelopprEngine::new(&graph, params)?;
-        let outcome = engine.query(seed)?;
+        let params = MelopprParams::two_stage(ppr, 3, 3, SelectionStrategy::TopFraction(ratio))?;
+        let backend = Meloppr::new(&graph, params)?;
+        let outcome = backend.query(&QueryRequest::new(seed))?;
         let precision = precision_at_k(&outcome.ranking, &exact, ppr.k);
         println!(
             "{:>5.1}%   {:>8.1}%  {:>10}  {:>12}  {:>15}",
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             precision * 100.0,
             outcome.stats.total_diffusions,
             outcome.stats.diffusion_edge_updates,
-            outcome.stats.peak_task_memory.total(),
+            outcome.stats.peak_memory_bytes,
         );
     }
     println!("\nmore expansion -> more work, higher precision; 100% selection is exact.");

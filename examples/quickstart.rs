@@ -1,60 +1,59 @@
 //! Sixty-second tour of the MeLoPPR API.
 //!
 //! Builds a small social graph, runs the exact baseline and a two-stage
-//! MeLoPPR query, and compares them.
+//! MeLoPPR query through the unified `PprBackend` API, and compares them.
 //!
 //! Run with: `cargo run --example quickstart`
 
+use meloppr::backend::{LocalPpr, Meloppr, PprBackend, QueryRequest};
 use meloppr::core::precision::precision_at_k;
 use meloppr::graph::generators;
-use meloppr::{
-    exact_top_k, local_ppr, MelopprEngine, MelopprParams, PprParams, SelectionStrategy,
-};
+use meloppr::{exact_top_k, MelopprParams, PprParams, SelectionStrategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Zachary's karate club: the classic two-faction social network.
     let graph = generators::karate_club();
-    let seed = 0; // the instructor
+    let request = QueryRequest::new(0); // the instructor
 
     // A PPR query: walks of up to L = 4 steps, top-5 answer.
     let params = PprParams::new(0.85, 4, 5)?;
 
     // 1. Exact ground truth (full-graph diffusion).
-    let exact = exact_top_k(&graph, seed, &params)?;
-    println!("exact top-5 from node {seed}:");
+    let exact = exact_top_k(&graph, request.seed, &params)?;
+    println!("exact top-5 from node {}:", request.seed);
     for (node, score) in &exact {
         println!("  node {node:>2}  score {score:.4}");
     }
 
     // 2. The LocalPPR baseline: one diffusion on the whole depth-4 ball.
-    let baseline = local_ppr(&graph, seed, &params)?;
+    let baseline = LocalPpr::new(&graph, params)?.query(&request)?;
     println!(
         "\nbaseline ball: {} nodes / {} edges, modelled memory {} bytes",
-        baseline.stats.ball_nodes,
-        baseline.stats.ball_edges,
-        baseline.stats.memory.total()
+        baseline.stats.stages[0].max_ball_nodes,
+        baseline.stats.stages[0].max_ball_edges,
+        baseline.stats.peak_memory_bytes
     );
 
     // 3. MeLoPPR: the same query decomposed into two stages of depth 2,
-    //    expanding only the most promising 30% of next-stage nodes.
-    let meloppr_params = MelopprParams::two_stage(
-        params,
-        2,
-        2,
-        SelectionStrategy::TopFraction(0.3),
-    )?;
-    let engine = MelopprEngine::new(&graph, meloppr_params)?;
-    let outcome = engine.query(seed)?;
+    //    expanding only the most promising 30% of next-stage nodes. Same
+    //    request, same outcome shape — only the backend differs.
+    let meloppr_params =
+        MelopprParams::two_stage(params, 2, 2, SelectionStrategy::TopFraction(0.3))?;
+    let backend = Meloppr::new(&graph, meloppr_params)?;
+    let outcome = backend.query(&request)?;
 
     println!("\nMeLoPPR top-5 (2 + 2 stages, 30% selection):");
     for (node, score) in &outcome.ranking {
         println!("  node {node:>2}  score {score:.4}");
     }
+    // peak_task_memory_bytes is the paper's Table II metric: the largest
+    // single task's working set.
     println!(
-        "\n{} diffusions, peak task memory {} bytes ({}x less than the baseline)",
+        "\n{} diffusions, peak task memory {} bytes ({:.1}x less than the baseline)",
         outcome.stats.total_diffusions,
-        outcome.stats.peak_task_memory.total(),
-        baseline.stats.memory.total() / outcome.stats.peak_task_memory.total().max(1)
+        outcome.stats.peak_task_memory_bytes,
+        baseline.stats.peak_task_memory_bytes as f64
+            / outcome.stats.peak_task_memory_bytes.max(1) as f64
     );
     println!(
         "precision vs exact: {:.0}%",

@@ -7,9 +7,10 @@
 //!
 //! Run with: `cargo run --release --example recommender`
 
+use meloppr::backend::{Meloppr, PprBackend, QueryRequest};
 use meloppr::core::precision::precision_at_k;
 use meloppr::graph::generators;
-use meloppr::{exact_top_k, MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+use meloppr::{exact_top_k, MelopprParams, PprParams, SelectionStrategy};
 
 const BLOCKS: usize = 8;
 const BLOCK_SIZE: usize = 250;
@@ -31,17 +32,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
         SelectionStrategy::TopFraction(0.05),
     )?;
-    let engine = MelopprEngine::new(&graph, params)?;
+    // A who-to-follow service would keep one backend per graph shard and
+    // feed it QueryRequests; the LRU cache pays off on hub re-expansion.
+    let backend = Meloppr::new(&graph, params)?.with_cache(256);
 
     for user in [10u32, 760, 1510] {
         let community = user as usize / BLOCK_SIZE;
-        let outcome = engine.query(user)?;
+        let outcome = backend.query(&QueryRequest::new(user))?;
         let same_community = outcome
             .ranking
             .iter()
             .filter(|&&(v, _)| v as usize / BLOCK_SIZE == community)
             .count();
-        let exact = exact_top_k(&graph, user, &engine.params().ppr)?;
+        let exact = exact_top_k(&graph, user, &backend.params().ppr)?;
         let precision = precision_at_k(&outcome.ranking, &exact, 20);
 
         println!(

@@ -3,7 +3,10 @@
 //! ```text
 //! meloppr-cli info   <graph>
 //! meloppr-cli query  <graph> --seed-node N [--k K] [--length L]
-//!                    [--stages a,b,..] [--ratio R] [--alpha A] [--fpga]
+//!                    [--stages a,b,..] [--ratio R] [--alpha A]
+//!                    [--backend auto|exact|local|mc|meloppr|fpga] [--fpga]
+//!                    [--walks W] [--threads T]
+//!                    [--max-latency-ms X] [--max-memory-kb X] [--min-precision P]
 //! meloppr-cli exact  <graph> --seed-node N [--k K] [--length L] [--alpha A]
 //! ```
 //!
@@ -11,17 +14,22 @@
 //! `corpus:<G1..G6>[:scale]` for the paper stand-ins
 //! (e.g. `corpus:G3:0.1`). All randomness is seeded; runs are
 //! reproducible.
+//!
+//! Queries go through the unified `PprBackend` API. `--backend auto`
+//! (the default) registers every solver in a `Router` and lets the
+//! budget flags decide; naming a backend pins it.
 
 use std::process::ExitCode;
 
+use meloppr::backend::{ExactPower, LocalPpr, Meloppr, MonteCarlo};
 use meloppr::core::precision::precision_at_k;
 use meloppr::graph::degree::degree_stats;
 use meloppr::graph::edge_list::{read_edge_list_file, EdgeListOptions};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::graph::{components, CsrGraph};
 use meloppr::{
-    exact_top_k, AcceleratorConfig, HybridConfig, HybridMeloppr, MelopprEngine, MelopprParams,
-    NodeId, PprParams, SelectionStrategy,
+    exact_top_k, AcceleratorConfig, FpgaHybrid, HybridConfig, MelopprParams, NodeId, PprBackend,
+    PprParams, QueryRequest, Router, SelectionStrategy,
 };
 
 fn main() -> ExitCode {
@@ -39,7 +47,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   meloppr-cli info  <graph>
   meloppr-cli query <graph> --seed-node N [--k K] [--length L] \\
-                    [--stages a,b,..] [--ratio R] [--alpha A] [--fpga]
+                    [--stages a,b,..] [--ratio R] [--alpha A] \\
+                    [--backend auto|exact|local|mc|meloppr|fpga] [--fpga] \\
+                    [--walks W] [--threads T] \\
+                    [--max-latency-ms X] [--max-memory-kb X] [--min-precision P]
   meloppr-cli exact <graph> --seed-node N [--k K] [--length L] [--alpha A]
 
   <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]";
@@ -73,9 +84,7 @@ fn load_graph(spec: &str) -> Result<CsrGraph, String> {
             .find(|p| p.id().eq_ignore_ascii_case(id))
             .ok_or_else(|| format!("unknown corpus graph {id:?} (use G1..G6)"))?;
         let scale: f64 = match parts.next() {
-            Some(s) => s
-                .parse()
-                .map_err(|e| format!("bad scale {s:?}: {e}"))?,
+            Some(s) => s.parse().map_err(|e| format!("bad scale {s:?}: {e}"))?,
             None => 1.0,
         };
         let g = if (scale - 1.0).abs() < f64::EPSILON {
@@ -99,11 +108,24 @@ fn info(spec: &str, g: &CsrGraph) -> Result<(), String> {
     println!("graph: {spec}");
     println!("  nodes:              {}", g.num_nodes());
     println!("  edges:              {}", g.num_edges());
-    println!("  degree min/med/max: {}/{}/{}", stats.min, stats.median, stats.max);
+    println!(
+        "  degree min/med/max: {}/{}/{}",
+        stats.min, stats.median, stats.max
+    );
     println!("  mean degree:        {:.2}", stats.mean);
     println!("  isolated nodes:     {}", stats.isolated);
     println!("  components:         {components} (largest: {largest})");
     Ok(())
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BackendChoice {
+    Auto,
+    Exact,
+    Local,
+    MonteCarlo,
+    Meloppr,
+    Fpga,
 }
 
 struct QueryArgs {
@@ -113,7 +135,12 @@ struct QueryArgs {
     alpha: f64,
     stages: Vec<usize>,
     ratio: f64,
-    fpga: bool,
+    backend: BackendChoice,
+    walks: usize,
+    threads: usize,
+    max_latency_ms: Option<f64>,
+    max_memory_kb: Option<usize>,
+    min_precision: Option<f64>,
 }
 
 fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
@@ -124,7 +151,12 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
         alpha: 0.85,
         stages: vec![3, 3],
         ratio: 0.05,
-        fpga: false,
+        backend: BackendChoice::Auto,
+        walks: 10_000,
+        threads: 1,
+        max_latency_ms: None,
+        max_memory_kb: None,
+        min_precision: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -159,7 +191,53 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
                     .parse()
                     .map_err(|e| format!("--ratio: {e}"))?
             }
-            "--fpga" => out.fpga = true,
+            "--backend" => {
+                out.backend = match value("--backend")?.as_str() {
+                    "auto" => BackendChoice::Auto,
+                    "exact" => BackendChoice::Exact,
+                    "local" => BackendChoice::Local,
+                    "mc" | "monte-carlo" => BackendChoice::MonteCarlo,
+                    "meloppr" => BackendChoice::Meloppr,
+                    "fpga" => BackendChoice::Fpga,
+                    other => {
+                        return Err(format!(
+                            "unknown backend {other:?} (auto|exact|local|mc|meloppr|fpga)"
+                        ))
+                    }
+                }
+            }
+            "--fpga" => out.backend = BackendChoice::Fpga,
+            "--walks" => {
+                out.walks = value("--walks")?
+                    .parse()
+                    .map_err(|e| format!("--walks: {e}"))?
+            }
+            "--threads" => {
+                out.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--max-latency-ms" => {
+                out.max_latency_ms = Some(
+                    value("--max-latency-ms")?
+                        .parse()
+                        .map_err(|e| format!("--max-latency-ms: {e}"))?,
+                )
+            }
+            "--max-memory-kb" => {
+                out.max_memory_kb = Some(
+                    value("--max-memory-kb")?
+                        .parse()
+                        .map_err(|e| format!("--max-memory-kb: {e}"))?,
+                )
+            }
+            "--min-precision" => {
+                out.min_precision = Some(
+                    value("--min-precision")?
+                        .parse()
+                        .map_err(|e| format!("--min-precision: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -175,61 +253,133 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
 
     if exact_only {
         let ranking = exact_top_k(g, qa.seed, &ppr).map_err(|e| e.to_string())?;
-        println!("exact top-{} from node {} (L = {}):", qa.k, qa.seed, qa.length);
+        println!(
+            "exact top-{} from node {} (L = {}):",
+            qa.k, qa.seed, qa.length
+        );
         for (rank, (node, score)) in ranking.iter().enumerate() {
             println!("  {:>3}. node {node:>8}  score {score:.6}", rank + 1);
         }
         return Ok(());
     }
 
-    let params = MelopprParams {
+    let staged = MelopprParams {
         ppr,
         stages: qa.stages.clone(),
         selection: SelectionStrategy::TopFraction(qa.ratio),
         ..MelopprParams::paper_defaults()
     };
-    params.validate().map_err(|e| e.to_string())?;
-    let exact = exact_top_k(g, qa.seed, &ppr).map_err(|e| e.to_string())?;
+    staged.validate().map_err(|e| e.to_string())?;
+    let hybrid_config = HybridConfig {
+        accel: AcceleratorConfig {
+            parallelism: 16,
+            ..AcceleratorConfig::default()
+        },
+        ..HybridConfig::default()
+    };
 
-    if qa.fpga {
-        let config = HybridConfig {
-            accel: AcceleratorConfig {
-                parallelism: 16,
-                ..AcceleratorConfig::default()
-            },
-            ..HybridConfig::default()
-        };
-        let engine = HybridMeloppr::new(g, params, config).map_err(|e| e.to_string())?;
-        let outcome = engine.query(qa.seed).map_err(|e| e.to_string())?;
-        println!(
-            "MeLoPPR-FPGA top-{} from node {} (stages {:?}, ratio {}, P = 16):",
-            qa.k, qa.seed, qa.stages, qa.ratio
-        );
-        for (rank, (node, score)) in outcome.ranking.iter().enumerate() {
-            println!("  {:>3}. node {node:>8}  score {score:.6}", rank + 1);
-        }
-        println!(
-            "precision vs exact: {:.1}%   simulated latency: {:.3} ms (BFS {:.0}%)",
-            precision_at_k(&outcome.ranking, &exact, qa.k) * 100.0,
-            outcome.latency.total_ms(),
-            outcome.latency.bfs_fraction() * 100.0
-        );
-    } else {
-        let engine = MelopprEngine::new(g, params).map_err(|e| e.to_string())?;
-        let outcome = engine.query(qa.seed).map_err(|e| e.to_string())?;
-        println!(
-            "MeLoPPR top-{} from node {} (stages {:?}, ratio {}):",
-            qa.k, qa.seed, qa.stages, qa.ratio
-        );
-        for (rank, (node, score)) in outcome.ranking.iter().enumerate() {
-            println!("  {:>3}. node {node:>8}  score {score:.6}", rank + 1);
-        }
-        println!(
-            "precision vs exact: {:.1}%   diffusions: {}   peak task bytes: {}",
-            precision_at_k(&outcome.ranking, &exact, qa.k) * 100.0,
-            outcome.stats.total_diffusions,
-            outcome.stats.peak_task_memory.total()
-        );
+    // One request; the budget flags only matter for --backend auto.
+    let mut req = QueryRequest::new(qa.seed);
+    if let Some(ms) = qa.max_latency_ms {
+        req = req.with_max_latency_ms(ms);
     }
+    if let Some(kb) = qa.max_memory_kb {
+        req = req.with_max_memory_bytes(kb << 10);
+    }
+    if let Some(p) = qa.min_precision {
+        req = req.with_min_precision(p);
+    }
+
+    let err = |e: meloppr::core::PprError| e.to_string();
+    let (outcome, served_by) = match qa.backend {
+        BackendChoice::Exact => (
+            ExactPower::new(g, ppr)
+                .map_err(err)?
+                .query(&req)
+                .map_err(err)?,
+            "exact-power".to_string(),
+        ),
+        BackendChoice::Local => (
+            LocalPpr::new(g, ppr)
+                .map_err(err)?
+                .query(&req)
+                .map_err(err)?,
+            "local-ppr".to_string(),
+        ),
+        BackendChoice::MonteCarlo => (
+            MonteCarlo::new(g, ppr, qa.walks, 42)
+                .map_err(err)?
+                .query(&req)
+                .map_err(err)?,
+            format!("monte-carlo ({} walks)", qa.walks),
+        ),
+        BackendChoice::Meloppr => (
+            Meloppr::new(g, staged)
+                .map_err(err)?
+                .with_threads(qa.threads.max(1))
+                .map_err(err)?
+                .query(&req)
+                .map_err(err)?,
+            format!("meloppr (stages {:?}, ratio {})", qa.stages, qa.ratio),
+        ),
+        BackendChoice::Fpga => (
+            FpgaHybrid::new(g, staged, hybrid_config)
+                .map_err(|e| e.to_string())?
+                .query(&req)
+                .map_err(err)?,
+            "fpga-hybrid (P = 16)".to_string(),
+        ),
+        BackendChoice::Auto => {
+            let router = Router::new()
+                .with_backend(Box::new(ExactPower::new(g, ppr).map_err(err)?))
+                .with_backend(Box::new(LocalPpr::new(g, ppr).map_err(err)?))
+                .with_backend(Box::new(
+                    MonteCarlo::new(g, ppr, qa.walks, 42).map_err(err)?,
+                ))
+                .with_backend(Box::new(
+                    Meloppr::new(g, staged.clone())
+                        .map_err(err)?
+                        .with_threads(qa.threads.max(1))
+                        .map_err(err)?,
+                ))
+                .with_backend(Box::new(
+                    FpgaHybrid::new(g, staged, hybrid_config).map_err(|e| e.to_string())?,
+                ));
+            let route = router.select(&req).map_err(err)?;
+            let outcome = router.query(&req).map_err(err)?;
+            (
+                outcome,
+                format!(
+                    "{} (routed{})",
+                    route.kind,
+                    if route.fits_budget {
+                        ""
+                    } else {
+                        ", best effort"
+                    }
+                ),
+            )
+        }
+    };
+
+    println!("top-{} from node {} via {served_by}:", qa.k, qa.seed);
+    for (rank, (node, score)) in outcome.ranking.iter().enumerate() {
+        println!("  {:>3}. node {node:>8}  score {score:.6}", rank + 1);
+    }
+    let exact = exact_top_k(g, qa.seed, &ppr).map_err(err)?;
+    let stats = &outcome.stats;
+    print!(
+        "precision vs exact: {:.1}%   diffusions: {}   peak memory: {} bytes",
+        precision_at_k(&outcome.ranking, &exact, qa.k) * 100.0,
+        stats.total_diffusions,
+        stats.peak_memory_bytes
+    );
+    if stats.random_walk_steps > 0 {
+        print!("   walk steps: {}", stats.random_walk_steps);
+    }
+    if let Some(ns) = stats.latency_estimate_ns {
+        print!("   simulated latency: {:.3} ms", ns / 1e6);
+    }
+    println!();
     Ok(())
 }

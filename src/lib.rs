@@ -12,18 +12,23 @@
 //!   paper's six SNAP evaluation graphs) and SNAP edge-list I/O;
 //! * [`core`] ([`meloppr_core`]) — the MeLoPPR algorithm: graph
 //!   diffusion, stage/linear decomposition, sparsity-driven selection,
-//!   baselines, precision and memory models;
+//!   baselines, precision and memory models, and the **unified query
+//!   API** ([`PprBackend`], [`QueryRequest`], [`Router`]);
 //! * [`fpga`] ([`meloppr_fpga`]) — the cycle-approximate CPU+FPGA
 //!   accelerator simulator (fixed-point PEs, conflict scheduler, BRAM
-//!   tables, KC705 resource model).
+//!   tables, KC705 resource model) and its [`FpgaHybrid`] backend.
 //!
 //! The most commonly used items are also re-exported at the crate root.
 //!
 //! ## Quick start
 //!
+//! Every solver answers the same [`QueryRequest`] through the
+//! [`PprBackend`] trait:
+//!
 //! ```
-//! use meloppr::{MelopprEngine, MelopprParams, PprParams, SelectionStrategy};
+//! use meloppr::backend::{Meloppr, PprBackend, QueryRequest};
 //! use meloppr::graph::generators;
+//! use meloppr::{MelopprParams, PprParams, SelectionStrategy};
 //!
 //! # fn main() -> Result<(), meloppr::core::PprError> {
 //! // Who should node 0 of the karate club follow?
@@ -34,14 +39,59 @@
 //!     2,
 //!     SelectionStrategy::TopFraction(0.3),
 //! )?;
-//! let engine = MelopprEngine::new(&g, params)?;
-//! let outcome = engine.query(0)?;
+//! let backend = Meloppr::new(&g, params)?;
+//! let outcome = backend.query(&QueryRequest::new(0))?;
 //! for (node, score) in &outcome.ranking {
 //!     println!("node {node}: {score:.4}");
 //! }
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Choosing a backend
+//!
+//! Five interchangeable solvers implement [`PprBackend`]; hold them as
+//! `Box<dyn PprBackend>` or let the [`Router`] pick one per request from
+//! its budget hint:
+//!
+//! | Backend | Exact? | Memory profile | Reach for it when |
+//! |---|---|---|---|
+//! | [`backend::ExactPower`] | yes | dense vectors over the full graph | ground truth, small graphs, evaluation |
+//! | [`backend::LocalPpr`] | yes | the whole depth-`L` ball `G_L(s)` | exactness required and the ball fits memory |
+//! | [`backend::Meloppr`] | at 100 % selection | one stage ball at a time | the paper's sweet spot: tight memory, high precision; threads/cache options |
+//! | [`backend::MonteCarlo`] | no | near-constant | very tight memory/latency, approximate answers fine |
+//! | [`FpgaHybrid`] | no (fixed-point) | on-chip BRAM tables | lowest simulated latency; accelerator studies |
+//!
+//! ```
+//! use meloppr::backend::{LocalPpr, Meloppr, MonteCarlo, QueryRequest, Router};
+//! use meloppr::graph::generators;
+//! use meloppr::{MelopprParams, PprParams};
+//!
+//! # fn main() -> Result<(), meloppr::core::PprError> {
+//! let g = generators::karate_club();
+//! let ppr = PprParams::new(0.85, 4, 5)?;
+//! let mut staged = MelopprParams::paper_defaults();
+//! staged.ppr = ppr;
+//! staged.stages = vec![2, 2];
+//!
+//! let router = Router::new()
+//!     .with_backend(Box::new(LocalPpr::new(&g, ppr)?))
+//!     .with_backend(Box::new(Meloppr::new(&g, staged)?))
+//!     .with_backend(Box::new(MonteCarlo::new(&g, ppr, 2000, 42)?));
+//!
+//! // Tight memory routes away from the depth-L ball; exactness routes
+//! // toward it.
+//! let tight = QueryRequest::new(0).with_max_memory_bytes(4 << 10);
+//! let exact = QueryRequest::new(0).with_min_precision(1.0);
+//! assert_eq!(router.query(&tight)?.ranking.len(), 5);
+//! assert_eq!(router.query(&exact)?.ranking.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The pre-redesign entry points (`local_ppr`, `monte_carlo_ppr`,
+//! `parallel_query`, `MelopprEngine::query_cached`) remain as deprecated
+//! shims for one release.
 //!
 //! See the `examples/` directory for runnable scenarios (recommender,
 //! accelerated queries, precision sweeps, edge-device planning) and the
@@ -54,9 +104,15 @@ pub use meloppr_core as core;
 pub use meloppr_fpga as fpga;
 pub use meloppr_graph as graph;
 
+/// The unified query API (re-export of [`meloppr_core::backend`]).
+pub use meloppr_core::backend;
+
 pub use meloppr_core::{
-    exact_ppr, exact_top_k, local_ppr, parallel_query, precision_at_k, MelopprEngine,
-    MelopprOutcome, MelopprParams, PprParams, Ranking, ResidualPolicy, SelectionStrategy,
+    exact_ppr, exact_top_k, precision_at_k, BackendCaps, BackendError, BackendKind, CostEstimate,
+    MelopprEngine, MelopprOutcome, MelopprParams, PprBackend, PprParams, QueryBudget, QueryOutcome,
+    QueryRequest, QueryStats, Ranking, ResidualPolicy, Route, Router, SelectionStrategy,
 };
-pub use meloppr_fpga::{AcceleratorConfig, HybridConfig, HybridMeloppr};
+#[allow(deprecated)]
+pub use meloppr_core::{local_ppr, parallel_query};
+pub use meloppr_fpga::{AcceleratorConfig, FpgaHybrid, HybridConfig, HybridMeloppr};
 pub use meloppr_graph::{bfs_ball, CsrGraph, GraphBuilder, GraphView, NodeId, Subgraph};

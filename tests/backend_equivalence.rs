@@ -1,0 +1,187 @@
+//! Backend-equivalence suite: for every backend, the trait-object path
+//! (`Box<dyn PprBackend>`) must return **bit-identical** rankings to the
+//! pre-redesign direct call, on the karate-club fixture and a synthetic
+//! corpus graph.
+//!
+//! The deprecated free functions are invoked deliberately here — they are
+//! the pre-redesign reference implementations this suite pins the new API
+//! against.
+
+#![allow(deprecated)]
+
+use meloppr::backend::{ExactPower, LocalPpr, Meloppr, MonteCarlo};
+use meloppr::graph::generators::{self, corpus::PaperGraph};
+use meloppr::{
+    exact_top_k, local_ppr, parallel_query, CsrGraph, FpgaHybrid, HybridConfig, HybridMeloppr,
+    MelopprEngine, MelopprParams, PprBackend, PprParams, QueryRequest, Ranking, SelectionStrategy,
+};
+
+fn fixtures() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("karate", generators::karate_club()),
+        (
+            "cora-ish",
+            PaperGraph::G2Cora.generate_scaled(0.2, 11).unwrap(),
+        ),
+    ]
+}
+
+fn seeds_for(g: &CsrGraph) -> Vec<u32> {
+    [0u32, 1, 7]
+        .into_iter()
+        .filter(|&s| (s as usize) < g.num_nodes())
+        .collect()
+}
+
+fn staged_params() -> MelopprParams {
+    MelopprParams {
+        ppr: PprParams::new(0.85, 6, 15).unwrap(),
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopFraction(0.1),
+        ..MelopprParams::paper_defaults()
+    }
+}
+
+/// Runs `backend` as a trait object and returns the ranking — the shape
+/// serving code will use.
+fn query_boxed(backend: Box<dyn PprBackend + '_>, seed: u32) -> Ranking {
+    backend.query(&QueryRequest::new(seed)).unwrap().ranking
+}
+
+#[test]
+fn exact_power_backend_equals_exact_top_k() {
+    for (name, g) in &fixtures() {
+        let ppr = PprParams::new(0.85, 4, 10).unwrap();
+        for seed in seeds_for(g) {
+            let direct = exact_top_k(g, seed, &ppr).unwrap();
+            let boxed = query_boxed(Box::new(ExactPower::new(g, ppr).unwrap()), seed);
+            assert_eq!(boxed, direct, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn local_ppr_backend_equals_local_ppr() {
+    for (name, g) in &fixtures() {
+        let ppr = PprParams::new(0.85, 5, 12).unwrap();
+        for seed in seeds_for(g) {
+            let direct = local_ppr(g, seed, &ppr).unwrap().ranking;
+            let boxed = query_boxed(Box::new(LocalPpr::new(g, ppr).unwrap()), seed);
+            assert_eq!(boxed, direct, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_backend_equals_monte_carlo_ppr() {
+    for (name, g) in &fixtures() {
+        let ppr = PprParams::new(0.85, 5, 8).unwrap();
+        for seed in seeds_for(g) {
+            let direct = meloppr::core::monte_carlo::monte_carlo_ppr(g, seed, &ppr, 3000, 42)
+                .unwrap()
+                .ranking;
+            let boxed = query_boxed(Box::new(MonteCarlo::new(g, ppr, 3000, 42).unwrap()), seed);
+            assert_eq!(boxed, direct, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn meloppr_backend_equals_engine_query() {
+    for (name, g) in &fixtures() {
+        let params = staged_params();
+        let engine = MelopprEngine::new(g, params.clone()).unwrap();
+        for seed in seeds_for(g) {
+            let direct = engine.query(seed).unwrap().ranking;
+            let boxed = query_boxed(Box::new(Meloppr::new(g, params.clone()).unwrap()), seed);
+            assert_eq!(boxed, direct, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn meloppr_threaded_backend_equals_parallel_query() {
+    for (name, g) in &fixtures() {
+        let params = staged_params();
+        for seed in seeds_for(g) {
+            let direct = parallel_query(g, &params, seed, 4).unwrap().ranking;
+            let boxed = query_boxed(
+                Box::new(
+                    Meloppr::new(g, params.clone())
+                        .unwrap()
+                        .with_threads(4)
+                        .unwrap(),
+                ),
+                seed,
+            );
+            assert_eq!(boxed, direct, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn meloppr_cached_backend_equals_query_cached() {
+    for (name, g) in &fixtures() {
+        let params = staged_params();
+        let engine = MelopprEngine::new(g, params.clone()).unwrap();
+        let mut cache = meloppr::core::SubgraphCache::new(64);
+        let cached_backend = Meloppr::new(g, params.clone()).unwrap().with_cache(64);
+        for seed in seeds_for(g) {
+            let direct = engine.query_cached(seed, &mut cache).unwrap().ranking;
+            let via_trait = cached_backend
+                .query(&QueryRequest::new(seed))
+                .unwrap()
+                .ranking;
+            assert_eq!(via_trait, direct, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn fpga_backend_equals_hybrid_query() {
+    for (name, g) in &fixtures() {
+        let params = staged_params();
+        let direct_engine = HybridMeloppr::new(g, params.clone(), HybridConfig::default()).unwrap();
+        for seed in seeds_for(g) {
+            let direct = direct_engine.query(seed).unwrap().ranking;
+            let boxed = query_boxed(
+                Box::new(FpgaHybrid::new(g, params.clone(), HybridConfig::default()).unwrap()),
+                seed,
+            );
+            assert_eq!(boxed, direct, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn all_five_backends_serve_through_one_trait_object_collection() {
+    // The redesign's point: heterogeneous solvers behind one vec.
+    let g = generators::karate_club();
+    let ppr = PprParams::new(0.85, 4, 5).unwrap();
+    let staged = MelopprParams {
+        ppr,
+        stages: vec![2, 2],
+        selection: SelectionStrategy::All,
+        ..MelopprParams::paper_defaults()
+    };
+    let backends: Vec<Box<dyn PprBackend>> = vec![
+        Box::new(ExactPower::new(&g, ppr).unwrap()),
+        Box::new(LocalPpr::new(&g, ppr).unwrap()),
+        Box::new(MonteCarlo::new(&g, ppr, 5000, 7).unwrap()),
+        Box::new(Meloppr::new(&g, staged.clone()).unwrap()),
+        Box::new(FpgaHybrid::new(&g, staged, HybridConfig::default()).unwrap()),
+    ];
+    let req = QueryRequest::new(0);
+    let exact = exact_top_k(&g, 0, &ppr).unwrap();
+    for backend in &backends {
+        let outcome = backend.query(&req).unwrap();
+        assert_eq!(outcome.ranking.len(), 5, "{}", backend.capabilities().kind);
+        assert_eq!(outcome.stats.backend, backend.capabilities().kind);
+        // Every solver agrees the seed dominates the karate club.
+        assert_eq!(outcome.ranking[0].0, exact[0].0);
+        // Estimates exist for every backend (the router's food).
+        let est = backend.estimate(&req).unwrap();
+        assert!(est.latency_ns >= 0.0);
+        assert!(est.expected_precision > 0.0);
+    }
+}

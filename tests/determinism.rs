@@ -1,9 +1,10 @@
 //! Reproducibility guarantees: every engine is bit-for-bit deterministic,
 //! and the parallel executor matches the sequential one exactly.
 
+use meloppr::backend::Meloppr;
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::{
-    parallel_query, HybridConfig, HybridMeloppr, MelopprEngine, MelopprParams, PprParams,
+    HybridConfig, HybridMeloppr, MelopprEngine, MelopprParams, PprBackend, PprParams, QueryRequest,
     SelectionStrategy,
 };
 
@@ -41,12 +42,17 @@ fn parallel_matches_sequential_bit_for_bit() {
     for seed in [0u32, 40, 333] {
         let sequential = engine.query(seed).unwrap();
         for threads in [2usize, 3, 8] {
-            let parallel = parallel_query(&g, &params, seed, threads).unwrap();
+            let parallel = Meloppr::new(&g, params.clone())
+                .unwrap()
+                .with_threads(threads)
+                .unwrap()
+                .query(&QueryRequest::new(seed))
+                .unwrap();
             assert_eq!(
                 parallel.ranking, sequential.ranking,
                 "seed {seed} threads {threads}"
             );
-            assert_eq!(parallel.stats.trace, sequential.stats.trace);
+            assert_eq!(parallel.stats.stages, sequential.stats.stages);
         }
     }
 }
@@ -90,4 +96,20 @@ fn distinct_seeds_give_distinct_answers() {
     // hub that funnels its mass, but never absent).
     assert!(a.iter().any(|&(v, _)| v == 3));
     assert!(b.iter().any(|&(v, _)| v == 400));
+}
+
+#[test]
+fn batch_queries_match_individual_queries() {
+    // query_batch through the trait must be exactly the per-request loop.
+    let g = PaperGraph::G2Cora.generate_scaled(0.15, 29).unwrap();
+    let backend = Meloppr::new(&g, test_params()).unwrap();
+    let reqs: Vec<QueryRequest> = [3u32, 9, 27]
+        .iter()
+        .map(|&s| QueryRequest::new(s))
+        .collect();
+    let batch = backend.query_batch(&reqs).unwrap();
+    for (req, batched) in reqs.iter().zip(&batch) {
+        let single = backend.query(req).unwrap();
+        assert_eq!(&single, batched);
+    }
 }

@@ -2,10 +2,11 @@
 //! exact ground truth under full selection, across graph families and
 //! parameterizations.
 
+use meloppr::backend::{LocalPpr, MonteCarlo};
 use meloppr::core::precision::precision_at_k;
 use meloppr::graph::generators::{self, corpus::PaperGraph};
 use meloppr::{
-    exact_ppr, exact_top_k, local_ppr, MelopprEngine, MelopprParams, PprParams,
+    exact_ppr, exact_top_k, MelopprEngine, MelopprParams, PprBackend, PprParams, QueryRequest,
     SelectionStrategy,
 };
 
@@ -56,9 +57,12 @@ fn local_ppr_equals_exact_on_every_family() {
     ];
     for (i, g) in graphs.iter().enumerate() {
         let params = PprParams::new(0.85, 5, 20).unwrap();
-        let baseline = local_ppr(g, 1, &params).unwrap();
+        let baseline = LocalPpr::new(g, params)
+            .unwrap()
+            .query(&QueryRequest::new(1))
+            .unwrap();
         let exact = exact_ppr(g, 1, &params).unwrap();
-        for &(v, s) in &baseline.scores {
+        for &(v, s) in &baseline.ranking {
             assert!(
                 (s - exact.accumulated[v as usize]).abs() < 1e-12,
                 "graph {i}: node {v}"
@@ -77,11 +81,10 @@ fn hybrid_fpga_tracks_float_engine() {
         ..MelopprParams::paper_defaults()
     };
     let float_engine = MelopprEngine::new(&g, params.clone()).unwrap();
-    let hybrid =
-        meloppr::HybridMeloppr::new(&g, params, meloppr::HybridConfig::default()).unwrap();
+    let hybrid = meloppr::FpgaHybrid::new(&g, params, meloppr::HybridConfig::default()).unwrap();
     for seed in [2u32, 77, 300] {
         let float_rank = float_engine.query(seed).unwrap().ranking;
-        let int_rank = hybrid.query(seed).unwrap().ranking;
+        let int_rank = hybrid.query(&QueryRequest::new(seed)).unwrap().ranking;
         let agreement = precision_at_k(&int_rank, &float_rank, 50);
         assert!(
             agreement >= 0.9,
@@ -95,7 +98,10 @@ fn monte_carlo_agrees_with_diffusion_ground_truth() {
     let g = generators::karate_club();
     let params = PprParams::new(0.85, 6, 8).unwrap();
     let exact = exact_top_k(&g, 33, &params).unwrap();
-    let mc = meloppr::core::monte_carlo::monte_carlo_ppr(&g, 33, &params, 50_000, 11).unwrap();
+    let mc = MonteCarlo::new(&g, params, 50_000, 11)
+        .unwrap()
+        .query(&QueryRequest::new(33))
+        .unwrap();
     let prec = precision_at_k(&mc.ranking, &exact, 8);
     assert!(prec >= 0.7, "MC estimator too far off: {prec}");
 }

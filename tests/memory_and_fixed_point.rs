@@ -1,13 +1,14 @@
 //! Integration tests for the paper's quantitative claims: Table II's
 //! memory directions and §V-A/§V-B's fixed-point and global-table bounds.
 
+use meloppr::backend::LocalPpr;
 use meloppr::core::memory::{cpu_task_memory, fpga_bram_bytes};
 use meloppr::core::precision::precision_at_k;
 use meloppr::fpga::{DegreeScale, FixedPointFormat, ResourceModel};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::{
-    local_ppr, AcceleratorConfig, HybridConfig, HybridMeloppr, MelopprEngine, MelopprParams,
-    PprParams, SelectionStrategy,
+    AcceleratorConfig, HybridConfig, HybridMeloppr, MelopprEngine, MelopprParams, PprBackend,
+    PprParams, QueryRequest, SelectionStrategy,
 };
 
 fn paper_like_params(k: usize) -> MelopprParams {
@@ -30,12 +31,13 @@ fn memory_reductions_hold_across_corpus() {
         let params = paper_like_params(50);
         let engine = MelopprEngine::new(&g, params.clone()).unwrap();
 
+        let baseline_backend = LocalPpr::new(&g, params.ppr).unwrap();
         let mut wins = 0usize;
         let seeds = [1u32, 7, 23];
         for &s in &seeds {
-            let baseline = local_ppr(&g, s, &params.ppr).unwrap();
+            let baseline = baseline_backend.query(&QueryRequest::new(s)).unwrap();
             let outcome = engine.query(s).unwrap();
-            if outcome.stats.peak_task_memory.total() <= baseline.stats.memory.total() {
+            if outcome.stats.peak_task_memory.total() <= baseline.stats.peak_memory_bytes {
                 wins += 1;
             }
             // The FPGA tables for the same peak ball are smaller than the
@@ -89,7 +91,10 @@ fn fixed_point_loss_bounds() {
     }
     let (avg, half, max) = (results[0], results[1], results[2]);
     assert!(avg >= 0.9, "avg-degree scaling too lossy: {avg}");
-    assert!(half >= 0.95, "paper's d = max/2 should be nearly lossless: {half}");
+    assert!(
+        half >= 0.95,
+        "paper's d = max/2 should be nearly lossless: {half}"
+    );
     assert!(max >= 0.95, "d = max should be nearly lossless: {max}");
     assert!(max >= avg - 1e-9, "loss must not grow with d");
 }

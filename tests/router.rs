@@ -1,0 +1,151 @@
+//! Router integration tests: different budget hints must demonstrably
+//! select different backends, and routed outcomes must match what the
+//! chosen backend returns directly.
+
+use meloppr::backend::{ExactPower, LocalPpr, Meloppr, MonteCarlo};
+use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::{
+    BackendKind, CsrGraph, FpgaHybrid, HybridConfig, MelopprParams, PprParams, QueryRequest,
+    Router, SelectionStrategy,
+};
+
+fn graph() -> CsrGraph {
+    PaperGraph::G2Cora.generate_scaled(0.3, 7).unwrap()
+}
+
+fn staged(ppr: PprParams) -> MelopprParams {
+    MelopprParams {
+        ppr,
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopFraction(0.05),
+        ..MelopprParams::paper_defaults()
+    }
+}
+
+fn full_router(g: &CsrGraph, ppr: PprParams) -> Router<'_> {
+    Router::new()
+        .with_backend(Box::new(ExactPower::new(g, ppr).unwrap()))
+        .with_backend(Box::new(LocalPpr::new(g, ppr).unwrap()))
+        .with_backend(Box::new(MonteCarlo::new(g, ppr, 2000, 42).unwrap()))
+        .with_backend(Box::new(Meloppr::new(g, staged(ppr)).unwrap()))
+        .with_backend(Box::new(
+            FpgaHybrid::new(g, staged(ppr), HybridConfig::default()).unwrap(),
+        ))
+}
+
+#[test]
+fn different_budgets_select_different_backends() {
+    let g = graph();
+    let ppr = PprParams::new(0.85, 6, 20).unwrap();
+    let router = full_router(&g, ppr);
+
+    // Exactness requirement -> an exact solver (full-graph or depth-L
+    // ball; never Monte-Carlo, staged MeLoPPR at 5 % or the fixed-point
+    // accelerator).
+    let exact_route = router
+        .select(&QueryRequest::new(0).with_min_precision(1.0))
+        .unwrap();
+    assert!(
+        matches!(
+            exact_route.kind,
+            BackendKind::ExactPower | BackendKind::LocalPpr
+        ),
+        "exactness routed to {}",
+        exact_route.kind
+    );
+    assert!(exact_route.fits_budget);
+
+    // A tight memory budget (well under the depth-6 ball and the dense
+    // vectors) -> a sub-ball or constant-space solver.
+    let ball_bytes = router.backends()[1]
+        .estimate(&QueryRequest::new(0))
+        .unwrap()
+        .peak_memory_bytes;
+    let tight_memory = QueryRequest::new(0).with_max_memory_bytes(ball_bytes / 4);
+    let memory_route = router.select(&tight_memory).unwrap();
+    assert!(
+        matches!(
+            memory_route.kind,
+            BackendKind::Meloppr | BackendKind::MonteCarlo | BackendKind::FpgaHybrid
+        ),
+        "tight memory routed to {}",
+        memory_route.kind
+    );
+    assert_ne!(memory_route.kind, exact_route.kind);
+
+    // A deadline set just above the cheapest backend's estimate -> the
+    // router must pick something that fits it (whichever solver that is
+    // on this graph).
+    let cheapest_ns = router
+        .backends()
+        .iter()
+        .map(|b| b.estimate(&QueryRequest::new(0)).unwrap().latency_ns)
+        .fold(f64::INFINITY, f64::min);
+    let deadline = QueryRequest::new(0).with_max_latency_ms(cheapest_ns * 1.1 / 1e6);
+    let deadline_route = router.select(&deadline).unwrap();
+    assert!(deadline_route.fits_budget);
+    assert!(deadline_route.estimate.latency_ns <= cheapest_ns * 1.1);
+
+    // Across the hints, at least two distinct backends — routing is
+    // demonstrably budget-sensitive.
+    let kinds = [exact_route.kind, memory_route.kind, deadline_route.kind];
+    let distinct = kinds
+        .iter()
+        .map(|k| k.to_string())
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    assert!(distinct >= 2, "routing ignored budgets: {kinds:?}");
+}
+
+#[test]
+fn routed_outcome_matches_selected_backend() {
+    let g = graph();
+    let ppr = PprParams::new(0.85, 6, 20).unwrap();
+    let router = full_router(&g, ppr);
+    for req in [
+        QueryRequest::new(5),
+        QueryRequest::new(5).with_min_precision(1.0),
+        QueryRequest::new(5).with_max_memory_bytes(32 << 10),
+    ] {
+        let route = router.select(&req).unwrap();
+        let via_router = router.query(&req).unwrap();
+        let direct = router.backends()[route.index].query(&req).unwrap();
+        assert_eq!(via_router, direct);
+        assert_eq!(via_router.stats.backend, route.kind);
+    }
+}
+
+#[test]
+fn router_batch_routes_per_request() {
+    let g = graph();
+    let ppr = PprParams::new(0.85, 6, 10).unwrap();
+    let router = full_router(&g, ppr);
+    let ball_bytes = router.backends()[1]
+        .estimate(&QueryRequest::new(2))
+        .unwrap()
+        .peak_memory_bytes;
+    let reqs = vec![
+        QueryRequest::new(1).with_min_precision(1.0),
+        QueryRequest::new(2).with_max_memory_bytes(ball_bytes / 4),
+    ];
+    let outcomes = router.query_batch(&reqs).unwrap();
+    assert_eq!(outcomes.len(), 2);
+    let kinds: Vec<BackendKind> = reqs
+        .iter()
+        .map(|r| router.select(r).unwrap().kind)
+        .collect();
+    assert_ne!(kinds[0], kinds[1], "batch routing collapsed to one backend");
+    for (outcome, kind) in outcomes.iter().zip(kinds) {
+        assert_eq!(outcome.stats.backend, kind);
+    }
+}
+
+#[test]
+fn prepared_router_still_routes_and_serves() {
+    let g = graph();
+    let ppr = PprParams::new(0.85, 6, 10).unwrap();
+    let mut router = full_router(&g, ppr);
+    router.prepare().unwrap();
+    let outcome = router.query(&QueryRequest::new(3)).unwrap();
+    assert_eq!(outcome.ranking.len(), 10);
+}
