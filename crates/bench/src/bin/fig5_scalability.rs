@@ -13,8 +13,10 @@
 
 use meloppr_bench::table::TextTable;
 use meloppr_bench::workload::sample_hub_seeds;
-use meloppr_bench::{CorpusGraph, CpuCostModel, ExperimentScale};
+use meloppr_bench::{measure_batch_throughput, CorpusGraph, CpuCostModel, ExperimentScale};
+use meloppr_core::backend::Meloppr;
 use meloppr_core::diffusion::{diffuse_from_seed, DiffusionConfig};
+use meloppr_core::{MelopprParams, PprParams, SelectionStrategy};
 use meloppr_fpga::{
     cycles_to_ns, AcceleratorConfig, CycleBreakdown, FixedPointFormat, FpgaAccelerator,
 };
@@ -125,4 +127,40 @@ fn main() {
     println!();
     println!("paper reference: >10x diffusion-latency reduction P=1 -> P=16;");
     println!("scheduling overhead < 20% at P=2, < 40% for P>2 (of FPGA-side work).");
+
+    // Serving-side scalability: the batched executor (one workspace per
+    // worker) over full staged queries on the same hub seeds.
+    println!();
+    println!("== batched serving: query_batch workers vs sequential query ==");
+    let staged = MelopprParams {
+        ppr: PprParams::new(alpha, 6, 20).expect("params"),
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopFraction(0.05),
+        ..MelopprParams::paper_defaults()
+    };
+    let backend = Meloppr::new(g, staged).expect("backend");
+    let mut batch_table = TextTable::new(vec![
+        "workers",
+        "sequential ms",
+        "batch ms",
+        "speedup",
+        "batch qps",
+    ]);
+    for workers in [1usize, 2, 4, 8] {
+        let t = measure_batch_throughput(&backend, &seeds, workers);
+        batch_table.row(vec![
+            workers.to_string(),
+            format!("{:.2}", t.sequential_ms),
+            format!("{:.2}", t.batch_ms),
+            format!("{:.2}x", t.speedup),
+            format!("{:.0}", t.batch_qps),
+        ]);
+    }
+    batch_table.print();
+    println!(
+        "(wall-clock speedup needs real cores; this host reports {})",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 }

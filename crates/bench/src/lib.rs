@@ -34,6 +34,8 @@ pub mod table;
 pub mod workload;
 
 pub use costmodel::CpuCostModel;
-pub use runner::{measure_precision, measure_tradeoff, TradeoffPoint};
+pub use runner::{
+    measure_batch_throughput, measure_precision, measure_tradeoff, BatchThroughput, TradeoffPoint,
+};
 pub use table::TextTable;
 pub use workload::{sample_seeds, CorpusGraph, ExperimentScale};

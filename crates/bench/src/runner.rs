@@ -5,7 +5,9 @@
 //! `QueryRequest`s; the normalized `QueryStats` feed the calibrated CPU
 //! cost model uniformly.
 
-use meloppr_core::backend::{LocalPpr, Meloppr, PprBackend, QueryRequest};
+use std::time::Instant;
+
+use meloppr_core::backend::{BatchExecutor, LocalPpr, Meloppr, PprBackend, QueryRequest};
 use meloppr_core::{exact_top_k, mean_precision, precision_at_k, MelopprParams, SelectionStrategy};
 use meloppr_fpga::{FpgaHybrid, HybridConfig};
 use meloppr_graph::{CsrGraph, NodeId};
@@ -128,6 +130,69 @@ pub fn measure_tradeoff(
     }
 }
 
+/// Measured wall-clock comparison of batched vs sequential serving for
+/// one backend over one seed workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchThroughput {
+    /// Worker threads the batched run used.
+    pub workers: usize,
+    /// Wall clock of the sequential `query` loop, milliseconds.
+    pub sequential_ms: f64,
+    /// Wall clock of the `BatchExecutor` run, milliseconds.
+    pub batch_ms: f64,
+    /// `sequential_ms / batch_ms` (> 1 means batching won).
+    pub speedup: f64,
+    /// Batch throughput, queries per second.
+    pub batch_qps: f64,
+}
+
+/// Measures batched-executor throughput against a sequential `query`
+/// loop on the same backend and seeds (the serving-throughput study the
+/// Fig. 5/7 binaries report alongside the paper's figures).
+///
+/// Both paths produce identical outcomes (asserted); only the wall
+/// clocks differ. On a single-core host the speedup hovers around 1.0 —
+/// workspace reuse still applies to both paths.
+///
+/// # Panics
+///
+/// Panics on query errors (experiment binaries fail fast).
+pub fn measure_batch_throughput<B>(backend: &B, seeds: &[NodeId], workers: usize) -> BatchThroughput
+where
+    B: PprBackend + Sync + ?Sized,
+{
+    let reqs: Vec<QueryRequest> = seeds.iter().map(|&s| QueryRequest::new(s)).collect();
+    // Warm the backend's workspace pool so both paths run hot.
+    if let Some(&first) = seeds.first() {
+        backend.query(&QueryRequest::new(first)).expect("warm-up");
+    }
+
+    let started = Instant::now();
+    let sequential: Vec<_> = reqs
+        .iter()
+        .map(|r| backend.query(r).expect("sequential query"))
+        .collect();
+    let sequential_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let batch = BatchExecutor::new(workers)
+        .expect("worker count")
+        .run(backend, &reqs)
+        .expect("batched query");
+    let batch_ms = batch.stats.wall_clock.as_secs_f64() * 1e3;
+    assert_eq!(
+        batch.outcomes, sequential,
+        "batched outcomes diverged from sequential"
+    );
+
+    BatchThroughput {
+        workers,
+        sequential_ms,
+        batch_ms,
+        speedup: sequential_ms / batch_ms.max(1e-9),
+        batch_qps: batch.stats.throughput_qps(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +219,34 @@ mod tests {
         );
         assert!(hi >= lo, "precision lo={lo} hi={hi}");
         assert!(hi > 0.9, "full selection should be near exact, got {hi}");
+    }
+
+    #[test]
+    fn batch_throughput_is_coherent_and_parallel_batching_wins() {
+        let g = PaperGraph::G2Cora.generate_scaled(0.3, 9).unwrap();
+        let seeds = sample_seeds(&g, 24, 7);
+        let mut params = MelopprParams::paper_defaults();
+        params.ppr.k = 20;
+        params.selection = SelectionStrategy::TopFraction(0.1);
+        let backend = Meloppr::new(&g, params).unwrap();
+        let t = measure_batch_throughput(&backend, &seeds, 4);
+        assert_eq!(t.workers, 4);
+        assert!(t.sequential_ms > 0.0 && t.batch_ms > 0.0);
+        assert!(t.batch_qps > 0.0);
+        // The wall-clock win needs real cores; on a single-core host the
+        // batched path must merely stay in the same ballpark (workspace
+        // reuse applies to both paths).
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores >= 4 {
+            assert!(
+                t.speedup > 1.0,
+                "4-worker batch should beat sequential on {cores} cores: {t:?}"
+            );
+        } else {
+            assert!(t.speedup > 0.3, "batching collapsed: {t:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! The batched query executor: a scoped worker pool with one
+//! [`QueryWorkspace`] per worker.
+//!
+//! PowerWalk-style PPR serving lives or dies on amortizing per-query
+//! state across concurrent queries. [`BatchExecutor`] runs a slice of
+//! [`QueryRequest`]s against any `Sync` backend on `std::thread::scope`
+//! workers; each worker owns one workspace for its whole lifetime, work
+//! is distributed by an atomic request index (ball sizes are heavily
+//! skewed — a static partition would serialize on whichever chunk holds
+//! the hubs), and outcomes are returned **in request order** regardless
+//! of completion order, so batched results are bit-identical to a
+//! sequential loop (asserted by the `workspace_reuse` test suite).
+//!
+//! [`BatchStats`] aggregates the per-query [`QueryStats`] plus the
+//! batch's wall clock, giving experiment binaries and the CLI a single
+//! throughput record per batch.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use super::{BackendKind, PprBackend, QueryOutcome, QueryRequest};
+use crate::error::{PprError, Result};
+
+/// Runs request batches on a fixed-size worker pool.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::backend::{BatchExecutor, LocalPpr, QueryRequest};
+/// use meloppr_core::PprParams;
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let backend = LocalPpr::new(&g, PprParams::new(0.85, 4, 5)?)?;
+/// let reqs: Vec<QueryRequest> = (0..8).map(QueryRequest::new).collect();
+/// let batch = BatchExecutor::new(4)?.run(&backend, &reqs)?;
+/// assert_eq!(batch.outcomes.len(), 8);
+/// assert_eq!(batch.stats.queries, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchExecutor {
+    workers: usize,
+}
+
+impl BatchExecutor {
+    /// An executor with `workers` worker threads (1 = sequential, still
+    /// with full workspace reuse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] if `workers == 0`.
+    pub fn new(workers: usize) -> Result<Self> {
+        if workers == 0 {
+            return Err(PprError::InvalidParams {
+                reason: "batch executor needs at least one worker".into(),
+            });
+        }
+        Ok(BatchExecutor { workers })
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `reqs` against `backend` and returns ordered outcomes plus
+    /// aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failing query's error; when several requests fail
+    /// concurrently, the one with the smallest request index wins
+    /// (deterministic).
+    pub fn run<B>(&self, backend: &B, reqs: &[QueryRequest]) -> Result<BatchOutcome>
+    where
+        B: PprBackend + Sync + ?Sized,
+    {
+        let started = Instant::now();
+        let workers = self.workers.min(reqs.len()).max(1);
+        let outcomes = if workers == 1 {
+            backend.query_batch(reqs)?
+        } else {
+            run_parallel(backend, reqs, workers)?
+        };
+        let stats = BatchStats::aggregate(&outcomes, started.elapsed());
+        Ok(BatchOutcome { outcomes, stats })
+    }
+}
+
+fn run_parallel<B>(backend: &B, reqs: &[QueryRequest], workers: usize) -> Result<Vec<QueryOutcome>>
+where
+    B: PprBackend + Sync + ?Sized,
+{
+    let next = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    // Each worker owns one workspace for its whole lifetime — checked out
+    // of the backend's pool when it has one, so repeated batches reuse
+    // warm buffers — and records (request index, result) pairs; indices
+    // restore request order after the join.
+    let per_worker: Vec<Vec<(usize, Result<QueryOutcome>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let aborted = &aborted;
+                scope.spawn(move || {
+                    let pool = backend.workspace_pool();
+                    let mut ws = pool.map(|p| p.acquire()).unwrap_or_default();
+                    let mut mine = Vec::new();
+                    // Abort is checked BEFORE claiming: a claimed index is
+                    // always processed, so the smallest failing request is
+                    // guaranteed to be claimed (all smaller indices are
+                    // handed out first) and its error recorded — keeping
+                    // the reported error deterministic under races.
+                    while !aborted.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= reqs.len() {
+                            break;
+                        }
+                        let result = backend.query_with(&reqs[i], &mut ws);
+                        if result.is_err() {
+                            // Stop new claims promptly; in-flight requests
+                            // on other workers still finish.
+                            aborted.store(true, Ordering::Relaxed);
+                            mine.push((i, result));
+                            break;
+                        }
+                        mine.push((i, result));
+                    }
+                    if let Some(pool) = pool {
+                        pool.release(ws);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+
+    let mut indexed: Vec<(usize, Result<QueryOutcome>)> =
+        per_worker.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    // The smallest failed index decides the reported error; every index
+    // below it completed successfully and is discarded with the rest of
+    // the partial batch.
+    let mut outcomes = Vec::with_capacity(reqs.len());
+    for (_, result) in indexed {
+        outcomes.push(result?);
+    }
+    debug_assert_eq!(outcomes.len(), reqs.len());
+    Ok(outcomes)
+}
+
+/// One batch's results: ordered outcomes plus aggregate accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Per-request outcomes, in request order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Aggregate statistics over the batch.
+    pub stats: BatchStats,
+}
+
+/// Aggregated [`QueryStats`](super::QueryStats) of one batch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Total sub-graph diffusions across the batch.
+    pub total_diffusions: usize,
+    /// Total extraction-BFS work.
+    pub bfs_edges_scanned: usize,
+    /// Total diffusion work.
+    pub diffusion_edge_updates: usize,
+    /// Total random-walk steps (Monte-Carlo queries).
+    pub random_walk_steps: usize,
+    /// Total ball nodes touched.
+    pub nodes_touched: usize,
+    /// Largest single-query modelled working set in the batch, bytes.
+    pub peak_memory_bytes: usize,
+    /// Total bounded-table evictions.
+    pub table_evictions: usize,
+    /// Sum of backend-reported latency estimates, where present
+    /// (simulated-hardware backends).
+    pub latency_estimate_ns: Option<f64>,
+    /// Measured wall clock of the whole batch.
+    pub wall_clock: Duration,
+    /// How many queries each solver kind served (relevant under
+    /// per-request routing), in first-seen order.
+    pub by_backend: Vec<(BackendKind, usize)>,
+}
+
+impl BatchStats {
+    /// Aggregates per-query stats and a measured wall clock.
+    pub fn aggregate(outcomes: &[QueryOutcome], wall_clock: Duration) -> Self {
+        let mut stats = BatchStats {
+            queries: outcomes.len(),
+            wall_clock,
+            ..BatchStats::default()
+        };
+        for outcome in outcomes {
+            let q = &outcome.stats;
+            stats.total_diffusions += q.total_diffusions;
+            stats.bfs_edges_scanned += q.bfs_edges_scanned;
+            stats.diffusion_edge_updates += q.diffusion_edge_updates;
+            stats.random_walk_steps += q.random_walk_steps;
+            stats.nodes_touched += q.nodes_touched;
+            stats.peak_memory_bytes = stats.peak_memory_bytes.max(q.peak_memory_bytes);
+            stats.table_evictions += q.table_evictions;
+            if let Some(ns) = q.latency_estimate_ns {
+                *stats.latency_estimate_ns.get_or_insert(0.0) += ns;
+            }
+            match stats
+                .by_backend
+                .iter_mut()
+                .find(|(kind, _)| *kind == q.backend)
+            {
+                Some((_, count)) => *count += 1,
+                None => stats.by_backend.push((q.backend, 1)),
+            }
+        }
+        stats
+    }
+
+    /// Mean wall-clock latency per query, in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.wall_clock.as_secs_f64() * 1e3 / self.queries as f64
+    }
+
+    /// Batch throughput in queries per second.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.wall_clock.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.queries as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{LocalPpr, Meloppr, QueryRequest};
+    use super::*;
+    use crate::params::{MelopprParams, PprParams};
+    use crate::selection::SelectionStrategy;
+    use meloppr_graph::generators;
+
+    fn staged_params() -> MelopprParams {
+        MelopprParams {
+            ppr: PprParams::new(0.85, 4, 10).unwrap(),
+            stages: vec![2, 2],
+            selection: SelectionStrategy::TopFraction(0.3),
+            ..MelopprParams::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(BatchExecutor::new(0).is_err());
+        assert_eq!(BatchExecutor::new(3).unwrap().workers(), 3);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_in_order() {
+        let g = generators::corpus::PaperGraph::G1Citeseer
+            .generate_scaled(0.15, 3)
+            .unwrap();
+        let backend = Meloppr::new(&g, staged_params()).unwrap();
+        let reqs: Vec<QueryRequest> = (0..12).map(QueryRequest::new).collect();
+        let sequential: Vec<QueryOutcome> =
+            reqs.iter().map(|r| backend.query(r).unwrap()).collect();
+        for workers in [1, 2, 4, 7] {
+            let batch = BatchExecutor::new(workers)
+                .unwrap()
+                .run(&backend, &reqs)
+                .unwrap();
+            assert_eq!(batch.outcomes, sequential, "workers = {workers}");
+            assert_eq!(batch.stats.queries, 12);
+        }
+    }
+
+    #[test]
+    fn errors_are_deterministic_on_smallest_index() {
+        let g = generators::karate_club();
+        let backend = LocalPpr::new(&g, PprParams::new(0.85, 3, 5).unwrap()).unwrap();
+        // Requests 3 and 5 are both out of bounds; the batch must fail on
+        // request 3's error regardless of worker interleaving.
+        let mut reqs: Vec<QueryRequest> = (0..8).map(QueryRequest::new).collect();
+        reqs[3] = QueryRequest::new(10_000);
+        reqs[5] = QueryRequest::new(20_000);
+        for _ in 0..4 {
+            let err = BatchExecutor::new(4)
+                .unwrap()
+                .run(&backend, &reqs)
+                .unwrap_err();
+            assert!(err.to_string().contains("10000"), "wrong error: {err}");
+        }
+    }
+
+    #[test]
+    fn aggregate_stats_sum_and_max() {
+        let g = generators::karate_club();
+        let backend = Meloppr::new(&g, staged_params()).unwrap();
+        let reqs: Vec<QueryRequest> = (0..5).map(QueryRequest::new).collect();
+        let batch = BatchExecutor::new(1).unwrap().run(&backend, &reqs).unwrap();
+        let s = &batch.stats;
+        assert_eq!(s.queries, 5);
+        assert_eq!(
+            s.total_diffusions,
+            batch
+                .outcomes
+                .iter()
+                .map(|o| o.stats.total_diffusions)
+                .sum::<usize>()
+        );
+        assert_eq!(
+            s.peak_memory_bytes,
+            batch
+                .outcomes
+                .iter()
+                .map(|o| o.stats.peak_memory_bytes)
+                .max()
+                .unwrap()
+        );
+        assert_eq!(s.by_backend, vec![(BackendKind::Meloppr, 5)]);
+        assert!(s.throughput_qps() > 0.0);
+        assert!(s.mean_latency_ms() >= 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let g = generators::karate_club();
+        let backend = LocalPpr::new(&g, PprParams::new(0.85, 3, 5).unwrap()).unwrap();
+        let batch = BatchExecutor::new(4).unwrap().run(&backend, &[]).unwrap();
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.stats.queries, 0);
+        assert_eq!(batch.stats.throughput_qps(), 0.0);
+    }
+}

@@ -1,17 +1,18 @@
 //! The exact full-graph diffusion backend (ground truth as a service).
 
-use meloppr_graph::GraphView;
+use meloppr_graph::{GraphView, NodeId};
 
 use super::{
     BackendCaps, BackendKind, CostEstimate, LatencyModel, PprBackend, QueryOutcome, QueryRequest,
     QueryStats,
 };
+use crate::diffusion::{diffuse_into, DiffusionConfig};
 use crate::error::Result;
-use crate::ground_truth::exact_ppr;
 use crate::meloppr::StageStats;
 use crate::memory::cpu_task_memory;
 use crate::params::PprParams;
-use crate::score_vec::top_k_dense;
+use crate::score_vec::top_k_in_place;
+use crate::workspace::{QueryWorkspace, WorkspacePool};
 
 /// Exact power-iteration diffusion over the whole graph (Eq. 2's
 /// `T(s, k)` behind the unified API).
@@ -41,6 +42,7 @@ pub struct ExactPower<'g, G: GraphView + ?Sized> {
     graph: &'g G,
     params: PprParams,
     latency: LatencyModel,
+    pool: WorkspacePool,
 }
 
 impl<'g, G: GraphView + ?Sized> ExactPower<'g, G> {
@@ -56,6 +58,7 @@ impl<'g, G: GraphView + ?Sized> ExactPower<'g, G> {
             graph,
             params,
             latency: LatencyModel::default(),
+            pool: WorkspacePool::new(),
         })
     }
 
@@ -72,7 +75,7 @@ impl<G: GraphView + ?Sized> PprBackend for ExactPower<'_, G> {
             exact: true,
             deterministic: true,
             accelerated: false,
-            batch_aware: false,
+            batch_aware: true,
         }
     }
 
@@ -90,24 +93,42 @@ impl<G: GraphView + ?Sized> PprBackend for ExactPower<'_, G> {
         })
     }
 
-    fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+    fn workspace_pool(&self) -> Option<&WorkspacePool> {
+        Some(&self.pool)
+    }
+
+    fn query_with(&self, req: &QueryRequest, ws: &mut QueryWorkspace) -> Result<QueryOutcome> {
         let params = req.effective_params(&self.params)?;
-        let out = exact_ppr(self.graph, req.seed, &params)?;
-        let ranking = top_k_dense(&out.accumulated, params.k);
+        let QueryWorkspace {
+            diffusion, sparse, ..
+        } = ws;
+        let config = DiffusionConfig::new(params.alpha, params.length)?;
+        let work = diffuse_into(self.graph, &[(req.seed, 1.0)], config, diffusion)?;
+        let accumulated = diffusion.accumulated();
+        sparse.clear();
+        sparse.extend(
+            accumulated
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s > 0.0)
+                .map(|(i, &s)| (i as NodeId, s)),
+        );
+        let nonzero = sparse.len();
+        top_k_in_place(sparse, params.k);
+        let ranking = sparse.clone();
         let n = self.graph.num_nodes();
-        let nonzero = out.accumulated.iter().filter(|&&s| s > 0.0).count();
         let stats = QueryStats {
             stages: vec![StageStats {
                 diffusions: 1,
                 candidates: 0,
                 expanded: 0,
                 bfs_edges_scanned: 0,
-                diffusion_edge_updates: out.work.edge_updates,
+                diffusion_edge_updates: work.edge_updates,
                 max_ball_nodes: n,
                 max_ball_edges: self.graph.num_directed_edges() / 2,
             }],
             total_diffusions: 1,
-            diffusion_edge_updates: out.work.edge_updates,
+            diffusion_edge_updates: work.edge_updates,
             nodes_touched: n,
             peak_memory_bytes: cpu_task_memory(n, self.graph.num_directed_edges() / 2).total(),
             peak_task_memory_bytes: cpu_task_memory(n, self.graph.num_directed_edges() / 2).total(),

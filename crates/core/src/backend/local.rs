@@ -1,15 +1,18 @@
 //! The `LocalPPR-CPU` baseline behind the unified API.
 
-use meloppr_graph::GraphView;
+use meloppr_graph::{GraphView, NodeId};
 
 use super::{
     BackendCaps, BackendKind, CostEstimate, LatencyModel, PprBackend, QueryOutcome, QueryRequest,
     QueryStats, WorkProfile,
 };
+use crate::diffusion::{diffuse_into, DiffusionConfig};
 use crate::error::Result;
-use crate::local_ppr::local_ppr_impl;
+use crate::local_ppr::LocalPprStats;
 use crate::memory::cpu_task_memory;
 use crate::params::PprParams;
+use crate::score_vec::top_k_in_place;
+use crate::workspace::{QueryWorkspace, WorkspacePool};
 
 /// Single-stage diffusion on the whole depth-`L` ball (Fig. 2(b)).
 ///
@@ -39,6 +42,7 @@ pub struct LocalPpr<'g, G: GraphView + ?Sized> {
     params: PprParams,
     profile: WorkProfile,
     latency: LatencyModel,
+    pool: WorkspacePool,
 }
 
 impl<'g, G: GraphView + ?Sized> LocalPpr<'g, G> {
@@ -57,6 +61,7 @@ impl<'g, G: GraphView + ?Sized> LocalPpr<'g, G> {
             params,
             profile,
             latency: LatencyModel::default(),
+            pool: WorkspacePool::new(),
         })
     }
 
@@ -73,7 +78,7 @@ impl<G: GraphView + ?Sized> PprBackend for LocalPpr<'_, G> {
             exact: true,
             deterministic: true,
             accelerated: false,
-            batch_aware: false,
+            batch_aware: true,
         }
     }
 
@@ -92,12 +97,45 @@ impl<G: GraphView + ?Sized> PprBackend for LocalPpr<'_, G> {
         })
     }
 
-    fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+    fn workspace_pool(&self) -> Option<&WorkspacePool> {
+        Some(&self.pool)
+    }
+
+    fn query_with(&self, req: &QueryRequest, ws: &mut QueryWorkspace) -> Result<QueryOutcome> {
         let params = req.effective_params(&self.params)?;
-        let result = local_ppr_impl(self.graph, req.seed, &params)?;
+        let QueryWorkspace {
+            extract,
+            diffusion,
+            sparse,
+            ..
+        } = ws;
+        let (sub, bfs_edges_scanned) =
+            extract.extract(self.graph, req.seed, params.length as u32)?;
+        let config = DiffusionConfig::new(params.alpha, params.length)?;
+        let work = diffuse_into(sub, &[(sub.seed_local(), 1.0)], config, diffusion)?;
+
+        sparse.clear();
+        sparse.extend(
+            diffusion
+                .accumulated()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s > 0.0)
+                .map(|(local, &s)| (sub.to_global(local as NodeId), s)),
+        );
+        top_k_in_place(sparse, params.k);
+        let ranking = sparse.clone();
+
+        let stats = LocalPprStats {
+            ball_nodes: sub.num_nodes(),
+            ball_edges: sub.num_edges(),
+            bfs_edges_scanned,
+            diffusion_edge_updates: work.edge_updates,
+            memory: cpu_task_memory(sub.num_nodes(), sub.num_edges()),
+        };
         Ok(QueryOutcome {
-            stats: QueryStats::from_local(&result.stats),
-            ranking: result.ranking,
+            stats: QueryStats::from_local(&stats),
+            ranking,
         })
     }
 }

@@ -6,22 +6,29 @@
 //! accelerator (§V) as interchangeable solvers for the same query `π_s`.
 //! This module makes that interchangeability a first-class API:
 //!
-//! * [`PprBackend`] — the solver trait
-//!   (`prepare`/`query`/`query_batch`/`capabilities`/`estimate`);
+//! * [`PprBackend`] — the solver trait: `query_with` borrows every piece
+//!   of per-query scratch from a [`QueryWorkspace`]; the provided
+//!   `query` and `query_batch` reuse workspaces from the backend's
+//!   [`WorkspacePool`], so steady-state serving performs no heap
+//!   allocation (see the `alloc_smoke` test);
 //! * [`QueryRequest`] — seed, top-`k`, per-query parameter overrides and
 //!   a deadline/budget hint;
 //! * [`QueryOutcome`] — the ranking plus a normalized [`QueryStats`]
 //!   (per-stage breakdown, work counters, modelled memory footprint,
 //!   backend-reported latency estimate);
+//! * [`BatchExecutor`] — batched serving on a scoped worker pool, one
+//!   workspace per worker, outcomes in request order, aggregate
+//!   [`BatchStats`] per batch;
 //! * [`Router`] — per-request backend selection driven by
 //!   [`BackendCaps`] and each backend's [`CostEstimate`] against the
-//!   request's [`QueryBudget`].
+//!   request's [`QueryBudget`], optionally self-calibrating its latency
+//!   estimates from observed queries.
 //!
 //! Four backends live in this crate — [`ExactPower`], [`LocalPpr`],
-//! [`MonteCarlo`] and the staged [`Meloppr`] (which absorbs the old
-//! `query_cached` and `parallel_query` entry points as constructor
-//! options). The fifth, the FPGA-hybrid engine, implements the same trait
-//! in `meloppr_fpga::FpgaHybrid`.
+//! [`MonteCarlo`] and the staged [`Meloppr`] (whose threaded and cached
+//! execution variants are constructor options). The fifth, the
+//! FPGA-hybrid engine, implements the same trait in
+//! `meloppr_fpga::FpgaHybrid`.
 //!
 //! # Example
 //!
@@ -40,6 +47,7 @@
 //! # }
 //! ```
 
+mod batch;
 mod exact;
 mod local;
 mod model;
@@ -47,6 +55,7 @@ mod monte_carlo;
 mod router;
 mod staged;
 
+pub use batch::{BatchExecutor, BatchOutcome, BatchStats};
 pub use exact::ExactPower;
 pub use local::LocalPpr;
 pub use model::{
@@ -64,6 +73,7 @@ use crate::local_ppr::LocalPprStats;
 use crate::meloppr::{MelopprStats, StageStats};
 use crate::params::PprParams;
 use crate::score_vec::Ranking;
+use crate::workspace::{QueryWorkspace, WorkspacePool};
 
 /// Which solver produced an outcome (or is being described).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -399,6 +409,15 @@ impl CostEstimate {
 /// returned through the trait are bit-identical to the corresponding
 /// direct engine calls (asserted by the `backend_equivalence` test
 /// suite).
+///
+/// # Workspaces
+///
+/// The required query entry point is [`PprBackend::query_with`], which
+/// borrows a [`QueryWorkspace`] for all per-query scratch storage. The
+/// provided [`PprBackend::query`] checks a workspace out of the backend's
+/// [`WorkspacePool`] (every bundled backend keeps one), so repeated
+/// queries reuse warm buffers; reusing a workspace never changes results
+/// (asserted by the `workspace_reuse` test suite).
 pub trait PprBackend {
     /// Static capabilities of this backend under its configuration.
     fn capabilities(&self) -> BackendCaps;
@@ -414,13 +433,61 @@ pub trait PprBackend {
     /// [`Router`]).
     fn estimate(&self, req: &QueryRequest) -> Result<CostEstimate>;
 
-    /// Runs one query.
-    fn query(&self, req: &QueryRequest) -> Result<QueryOutcome>;
+    /// Runs one query, borrowing scratch storage from `ws` wherever the
+    /// backend's execution mode allows (intra-query thread pools still
+    /// allocate their own per-task scratch — see
+    /// [`Meloppr::with_threads`]).
+    ///
+    /// The workspace may be fresh or reused from any prior query on any
+    /// backend; outcomes are identical either way.
+    fn query_with(&self, req: &QueryRequest, ws: &mut QueryWorkspace) -> Result<QueryOutcome>;
 
-    /// Runs a batch of queries. The default loops over [`PprBackend::query`];
-    /// backends with `batch_aware` capabilities may do better.
+    /// The backend's shared workspace pool, if it keeps one. Backends
+    /// returning `Some` get allocation-free steady-state [`PprBackend::query`]
+    /// and [`PprBackend::query_batch`] for free.
+    fn workspace_pool(&self) -> Option<&WorkspacePool> {
+        None
+    }
+
+    /// Runs one query, reusing a pooled workspace when the backend has
+    /// one.
+    fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+        match self.workspace_pool() {
+            Some(pool) => {
+                let mut ws = pool.acquire();
+                let outcome = self.query_with(req, &mut ws);
+                pool.release(ws);
+                outcome
+            }
+            None => self.query_with(req, &mut QueryWorkspace::new()),
+        }
+    }
+
+    /// Runs a batch of queries sequentially through **one** reused
+    /// workspace, returning outcomes in request order. Fails fast on the
+    /// first error.
+    ///
+    /// For multi-worker execution with one workspace per worker and
+    /// aggregate accounting, drive the backend through a
+    /// [`BatchExecutor`].
     fn query_batch(&self, reqs: &[QueryRequest]) -> Result<Vec<QueryOutcome>> {
-        reqs.iter().map(|req| self.query(req)).collect()
+        match self.workspace_pool() {
+            Some(pool) => {
+                let mut ws = pool.acquire();
+                let outcomes = reqs
+                    .iter()
+                    .map(|req| self.query_with(req, &mut ws))
+                    .collect();
+                pool.release(ws);
+                outcomes
+            }
+            None => {
+                let mut ws = QueryWorkspace::new();
+                reqs.iter()
+                    .map(|req| self.query_with(req, &mut ws))
+                    .collect()
+            }
+        }
     }
 }
 

@@ -144,7 +144,7 @@ impl WorkProfile {
 }
 
 /// The deterministic default probe sample for a graph with `num_nodes`
-/// nodes: up to [`DEFAULT_PROBE_SEEDS`] seeds spread evenly over the node
+/// nodes: up to `DEFAULT_PROBE_SEEDS` (3) seeds spread evenly over the node
 /// range. Shared by [`WorkProfile::probe_default`] and cache warm-up so
 /// warmed entries match the profiled balls.
 pub fn default_probe_seeds(num_nodes: usize) -> Vec<NodeId> {

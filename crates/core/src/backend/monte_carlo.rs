@@ -8,8 +8,9 @@ use super::{
 };
 use crate::error::{PprError, Result};
 use crate::memory::CPU_WORD_BYTES;
-use crate::monte_carlo::monte_carlo_ppr_impl;
+use crate::monte_carlo::monte_carlo_ppr_with;
 use crate::params::PprParams;
+use crate::workspace::{QueryWorkspace, WorkspacePool};
 
 /// α-decay random-walk PPR estimation (Fig. 2(a)) as a backend.
 ///
@@ -18,9 +19,8 @@ use crate::params::PprParams;
 /// [`Router`](super::Router) reaches for it under very tight memory or
 /// latency budgets that tolerate approximate answers.
 ///
-/// Results are deterministic under the configured `rng_seed` and
-/// bit-identical to the pre-redesign `monte_carlo_ppr(g, seed, params,
-/// walks, rng_seed)` call.
+/// Results are deterministic under the configured `rng_seed`,
+/// regardless of workspace reuse.
 ///
 /// # Examples
 ///
@@ -44,6 +44,7 @@ pub struct MonteCarlo<'g, G: GraphView + ?Sized> {
     walks: usize,
     rng_seed: u64,
     latency: LatencyModel,
+    pool: WorkspacePool,
 }
 
 impl<'g, G: GraphView + ?Sized> MonteCarlo<'g, G> {
@@ -66,6 +67,7 @@ impl<'g, G: GraphView + ?Sized> MonteCarlo<'g, G> {
             walks,
             rng_seed,
             latency: LatencyModel::default(),
+            pool: WorkspacePool::new(),
         })
     }
 
@@ -96,7 +98,7 @@ impl<G: GraphView + ?Sized> PprBackend for MonteCarlo<'_, G> {
             exact: false,
             deterministic: true,
             accelerated: false,
-            batch_aware: false,
+            batch_aware: true,
         }
     }
 
@@ -116,21 +118,33 @@ impl<G: GraphView + ?Sized> PprBackend for MonteCarlo<'_, G> {
         })
     }
 
-    fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+    fn workspace_pool(&self) -> Option<&WorkspacePool> {
+        Some(&self.pool)
+    }
+
+    fn query_with(&self, req: &QueryRequest, ws: &mut QueryWorkspace) -> Result<QueryOutcome> {
         let params = req.effective_params(&self.params)?;
-        let result =
-            monte_carlo_ppr_impl(self.graph, req.seed, &params, self.walks, self.rng_seed)?;
+        let QueryWorkspace {
+            mc_counts, sparse, ..
+        } = ws;
+        let (ranking, steps) = monte_carlo_ppr_with(
+            self.graph,
+            req.seed,
+            &params,
+            self.walks,
+            self.rng_seed,
+            mc_counts,
+            sparse,
+        )?;
+        let distinct = sparse.len();
         let stats = QueryStats {
-            random_walk_steps: result.steps,
-            peak_memory_bytes: result.scores.len() * 3 * CPU_WORD_BYTES,
-            peak_task_memory_bytes: result.scores.len() * 3 * CPU_WORD_BYTES,
-            aggregate_entries: result.scores.len(),
+            random_walk_steps: steps,
+            peak_memory_bytes: distinct * 3 * CPU_WORD_BYTES,
+            peak_task_memory_bytes: distinct * 3 * CPU_WORD_BYTES,
+            aggregate_entries: distinct,
             ..QueryStats::empty(BackendKind::MonteCarlo)
         };
-        Ok(QueryOutcome {
-            ranking: result.ranking,
-            stats,
-        })
+        Ok(QueryOutcome { ranking, stats })
     }
 }
 

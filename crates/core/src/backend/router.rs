@@ -1,7 +1,38 @@
-//! Per-request backend selection from capabilities and cost estimates.
+//! Per-request backend selection from capabilities and cost estimates,
+//! with optional self-calibration from observed query latency.
+
+use std::sync::Mutex;
+use std::time::Instant;
 
 use super::{BackendKind, CostEstimate, PprBackend, QueryOutcome, QueryRequest};
 use crate::error::{BackendError, PprError, Result};
+
+/// EWMA smoothing factor for latency calibration: each observation moves
+/// the correction ratio 30 % of the way toward the new sample, so a few
+/// repeated queries converge while one outlier cannot flip routing.
+const CALIBRATION_BETA: f64 = 0.3;
+
+/// Observed/predicted ratios outside this range are clamped before entering
+/// the EWMA (wall-clock noise on microsecond queries can be extreme).
+const CALIBRATION_RATIO_RANGE: (f64, f64) = (1e-6, 1e6);
+
+/// Per-backend latency correction state.
+#[derive(Debug, Clone, Copy)]
+struct LatencyCalibration {
+    /// EWMA of observed/predicted latency ratios (1.0 = trust the model).
+    ratio: f64,
+    /// Observations folded in so far.
+    samples: usize,
+}
+
+impl Default for LatencyCalibration {
+    fn default() -> Self {
+        LatencyCalibration {
+            ratio: 1.0,
+            samples: 0,
+        }
+    }
+}
 
 /// The router's verdict for one request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +67,20 @@ pub struct Route {
 /// demonstrably select different solvers (see the `router` integration
 /// tests).
 ///
+/// # Self-calibration
+///
+/// Backend latency estimates are analytic models; real machines disagree
+/// with them. With [`Router::with_self_calibration`] enabled, every
+/// served query feeds its observed latency (the backend-reported
+/// [`QueryStats::latency_estimate_ns`](super::QueryStats) when present,
+/// wall clock otherwise) back into a per-backend EWMA of the
+/// observed/predicted ratio, and [`Router::select`] scales each latency
+/// estimate by its backend's ratio before matching budgets. Repeated
+/// budgeted queries therefore converge onto the solver that actually
+/// meets the deadline, even when the static model is off by orders of
+/// magnitude (see the `router` integration tests). Calibration is off by
+/// default: uncalibrated routing stays deterministic run-to-run.
+///
 /// # Examples
 ///
 /// ```
@@ -60,6 +105,8 @@ pub struct Route {
 #[derive(Default)]
 pub struct Router<'g> {
     backends: Vec<Box<dyn PprBackend + 'g>>,
+    calibrate: bool,
+    calibration: Mutex<Vec<LatencyCalibration>>,
 }
 
 impl std::fmt::Debug for Router<'_> {
@@ -74,24 +121,34 @@ impl std::fmt::Debug for Router<'_> {
 }
 
 impl<'g> Router<'g> {
-    /// An empty router.
+    /// An empty router (self-calibration off).
     pub fn new() -> Self {
-        Router {
-            backends: Vec::new(),
-        }
+        Router::default()
     }
 
     /// Registers a backend (builder style). Registration order is the
     /// final tie-breaker in routing.
     #[must_use]
     pub fn with_backend(mut self, backend: Box<dyn PprBackend + 'g>) -> Self {
-        self.backends.push(backend);
+        self.push(backend);
+        self
+    }
+
+    /// Enables or disables latency self-calibration (builder style). See
+    /// the type-level docs.
+    #[must_use]
+    pub fn with_self_calibration(mut self, enabled: bool) -> Self {
+        self.calibrate = enabled;
         self
     }
 
     /// Registers a backend.
     pub fn push(&mut self, backend: Box<dyn PprBackend + 'g>) {
         self.backends.push(backend);
+        self.calibration
+            .lock()
+            .expect("calibration poisoned")
+            .push(LatencyCalibration::default());
     }
 
     /// The registered backends, in registration order.
@@ -135,10 +192,20 @@ impl<'g> Router<'g> {
             }));
         }
         let budget = &req.budget;
+        let ratios: Vec<f64> = if self.calibrate {
+            self.calibration
+                .lock()
+                .expect("calibration poisoned")
+                .iter()
+                .map(|c| c.ratio)
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut best: Option<(Route, usize)> = None; // (route, violations)
         let mut estimate_failures: Vec<String> = Vec::new();
         for (index, backend) in self.backends.iter().enumerate() {
-            let estimate = match backend.estimate(req) {
+            let mut estimate = match backend.estimate(req) {
                 Ok(est) => est,
                 // A backend that cannot even estimate the request (e.g.
                 // invalid overrides for it) is not a candidate, but its
@@ -148,6 +215,9 @@ impl<'g> Router<'g> {
                     continue;
                 }
             };
+            if let Some(&ratio) = ratios.get(index) {
+                estimate.latency_ns *= ratio;
+            }
             let violations = count_violations(&estimate, budget);
             let candidate = Route {
                 index,
@@ -194,14 +264,68 @@ impl<'g> Router<'g> {
         })
     }
 
-    /// Routes and runs one query.
+    /// Routes and runs one query. With self-calibration enabled, the
+    /// observed latency is folded back into the chosen backend's
+    /// correction ratio.
     ///
     /// # Errors
     ///
     /// As [`Router::select`], plus any error from the chosen backend.
     pub fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
         let route = self.select(req)?;
-        self.backends[route.index].query(req)
+        if !self.calibrate {
+            return self.backends[route.index].query(req);
+        }
+        // The observation is measured against the *uncalibrated*
+        // prediction; undo the ratio select() applied rather than paying
+        // a second estimate() call (ratios are clamped away from zero).
+        let (ratio, _) = self.calibration_ratio(route.index);
+        let predicted_ns = route.estimate.latency_ns / ratio;
+        let started = Instant::now();
+        let outcome = self.backends[route.index].query(req)?;
+        let observed_ns = outcome
+            .stats
+            .latency_estimate_ns
+            .unwrap_or_else(|| started.elapsed().as_nanos() as f64);
+        self.observe(route.index, observed_ns, predicted_ns);
+        Ok(outcome)
+    }
+
+    /// Folds one latency observation for backend `index` into its
+    /// correction ratio (EWMA of observed/predicted). Called
+    /// automatically by [`Router::query`] under self-calibration; exposed
+    /// so serving layers measuring latency themselves can feed it back.
+    ///
+    /// Non-finite or non-positive inputs are ignored.
+    pub fn observe(&self, index: usize, observed_ns: f64, predicted_ns: f64) {
+        if !(observed_ns.is_finite() && predicted_ns.is_finite())
+            || observed_ns <= 0.0
+            || predicted_ns <= 0.0
+        {
+            return;
+        }
+        let (lo, hi) = CALIBRATION_RATIO_RANGE;
+        let sample = (observed_ns / predicted_ns).clamp(lo, hi);
+        let mut calibration = self.calibration.lock().expect("calibration poisoned");
+        if let Some(c) = calibration.get_mut(index) {
+            c.ratio = if c.samples == 0 {
+                sample // first observation replaces the 1.0 prior outright
+            } else {
+                (1.0 - CALIBRATION_BETA) * c.ratio + CALIBRATION_BETA * sample
+            };
+            c.samples += 1;
+        }
+    }
+
+    /// The current observed/predicted latency correction ratio of backend
+    /// `index` (1.0 until the first observation), with the number of
+    /// observations folded in.
+    pub fn calibration_ratio(&self, index: usize) -> (f64, usize) {
+        let calibration = self.calibration.lock().expect("calibration poisoned");
+        calibration
+            .get(index)
+            .map(|c| (c.ratio, c.samples))
+            .unwrap_or((1.0, 0))
     }
 
     /// Routes and runs a batch, selecting per request.
@@ -319,6 +443,52 @@ mod tests {
         assert!(
             message.contains("exact-power"),
             "missing backend name: {message}"
+        );
+    }
+
+    #[test]
+    fn observe_updates_ewma_and_ignores_garbage() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let router = Router::new()
+            .with_backend(Box::new(LocalPpr::new(&g, params).unwrap()))
+            .with_self_calibration(true);
+        assert_eq!(router.calibration_ratio(0), (1.0, 0));
+        // First observation replaces the prior outright.
+        router.observe(0, 2.0e6, 1.0e6);
+        let (ratio, samples) = router.calibration_ratio(0);
+        assert!((ratio - 2.0).abs() < 1e-12);
+        assert_eq!(samples, 1);
+        // Later observations move 30 % of the way.
+        router.observe(0, 1.0e6, 1.0e6);
+        let (ratio, samples) = router.calibration_ratio(0);
+        assert!((ratio - (0.7 * 2.0 + 0.3 * 1.0)).abs() < 1e-12);
+        assert_eq!(samples, 2);
+        // Garbage observations are ignored.
+        router.observe(0, f64::NAN, 1.0);
+        router.observe(0, -1.0, 1.0);
+        router.observe(0, 1.0, 0.0);
+        router.observe(7, 1.0, 1.0); // out-of-range index
+        assert_eq!(router.calibration_ratio(0).1, 2);
+        // Out-of-range queries report the neutral prior.
+        assert_eq!(router.calibration_ratio(7), (1.0, 0));
+    }
+
+    #[test]
+    fn calibration_scales_selection_estimates() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let router = Router::new()
+            .with_backend(Box::new(LocalPpr::new(&g, params).unwrap()))
+            .with_self_calibration(true);
+        let req = QueryRequest::new(0);
+        let raw = router.backends()[0].estimate(&req).unwrap().latency_ns;
+        router.observe(0, 10.0, 1.0); // observed 10x slower than predicted
+        let route = router.select(&req).unwrap();
+        assert!(
+            (route.estimate.latency_ns - raw * 10.0).abs() < raw * 1e-9,
+            "calibrated {} vs raw {raw}",
+            route.estimate.latency_ns
         );
     }
 

@@ -2,28 +2,29 @@
 
 use std::sync::Mutex;
 
-use meloppr_graph::GraphView;
+use meloppr_graph::{GraphView, NodeId};
 
 use super::{
     estimate_staged_work, staged_precision_heuristic, BackendCaps, BackendKind, CostEstimate,
-    LatencyModel, PprBackend, QueryOutcome, QueryRequest, QueryStats, WorkProfile,
+    LatencyModel, ParamOverrides, PprBackend, QueryOutcome, QueryRequest, QueryStats, WorkProfile,
 };
 use crate::cache::SubgraphCache;
 use crate::error::{PprError, Result};
-use crate::meloppr::MelopprEngine;
+use crate::meloppr::{staged_query_cached_with, staged_query_with, MelopprOutcome};
 use crate::memory::{cpu_task_memory, fpga_global_table_bytes};
 use crate::parallel::parallel_query_impl;
 use crate::params::MelopprParams;
 use crate::selection::SelectionStrategy;
+use crate::workspace::{QueryWorkspace, WorkspacePool};
 
 /// Multi-stage MeLoPPR (§IV) as a backend.
 ///
-/// Absorbs the pre-redesign execution variants as constructor options:
+/// Execution variants are constructor options:
 ///
-/// * [`Meloppr::with_threads`] — the old `parallel_query` free function
-///   (stage-level parallelism, bit-identical to sequential);
-/// * [`Meloppr::with_cache`] — the old `MelopprEngine::query_cached`
-///   (LRU sub-graph cache shared across queries).
+/// * [`Meloppr::with_threads`] — stage-level parallelism inside one
+///   query (bit-identical to sequential);
+/// * [`Meloppr::with_cache`] — an LRU sub-graph cache shared across
+///   queries (hits charge zero BFS work).
 ///
 /// All modes return identical rankings for identical requests; they
 /// differ only in wall-clock and BFS work accounting (cache hits charge
@@ -54,6 +55,7 @@ pub struct Meloppr<'g, G: GraphView + Sync + ?Sized> {
     cache: Option<Mutex<SubgraphCache>>,
     profile: WorkProfile,
     latency: LatencyModel,
+    pool: WorkspacePool,
 }
 
 impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
@@ -73,11 +75,19 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
             cache: None,
             profile,
             latency: LatencyModel::default(),
+            pool: WorkspacePool::new(),
         })
     }
 
-    /// Enables stage-level parallelism with `threads` workers (absorbs
-    /// the old `parallel_query`). `1` keeps the sequential schedule.
+    /// Enables stage-level parallelism with `threads` workers inside
+    /// each query. `1` keeps the sequential schedule.
+    ///
+    /// Threaded execution allocates per-task state instead of borrowing
+    /// the query workspace (each stage worker needs its own scratch), so
+    /// the zero-allocation steady state applies only to the sequential
+    /// and cached modes. For cross-query parallelism with full workspace
+    /// reuse, keep the backend sequential and drive it through a
+    /// [`BatchExecutor`](super::BatchExecutor) instead.
     ///
     /// # Errors
     ///
@@ -92,9 +102,9 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
         Ok(self)
     }
 
-    /// Enables the LRU sub-graph cache with `capacity` entries (absorbs
-    /// the old `query_cached`). Cached execution is sequential; it takes
-    /// precedence over [`Meloppr::with_threads`].
+    /// Enables the LRU sub-graph cache with `capacity` entries. Cached
+    /// execution is sequential; it takes precedence over
+    /// [`Meloppr::with_threads`].
     ///
     /// # Panics
     ///
@@ -155,10 +165,9 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
                 && self.params.table_factor.is_none(),
             deterministic: true,
             accelerated: false,
-            // No cross-query batching yet: query_batch is the default
-            // per-request loop even in threaded mode (parallelism lives
-            // *inside* a query).
-            batch_aware: false,
+            // Batches reuse pooled workspaces across queries (and scale
+            // across BatchExecutor workers), beating a naive query loop.
+            batch_aware: true,
         }
     }
 
@@ -207,16 +216,18 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
         })
     }
 
-    fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
-        let params = self.effective_meloppr(req)?;
-        let outcome = if let Some(cache) = &self.cache {
-            let engine = MelopprEngine::new(self.graph, params)?;
-            let mut cache = cache.lock().expect("cache poisoned");
-            engine.query_cached_impl(req.seed, &mut cache)?
-        } else if self.threads > 1 {
-            parallel_query_impl(self.graph, &params, req.seed, self.threads)?
+    fn workspace_pool(&self) -> Option<&WorkspacePool> {
+        Some(&self.pool)
+    }
+
+    fn query_with(&self, req: &QueryRequest, ws: &mut QueryWorkspace) -> Result<QueryOutcome> {
+        // The common no-override case borrows the configured parameters;
+        // only overridden requests pay a parameter clone.
+        let outcome = if req.k.is_none() && req.overrides == ParamOverrides::default() {
+            self.run_staged(&self.params, req.seed, ws)?
         } else {
-            MelopprEngine::new(self.graph, params)?.query(req.seed)?
+            let params = self.effective_meloppr(req)?;
+            self.run_staged(&params, req.seed, ws)?
         };
         Ok(QueryOutcome {
             stats: QueryStats::from_meloppr(&outcome.stats),
@@ -225,9 +236,28 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
     }
 }
 
+impl<G: GraphView + Sync + ?Sized> Meloppr<'_, G> {
+    fn run_staged(
+        &self,
+        params: &MelopprParams,
+        seed: NodeId,
+        ws: &mut QueryWorkspace,
+    ) -> Result<MelopprOutcome> {
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().expect("cache poisoned");
+            staged_query_cached_with(self.graph, params, seed, &mut cache, ws)
+        } else if self.threads > 1 {
+            parallel_query_impl(self.graph, params, seed, self.threads)
+        } else {
+            staged_query_with(self.graph, params, seed, ws)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::meloppr::MelopprEngine;
     use crate::params::PprParams;
 
     use meloppr_graph::generators;

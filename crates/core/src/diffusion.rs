@@ -84,6 +84,49 @@ pub struct DiffusionOutput {
     pub work: DiffusionWork,
 }
 
+/// Reusable dense working memory for [`diffuse_into`]: the power/next
+/// propagation buffers, the accumulator, and the frontier stacks.
+///
+/// One scratch serves diffusions over views of any size — buffers are
+/// re-zeroed (not re-allocated) per call, so steady-state diffusion
+/// performs no heap allocation once capacities have warmed up to the
+/// largest view seen.
+#[derive(Debug, Default)]
+pub struct DiffusionScratch {
+    /// `p_k = W^k·S0`; holds the residual `πr` after a diffusion.
+    pub(crate) power: Vec<f64>,
+    next: Vec<f64>,
+    /// Holds the accumulated scores `πa` after a diffusion.
+    pub(crate) accumulated: Vec<f64>,
+    frontier: Vec<NodeId>,
+    next_frontier: Vec<NodeId>,
+}
+
+impl DiffusionScratch {
+    /// An empty scratch; capacities grow on first use and are retained.
+    pub fn new() -> Self {
+        DiffusionScratch::default()
+    }
+
+    /// Accumulated scores `πa` of the most recent [`diffuse_into`] call
+    /// (dense over the view's local ids).
+    pub fn accumulated(&self) -> &[f64] {
+        &self.accumulated
+    }
+
+    /// Residual scores `πr = W^l·S0` of the most recent [`diffuse_into`]
+    /// call (dense over the view's local ids).
+    pub fn residual(&self) -> &[f64] {
+        &self.power
+    }
+
+    /// Mutable accumulated scores alongside the (read-only) residual —
+    /// the borrow split MeLoPPR's in-place Eq. 8 adjustment needs.
+    pub(crate) fn accumulated_mut_residual(&mut self) -> (&mut [f64], &[f64]) {
+        (&mut self.accumulated, &self.power)
+    }
+}
+
 /// Runs `GD(l)` on any graph view from a sparse initial vector.
 ///
 /// `init` entries must reference nodes of `g` and should be non-negative;
@@ -116,10 +159,50 @@ pub fn diffuse<G: GraphView + ?Sized>(
     init: &[(NodeId, f64)],
     config: DiffusionConfig,
 ) -> Result<DiffusionOutput> {
+    let mut scratch = DiffusionScratch::new();
+    let work = diffuse_into(g, init, config, &mut scratch)?;
+    Ok(DiffusionOutput {
+        accumulated: scratch.accumulated,
+        residual: scratch.power,
+        work,
+    })
+}
+
+/// As [`diffuse`], but computes into caller-owned scratch storage instead
+/// of allocating the dense output vectors.
+///
+/// On success the accumulated scores are in
+/// [`DiffusionScratch::accumulated`] and the residual in
+/// [`DiffusionScratch::residual`]; both are bit-identical to the vectors
+/// [`diffuse`] would return.
+///
+/// # Errors
+///
+/// As [`diffuse`].
+pub fn diffuse_into<G: GraphView + ?Sized>(
+    g: &G,
+    init: &[(NodeId, f64)],
+    config: DiffusionConfig,
+    s: &mut DiffusionScratch,
+) -> Result<DiffusionWork> {
     let config = DiffusionConfig::new(config.alpha, config.iterations)?;
     let n = g.num_nodes();
-    let mut power = vec![0.0f64; n]; // p_k = W^k S0
-    let mut frontier: Vec<NodeId> = Vec::new();
+    s.power.clear();
+    s.power.resize(n, 0.0); // p_k = W^k S0
+    s.next.clear();
+    s.next.resize(n, 0.0);
+    s.accumulated.clear();
+    s.accumulated.resize(n, 0.0);
+    s.frontier.clear();
+    s.next_frontier.clear();
+    let DiffusionScratch {
+        power,
+        next,
+        accumulated,
+        frontier,
+        next_frontier,
+    } = s;
+
     for &(v, mass) in init {
         if v as usize >= n {
             return Err(PprError::Graph(
@@ -137,20 +220,16 @@ pub fn diffuse<G: GraphView + ?Sized>(
 
     let alpha = config.alpha;
     let l = config.iterations;
-    let mut accumulated = vec![0.0f64; n];
     let mut work = DiffusionWork::default();
-
     let mut alpha_k = 1.0f64; // α^k
-    let mut next = vec![0.0f64; n];
-    let mut next_frontier: Vec<NodeId> = Vec::new();
 
     for _ in 0..l {
         // Fold (1 - α)·α^k·p_k into the accumulator.
-        for &u in &frontier {
+        for &u in frontier.iter() {
             accumulated[u as usize] += (1.0 - alpha) * alpha_k * power[u as usize];
         }
         // Propagate: p_{k+1} = W·p_k over the frontier only.
-        for &u in &frontier {
+        for &u in frontier.iter() {
             let mass = power[u as usize];
             let deg = g.walk_degree(u);
             if deg == 0 {
@@ -173,26 +252,22 @@ pub fn diffuse<G: GraphView + ?Sized>(
             work.leaked_mass += share * (deg as usize - nbrs.len()) as f64;
         }
         // Swap buffers and clear the old one sparsely.
-        for &u in &frontier {
+        for &u in frontier.iter() {
             power[u as usize] = 0.0;
         }
-        std::mem::swap(&mut power, &mut next);
-        std::mem::swap(&mut frontier, &mut next_frontier);
+        std::mem::swap(power, next);
+        std::mem::swap(frontier, next_frontier);
         next_frontier.clear();
         alpha_k *= alpha;
         work.iterations += 1;
     }
 
     // Final term: α^l·p_l. For l == 0 this makes GD(0) the identity.
-    for &u in &frontier {
+    for &u in frontier.iter() {
         accumulated[u as usize] += alpha_k * power[u as usize];
     }
 
-    Ok(DiffusionOutput {
-        accumulated,
-        residual: power,
-        work,
-    })
+    Ok(work)
 }
 
 /// Convenience wrapper: runs `GD(l)` from a unit vector at `seed`.
@@ -372,6 +447,24 @@ mod tests {
         assert!(over.work.leaked_mass > 0.0);
         let total: f64 = over.residual.iter().sum();
         assert!(total < 1.0);
+    }
+
+    #[test]
+    fn diffuse_into_reuse_matches_fresh() {
+        let g = generators::karate_club();
+        let h = generators::grid(4, 4).unwrap(); // smaller view, same scratch
+        let mut scratch = DiffusionScratch::new();
+        for (l, seed) in [(4usize, 0u32), (2, 5), (6, 33)] {
+            let fresh = diffuse_from_seed(&g, seed, cfg(l)).unwrap();
+            let work = diffuse_into(&g, &[(seed, 1.0)], cfg(l), &mut scratch).unwrap();
+            assert_eq!(scratch.accumulated(), &fresh.accumulated[..]);
+            assert_eq!(scratch.residual(), &fresh.residual[..]);
+            assert_eq!(work, fresh.work);
+            // Interleave a diffusion on a smaller graph to exercise the
+            // shrink-then-grow resize path.
+            diffuse_into(&h, &[(3, 1.0)], cfg(2), &mut scratch).unwrap();
+            assert_eq!(scratch.accumulated().len(), 16);
+        }
     }
 
     #[test]

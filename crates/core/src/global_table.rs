@@ -71,6 +71,22 @@ impl GlobalScoreTable {
         }
     }
 
+    /// Empties the table and reconfigures its capacity, retaining the
+    /// underlying hash-map storage so a reused table allocates nothing in
+    /// steady state. `None` means unbounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == Some(0)`.
+    pub fn reset(&mut self, capacity: Option<usize>) {
+        assert!(capacity != Some(0), "table capacity must be positive");
+        self.capacity = capacity;
+        self.scores.clear();
+        self.index.clear();
+        self.evictions = 0;
+        self.lost_mass = 0.0;
+    }
+
     /// Adds `score` to the node's accumulated total, inserting or evicting
     /// as necessary.
     ///
@@ -151,13 +167,22 @@ impl GlobalScoreTable {
     /// The top-`k` ranking currently held, ordered like
     /// [`top_k_dense`](crate::score_vec::top_k_dense).
     pub fn ranking(&self, k: usize) -> Ranking {
+        self.ranking_with(k, &mut Vec::new())
+    }
+
+    /// As [`GlobalScoreTable::ranking`], but routes the unbounded-mode
+    /// entry collection through a caller-owned scratch buffer so repeated
+    /// rankings only allocate the returned `Ranking` itself.
+    pub fn ranking_with(&self, k: usize, scratch: &mut Vec<(NodeId, f64)>) -> Ranking {
         if k == 0 {
             return Vec::new();
         }
         if self.capacity.is_none() {
             // Unbounded mode keeps no ordered index; select from the map.
-            let entries: Vec<(NodeId, f64)> = self.scores.iter().map(|(&v, &s)| (v, s)).collect();
-            return crate::score_vec::top_k_sparse(&entries, k);
+            scratch.clear();
+            scratch.extend(self.scores.iter().map(|(&v, &s)| (v, s)));
+            crate::score_vec::top_k_in_place(scratch, k);
+            return scratch.clone();
         }
         // BTreeSet orders ascending by (score, id); reversed iteration
         // gives descending score but descending id on ties. Collect the top
@@ -279,6 +304,39 @@ mod tests {
         assert_eq!(t.get(1), Some(0.7));
         assert_eq!(t.get(2), None);
         assert_eq!(t.get(3), Some(0.4));
+    }
+
+    #[test]
+    fn reset_empties_and_reconfigures() {
+        let mut t = GlobalScoreTable::bounded(2);
+        t.add(1, 0.5);
+        t.add(2, 0.3);
+        t.add(3, 0.1);
+        assert_eq!(t.evictions(), 1);
+        t.reset(None);
+        assert!(t.is_empty());
+        assert_eq!(t.evictions(), 0);
+        assert_eq!(t.lost_mass(), 0.0);
+        // Now unbounded: nothing is evicted.
+        for i in 0..10u32 {
+            t.add(i, 0.1);
+        }
+        assert_eq!(t.len(), 10);
+        t.reset(Some(1));
+        t.add(1, 0.5);
+        t.add(2, 0.9);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ranking_with_reuses_scratch() {
+        let mut t = GlobalScoreTable::unbounded();
+        t.add(5, 0.3);
+        t.add(1, 0.3);
+        t.add(2, 0.9);
+        let mut scratch = Vec::new();
+        assert_eq!(t.ranking_with(3, &mut scratch), t.ranking(3));
+        assert_eq!(t.ranking_with(1, &mut scratch), t.ranking(1));
     }
 
     #[test]

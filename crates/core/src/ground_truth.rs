@@ -3,9 +3,9 @@
 //! Precision in the paper is always measured against the exact top-`k` set
 //! of the length-`L` diffusion on the whole graph. This module computes it
 //! with the same frontier-sparse kernel used everywhere else, but without
-//! any ball restriction — an intentionally independent code path from
-//! [`local_ppr`](crate::local_ppr::local_ppr), which the test suite
-//! cross-validates against (ball exactness).
+//! any ball restriction — an intentionally independent code path from the
+//! [`LocalPpr`](crate::backend::LocalPpr) ball-restricted baseline, which
+//! the test suite cross-validates against (ball exactness).
 
 use meloppr_graph::{GraphView, NodeId};
 

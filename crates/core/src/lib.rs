@@ -13,9 +13,13 @@
 //!   [`QueryRequest`]/[`QueryOutcome`], four of its five solvers
 //!   ([`ExactPower`], [`LocalPpr`](backend::LocalPpr),
 //!   [`MonteCarlo`](backend::MonteCarlo), staged
-//!   [`Meloppr`](backend::Meloppr)) and the budget-driven [`Router`];
+//!   [`Meloppr`](backend::Meloppr)), the self-calibrating budget-driven
+//!   [`Router`], and the [`BatchExecutor`] worker pool;
+//! * [`QueryWorkspace`] — the reusable scratch arena behind the
+//!   zero-allocation query path (one [`WorkspacePool`] per backend);
 //! * [`diffusion`] — the `GD(l)` kernel producing accumulated (`πa`) and
-//!   residual (`πr`) scores (Eq. 1, Fig. 3(b));
+//!   residual (`πr`) scores (Eq. 1, Fig. 3(b)), with
+//!   [`diffuse_into`] computing into caller-owned scratch;
 //! * [`MelopprEngine`] — the multi-stage engine implementing stage
 //!   decomposition (Eq. 6), linear decomposition (Eq. 7) and sparsity
 //!   exploitation (Eq. 8, §IV-D);
@@ -27,15 +31,14 @@
 //! * [`sparsity`] — score-distribution analysis behind Fig. 6;
 //! * [`planner`] — budget-driven stage planning ("adaptive" extension).
 //!
-//! The pre-redesign free functions (`local_ppr`, `monte_carlo_ppr`,
-//! `parallel_query`, `MelopprEngine::query_cached`) remain as thin
-//! deprecated shims for one release; new code should go through
-//! [`backend`].
-//!
 //! ## Quick start
 //!
 //! Every solver answers the same [`QueryRequest`] and returns the same
-//! [`QueryOutcome`]:
+//! [`QueryOutcome`]. Per-query scratch (BFS frontiers, sub-graph
+//! buffers, dense score vectors, the aggregation table) lives in a
+//! [`QueryWorkspace`] that [`PprBackend::query`] silently reuses from
+//! the backend's pool, so steady-state serving never touches the
+//! allocator:
 //!
 //! ```
 //! use meloppr_core::backend::{Meloppr, PprBackend, QueryRequest};
@@ -65,7 +68,34 @@
 //! # }
 //! ```
 //!
-//! Or let the [`Router`] pick a solver per request from its budget hint:
+//! ## Serving batches
+//!
+//! [`BatchExecutor`] runs request batches on scoped worker threads, one
+//! workspace per worker, returning outcomes in request order plus
+//! aggregate [`BatchStats`]; results are bit-identical to a sequential
+//! loop:
+//!
+//! ```
+//! use meloppr_core::backend::{BatchExecutor, LocalPpr, QueryRequest};
+//! use meloppr_core::PprParams;
+//! use meloppr_graph::generators;
+//!
+//! # fn main() -> Result<(), meloppr_core::PprError> {
+//! let graph = generators::karate_club();
+//! let backend = LocalPpr::new(&graph, PprParams::new(0.85, 4, 5)?)?;
+//! let reqs: Vec<QueryRequest> = (0..8).map(QueryRequest::new).collect();
+//! let batch = BatchExecutor::new(4)?.run(&backend, &reqs)?;
+//! assert_eq!(batch.outcomes.len(), 8);
+//! assert!(batch.stats.throughput_qps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Routing
+//!
+//! Or let the [`Router`] pick a solver per request from its budget hint
+//! — optionally self-calibrating its latency estimates from served
+//! queries ([`Router::with_self_calibration`]):
 //!
 //! ```
 //! use meloppr_core::backend::{
@@ -80,7 +110,8 @@
 //! let router = Router::new()
 //!     .with_backend(Box::new(ExactPower::new(&graph, params)?))
 //!     .with_backend(Box::new(LocalPpr::new(&graph, params)?))
-//!     .with_backend(Box::new(MonteCarlo::new(&graph, params, 2000, 42)?));
+//!     .with_backend(Box::new(MonteCarlo::new(&graph, params, 2000, 42)?))
+//!     .with_self_calibration(true);
 //!
 //! // A tight deadline tolerating approximation routes differently than
 //! // an exactness requirement.
@@ -105,7 +136,7 @@ mod local_ppr;
 mod meloppr;
 pub mod memory;
 pub mod monte_carlo;
-pub mod parallel;
+mod parallel;
 mod params;
 pub mod planner;
 pub mod precision;
@@ -115,25 +146,26 @@ mod selection;
 pub mod sparsity;
 #[cfg(test)]
 pub(crate) mod test_util;
+mod workspace;
 
 pub use backend::{
-    BackendCaps, BackendKind, CostEstimate, ExactPower, PprBackend, QueryBudget, QueryOutcome,
-    QueryRequest, QueryStats, Route, Router,
+    BackendCaps, BackendKind, BatchExecutor, BatchOutcome, BatchStats, CostEstimate, ExactPower,
+    PprBackend, QueryBudget, QueryOutcome, QueryRequest, QueryStats, Route, Router,
 };
 pub use cache::SubgraphCache;
-pub use diffusion::{diffuse, diffuse_from_seed, DiffusionConfig, DiffusionOutput, DiffusionWork};
+pub use diffusion::{
+    diffuse, diffuse_from_seed, diffuse_into, DiffusionConfig, DiffusionOutput, DiffusionScratch,
+    DiffusionWork,
+};
 pub use error::{BackendError, PprError, Result};
 pub use global_table::GlobalScoreTable;
 pub use ground_truth::{exact_ppr, exact_top_k};
-#[allow(deprecated)]
-pub use local_ppr::local_ppr;
 pub use local_ppr::{LocalPprResult, LocalPprStats};
 pub use meloppr::{DiffusionRecord, MelopprEngine, MelopprOutcome, MelopprStats, StageStats};
-#[allow(deprecated)]
-pub use parallel::parallel_query;
 pub use params::{MelopprParams, PprParams, ResidualPolicy};
 pub use planner::{plan_stages, StagePlan};
 pub use precision::{mean_precision, precision_at_k};
 pub use push::{forward_push, PushResult};
 pub use score_vec::Ranking;
 pub use selection::SelectionStrategy;
+pub use workspace::{QueryWorkspace, WorkspacePool};

@@ -7,13 +7,10 @@
 //! the exponentially-growing `G_L(s)`, which is precisely what MeLoPPR's
 //! stage decomposition avoids.
 
-use meloppr_graph::{bfs_ball, GraphView, NodeId, Subgraph};
+use meloppr_graph::NodeId;
 
-use crate::diffusion::{diffuse_from_seed, DiffusionConfig};
-use crate::error::Result;
-use crate::memory::{cpu_task_memory, CpuTaskMemory};
-use crate::params::PprParams;
-use crate::score_vec::{top_k_sparse, Ranking};
+use crate::memory::CpuTaskMemory;
+use crate::score_vec::Ranking;
 
 /// Work and memory accounting of one baseline query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,31 +40,19 @@ pub struct LocalPprResult {
     pub stats: LocalPprStats,
 }
 
-/// Runs the single-stage local PPR baseline.
-///
-/// # Errors
-///
-/// Returns [`PprError`](crate::PprError) variants for invalid parameters or
-/// an out-of-bounds seed.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the unified query API: `backend::LocalPpr::new(g, params)?.query(&QueryRequest::new(seed))`"
-)]
-pub fn local_ppr<G: GraphView + ?Sized>(
+/// Runs the single-stage local PPR baseline (the allocating reference
+/// path the test suite pins the workspace-backed
+/// [`backend::LocalPpr`](crate::backend::LocalPpr) against).
+#[cfg(test)]
+pub(crate) fn local_ppr_impl<G: meloppr_graph::GraphView + ?Sized>(
     g: &G,
     seed: NodeId,
-    params: &PprParams,
-) -> Result<LocalPprResult> {
-    local_ppr_impl(g, seed, params)
-}
+    params: &crate::params::PprParams,
+) -> crate::error::Result<LocalPprResult> {
+    use crate::diffusion::{diffuse_from_seed, DiffusionConfig};
+    use crate::score_vec::top_k_sparse;
+    use meloppr_graph::{bfs_ball, Subgraph};
 
-/// Implementation shared by the deprecated free function and the
-/// [`backend::LocalPpr`](crate::backend::LocalPpr) backend.
-pub(crate) fn local_ppr_impl<G: GraphView + ?Sized>(
-    g: &G,
-    seed: NodeId,
-    params: &PprParams,
-) -> Result<LocalPprResult> {
     params.validate()?;
     let ball = bfs_ball(g, seed, params.length as u32)?;
     let sub = Subgraph::extract(g, &ball)?;
@@ -91,7 +76,7 @@ pub(crate) fn local_ppr_impl<G: GraphView + ?Sized>(
             ball_edges: sub.num_edges(),
             bfs_edges_scanned: ball.edges_scanned,
             diffusion_edge_updates: out.work.edge_updates,
-            memory: cpu_task_memory(ball.num_nodes(), sub.num_edges()),
+            memory: crate::memory::cpu_task_memory(ball.num_nodes(), sub.num_edges()),
         },
     })
 }
@@ -100,6 +85,7 @@ pub(crate) fn local_ppr_impl<G: GraphView + ?Sized>(
 mod tests {
     use super::*;
     use crate::ground_truth::exact_top_k;
+    use crate::params::PprParams;
     use meloppr_graph::generators;
 
     #[test]

@@ -20,16 +20,15 @@
 //! share, which empirically dominates both keeping and dropping it and
 //! matches the paper's high precision at small selection ratios (Fig. 6).
 
-use std::collections::VecDeque;
-
 use meloppr_graph::{bfs_ball, GraphView, NodeId, Subgraph};
 
-use crate::diffusion::{diffuse_from_seed, DiffusionConfig};
+use crate::diffusion::{diffuse_into, DiffusionConfig, DiffusionScratch};
 use crate::error::Result;
 use crate::global_table::GlobalScoreTable;
 use crate::memory::{cpu_task_memory, meloppr_cpu_peak, meloppr_fpga_peak, CpuTaskMemory};
 use crate::params::{MelopprParams, ResidualPolicy};
 use crate::score_vec::Ranking;
+use crate::workspace::QueryWorkspace;
 
 /// Default global-table factor used for FPGA memory estimates when the
 /// query itself runs with exact (unbounded) aggregation.
@@ -179,16 +178,60 @@ pub(crate) fn execute_task<G: GraphView + ?Sized>(
 /// already-extracted sub-graph (possibly served from a
 /// [`SubgraphCache`](crate::cache::SubgraphCache), in which case
 /// `bfs_edges_scanned` should be 0 — the whole point of caching).
+///
+/// Allocating wrapper over [`execute_task_on_with`] for callers without a
+/// workspace (the parallel executor needs owned per-task outputs anyway).
 pub(crate) fn execute_task_on(
     sub: &Subgraph,
     bfs_edges_scanned: usize,
     params: &MelopprParams,
     task: &TaskSpec,
 ) -> Result<TaskOutput> {
+    let mut diffusion = DiffusionScratch::new();
+    let mut candidates = Vec::new();
+    let mut contributions = Vec::new();
+    let mut children = Vec::new();
+    let (record, candidates_count) = execute_task_on_with(
+        sub,
+        bfs_edges_scanned,
+        params,
+        task,
+        &mut diffusion,
+        &mut candidates,
+        &mut contributions,
+        &mut children,
+    )?;
+    Ok(TaskOutput {
+        contributions,
+        children,
+        record,
+        candidates: candidates_count,
+    })
+}
+
+/// The zero-allocation core of one diffusion task: diffusion into
+/// `diffusion` scratch, the Eq. 8 contribution adjustment in place on the
+/// accumulated vector, and selection in place on `candidates`.
+///
+/// On success `contributions` holds the weighted global-id contributions
+/// and `children` the spawned next-stage tasks, both overwritten (not
+/// appended). Returns the trace record and the pre-selection candidate
+/// count. Bit-identical to [`execute_task_on`].
+#[allow(clippy::too_many_arguments)] // the workspace split keeps borrows disjoint
+pub(crate) fn execute_task_on_with(
+    sub: &Subgraph,
+    bfs_edges_scanned: usize,
+    params: &MelopprParams,
+    task: &TaskSpec,
+    diffusion: &mut DiffusionScratch,
+    candidates: &mut Vec<(NodeId, f64)>,
+    contributions: &mut Vec<(NodeId, f64)>,
+    children: &mut Vec<TaskSpec>,
+) -> Result<(DiffusionRecord, usize)> {
     let num_stages = params.stages.len();
     let l = params.stages[task.stage];
     let config = DiffusionConfig::new(params.ppr.alpha, l)?;
-    let out = diffuse_from_seed(sub, sub.seed_local(), config)?;
+    let work = diffuse_into(sub, &[(sub.seed_local(), 1.0)], config, diffusion)?;
 
     let last_stage = task.stage + 1 == num_stages;
     let alpha_l = params.ppr.alpha.powi(l as i32);
@@ -196,32 +239,33 @@ pub(crate) fn execute_task_on(
     // Adjusted contribution of this task (Eq. 8): the accumulated scores,
     // minus α^l·residual for every node whose continuation is handled
     // elsewhere (expanded next-stage nodes always; unexpanded ones too
-    // under DropUnexpanded).
-    let mut contribution = out.accumulated.clone();
-
-    let mut expanded: Vec<(NodeId, f64)> = Vec::new();
+    // under DropUnexpanded). The adjustment happens in place on the
+    // scratch's accumulated vector — it is not needed afterwards.
+    candidates.clear();
     let mut candidates_count = 0usize;
     if !last_stage {
-        let candidates: Vec<(NodeId, f64)> = out
-            .residual
-            .iter()
-            .enumerate()
-            .filter(|&(_, &r)| r > 0.0)
-            .map(|(local, &r)| (local as NodeId, r))
-            .collect();
+        let (contribution, residual) = diffusion.accumulated_mut_residual();
+        candidates.extend(
+            residual
+                .iter()
+                .enumerate()
+                .filter(|&(_, &r)| r > 0.0)
+                .map(|(local, &r)| (local as NodeId, r)),
+        );
         candidates_count = candidates.len();
-        expanded = params.selection.select(candidates);
+        params.selection.select_in_place(candidates);
+        let expanded: &[(NodeId, f64)] = candidates;
 
         match params.residual_policy {
             ResidualPolicy::KeepUnexpanded => {
-                for &(local, r) in &expanded {
+                for &(local, r) in expanded {
                     contribution[local as usize] =
                         (contribution[local as usize] - alpha_l * r).max(0.0);
                 }
             }
             ResidualPolicy::DropUnexpanded => {
                 for (local, c) in contribution.iter_mut().enumerate() {
-                    let r = out.residual[local];
+                    let r = residual[local];
                     if r > 0.0 {
                         *c = (*c - alpha_l * r).max(0.0);
                     }
@@ -232,12 +276,12 @@ pub(crate) fn execute_task_on(
                 // self-retention of the skipped diffusion); expanded nodes
                 // lose their residual entirely as usual.
                 for (local, c) in contribution.iter_mut().enumerate() {
-                    let r = out.residual[local];
+                    let r = residual[local];
                     if r > 0.0 {
                         *c = (*c - params.ppr.alpha * alpha_l * r).max(0.0);
                     }
                 }
-                for &(local, r) in &expanded {
+                for &(local, r) in expanded {
                     contribution[local as usize] = (contribution[local as usize]
                         - (1.0 - params.ppr.alpha) * alpha_l * r)
                         .max(0.0);
@@ -246,42 +290,45 @@ pub(crate) fn execute_task_on(
         }
     }
 
-    let contributions: Vec<(NodeId, f64)> = contribution
-        .iter()
-        .enumerate()
-        .filter(|&(_, &s)| s > 0.0)
-        .map(|(local, &s)| (sub.to_global(local as NodeId), task.weight * s))
-        .collect();
+    contributions.clear();
+    contributions.extend(
+        diffusion
+            .accumulated()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > 0.0)
+            .map(|(local, &s)| (sub.to_global(local as NodeId), task.weight * s)),
+    );
 
-    let children: Vec<TaskSpec> = expanded
-        .iter()
-        .map(|&(local, r)| TaskSpec {
-            node: sub.to_global(local),
-            weight: task.weight * alpha_l * r,
-            stage: task.stage + 1,
-        })
-        .collect();
+    children.clear();
+    children.extend(candidates.iter().map(|&(local, r)| TaskSpec {
+        node: sub.to_global(local),
+        weight: task.weight * alpha_l * r,
+        stage: task.stage + 1,
+    }));
 
-    Ok(TaskOutput {
-        contributions,
-        children,
-        record: DiffusionRecord {
+    Ok((
+        DiffusionRecord {
             stage: task.stage,
             node: task.node,
             weight: task.weight,
             ball_nodes: sub.num_nodes(),
             ball_edges: sub.num_edges(),
             bfs_edges_scanned,
-            diffusion_edge_updates: out.work.edge_updates,
+            diffusion_edge_updates: work.edge_updates,
         },
-        candidates: candidates_count,
-    })
+        candidates_count,
+    ))
 }
 
 /// Mutable accounting shared by the sequential and parallel executors.
+///
+/// The aggregation table is borrowed (typically from a
+/// [`QueryWorkspace`]) so its hash-map storage survives across queries;
+/// [`QueryAccumulator::new`] resets it.
 #[derive(Debug)]
-pub(crate) struct QueryAccumulator {
-    pub(crate) table: GlobalScoreTable,
+pub(crate) struct QueryAccumulator<'t> {
+    pub(crate) table: &'t mut GlobalScoreTable,
     pub(crate) stages: Vec<StageStats>,
     pub(crate) trace: Vec<DiffusionRecord>,
     peak_task: CpuTaskMemory,
@@ -292,13 +339,10 @@ pub(crate) struct QueryAccumulator {
     k: usize,
 }
 
-impl QueryAccumulator {
-    pub(crate) fn new(params: &MelopprParams) -> Self {
+impl<'t> QueryAccumulator<'t> {
+    pub(crate) fn new(params: &MelopprParams, table: &'t mut GlobalScoreTable) -> Self {
         let k = params.ppr.k;
-        let table = match params.table_factor {
-            Some(c) => GlobalScoreTable::bounded(c * k),
-            None => GlobalScoreTable::unbounded(),
-        };
+        table.reset(params.table_factor.map(|c| c * k));
         QueryAccumulator {
             table,
             stages: vec![StageStats::default(); params.stages.len()],
@@ -319,14 +363,29 @@ impl QueryAccumulator {
     /// Merges one task's output (must be called in task order for
     /// bit-for-bit deterministic results).
     pub(crate) fn merge(&mut self, output: &TaskOutput) {
-        let rec = output.record;
-        for &(node, score) in &output.contributions {
+        self.merge_parts(
+            &output.contributions,
+            output.children.len(),
+            output.record,
+            output.candidates,
+        );
+    }
+
+    /// As [`QueryAccumulator::merge`], from borrowed workspace buffers.
+    pub(crate) fn merge_parts(
+        &mut self,
+        contributions: &[(NodeId, f64)],
+        children: usize,
+        rec: DiffusionRecord,
+        candidates: usize,
+    ) {
+        for &(node, score) in contributions {
             self.table.add(node, score);
         }
         let st = &mut self.stages[rec.stage];
         st.diffusions += 1;
-        st.candidates += output.candidates;
-        st.expanded += output.children.len();
+        st.candidates += candidates;
+        st.expanded += children;
         st.bfs_edges_scanned += rec.bfs_edges_scanned;
         st.diffusion_edge_updates += rec.diffusion_edge_updates;
         st.max_ball_nodes = st.max_ball_nodes.max(rec.ball_nodes);
@@ -340,8 +399,8 @@ impl QueryAccumulator {
         self.trace.push(rec);
     }
 
-    pub(crate) fn finish(self) -> MelopprOutcome {
-        let ranking = self.table.ranking(self.k);
+    pub(crate) fn finish(self, ranking_scratch: &mut Vec<(NodeId, f64)>) -> MelopprOutcome {
+        let ranking = self.table.ranking_with(self.k, ranking_scratch);
         let aggregate_entries = self.table.len();
         let stats = MelopprStats {
             total_diffusions: self.trace.len(),
@@ -395,66 +454,137 @@ impl<'g, G: GraphView + ?Sized> MelopprEngine<'g, G> {
     /// Returns [`PprError::Graph`](crate::PprError::Graph) if `seed` is out
     /// of bounds.
     pub fn query(&self, seed: NodeId) -> Result<MelopprOutcome> {
-        let mut acc = QueryAccumulator::new(&self.params);
-        let mut queue: VecDeque<TaskSpec> = VecDeque::new();
-        queue.push_back(TaskSpec {
-            node: seed,
-            weight: 1.0,
-            stage: 0,
-        });
-        while let Some(task) = queue.pop_front() {
-            acc.observe_queue(queue.len() + 1);
-            let output = execute_task(self.graph, &self.params, &task)?;
-            acc.merge(&output);
-            queue.extend(output.children.iter().copied());
-        }
-        Ok(acc.finish())
+        self.query_with(seed, &mut QueryWorkspace::new())
     }
 
-    /// Runs one query, serving sub-graph extractions from (and populating)
-    /// `cache`. Results are identical to [`MelopprEngine::query`]; the
-    /// difference is purely in the BFS work counters, which record zero
-    /// for cache hits — see [`SubgraphCache`](crate::cache::SubgraphCache).
+    /// As [`MelopprEngine::query`], borrowing every per-stage buffer —
+    /// BFS scratch, sub-graph storage, dense score vectors, the task queue
+    /// and the aggregation table — from `ws` instead of allocating.
+    ///
+    /// One workspace serves the whole query across all of its stages and
+    /// is left warm for the next query; results are bit-identical to
+    /// [`MelopprEngine::query`].
     ///
     /// # Errors
     ///
     /// As [`MelopprEngine::query`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the unified query API: `backend::Meloppr::new(g, params)?.with_cache(capacity)`"
-    )]
-    pub fn query_cached(
-        &self,
-        seed: NodeId,
-        cache: &mut crate::cache::SubgraphCache,
-    ) -> Result<MelopprOutcome> {
-        self.query_cached_impl(seed, cache)
+    pub fn query_with(&self, seed: NodeId, ws: &mut QueryWorkspace) -> Result<MelopprOutcome> {
+        staged_query_with(self.graph, &self.params, seed, ws)
     }
 
-    /// Implementation shared by the deprecated method and the
-    /// [`backend::Meloppr`](crate::backend::Meloppr) backend's cached mode.
+    /// Cached-extraction reference query, pinned against the backend's
+    /// cached mode by the cache integration tests.
+    #[cfg(test)]
     pub(crate) fn query_cached_impl(
         &self,
         seed: NodeId,
         cache: &mut crate::cache::SubgraphCache,
     ) -> Result<MelopprOutcome> {
-        let mut acc = QueryAccumulator::new(&self.params);
-        let mut queue: VecDeque<TaskSpec> = VecDeque::new();
-        queue.push_back(TaskSpec {
-            node: seed,
-            weight: 1.0,
-            stage: 0,
-        });
-        while let Some(task) = queue.pop_front() {
-            acc.observe_queue(queue.len() + 1);
-            let depth = self.params.stages[task.stage] as u32;
-            let (sub, bfs_work) = cache.get_or_extract_counted(self.graph, task.node, depth)?;
-            let output = execute_task_on(&sub, bfs_work, &self.params, &task)?;
-            acc.merge(&output);
-            queue.extend(output.children.iter().copied());
-        }
-        Ok(acc.finish())
+        staged_query_cached_with(
+            self.graph,
+            &self.params,
+            seed,
+            cache,
+            &mut QueryWorkspace::new(),
+        )
     }
+}
+
+/// The staged query loop over workspace-owned storage: the engine behind
+/// [`MelopprEngine::query_with`] and the sequential mode of
+/// [`backend::Meloppr`](crate::backend::Meloppr).
+///
+/// `params` must already be validated.
+pub(crate) fn staged_query_with<G: GraphView + ?Sized>(
+    graph: &G,
+    params: &MelopprParams,
+    seed: NodeId,
+    ws: &mut QueryWorkspace,
+) -> Result<MelopprOutcome> {
+    let QueryWorkspace {
+        extract,
+        diffusion,
+        candidates,
+        contributions,
+        children,
+        queue,
+        table,
+        sparse,
+        ..
+    } = ws;
+    let mut acc = QueryAccumulator::new(params, table);
+    queue.clear();
+    queue.push_back(TaskSpec {
+        node: seed,
+        weight: 1.0,
+        stage: 0,
+    });
+    while let Some(task) = queue.pop_front() {
+        acc.observe_queue(queue.len() + 1);
+        let l = params.stages[task.stage];
+        let (sub, bfs_edges) = extract.extract(graph, task.node, l as u32)?;
+        let (record, candidates_count) = execute_task_on_with(
+            sub,
+            bfs_edges,
+            params,
+            &task,
+            diffusion,
+            candidates,
+            contributions,
+            children,
+        )?;
+        acc.merge_parts(contributions, children.len(), record, candidates_count);
+        queue.extend(children.iter().copied());
+    }
+    Ok(acc.finish(sparse))
+}
+
+/// As [`staged_query_with`], serving sub-graph extractions from (and
+/// populating) `cache`. Results are identical; only the BFS work counters
+/// differ, recording zero for cache hits — see
+/// [`SubgraphCache`](crate::cache::SubgraphCache).
+pub(crate) fn staged_query_cached_with<G: GraphView + ?Sized>(
+    graph: &G,
+    params: &MelopprParams,
+    seed: NodeId,
+    cache: &mut crate::cache::SubgraphCache,
+    ws: &mut QueryWorkspace,
+) -> Result<MelopprOutcome> {
+    let QueryWorkspace {
+        diffusion,
+        candidates,
+        contributions,
+        children,
+        queue,
+        table,
+        sparse,
+        ..
+    } = ws;
+    let mut acc = QueryAccumulator::new(params, table);
+    queue.clear();
+    queue.push_back(TaskSpec {
+        node: seed,
+        weight: 1.0,
+        stage: 0,
+    });
+    while let Some(task) = queue.pop_front() {
+        acc.observe_queue(queue.len() + 1);
+        let depth = params.stages[task.stage] as u32;
+        let (sub, bfs_work) = cache.get_or_extract_counted(graph, task.node, depth)?;
+        let (record, candidates_count) = execute_task_on_with(
+            &sub,
+            bfs_work,
+            params,
+            &task,
+            diffusion,
+            candidates,
+            contributions,
+            children,
+        )?;
+        acc.merge_parts(contributions, children.len(), record, candidates_count);
+        queue.extend(children.iter().copied());
+    }
+    Ok(acc.finish(sparse))
 }
 
 #[cfg(test)]

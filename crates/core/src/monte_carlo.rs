@@ -30,33 +30,15 @@ pub struct MonteCarloResult {
 }
 
 /// Estimates PPR scores with `walks` α-decay random walks of maximum
-/// length `params.length`.
+/// length `params.length` (the allocating reference path the test suite
+/// pins the workspace-backed
+/// [`backend::MonteCarlo`](crate::backend::MonteCarlo) against).
 ///
 /// Each walk terminates early with probability `1 - α` per step (the
 /// α-decay), or when the length budget is exhausted; walks stuck on an
 /// isolated node stay there, matching the self-retaining `W` used by the
 /// diffusion kernel.
-///
-/// # Errors
-///
-/// Returns [`PprError::InvalidParams`] if `walks == 0` or the parameters
-/// fail validation, and a graph error for an out-of-bounds seed.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the unified query API: `backend::MonteCarlo::new(g, params, walks, rng_seed)?.query(&QueryRequest::new(seed))`"
-)]
-pub fn monte_carlo_ppr<G: GraphView + ?Sized>(
-    g: &G,
-    seed: NodeId,
-    params: &PprParams,
-    walks: usize,
-    rng_seed: u64,
-) -> Result<MonteCarloResult> {
-    monte_carlo_ppr_impl(g, seed, params, walks, rng_seed)
-}
-
-/// Implementation shared by the deprecated free function and the
-/// [`backend::MonteCarlo`](crate::backend::MonteCarlo) backend.
+#[cfg(test)]
 pub(crate) fn monte_carlo_ppr_impl<G: GraphView + ?Sized>(
     g: &G,
     seed: NodeId,
@@ -64,6 +46,31 @@ pub(crate) fn monte_carlo_ppr_impl<G: GraphView + ?Sized>(
     walks: usize,
     rng_seed: u64,
 ) -> Result<MonteCarloResult> {
+    let mut counts = FastHashMap::default();
+    let mut scores = Vec::new();
+    let (ranking, steps) =
+        monte_carlo_ppr_with(g, seed, params, walks, rng_seed, &mut counts, &mut scores)?;
+    Ok(MonteCarloResult {
+        ranking,
+        scores,
+        steps,
+        walks,
+    })
+}
+
+/// The workspace form of the estimator: terminal counts land in `counts`
+/// and the sparse estimated scores (sorted by node id) in `scores`, both
+/// overwritten. Returns the ranking and the step count. Bit-identical to
+/// [`monte_carlo_ppr_impl`].
+pub(crate) fn monte_carlo_ppr_with<G: GraphView + ?Sized>(
+    g: &G,
+    seed: NodeId,
+    params: &PprParams,
+    walks: usize,
+    rng_seed: u64,
+    counts: &mut FastHashMap<NodeId, usize>,
+    scores: &mut Vec<(NodeId, f64)>,
+) -> Result<(Ranking, usize)> {
     params.validate()?;
     if walks == 0 {
         return Err(PprError::InvalidParams {
@@ -81,7 +88,7 @@ pub(crate) fn monte_carlo_ppr_impl<G: GraphView + ?Sized>(
     let mut rng = SmallRng::seed_from_u64(rng_seed);
     // FastHashMap (not std's randomly-seeded SipHash) keeps iteration
     // effects off the query path; the sort below pins the output order.
-    let mut counts: FastHashMap<NodeId, usize> = FastHashMap::default();
+    counts.clear();
     let mut steps = 0usize;
     for _ in 0..walks {
         let mut node = seed;
@@ -100,18 +107,11 @@ pub(crate) fn monte_carlo_ppr_impl<G: GraphView + ?Sized>(
         }
         *counts.entry(node).or_insert(0) += 1;
     }
-    let mut scores: Vec<(NodeId, f64)> = counts
-        .into_iter()
-        .map(|(v, c)| (v, c as f64 / walks as f64))
-        .collect();
+    scores.clear();
+    scores.extend(counts.iter().map(|(&v, &c)| (v, c as f64 / walks as f64)));
     scores.sort_unstable_by_key(|&(v, _)| v);
-    let ranking = top_k_sparse(&scores, params.k);
-    Ok(MonteCarloResult {
-        ranking,
-        scores,
-        steps,
-        walks,
-    })
+    let ranking = top_k_sparse(scores, params.k);
+    Ok((ranking, steps))
 }
 
 #[cfg(test)]

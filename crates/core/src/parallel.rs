@@ -12,36 +12,11 @@
 use meloppr_graph::{GraphView, NodeId};
 
 use crate::error::{PprError, Result};
+use crate::global_table::GlobalScoreTable;
 use crate::meloppr::{execute_task, MelopprOutcome, QueryAccumulator, TaskSpec};
 use crate::params::MelopprParams;
 
-/// Runs one MeLoPPR query with stage-level parallelism.
-///
-/// `threads` is the worker count; `1` degenerates to the sequential
-/// schedule (still through the same code path).
-///
-/// # Errors
-///
-/// Returns [`PprError::InvalidParams`] if `threads == 0` or the parameters
-/// fail validation, plus any graph error from the underlying query.
-///
-#[deprecated(
-    since = "0.1.0",
-    note = "use the unified query API: `backend::Meloppr::new(g, params)?.with_threads(n)?.query(&QueryRequest::new(seed))`"
-)]
-pub fn parallel_query<G>(
-    graph: &G,
-    params: &MelopprParams,
-    seed: NodeId,
-    threads: usize,
-) -> Result<MelopprOutcome>
-where
-    G: GraphView + Sync + ?Sized,
-{
-    parallel_query_impl(graph, params, seed, threads)
-}
-
-/// Implementation shared by the deprecated free function and the
+/// Stage-parallel query, used by the
 /// [`backend::Meloppr`](crate::backend::Meloppr) backend's threaded mode.
 pub(crate) fn parallel_query_impl<G>(
     graph: &G,
@@ -59,7 +34,8 @@ where
         });
     }
 
-    let mut acc = QueryAccumulator::new(params);
+    let mut table = GlobalScoreTable::unbounded();
+    let mut acc = QueryAccumulator::new(params, &mut table);
     let mut frontier: Vec<TaskSpec> = vec![TaskSpec {
         node: seed,
         weight: 1.0,
@@ -76,7 +52,7 @@ where
         }
         frontier = next;
     }
-    Ok(acc.finish())
+    Ok(acc.finish(&mut Vec::new()))
 }
 
 /// Executes all tasks of one stage, preserving task order in the output.

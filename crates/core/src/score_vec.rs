@@ -44,15 +44,24 @@ where
     I: Iterator<Item = (NodeId, f64)>,
 {
     let mut all: Vec<(NodeId, f64)> = entries.collect();
+    top_k_in_place(&mut all, k);
+    all
+}
+
+/// Reduces a caller-owned `(node, score)` buffer to its top-`k` in place
+/// — the zero-allocation form of [`top_k_sparse`]. Entries need not be
+/// sorted; nodes must be unique. After the call the buffer holds the
+/// ranking (descending score, ties by ascending node id).
+pub fn top_k_in_place(entries: &mut Vec<(NodeId, f64)>, k: usize) {
+    entries.retain(|&(_, s)| s > 0.0);
     let cmp =
         |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0));
-    if all.len() > k && k > 0 {
-        all.select_nth_unstable_by(k - 1, cmp);
-        all.truncate(k);
+    if entries.len() > k && k > 0 {
+        entries.select_nth_unstable_by(k - 1, cmp);
+        entries.truncate(k);
     }
-    all.sort_unstable_by(cmp);
-    all.truncate(k);
-    all
+    entries.sort_unstable_by(cmp);
+    entries.truncate(k);
 }
 
 /// The node set of a ranking (for precision computations). Keyed by the

@@ -63,6 +63,14 @@ impl SelectionStrategy {
     /// truncates them according to the strategy. Zero-score candidates are
     /// dropped first.
     pub fn select(&self, mut candidates: Vec<(NodeId, f64)>) -> Vec<(NodeId, f64)> {
+        self.select_in_place(&mut candidates);
+        candidates
+    }
+
+    /// As [`SelectionStrategy::select`], but operates on a caller-owned
+    /// buffer in place (sort + truncate, no allocation). After the call,
+    /// `candidates` holds exactly the selected entries in selection order.
+    pub fn select_in_place(&self, candidates: &mut Vec<(NodeId, f64)>) {
         candidates.retain(|&(_, s)| s > 0.0);
         candidates.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let keep = match *self {
@@ -82,7 +90,6 @@ impl SelectionStrategy {
             }
         };
         candidates.truncate(keep);
-        candidates
     }
 }
 

@@ -1,0 +1,146 @@
+//! The reusable per-query scratch arena — the heart of the
+//! zero-allocation query path.
+//!
+//! Every PPR query needs the same transient storage: BFS frontiers and
+//! visited maps, an extracted [`Subgraph`](meloppr_graph::Subgraph),
+//! dense `f64` score vectors, candidate/selection buffers, a task queue
+//! and an aggregation table. Allocating them per query caps serving
+//! throughput at the allocator, not the graph — precisely the failure
+//! mode MeLoPPR's small staged working sets are meant to avoid (§IV-A).
+//!
+//! [`QueryWorkspace`] owns all of it. Each
+//! [`PprBackend`](crate::backend::PprBackend) borrows a workspace for
+//! the duration of a query (`query_with`) and leaves its buffers warm
+//! for the next one; after a warm-up query, the steady-state hot path
+//! performs no heap allocation beyond the returned
+//! [`QueryOutcome`](crate::backend::QueryOutcome) itself (asserted by
+//! the `alloc_smoke` integration test).
+//!
+//! [`WorkspacePool`] shares workspaces across calls on a `&self` backend:
+//! `query` checks one out and returns it, and the batched executor
+//! ([`BatchExecutor`](crate::backend::BatchExecutor)) keeps one workspace
+//! per worker thread.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use meloppr_graph::{ExtractScratch, FastHashMap, NodeId};
+
+use crate::diffusion::DiffusionScratch;
+use crate::global_table::GlobalScoreTable;
+use crate::meloppr::TaskSpec;
+
+/// Scratch arena holding every reusable buffer of the query hot path.
+///
+/// Create one with [`QueryWorkspace::new`] and thread it through
+/// [`PprBackend::query_with`](crate::backend::PprBackend::query_with);
+/// buffers grow to the largest query seen and are then reused as-is.
+/// A workspace is cheap when idle (empty vectors) and holds no
+/// query-visible state: reusing one is bit-identical to a fresh one.
+#[derive(Debug, Default)]
+pub struct QueryWorkspace {
+    /// Ball extraction storage (BFS visited map/queue + subgraph buffers).
+    pub extract: ExtractScratch,
+    /// Dense diffusion vectors and frontier stacks.
+    pub diffusion: DiffusionScratch,
+    /// Next-stage candidate buffer (residual support before selection).
+    pub(crate) candidates: Vec<(NodeId, f64)>,
+    /// Weighted global-id contribution buffer of one task.
+    pub(crate) contributions: Vec<(NodeId, f64)>,
+    /// Children spawned by one task, in selection order.
+    pub(crate) children: Vec<TaskSpec>,
+    /// The staged engine's pending-task queue.
+    pub(crate) queue: VecDeque<TaskSpec>,
+    /// Reused aggregation table (reset per query).
+    pub(crate) table: GlobalScoreTable,
+    /// General sparse `(node, score)` buffer: ranking extraction,
+    /// Monte-Carlo score lists, dense-to-sparse conversions.
+    pub(crate) sparse: Vec<(NodeId, f64)>,
+    /// Monte-Carlo terminal counts.
+    pub(crate) mc_counts: FastHashMap<NodeId, usize>,
+}
+
+impl QueryWorkspace {
+    /// An empty workspace; every buffer grows on first use and is
+    /// retained across queries.
+    pub fn new() -> Self {
+        QueryWorkspace::default()
+    }
+}
+
+/// A lock-protected stack of idle [`QueryWorkspace`]s.
+///
+/// Backends keep one pool so `query(&self)` can reuse scratch storage
+/// without exclusive access to the backend: a query checks a workspace
+/// out, runs, and returns it. Under a concurrent batch the pool holds at
+/// most one workspace per worker that ever ran (bounded by
+/// [`WorkspacePool::MAX_IDLE`]).
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    idle: Mutex<Vec<QueryWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// Idle workspaces retained beyond this are dropped on release, so a
+    /// burst of concurrency cannot pin memory forever.
+    pub const MAX_IDLE: usize = 32;
+
+    /// An empty pool.
+    pub fn new() -> Self {
+        WorkspacePool::default()
+    }
+
+    /// Checks out an idle workspace, creating a fresh one if none is
+    /// available.
+    pub fn acquire(&self) -> QueryWorkspace {
+        self.idle
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a workspace to the pool for the next query.
+    pub fn release(&self, ws: QueryWorkspace) {
+        let mut idle = self.idle.lock().expect("workspace pool poisoned");
+        if idle.len() < Self::MAX_IDLE {
+            idle.push(ws);
+        }
+    }
+
+    /// Number of idle workspaces currently pooled.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().expect("workspace pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_released_workspaces() {
+        let pool = WorkspacePool::new();
+        let mut ws = pool.acquire();
+        ws.sparse.push((7, 0.5));
+        pool.release(ws);
+        assert_eq!(pool.idle_len(), 1);
+        let ws = pool.acquire();
+        assert_eq!(pool.idle_len(), 0);
+        // Buffer capacity survives the round trip (contents are cleared
+        // by each consumer before use, not by the pool).
+        assert!(ws.sparse.capacity() >= 1);
+    }
+
+    #[test]
+    fn pool_caps_idle_workspaces() {
+        let pool = WorkspacePool::new();
+        let many: Vec<QueryWorkspace> = (0..WorkspacePool::MAX_IDLE + 5)
+            .map(|_| QueryWorkspace::new())
+            .collect();
+        for ws in many {
+            pool.release(ws);
+        }
+        assert_eq!(pool.idle_len(), WorkspacePool::MAX_IDLE);
+    }
+}

@@ -13,7 +13,9 @@ use meloppr_core::backend::{
     PprBackend, QueryOutcome, QueryRequest, QueryStats, WorkProfile,
 };
 use meloppr_core::memory::{fpga_bram_bytes, fpga_global_table_bytes};
-use meloppr_core::{BackendError, MelopprParams, PprError, StageStats};
+use meloppr_core::{
+    BackendError, MelopprParams, PprError, QueryWorkspace, StageStats, WorkspacePool,
+};
 use meloppr_graph::GraphView;
 
 use crate::error::FpgaError;
@@ -62,6 +64,7 @@ pub struct FpgaHybrid<'g, G: GraphView + ?Sized> {
     config: HybridConfig,
     engine: HybridMeloppr<'g, G>,
     profile: WorkProfile,
+    pool: WorkspacePool,
 }
 
 impl<'g, G: GraphView + ?Sized> FpgaHybrid<'g, G> {
@@ -81,6 +84,7 @@ impl<'g, G: GraphView + ?Sized> FpgaHybrid<'g, G> {
             config,
             engine,
             profile,
+            pool: WorkspacePool::new(),
         })
     }
 
@@ -157,7 +161,7 @@ impl<G: GraphView + ?Sized> PprBackend for FpgaHybrid<'_, G> {
             exact: false, // fixed-point truncation is always in play
             deterministic: true,
             accelerated: true,
-            batch_aware: false,
+            batch_aware: true,
         }
     }
 
@@ -186,12 +190,20 @@ impl<G: GraphView + ?Sized> PprBackend for FpgaHybrid<'_, G> {
         })
     }
 
-    fn query(&self, req: &QueryRequest) -> meloppr_core::Result<QueryOutcome> {
+    fn workspace_pool(&self) -> Option<&WorkspacePool> {
+        Some(&self.pool)
+    }
+
+    fn query_with(
+        &self,
+        req: &QueryRequest,
+        ws: &mut QueryWorkspace,
+    ) -> meloppr_core::Result<QueryOutcome> {
         let outcome = if req.k.is_none() && req.overrides == Default::default() {
-            self.engine.query(req.seed)?
+            self.engine.query_with(req.seed, ws)?
         } else {
             let params = self.effective_meloppr(req)?;
-            HybridMeloppr::new(self.graph, params, self.config)?.query(req.seed)?
+            HybridMeloppr::new(self.graph, params, self.config)?.query_with(req.seed, ws)?
         };
         Ok(self.normalize(outcome))
     }

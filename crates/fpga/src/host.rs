@@ -15,8 +15,8 @@
 use std::collections::VecDeque;
 
 use meloppr_core::memory::fpga_bram_bytes;
-use meloppr_core::{MelopprParams, Ranking, ResidualPolicy};
-use meloppr_graph::{bfs_ball, GraphView, NodeId, Subgraph};
+use meloppr_core::{MelopprParams, QueryWorkspace, Ranking, ResidualPolicy};
+use meloppr_graph::{GraphView, NodeId};
 
 use crate::accelerator::{AcceleratorConfig, FpgaAccelerator};
 use crate::error::Result;
@@ -186,6 +186,18 @@ impl<'g, G: GraphView + ?Sized> HybridMeloppr<'g, G> {
     /// [`FpgaError::CapacityExceeded`](crate::FpgaError::CapacityExceeded)
     /// if a sub-graph overflows the PE array.
     pub fn query(&self, seed: NodeId) -> Result<HybridOutcome> {
+        self.query_with(seed, &mut QueryWorkspace::new())
+    }
+
+    /// As [`HybridMeloppr::query`], borrowing the host-side extraction
+    /// storage (BFS scratch + sub-graph buffers) from `ws` — the PS-side
+    /// half of the zero-allocation query path. Results are bit-identical
+    /// to [`HybridMeloppr::query`].
+    ///
+    /// # Errors
+    ///
+    /// As [`HybridMeloppr::query`].
+    pub fn query_with(&self, seed: NodeId, ws: &mut QueryWorkspace) -> Result<HybridOutcome> {
         let p = &self.params;
         let fmt = &self.format;
         let mut table = IntGlobalTable::new(self.table_capacity);
@@ -210,15 +222,15 @@ impl<'g, G: GraphView + ?Sized> HybridMeloppr<'g, G> {
             let l = p.stages[task.stage];
             let last_stage = task.stage + 1 == p.stages.len();
 
-            // Host: BFS extraction + reorganization.
-            let ball = bfs_ball(self.graph, task.node, l as u32)?;
-            let sub = Subgraph::extract(self.graph, &ball)?;
-            host_ns += ball.edges_scanned as f64 * self.config.host.ns_per_bfs_edge
-                + ball.num_nodes() as f64 * self.config.host.ns_per_extract_node;
+            // Host: BFS extraction + reorganization, through the reusable
+            // workspace (no per-task allocation in steady state).
+            let (sub, bfs_edges_scanned) = ws.extract.extract(self.graph, task.node, l as u32)?;
+            host_ns += bfs_edges_scanned as f64 * self.config.host.ns_per_bfs_edge
+                + sub.num_nodes() as f64 * self.config.host.ns_per_extract_node;
 
             // Stream the sub-graph table in (overlapped with the previous
             // task's compute when double-buffered).
-            let stream_in = self.accel.stream_in_cycles(&sub);
+            let stream_in = self.accel.stream_in_cycles(sub);
             cycles.data_movement += if self.config.double_buffered {
                 stream_in.saturating_sub(prev_compute)
             } else {
@@ -226,7 +238,7 @@ impl<'g, G: GraphView + ?Sized> HybridMeloppr<'g, G> {
             };
 
             // FPGA: integer diffusion.
-            let result = self.accel.run_diffusion(&sub, fmt.max_value(), l, fmt)?;
+            let result = self.accel.run_diffusion(sub, fmt.max_value(), l, fmt)?;
             cycles.diffusion += result.cycles.diffusion;
             cycles.scheduling += result.cycles.scheduling;
             truncation_loss += result.truncation_loss;
@@ -308,7 +320,7 @@ impl<'g, G: GraphView + ?Sized> HybridMeloppr<'g, G> {
 
             stage_diffusions[task.stage] += 1;
             expanded_total += expanded.len();
-            let bn = ball.num_nodes();
+            let bn = sub.num_nodes();
             let be = sub.num_edges();
             if fpga_bram_bytes(bn, be) > fpga_bram_bytes(max_ball.0, max_ball.1) {
                 max_ball = (bn, be);

@@ -20,7 +20,10 @@ use crate::NodeId;
 ///
 /// `nodes[0]` is always the seed; nodes appear in BFS (non-decreasing
 /// distance) order, with `dist[i]` the hop distance of `nodes[i]`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `Default` value is an empty ball (no nodes); it exists so callers
+/// can own reusable storage and fill it with [`bfs_ball_into`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BfsBall {
     /// The node the search started from.
     pub seed: NodeId,
@@ -76,17 +79,63 @@ impl BfsBall {
 /// # }
 /// ```
 pub fn bfs_ball<G: GraphView + ?Sized>(g: &G, seed: NodeId, depth: u32) -> Result<BfsBall> {
+    let mut ball = BfsBall::default();
+    bfs_ball_into(g, seed, depth, &mut BfsScratch::new(), &mut ball)?;
+    Ok(ball)
+}
+
+/// Reusable working memory for [`bfs_ball_into`]: the visited map and the
+/// expansion queue.
+///
+/// Dropping and re-creating these per search is the dominant allocation
+/// cost of ball extraction; a scratch kept across searches amortizes it to
+/// zero once capacities have warmed up.
+#[derive(Debug, Default)]
+pub struct BfsScratch {
+    seen: FastHashMap<NodeId, u32>,
+    queue: VecDeque<(NodeId, u32)>,
+}
+
+impl BfsScratch {
+    /// An empty scratch; capacities grow on first use and are retained.
+    pub fn new() -> Self {
+        BfsScratch::default()
+    }
+}
+
+/// As [`bfs_ball`], but fills caller-owned storage instead of allocating.
+///
+/// `out` is cleared and overwritten; `scratch` is cleared and reused. In
+/// steady state (capacities warmed up to the largest ball seen) the search
+/// performs no heap allocation.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if `seed` is not a node of `g`.
+pub fn bfs_ball_into<G: GraphView + ?Sized>(
+    g: &G,
+    seed: NodeId,
+    depth: u32,
+    scratch: &mut BfsScratch,
+    out: &mut BfsBall,
+) -> Result<()> {
     if seed as usize >= g.num_nodes() {
         return Err(GraphError::NodeOutOfBounds {
             node: seed,
             num_nodes: g.num_nodes(),
         });
     }
-    let mut nodes = vec![seed];
-    let mut dist = vec![0u32];
-    let mut seen: FastHashMap<NodeId, u32> = FastHashMap::default();
+    out.seed = seed;
+    out.depth = depth;
+    out.nodes.clear();
+    out.dist.clear();
+    out.nodes.push(seed);
+    out.dist.push(0);
+    let seen = &mut scratch.seen;
+    let queue = &mut scratch.queue;
+    seen.clear();
+    queue.clear();
     seen.insert(seed, 0);
-    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
     queue.push_back((seed, 0));
     let mut edges_scanned = 0usize;
 
@@ -99,19 +148,14 @@ pub fn bfs_ball<G: GraphView + ?Sized>(g: &G, seed: NodeId, depth: u32) -> Resul
         for &v in nbrs {
             if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(v) {
                 slot.insert(d + 1);
-                nodes.push(v);
-                dist.push(d + 1);
+                out.nodes.push(v);
+                out.dist.push(d + 1);
                 queue.push_back((v, d + 1));
             }
         }
     }
-    Ok(BfsBall {
-        seed,
-        depth,
-        nodes,
-        dist,
-        edges_scanned,
-    })
+    out.edges_scanned = edges_scanned;
+    Ok(())
 }
 
 /// Full-graph BFS distances from `seed` (`u32::MAX` for unreachable nodes).
@@ -335,6 +379,31 @@ mod tests {
             let growth = ball_growth(&g, 12, depth).unwrap();
             assert_eq!(growth[depth as usize].nodes, ball.num_nodes());
         }
+    }
+
+    #[test]
+    fn bfs_ball_into_reuse_matches_fresh() {
+        let g = generators::grid(6, 6).unwrap();
+        let mut scratch = BfsScratch::new();
+        let mut ball = BfsBall::default();
+        // Prime the scratch with an unrelated (larger) search, then redo
+        // every fresh search through the reused storage.
+        bfs_ball_into(&g, 0, 5, &mut scratch, &mut ball).unwrap();
+        for seed in [0u32, 7, 35] {
+            for depth in 0..4 {
+                let fresh = bfs_ball(&g, seed, depth).unwrap();
+                bfs_ball_into(&g, seed, depth, &mut scratch, &mut ball).unwrap();
+                assert_eq!(ball, fresh, "seed {seed} depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_ball_into_rejects_bad_seed() {
+        let g = generators::path(3).unwrap();
+        let mut scratch = BfsScratch::new();
+        let mut ball = BfsBall::default();
+        assert!(bfs_ball_into(&g, 99, 1, &mut scratch, &mut ball).is_err());
     }
 
     #[test]

@@ -60,13 +60,15 @@ pub mod edge_list;
 mod error;
 pub mod fast_hash;
 pub mod generators;
+mod scratch;
 mod subgraph;
 mod view;
 
-pub use bfs::{ball_growth, bfs_ball, bfs_distances, BallSize, BfsBall};
+pub use bfs::{ball_growth, bfs_ball, bfs_ball_into, bfs_distances, BallSize, BfsBall, BfsScratch};
 pub use builder::{GraphBuilder, SelfLoopPolicy};
 pub use csr::{CsrGraph, Edges};
 pub use error::{GraphError, Result};
 pub use fast_hash::{FastHashMap, FastHashSet};
+pub use scratch::ExtractScratch;
 pub use subgraph::{Subgraph, SubgraphBytes};
 pub use view::GraphView;

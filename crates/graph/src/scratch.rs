@@ -1,0 +1,122 @@
+//! Reusable ball-extraction storage — the graph half of the query
+//! workspace.
+//!
+//! MeLoPPR extracts a BFS ball and its induced [`Subgraph`] before every
+//! diffusion task. Done naively that is four allocations and a hash map
+//! per task; a PPR server doing millions of queries ends up bounded by
+//! the allocator rather than the graph. [`ExtractScratch`] owns all of
+//! that storage — the BFS visited map and queue, the [`BfsBall`] arrays
+//! and the sub-graph's CSR/id-map/degree buffers — and refills it in
+//! place on every call, so steady-state extraction allocates nothing.
+//!
+//! `meloppr-core` embeds one of these in its `QueryWorkspace`; the FPGA
+//! host simulator drives it directly for its PS-side extraction loop.
+
+use crate::bfs::{bfs_ball_into, BfsBall, BfsScratch};
+use crate::error::Result;
+use crate::subgraph::Subgraph;
+use crate::view::GraphView;
+use crate::NodeId;
+
+/// Owns every buffer needed to turn `(seed, depth)` into an extracted
+/// [`Subgraph`], reusing the storage across calls.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_graph::{generators, ExtractScratch};
+///
+/// # fn main() -> Result<(), meloppr_graph::GraphError> {
+/// let g = generators::karate_club();
+/// let mut scratch = ExtractScratch::new();
+/// let (sub, bfs_edges) = scratch.extract(&g, 0, 2)?;
+/// assert_eq!(sub.to_global(sub.seed_local()), 0);
+/// assert!(bfs_edges > 0);
+/// // The next extraction reuses the same buffers.
+/// let (sub, _) = scratch.extract(&g, 33, 1)?;
+/// assert_eq!(sub.to_global(0), 33);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    bfs: BfsScratch,
+    ball: BfsBall,
+    sub: Option<Subgraph>,
+}
+
+impl ExtractScratch {
+    /// An empty scratch; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        ExtractScratch::default()
+    }
+
+    /// Extracts the induced sub-graph of the depth-`depth` ball around
+    /// `seed`, reusing this scratch's storage.
+    ///
+    /// Returns the sub-graph (borrowed from the scratch — it stays valid
+    /// until the next `extract` call) and the adjacency entries scanned by
+    /// the BFS (the host-side work counter). Results are bit-identical to
+    /// [`bfs_ball`](crate::bfs_ball) + [`Subgraph::extract`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`](crate::GraphError) if
+    /// `seed` is not a node of `g`.
+    pub fn extract<'a, G: GraphView + ?Sized>(
+        &'a mut self,
+        g: &G,
+        seed: NodeId,
+        depth: u32,
+    ) -> Result<(&'a Subgraph, usize)> {
+        bfs_ball_into(g, seed, depth, &mut self.bfs, &mut self.ball)?;
+        let reuse = self.sub.take();
+        self.sub = Some(Subgraph::extract_reusing(g, &self.ball, reuse)?);
+        Ok((
+            self.sub.as_ref().expect("just inserted"),
+            self.ball.edges_scanned,
+        ))
+    }
+
+    /// The ball of the most recent extraction (empty before the first).
+    pub fn ball(&self) -> &BfsBall {
+        &self.ball
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_ball;
+    use crate::generators;
+
+    #[test]
+    fn reused_scratch_matches_fresh_extraction() {
+        let g = generators::grid(7, 5).unwrap();
+        let mut scratch = ExtractScratch::new();
+        // Warm with the largest ball first so later calls are pure reuse.
+        scratch.extract(&g, 17, 4).unwrap();
+        for (seed, depth) in [(0u32, 2), (17, 3), (34, 1), (5, 0)] {
+            let ball = bfs_ball(&g, seed, depth).unwrap();
+            let fresh = Subgraph::extract(&g, &ball).unwrap();
+            let (sub, bfs_edges) = scratch.extract(&g, seed, depth).unwrap();
+            assert_eq!(bfs_edges, ball.edges_scanned);
+            assert_eq!(sub.global_ids(), fresh.global_ids());
+            assert_eq!(sub.num_edges(), fresh.num_edges());
+            for local in 0..fresh.num_nodes() as NodeId {
+                assert_eq!(sub.neighbors(local), fresh.neighbors(local));
+                assert_eq!(sub.walk_degree(local), fresh.walk_degree(local));
+            }
+            assert_eq!(scratch.ball(), &ball);
+        }
+    }
+
+    #[test]
+    fn errors_leave_scratch_usable() {
+        let g = generators::path(4).unwrap();
+        let mut scratch = ExtractScratch::new();
+        assert!(scratch.extract(&g, 99, 1).is_err());
+        let (sub, _) = scratch.extract(&g, 1, 1).unwrap();
+        assert_eq!(sub.num_nodes(), 3);
+    }
+}

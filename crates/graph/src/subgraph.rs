@@ -46,9 +46,51 @@ impl Subgraph {
     /// Returns [`GraphError::NodeOutOfBounds`] if the ball references nodes
     /// outside `parent` (i.e. the ball was computed on a different graph).
     pub fn extract<G: GraphView + ?Sized>(parent: &G, ball: &BfsBall) -> Result<Self> {
+        Self::extract_reusing(parent, ball, None)
+    }
+
+    /// As [`Subgraph::extract`], but harvests the internal buffers of a
+    /// previously extracted sub-graph instead of allocating fresh ones.
+    ///
+    /// In steady state (buffer capacities warmed up to the largest ball
+    /// seen) extraction performs no heap allocation. The result is
+    /// bit-identical to [`Subgraph::extract`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Subgraph::extract`]. On error the reused buffers are dropped.
+    pub fn extract_reusing<G: GraphView + ?Sized>(
+        parent: &G,
+        ball: &BfsBall,
+        reuse: Option<Subgraph>,
+    ) -> Result<Self> {
         let n = ball.nodes.len();
-        let mut global_to_local: FastHashMap<NodeId, NodeId> =
-            FastHashMap::with_capacity_and_hasher(n, Default::default());
+        let (mut offsets, mut neighbors, mut global_ids, mut global_to_local, mut walk_degrees) =
+            match reuse {
+                Some(prev) => {
+                    let (offsets, neighbors) = prev.csr.into_parts();
+                    (
+                        offsets,
+                        neighbors,
+                        prev.global_ids,
+                        prev.global_to_local,
+                        prev.walk_degrees,
+                    )
+                }
+                None => (
+                    Vec::with_capacity(n + 1),
+                    Vec::new(),
+                    Vec::with_capacity(n),
+                    FastHashMap::with_capacity_and_hasher(n, Default::default()),
+                    Vec::with_capacity(n),
+                ),
+            };
+        offsets.clear();
+        neighbors.clear();
+        global_ids.clear();
+        global_to_local.clear();
+        walk_degrees.clear();
+
         for (local, &global) in ball.nodes.iter().enumerate() {
             if global as usize >= parent.num_nodes() {
                 return Err(GraphError::NodeOutOfBounds {
@@ -59,10 +101,7 @@ impl Subgraph {
             global_to_local.insert(global, local as NodeId);
         }
 
-        let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
-        let mut neighbors: Vec<NodeId> = Vec::new();
-        let mut walk_degrees = Vec::with_capacity(n);
         for &global in &ball.nodes {
             let start = neighbors.len();
             for &nbr in parent.neighbors(global) {
@@ -74,11 +113,12 @@ impl Subgraph {
             offsets.push(neighbors.len());
             walk_degrees.push(parent.walk_degree(global));
         }
+        global_ids.extend_from_slice(&ball.nodes);
 
         let csr = CsrGraph::from_parts(offsets, neighbors)?;
         Ok(Subgraph {
             csr,
-            global_ids: ball.nodes.clone(),
+            global_ids,
             global_to_local,
             walk_degrees,
             seed_local: 0,
@@ -275,6 +315,28 @@ mod tests {
         assert!(bytes.id_maps > 0);
         assert!(bytes.degrees > 0);
         assert_eq!(bytes.total(), bytes.csr + bytes.id_maps + bytes.degrees);
+    }
+
+    #[test]
+    fn extract_reusing_matches_fresh_extraction() {
+        let g = generators::grid(6, 4).unwrap();
+        // Prime a reusable subgraph with a large ball, then re-extract
+        // smaller and differently-shaped balls through its buffers.
+        let mut reused = Some(Subgraph::extract(&g, &bfs_ball(&g, 7, 3).unwrap()).unwrap());
+        for (seed, depth) in [(0u32, 1), (7, 2), (12, 3), (23, 0)] {
+            let ball = bfs_ball(&g, seed, depth).unwrap();
+            let fresh = Subgraph::extract(&g, &ball).unwrap();
+            let recycled = Subgraph::extract_reusing(&g, &ball, reused.take()).unwrap();
+            assert_eq!(recycled.num_nodes(), fresh.num_nodes());
+            assert_eq!(recycled.num_edges(), fresh.num_edges());
+            assert_eq!(recycled.global_ids(), fresh.global_ids());
+            for local in 0..fresh.num_nodes() as NodeId {
+                assert_eq!(recycled.neighbors(local), fresh.neighbors(local));
+                assert_eq!(recycled.walk_degree(local), fresh.walk_degree(local));
+                assert_eq!(recycled.to_global(local), fresh.to_global(local));
+            }
+            reused = Some(recycled);
+        }
     }
 
     #[test]

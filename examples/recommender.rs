@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example recommender`
 
-use meloppr::backend::{Meloppr, PprBackend, QueryRequest};
+use meloppr::backend::{BatchExecutor, Meloppr, QueryRequest};
 use meloppr::core::precision::precision_at_k;
 use meloppr::graph::generators;
 use meloppr::{exact_top_k, MelopprParams, PprParams, SelectionStrategy};
@@ -33,12 +33,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SelectionStrategy::TopFraction(0.05),
     )?;
     // A who-to-follow service would keep one backend per graph shard and
-    // feed it QueryRequests; the LRU cache pays off on hub re-expansion.
-    let backend = Meloppr::new(&graph, params)?.with_cache(256);
+    // feed it whole request batches: the executor runs them on a scoped
+    // worker pool with one reusable query workspace per worker.
+    let backend = Meloppr::new(&graph, params)?;
 
-    for user in [10u32, 760, 1510] {
+    let users = [10u32, 760, 1510];
+    let requests: Vec<QueryRequest> = users.iter().map(|&u| QueryRequest::new(u)).collect();
+    let batch = BatchExecutor::new(2)?.run(&backend, &requests)?;
+    println!(
+        "served {} users in {:.2} ms ({:.0} queries/s)",
+        batch.stats.queries,
+        batch.stats.wall_clock.as_secs_f64() * 1e3,
+        batch.stats.throughput_qps()
+    );
+
+    for (&user, outcome) in users.iter().zip(&batch.outcomes) {
         let community = user as usize / BLOCK_SIZE;
-        let outcome = backend.query(&QueryRequest::new(user))?;
         let same_community = outcome
             .ranking
             .iter()

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! meloppr-cli info   <graph>
-//! meloppr-cli query  <graph> --seed-node N [--k K] [--length L]
+//! meloppr-cli query  <graph> (--seed-node N | --batch-file F) [--k K] [--length L]
 //!                    [--stages a,b,..] [--ratio R] [--alpha A]
 //!                    [--backend auto|exact|local|mc|meloppr|fpga] [--fpga]
 //!                    [--walks W] [--threads T]
@@ -18,6 +18,14 @@
 //! Queries go through the unified `PprBackend` API. `--backend auto`
 //! (the default) registers every solver in a `Router` and lets the
 //! budget flags decide; naming a backend pins it.
+//!
+//! `--batch-file F` reads whitespace-separated seed nodes (with `#`
+//! comments) from `F` and serves the whole batch, printing aggregate
+//! batch statistics. With a pinned backend the batch runs through the
+//! `BatchExecutor` — `--threads` sets the worker count, one reusable
+//! query workspace per worker. With `--backend auto` each request is
+//! routed individually (sequentially; `--threads` then only sets the
+//! staged backend's intra-query parallelism).
 
 use std::process::ExitCode;
 
@@ -28,8 +36,8 @@ use meloppr::graph::edge_list::{read_edge_list_file, EdgeListOptions};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::graph::{components, CsrGraph};
 use meloppr::{
-    exact_top_k, AcceleratorConfig, FpgaHybrid, HybridConfig, MelopprParams, NodeId, PprBackend,
-    PprParams, QueryRequest, Router, SelectionStrategy,
+    exact_top_k, AcceleratorConfig, BatchExecutor, BatchStats, FpgaHybrid, HybridConfig,
+    MelopprParams, NodeId, PprBackend, PprParams, QueryRequest, Router, SelectionStrategy,
 };
 
 fn main() -> ExitCode {
@@ -46,14 +54,17 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   meloppr-cli info  <graph>
-  meloppr-cli query <graph> --seed-node N [--k K] [--length L] \\
+  meloppr-cli query <graph> (--seed-node N | --batch-file F) [--k K] [--length L] \\
                     [--stages a,b,..] [--ratio R] [--alpha A] \\
                     [--backend auto|exact|local|mc|meloppr|fpga] [--fpga] \\
                     [--walks W] [--threads T] \\
                     [--max-latency-ms X] [--max-memory-kb X] [--min-precision P]
   meloppr-cli exact <graph> --seed-node N [--k K] [--length L] [--alpha A]
 
-  <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]";
+  <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]
+  --batch-file F = whitespace-separated seed nodes ('#' comments);
+                   pinned backends batch with --threads workers,
+                   --backend auto routes each request individually";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -130,6 +141,7 @@ enum BackendChoice {
 
 struct QueryArgs {
     seed: NodeId,
+    batch_file: Option<String>,
     k: usize,
     length: usize,
     alpha: f64,
@@ -146,6 +158,7 @@ struct QueryArgs {
 fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
     let mut out = QueryArgs {
         seed: u32::MAX,
+        batch_file: None,
         k: 10,
         length: 6,
         alpha: 0.85,
@@ -169,6 +182,7 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
                     .parse()
                     .map_err(|e| format!("--seed-node: {e}"))?
             }
+            "--batch-file" => out.batch_file = Some(value("--batch-file")?.clone()),
             "--k" => out.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--length" => {
                 out.length = value("--length")?
@@ -241,10 +255,31 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if out.seed == u32::MAX {
-        return Err("--seed-node is required".into());
+    if out.seed == u32::MAX && out.batch_file.is_none() {
+        return Err("--seed-node or --batch-file is required".into());
     }
     Ok(out)
+}
+
+/// Parses a batch file: whitespace-separated node ids, `#` to end of
+/// line is a comment.
+fn read_batch_seeds(path: &str) -> Result<Vec<NodeId>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or_default();
+        for token in line.split_whitespace() {
+            seeds.push(
+                token
+                    .parse::<NodeId>()
+                    .map_err(|e| format!("{path}: bad seed {token:?}: {e}"))?,
+            );
+        }
+    }
+    if seeds.is_empty() {
+        return Err(format!("{path}: no seeds found"));
+    }
+    Ok(seeds)
 }
 
 fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> {
@@ -252,6 +287,9 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
     let ppr = PprParams::new(qa.alpha, qa.length, qa.k).map_err(|e| e.to_string())?;
 
     if exact_only {
+        if qa.batch_file.is_some() || qa.seed == u32::MAX {
+            return Err("the exact command takes --seed-node, not --batch-file".into());
+        }
         let ranking = exact_top_k(g, qa.seed, &ppr).map_err(|e| e.to_string())?;
         println!(
             "exact top-{} from node {} (L = {}):",
@@ -291,75 +329,91 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
     }
 
     let err = |e: meloppr::core::PprError| e.to_string();
-    let (outcome, served_by) = match qa.backend {
-        BackendChoice::Exact => (
-            ExactPower::new(g, ppr)
+
+    // Batch mode: read seeds, serve the whole batch through the batch
+    // executor (pinned backend) or the router (auto), print aggregates.
+    if let Some(path) = &qa.batch_file {
+        let seeds = read_batch_seeds(path)?;
+        let reqs: Vec<QueryRequest> = seeds
+            .iter()
+            .map(|&s| QueryRequest { seed: s, ..req })
+            .collect();
+        let workers = qa.threads.max(1);
+
+        let (outcomes, stats, served_by) = if qa.backend == BackendChoice::Auto {
+            let router = build_router(g, ppr, staged, hybrid_config, &qa)?;
+            let started = std::time::Instant::now();
+            let outcomes = router.query_batch(&reqs).map_err(err)?;
+            let stats = BatchStats::aggregate(&outcomes, started.elapsed());
+            (outcomes, stats, "router (per-request)".to_string())
+        } else {
+            // Batch workers own the parallelism; the staged backend runs
+            // its intra-query schedule sequentially.
+            let (backend, label) = build_pinned(g, ppr, staged, hybrid_config, &qa, 1)?;
+            let batch = BatchExecutor::new(workers)
                 .map_err(err)?
-                .query(&req)
-                .map_err(err)?,
-            "exact-power".to_string(),
-        ),
-        BackendChoice::Local => (
-            LocalPpr::new(g, ppr)
-                .map_err(err)?
-                .query(&req)
-                .map_err(err)?,
-            "local-ppr".to_string(),
-        ),
-        BackendChoice::MonteCarlo => (
-            MonteCarlo::new(g, ppr, qa.walks, 42)
-                .map_err(err)?
-                .query(&req)
-                .map_err(err)?,
-            format!("monte-carlo ({} walks)", qa.walks),
-        ),
-        BackendChoice::Meloppr => (
-            Meloppr::new(g, staged)
-                .map_err(err)?
-                .with_threads(qa.threads.max(1))
-                .map_err(err)?
-                .query(&req)
-                .map_err(err)?,
-            format!("meloppr (stages {:?}, ratio {})", qa.stages, qa.ratio),
-        ),
-        BackendChoice::Fpga => (
-            FpgaHybrid::new(g, staged, hybrid_config)
-                .map_err(|e| e.to_string())?
-                .query(&req)
-                .map_err(err)?,
-            "fpga-hybrid (P = 16)".to_string(),
-        ),
-        BackendChoice::Auto => {
-            let router = Router::new()
-                .with_backend(Box::new(ExactPower::new(g, ppr).map_err(err)?))
-                .with_backend(Box::new(LocalPpr::new(g, ppr).map_err(err)?))
-                .with_backend(Box::new(
-                    MonteCarlo::new(g, ppr, qa.walks, 42).map_err(err)?,
-                ))
-                .with_backend(Box::new(
-                    Meloppr::new(g, staged.clone())
-                        .map_err(err)?
-                        .with_threads(qa.threads.max(1))
-                        .map_err(err)?,
-                ))
-                .with_backend(Box::new(
-                    FpgaHybrid::new(g, staged, hybrid_config).map_err(|e| e.to_string())?,
-                ));
-            let route = router.select(&req).map_err(err)?;
-            let outcome = router.query(&req).map_err(err)?;
+                .run(backend.as_ref(), &reqs)
+                .map_err(err)?;
             (
-                outcome,
-                format!(
-                    "{} (routed{})",
-                    route.kind,
-                    if route.fits_budget {
-                        ""
-                    } else {
-                        ", best effort"
-                    }
-                ),
+                batch.outcomes,
+                batch.stats,
+                format!("{label}, {workers} batch workers"),
             )
+        };
+
+        println!(
+            "batch of {} queries from {path} via {served_by}:",
+            outcomes.len()
+        );
+        for (seed, outcome) in seeds.iter().zip(&outcomes).take(5) {
+            let (top, score) = outcome.ranking.first().copied().unwrap_or((0, 0.0));
+            println!("  seed {seed:>8} -> top node {top:>8}  score {score:.6}");
         }
+        if outcomes.len() > 5 {
+            println!("  ... ({} more)", outcomes.len() - 5);
+        }
+        println!(
+            "wall clock: {:.2} ms   throughput: {:.0} queries/s   mean latency: {:.3} ms",
+            stats.wall_clock.as_secs_f64() * 1e3,
+            stats.throughput_qps(),
+            stats.mean_latency_ms()
+        );
+        print!(
+            "diffusions: {}   bfs edges: {}   peak memory: {} bytes",
+            stats.total_diffusions, stats.bfs_edges_scanned, stats.peak_memory_bytes
+        );
+        if stats.random_walk_steps > 0 {
+            print!("   walk steps: {}", stats.random_walk_steps);
+        }
+        println!();
+        let mix: Vec<String> = stats
+            .by_backend
+            .iter()
+            .map(|(kind, count)| format!("{kind}: {count}"))
+            .collect();
+        println!("backend mix: {}", mix.join(", "));
+        return Ok(());
+    }
+
+    let (outcome, served_by) = if qa.backend == BackendChoice::Auto {
+        let router = build_router(g, ppr, staged, hybrid_config, &qa)?;
+        let route = router.select(&req).map_err(err)?;
+        let outcome = router.query(&req).map_err(err)?;
+        (
+            outcome,
+            format!(
+                "{} (routed{})",
+                route.kind,
+                if route.fits_budget {
+                    ""
+                } else {
+                    ", best effort"
+                }
+            ),
+        )
+    } else {
+        let (backend, label) = build_pinned(g, ppr, staged, hybrid_config, &qa, qa.threads.max(1))?;
+        (backend.query(&req).map_err(err)?, label)
     };
 
     println!("top-{} from node {} via {served_by}:", qa.k, qa.seed);
@@ -382,4 +436,72 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
     }
     println!();
     Ok(())
+}
+
+/// Builds the pinned (non-auto) backend named by `--backend` as a
+/// `Sync` trait object ready for sequential or batched serving.
+fn build_pinned<'g>(
+    g: &'g CsrGraph,
+    ppr: PprParams,
+    staged: MelopprParams,
+    hybrid_config: HybridConfig,
+    qa: &QueryArgs,
+    staged_threads: usize,
+) -> Result<(Box<dyn PprBackend + Sync + 'g>, String), String> {
+    let err = |e: meloppr::core::PprError| e.to_string();
+    Ok(match qa.backend {
+        BackendChoice::Exact => (
+            Box::new(ExactPower::new(g, ppr).map_err(err)?) as Box<dyn PprBackend + Sync>,
+            "exact-power".to_string(),
+        ),
+        BackendChoice::Local => (
+            Box::new(LocalPpr::new(g, ppr).map_err(err)?),
+            "local-ppr".to_string(),
+        ),
+        BackendChoice::MonteCarlo => (
+            Box::new(MonteCarlo::new(g, ppr, qa.walks, 42).map_err(err)?),
+            format!("monte-carlo ({} walks)", qa.walks),
+        ),
+        BackendChoice::Meloppr => (
+            Box::new(
+                Meloppr::new(g, staged)
+                    .map_err(err)?
+                    .with_threads(staged_threads)
+                    .map_err(err)?,
+            ),
+            format!("meloppr (stages {:?}, ratio {})", qa.stages, qa.ratio),
+        ),
+        BackendChoice::Fpga => (
+            Box::new(FpgaHybrid::new(g, staged, hybrid_config).map_err(|e| e.to_string())?),
+            "fpga-hybrid (P = 16)".to_string(),
+        ),
+        BackendChoice::Auto => unreachable!("auto is routed, not pinned"),
+    })
+}
+
+/// Builds the five-backend router for `--backend auto`.
+fn build_router<'g>(
+    g: &'g CsrGraph,
+    ppr: PprParams,
+    staged: MelopprParams,
+    hybrid_config: HybridConfig,
+    qa: &QueryArgs,
+) -> Result<Router<'g>, String> {
+    let err = |e: meloppr::core::PprError| e.to_string();
+    Ok(Router::new()
+        .with_backend(Box::new(ExactPower::new(g, ppr).map_err(err)?))
+        .with_backend(Box::new(LocalPpr::new(g, ppr).map_err(err)?))
+        .with_backend(Box::new(
+            MonteCarlo::new(g, ppr, qa.walks, 42).map_err(err)?,
+        ))
+        .with_backend(Box::new(
+            Meloppr::new(g, staged.clone())
+                .map_err(err)?
+                .with_threads(qa.threads.max(1))
+                .map_err(err)?,
+        ))
+        .with_backend(Box::new(
+            FpgaHybrid::new(g, staged, hybrid_config).map_err(|e| e.to_string())?,
+        ))
+        .with_self_calibration(true))
 }

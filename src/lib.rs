@@ -89,9 +89,36 @@
 //! # }
 //! ```
 //!
-//! The pre-redesign entry points (`local_ppr`, `monte_carlo_ppr`,
-//! `parallel_query`, `MelopprEngine::query_cached`) remain as deprecated
-//! shims for one release.
+//! ## Serving batches
+//!
+//! Every query borrows its scratch storage (BFS frontiers, sub-graph
+//! buffers, dense score vectors) from a reusable [`QueryWorkspace`], so
+//! steady-state serving does not touch the allocator. For whole batches,
+//! [`BatchExecutor`] runs requests on a scoped worker pool with one
+//! workspace per worker and returns outcomes in request order plus
+//! aggregate [`BatchStats`]:
+//!
+//! ```
+//! use meloppr::backend::{BatchExecutor, Meloppr, QueryRequest};
+//! use meloppr::graph::generators;
+//! use meloppr::{MelopprParams, PprParams, SelectionStrategy};
+//!
+//! # fn main() -> Result<(), meloppr::core::PprError> {
+//! let g = generators::karate_club();
+//! let params = MelopprParams::two_stage(
+//!     PprParams::new(0.85, 4, 5)?,
+//!     2,
+//!     2,
+//!     SelectionStrategy::TopFraction(0.3),
+//! )?;
+//! let backend = Meloppr::new(&g, params)?;
+//! let reqs: Vec<QueryRequest> = (0..16).map(QueryRequest::new).collect();
+//! let batch = BatchExecutor::new(4)?.run(&backend, &reqs)?;
+//! assert_eq!(batch.outcomes.len(), 16);
+//! println!("{:.0} queries/s", batch.stats.throughput_qps());
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! See the `examples/` directory for runnable scenarios (recommender,
 //! accelerated queries, precision sweeps, edge-device planning) and the
@@ -108,11 +135,12 @@ pub use meloppr_graph as graph;
 pub use meloppr_core::backend;
 
 pub use meloppr_core::{
-    exact_ppr, exact_top_k, precision_at_k, BackendCaps, BackendError, BackendKind, CostEstimate,
-    MelopprEngine, MelopprOutcome, MelopprParams, PprBackend, PprParams, QueryBudget, QueryOutcome,
-    QueryRequest, QueryStats, Ranking, ResidualPolicy, Route, Router, SelectionStrategy,
+    exact_ppr, exact_top_k, precision_at_k, BackendCaps, BackendError, BackendKind, BatchExecutor,
+    BatchOutcome, BatchStats, CostEstimate, MelopprEngine, MelopprOutcome, MelopprParams,
+    PprBackend, PprParams, QueryBudget, QueryOutcome, QueryRequest, QueryStats, QueryWorkspace,
+    Ranking, ResidualPolicy, Route, Router, SelectionStrategy, WorkspacePool,
 };
-#[allow(deprecated)]
-pub use meloppr_core::{local_ppr, parallel_query};
 pub use meloppr_fpga::{AcceleratorConfig, FpgaHybrid, HybridConfig, HybridMeloppr};
-pub use meloppr_graph::{bfs_ball, CsrGraph, GraphBuilder, GraphView, NodeId, Subgraph};
+pub use meloppr_graph::{
+    bfs_ball, CsrGraph, ExtractScratch, GraphBuilder, GraphView, NodeId, Subgraph,
+};

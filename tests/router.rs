@@ -1,12 +1,14 @@
 //! Router integration tests: different budget hints must demonstrably
-//! select different backends, and routed outcomes must match what the
-//! chosen backend returns directly.
+//! select different backends, routed outcomes must match what the
+//! chosen backend returns directly, and latency self-calibration must
+//! converge routing onto solvers that actually meet their deadlines.
 
 use meloppr::backend::{ExactPower, LocalPpr, Meloppr, MonteCarlo};
+use meloppr::core::backend::{BackendCaps, CostEstimate};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::{
-    BackendKind, CsrGraph, FpgaHybrid, HybridConfig, MelopprParams, PprParams, QueryRequest,
-    Router, SelectionStrategy,
+    BackendKind, CsrGraph, FpgaHybrid, HybridConfig, MelopprParams, PprBackend, PprParams,
+    QueryOutcome, QueryRequest, QueryStats, QueryWorkspace, Router, SelectionStrategy,
 };
 
 fn graph() -> CsrGraph {
@@ -138,6 +140,136 @@ fn router_batch_routes_per_request() {
     for (outcome, kind) in outcomes.iter().zip(kinds) {
         assert_eq!(outcome.stats.backend, kind);
     }
+}
+
+/// A mock solver whose static latency model is wrong by a configurable
+/// factor: `estimate` predicts `predicted_ns`, but served queries report
+/// `actual_ns` — the situation self-calibration exists for.
+struct Miscalibrated {
+    kind: BackendKind,
+    precision: f64,
+    predicted_ns: f64,
+    actual_ns: f64,
+}
+
+impl PprBackend for Miscalibrated {
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            kind: self.kind,
+            exact: false,
+            deterministic: true,
+            accelerated: true, // its reported latency is authoritative
+            batch_aware: false,
+        }
+    }
+
+    fn estimate(&self, _req: &QueryRequest) -> meloppr::core::Result<CostEstimate> {
+        Ok(CostEstimate {
+            latency_ns: self.predicted_ns,
+            peak_memory_bytes: 1 << 10,
+            expected_precision: self.precision,
+        })
+    }
+
+    fn query_with(
+        &self,
+        _req: &QueryRequest,
+        _ws: &mut QueryWorkspace,
+    ) -> meloppr::core::Result<QueryOutcome> {
+        Ok(QueryOutcome {
+            ranking: vec![(0, 1.0)],
+            stats: QueryStats {
+                backend: self.kind,
+                stages: Vec::new(),
+                total_diffusions: 0,
+                bfs_edges_scanned: 0,
+                diffusion_edge_updates: 0,
+                random_walk_steps: 0,
+                nodes_touched: 0,
+                peak_memory_bytes: 1 << 10,
+                peak_task_memory_bytes: 1 << 10,
+                aggregate_entries: 1,
+                table_evictions: 0,
+                latency_estimate_ns: Some(self.actual_ns),
+                host_latency_ns: None,
+            },
+        })
+    }
+}
+
+#[test]
+fn self_calibration_converges_budgeted_routing() {
+    // Backend A: high precision, but its model overestimates latency by
+    // 10^5 (predicts 1 s, actually runs in 10 µs). Backend B: honest
+    // model, lower precision, 100 µs.
+    let router = Router::new()
+        .with_backend(Box::new(Miscalibrated {
+            kind: BackendKind::FpgaHybrid,
+            precision: 0.99,
+            predicted_ns: 1e9,
+            actual_ns: 1e4,
+        }))
+        .with_backend(Box::new(Miscalibrated {
+            kind: BackendKind::MonteCarlo,
+            precision: 0.5,
+            predicted_ns: 1e5,
+            actual_ns: 1e5,
+        }))
+        .with_self_calibration(true);
+
+    // A 1 ms deadline initially routes AWAY from A (its model claims 1 s).
+    let budgeted = QueryRequest::new(0).with_max_latency_ms(1.0);
+    let before = router.select(&budgeted).unwrap();
+    assert_eq!(before.kind, BackendKind::MonteCarlo);
+    assert!(before.fits_budget);
+
+    // Unconstrained traffic prefers A's precision and thereby observes
+    // its true latency; the EWMA learns the 10^-5 correction.
+    for _ in 0..4 {
+        let outcome = router.query(&QueryRequest::new(0)).unwrap();
+        assert_eq!(outcome.stats.backend, BackendKind::FpgaHybrid);
+    }
+    let (ratio, samples) = router.calibration_ratio(0);
+    assert_eq!(samples, 4);
+    assert!(ratio < 1e-4, "EWMA did not converge: {ratio}");
+
+    // The same budgeted request now routes TO A: its calibrated estimate
+    // (~10 µs) fits the deadline and its precision wins the tie-break.
+    let after = router.select(&budgeted).unwrap();
+    assert_eq!(after.kind, BackendKind::FpgaHybrid);
+    assert!(after.fits_budget);
+    assert!(
+        after.estimate.latency_ns < 1e6,
+        "calibrated estimate still over budget: {}",
+        after.estimate.latency_ns
+    );
+
+    // Repeated budgeted queries stay converged (observations keep
+    // confirming the ratio rather than oscillating).
+    for _ in 0..3 {
+        let outcome = router.query(&budgeted).unwrap();
+        assert_eq!(outcome.stats.backend, BackendKind::FpgaHybrid);
+    }
+}
+
+#[test]
+fn calibration_off_by_default_leaves_estimates_alone() {
+    let router = Router::new().with_backend(Box::new(Miscalibrated {
+        kind: BackendKind::FpgaHybrid,
+        precision: 0.9,
+        predicted_ns: 1e9,
+        actual_ns: 1e4,
+    }));
+    for _ in 0..3 {
+        router.query(&QueryRequest::new(0)).unwrap();
+    }
+    // No calibration: the ratio never moves and selection still trusts
+    // the (wrong) static model.
+    assert_eq!(router.calibration_ratio(0), (1.0, 0));
+    let route = router
+        .select(&QueryRequest::new(0).with_max_latency_ms(1.0))
+        .unwrap();
+    assert!(!route.fits_budget);
 }
 
 #[test]

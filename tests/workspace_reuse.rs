@@ -1,0 +1,156 @@
+//! Workspace-reuse suite: a [`QueryWorkspace`] carried across queries —
+//! and across *backends* — must never change results. Every backend's
+//! `query_with` is run once with a fresh workspace and once with a
+//! heavily reused one, and the outcomes (ranking **and** stats) must be
+//! bit-identical. The batched paths (`query_batch`, [`BatchExecutor`])
+//! must match a sequential `query` loop in request order.
+
+use meloppr::backend::{ExactPower, LocalPpr, Meloppr, MonteCarlo};
+use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::{
+    BatchExecutor, CsrGraph, FpgaHybrid, HybridConfig, MelopprParams, PprBackend, PprParams,
+    QueryOutcome, QueryRequest, QueryWorkspace, SelectionStrategy,
+};
+
+fn graph() -> CsrGraph {
+    PaperGraph::G2Cora.generate_scaled(0.25, 17).unwrap()
+}
+
+fn ppr() -> PprParams {
+    PprParams::new(0.85, 6, 15).unwrap()
+}
+
+fn staged() -> MelopprParams {
+    MelopprParams {
+        ppr: ppr(),
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopFraction(0.1),
+        ..MelopprParams::paper_defaults()
+    }
+}
+
+/// All five backends over one graph, as trait objects.
+fn all_backends(g: &CsrGraph) -> Vec<(&'static str, Box<dyn PprBackend + '_>)> {
+    vec![
+        ("exact-power", Box::new(ExactPower::new(g, ppr()).unwrap())),
+        ("local-ppr", Box::new(LocalPpr::new(g, ppr()).unwrap())),
+        (
+            "monte-carlo",
+            Box::new(MonteCarlo::new(g, ppr(), 2000, 42).unwrap()),
+        ),
+        ("meloppr", Box::new(Meloppr::new(g, staged()).unwrap())),
+        (
+            "fpga-hybrid",
+            Box::new(FpgaHybrid::new(g, staged(), HybridConfig::default()).unwrap()),
+        ),
+    ]
+}
+
+#[test]
+fn reused_workspace_is_bit_identical_across_all_five_backends() {
+    let g = graph();
+    let seeds = [0u32, 3, 9, 21];
+    // Fresh-workspace reference outcomes per backend per seed.
+    let mut reference: Vec<Vec<QueryOutcome>> = Vec::new();
+    for (_, backend) in &all_backends(&g) {
+        reference.push(
+            seeds
+                .iter()
+                .map(|&s| {
+                    backend
+                        .query_with(&QueryRequest::new(s), &mut QueryWorkspace::new())
+                        .unwrap()
+                })
+                .collect(),
+        );
+    }
+    // One workspace dragged through every backend and every seed, twice.
+    // Buffers arrive dirty from whatever query ran before; outcomes must
+    // not care.
+    let mut ws = QueryWorkspace::new();
+    for round in 0..2 {
+        for (b, (name, backend)) in all_backends(&g).iter().enumerate() {
+            for (s, &seed) in seeds.iter().enumerate() {
+                let outcome = backend
+                    .query_with(&QueryRequest::new(seed), &mut ws)
+                    .unwrap();
+                assert_eq!(
+                    outcome, reference[b][s],
+                    "{name} seed {seed} round {round}: reused workspace changed the outcome"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reused_workspace_handles_shrinking_and_growing_queries() {
+    // Alternate big and small balls through one workspace: stale data
+    // from a larger query must never leak into a smaller one.
+    let g = graph();
+    let backend = Meloppr::new(&g, staged()).unwrap();
+    let mut ws = QueryWorkspace::new();
+    let long = QueryRequest::new(5);
+    let short = QueryRequest::new(5).with_length(2).with_k(3);
+    let ref_long = backend
+        .query_with(&long, &mut QueryWorkspace::new())
+        .unwrap();
+    let ref_short = backend
+        .query_with(&short, &mut QueryWorkspace::new())
+        .unwrap();
+    for _ in 0..3 {
+        assert_eq!(backend.query_with(&long, &mut ws).unwrap(), ref_long);
+        assert_eq!(backend.query_with(&short, &mut ws).unwrap(), ref_short);
+    }
+}
+
+#[test]
+fn query_batch_matches_sequential_query_in_order() {
+    let g = graph();
+    let reqs: Vec<QueryRequest> = [0u32, 3, 9, 21, 2, 14]
+        .into_iter()
+        .map(QueryRequest::new)
+        .collect();
+    for (name, backend) in &all_backends(&g) {
+        let sequential: Vec<QueryOutcome> =
+            reqs.iter().map(|r| backend.query(r).unwrap()).collect();
+        let batch = backend.query_batch(&reqs).unwrap();
+        assert_eq!(batch, sequential, "{name}: query_batch diverged");
+    }
+}
+
+#[test]
+fn batch_executor_matches_sequential_query_at_any_worker_count() {
+    let g = graph();
+    let backend = Meloppr::new(&g, staged()).unwrap();
+    let reqs: Vec<QueryRequest> = (0..16).map(QueryRequest::new).collect();
+    let sequential: Vec<QueryOutcome> = reqs.iter().map(|r| backend.query(r).unwrap()).collect();
+    for workers in [1usize, 2, 4, 8] {
+        let batch = BatchExecutor::new(workers)
+            .unwrap()
+            .run(&backend, &reqs)
+            .unwrap();
+        assert_eq!(batch.outcomes, sequential, "workers = {workers}");
+        assert_eq!(batch.stats.queries, reqs.len());
+    }
+}
+
+#[test]
+fn pooled_query_path_reuses_workspaces() {
+    // The provided `query` checks workspaces out of the backend's pool:
+    // after a burst of sequential queries exactly one workspace is idle,
+    // and results stay stable while it is being reused.
+    let g = graph();
+    let backend = Meloppr::new(&g, staged()).unwrap();
+    let req = QueryRequest::new(7);
+    let first = backend.query(&req).unwrap();
+    for _ in 0..5 {
+        assert_eq!(backend.query(&req).unwrap(), first);
+    }
+    let pool = backend.workspace_pool().expect("meloppr keeps a pool");
+    assert_eq!(
+        pool.idle_len(),
+        1,
+        "sequential queries should share one workspace"
+    );
+}
