@@ -38,4 +38,4 @@ pub use runner::{
     measure_batch_throughput, measure_precision, measure_tradeoff, BatchThroughput, TradeoffPoint,
 };
 pub use table::TextTable;
-pub use workload::{sample_seeds, CorpusGraph, ExperimentScale};
+pub use workload::{sample_seeds, sample_zipf_queries, CorpusGraph, ExperimentScale};

@@ -1,8 +1,9 @@
-//! Workload construction: corpus graphs and seed sampling.
+//! Workload construction: corpus graphs, seed sampling and skewed query
+//! mixes.
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use meloppr_graph::components::connected_components;
 use meloppr_graph::generators::corpus::PaperGraph;
@@ -47,6 +48,62 @@ pub fn sample_hub_seeds(g: &CsrGraph, count: usize) -> Vec<NodeId> {
     by_degree.truncate(count);
     by_degree.sort_unstable();
     by_degree
+}
+
+/// A Zipf-skewed query mix: `count` seeds drawn (with repetition) from
+/// the `distinct` highest-degree nodes, where the rank-`i` candidate is
+/// drawn with probability proportional to `1 / (i + 1)^exponent`.
+///
+/// This is the serving-traffic model behind the shared sub-graph cache
+/// experiments: real PPR query streams are dominated by a small set of
+/// hot (hub) seeds, so `exponent = 1.0` (classic Zipf) makes most of a
+/// batch hit the same few balls. `exponent = 0.0` degenerates to a
+/// uniform mix over the candidates. Candidates are ranked by descending
+/// degree (ties by ascending id) so rank 0 is the hottest hub, and the
+/// whole mix is deterministic under `rng_seed` (the `rand` shim is
+/// seeded, not the OS).
+///
+/// Returns an empty vector when the graph has no usable candidates.
+///
+/// # Panics
+///
+/// Panics if `exponent` is negative or non-finite.
+pub fn sample_zipf_queries(
+    g: &CsrGraph,
+    count: usize,
+    distinct: usize,
+    exponent: f64,
+    rng_seed: u64,
+) -> Vec<NodeId> {
+    assert!(
+        exponent.is_finite() && exponent >= 0.0,
+        "Zipf exponent must be finite and non-negative, got {exponent}"
+    );
+    // Rank candidates hottest-first (unlike `sample_hub_seeds`, which
+    // re-sorts its result by id for batch files).
+    let mut candidates: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+        .filter(|&v| g.degree(v) > 0)
+        .collect();
+    candidates.sort_unstable_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+    candidates.truncate(distinct);
+    if candidates.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    // Inverse-CDF sampling over the (normalized) Zipf weights.
+    let mut cumulative = Vec::with_capacity(candidates.len());
+    let mut total = 0.0f64;
+    for rank in 0..candidates.len() {
+        total += 1.0 / ((rank + 1) as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * total;
+            let rank = cumulative.partition_point(|&c| c <= u);
+            candidates[rank.min(candidates.len() - 1)]
+        })
+        .collect()
 }
 
 /// An experiment-ready corpus graph: the stand-in plus its provenance.
@@ -195,6 +252,65 @@ mod tests {
         let g = meloppr_graph::generators::path(4).unwrap();
         let seeds = sample_seeds(&g, 100, 1);
         assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn zipf_mix_is_deterministic_and_skewed() {
+        let g = PaperGraph::G1Citeseer.generate_scaled(0.2, 7).unwrap();
+        let a = sample_zipf_queries(&g, 512, 64, 1.0, 42);
+        let b = sample_zipf_queries(&g, 512, 64, 1.0, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 512);
+        // Every draw is a positive-degree candidate.
+        for &s in &a {
+            assert!(g.degree(s) > 0);
+        }
+        // Skew: under Zipf(1.0) over 64 candidates, rank 0 carries ~21%
+        // of the mass, so some seed must clearly dominate.
+        let mut counts = std::collections::HashMap::new();
+        for &s in &a {
+            *counts.entry(s).or_insert(0usize) += 1;
+        }
+        let max_count = *counts.values().max().unwrap();
+        assert!(
+            max_count > 512 / 10,
+            "no hot seed in a Zipf(1.0) mix: max {max_count}"
+        );
+        // Distinct seeds are bounded by the candidate pool.
+        assert!(counts.len() <= 64);
+        // A different seed gives a different (but equally valid) stream.
+        let c = sample_zipf_queries(&g, 512, 64, 1.0, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let g = PaperGraph::G1Citeseer.generate_scaled(0.2, 7).unwrap();
+        let mix = sample_zipf_queries(&g, 2000, 20, 0.0, 9);
+        let mut counts = std::collections::HashMap::new();
+        for &s in &mix {
+            *counts.entry(s).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 20, "uniform mix should touch every candidate");
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap();
+        assert!(max < min * 3, "uniform mix too skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn zipf_edge_cases() {
+        let g = PaperGraph::G1Citeseer.generate_scaled(0.1, 7).unwrap();
+        assert!(sample_zipf_queries(&g, 0, 8, 1.0, 1).is_empty());
+        let single = sample_zipf_queries(&g, 16, 1, 1.0, 1);
+        assert_eq!(single.len(), 16);
+        assert!(single.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf exponent")]
+    fn zipf_rejects_negative_exponent() {
+        let g = meloppr_graph::generators::path(4).unwrap();
+        let _ = sample_zipf_queries(&g, 4, 2, -1.0, 1);
     }
 
     #[test]

@@ -13,12 +13,18 @@
 //!
 //! [`BatchStats`] aggregates the per-query [`QueryStats`] plus the
 //! batch's wall clock, giving experiment binaries and the CLI a single
-//! throughput record per batch.
+//! throughput record per batch. When the backend extracts through a
+//! shared [`ConcurrentSubgraphCache`](crate::cache::ConcurrentSubgraphCache)
+//! the executor also brackets the batch with cache-counter snapshots and
+//! reports the delta in [`BatchStats::cache`], so callers see at a glance
+//! how many ball extractions the batch actually paid for versus served
+//! from cache.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use super::{BackendKind, PprBackend, QueryOutcome, QueryRequest};
+use crate::cache::CacheStats;
 use crate::error::{PprError, Result};
 
 /// Runs request batches on a fixed-size worker pool.
@@ -79,13 +85,21 @@ impl BatchExecutor {
         B: PprBackend + Sync + ?Sized,
     {
         let started = Instant::now();
+        // Bracket the batch with cache-counter snapshots: when the backend
+        // extracts through a shared concurrent cache, the delta is this
+        // batch's cache effectiveness (every worker writes to the same
+        // counters).
+        let cache_before = backend.shared_cache().map(|c| c.stats());
         let workers = self.workers.min(reqs.len()).max(1);
         let outcomes = if workers == 1 {
             backend.query_batch(reqs)?
         } else {
             run_parallel(backend, reqs, workers)?
         };
-        let stats = BatchStats::aggregate(&outcomes, started.elapsed());
+        let mut stats = BatchStats::aggregate(&outcomes, started.elapsed());
+        if let (Some(cache), Some(before)) = (backend.shared_cache(), cache_before) {
+            stats.cache = Some(cache.stats().delta_since(&before));
+        }
         Ok(BatchOutcome { outcomes, stats })
     }
 }
@@ -192,6 +206,16 @@ pub struct BatchStats {
     /// How many queries each solver kind served (relevant under
     /// per-request routing), in first-seen order.
     pub by_backend: Vec<(BackendKind, usize)>,
+    /// Shared sub-graph cache counter delta bracketing this batch
+    /// (`None` when the backend serves without a shared cache). See
+    /// [`CacheStats`] — `extractions` much smaller than `queries` is the
+    /// skewed-traffic win the cache exists for.
+    ///
+    /// The delta is taken on the cache's **global** counters, so if other
+    /// executors or backends use the same cache concurrently with this
+    /// batch, their traffic lands in this window too; attribution is
+    /// exact only when the cache serves one batch at a time.
+    pub cache: Option<CacheStats>,
 }
 
 impl BatchStats {
@@ -332,6 +356,46 @@ mod tests {
         assert_eq!(s.by_backend, vec![(BackendKind::Meloppr, 5)]);
         assert!(s.throughput_qps() > 0.0);
         assert!(s.mean_latency_ms() >= 0.0);
+    }
+
+    #[test]
+    fn shared_cache_counters_are_folded_per_batch() {
+        use crate::cache::ConcurrentSubgraphCache;
+        use std::sync::Arc;
+
+        let g = generators::corpus::PaperGraph::G1Citeseer
+            .generate_scaled(0.15, 3)
+            .unwrap();
+        let cache = Arc::new(ConcurrentSubgraphCache::new(512));
+        let backend = Meloppr::new(&g, staged_params())
+            .unwrap()
+            .with_shared_cache(Arc::clone(&cache));
+        let uncached = Meloppr::new(&g, staged_params()).unwrap();
+        assert!(
+            BatchExecutor::new(2)
+                .unwrap()
+                .run(&uncached, &[QueryRequest::new(0)])
+                .unwrap()
+                .stats
+                .cache
+                .is_none(),
+            "no shared cache, no cache stats"
+        );
+
+        // Same seed repeated: the batch pays for each distinct ball once.
+        let reqs: Vec<QueryRequest> = (0..8).map(|_| QueryRequest::new(4)).collect();
+        let batch = BatchExecutor::new(4).unwrap().run(&backend, &reqs).unwrap();
+        let cache_stats = batch.stats.cache.expect("cache stats present");
+        assert!(cache_stats.lookups() > 0);
+        assert!(cache_stats.extractions < cache_stats.lookups());
+        // A second identical batch reports only its own delta: all hits,
+        // zero extractions, zero BFS.
+        let again = BatchExecutor::new(4).unwrap().run(&backend, &reqs).unwrap();
+        let delta = again.stats.cache.expect("cache stats present");
+        assert_eq!(delta.extractions, 0);
+        assert_eq!(delta.misses, 0);
+        assert_eq!(again.stats.bfs_edges_scanned, 0);
+        assert_eq!(again.outcomes[0].ranking, batch.outcomes[0].ranking);
     }
 
     #[test]

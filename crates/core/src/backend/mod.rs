@@ -19,6 +19,14 @@
 //! * [`BatchExecutor`] — batched serving on a scoped worker pool, one
 //!   workspace per worker, outcomes in request order, aggregate
 //!   [`BatchStats`] per batch;
+//! * the **shared-cache serving topology** — one
+//!   [`ConcurrentSubgraphCache`] (sharded, lock-striped, singleflight)
+//!   per graph, attached to the staged backend via
+//!   [`Meloppr::with_shared_cache`] and hammered by every batch worker
+//!   at once: hot balls recurring across a skewed batch are extracted
+//!   once and served as zero-copy `Arc<Subgraph>` handles everywhere
+//!   else, with per-batch effectiveness counters in
+//!   [`BatchStats::cache`];
 //! * [`Router`] — per-request backend selection driven by
 //!   [`BackendCaps`] and each backend's [`CostEstimate`] against the
 //!   request's [`QueryBudget`], optionally self-calibrating its latency
@@ -68,6 +76,7 @@ pub use staged::Meloppr;
 
 use meloppr_graph::NodeId;
 
+use crate::cache::ConcurrentSubgraphCache;
 use crate::error::Result;
 use crate::local_ppr::LocalPprStats;
 use crate::meloppr::{MelopprStats, StageStats};
@@ -446,6 +455,15 @@ pub trait PprBackend {
     /// returning `Some` get allocation-free steady-state [`PprBackend::query`]
     /// and [`PprBackend::query_batch`] for free.
     fn workspace_pool(&self) -> Option<&WorkspacePool> {
+        None
+    }
+
+    /// The concurrent sub-graph cache this backend extracts through, if
+    /// any (see [`Meloppr::with_shared_cache`]). The
+    /// [`BatchExecutor`] uses this to bracket each batch with counter
+    /// snapshots and report the batch's cache effectiveness in
+    /// [`BatchStats::cache`].
+    fn shared_cache(&self) -> Option<&ConcurrentSubgraphCache> {
         None
     }
 

@@ -1,6 +1,6 @@
 //! The staged MeLoPPR engine behind the unified API.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use meloppr_graph::{GraphView, NodeId};
 
@@ -8,9 +8,11 @@ use super::{
     estimate_staged_work, staged_precision_heuristic, BackendCaps, BackendKind, CostEstimate,
     LatencyModel, ParamOverrides, PprBackend, QueryOutcome, QueryRequest, QueryStats, WorkProfile,
 };
-use crate::cache::SubgraphCache;
+use crate::cache::{ConcurrentSubgraphCache, SubgraphCache};
 use crate::error::{PprError, Result};
-use crate::meloppr::{staged_query_cached_with, staged_query_with, MelopprOutcome};
+use crate::meloppr::{
+    staged_query_cached_with, staged_query_shared_with, staged_query_with, MelopprOutcome,
+};
 use crate::memory::{cpu_task_memory, fpga_global_table_bytes};
 use crate::parallel::parallel_query_impl;
 use crate::params::MelopprParams;
@@ -23,12 +25,21 @@ use crate::workspace::{QueryWorkspace, WorkspacePool};
 ///
 /// * [`Meloppr::with_threads`] — stage-level parallelism inside one
 ///   query (bit-identical to sequential);
-/// * [`Meloppr::with_cache`] — an LRU sub-graph cache shared across
-///   queries (hits charge zero BFS work).
+/// * [`Meloppr::with_cache`] — a private LRU sub-graph cache reused
+///   across this backend's queries (hits charge zero BFS work);
+/// * [`Meloppr::with_shared_cache`] — the serving topology: an
+///   `Arc<ConcurrentSubgraphCache>` shared across queries, across
+///   [`BatchExecutor`](super::BatchExecutor) workers, and (if desired)
+///   across several backends over the same graph. Hot balls are
+///   extracted once (singleflight); every other query reuses the
+///   `Arc<Subgraph>` zero-copy.
 ///
 /// All modes return identical rankings for identical requests; they
 /// differ only in wall-clock and BFS work accounting (cache hits charge
-/// zero BFS).
+/// zero BFS). With a cache attached, [`Meloppr::estimate`] discounts the
+/// predicted BFS latency by the cache's observed hit rate, so a
+/// budget-driven [`Router`](super::Router) learns that warmed caches
+/// make staged queries cheaper.
 ///
 /// # Examples
 ///
@@ -52,10 +63,23 @@ pub struct Meloppr<'g, G: GraphView + Sync + ?Sized> {
     graph: &'g G,
     params: MelopprParams,
     threads: usize,
-    cache: Option<Mutex<SubgraphCache>>,
+    cache: CacheMode,
     profile: WorkProfile,
     latency: LatencyModel,
     pool: WorkspacePool,
+}
+
+/// Which sub-graph cache (if any) the staged backend extracts through.
+#[derive(Debug, Default)]
+enum CacheMode {
+    /// Extract every ball fresh.
+    #[default]
+    None,
+    /// A private single-threaded LRU, serialized behind a mutex.
+    Owned(Mutex<SubgraphCache>),
+    /// A concurrent cache shared across workers/backends (no serialization
+    /// on the query path).
+    Shared(Arc<ConcurrentSubgraphCache>),
 }
 
 impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
@@ -72,7 +96,7 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
             graph,
             params,
             threads: 1,
-            cache: None,
+            cache: CacheMode::None,
             profile,
             latency: LatencyModel::default(),
             pool: WorkspacePool::new(),
@@ -102,16 +126,35 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
         Ok(self)
     }
 
-    /// Enables the LRU sub-graph cache with `capacity` entries. Cached
-    /// execution is sequential; it takes precedence over
-    /// [`Meloppr::with_threads`].
+    /// Enables a private LRU sub-graph cache with `capacity` entries.
+    /// Cached execution is sequential; it takes precedence over
+    /// [`Meloppr::with_threads`]. For multi-worker serving use
+    /// [`Meloppr::with_shared_cache`].
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0` (as [`SubgraphCache::new`] does).
     #[must_use]
     pub fn with_cache(mut self, capacity: usize) -> Self {
-        self.cache = Some(Mutex::new(SubgraphCache::new(capacity)));
+        self.cache = CacheMode::Owned(Mutex::new(SubgraphCache::new(capacity)));
+        self
+    }
+
+    /// Attaches a [`ConcurrentSubgraphCache`] shared across queries and
+    /// batch workers: every ball extraction goes through `cache`, so hot
+    /// balls recurring across a skewed batch are extracted once and
+    /// served zero-copy everywhere else. Replaces any cache configured
+    /// earlier; like [`Meloppr::with_cache`], it takes precedence over
+    /// [`Meloppr::with_threads`] for intra-query scheduling (the
+    /// cross-query parallelism belongs to the
+    /// [`BatchExecutor`](super::BatchExecutor)).
+    ///
+    /// Keep a clone of the `Arc` to read [`ConcurrentSubgraphCache::stats`]
+    /// — or read them per batch from
+    /// [`BatchStats::cache`](super::BatchStats::cache).
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<ConcurrentSubgraphCache>) -> Self {
+        self.cache = CacheMode::Shared(cache);
         self
     }
 
@@ -123,6 +166,25 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
     /// Worker threads used per query (1 = sequential).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Fraction of recent cache lookups served without BFS work — 0.0
+    /// with no cache attached or before any lookup. Drives the BFS
+    /// discount in [`Meloppr::estimate`].
+    fn cache_hit_rate(&self) -> f64 {
+        match &self.cache {
+            CacheMode::None => 0.0,
+            CacheMode::Owned(cache) => {
+                let cache = cache.lock().expect("cache poisoned");
+                let lookups = cache.hits() + cache.misses();
+                if lookups == 0 {
+                    0.0
+                } else {
+                    cache.hits() as f64 / lookups as f64
+                }
+            }
+            CacheMode::Shared(cache) => cache.stats().hit_rate(),
+        }
     }
 
     /// The effective staged parameters for a request: overrides merged,
@@ -175,12 +237,20 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
         // Re-probe with the current stage horizon (idempotent) and, when
         // caching, pre-extract the probe seeds' stage-one balls.
         self.profile = WorkProfile::probe_default(self.graph, self.params.ppr.length as u32)?;
-        if let Some(cache) = &self.cache {
-            let mut cache = cache.lock().expect("cache poisoned");
-            let depth = self.params.stages[0] as u32;
-            let n = self.graph.num_nodes();
-            for seed in super::model::default_probe_seeds(n) {
-                cache.get_or_extract(self.graph, seed, depth)?;
+        let depth = self.params.stages[0] as u32;
+        let n = self.graph.num_nodes();
+        match &self.cache {
+            CacheMode::None => {}
+            CacheMode::Owned(cache) => {
+                let mut cache = cache.lock().expect("cache poisoned");
+                for seed in super::model::default_probe_seeds(n) {
+                    cache.get_or_extract(self.graph, seed, depth)?;
+                }
+            }
+            CacheMode::Shared(cache) => {
+                for seed in super::model::default_probe_seeds(n) {
+                    cache.get_or_extract(self.graph, seed, depth)?;
+                }
             }
         }
         Ok(())
@@ -191,8 +261,17 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
         let work = estimate_staged_work(&self.profile, &params);
         let m = self.latency;
         let threads = self.threads.max(1) as f64;
+        // Cache hits skip ball extraction entirely, so only the expected
+        // miss fraction of the BFS work is charged: a warmed cache makes
+        // the budget router prefer this backend for repeat-heavy traffic.
+        // The rate is the cache's cumulative average — an expectation
+        // under stationary traffic, optimistic for a never-seen seed
+        // (though even cold seeds hit warmed stage-two hub balls, which
+        // dominate lookups). A decayed/windowed rate is a noted
+        // follow-up.
+        let bfs_miss_fraction = 1.0 - self.cache_hit_rate();
         let cost_of = |bfs: f64, diffusion_edges: f64, nodes: f64| {
-            bfs * m.ns_per_bfs_edge
+            bfs * bfs_miss_fraction * m.ns_per_bfs_edge
                 + diffusion_edges * m.ns_per_diffusion_edge
                 + nodes * m.ns_per_node
         };
@@ -220,6 +299,13 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
         Some(&self.pool)
     }
 
+    fn shared_cache(&self) -> Option<&ConcurrentSubgraphCache> {
+        match &self.cache {
+            CacheMode::Shared(cache) => Some(cache),
+            _ => None,
+        }
+    }
+
     fn query_with(&self, req: &QueryRequest, ws: &mut QueryWorkspace) -> Result<QueryOutcome> {
         // The common no-override case borrows the configured parameters;
         // only overridden requests pay a parameter clone.
@@ -243,13 +329,18 @@ impl<G: GraphView + Sync + ?Sized> Meloppr<'_, G> {
         seed: NodeId,
         ws: &mut QueryWorkspace,
     ) -> Result<MelopprOutcome> {
-        if let Some(cache) = &self.cache {
-            let mut cache = cache.lock().expect("cache poisoned");
-            staged_query_cached_with(self.graph, params, seed, &mut cache, ws)
-        } else if self.threads > 1 {
-            parallel_query_impl(self.graph, params, seed, self.threads)
-        } else {
-            staged_query_with(self.graph, params, seed, ws)
+        match &self.cache {
+            CacheMode::Owned(cache) => {
+                let mut cache = cache.lock().expect("cache poisoned");
+                staged_query_cached_with(self.graph, params, seed, &mut cache, ws)
+            }
+            CacheMode::Shared(cache) => {
+                staged_query_shared_with(self.graph, params, seed, cache, ws)
+            }
+            CacheMode::None if self.threads > 1 => {
+                parallel_query_impl(self.graph, params, seed, self.threads)
+            }
+            CacheMode::None => staged_query_with(self.graph, params, seed, ws),
         }
     }
 }
@@ -306,6 +397,61 @@ mod tests {
         let c2 = cached.query(&req).unwrap();
         assert_eq!(c2.ranking, c.ranking);
         assert!(c2.stats.bfs_edges_scanned < c.stats.bfs_edges_scanned);
+    }
+
+    #[test]
+    fn shared_cache_mode_agrees_and_shares_extractions() {
+        let g = generators::corpus::PaperGraph::G1Citeseer
+            .generate_scaled(0.2, 6)
+            .unwrap();
+        let cache = Arc::new(ConcurrentSubgraphCache::new(256));
+        let plain = Meloppr::new(&g, params()).unwrap();
+        let shared = Meloppr::new(&g, params())
+            .unwrap()
+            .with_shared_cache(Arc::clone(&cache));
+        assert!(shared.shared_cache().is_some());
+        assert!(plain.shared_cache().is_none());
+
+        let req = QueryRequest::new(3);
+        let a = plain.query(&req).unwrap();
+        let b = shared.query(&req).unwrap();
+        assert_eq!(a.ranking, b.ranking);
+        let cold_extractions = cache.stats().extractions;
+        assert!(cold_extractions > 0);
+
+        // A repeat query is served entirely from the cache: zero BFS,
+        // zero new extractions.
+        let c = shared.query(&req).unwrap();
+        assert_eq!(c.ranking, a.ranking);
+        assert_eq!(c.stats.bfs_edges_scanned, 0);
+        assert_eq!(cache.stats().extractions, cold_extractions);
+    }
+
+    #[test]
+    fn estimate_discounts_bfs_by_observed_hit_rate() {
+        let g = generators::corpus::PaperGraph::G2Cora
+            .generate_scaled(0.2, 9)
+            .unwrap();
+        let cache = Arc::new(ConcurrentSubgraphCache::new(512));
+        let plain = Meloppr::new(&g, params()).unwrap();
+        let shared = Meloppr::new(&g, params())
+            .unwrap()
+            .with_shared_cache(Arc::clone(&cache));
+        let req = QueryRequest::new(5);
+        // Cold cache: no observations, no discount.
+        assert_eq!(
+            plain.estimate(&req).unwrap().latency_ns,
+            shared.estimate(&req).unwrap().latency_ns
+        );
+        // Warm the cache until the hit rate is high, then the estimate
+        // must drop below the uncached backend's.
+        for _ in 0..4 {
+            shared.query(&req).unwrap();
+        }
+        assert!(cache.stats().hit_rate() > 0.5);
+        assert!(
+            shared.estimate(&req).unwrap().latency_ns < plain.estimate(&req).unwrap().latency_ns
+        );
     }
 
     #[test]

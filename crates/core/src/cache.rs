@@ -1,22 +1,68 @@
 //! Sub-graph caching for repeated queries ("adaptively loading only the
-//! necessary sub-graphs", §IV-A).
+//! necessary sub-graphs", §IV-A) — including the concurrent sharded cache
+//! that shares hot balls across batch workers.
 //!
 //! A PPR server answers many queries against the same graph, and popular
 //! next-stage nodes (hubs) recur across queries. Re-running BFS + induced
 //! extraction for them is the dominant host cost (Fig. 7's light-blue
-//! bars), so [`SubgraphCache`] memoizes extracted balls keyed by
-//! `(node, depth)` with LRU eviction, and
-//! the cached [`backend::Meloppr`](crate::backend::Meloppr) mode
-//! consumes it — charging zero BFS work on hits.
+//! bars). Under skewed real traffic the *same* hub balls recur across
+//! concurrent queries too, so extracted state is most valuable when it is
+//! shared by every worker serving the batch. Two caches live here:
 //!
-//! The cache stores [`Arc<Subgraph>`] so concurrent readers can share
-//! entries without copying.
+//! * [`SubgraphCache`] — the single-threaded LRU keyed by `(node, depth)`,
+//!   for one engine serving queries sequentially (`&mut self`). Eviction
+//!   is strict LRU with deterministic key tie-breaking.
+//! * [`ConcurrentSubgraphCache`] — the serving structure: a sharded,
+//!   lock-striped map of `Arc<Subgraph>` designed for N batch workers
+//!   hammering it at once.
+//!
+//! # Concurrent design
+//!
+//! **Sharding / lock striping.** Entries are spread over independent
+//! shards by a multiplicative hash of the key, so workers touching
+//! different balls never contend on the same lock. Each shard guards its
+//! map with an `RwLock`: the hit path takes only the *shared* read lock,
+//! so concurrent hits proceed in parallel; the exclusive write lock is
+//! held only to insert a placeholder or evict — never across an
+//! extraction.
+//!
+//! **Singleflight extraction.** On a miss the first worker installs a
+//! pending entry and performs the BFS + induced-CSR extraction *outside
+//! any shard lock*; other workers missing on the same key find the
+//! placeholder and block on its condvar instead of duplicating the work.
+//! When the winner publishes the `Arc<Subgraph>`, every waiter receives
+//! the same zero-copy handle (counted as [`CacheStats::shared`]). A hot
+//! ball is therefore extracted **once** no matter how many workers race
+//! for it — asserted by the concurrent-cache stress tests via the
+//! extraction counter.
+//!
+//! **Approximate recency via per-entry atomics.** Touching an entry
+//! stores a global clock stamp into its `AtomicU64` — a CLOCK-style
+//! relaxed write that needs no exclusive lock, so the hit path never
+//! serializes on recency bookkeeping. Eviction scans the shard for the
+//! smallest `(stamp, key)` (key tie-break keeps single-threaded runs
+//! reproducible); under concurrency the stamps are approximate, which is
+//! exactly the CLOCK trade: cheap hits, near-LRU victims.
+//!
+//! **Always-on counters.** Hits, shared waits, misses, extractions and
+//! evictions are relaxed atomic increments — cheap enough to leave on in
+//! production, and the substrate for the batch executor's per-batch cache
+//! accounting and the router's hit-rate-discounted BFS cost model.
+//!
+//! Both caches store [`Arc<Subgraph>`] so readers share entries without
+//! copying, and both charge **zero BFS work on hits** — the whole point
+//! of caching (the work counter in the `_counted` getters is the
+//! adjacency entries scanned, 0 unless this call performed the BFS).
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
-use meloppr_graph::{bfs_ball, FastHashMap, GraphView, NodeId, Subgraph};
+use meloppr_graph::{bfs_ball, ExtractScratch, FastHashMap, GraphView, NodeId, Subgraph};
 
 use crate::error::Result;
+
+/// Cache key: the ball's seed node and BFS depth.
+type CacheKey = (NodeId, u32);
 
 struct Slot {
     sub: Arc<Subgraph>,
@@ -32,7 +78,10 @@ impl std::fmt::Debug for Slot {
     }
 }
 
-/// An LRU cache of extracted BFS-ball sub-graphs.
+/// An LRU cache of extracted BFS-ball sub-graphs (single-threaded).
+///
+/// For sharing extracted balls *across* concurrent batch workers, use
+/// [`ConcurrentSubgraphCache`] instead.
 ///
 /// # Examples
 ///
@@ -53,7 +102,7 @@ impl std::fmt::Debug for Slot {
 #[derive(Debug)]
 pub struct SubgraphCache {
     capacity: usize,
-    entries: FastHashMap<(NodeId, u32), Slot>,
+    entries: FastHashMap<CacheKey, Slot>,
     clock: u64,
     hits: usize,
     misses: usize,
@@ -79,9 +128,6 @@ impl SubgraphCache {
     /// Returns the cached ball around `(node, depth)`, extracting and
     /// inserting it on a miss (evicting the least-recently-used entry when
     /// full).
-    ///
-    /// The second tuple element is the BFS work performed: 0 on a hit, the
-    /// scanned adjacency entries on a miss.
     ///
     /// # Errors
     ///
@@ -119,11 +165,13 @@ impl SubgraphCache {
         let sub = Arc::new(Subgraph::extract(g, &ball)?);
         if self.entries.len() >= self.capacity {
             // O(capacity) eviction scan: capacities are modest (hundreds
-            // to thousands), and extraction dwarfs the scan.
+            // to thousands), and extraction dwarfs the scan. Equal stamps
+            // break ties by smallest key so eviction order never depends
+            // on hash-map iteration order (reproducible across runs).
             if let Some(&key) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, slot)| slot.last_used)
+                .min_by_key(|&(&key, slot)| (slot.last_used, key))
                 .map(|(k, _)| k)
             {
                 self.entries.remove(&key);
@@ -173,6 +221,468 @@ impl SubgraphCache {
     }
 }
 
+/// Snapshot of a [`ConcurrentSubgraphCache`]'s always-on counters.
+///
+/// Obtained from [`ConcurrentSubgraphCache::stats`]; two snapshots bracket
+/// a batch via [`CacheStats::delta_since`] (the batch executor does this
+/// automatically and reports the delta in its `BatchStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served instantly from a resident entry.
+    pub hits: u64,
+    /// Lookups that waited on another worker's in-flight extraction and
+    /// shared its result (singleflight losers — no BFS work performed).
+    pub shared: u64,
+    /// Lookups that performed the extraction themselves.
+    pub misses: u64,
+    /// Ball extractions actually executed (BFS + induced CSR). Equals
+    /// `misses` in steady state; the headline number for the "hot balls
+    /// extracted once" guarantee.
+    pub extractions: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.shared + self.misses
+    }
+
+    /// Fraction of lookups that performed **no** BFS work (hits plus
+    /// singleflight shares); 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        (self.hits + self.shared) as f64 / lookups as f64
+    }
+
+    /// Counter deltas accumulated since an `earlier` snapshot.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            shared: self.shared.saturating_sub(earlier.shared),
+            misses: self.misses.saturating_sub(earlier.misses),
+            extractions: self.extractions.saturating_sub(earlier.extractions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// State of one cached key: pending while the winning extractor runs,
+/// ready once published, failed if extraction errored (waiters then fall
+/// back to extracting themselves so the error surfaces deterministically).
+enum EntryState {
+    Pending,
+    Ready,
+    Failed,
+}
+
+/// One cache slot: the singleflight rendezvous plus the CLOCK recency
+/// stamp.
+///
+/// The published sub-graph lives in a write-once `OnceLock` so the hit
+/// path is `shard read lock -> OnceLock::get -> relaxed stamp store` —
+/// no exclusive lock anywhere, so concurrent hits on one hot ball never
+/// serialize. The `Mutex`/`Condvar` pair is touched only by singleflight
+/// losers waiting out an in-flight extraction (state `Pending`).
+struct Entry {
+    published: OnceLock<Arc<Subgraph>>,
+    state: Mutex<EntryState>,
+    ready: Condvar,
+    last_used: AtomicU64,
+}
+
+impl Entry {
+    fn pending(stamp: u64) -> Arc<Self> {
+        Arc::new(Entry {
+            published: OnceLock::new(),
+            state: Mutex::new(EntryState::Pending),
+            ready: Condvar::new(),
+            last_used: AtomicU64::new(stamp),
+        })
+    }
+}
+
+struct Shard {
+    map: RwLock<FastHashMap<CacheKey, Arc<Entry>>>,
+}
+
+/// What a lookup found after consulting (and possibly updating) a shard.
+enum Found {
+    /// The entry existed; wait for / read its state.
+    Existing(Arc<Entry>),
+    /// We installed the pending placeholder; we extract.
+    Winner(Arc<Entry>),
+}
+
+/// A sharded, lock-striped cache of extracted BFS-ball sub-graphs shared
+/// by concurrent batch workers (see the module docs for the design).
+///
+/// All methods take `&self`; the cache is meant to live in an
+/// [`Arc`] shared by every worker serving a graph. Hot balls are
+/// extracted **once** (singleflight); hits and shares return the same
+/// `Arc<Subgraph>` with zero BFS work.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use meloppr_core::cache::ConcurrentSubgraphCache;
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let cache = Arc::new(ConcurrentSubgraphCache::new(64));
+/// let (a, work_a) = cache.get_or_extract_counted(&g, 0, 2)?;
+/// let (b, work_b) = cache.get_or_extract_counted(&g, 0, 2)?;
+/// assert!(Arc::ptr_eq(&a, &b)); // zero-copy reuse
+/// assert!(work_a > 0);
+/// assert_eq!(work_b, 0); // hits charge no BFS
+/// assert_eq!(cache.stats().extractions, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ConcurrentSubgraphCache {
+    shards: Box<[Shard]>,
+    capacity: usize,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    shared: AtomicU64,
+    misses: AtomicU64,
+    extractions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ConcurrentSubgraphCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentSubgraphCache")
+            .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Default shard count: enough stripes that a typical worker pool
+/// (≤ 16 threads) rarely collides, without fragmenting small capacities.
+const DEFAULT_SHARDS: usize = 16;
+
+impl ConcurrentSubgraphCache {
+    /// Creates a cache budgeted for `capacity` sub-graphs, striped over
+    /// the default shard count (clamped to `capacity`).
+    ///
+    /// The budget is enforced **per shard** at `ceil(capacity / shards)`
+    /// entries (eviction is a shard-local decision; a global count would
+    /// re-serialize the stripes), so total residency may exceed
+    /// `capacity` by up to `shards - 1` entries, and a key mix that
+    /// hashes one shard disproportionately hot evicts there while other
+    /// stripes have room. Size `capacity` as a budget, not an exact
+    /// bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS.min(capacity.max(1)))
+    }
+
+    /// As [`ConcurrentSubgraphCache::new`] with an explicit shard count
+    /// (lock stripes). More shards mean less contention but a coarser
+    /// per-shard capacity split (see [`ConcurrentSubgraphCache::new`] on
+    /// the striped budget semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `shards == 0`.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(shards > 0, "shard count must be positive");
+        let shards: Box<[Shard]> = (0..shards)
+            .map(|_| Shard {
+                map: RwLock::new(FastHashMap::default()),
+            })
+            .collect();
+        ConcurrentSubgraphCache {
+            per_shard_capacity: capacity.div_ceil(shards.len()),
+            shards,
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            shared: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            extractions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entry capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_for(&self, key: CacheKey) -> &Shard {
+        // Fibonacci multiplicative hash of (node, depth); the high bits
+        // decide the stripe so nearby node ids spread out.
+        let mixed = ((key.0 as u64) << 32 | key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 40) as usize % self.shards.len()]
+    }
+
+    /// Returns the cached ball around `(node, depth)`, extracting it
+    /// exactly once across all concurrent callers on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_or_extract<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+    ) -> Result<Arc<Subgraph>> {
+        Ok(self.get_or_extract_counted(g, node, depth)?.0)
+    }
+
+    /// As [`ConcurrentSubgraphCache::get_or_extract`], additionally
+    /// reporting the BFS work performed by **this call** — 0 on hits and
+    /// on singleflight shares (the winner alone is charged the scan).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_or_extract_counted<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+    ) -> Result<(Arc<Subgraph>, usize)> {
+        self.lookup(g, node, depth, |cache, g| {
+            let ball = bfs_ball(g, node, depth)?;
+            let sub = Subgraph::extract(g, &ball)?;
+            cache.extractions.fetch_add(1, Ordering::Relaxed);
+            Ok((sub, ball.edges_scanned))
+        })
+    }
+
+    /// As [`ConcurrentSubgraphCache::get_or_extract_counted`], extracting
+    /// through `scratch` on a miss so the BFS visited map, queue and ball
+    /// arrays are reused across misses (the query-workspace integration
+    /// used by the staged engine's shared-cache mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_or_extract_with<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        scratch: &mut ExtractScratch,
+    ) -> Result<(Arc<Subgraph>, usize)> {
+        self.lookup(g, node, depth, |cache, g| {
+            let out = scratch.extract_owned(g, node, depth)?;
+            cache.extractions.fetch_add(1, Ordering::Relaxed);
+            Ok(out)
+        })
+    }
+
+    /// The shared lookup core: fast-path read, singleflight install on
+    /// miss, condvar wait for in-flight extractions. `extract` runs at
+    /// most once per call and **never under a shard lock**.
+    fn lookup<G, F>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        extract: F,
+    ) -> Result<(Arc<Subgraph>, usize)>
+    where
+        G: GraphView + ?Sized,
+        F: FnOnce(&Self, &G) -> Result<(Subgraph, usize)>,
+    {
+        let key = (node, depth);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let shard = self.shard_for(key);
+
+        // Fast path: shared read lock only.
+        let found = {
+            let map = shard.map.read().expect("cache shard poisoned");
+            map.get(&key).cloned()
+        };
+        let found = match found {
+            Some(entry) => Found::Existing(entry),
+            None => {
+                let mut map = shard.map.write().expect("cache shard poisoned");
+                match map.get(&key) {
+                    // Raced with another installer between the locks.
+                    Some(entry) => Found::Existing(Arc::clone(entry)),
+                    None => {
+                        let entry = Entry::pending(stamp);
+                        map.insert(key, Arc::clone(&entry));
+                        Found::Winner(entry)
+                    }
+                }
+            }
+        };
+
+        match found {
+            Found::Existing(entry) => {
+                entry.last_used.store(stamp, Ordering::Relaxed);
+                // Hit fast path: a published entry is read without any
+                // exclusive lock (OnceLock::get is a lock-free load once
+                // set), so concurrent hits on one hot ball never
+                // serialize.
+                if let Some(sub) = entry.published.get() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(sub), 0));
+                }
+                let mut state = entry.state.lock().expect("cache entry poisoned");
+                loop {
+                    match &*state {
+                        EntryState::Ready => {
+                            self.shared.fetch_add(1, Ordering::Relaxed);
+                            let sub = entry.published.get().expect("ready entry published");
+                            return Ok((Arc::clone(sub), 0));
+                        }
+                        EntryState::Pending => {
+                            state = entry.ready.wait(state).expect("cache entry poisoned");
+                        }
+                        EntryState::Failed => {
+                            // The winner's extraction errored (and it
+                            // removed the entry). Reproduce the error —
+                            // extraction failures are deterministic
+                            // (out-of-bounds seeds), so this surfaces the
+                            // same error without retry loops.
+                            drop(state);
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            let (sub, work) = extract(self, g)?;
+                            // Deterministic failures cannot reach here, but
+                            // a success is still a valid answer: serve it
+                            // without touching the map (the key was purged).
+                            return Ok((Arc::new(sub), work));
+                        }
+                    }
+                }
+            }
+            Found::Winner(entry) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                match extract(self, g) {
+                    Ok((sub, work)) => {
+                        let sub = Arc::new(sub);
+                        entry
+                            .published
+                            .set(Arc::clone(&sub))
+                            .unwrap_or_else(|_| unreachable!("only the winner publishes"));
+                        {
+                            let mut state = entry.state.lock().expect("cache entry poisoned");
+                            *state = EntryState::Ready;
+                        }
+                        entry.ready.notify_all();
+                        self.evict_over_capacity(shard, key);
+                        Ok((sub, work))
+                    }
+                    Err(err) => {
+                        {
+                            let mut state = entry.state.lock().expect("cache entry poisoned");
+                            *state = EntryState::Failed;
+                        }
+                        entry.ready.notify_all();
+                        let mut map = shard.map.write().expect("cache shard poisoned");
+                        if let Some(current) = map.get(&key) {
+                            if Arc::ptr_eq(current, &entry) {
+                                map.remove(&key);
+                            }
+                        }
+                        Err(err)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evicts the least-recently-stamped **ready** entries of `shard`
+    /// until it is back within its capacity share. `keep` (the key just
+    /// published) and in-flight pending entries are never victims. Equal
+    /// stamps break ties by smallest key for reproducible single-threaded
+    /// eviction order.
+    fn evict_over_capacity(&self, shard: &Shard, keep: CacheKey) {
+        let mut map = shard.map.write().expect("cache shard poisoned");
+        while map.len() > self.per_shard_capacity {
+            let victim = map
+                .iter()
+                .filter(|&(&key, entry)| key != keep && entry.published.get().is_some())
+                .map(|(&key, entry)| (entry.last_used.load(Ordering::Relaxed), key))
+                .min();
+            match victim {
+                Some((_, key)) => {
+                    map.remove(&key);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break, // everything else is pending or `keep`
+            }
+        }
+    }
+
+    /// A consistent-enough snapshot of the always-on counters (relaxed
+    /// loads; exact once concurrent lookups have quiesced).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            shared: self.shared.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            extractions: self.extractions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resident entries across all shards (ready and in-flight).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.map.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes (sum of ready sub-graph footprints).
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .read()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter_map(|entry| entry.published.get())
+                    .map(|sub| sub.memory_bytes().total())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Drops every resident entry (statistics are kept). In-flight
+    /// extractions complete normally; their waiters are still served.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.map.write().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +728,23 @@ mod tests {
     }
 
     #[test]
+    fn lru_ties_break_by_smallest_key() {
+        // Two entries with *equal* recency stamps cannot exist in the
+        // sequential cache (the clock ticks per lookup), but the ordering
+        // contract still holds: with distinct stamps the older entry goes;
+        // the key tie-break is exercised through the comparator directly.
+        let a = ((3u32, 1u32), 5u64);
+        let b = ((1u32, 1u32), 5u64);
+        let c = ((2u32, 1u32), 4u64);
+        let victim = [a, b, c]
+            .into_iter()
+            .min_by_key(|&(key, stamp)| (stamp, key));
+        assert_eq!(victim, Some(c)); // oldest stamp wins first…
+        let victim = [a, b].into_iter().min_by_key(|&(key, stamp)| (stamp, key));
+        assert_eq!(victim, Some(b)); // …then the smallest key
+    }
+
+    #[test]
     fn resident_bytes_and_clear() {
         let g = generators::karate_club();
         let mut cache = SubgraphCache::new(8);
@@ -239,6 +766,121 @@ mod tests {
         let g = generators::path(3).unwrap();
         let mut cache = SubgraphCache::new(2);
         assert!(cache.get_or_extract(&g, 99, 1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod concurrent_tests {
+    use super::*;
+    use meloppr_graph::generators;
+
+    #[test]
+    fn concurrent_hits_share_one_extraction() {
+        let g = generators::karate_club();
+        let cache = ConcurrentSubgraphCache::new(16);
+        let (a, work_a) = cache.get_or_extract_counted(&g, 0, 2).unwrap();
+        let (b, work_b) = cache.get_or_extract_counted(&g, 0, 2).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(work_a > 0);
+        assert_eq!(work_b, 0);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.extractions), (1, 1, 1));
+        assert_eq!(stats.lookups(), 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_fresh_extraction_bit_for_bit() {
+        let g = generators::grid(7, 5).unwrap();
+        let cache = ConcurrentSubgraphCache::new(8);
+        for (seed, depth) in [(0u32, 2), (17, 3), (34, 1), (5, 0)] {
+            let cached = cache.get_or_extract(&g, seed, depth).unwrap();
+            let ball = meloppr_graph::bfs_ball(&g, seed, depth).unwrap();
+            let fresh = Subgraph::extract(&g, &ball).unwrap();
+            assert_eq!(cached.global_ids(), fresh.global_ids());
+            assert_eq!(cached.num_edges(), fresh.num_edges());
+            for local in 0..fresh.num_nodes() as NodeId {
+                assert_eq!(cached.neighbors(local), fresh.neighbors(local));
+                assert_eq!(cached.walk_degree(local), fresh.walk_degree(local));
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_extraction_matches_plain() {
+        let g = generators::grid(6, 6).unwrap();
+        let plain = ConcurrentSubgraphCache::new(8);
+        let scratched = ConcurrentSubgraphCache::new(8);
+        let mut scratch = ExtractScratch::new();
+        for (seed, depth) in [(14u32, 2), (0, 1), (35, 3)] {
+            let (a, wa) = plain.get_or_extract_counted(&g, seed, depth).unwrap();
+            let (b, wb) = scratched
+                .get_or_extract_with(&g, seed, depth, &mut scratch)
+                .unwrap();
+            assert_eq!(wa, wb);
+            assert_eq!(a.global_ids(), b.global_ids());
+            assert_eq!(a.num_edges(), b.num_edges());
+        }
+        assert_eq!(plain.stats(), scratched.stats());
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_counts() {
+        let g = generators::path(64).unwrap();
+        // One shard so the capacity bound is exact.
+        let cache = ConcurrentSubgraphCache::with_shards(4, 1);
+        for seed in 0..8u32 {
+            cache.get_or_extract(&g, seed, 1).unwrap();
+        }
+        assert!(cache.len() <= 4);
+        let stats = cache.stats();
+        assert_eq!(stats.extractions, 8);
+        assert_eq!(stats.evictions, 4);
+        // The most recent entry survived.
+        cache.get_or_extract(&g, 7, 1).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn errors_propagate_and_leave_no_residue() {
+        let g = generators::path(3).unwrap();
+        let cache = ConcurrentSubgraphCache::new(4);
+        assert!(cache.get_or_extract(&g, 99, 1).is_err());
+        assert!(cache.is_empty());
+        // The failed key is re-attempted (and fails again) rather than
+        // poisoning the cache.
+        assert!(cache.get_or_extract(&g, 99, 1).is_err());
+        let ok = cache.get_or_extract(&g, 1, 1);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn clear_keeps_stats_and_stays_usable() {
+        let g = generators::karate_club();
+        let cache = ConcurrentSubgraphCache::new(8);
+        cache.get_or_extract(&g, 0, 2).unwrap();
+        assert!(cache.resident_bytes() > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().extractions, 1);
+        cache.get_or_extract(&g, 0, 2).unwrap();
+        assert_eq!(cache.stats().extractions, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ConcurrentSubgraphCache::new(0);
+    }
+
+    #[test]
+    fn shard_count_clamped_and_reported() {
+        let cache = ConcurrentSubgraphCache::new(4);
+        assert_eq!(cache.shard_count(), 4);
+        assert_eq!(cache.capacity(), 4);
+        let wide = ConcurrentSubgraphCache::with_shards(1024, 32);
+        assert_eq!(wide.shard_count(), 32);
+        assert!(format!("{wide:?}").contains("ConcurrentSubgraphCache"));
     }
 }
 

@@ -17,6 +17,11 @@
 //!   [`Router`], and the [`BatchExecutor`] worker pool;
 //! * [`QueryWorkspace`] — the reusable scratch arena behind the
 //!   zero-allocation query path (one [`WorkspacePool`] per backend);
+//! * [`cache`] — sub-graph caching: the single-threaded LRU
+//!   [`SubgraphCache`] and the [`ConcurrentSubgraphCache`], a sharded,
+//!   lock-striped, singleflight cache shared by all batch workers so hot
+//!   balls in skewed traffic are extracted once and reused zero-copy
+//!   (attach with [`backend::Meloppr::with_shared_cache`]);
 //! * [`diffusion`] — the `GD(l)` kernel producing accumulated (`πa`) and
 //!   residual (`πr`) scores (Eq. 1, Fig. 3(b)), with
 //!   [`diffuse_into`] computing into caller-owned scratch;
@@ -152,7 +157,7 @@ pub use backend::{
     BackendCaps, BackendKind, BatchExecutor, BatchOutcome, BatchStats, CostEstimate, ExactPower,
     PprBackend, QueryBudget, QueryOutcome, QueryRequest, QueryStats, Route, Router,
 };
-pub use cache::SubgraphCache;
+pub use cache::{CacheStats, ConcurrentSubgraphCache, SubgraphCache};
 pub use diffusion::{
     diffuse, diffuse_from_seed, diffuse_into, DiffusionConfig, DiffusionOutput, DiffusionScratch,
     DiffusionWork,

@@ -587,6 +587,59 @@ pub(crate) fn staged_query_cached_with<G: GraphView + ?Sized>(
     Ok(acc.finish(sparse))
 }
 
+/// As [`staged_query_with`], serving sub-graph extractions from (and
+/// populating) a [`ConcurrentSubgraphCache`](crate::cache::ConcurrentSubgraphCache)
+/// shared across workers. Rankings are identical to the uncached path;
+/// only the BFS work counters differ — hits and singleflight shares
+/// record zero, and the cache's own counters attribute extraction work to
+/// exactly one worker per hot ball. Misses extract through the
+/// workspace's [`ExtractScratch`](meloppr_graph::ExtractScratch), so BFS
+/// bookkeeping buffers are still reused.
+pub(crate) fn staged_query_shared_with<G: GraphView + ?Sized>(
+    graph: &G,
+    params: &MelopprParams,
+    seed: NodeId,
+    cache: &crate::cache::ConcurrentSubgraphCache,
+    ws: &mut QueryWorkspace,
+) -> Result<MelopprOutcome> {
+    let QueryWorkspace {
+        extract,
+        diffusion,
+        candidates,
+        contributions,
+        children,
+        queue,
+        table,
+        sparse,
+        ..
+    } = ws;
+    let mut acc = QueryAccumulator::new(params, table);
+    queue.clear();
+    queue.push_back(TaskSpec {
+        node: seed,
+        weight: 1.0,
+        stage: 0,
+    });
+    while let Some(task) = queue.pop_front() {
+        acc.observe_queue(queue.len() + 1);
+        let depth = params.stages[task.stage] as u32;
+        let (sub, bfs_work) = cache.get_or_extract_with(graph, task.node, depth, extract)?;
+        let (record, candidates_count) = execute_task_on_with(
+            &sub,
+            bfs_work,
+            params,
+            &task,
+            diffusion,
+            candidates,
+            contributions,
+            children,
+        )?;
+        acc.merge_parts(contributions, children.len(), record, candidates_count);
+        queue.extend(children.iter().copied());
+    }
+    Ok(acc.finish(sparse))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

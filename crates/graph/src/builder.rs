@@ -144,12 +144,12 @@ impl GraphBuilder {
         }
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
-        offsets.push(0);
+        offsets.push(0u32);
         for d in &degree {
             acc += d;
-            offsets.push(acc);
+            offsets.push(crate::csr::checked_offset(acc)?);
         }
-        let mut cursor = offsets[..n].to_vec();
+        let mut cursor: Vec<usize> = offsets[..n].iter().map(|&o| o as usize).collect();
         let mut neighbors = vec![0 as NodeId; acc];
         for &(u, v) in &edges {
             neighbors[cursor[u as usize]] = v;
@@ -160,7 +160,7 @@ impl GraphBuilder {
         // Each node's slice was filled from edges sorted by (min, max), so
         // per-node lists may be unsorted; sort them.
         for u in 0..n {
-            neighbors[offsets[u]..offsets[u + 1]].sort_unstable();
+            neighbors[offsets[u] as usize..offsets[u + 1] as usize].sort_unstable();
         }
         CsrGraph::from_parts(offsets, neighbors)
     }

@@ -6,6 +6,13 @@
 //! `neighbors` array of length `2·|E|` (each undirected edge appears in both
 //! endpoint lists). Neighbor lists are sorted, contain no duplicates and no
 //! self-loops.
+//!
+//! Offsets are stored as `u32` — like [`NodeId`], 4 bytes comfortably cover
+//! the paper's largest graph (com-youtube: ~6 M half-edges) while halving
+//! the index-array footprint of every graph **and every cached sub-graph**
+//! (the Table II memory axis). Graphs with more than `u32::MAX` adjacency
+//! entries are rejected with [`GraphError::OffsetOverflow`] instead of
+//! silently truncating.
 
 use crate::error::{GraphError, Result};
 use crate::view::GraphView;
@@ -38,8 +45,15 @@ use crate::NodeId;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
-    offsets: Vec<usize>,
+    offsets: Vec<u32>,
     neighbors: Vec<NodeId>,
+}
+
+/// Converts an accumulated adjacency count to a `u32` offset, failing with
+/// [`GraphError::OffsetOverflow`] for graphs beyond the 4-byte range.
+#[inline]
+pub(crate) fn checked_offset(half_edges: usize) -> Result<u32> {
+    u32::try_from(half_edges).map_err(|_| GraphError::OffsetOverflow { half_edges })
 }
 
 impl CsrGraph {
@@ -73,7 +87,7 @@ impl CsrGraph {
     /// Returns [`GraphError::InvalidCsr`] describing the first violated
     /// invariant, or [`GraphError::EmptyGraph`] when `offsets` implies zero
     /// nodes.
-    pub fn from_parts(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Result<Self> {
+    pub fn from_parts(offsets: Vec<u32>, neighbors: Vec<NodeId>) -> Result<Self> {
         if offsets.len() < 2 {
             if offsets.len() == 1 && neighbors.is_empty() && offsets[0] == 0 {
                 return Err(GraphError::EmptyGraph);
@@ -88,7 +102,8 @@ impl CsrGraph {
                 reason: format!("offsets[0] must be 0, got {}", offsets[0]),
             });
         }
-        if *offsets.last().expect("non-empty") != neighbors.len() {
+        let last = checked_offset(neighbors.len())?;
+        if *offsets.last().expect("non-empty") != last {
             return Err(GraphError::InvalidCsr {
                 reason: format!(
                     "offsets[last] = {} does not match neighbors.len() = {}",
@@ -111,7 +126,7 @@ impl CsrGraph {
 
     fn validate(&self, n: usize) -> Result<()> {
         for u in 0..n {
-            let list = &self.neighbors[self.offsets[u]..self.offsets[u + 1]];
+            let list = &self.neighbors[self.offsets[u] as usize..self.offsets[u + 1] as usize];
             let mut prev: Option<NodeId> = None;
             for &v in list {
                 if v as usize >= n {
@@ -138,7 +153,7 @@ impl CsrGraph {
         }
         // Symmetry: every directed arc must have its reverse.
         for u in 0..n {
-            for &v in &self.neighbors[self.offsets[u]..self.offsets[u + 1]] {
+            for &v in &self.neighbors[self.offsets[u] as usize..self.offsets[u + 1] as usize] {
                 if !self.has_arc(v, u as NodeId) {
                     return Err(GraphError::InvalidCsr {
                         reason: format!("edge {u}->{v} present but {v}->{u} missing"),
@@ -150,7 +165,8 @@ impl CsrGraph {
     }
 
     fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
-        let list = &self.neighbors[self.offsets[u as usize]..self.offsets[u as usize + 1]];
+        let list = &self.neighbors
+            [self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize];
         list.binary_search(&v).is_ok()
     }
 
@@ -171,7 +187,7 @@ impl CsrGraph {
     /// Panics if `u` is out of bounds.
     pub fn degree(&self, u: NodeId) -> u32 {
         let u = u as usize;
-        (self.offsets[u + 1] - self.offsets[u]) as u32
+        self.offsets[u + 1] - self.offsets[u]
     }
 
     /// Sorted neighbor list of node `u`.
@@ -181,7 +197,7 @@ impl CsrGraph {
     /// Panics if `u` is out of bounds.
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
         let u = u as usize;
-        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+        &self.neighbors[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
     /// Whether the undirected edge `{u, v}` exists.
@@ -226,17 +242,17 @@ impl CsrGraph {
     /// Used by the memory-accounting model (`meloppr-core`'s `memory`
     /// module) to charge implementations for graph storage.
     pub fn csr_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<usize>()
+        self.offsets.len() * std::mem::size_of::<u32>()
             + self.neighbors.len() * std::mem::size_of::<NodeId>()
     }
 
     /// Consumes the graph and returns its raw `(offsets, neighbors)` arrays.
-    pub fn into_parts(self) -> (Vec<usize>, Vec<NodeId>) {
+    pub fn into_parts(self) -> (Vec<u32>, Vec<NodeId>) {
         (self.offsets, self.neighbors)
     }
 
     /// Borrow the raw offsets array (`len == num_nodes + 1`).
-    pub fn offsets(&self) -> &[usize] {
+    pub fn offsets(&self) -> &[u32] {
         &self.offsets
     }
 
@@ -279,7 +295,7 @@ impl Iterator for Edges<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         let n = self.graph.num_nodes();
         while self.node < n {
-            let end = self.graph.offsets[self.node + 1];
+            let end = self.graph.offsets[self.node + 1] as usize;
             while self.idx < end {
                 let v = self.graph.neighbors[self.idx];
                 self.idx += 1;
@@ -289,7 +305,7 @@ impl Iterator for Edges<'_> {
             }
             self.node += 1;
             if self.node < n {
-                self.idx = self.graph.offsets[self.node];
+                self.idx = self.graph.offsets[self.node] as usize;
             }
         }
         None
@@ -426,8 +442,17 @@ mod tests {
     }
 
     #[test]
-    fn csr_bytes_positive() {
+    fn csr_bytes_uses_u32_offsets() {
         let g = square();
-        assert!(g.csr_bytes() >= 5 * 8 + 8 * 4);
+        // 5 offsets x 4 bytes + 8 directed arcs x 4 bytes.
+        assert_eq!(g.csr_bytes(), 5 * 4 + 8 * 4);
+    }
+
+    #[test]
+    fn checked_offset_rejects_past_u32() {
+        assert_eq!(checked_offset(u32::MAX as usize).unwrap(), u32::MAX);
+        let err = checked_offset(u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(err, GraphError::OffsetOverflow { .. }));
+        assert!(err.to_string().contains("u32 offset"));
     }
 }

@@ -32,6 +32,15 @@ pub enum GraphError {
         /// Why validation failed.
         reason: String,
     },
+    /// The graph has more adjacency entries (half-edges) than the 4-byte
+    /// CSR offset representation can index. `CsrGraph` deliberately stores
+    /// `u32` offsets to halve index memory (Table II); graphs beyond ~4.29
+    /// billion half-edges need a wider offset type and are rejected rather
+    /// than silently truncated.
+    OffsetOverflow {
+        /// The adjacency entry count that overflowed.
+        half_edges: usize,
+    },
     /// An edge-list line could not be parsed.
     Parse {
         /// 1-based line number in the input.
@@ -69,6 +78,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::EmptyGraph => write!(f, "graph has no nodes"),
             GraphError::InvalidCsr { reason } => write!(f, "invalid CSR structure: {reason}"),
+            GraphError::OffsetOverflow { half_edges } => write!(
+                f,
+                "graph has {half_edges} adjacency entries, beyond the u32 offset \
+                 limit of {} (a wider offset type is required)",
+                u32::MAX
+            ),
             GraphError::Parse { line, reason } => {
                 write!(f, "edge-list parse error at line {line}: {reason}")
             }

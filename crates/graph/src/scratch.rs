@@ -78,6 +78,32 @@ impl ExtractScratch {
         ))
     }
 
+    /// As [`ExtractScratch::extract`], but transfers ownership of the
+    /// extracted [`Subgraph`] to the caller instead of keeping it in the
+    /// scratch.
+    ///
+    /// This is the miss path of long-lived sub-graph caches: the BFS
+    /// visited map, queue and ball arrays are still reused across calls,
+    /// while the sub-graph's own storage leaves the scratch (it will live
+    /// in the cache, typically behind an `Arc`), so the next `extract_owned`
+    /// call re-allocates only the sub-graph buffers. Results are
+    /// bit-identical to [`ExtractScratch::extract`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ExtractScratch::extract`].
+    pub fn extract_owned<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        seed: NodeId,
+        depth: u32,
+    ) -> Result<(Subgraph, usize)> {
+        bfs_ball_into(g, seed, depth, &mut self.bfs, &mut self.ball)?;
+        let reuse = self.sub.take();
+        let sub = Subgraph::extract_reusing(g, &self.ball, reuse)?;
+        Ok((sub, self.ball.edges_scanned))
+    }
+
     /// The ball of the most recent extraction (empty before the first).
     pub fn ball(&self) -> &BfsBall {
         &self.ball
@@ -109,6 +135,24 @@ mod tests {
             }
             assert_eq!(scratch.ball(), &ball);
         }
+    }
+
+    #[test]
+    fn extract_owned_matches_and_keeps_scratch_usable() {
+        let g = generators::grid(6, 6).unwrap();
+        let mut scratch = ExtractScratch::new();
+        let (owned, work) = scratch.extract_owned(&g, 14, 2).unwrap();
+        let ball = bfs_ball(&g, 14, 2).unwrap();
+        let fresh = Subgraph::extract(&g, &ball).unwrap();
+        assert_eq!(work, ball.edges_scanned);
+        assert_eq!(owned.global_ids(), fresh.global_ids());
+        assert_eq!(owned.num_edges(), fresh.num_edges());
+        // The scratch still extracts correctly after giving its sub-graph
+        // buffers away.
+        let (sub, _) = scratch.extract(&g, 0, 1).unwrap();
+        assert_eq!(sub.to_global(0), 0);
+        // And `owned` is an independent value, unaffected by later calls.
+        assert_eq!(owned.to_global(0), 14);
     }
 
     #[test]

@@ -101,7 +101,7 @@ impl Subgraph {
             global_to_local.insert(global, local as NodeId);
         }
 
-        offsets.push(0usize);
+        offsets.push(0u32);
         for &global in &ball.nodes {
             let start = neighbors.len();
             for &nbr in parent.neighbors(global) {
@@ -110,7 +110,7 @@ impl Subgraph {
                 }
             }
             neighbors[start..].sort_unstable();
-            offsets.push(neighbors.len());
+            offsets.push(crate::csr::checked_offset(neighbors.len())?);
             walk_degrees.push(parent.walk_degree(global));
         }
         global_ids.extend_from_slice(&ball.nodes);

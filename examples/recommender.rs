@@ -7,10 +7,12 @@
 //!
 //! Run with: `cargo run --release --example recommender`
 
+use std::sync::Arc;
+
 use meloppr::backend::{BatchExecutor, Meloppr, QueryRequest};
 use meloppr::core::precision::precision_at_k;
 use meloppr::graph::generators;
-use meloppr::{exact_top_k, MelopprParams, PprParams, SelectionStrategy};
+use meloppr::{exact_top_k, ConcurrentSubgraphCache, MelopprParams, PprParams, SelectionStrategy};
 
 const BLOCKS: usize = 8;
 const BLOCK_SIZE: usize = 250;
@@ -34,8 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     // A who-to-follow service would keep one backend per graph shard and
     // feed it whole request batches: the executor runs them on a scoped
-    // worker pool with one reusable query workspace per worker.
-    let backend = Meloppr::new(&graph, params)?;
+    // worker pool with one reusable query workspace per worker, and all
+    // workers share one concurrent sub-graph cache — celebrity users and
+    // their hub neighborhoods recur across requests, so their BFS balls
+    // are extracted once and reused zero-copy.
+    let cache = Arc::new(ConcurrentSubgraphCache::new(2048));
+    let backend = Meloppr::new(&graph, params)?.with_shared_cache(Arc::clone(&cache));
 
     let users = [10u32, 760, 1510];
     let requests: Vec<QueryRequest> = users.iter().map(|&u| QueryRequest::new(u)).collect();
@@ -75,6 +81,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "recommendations should stay inside the community"
         );
     }
+    // Production traffic is skewed: the same hot users refresh their
+    // feeds over and over. Replay a hot mix and watch the cache absorb
+    // the extraction work (hits charge zero BFS).
+    let hot_mix: Vec<QueryRequest> = (0..48)
+        .map(|i| QueryRequest::new(users[i % users.len()]))
+        .collect();
+    let hot = BatchExecutor::new(2)?.run(&backend, &hot_mix)?;
+    let cache_stats = hot.stats.cache.expect("shared cache attached");
+    println!(
+        "\nhot traffic: {} queries, {} ball extractions, {:.0}% of ball lookups \
+         served from cache, {} BFS edges scanned",
+        hot.stats.queries,
+        cache_stats.extractions,
+        cache_stats.hit_rate() * 100.0,
+        hot.stats.bfs_edges_scanned,
+    );
+    assert_eq!(
+        cache_stats.extractions, 0,
+        "every ball was warmed by the first batch"
+    );
+    assert_eq!(hot.stats.bfs_edges_scanned, 0, "hits must charge zero BFS");
+
     println!("\nrecommendations respect community structure — as PPR should.");
     Ok(())
 }

@@ -6,6 +6,7 @@
 //!                    [--stages a,b,..] [--ratio R] [--alpha A]
 //!                    [--backend auto|exact|local|mc|meloppr|fpga] [--fpga]
 //!                    [--walks W] [--threads T]
+//!                    [--cache-shared] [--cache-capacity N]
 //!                    [--max-latency-ms X] [--max-memory-kb X] [--min-precision P]
 //! meloppr-cli exact  <graph> --seed-node N [--k K] [--length L] [--alpha A]
 //! ```
@@ -26,8 +27,15 @@
 //! query workspace per worker. With `--backend auto` each request is
 //! routed individually (sequentially; `--threads` then only sets the
 //! staged backend's intra-query parallelism).
+//!
+//! `--cache-shared` attaches a concurrent sub-graph cache (capacity
+//! `--cache-capacity`, default 1024 balls) to the staged `meloppr`
+//! backend: all batch workers share one cache, hot balls are extracted
+//! once, and the batch report includes the cache's hit/extraction
+//! counters.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use meloppr::backend::{ExactPower, LocalPpr, Meloppr, MonteCarlo};
 use meloppr::core::precision::precision_at_k;
@@ -35,6 +43,7 @@ use meloppr::graph::degree::degree_stats;
 use meloppr::graph::edge_list::{read_edge_list_file, EdgeListOptions};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::graph::{components, CsrGraph};
+use meloppr::ConcurrentSubgraphCache;
 use meloppr::{
     exact_top_k, AcceleratorConfig, BatchExecutor, BatchStats, FpgaHybrid, HybridConfig,
     MelopprParams, NodeId, PprBackend, PprParams, QueryRequest, Router, SelectionStrategy,
@@ -58,13 +67,17 @@ const USAGE: &str = "usage:
                     [--stages a,b,..] [--ratio R] [--alpha A] \\
                     [--backend auto|exact|local|mc|meloppr|fpga] [--fpga] \\
                     [--walks W] [--threads T] \\
+                    [--cache-shared] [--cache-capacity N] \\
                     [--max-latency-ms X] [--max-memory-kb X] [--min-precision P]
   meloppr-cli exact <graph> --seed-node N [--k K] [--length L] [--alpha A]
 
   <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]
   --batch-file F = whitespace-separated seed nodes ('#' comments);
                    pinned backends batch with --threads workers,
-                   --backend auto routes each request individually";
+                   --backend auto routes each request individually
+  --cache-shared = share one concurrent sub-graph cache across all
+                   workers of the staged meloppr backend
+                   (--cache-capacity balls, default 1024)";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -150,6 +163,8 @@ struct QueryArgs {
     backend: BackendChoice,
     walks: usize,
     threads: usize,
+    cache_shared: bool,
+    cache_capacity: usize,
     max_latency_ms: Option<f64>,
     max_memory_kb: Option<usize>,
     min_precision: Option<f64>,
@@ -167,6 +182,8 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
         backend: BackendChoice::Auto,
         walks: 10_000,
         threads: 1,
+        cache_shared: false,
+        cache_capacity: 1024,
         max_latency_ms: None,
         max_memory_kb: None,
         min_precision: None,
@@ -231,6 +248,15 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--cache-shared" => out.cache_shared = true,
+            "--cache-capacity" => {
+                out.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?;
+                if out.cache_capacity == 0 {
+                    return Err("--cache-capacity must be >= 1".into());
+                }
+            }
             "--max-latency-ms" => {
                 out.max_latency_ms = Some(
                     value("--max-latency-ms")?
@@ -257,6 +283,14 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
     }
     if out.seed == u32::MAX && out.batch_file.is_none() {
         return Err("--seed-node or --batch-file is required".into());
+    }
+    if out.cache_shared && !matches!(out.backend, BackendChoice::Meloppr | BackendChoice::Auto) {
+        return Err(
+            "--cache-shared applies to the staged solver: use --backend meloppr \
+             (reports per-batch cache stats) or --backend auto (attaches to the \
+             router's meloppr backend)"
+                .into(),
+        );
     }
     Ok(out)
 }
@@ -386,6 +420,22 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
             print!("   walk steps: {}", stats.random_walk_steps);
         }
         println!();
+        if let Some(cache) = &stats.cache {
+            println!(
+                "shared cache: {} lookups, {} hits + {} shared, {} extractions \
+                 ({:.0}% served without BFS)",
+                cache.lookups(),
+                cache.hits,
+                cache.shared,
+                cache.extractions,
+                cache.hit_rate() * 100.0
+            );
+        } else if qa.cache_shared {
+            println!(
+                "shared cache: attached to the router's meloppr backend \
+                 (per-batch cache stats are reported only with --backend meloppr)"
+            );
+        }
         let mix: Vec<String> = stats
             .by_backend
             .iter()
@@ -462,15 +512,27 @@ fn build_pinned<'g>(
             Box::new(MonteCarlo::new(g, ppr, qa.walks, 42).map_err(err)?),
             format!("monte-carlo ({} walks)", qa.walks),
         ),
-        BackendChoice::Meloppr => (
-            Box::new(
-                Meloppr::new(g, staged)
-                    .map_err(err)?
-                    .with_threads(staged_threads)
-                    .map_err(err)?,
-            ),
-            format!("meloppr (stages {:?}, ratio {})", qa.stages, qa.ratio),
-        ),
+        BackendChoice::Meloppr => {
+            let backend = Meloppr::new(g, staged)
+                .map_err(err)?
+                .with_threads(staged_threads)
+                .map_err(err)?;
+            if qa.cache_shared {
+                let cache = Arc::new(ConcurrentSubgraphCache::new(qa.cache_capacity));
+                (
+                    Box::new(backend.with_shared_cache(cache)) as Box<dyn PprBackend + Sync>,
+                    format!(
+                        "meloppr (stages {:?}, ratio {}, shared cache of {} balls)",
+                        qa.stages, qa.ratio, qa.cache_capacity
+                    ),
+                )
+            } else {
+                (
+                    Box::new(backend) as Box<dyn PprBackend + Sync>,
+                    format!("meloppr (stages {:?}, ratio {})", qa.stages, qa.ratio),
+                )
+            }
+        }
         BackendChoice::Fpga => (
             Box::new(FpgaHybrid::new(g, staged, hybrid_config).map_err(|e| e.to_string())?),
             "fpga-hybrid (P = 16)".to_string(),
@@ -488,18 +550,24 @@ fn build_router<'g>(
     qa: &QueryArgs,
 ) -> Result<Router<'g>, String> {
     let err = |e: meloppr::core::PprError| e.to_string();
+    let mut meloppr_backend = Meloppr::new(g, staged.clone())
+        .map_err(err)?
+        .with_threads(qa.threads.max(1))
+        .map_err(err)?;
+    if qa.cache_shared {
+        // The router's staged backend shares one cache across all the
+        // requests it routes there; with self-calibration its estimates
+        // also learn the hit-rate discount.
+        meloppr_backend = meloppr_backend
+            .with_shared_cache(Arc::new(ConcurrentSubgraphCache::new(qa.cache_capacity)));
+    }
     Ok(Router::new()
         .with_backend(Box::new(ExactPower::new(g, ppr).map_err(err)?))
         .with_backend(Box::new(LocalPpr::new(g, ppr).map_err(err)?))
         .with_backend(Box::new(
             MonteCarlo::new(g, ppr, qa.walks, 42).map_err(err)?,
         ))
-        .with_backend(Box::new(
-            Meloppr::new(g, staged.clone())
-                .map_err(err)?
-                .with_threads(qa.threads.max(1))
-                .map_err(err)?,
-        ))
+        .with_backend(Box::new(meloppr_backend))
         .with_backend(Box::new(
             FpgaHybrid::new(g, staged, hybrid_config).map_err(|e| e.to_string())?,
         ))

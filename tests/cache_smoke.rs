@@ -1,0 +1,77 @@
+//! Cache-effectiveness smoke test — run in release mode by CI alongside
+//! the allocation smoke test.
+//!
+//! The shared sub-graph cache exists for one reason: under skewed real
+//! traffic, most queries should skip ball extraction entirely. This test
+//! pins that end to end with deterministic work counters (the bench host
+//! has one core, so wall clock proves nothing):
+//!
+//! * a Zipf(1.0) batch of 256 queries over a corpus graph must report at
+//!   least 2× fewer ball extractions than queries issued;
+//! * re-serving the warmed batch must charge **zero** BFS work — hits do
+//!   no extraction at all;
+//! * shared-cache rankings must be bit-identical to the uncached
+//!   sequential path.
+
+use std::sync::Arc;
+
+use meloppr::backend::{BatchExecutor, Meloppr, QueryRequest};
+use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::{ConcurrentSubgraphCache, MelopprParams, PprBackend, PprParams, SelectionStrategy};
+use meloppr_bench::sample_zipf_queries;
+
+#[test]
+fn skewed_batch_extracts_less_than_half_its_queries() {
+    let g = PaperGraph::G1Citeseer.generate_scaled(0.3, 42).unwrap();
+    // Hot-hub traffic: 256 queries, Zipf(1.0) over the 16 hottest seeds.
+    // TopCount(4) bounds the key space (each distinct seed contributes at
+    // most 1 stage-one + 4 stage-two balls), making the extraction bound
+    // provable rather than statistical.
+    let params = MelopprParams {
+        ppr: PprParams::new(0.85, 6, 20).unwrap(),
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopCount(4),
+        ..MelopprParams::paper_defaults()
+    };
+    let queries = 256usize;
+    let mix = sample_zipf_queries(&g, queries, 16, 1.0, 42);
+    assert_eq!(mix.len(), queries);
+    let reqs: Vec<QueryRequest> = mix.iter().map(|&s| QueryRequest::new(s)).collect();
+
+    // Ground truth: uncached sequential path.
+    let uncached = Meloppr::new(&g, params.clone()).unwrap();
+    let expected: Vec<_> = reqs.iter().map(|r| uncached.query(r).unwrap()).collect();
+
+    let cache = Arc::new(ConcurrentSubgraphCache::new(4096));
+    let shared = Meloppr::new(&g, params)
+        .unwrap()
+        .with_shared_cache(Arc::clone(&cache));
+    let batch = BatchExecutor::new(4).unwrap().run(&shared, &reqs).unwrap();
+
+    // Bit-identical rankings, identical diffusion work.
+    for (got, want) in batch.outcomes.iter().zip(&expected) {
+        assert_eq!(got.ranking, want.ranking);
+        assert_eq!(got.stats.total_diffusions, want.stats.total_diffusions);
+    }
+
+    // The headline: ≥2× fewer ball extractions than queries issued.
+    let stats = batch.stats.cache.expect("shared cache attached");
+    assert!(
+        stats.extractions * 2 <= queries as u64,
+        "cache ineffective: {} extractions for {queries} queries",
+        stats.extractions
+    );
+    assert_eq!(stats.evictions, 0, "capacity must hold the working set");
+    assert_eq!(stats.extractions, cache.len() as u64, "singleflight held");
+
+    // Hits perform zero BFS work: the warmed batch extracts nothing and
+    // scans nothing.
+    let again = BatchExecutor::new(4).unwrap().run(&shared, &reqs).unwrap();
+    let delta = again.stats.cache.expect("shared cache attached");
+    assert_eq!(delta.extractions, 0, "warm batch re-extracted a ball");
+    assert_eq!(delta.misses, 0);
+    assert_eq!(again.stats.bfs_edges_scanned, 0, "a hit charged BFS work");
+    for (got, want) in again.outcomes.iter().zip(&expected) {
+        assert_eq!(got.ranking, want.ranking);
+    }
+}

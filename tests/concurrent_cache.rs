@@ -1,0 +1,211 @@
+//! Concurrent shared-cache suite: N worker threads hammering one
+//! [`ConcurrentSubgraphCache`] must (a) never change query results
+//! relative to the sequential uncached path, and (b) extract each hot
+//! ball at most once (singleflight), asserted via the always-on
+//! extraction counter.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use meloppr::backend::{BatchExecutor, Meloppr, QueryRequest};
+use meloppr::graph::generators;
+use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::{
+    bfs_ball, ConcurrentSubgraphCache, CsrGraph, MelopprParams, NodeId, PprBackend, PprParams,
+    SelectionStrategy, Subgraph,
+};
+
+fn staged(selection: SelectionStrategy) -> MelopprParams {
+    MelopprParams {
+        ppr: PprParams::new(0.85, 6, 15).unwrap(),
+        stages: vec![3, 3],
+        selection,
+        ..MelopprParams::paper_defaults()
+    }
+}
+
+/// Raw cache stress: 8 threads × the same key set, started together.
+/// Every thread must observe identical sub-graph content, and the cache
+/// must have extracted each distinct key exactly once.
+#[test]
+fn stress_raw_cache_singleflight_and_consistency() {
+    let g = PaperGraph::G2Cora.generate_scaled(0.25, 11).unwrap();
+    let cache = Arc::new(ConcurrentSubgraphCache::new(4096));
+    let keys: Vec<(NodeId, u32)> = (0..48u32)
+        .filter(|&v| (v as usize) < g.num_nodes() && g.degree(v) > 0)
+        .map(|v| (v, 1 + v % 3))
+        .collect();
+    let threads = 8;
+    let rounds = 4;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let cache = &cache;
+            let g = &g;
+            let keys = &keys;
+            scope.spawn(move || {
+                // Each thread walks the keys from a different starting
+                // offset so lookups interleave misses and hits.
+                for round in 0..rounds {
+                    for i in 0..keys.len() {
+                        let (node, depth) = keys[(i + t * 7 + round) % keys.len()];
+                        let (sub, work) = cache.get_or_extract_counted(g, node, depth).unwrap();
+                        assert_eq!(sub.to_global(sub.seed_local()), node);
+                        let ball = bfs_ball(g, node, depth).unwrap();
+                        let fresh = Subgraph::extract(g, &ball).unwrap();
+                        assert_eq!(sub.global_ids(), fresh.global_ids());
+                        assert_eq!(sub.num_edges(), fresh.num_edges());
+                        // Work is charged only to the one extracting call.
+                        assert!(work == 0 || work == ball.edges_scanned);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    let distinct = keys.len() as u64;
+    assert_eq!(
+        stats.lookups(),
+        (threads * rounds * keys.len()) as u64,
+        "every lookup accounted for"
+    );
+    // Singleflight: with capacity ample and no evictions, each distinct
+    // key is extracted at most once no matter how many threads raced.
+    assert_eq!(stats.evictions, 0);
+    assert!(
+        stats.extractions <= distinct,
+        "duplicate extraction: {} extractions for {distinct} distinct keys",
+        stats.extractions
+    );
+    assert_eq!(stats.extractions, cache.len() as u64);
+    assert_eq!(stats.misses, stats.extractions);
+}
+
+/// Engine-level stress: 6 threads serving the same query list through one
+/// shared-cache backend; every ranking must be bit-identical to the
+/// sequential uncached path, and hot balls must be extracted once.
+#[test]
+fn stress_shared_backend_matches_sequential_uncached() {
+    let g = PaperGraph::G1Citeseer.generate_scaled(0.25, 5).unwrap();
+    let params = staged(SelectionStrategy::TopFraction(0.1));
+    let uncached = Meloppr::new(&g, params.clone()).unwrap();
+    let seeds: Vec<NodeId> = (0..12u32).collect();
+    let expected: Vec<_> = seeds
+        .iter()
+        .map(|&s| uncached.query(&QueryRequest::new(s)).unwrap().ranking)
+        .collect();
+
+    let cache = Arc::new(ConcurrentSubgraphCache::new(4096));
+    let shared = Meloppr::new(&g, params)
+        .unwrap()
+        .with_shared_cache(Arc::clone(&cache));
+    let threads = 6;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let shared = &shared;
+            let seeds = &seeds;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for i in 0..seeds.len() {
+                        let idx = (i + t + round) % seeds.len();
+                        let outcome = shared.query(&QueryRequest::new(seeds[idx])).unwrap();
+                        assert_eq!(
+                            outcome.ranking, expected[idx],
+                            "shared-cache result diverged for seed {}",
+                            seeds[idx]
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(stats.evictions, 0);
+    // Each distinct (node, depth) ball extracted at most once across all
+    // threads and rounds.
+    assert_eq!(stats.extractions, cache.len() as u64);
+    // 6 threads x 3 rounds x 12 queries all re-request the same balls:
+    // the overwhelming majority of lookups must be free.
+    assert!(stats.hit_rate() > 0.9, "hit rate too low: {:?}", stats);
+}
+
+/// Batch-executor equivalence on a fixed workload, all worker counts.
+#[test]
+fn shared_cache_batch_equals_per_query_path() {
+    let g = PaperGraph::G2Cora.generate_scaled(0.2, 17).unwrap();
+    let params = staged(SelectionStrategy::TopFraction(0.1));
+    let uncached = Meloppr::new(&g, params.clone()).unwrap();
+    let reqs: Vec<QueryRequest> = (0..16).map(QueryRequest::new).collect();
+    let expected: Vec<_> = reqs.iter().map(|r| uncached.query(r).unwrap()).collect();
+
+    for workers in [1usize, 2, 4, 7] {
+        let cache = Arc::new(ConcurrentSubgraphCache::new(4096));
+        let shared = Meloppr::new(&g, params.clone())
+            .unwrap()
+            .with_shared_cache(Arc::clone(&cache));
+        let batch = BatchExecutor::new(workers)
+            .unwrap()
+            .run(&shared, &reqs)
+            .unwrap();
+        for (got, want) in batch.outcomes.iter().zip(&expected) {
+            assert_eq!(got.ranking, want.ranking, "workers = {workers}");
+            // Cached stats differ only in BFS accounting: diffusion work
+            // is identical to the uncached path.
+            assert_eq!(got.stats.total_diffusions, want.stats.total_diffusions);
+            assert_eq!(
+                got.stats.diffusion_edge_updates,
+                want.stats.diffusion_edge_updates
+            );
+            assert!(got.stats.bfs_edges_scanned <= want.stats.bfs_edges_scanned);
+        }
+        let cache_stats = batch.stats.cache.expect("cache stats reported");
+        assert!(cache_stats.lookups() > 0);
+        assert_eq!(cache_stats.extractions, cache.len() as u64);
+    }
+}
+
+/// Strategy: a connected-ish random simple graph (as `tests/properties.rs`).
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (8usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        generators::locality_preferential(n, (n - 1) + n / 2, 0.5, n / 2 + 1, seed)
+            .expect("valid generator parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for random graphs, stage splits and selections, serving
+    /// a batch through a shared-cache `BatchExecutor` returns exactly the
+    /// rankings of the per-query uncached path.
+    #[test]
+    fn prop_shared_cache_batch_matches_per_query(
+        g in arb_graph(),
+        fraction in 0.05f64..0.5,
+        workers in 1usize..5,
+        capacity in 4usize..64,
+    ) {
+        let params = staged(SelectionStrategy::TopFraction(fraction));
+        let uncached = Meloppr::new(&g, params.clone()).unwrap();
+        let reqs: Vec<QueryRequest> =
+            (0..g.num_nodes().min(10) as u32).map(QueryRequest::new).collect();
+        let expected: Vec<_> = reqs.iter().map(|r| uncached.query(r).unwrap()).collect();
+
+        // Small capacities force evictions mid-batch; results must hold.
+        let cache = Arc::new(ConcurrentSubgraphCache::new(capacity));
+        let shared = Meloppr::new(&g, params)
+            .unwrap()
+            .with_shared_cache(Arc::clone(&cache));
+        let batch = BatchExecutor::new(workers).unwrap().run(&shared, &reqs).unwrap();
+        for (got, want) in batch.outcomes.iter().zip(&expected) {
+            prop_assert_eq!(&got.ranking, &want.ranking);
+        }
+        let stats = batch.stats.cache.expect("cache stats");
+        prop_assert_eq!(stats.lookups(), stats.hits + stats.shared + stats.misses);
+        prop_assert!(cache.len() <= capacity + cache.shard_count());
+    }
+}
