@@ -38,4 +38,6 @@ pub use runner::{
     measure_batch_throughput, measure_precision, measure_tradeoff, BatchThroughput, TradeoffPoint,
 };
 pub use table::TextTable;
-pub use workload::{sample_seeds, sample_zipf_queries, CorpusGraph, ExperimentScale};
+pub use workload::{
+    sample_seeds, sample_zipf_queries, sample_zipf_queries_offset, CorpusGraph, ExperimentScale,
+};

@@ -75,6 +75,29 @@ pub fn sample_zipf_queries(
     exponent: f64,
     rng_seed: u64,
 ) -> Vec<NodeId> {
+    sample_zipf_queries_offset(g, count, distinct, 0, exponent, rng_seed)
+}
+
+/// As [`sample_zipf_queries`], drawing from the `distinct` candidates
+/// starting at degree rank `offset` (rank `offset` is the mix's hottest
+/// seed). Rotating `offset` between batches models a **traffic shift** —
+/// yesterday's hot seed set going cold while a disjoint set heats up —
+/// the scenario that separates windowed cache hit rates from stale
+/// cumulative ones in the fig5 serving study.
+///
+/// Returns an empty vector when no candidate has rank ≥ `offset`.
+///
+/// # Panics
+///
+/// Panics if `exponent` is negative or non-finite.
+pub fn sample_zipf_queries_offset(
+    g: &CsrGraph,
+    count: usize,
+    distinct: usize,
+    offset: usize,
+    exponent: f64,
+    rng_seed: u64,
+) -> Vec<NodeId> {
     assert!(
         exponent.is_finite() && exponent >= 0.0,
         "Zipf exponent must be finite and non-negative, got {exponent}"
@@ -85,6 +108,10 @@ pub fn sample_zipf_queries(
         .filter(|&v| g.degree(v) > 0)
         .collect();
     candidates.sort_unstable_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+    if offset >= candidates.len() {
+        return Vec::new();
+    }
+    candidates.drain(..offset);
     candidates.truncate(distinct);
     if candidates.is_empty() || count == 0 {
         return Vec::new();
@@ -304,6 +331,21 @@ mod tests {
         let single = sample_zipf_queries(&g, 16, 1, 1.0, 1);
         assert_eq!(single.len(), 16);
         assert!(single.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn zipf_offset_rotates_to_a_disjoint_seed_set() {
+        let g = PaperGraph::G1Citeseer.generate_scaled(0.2, 7).unwrap();
+        let hot = sample_zipf_queries_offset(&g, 256, 16, 0, 1.0, 42);
+        let rotated = sample_zipf_queries_offset(&g, 256, 16, 16, 1.0, 42);
+        assert_eq!(hot, sample_zipf_queries(&g, 256, 16, 1.0, 42));
+        let hot_set: std::collections::HashSet<_> = hot.iter().collect();
+        assert!(
+            rotated.iter().all(|s| !hot_set.contains(s)),
+            "rotated mix must be disjoint from the original hot set"
+        );
+        // Past the candidate pool there is nothing to draw.
+        assert!(sample_zipf_queries_offset(&g, 8, 4, g.num_nodes(), 1.0, 1).is_empty());
     }
 
     #[test]

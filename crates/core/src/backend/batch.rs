@@ -15,16 +15,18 @@
 //! batch's wall clock, giving experiment binaries and the CLI a single
 //! throughput record per batch. When the backend extracts through a
 //! shared [`ConcurrentSubgraphCache`](crate::cache::ConcurrentSubgraphCache)
-//! the executor also brackets the batch with cache-counter snapshots and
-//! reports the delta in [`BatchStats::cache`], so callers see at a glance
-//! how many ball extractions the batch actually paid for versus served
-//! from cache.
+//! the executor also brackets the batch with snapshots of the backend's
+//! own [`CacheConsumer`](crate::cache::CacheConsumer) counters and
+//! reports the delta in [`BatchStats::cache`], so callers see at a
+//! glance how many ball extractions the batch actually paid for versus
+//! served from cache — counting exactly this batch's lookups, even when
+//! other executors or backends hammer the same cache concurrently.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use super::{BackendKind, PprBackend, QueryOutcome, QueryRequest};
-use crate::cache::CacheStats;
+use crate::cache::ConsumerStats;
 use crate::error::{PprError, Result};
 
 /// Runs request batches on a fixed-size worker pool.
@@ -85,10 +87,16 @@ impl BatchExecutor {
         B: PprBackend + Sync + ?Sized,
     {
         let started = Instant::now();
-        // Bracket the batch with cache-counter snapshots: when the backend
-        // extracts through a shared concurrent cache, the delta is this
-        // batch's cache effectiveness (every worker writes to the same
-        // counters).
+        // Bracket the batch with snapshots of the backend's *own*
+        // consumer counters: the delta is this batch's cache
+        // effectiveness, attributed to exactly this backend's lookups.
+        // (Two executors driving the same backend instance share that
+        // backend's one consumer; give each serving path its own backend
+        // handle when their traffic must be told apart.) Backends that
+        // expose a shared cache without a consumer handle fall back to
+        // global-counter deltas, which mix in any concurrent consumer's
+        // traffic.
+        let consumer_before = backend.cache_consumer().map(|c| c.stats());
         let cache_before = backend.shared_cache().map(|c| c.stats());
         let workers = self.workers.min(reqs.len()).max(1);
         let outcomes = if workers == 1 {
@@ -97,9 +105,15 @@ impl BatchExecutor {
             run_parallel(backend, reqs, workers)?
         };
         let mut stats = BatchStats::aggregate(&outcomes, started.elapsed());
-        if let (Some(cache), Some(before)) = (backend.shared_cache(), cache_before) {
-            stats.cache = Some(cache.stats().delta_since(&before));
-        }
+        stats.cache = match (backend.cache_consumer(), consumer_before) {
+            (Some(consumer), Some(before)) => Some(consumer.stats().delta_since(&before)),
+            _ => match (backend.shared_cache(), cache_before) {
+                (Some(cache), Some(before)) => {
+                    Some(ConsumerStats::from(cache.stats().delta_since(&before)))
+                }
+                _ => None,
+            },
+        };
         Ok(BatchOutcome { outcomes, stats })
     }
 }
@@ -208,14 +222,16 @@ pub struct BatchStats {
     pub by_backend: Vec<(BackendKind, usize)>,
     /// Shared sub-graph cache counter delta bracketing this batch
     /// (`None` when the backend serves without a shared cache). See
-    /// [`CacheStats`] — `extractions` much smaller than `queries` is the
-    /// skewed-traffic win the cache exists for.
+    /// [`ConsumerStats`] — `extractions` much smaller than `queries` is
+    /// the skewed-traffic win the cache exists for.
     ///
-    /// The delta is taken on the cache's **global** counters, so if other
-    /// executors or backends use the same cache concurrently with this
-    /// batch, their traffic lands in this window too; attribution is
-    /// exact only when the cache serves one batch at a time.
-    pub cache: Option<CacheStats>,
+    /// The delta is taken on the backend's own
+    /// [`CacheConsumer`](crate::cache::CacheConsumer), so it counts
+    /// exactly this batch's lookups even when other executors or
+    /// backends use the same cache concurrently. Only for backends that
+    /// expose a cache but no consumer handle does the executor fall back
+    /// to (cross-attributable) global-counter deltas.
+    pub cache: Option<ConsumerStats>,
 }
 
 impl BatchStats {

@@ -25,8 +25,15 @@
 //!   [`Meloppr::with_shared_cache`] and hammered by every batch worker
 //!   at once: hot balls recurring across a skewed batch are extracted
 //!   once and served as zero-copy `Arc<Subgraph>` handles everywhere
-//!   else, with per-batch effectiveness counters in
-//!   [`BatchStats::cache`];
+//!   else. Each backend holds its own
+//!   [`CacheConsumer`] handle, so when
+//!   several backends or executors share one cache, every
+//!   [`BatchStats::cache`] delta counts exactly that backend's own
+//!   lookups (no cross-attribution), and the staged `estimate()`
+//!   discounts BFS by that consumer's *windowed* hit rate — honest
+//!   numbers for the budget router even under shifting traffic, with
+//!   an [`AdmissionPolicy`](crate::cache::AdmissionPolicy) keeping
+//!   giant one-off balls from evicting the hot residents;
 //! * [`Router`] — per-request backend selection driven by
 //!   [`BackendCaps`] and each backend's [`CostEstimate`] against the
 //!   request's [`QueryBudget`], optionally self-calibrating its latency
@@ -76,7 +83,7 @@ pub use staged::Meloppr;
 
 use meloppr_graph::NodeId;
 
-use crate::cache::ConcurrentSubgraphCache;
+use crate::cache::{CacheConsumer, ConcurrentSubgraphCache};
 use crate::error::Result;
 use crate::local_ppr::LocalPprStats;
 use crate::meloppr::{MelopprStats, StageStats};
@@ -459,11 +466,22 @@ pub trait PprBackend {
     }
 
     /// The concurrent sub-graph cache this backend extracts through, if
-    /// any (see [`Meloppr::with_shared_cache`]). The
-    /// [`BatchExecutor`] uses this to bracket each batch with counter
-    /// snapshots and report the batch's cache effectiveness in
-    /// [`BatchStats::cache`].
+    /// any (see [`Meloppr::with_shared_cache`]). Exposes the
+    /// cache-global view (capacity, residency, whole-cache counters).
     fn shared_cache(&self) -> Option<&ConcurrentSubgraphCache> {
+        None
+    }
+
+    /// This backend's own [`CacheConsumer`] handle on its shared cache,
+    /// if it keeps one. The [`BatchExecutor`] brackets each batch with
+    /// snapshots of **this** consumer's counters and reports the delta in
+    /// [`BatchStats::cache`], so a batch's cache accounting counts
+    /// exactly the batch's own lookups even when other executors or
+    /// backends hammer the same cache concurrently. Backends that
+    /// return a `shared_cache` should return its consumer here too;
+    /// otherwise the executor falls back to (cross-attributable)
+    /// global-counter deltas.
+    fn cache_consumer(&self) -> Option<&CacheConsumer> {
         None
     }
 

@@ -8,7 +8,7 @@ use super::{
     estimate_staged_work, staged_precision_heuristic, BackendCaps, BackendKind, CostEstimate,
     LatencyModel, ParamOverrides, PprBackend, QueryOutcome, QueryRequest, QueryStats, WorkProfile,
 };
-use crate::cache::{ConcurrentSubgraphCache, SubgraphCache};
+use crate::cache::{CacheConsumer, ConcurrentSubgraphCache, SubgraphCache, DEFAULT_HIT_WINDOW};
 use crate::error::{PprError, Result};
 use crate::meloppr::{
     staged_query_cached_with, staged_query_shared_with, staged_query_with, MelopprOutcome,
@@ -37,9 +37,17 @@ use crate::workspace::{QueryWorkspace, WorkspacePool};
 /// All modes return identical rankings for identical requests; they
 /// differ only in wall-clock and BFS work accounting (cache hits charge
 /// zero BFS). With a cache attached, [`Meloppr::estimate`] discounts the
-/// predicted BFS latency by the cache's observed hit rate, so a
+/// predicted BFS latency by the **windowed** hit rate of recent lookups
+/// (`--cache-window` / [`Meloppr::with_cache_window`]), so a
 /// budget-driven [`Router`](super::Router) learns that warmed caches
-/// make staged queries cheaper.
+/// make staged queries cheaper — and un-learns it within one window when
+/// traffic shifts to cold seeds.
+///
+/// In shared mode the backend holds its own [`CacheConsumer`] handle:
+/// its lookups are attributed to *this backend* even when several
+/// backends or executors share the one cache, and warm-up extractions
+/// ([`Meloppr::prepare`]) bypass lookup accounting entirely so they
+/// never deflate the observed rate.
 ///
 /// # Examples
 ///
@@ -64,6 +72,8 @@ pub struct Meloppr<'g, G: GraphView + Sync + ?Sized> {
     params: MelopprParams,
     threads: usize,
     cache: CacheMode,
+    /// Sliding-window length for the hit rate feeding `estimate()`.
+    cache_window: usize,
     profile: WorkProfile,
     latency: LatencyModel,
     pool: WorkspacePool,
@@ -78,8 +88,12 @@ enum CacheMode {
     /// A private single-threaded LRU, serialized behind a mutex.
     Owned(Mutex<SubgraphCache>),
     /// A concurrent cache shared across workers/backends (no serialization
-    /// on the query path).
-    Shared(Arc<ConcurrentSubgraphCache>),
+    /// on the query path), with this backend's own consumer handle so its
+    /// lookups are attributed to it and to nobody else.
+    Shared {
+        cache: Arc<ConcurrentSubgraphCache>,
+        consumer: CacheConsumer,
+    },
 }
 
 impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
@@ -97,6 +111,7 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
             params,
             threads: 1,
             cache: CacheMode::None,
+            cache_window: DEFAULT_HIT_WINDOW,
             profile,
             latency: LatencyModel::default(),
             pool: WorkspacePool::new(),
@@ -136,7 +151,34 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
     /// Panics if `capacity == 0` (as [`SubgraphCache::new`] does).
     #[must_use]
     pub fn with_cache(mut self, capacity: usize) -> Self {
-        self.cache = CacheMode::Owned(Mutex::new(SubgraphCache::new(capacity)));
+        self.cache = CacheMode::Owned(Mutex::new(SubgraphCache::with_window(
+            capacity,
+            self.cache_window,
+        )));
+        self
+    }
+
+    /// Sets the sliding-window length (lookups) of the hit rate that
+    /// [`Meloppr::estimate`] discounts BFS by (default
+    /// [`DEFAULT_HIT_WINDOW`]). Applies to whichever cache mode is (or
+    /// later gets) configured; changing it resets the window's contents,
+    /// so configure it before serving traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn with_cache_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "cache window must be positive");
+        self.cache_window = window;
+        match &mut self.cache {
+            CacheMode::None => {}
+            CacheMode::Owned(cache) => cache
+                .get_mut()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .set_window(window),
+            CacheMode::Shared { consumer, .. } => *consumer = CacheConsumer::new(window),
+        }
         self
     }
 
@@ -149,12 +191,19 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
     /// cross-query parallelism belongs to the
     /// [`BatchExecutor`](super::BatchExecutor)).
     ///
-    /// Keep a clone of the `Arc` to read [`ConcurrentSubgraphCache::stats`]
-    /// — or read them per batch from
-    /// [`BatchStats::cache`](super::BatchStats::cache).
+    /// The backend registers its own [`CacheConsumer`] handle, so its
+    /// lookups stay attributed to it even when other backends, routers
+    /// or executors share the same `Arc` — read the per-backend counters
+    /// via [`PprBackend::cache_consumer`](super::PprBackend::cache_consumer)
+    /// or per batch from [`BatchStats::cache`](super::BatchStats::cache);
+    /// the cache-global view stays available through
+    /// [`ConcurrentSubgraphCache::stats`].
     #[must_use]
     pub fn with_shared_cache(mut self, cache: Arc<ConcurrentSubgraphCache>) -> Self {
-        self.cache = CacheMode::Shared(cache);
+        self.cache = CacheMode::Shared {
+            cache,
+            consumer: CacheConsumer::new(self.cache_window),
+        };
         self
     }
 
@@ -168,22 +217,26 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
         self.threads
     }
 
-    /// Fraction of recent cache lookups served without BFS work — 0.0
-    /// with no cache attached or before any lookup. Drives the BFS
-    /// discount in [`Meloppr::estimate`].
+    /// Fraction of the last [`Meloppr::with_cache_window`] cache lookups
+    /// served without BFS work — 0.0 with no cache attached or before
+    /// any lookup. Drives the BFS discount in [`Meloppr::estimate`];
+    /// windowed (not lifetime) so the discount tracks traffic shifts.
     fn cache_hit_rate(&self) -> f64 {
         match &self.cache {
             CacheMode::None => 0.0,
             CacheMode::Owned(cache) => {
-                let cache = cache.lock().expect("cache poisoned");
-                let lookups = cache.hits() + cache.misses();
-                if lookups == 0 {
-                    0.0
-                } else {
-                    cache.hits() as f64 / lookups as f64
-                }
+                // Recover a poisoned guard instead of panicking: this is
+                // the read-only routing path, and the window counters are
+                // plain integers that stay internally consistent even if
+                // a worker died mid-extraction elsewhere. A panicked
+                // worker must degrade one estimate, not poison routing
+                // forever.
+                let cache = cache
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                cache.recent_hit_rate()
             }
-            CacheMode::Shared(cache) => cache.stats().hit_rate(),
+            CacheMode::Shared { consumer, .. } => consumer.windowed_hit_rate(),
         }
     }
 
@@ -210,8 +263,13 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
 
 /// Distributes `length` over at most `parts` stages, all ≥ 1, larger
 /// stages first.
+///
+/// Never panics: `length == 0` (a request override that fails parameter
+/// validation downstream) yields `vec![0]`, which `MelopprParams::validate`
+/// rejects with a proper error — `clamp(1, length)` would panic instead
+/// (min > max), turning an invalid request into a crash.
 fn restage(parts: usize, length: usize) -> Vec<usize> {
-    let parts = parts.clamp(1, length);
+    let parts = parts.min(length.max(1)).max(1);
     let base = length / parts;
     let extra = length % parts;
     (0..parts)
@@ -235,22 +293,32 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
 
     fn prepare(&mut self) -> Result<()> {
         // Re-probe with the current stage horizon (idempotent) and, when
-        // caching, pre-extract the probe seeds' stage-one balls.
+        // caching, pre-extract the probe seeds' stage-one balls through
+        // the non-counting warm path: warm-up is not demand, so it must
+        // not register as misses that permanently deflate the hit rate
+        // `estimate()` feeds the router.
         self.profile = WorkProfile::probe_default(self.graph, self.params.ppr.length as u32)?;
         let depth = self.params.stages[0] as u32;
         let n = self.graph.num_nodes();
         match &self.cache {
             CacheMode::None => {}
             CacheMode::Owned(cache) => {
-                let mut cache = cache.lock().expect("cache poisoned");
+                let mut cache = cache
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
                 for seed in super::model::default_probe_seeds(n) {
-                    cache.get_or_extract(self.graph, seed, depth)?;
+                    cache.warm(self.graph, seed, depth)?;
                 }
             }
-            CacheMode::Shared(cache) => {
-                for seed in super::model::default_probe_seeds(n) {
-                    cache.get_or_extract(self.graph, seed, depth)?;
-                }
+            CacheMode::Shared { cache, .. } => {
+                // Extract through a pooled workspace so the warm-up BFS
+                // reuses the same scratch buffers as the serving path.
+                let mut ws = self.pool.acquire();
+                let result = super::model::default_probe_seeds(n)
+                    .into_iter()
+                    .try_for_each(|seed| cache.warm_with(self.graph, seed, depth, &mut ws.extract));
+                self.pool.release(ws);
+                result?;
             }
         }
         Ok(())
@@ -264,11 +332,11 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
         // Cache hits skip ball extraction entirely, so only the expected
         // miss fraction of the BFS work is charged: a warmed cache makes
         // the budget router prefer this backend for repeat-heavy traffic.
-        // The rate is the cache's cumulative average — an expectation
-        // under stationary traffic, optimistic for a never-seen seed
-        // (though even cold seeds hit warmed stage-two hub balls, which
-        // dominate lookups). A decayed/windowed rate is a noted
-        // follow-up.
+        // The rate is *windowed* over this backend's own recent lookups
+        // (not the lifetime average, which stays optimistic long after
+        // traffic shifts to cold seeds; not the cache-global rate, which
+        // mixes other consumers' traffic in). Warm-up extractions never
+        // enter the window.
         let bfs_miss_fraction = 1.0 - self.cache_hit_rate();
         let cost_of = |bfs: f64, diffusion_edges: f64, nodes: f64| {
             bfs * bfs_miss_fraction * m.ns_per_bfs_edge
@@ -301,7 +369,14 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
 
     fn shared_cache(&self) -> Option<&ConcurrentSubgraphCache> {
         match &self.cache {
-            CacheMode::Shared(cache) => Some(cache),
+            CacheMode::Shared { cache, .. } => Some(cache),
+            _ => None,
+        }
+    }
+
+    fn cache_consumer(&self) -> Option<&CacheConsumer> {
+        match &self.cache {
+            CacheMode::Shared { consumer, .. } => Some(consumer),
             _ => None,
         }
     }
@@ -334,8 +409,8 @@ impl<G: GraphView + Sync + ?Sized> Meloppr<'_, G> {
                 let mut cache = cache.lock().expect("cache poisoned");
                 staged_query_cached_with(self.graph, params, seed, &mut cache, ws)
             }
-            CacheMode::Shared(cache) => {
-                staged_query_shared_with(self.graph, params, seed, cache, ws)
+            CacheMode::Shared { cache, consumer } => {
+                staged_query_shared_with(self.graph, params, seed, cache, consumer, ws)
             }
             CacheMode::None if self.threads > 1 => {
                 parallel_query_impl(self.graph, params, seed, self.threads)
@@ -472,6 +547,20 @@ mod tests {
         assert_eq!(restage(3, 7), vec![3, 2, 2]);
         assert_eq!(restage(3, 2), vec![1, 1]); // clamped to length
         assert_eq!(restage(1, 4), vec![4]);
+        // Regression: length 0 must not panic (`clamp(1, 0)` did); the
+        // degenerate split is rejected by parameter validation instead.
+        assert_eq!(restage(2, 0), vec![0]);
+    }
+
+    #[test]
+    fn zero_length_override_errors_instead_of_panicking() {
+        let g = generators::karate_club();
+        let backend = Meloppr::new(&g, params()).unwrap();
+        let req = QueryRequest::new(0).with_length(0);
+        // Both the query and the routing estimate must surface the
+        // validation error, never a clamp panic.
+        assert!(backend.query(&req).is_err());
+        assert!(backend.estimate(&req).is_err());
     }
 
     #[test]
@@ -521,5 +610,125 @@ mod tests {
         backend.prepare().unwrap();
         backend.prepare().unwrap(); // idempotent
         assert!(backend.query(&QueryRequest::new(0)).is_ok());
+    }
+
+    #[test]
+    fn prepare_warming_does_not_deflate_hit_rate() {
+        let g = generators::corpus::PaperGraph::G2Cora
+            .generate_scaled(0.2, 9)
+            .unwrap();
+        let cache = Arc::new(ConcurrentSubgraphCache::new(512));
+        let mut shared = Meloppr::new(&g, params())
+            .unwrap()
+            .with_shared_cache(Arc::clone(&cache));
+        shared.prepare().unwrap();
+        assert!(cache.stats().extractions > 0, "prepare pre-extracts balls");
+        let consumer = shared.cache_consumer().expect("shared mode has a consumer");
+        assert_eq!(
+            consumer.stats().lookups(),
+            0,
+            "warm-up must not count as this backend's lookups"
+        );
+        assert_eq!(consumer.windowed_hit_rate(), 0.0);
+        // An estimate right after warming carries no discount yet (no
+        // observed demand) and, crucially, no warm-up *deflation* either:
+        // the first real queries hit the warmed balls and push the rate
+        // up from a clean slate.
+        let req = QueryRequest::new(5);
+        for _ in 0..3 {
+            shared.query(&req).unwrap();
+        }
+        assert!(consumer.windowed_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn estimate_recovers_when_owned_cache_lock_poisoned() {
+        let g = generators::karate_club();
+        let backend = Meloppr::new(&g, params()).unwrap().with_cache(8);
+        backend.query(&QueryRequest::new(0)).unwrap();
+        let before = backend.estimate(&QueryRequest::new(0)).unwrap();
+        // Poison the owned cache's mutex: a worker panicking while
+        // holding the guard must not take routing down with it.
+        std::thread::scope(|scope| {
+            let _ = scope
+                .spawn(|| {
+                    let CacheMode::Owned(cache) = &backend.cache else {
+                        unreachable!("with_cache configures the owned mode");
+                    };
+                    let _guard = cache.lock().unwrap();
+                    panic!("poison the cache lock");
+                })
+                .join();
+        });
+        let CacheMode::Owned(cache) = &backend.cache else {
+            unreachable!();
+        };
+        assert!(cache.lock().is_err(), "lock must actually be poisoned");
+        // The read-only estimate path recovers the guard instead of
+        // panicking, and still produces the same discounted estimate.
+        let after = backend.estimate(&QueryRequest::new(0)).unwrap();
+        assert_eq!(after.latency_ns, before.latency_ns);
+    }
+
+    #[test]
+    fn windowed_estimate_discount_decays_after_traffic_shift() {
+        let g = generators::corpus::PaperGraph::G2Cora
+            .generate_scaled(0.25, 9)
+            .unwrap();
+        let cache = Arc::new(ConcurrentSubgraphCache::new(2048));
+        // A small window so one burst of cold seeds flushes it.
+        let shared = Meloppr::new(&g, params())
+            .unwrap()
+            .with_cache_window(32)
+            .with_shared_cache(Arc::clone(&cache));
+        let hot = QueryRequest::new(5);
+        for _ in 0..8 {
+            shared.query(&hot).unwrap();
+        }
+        let consumer = shared.cache_consumer().unwrap();
+        assert!(consumer.windowed_hit_rate() > 0.5);
+        let warmed_estimate = shared.estimate(&hot).unwrap().latency_ns;
+        // Traffic shifts to never-seen seeds: ≥ one window of cold
+        // lookups. The windowed rate collapses — and the estimate rises
+        // back towards the undiscounted cost — while the cumulative
+        // lifetime rate stays stale and optimistic.
+        let base_misses = consumer.stats().misses;
+        let mut seed = 100u32;
+        while consumer.stats().misses - base_misses < consumer.window_len() as u64 * 2 {
+            shared.query(&QueryRequest::new(seed)).unwrap();
+            seed += 1;
+        }
+        let windowed = consumer.windowed_hit_rate();
+        let cumulative = consumer.stats().hit_rate();
+        assert!(
+            windowed < cumulative,
+            "windowed rate {windowed} must drop below the stale cumulative {cumulative}"
+        );
+        assert!(
+            shared.estimate(&hot).unwrap().latency_ns > warmed_estimate,
+            "the BFS discount must shrink once the window sees cold traffic"
+        );
+    }
+
+    #[test]
+    fn cache_window_builder_applies_to_both_modes() {
+        let g = generators::karate_club();
+        let shared = Meloppr::new(&g, params())
+            .unwrap()
+            .with_shared_cache(Arc::new(ConcurrentSubgraphCache::new(8)))
+            .with_cache_window(7);
+        assert_eq!(shared.cache_consumer().unwrap().window_len(), 7);
+        // Order-independent: window-first works too.
+        let shared = Meloppr::new(&g, params())
+            .unwrap()
+            .with_cache_window(9)
+            .with_shared_cache(Arc::new(ConcurrentSubgraphCache::new(8)));
+        assert_eq!(shared.cache_consumer().unwrap().window_len(), 9);
+        let owned = Meloppr::new(&g, params())
+            .unwrap()
+            .with_cache(8)
+            .with_cache_window(5);
+        assert!(owned.cache_consumer().is_none());
+        assert!(owned.query(&QueryRequest::new(0)).is_ok());
     }
 }

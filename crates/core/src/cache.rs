@@ -44,17 +44,51 @@
 //! reproducible); under concurrency the stamps are approximate, which is
 //! exactly the CLOCK trade: cheap hits, near-LRU victims.
 //!
-//! **Always-on counters.** Hits, shared waits, misses, extractions and
-//! evictions are relaxed atomic increments — cheap enough to leave on in
-//! production, and the substrate for the batch executor's per-batch cache
-//! accounting and the router's hit-rate-discounted BFS cost model.
+//! # Telemetry: consumers, windows, admission
+//!
+//! **Global counters.** Hits, shared waits, misses, extractions,
+//! evictions and rejected admissions are relaxed atomic increments —
+//! cheap enough to leave on in production. They describe the *cache as a
+//! whole* and are the right numbers for capacity planning.
+//!
+//! **Per-consumer attribution.** One cache is typically shared by several
+//! independent consumers — two `BatchExecutor`s, a router's staged
+//! backend plus a warming job, several backends over the same graph.
+//! Global counter deltas cannot tell their traffic apart, so every
+//! demand-lookup path also takes a [`CacheConsumer`] handle: a bundle of
+//! per-consumer atomic hit/shared/miss/extraction counters
+//! ([`ConsumerStats`]) plus two *recency-weighted* hit rates — an EWMA
+//! over recent lookups ([`CacheConsumer::decayed_hit_rate`]) and an exact
+//! fixed-size sliding window ([`CacheConsumer::windowed_hit_rate`]).
+//! The batch executor brackets each batch with *its backend's consumer*
+//! delta, so two executors hammering one cache report exactly their own
+//! lookups, and the staged backend's `estimate()` discounts predicted
+//! BFS by the windowed rate — which tracks traffic shifts within one
+//! window instead of staying optimistic on the lifetime average.
+//!
+//! **Warming.** [`ConcurrentSubgraphCache::warm`] pre-extracts a ball
+//! without counting a hit or a miss anywhere (only the physical
+//! `extractions` counter ticks), so cache warm-up never deflates any
+//! consumer's observed hit rate. Warming respects a size-based
+//! [`AdmissionPolicy`] budget but bypasses its frequency gate (an
+//! explicit warm *is* the admission decision).
+//!
+//! **Admission control.** A giant one-off ball can evict the hot hub
+//! balls that make the cache worthwhile. [`AdmissionPolicy`] decides,
+//! after extraction, whether the ball becomes resident: `Always`,
+//! `MaxNodes(n)` (never admit balls over `n` nodes), or
+//! `FrequencyGated(n)` (admit over-budget balls only once their key has
+//! been seen at least twice). Rejected balls are still returned to the
+//! caller (and shared with any singleflight waiters) — they just never
+//! enter the map, so they can never evict an admitted entry. Rejections
+//! are counted in [`CacheStats::rejected_admissions`] and per consumer.
 //!
 //! Both caches store [`Arc<Subgraph>`] so readers share entries without
 //! copying, and both charge **zero BFS work on hits** — the whole point
 //! of caching (the work counter in the `_counted` getters is the
 //! adjacency entries scanned, 0 unless this call performed the BFS).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 use meloppr_graph::{bfs_ball, ExtractScratch, FastHashMap, GraphView, NodeId, Subgraph};
@@ -106,23 +140,72 @@ pub struct SubgraphCache {
     clock: u64,
     hits: usize,
     misses: usize,
+    /// Sliding window of recent lookup outcomes (`1` = hit), a ring
+    /// buffer backing [`SubgraphCache::recent_hit_rate`].
+    window: Vec<u8>,
+    window_cursor: usize,
+    window_filled: usize,
+    window_hits: usize,
 }
 
 impl SubgraphCache {
-    /// Creates a cache holding at most `capacity` sub-graphs.
+    /// Creates a cache holding at most `capacity` sub-graphs, with the
+    /// default [`DEFAULT_HIT_WINDOW`]-lookup hit-rate window.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        Self::with_window(capacity, DEFAULT_HIT_WINDOW)
+    }
+
+    /// As [`SubgraphCache::new`] with an explicit sliding-window size for
+    /// [`SubgraphCache::recent_hit_rate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `window == 0`.
+    pub fn with_window(capacity: usize, window: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
+        assert!(window > 0, "hit-rate window must be positive");
         SubgraphCache {
             capacity,
             entries: FastHashMap::default(),
             clock: 0,
             hits: 0,
             misses: 0,
+            window: vec![0; window],
+            window_cursor: 0,
+            window_filled: 0,
+            window_hits: 0,
         }
+    }
+
+    /// Resizes the hit-rate window, discarding its current contents
+    /// (cumulative counters are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn set_window(&mut self, window: usize) {
+        assert!(window > 0, "hit-rate window must be positive");
+        self.window = vec![0; window];
+        self.window_cursor = 0;
+        self.window_filled = 0;
+        self.window_hits = 0;
+    }
+
+    /// Records one lookup outcome in the sliding window.
+    fn record_window(&mut self, hit: bool) {
+        let idx = self.window_cursor;
+        if self.window_filled < self.window.len() {
+            self.window_filled += 1;
+        } else {
+            self.window_hits -= self.window[idx] as usize;
+        }
+        self.window[idx] = hit as u8;
+        self.window_hits += hit as usize;
+        self.window_cursor = (idx + 1) % self.window.len();
     }
 
     /// Returns the cached ball around `(node, depth)`, extracting and
@@ -157,12 +240,21 @@ impl SubgraphCache {
         let clock = self.clock;
         if let Some(slot) = self.entries.get_mut(&(node, depth)) {
             slot.last_used = clock;
+            let sub = Arc::clone(&slot.sub);
             self.hits += 1;
-            return Ok((Arc::clone(&slot.sub), 0));
+            self.record_window(true);
+            return Ok((sub, 0));
         }
         self.misses += 1;
+        self.record_window(false);
         let ball = bfs_ball(g, node, depth)?;
         let sub = Arc::new(Subgraph::extract(g, &ball)?);
+        self.insert(node, depth, Arc::clone(&sub), clock);
+        Ok((sub, ball.edges_scanned))
+    }
+
+    /// Inserts an extracted ball, evicting the LRU entry when full.
+    fn insert(&mut self, node: NodeId, depth: u32, sub: Arc<Subgraph>, clock: u64) {
         if self.entries.len() >= self.capacity {
             // O(capacity) eviction scan: capacities are modest (hundreds
             // to thousands), and extraction dwarfs the scan. Equal stamps
@@ -180,11 +272,31 @@ impl SubgraphCache {
         self.entries.insert(
             (node, depth),
             Slot {
-                sub: Arc::clone(&sub),
+                sub,
                 last_used: clock,
             },
         );
-        Ok((sub, ball.edges_scanned))
+    }
+
+    /// Pre-extracts the ball around `(node, depth)` into the cache
+    /// **without counting a lookup**: neither the hit/miss counters nor
+    /// the sliding window move, so warming never deflates the observed
+    /// hit rate that routing reads. Already-resident keys are left
+    /// untouched (their recency is not bumped — warming is not demand).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction.
+    pub fn warm<G: GraphView + ?Sized>(&mut self, g: &G, node: NodeId, depth: u32) -> Result<()> {
+        if self.entries.contains_key(&(node, depth)) {
+            return Ok(());
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let ball = bfs_ball(g, node, depth)?;
+        let sub = Arc::new(Subgraph::extract(g, &ball)?);
+        self.insert(node, depth, sub, clock);
+        Ok(())
     }
 
     /// Cache hits so far.
@@ -195,6 +307,17 @@ impl SubgraphCache {
     /// Cache misses so far.
     pub fn misses(&self) -> usize {
         self.misses
+    }
+
+    /// Hit fraction of the last `window` lookups (exact over the sliding
+    /// window configured at construction; 0.0 before any lookup).
+    /// Warm-ups ([`SubgraphCache::warm`]) are not lookups and do not
+    /// appear here.
+    pub fn recent_hit_rate(&self) -> f64 {
+        if self.window_filled == 0 {
+            return 0.0;
+        }
+        self.window_hits as f64 / self.window_filled as f64
     }
 
     /// Resident entries.
@@ -221,11 +344,13 @@ impl SubgraphCache {
     }
 }
 
-/// Snapshot of a [`ConcurrentSubgraphCache`]'s always-on counters.
+/// Snapshot of a [`ConcurrentSubgraphCache`]'s always-on **global**
+/// counters.
 ///
-/// Obtained from [`ConcurrentSubgraphCache::stats`]; two snapshots bracket
-/// a batch via [`CacheStats::delta_since`] (the batch executor does this
-/// automatically and reports the delta in its `BatchStats`).
+/// Obtained from [`ConcurrentSubgraphCache::stats`]. These describe the
+/// cache as a whole; when several consumers share one cache, use each
+/// consumer's [`ConsumerStats`] (via [`CacheConsumer::stats`]) for
+/// attribution — a global delta mixes every consumer's traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served instantly from a resident entry.
@@ -235,16 +360,19 @@ pub struct CacheStats {
     pub shared: u64,
     /// Lookups that performed the extraction themselves.
     pub misses: u64,
-    /// Ball extractions actually executed (BFS + induced CSR). Equals
-    /// `misses` in steady state; the headline number for the "hot balls
-    /// extracted once" guarantee.
+    /// Ball extractions actually executed (BFS + induced CSR), including
+    /// warm-ups. Equals `misses` in steady state without warming; the
+    /// headline number for the "hot balls extracted once" guarantee.
     pub extractions: u64,
     /// Entries evicted to stay within capacity.
     pub evictions: u64,
+    /// Extracted balls the [`AdmissionPolicy`] refused to make resident
+    /// (served to the caller, never inserted).
+    pub rejected_admissions: u64,
 }
 
 impl CacheStats {
-    /// Total lookups observed.
+    /// Total lookups observed (warm-ups are not lookups).
     pub fn lookups(&self) -> u64 {
         self.hits + self.shared + self.misses
     }
@@ -267,7 +395,371 @@ impl CacheStats {
             misses: self.misses.saturating_sub(earlier.misses),
             extractions: self.extractions.saturating_sub(earlier.extractions),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            rejected_admissions: self
+                .rejected_admissions
+                .saturating_sub(earlier.rejected_admissions),
         }
+    }
+}
+
+/// Snapshot of one [`CacheConsumer`]'s counters: the lookups *this*
+/// consumer issued against a shared cache, and nothing else.
+///
+/// Two snapshots bracket a batch via [`ConsumerStats::delta_since`] (the
+/// batch executor does this automatically for the backend's consumer and
+/// reports the delta in its `BatchStats::cache`). Unlike [`CacheStats`],
+/// there is no eviction counter — eviction is a cache-global event that
+/// cannot be attributed to one consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConsumerStats {
+    /// Lookups served instantly from a resident entry.
+    pub hits: u64,
+    /// Lookups that shared another worker's in-flight extraction.
+    pub shared: u64,
+    /// Lookups that performed the extraction themselves.
+    pub misses: u64,
+    /// Ball extractions this consumer's lookups executed.
+    pub extractions: u64,
+    /// Extractions whose ball the [`AdmissionPolicy`] refused to admit.
+    pub rejected_admissions: u64,
+}
+
+impl ConsumerStats {
+    /// Total lookups this consumer issued.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.shared + self.misses
+    }
+
+    /// Fraction of this consumer's lookups served without BFS work
+    /// (cumulative lifetime average; 0.0 before any lookup). For routing
+    /// decisions prefer [`CacheConsumer::windowed_hit_rate`], which
+    /// tracks traffic shifts.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        (self.hits + self.shared) as f64 / lookups as f64
+    }
+
+    /// Counter deltas accumulated since an `earlier` snapshot.
+    pub fn delta_since(&self, earlier: &ConsumerStats) -> ConsumerStats {
+        ConsumerStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            shared: self.shared.saturating_sub(earlier.shared),
+            misses: self.misses.saturating_sub(earlier.misses),
+            extractions: self.extractions.saturating_sub(earlier.extractions),
+            rejected_admissions: self
+                .rejected_admissions
+                .saturating_sub(earlier.rejected_admissions),
+        }
+    }
+}
+
+impl From<CacheStats> for ConsumerStats {
+    /// Reinterprets a **global** counter snapshot as consumer-shaped
+    /// stats (dropping the eviction counter). Used only as the batch
+    /// executor's fallback for backends that expose a shared cache but no
+    /// consumer handle — such deltas mix every consumer's traffic.
+    fn from(stats: CacheStats) -> Self {
+        ConsumerStats {
+            hits: stats.hits,
+            shared: stats.shared,
+            misses: stats.misses,
+            extractions: stats.extractions,
+            rejected_admissions: stats.rejected_admissions,
+        }
+    }
+}
+
+/// Default sliding-window length (lookups) for windowed hit rates.
+pub const DEFAULT_HIT_WINDOW: usize = 256;
+
+/// Ring-buffer slot sentinel: no lookup recorded yet.
+const WINDOW_EMPTY: u8 = 2;
+/// Ring-buffer slot: lookup served without BFS work (hit or share).
+const WINDOW_FREE: u8 = 1;
+/// Ring-buffer slot: lookup paid for the extraction (miss).
+const WINDOW_MISS: u8 = 0;
+
+/// EWMA sentinel bit pattern: no sample yet (a NaN no update produces).
+const EWMA_UNSET: u64 = u64::MAX;
+
+/// One consumer's identity on a shared [`ConcurrentSubgraphCache`]:
+/// attribution counters plus recency-weighted hit rates.
+///
+/// Create one per logical consumer (per backend, per executor, per
+/// warming job) and pass it to the `*_as` lookup methods; the cache
+/// updates the consumer's counters alongside its own global ones. All
+/// state is atomic, so one consumer handle may be shared by the worker
+/// threads serving that consumer (e.g. every worker of one batch
+/// executor) — *that* traffic is one consumer by definition.
+///
+/// Two rates are maintained over this consumer's lookups:
+///
+/// * [`CacheConsumer::windowed_hit_rate`] — exact over the last `window`
+///   lookups (a ring buffer). Converges within one window after a
+///   traffic shift; the staged backend's `estimate()` uses this.
+/// * [`CacheConsumer::decayed_hit_rate`] — an EWMA with time constant
+///   `window` (`λ = 1/window`), smoother and cheaper to read under
+///   heavy concurrency.
+///
+/// Under concurrent lookups the window counters are maintained with
+/// relaxed atomics: reads are approximate while lookups are in flight
+/// and exact once they quiesce (same contract as the cache's global
+/// counters).
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::cache::{CacheConsumer, ConcurrentSubgraphCache};
+/// use meloppr_graph::generators;
+///
+/// # fn main() -> Result<(), meloppr_core::PprError> {
+/// let g = generators::karate_club();
+/// let cache = ConcurrentSubgraphCache::new(16);
+/// let consumer = CacheConsumer::new(64);
+/// cache.get_or_extract_counted_as(&g, 0, 2, &consumer)?;
+/// cache.get_or_extract_counted_as(&g, 0, 2, &consumer)?;
+/// assert_eq!(consumer.stats().hits, 1);
+/// assert_eq!(consumer.stats().misses, 1);
+/// assert!((consumer.windowed_hit_rate() - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CacheConsumer {
+    hits: AtomicU64,
+    shared: AtomicU64,
+    misses: AtomicU64,
+    extractions: AtomicU64,
+    rejected: AtomicU64,
+    /// EWMA of lookup outcomes (1.0 = free), stored as `f64` bits;
+    /// `EWMA_UNSET` before the first sample.
+    ewma_bits: AtomicU64,
+    /// Ring buffer of recent outcomes (`WINDOW_*` values).
+    window: Box<[AtomicU8]>,
+    cursor: AtomicUsize,
+    /// Slots written at least once (saturates at the window length).
+    filled: AtomicUsize,
+    /// Free (hit/share) outcomes currently in the window. Signed because
+    /// concurrent swap deltas may transiently interleave; clamped at 0
+    /// when read.
+    window_free: AtomicI64,
+}
+
+impl std::fmt::Debug for CacheConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheConsumer")
+            .field("stats", &self.stats())
+            .field("window", &self.window.len())
+            .field("windowed_hit_rate", &self.windowed_hit_rate())
+            .finish()
+    }
+}
+
+impl Default for CacheConsumer {
+    /// A consumer with the [`DEFAULT_HIT_WINDOW`]-lookup window.
+    fn default() -> Self {
+        CacheConsumer::new(DEFAULT_HIT_WINDOW)
+    }
+}
+
+impl CacheConsumer {
+    /// Creates a consumer whose windowed hit rate spans the last
+    /// `window` lookups (also the EWMA time constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "hit-rate window must be positive");
+        CacheConsumer {
+            hits: AtomicU64::new(0),
+            shared: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            extractions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            ewma_bits: AtomicU64::new(EWMA_UNSET),
+            window: (0..window).map(|_| AtomicU8::new(WINDOW_EMPTY)).collect(),
+            cursor: AtomicUsize::new(0),
+            filled: AtomicUsize::new(0),
+            window_free: AtomicI64::new(0),
+        }
+    }
+
+    /// The window length in lookups.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Snapshot of this consumer's attribution counters (relaxed loads;
+    /// exact once its lookups have quiesced).
+    pub fn stats(&self) -> ConsumerStats {
+        ConsumerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            shared: self.shared.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            extractions: self.extractions.load(Ordering::Relaxed),
+            rejected_admissions: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exact hit fraction of this consumer's last `window` lookups
+    /// (0.0 before any lookup). This is the rate the staged backend's
+    /// `estimate()` discounts BFS by: after a traffic shift it converges
+    /// to the new regime within one window, where the cumulative
+    /// [`ConsumerStats::hit_rate`] stays anchored to stale history.
+    pub fn windowed_hit_rate(&self) -> f64 {
+        let filled = self.filled.load(Ordering::Relaxed).min(self.window.len());
+        if filled == 0 {
+            return 0.0;
+        }
+        let free = self.window_free.load(Ordering::Relaxed).max(0) as f64;
+        (free / filled as f64).min(1.0)
+    }
+
+    /// EWMA of lookup outcomes with `λ = 1/window` (0.0 before any
+    /// lookup): smoother than the exact window, never forgets entirely.
+    pub fn decayed_hit_rate(&self) -> f64 {
+        let bits = self.ewma_bits.load(Ordering::Relaxed);
+        if bits == EWMA_UNSET {
+            return 0.0;
+        }
+        f64::from_bits(bits)
+    }
+
+    /// Records one lookup outcome (`free` = served without BFS work).
+    fn record(&self, free: bool) {
+        // Exact sliding window: claim a slot, swap the outcome in, and
+        // settle the free-count by the observed delta.
+        let slot = &self.window[self.cursor.fetch_add(1, Ordering::Relaxed) % self.window.len()];
+        let new = if free { WINDOW_FREE } else { WINDOW_MISS };
+        let old = slot.swap(new, Ordering::Relaxed);
+        if old == WINDOW_EMPTY {
+            self.filled.fetch_add(1, Ordering::Relaxed);
+        }
+        let delta = (new == WINDOW_FREE) as i64 - (old == WINDOW_FREE) as i64;
+        if delta != 0 {
+            self.window_free.fetch_add(delta, Ordering::Relaxed);
+        }
+        // EWMA: CAS loop (first sample seeds the average directly).
+        let outcome = free as u8 as f64;
+        let lambda = 1.0 / self.window.len() as f64;
+        let mut current = self.ewma_bits.load(Ordering::Relaxed);
+        loop {
+            let next = if current == EWMA_UNSET {
+                outcome
+            } else {
+                let avg = f64::from_bits(current);
+                avg + lambda * (outcome - avg)
+            };
+            match self.ewma_bits.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn on_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.record(true);
+    }
+
+    fn on_shared(&self) {
+        self.shared.fetch_add(1, Ordering::Relaxed);
+        self.record(true);
+    }
+
+    fn on_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record(false);
+    }
+}
+
+/// Whether an extracted ball may become resident in a
+/// [`ConcurrentSubgraphCache`].
+///
+/// Admission is decided **after** extraction (the ball's size is not
+/// known before BFS) and never affects the answer: a rejected ball is
+/// returned to the caller — and zero-copy-shared with any singleflight
+/// waiters — it just never enters the map, so a giant one-off ball can
+/// never evict the hot hub balls the cache exists for. Rejections are
+/// counted ([`CacheStats::rejected_admissions`], per consumer too).
+///
+/// Parse from CLI-style strings via [`std::str::FromStr`]:
+/// `"always"`, `"max-nodes:N"`, `"freq:N"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Admit every extracted ball (the pre-admission behaviour).
+    #[default]
+    Always,
+    /// Never admit balls with more than this many nodes.
+    MaxNodes(usize),
+    /// Admit balls within the node budget immediately; admit over-budget
+    /// balls only once their key has been seen at least twice (tracked
+    /// by a fixed-size counting sketch — hash collisions can only admit
+    /// *early*, never reject a deserving ball). The second miss on a hot
+    /// big ball admits it; true one-offs never displace anything.
+    FrequencyGated(usize),
+}
+
+impl AdmissionPolicy {
+    /// Whether a ball of `nodes` nodes is admitted, given whether its
+    /// key was seen before this lookup.
+    fn admits(&self, nodes: usize, seen_before: bool) -> bool {
+        match *self {
+            AdmissionPolicy::Always => true,
+            AdmissionPolicy::MaxNodes(limit) => nodes <= limit,
+            AdmissionPolicy::FrequencyGated(limit) => nodes <= limit || seen_before,
+        }
+    }
+
+    /// Whether this policy ever consults the seen-key sketch.
+    fn needs_seen_tracking(&self) -> bool {
+        matches!(self, AdmissionPolicy::FrequencyGated(_))
+    }
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AdmissionPolicy::Always => f.write_str("always"),
+            AdmissionPolicy::MaxNodes(n) => write!(f, "max-nodes:{n}"),
+            AdmissionPolicy::FrequencyGated(n) => write!(f, "freq:{n}"),
+        }
+    }
+}
+
+impl std::str::FromStr for AdmissionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        if s.eq_ignore_ascii_case("always") {
+            return Ok(AdmissionPolicy::Always);
+        }
+        let parse = |value: &str, what: &str| -> std::result::Result<usize, String> {
+            let n: usize = value
+                .parse()
+                .map_err(|e| format!("bad {what} budget {value:?}: {e}"))?;
+            if n == 0 {
+                return Err(format!("{what} budget must be >= 1"));
+            }
+            Ok(n)
+        };
+        if let Some(v) = s.strip_prefix("max-nodes:") {
+            return Ok(AdmissionPolicy::MaxNodes(parse(v, "max-nodes")?));
+        }
+        if let Some(v) = s.strip_prefix("freq:") {
+            return Ok(AdmissionPolicy::FrequencyGated(parse(v, "freq")?));
+        }
+        Err(format!(
+            "unknown admission policy {s:?} (always | max-nodes:N | freq:N)"
+        ))
     }
 }
 
@@ -349,12 +841,18 @@ pub struct ConcurrentSubgraphCache {
     shards: Box<[Shard]>,
     capacity: usize,
     per_shard_capacity: usize,
+    admission: AdmissionPolicy,
+    /// Counting sketch of key sightings for
+    /// [`AdmissionPolicy::FrequencyGated`]; empty for other policies.
+    /// Collisions over-count, which can only admit early.
+    seen: Box<[AtomicU32]>,
     clock: AtomicU64,
     hits: AtomicU64,
     shared: AtomicU64,
     misses: AtomicU64,
     extractions: AtomicU64,
     evictions: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl std::fmt::Debug for ConcurrentSubgraphCache {
@@ -371,6 +869,9 @@ impl std::fmt::Debug for ConcurrentSubgraphCache {
 /// Default shard count: enough stripes that a typical worker pool
 /// (≤ 16 threads) rarely collides, without fragmenting small capacities.
 const DEFAULT_SHARDS: usize = 16;
+
+/// Slots in the frequency-gate counting sketch (16 KiB of `AtomicU32`).
+const SEEN_SLOTS: usize = 4096;
 
 impl ConcurrentSubgraphCache {
     /// Creates a cache budgeted for `capacity` sub-graphs, striped over
@@ -411,13 +912,46 @@ impl ConcurrentSubgraphCache {
             per_shard_capacity: capacity.div_ceil(shards.len()),
             shards,
             capacity,
+            admission: AdmissionPolicy::Always,
+            seen: Box::new([]),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             shared: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             extractions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the [`AdmissionPolicy`] deciding which extracted balls become
+    /// resident (builder style; default [`AdmissionPolicy::Always`]).
+    #[must_use]
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self.seen = if policy.needs_seen_tracking() {
+            (0..SEEN_SLOTS).map(|_| AtomicU32::new(0)).collect()
+        } else {
+            Box::new([])
+        };
+        self
+    }
+
+    /// The configured admission policy.
+    pub fn admission(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// Records one sighting of `key` in the frequency sketch, returning
+    /// whether it had been seen before. Collisions over-count (early
+    /// admission only). No-op (`true`) when the policy keeps no sketch.
+    fn note_seen(&self, key: CacheKey) -> bool {
+        if self.seen.is_empty() {
+            return true;
+        }
+        let mixed = ((key.0 as u64) << 32 | key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let slot = &self.seen[(mixed >> 13) as usize % self.seen.len()];
+        slot.fetch_add(1, Ordering::Relaxed) >= 1
     }
 
     /// Total entry capacity across all shards.
@@ -439,7 +973,10 @@ impl ConcurrentSubgraphCache {
     }
 
     /// Returns the cached ball around `(node, depth)`, extracting it
-    /// exactly once across all concurrent callers on a miss.
+    /// exactly once across all concurrent callers on a miss. The lookup
+    /// is **unattributed** — it moves only the global counters. Serving
+    /// paths should identify themselves via
+    /// [`ConcurrentSubgraphCache::get_or_extract_counted_as`].
     ///
     /// # Errors
     ///
@@ -466,18 +1003,40 @@ impl ConcurrentSubgraphCache {
         node: NodeId,
         depth: u32,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, |cache, g| {
+        self.lookup(g, node, depth, None, false, |g| {
             let ball = bfs_ball(g, node, depth)?;
             let sub = Subgraph::extract(g, &ball)?;
-            cache.extractions.fetch_add(1, Ordering::Relaxed);
+            Ok((sub, ball.edges_scanned))
+        })
+    }
+
+    /// As [`ConcurrentSubgraphCache::get_or_extract_counted`], attributing
+    /// the lookup to `consumer`: its hit/shared/miss/extraction counters
+    /// and its windowed hit rates move alongside the global counters, so
+    /// several consumers sharing this cache each observe exactly their
+    /// own traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_or_extract_counted_as<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        consumer: &CacheConsumer,
+    ) -> Result<(Arc<Subgraph>, usize)> {
+        self.lookup(g, node, depth, Some(consumer), false, |g| {
+            let ball = bfs_ball(g, node, depth)?;
+            let sub = Subgraph::extract(g, &ball)?;
             Ok((sub, ball.edges_scanned))
         })
     }
 
     /// As [`ConcurrentSubgraphCache::get_or_extract_counted`], extracting
     /// through `scratch` on a miss so the BFS visited map, queue and ball
-    /// arrays are reused across misses (the query-workspace integration
-    /// used by the staged engine's shared-cache mode).
+    /// arrays are reused across misses. Unattributed; serving paths use
+    /// [`ConcurrentSubgraphCache::get_or_extract_with_as`].
     ///
     /// # Errors
     ///
@@ -489,26 +1048,90 @@ impl ConcurrentSubgraphCache {
         depth: u32,
         scratch: &mut ExtractScratch,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, |cache, g| {
-            let out = scratch.extract_owned(g, node, depth)?;
-            cache.extractions.fetch_add(1, Ordering::Relaxed);
-            Ok(out)
+        self.lookup(g, node, depth, None, false, |g| {
+            Ok(scratch.extract_owned(g, node, depth)?)
         })
     }
 
+    /// The serving-path lookup: extraction through the workspace
+    /// `scratch`, attribution to `consumer` (the query-workspace
+    /// integration used by the staged engine's shared-cache mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_or_extract_with_as<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        scratch: &mut ExtractScratch,
+        consumer: &CacheConsumer,
+    ) -> Result<(Arc<Subgraph>, usize)> {
+        self.lookup(g, node, depth, Some(consumer), false, |g| {
+            Ok(scratch.extract_owned(g, node, depth)?)
+        })
+    }
+
+    /// Pre-extracts the ball around `(node, depth)` **without counting a
+    /// lookup**: no hit, no miss, no consumer attribution — only the
+    /// physical `extractions` counter ticks when a BFS actually runs.
+    /// Warm-up therefore never deflates any observed hit rate (the bug
+    /// this method exists to fix: routing decisions fed by a rate that
+    /// warming had permanently dragged down).
+    ///
+    /// Warming respects a size budget in the [`AdmissionPolicy`] but
+    /// bypasses the frequency gate — an explicit warm *is* the admission
+    /// decision. Already-resident and in-flight keys are left alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction.
+    pub fn warm<G: GraphView + ?Sized>(&self, g: &G, node: NodeId, depth: u32) -> Result<()> {
+        self.lookup(g, node, depth, None, true, |g| {
+            let ball = bfs_ball(g, node, depth)?;
+            let sub = Subgraph::extract(g, &ball)?;
+            Ok((sub, ball.edges_scanned))
+        })
+        .map(|_| ())
+    }
+
+    /// As [`ConcurrentSubgraphCache::warm`], extracting through `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction.
+    pub fn warm_with<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        scratch: &mut ExtractScratch,
+    ) -> Result<()> {
+        self.lookup(g, node, depth, None, true, |g| {
+            Ok(scratch.extract_owned(g, node, depth)?)
+        })
+        .map(|_| ())
+    }
+
     /// The shared lookup core: fast-path read, singleflight install on
-    /// miss, condvar wait for in-flight extractions. `extract` runs at
-    /// most once per call and **never under a shard lock**.
+    /// miss, condvar wait for in-flight extractions, post-extraction
+    /// admission. `extract` runs at most once per call and **never under
+    /// a shard lock**. `warming` suppresses all lookup accounting (only
+    /// physical extraction work is counted) and bypasses the frequency
+    /// gate.
     fn lookup<G, F>(
         &self,
         g: &G,
         node: NodeId,
         depth: u32,
+        consumer: Option<&CacheConsumer>,
+        warming: bool,
         extract: F,
     ) -> Result<(Arc<Subgraph>, usize)>
     where
         G: GraphView + ?Sized,
-        F: FnOnce(&Self, &G) -> Result<(Subgraph, usize)>,
+        F: FnOnce(&G) -> Result<(Subgraph, usize)>,
     {
         let key = (node, depth);
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
@@ -537,20 +1160,35 @@ impl ConcurrentSubgraphCache {
 
         match found {
             Found::Existing(entry) => {
-                entry.last_used.store(stamp, Ordering::Relaxed);
+                // Warming is not demand: it must not refresh recency, or
+                // repeated warm-ups of never-queried probe balls would
+                // out-compete genuinely hot entries at eviction time.
+                if !warming {
+                    entry.last_used.store(stamp, Ordering::Relaxed);
+                }
                 // Hit fast path: a published entry is read without any
                 // exclusive lock (OnceLock::get is a lock-free load once
                 // set), so concurrent hits on one hot ball never
                 // serialize.
                 if let Some(sub) = entry.published.get() {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if !warming {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(c) = consumer {
+                            c.on_hit();
+                        }
+                    }
                     return Ok((Arc::clone(sub), 0));
                 }
                 let mut state = entry.state.lock().expect("cache entry poisoned");
                 loop {
                     match &*state {
                         EntryState::Ready => {
-                            self.shared.fetch_add(1, Ordering::Relaxed);
+                            if !warming {
+                                self.shared.fetch_add(1, Ordering::Relaxed);
+                                if let Some(c) = consumer {
+                                    c.on_shared();
+                                }
+                            }
                             let sub = entry.published.get().expect("ready entry published");
                             return Ok((Arc::clone(sub), 0));
                         }
@@ -564,8 +1202,14 @@ impl ConcurrentSubgraphCache {
                             // (out-of-bounds seeds), so this surfaces the
                             // same error without retry loops.
                             drop(state);
-                            self.misses.fetch_add(1, Ordering::Relaxed);
-                            let (sub, work) = extract(self, g)?;
+                            if !warming {
+                                self.misses.fetch_add(1, Ordering::Relaxed);
+                                if let Some(c) = consumer {
+                                    c.on_miss();
+                                }
+                            }
+                            let (sub, work) = extract(g)?;
+                            self.count_extraction(consumer, warming);
                             // Deterministic failures cannot reach here, but
                             // a success is still a valid answer: serve it
                             // without touching the map (the key was purged).
@@ -575,10 +1219,46 @@ impl ConcurrentSubgraphCache {
                 }
             }
             Found::Winner(entry) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                match extract(self, g) {
+                if !warming {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if let Some(c) = consumer {
+                        c.on_miss();
+                    }
+                }
+                // The frequency gate counts demand sightings; a warm-up
+                // is treated as already-seen (warming *is* the decision).
+                let seen_before = if warming || !self.admission.needs_seen_tracking() {
+                    true
+                } else {
+                    self.note_seen(key)
+                };
+                match extract(g) {
                     Ok((sub, work)) => {
                         let sub = Arc::new(sub);
+                        self.count_extraction(consumer, warming);
+                        let admitted = self.admission.admits(sub.num_nodes(), seen_before);
+                        if !admitted {
+                            // Rejected: remove the entry from the map
+                            // BEFORE publishing, so a rejected ball is
+                            // never map-visible as a published resident —
+                            // a concurrent admitter's eviction scan would
+                            // otherwise count it and could evict an
+                            // admitted entry in its place. Singleflight
+                            // waiters hold the `Arc<Entry>` directly and
+                            // are still served zero-copy below.
+                            self.rejected.fetch_add(1, Ordering::Relaxed);
+                            if let Some(c) = consumer {
+                                if !warming {
+                                    c.rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            let mut map = shard.map.write().expect("cache shard poisoned");
+                            if let Some(current) = map.get(&key) {
+                                if Arc::ptr_eq(current, &entry) {
+                                    map.remove(&key);
+                                }
+                            }
+                        }
                         entry
                             .published
                             .set(Arc::clone(&sub))
@@ -588,7 +1268,9 @@ impl ConcurrentSubgraphCache {
                             *state = EntryState::Ready;
                         }
                         entry.ready.notify_all();
-                        self.evict_over_capacity(shard, key);
+                        if admitted {
+                            self.evict_over_capacity(shard, key);
+                        }
                         Ok((sub, work))
                     }
                     Err(err) => {
@@ -610,6 +1292,18 @@ impl ConcurrentSubgraphCache {
         }
     }
 
+    /// Counts one physical ball extraction (globally, and for the
+    /// demanding consumer when the lookup is attributed).
+    fn count_extraction(&self, consumer: Option<&CacheConsumer>, warming: bool) {
+        self.extractions.fetch_add(1, Ordering::Relaxed);
+        if warming {
+            return;
+        }
+        if let Some(c) = consumer {
+            c.extractions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Evicts the least-recently-stamped **ready** entries of `shard`
     /// until it is back within its capacity share. `keep` (the key just
     /// published) and in-flight pending entries are never victims. Equal
@@ -617,7 +1311,21 @@ impl ConcurrentSubgraphCache {
     /// eviction order.
     fn evict_over_capacity(&self, shard: &Shard, keep: CacheKey) {
         let mut map = shard.map.write().expect("cache shard poisoned");
-        while map.len() > self.per_shard_capacity {
+        // O(1) fast path: `map.len()` bounds the resident count from
+        // above (rejected balls are removed before they publish, so a
+        // published map entry is always an admitted resident; the only
+        // overcount is in-flight pending placeholders).
+        if map.len() <= self.per_shard_capacity {
+            return;
+        }
+        // Count only *published* entries against the budget — once; the
+        // count is maintained incrementally while we evict. Pending
+        // placeholders must never push an admitted resident out.
+        let mut resident = map
+            .values()
+            .filter(|entry| entry.published.get().is_some())
+            .count();
+        while resident > self.per_shard_capacity {
             let victim = map
                 .iter()
                 .filter(|&(&key, entry)| key != keep && entry.published.get().is_some())
@@ -627,6 +1335,7 @@ impl ConcurrentSubgraphCache {
                 Some((_, key)) => {
                     map.remove(&key);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    resident -= 1;
                 }
                 None => break, // everything else is pending or `keep`
             }
@@ -642,6 +1351,7 @@ impl ConcurrentSubgraphCache {
             misses: self.misses.load(Ordering::Relaxed),
             extractions: self.extractions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            rejected_admissions: self.rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -881,6 +1591,235 @@ mod concurrent_tests {
         let wide = ConcurrentSubgraphCache::with_shards(1024, 32);
         assert_eq!(wide.shard_count(), 32);
         assert!(format!("{wide:?}").contains("ConcurrentSubgraphCache"));
+    }
+
+    #[test]
+    fn consumers_attribute_their_own_lookups() {
+        let g = generators::path(32).unwrap();
+        let cache = ConcurrentSubgraphCache::new(64);
+        let a = CacheConsumer::new(16);
+        let b = CacheConsumer::new(16);
+        // Consumer A: 4 distinct misses + 4 repeat hits.
+        for seed in 0..4u32 {
+            cache.get_or_extract_counted_as(&g, seed, 1, &a).unwrap();
+        }
+        for seed in 0..4u32 {
+            cache.get_or_extract_counted_as(&g, seed, 1, &a).unwrap();
+        }
+        // Consumer B: 2 hits on A's entries + 2 fresh misses.
+        for seed in 0..2u32 {
+            cache.get_or_extract_counted_as(&g, seed, 1, &b).unwrap();
+        }
+        for seed in 10..12u32 {
+            cache.get_or_extract_counted_as(&g, seed, 1, &b).unwrap();
+        }
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!((sa.hits, sa.misses, sa.extractions), (4, 4, 4));
+        assert_eq!((sb.hits, sb.misses, sb.extractions), (2, 2, 2));
+        assert_eq!(sa.lookups() + sb.lookups(), cache.stats().lookups());
+        assert!((sa.hit_rate() - 0.5).abs() < 1e-12);
+        // The global view sums both consumers.
+        assert_eq!(cache.stats().extractions, 6);
+    }
+
+    #[test]
+    fn windowed_rate_converges_after_traffic_shift() {
+        let g = generators::path(512).unwrap();
+        let cache = ConcurrentSubgraphCache::new(1024);
+        let consumer = CacheConsumer::new(16);
+        // Warm phase: one hot key looked up far beyond the window, so the
+        // cumulative rate climbs towards 1.
+        cache
+            .get_or_extract_counted_as(&g, 0, 1, &consumer)
+            .unwrap();
+        for _ in 0..63 {
+            cache
+                .get_or_extract_counted_as(&g, 0, 1, &consumer)
+                .unwrap();
+        }
+        let stale_cumulative = consumer.stats().hit_rate();
+        assert!(stale_cumulative > 0.9);
+        assert!(consumer.windowed_hit_rate() > 0.9);
+        // Shift: 16 (= one window) never-seen seeds, all misses. The
+        // window must converge to the new all-miss regime within one
+        // window while the cumulative rate stays stale.
+        for seed in 100..116u32 {
+            cache
+                .get_or_extract_counted_as(&g, seed, 1, &consumer)
+                .unwrap();
+        }
+        assert_eq!(consumer.windowed_hit_rate(), 0.0);
+        assert!(consumer.stats().hit_rate() > 0.7, "cumulative stays stale");
+        assert!(consumer.decayed_hit_rate() < stale_cumulative);
+        assert!(consumer.windowed_hit_rate() < consumer.stats().hit_rate());
+    }
+
+    #[test]
+    fn ewma_tracks_window_direction() {
+        let consumer = CacheConsumer::new(8);
+        assert_eq!(consumer.decayed_hit_rate(), 0.0);
+        consumer.record(true);
+        assert!((consumer.decayed_hit_rate() - 1.0).abs() < 1e-12);
+        for _ in 0..8 {
+            consumer.record(false);
+        }
+        assert!(consumer.decayed_hit_rate() < 0.5);
+        assert_eq!(consumer.windowed_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn warming_counts_no_lookups_and_serves_hits() {
+        let g = generators::karate_club();
+        let cache = ConcurrentSubgraphCache::new(16);
+        let consumer = CacheConsumer::new(8);
+        cache.warm(&g, 0, 2).unwrap();
+        cache.warm(&g, 0, 2).unwrap(); // idempotent, no second extraction
+        let warmed = cache.stats();
+        assert_eq!(warmed.extractions, 1);
+        assert_eq!(warmed.lookups(), 0);
+        // The first demand lookup is a hit — warming did its job without
+        // polluting the hit rate.
+        let (_, work) = cache
+            .get_or_extract_counted_as(&g, 0, 2, &consumer)
+            .unwrap();
+        assert_eq!(work, 0);
+        assert_eq!(consumer.stats().hits, 1);
+        assert_eq!(consumer.stats().misses, 0);
+        assert!((consumer.windowed_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_does_not_refresh_recency_of_resident_entries() {
+        let g = generators::path(32).unwrap();
+        let cache = ConcurrentSubgraphCache::with_shards(2, 1);
+        cache.get_or_extract(&g, 0, 1).unwrap(); // A (oldest demand)
+        cache.get_or_extract(&g, 1, 1).unwrap(); // B
+                                                 // Re-warming A is not demand: it must NOT refresh A's recency.
+        cache.warm(&g, 0, 1).unwrap();
+        cache.get_or_extract(&g, 2, 1).unwrap(); // evicts A, not B
+        let before = cache.stats().misses;
+        cache.get_or_extract(&g, 1, 1).unwrap(); // B survived
+        assert_eq!(cache.stats().misses, before);
+        cache.get_or_extract(&g, 0, 1).unwrap(); // A was the victim
+        assert_eq!(cache.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn max_nodes_admission_rejects_but_serves() {
+        let g = generators::grid(8, 8).unwrap();
+        // A depth-0 ball is 1 node; depth-3 balls are much larger.
+        let cache =
+            ConcurrentSubgraphCache::with_shards(8, 1).with_admission(AdmissionPolicy::MaxNodes(4));
+        assert_eq!(cache.admission(), AdmissionPolicy::MaxNodes(4));
+        let consumer = CacheConsumer::new(8);
+        let small = cache
+            .get_or_extract_counted_as(&g, 0, 0, &consumer)
+            .unwrap();
+        assert_eq!(small.0.num_nodes(), 1);
+        let big = cache
+            .get_or_extract_counted_as(&g, 27, 3, &consumer)
+            .unwrap();
+        assert!(big.0.num_nodes() > 4, "grid ball should exceed the budget");
+        assert!(big.1 > 0, "rejected balls are still served (and paid for)");
+        // Only the small ball is resident; the big one was rejected.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().rejected_admissions, 1);
+        assert_eq!(consumer.stats().rejected_admissions, 1);
+        // The big ball misses again; the small one still hits (the
+        // rejected ball evicted nothing).
+        cache
+            .get_or_extract_counted_as(&g, 27, 3, &consumer)
+            .unwrap();
+        cache
+            .get_or_extract_counted_as(&g, 0, 0, &consumer)
+            .unwrap();
+        let stats = consumer.stats();
+        assert_eq!(stats.misses, 3); // small, big, big-again
+        assert_eq!(stats.hits, 1); // small-again
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn frequency_gate_admits_on_second_sighting() {
+        let g = generators::grid(8, 8).unwrap();
+        let cache = ConcurrentSubgraphCache::with_shards(8, 1)
+            .with_admission(AdmissionPolicy::FrequencyGated(4));
+        let consumer = CacheConsumer::new(8);
+        // First sighting of a big ball: extracted, served, rejected.
+        cache
+            .get_or_extract_counted_as(&g, 27, 3, &consumer)
+            .unwrap();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().rejected_admissions, 1);
+        // Second sighting: the key has proven demand, so it is admitted.
+        let (_, work) = cache
+            .get_or_extract_counted_as(&g, 27, 3, &consumer)
+            .unwrap();
+        assert!(work > 0);
+        assert_eq!(cache.len(), 1);
+        // Third lookup is a hit.
+        let (_, work) = cache
+            .get_or_extract_counted_as(&g, 27, 3, &consumer)
+            .unwrap();
+        assert_eq!(work, 0);
+        assert_eq!(consumer.stats().hits, 1);
+        // Small balls are admitted immediately regardless of frequency.
+        cache
+            .get_or_extract_counted_as(&g, 0, 0, &consumer)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn admission_policy_parses_and_displays() {
+        use std::str::FromStr;
+        assert_eq!(
+            AdmissionPolicy::from_str("always").unwrap(),
+            AdmissionPolicy::Always
+        );
+        assert_eq!(
+            AdmissionPolicy::from_str("max-nodes:128").unwrap(),
+            AdmissionPolicy::MaxNodes(128)
+        );
+        assert_eq!(
+            AdmissionPolicy::from_str("freq:64").unwrap(),
+            AdmissionPolicy::FrequencyGated(64)
+        );
+        assert!(AdmissionPolicy::from_str("max-nodes:0").is_err());
+        assert!(AdmissionPolicy::from_str("freq:x").is_err());
+        assert!(AdmissionPolicy::from_str("lfu").is_err());
+        for policy in [
+            AdmissionPolicy::Always,
+            AdmissionPolicy::MaxNodes(7),
+            AdmissionPolicy::FrequencyGated(9),
+        ] {
+            assert_eq!(
+                AdmissionPolicy::from_str(&policy.to_string()).unwrap(),
+                policy
+            );
+        }
+    }
+
+    #[test]
+    fn owned_cache_window_and_warm() {
+        let g = generators::path(32).unwrap();
+        let mut cache = SubgraphCache::with_window(8, 4);
+        assert_eq!(cache.recent_hit_rate(), 0.0);
+        cache.warm(&g, 0, 1).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(cache.len(), 1);
+        cache.get_or_extract(&g, 0, 1).unwrap(); // hit on the warmed ball
+        assert_eq!(cache.hits(), 1);
+        assert!((cache.recent_hit_rate() - 1.0).abs() < 1e-12);
+        // Four misses roll the hit out of the 4-lookup window.
+        for seed in 10..14u32 {
+            cache.get_or_extract(&g, seed, 1).unwrap();
+        }
+        assert_eq!(cache.recent_hit_rate(), 0.0);
+        cache.set_window(2);
+        assert_eq!(cache.recent_hit_rate(), 0.0);
+        cache.get_or_extract(&g, 13, 1).unwrap();
+        assert!((cache.recent_hit_rate() - 1.0).abs() < 1e-12);
     }
 }
 

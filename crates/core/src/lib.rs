@@ -157,7 +157,10 @@ pub use backend::{
     BackendCaps, BackendKind, BatchExecutor, BatchOutcome, BatchStats, CostEstimate, ExactPower,
     PprBackend, QueryBudget, QueryOutcome, QueryRequest, QueryStats, Route, Router,
 };
-pub use cache::{CacheStats, ConcurrentSubgraphCache, SubgraphCache};
+pub use cache::{
+    AdmissionPolicy, CacheConsumer, CacheStats, ConcurrentSubgraphCache, ConsumerStats,
+    SubgraphCache,
+};
 pub use diffusion::{
     diffuse, diffuse_from_seed, diffuse_into, DiffusionConfig, DiffusionOutput, DiffusionScratch,
     DiffusionWork,

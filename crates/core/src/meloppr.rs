@@ -589,17 +589,22 @@ pub(crate) fn staged_query_cached_with<G: GraphView + ?Sized>(
 
 /// As [`staged_query_with`], serving sub-graph extractions from (and
 /// populating) a [`ConcurrentSubgraphCache`](crate::cache::ConcurrentSubgraphCache)
-/// shared across workers. Rankings are identical to the uncached path;
-/// only the BFS work counters differ — hits and singleflight shares
-/// record zero, and the cache's own counters attribute extraction work to
-/// exactly one worker per hot ball. Misses extract through the
-/// workspace's [`ExtractScratch`](meloppr_graph::ExtractScratch), so BFS
-/// bookkeeping buffers are still reused.
+/// shared across workers, attributing every lookup to `consumer` (the
+/// querying backend's [`CacheConsumer`](crate::cache::CacheConsumer)
+/// handle — so several backends or executors sharing one cache each see
+/// exactly their own hit/miss traffic). Rankings are identical to the
+/// uncached path; only the BFS work counters differ — hits and
+/// singleflight shares record zero, and the cache's own counters
+/// attribute extraction work to exactly one worker per hot ball. Misses
+/// extract through the workspace's
+/// [`ExtractScratch`](meloppr_graph::ExtractScratch), so BFS bookkeeping
+/// buffers are still reused.
 pub(crate) fn staged_query_shared_with<G: GraphView + ?Sized>(
     graph: &G,
     params: &MelopprParams,
     seed: NodeId,
     cache: &crate::cache::ConcurrentSubgraphCache,
+    consumer: &crate::cache::CacheConsumer,
     ws: &mut QueryWorkspace,
 ) -> Result<MelopprOutcome> {
     let QueryWorkspace {
@@ -623,7 +628,8 @@ pub(crate) fn staged_query_shared_with<G: GraphView + ?Sized>(
     while let Some(task) = queue.pop_front() {
         acc.observe_queue(queue.len() + 1);
         let depth = params.stages[task.stage] as u32;
-        let (sub, bfs_work) = cache.get_or_extract_with(graph, task.node, depth, extract)?;
+        let (sub, bfs_work) =
+            cache.get_or_extract_with_as(graph, task.node, depth, extract, consumer)?;
         let (record, candidates_count) = execute_task_on_with(
             &sub,
             bfs_work,

@@ -12,7 +12,10 @@ use std::sync::Arc;
 use meloppr::backend::{BatchExecutor, Meloppr, QueryRequest};
 use meloppr::core::precision::precision_at_k;
 use meloppr::graph::generators;
-use meloppr::{exact_top_k, ConcurrentSubgraphCache, MelopprParams, PprParams, SelectionStrategy};
+use meloppr::{
+    exact_top_k, AdmissionPolicy, ConcurrentSubgraphCache, MelopprParams, PprBackend, PprParams,
+    SelectionStrategy,
+};
 
 const BLOCKS: usize = 8;
 const BLOCK_SIZE: usize = 250;
@@ -39,8 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // worker pool with one reusable query workspace per worker, and all
     // workers share one concurrent sub-graph cache — celebrity users and
     // their hub neighborhoods recur across requests, so their BFS balls
-    // are extracted once and reused zero-copy.
-    let cache = Arc::new(ConcurrentSubgraphCache::new(2048));
+    // are extracted once and reused zero-copy. A frequency-gated
+    // admission policy keeps one-off giant neighborhoods (a crawler
+    // hitting a random whale once) from evicting the hot residents: an
+    // over-budget ball only becomes resident on its second sighting.
+    let cache = Arc::new(
+        ConcurrentSubgraphCache::new(2048).with_admission(AdmissionPolicy::FrequencyGated(600)),
+    );
     let backend = Meloppr::new(&graph, params)?.with_shared_cache(Arc::clone(&cache));
 
     let users = [10u32, 760, 1510];
@@ -88,6 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| QueryRequest::new(users[i % users.len()]))
         .collect();
     let hot = BatchExecutor::new(2)?.run(&backend, &hot_mix)?;
+    // BatchStats::cache is this backend's consumer-attributed delta: it
+    // counts exactly this batch's lookups, even if another service
+    // shared the same cache Arc concurrently.
     let cache_stats = hot.stats.cache.expect("shared cache attached");
     println!(
         "\nhot traffic: {} queries, {} ball extractions, {:.0}% of ball lookups \
@@ -102,6 +113,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "every ball was warmed by the first batch"
     );
     assert_eq!(hot.stats.bfs_edges_scanned, 0, "hits must charge zero BFS");
+    let consumer = backend
+        .cache_consumer()
+        .expect("shared mode has a consumer");
+    println!(
+        "cache telemetry: windowed hit rate {:.0}% (recent lookups, what routing \
+         estimates use) vs {:.0}% lifetime; {} over-budget admissions rejected globally",
+        consumer.windowed_hit_rate() * 100.0,
+        consumer.stats().hit_rate() * 100.0,
+        cache.stats().rejected_admissions,
+    );
 
     println!("\nrecommendations respect community structure — as PPR should.");
     Ok(())

@@ -7,6 +7,7 @@
 //!                    [--backend auto|exact|local|mc|meloppr|fpga] [--fpga]
 //!                    [--walks W] [--threads T]
 //!                    [--cache-shared] [--cache-capacity N]
+//!                    [--cache-admission always|max-nodes:N|freq:N] [--cache-window N]
 //!                    [--max-latency-ms X] [--max-memory-kb X] [--min-precision P]
 //! meloppr-cli exact  <graph> --seed-node N [--k K] [--length L] [--alpha A]
 //! ```
@@ -31,8 +32,13 @@
 //! `--cache-shared` attaches a concurrent sub-graph cache (capacity
 //! `--cache-capacity`, default 1024 balls) to the staged `meloppr`
 //! backend: all batch workers share one cache, hot balls are extracted
-//! once, and the batch report includes the cache's hit/extraction
-//! counters.
+//! once, and the batch report includes the backend's consumer-attributed
+//! hit/extraction counters (exactly this batch's lookups, even if other
+//! consumers share the cache). `--cache-admission` sets the admission
+//! policy (`always` | `max-nodes:N` | `freq:N`) so giant one-off balls
+//! don't evict hot residents, and `--cache-window` sets the sliding
+//! window (lookups) of the hit rate that routing estimates discount BFS
+//! by.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -43,11 +49,11 @@ use meloppr::graph::degree::degree_stats;
 use meloppr::graph::edge_list::{read_edge_list_file, EdgeListOptions};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::graph::{components, CsrGraph};
-use meloppr::ConcurrentSubgraphCache;
 use meloppr::{
     exact_top_k, AcceleratorConfig, BatchExecutor, BatchStats, FpgaHybrid, HybridConfig,
     MelopprParams, NodeId, PprBackend, PprParams, QueryRequest, Router, SelectionStrategy,
 };
+use meloppr::{AdmissionPolicy, ConcurrentSubgraphCache};
 
 fn main() -> ExitCode {
     match run() {
@@ -68,6 +74,7 @@ const USAGE: &str = "usage:
                     [--backend auto|exact|local|mc|meloppr|fpga] [--fpga] \\
                     [--walks W] [--threads T] \\
                     [--cache-shared] [--cache-capacity N] \\
+                    [--cache-admission always|max-nodes:N|freq:N] [--cache-window N] \\
                     [--max-latency-ms X] [--max-memory-kb X] [--min-precision P]
   meloppr-cli exact <graph> --seed-node N [--k K] [--length L] [--alpha A]
 
@@ -77,7 +84,12 @@ const USAGE: &str = "usage:
                    --backend auto routes each request individually
   --cache-shared = share one concurrent sub-graph cache across all
                    workers of the staged meloppr backend
-                   (--cache-capacity balls, default 1024)";
+                   (--cache-capacity balls, default 1024)
+  --cache-admission = ball admission policy: always (default),
+                   max-nodes:N (never admit balls over N nodes), or
+                   freq:N (admit over-budget balls on second sighting)
+  --cache-window = sliding window (lookups) for the hit rate that
+                   routing estimates discount BFS by (default 256)";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -165,6 +177,8 @@ struct QueryArgs {
     threads: usize,
     cache_shared: bool,
     cache_capacity: usize,
+    cache_admission: AdmissionPolicy,
+    cache_window: usize,
     max_latency_ms: Option<f64>,
     max_memory_kb: Option<usize>,
     min_precision: Option<f64>,
@@ -184,6 +198,8 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
         threads: 1,
         cache_shared: false,
         cache_capacity: 1024,
+        cache_admission: AdmissionPolicy::Always,
+        cache_window: 256,
         max_latency_ms: None,
         max_memory_kb: None,
         min_precision: None,
@@ -255,6 +271,19 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
                     .map_err(|e| format!("--cache-capacity: {e}"))?;
                 if out.cache_capacity == 0 {
                     return Err("--cache-capacity must be >= 1".into());
+                }
+            }
+            "--cache-admission" => {
+                out.cache_admission = value("--cache-admission")?
+                    .parse()
+                    .map_err(|e| format!("--cache-admission: {e}"))?
+            }
+            "--cache-window" => {
+                out.cache_window = value("--cache-window")?
+                    .parse()
+                    .map_err(|e| format!("--cache-window: {e}"))?;
+                if out.cache_window == 0 {
+                    return Err("--cache-window must be >= 1".into());
                 }
             }
             "--max-latency-ms" => {
@@ -422,12 +451,13 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
         println!();
         if let Some(cache) = &stats.cache {
             println!(
-                "shared cache: {} lookups, {} hits + {} shared, {} extractions \
-                 ({:.0}% served without BFS)",
+                "shared cache (this batch's own lookups): {} lookups, {} hits + {} shared, \
+                 {} extractions, {} admissions rejected ({:.0}% served without BFS)",
                 cache.lookups(),
                 cache.hits,
                 cache.shared,
                 cache.extractions,
+                cache.rejected_admissions,
                 cache.hit_rate() * 100.0
             );
         } else if qa.cache_shared {
@@ -516,14 +546,19 @@ fn build_pinned<'g>(
             let backend = Meloppr::new(g, staged)
                 .map_err(err)?
                 .with_threads(staged_threads)
-                .map_err(err)?;
+                .map_err(err)?
+                .with_cache_window(qa.cache_window);
             if qa.cache_shared {
-                let cache = Arc::new(ConcurrentSubgraphCache::new(qa.cache_capacity));
+                let cache = Arc::new(
+                    ConcurrentSubgraphCache::new(qa.cache_capacity)
+                        .with_admission(qa.cache_admission),
+                );
                 (
                     Box::new(backend.with_shared_cache(cache)) as Box<dyn PprBackend + Sync>,
                     format!(
-                        "meloppr (stages {:?}, ratio {}, shared cache of {} balls)",
-                        qa.stages, qa.ratio, qa.cache_capacity
+                        "meloppr (stages {:?}, ratio {}, shared cache of {} balls, \
+                         admission {})",
+                        qa.stages, qa.ratio, qa.cache_capacity, qa.cache_admission
                     ),
                 )
             } else {
@@ -553,13 +588,16 @@ fn build_router<'g>(
     let mut meloppr_backend = Meloppr::new(g, staged.clone())
         .map_err(err)?
         .with_threads(qa.threads.max(1))
-        .map_err(err)?;
+        .map_err(err)?
+        .with_cache_window(qa.cache_window);
     if qa.cache_shared {
         // The router's staged backend shares one cache across all the
-        // requests it routes there; with self-calibration its estimates
-        // also learn the hit-rate discount.
-        meloppr_backend = meloppr_backend
-            .with_shared_cache(Arc::new(ConcurrentSubgraphCache::new(qa.cache_capacity)));
+        // requests it routes there; its estimates discount BFS by the
+        // backend consumer's windowed hit rate (and with self-calibration
+        // also learn residual latency error).
+        meloppr_backend = meloppr_backend.with_shared_cache(Arc::new(
+            ConcurrentSubgraphCache::new(qa.cache_capacity).with_admission(qa.cache_admission),
+        ));
     }
     Ok(Router::new()
         .with_backend(Box::new(ExactPower::new(g, ppr).map_err(err)?))

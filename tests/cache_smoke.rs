@@ -8,6 +8,9 @@
 //!
 //! * a Zipf(1.0) batch of 256 queries over a corpus graph must report at
 //!   least 2× fewer ball extractions than queries issued;
+//! * `prepare()` warm-up extractions must **not** appear in the first
+//!   batch's consumer-attributed miss delta (warming is not demand, so
+//!   it must not deflate the hit rate `estimate()` feeds the router);
 //! * re-serving the warmed batch must charge **zero** BFS work — hits do
 //!   no extraction at all;
 //! * shared-cache rankings must be bit-identical to the uncached
@@ -43,9 +46,23 @@ fn skewed_batch_extracts_less_than_half_its_queries() {
     let expected: Vec<_> = reqs.iter().map(|r| uncached.query(r).unwrap()).collect();
 
     let cache = Arc::new(ConcurrentSubgraphCache::new(4096));
-    let shared = Meloppr::new(&g, params)
+    let mut shared = Meloppr::new(&g, params)
         .unwrap()
         .with_shared_cache(Arc::clone(&cache));
+
+    // Warm up through prepare(): probe-seed balls are extracted, but no
+    // lookup is counted anywhere — the consumer's history stays empty.
+    shared.prepare().unwrap();
+    let warmed = cache.stats();
+    assert!(warmed.extractions > 0, "prepare must pre-extract balls");
+    assert_eq!(warmed.lookups(), 0, "warming must not count as lookups");
+    let consumer = shared.cache_consumer().expect("shared mode has a consumer");
+    assert_eq!(
+        consumer.stats().lookups(),
+        0,
+        "warm-up extractions leaked into the consumer's lookup counters"
+    );
+
     let batch = BatchExecutor::new(4).unwrap().run(&shared, &reqs).unwrap();
 
     // Bit-identical rankings, identical diffusion work.
@@ -61,8 +78,33 @@ fn skewed_batch_extracts_less_than_half_its_queries() {
         "cache ineffective: {} extractions for {queries} queries",
         stats.extractions
     );
-    assert_eq!(stats.evictions, 0, "capacity must hold the working set");
-    assert_eq!(stats.extractions, cache.len() as u64, "singleflight held");
+    // The per-batch delta is consumer-attributed: it must cover exactly
+    // this batch's ball lookups (one per diffusion task), none of the
+    // warm-up extractions.
+    let task_lookups: usize = batch
+        .outcomes
+        .iter()
+        .map(|o| o.stats.total_diffusions)
+        .sum();
+    assert_eq!(
+        stats.lookups(),
+        task_lookups as u64,
+        "batch delta must count exactly its own lookups"
+    );
+    assert_eq!(
+        stats.misses, stats.extractions,
+        "warm-up extractions must not appear in the batch's miss delta"
+    );
+    assert_eq!(
+        cache.stats().evictions,
+        0,
+        "capacity must hold the working set"
+    );
+    assert_eq!(
+        cache.stats().extractions,
+        cache.len() as u64,
+        "singleflight held (warm-ups included)"
+    );
 
     // Hits perform zero BFS work: the warmed batch extracts nothing and
     // scans nothing.

@@ -12,8 +12,8 @@ use meloppr::backend::{BatchExecutor, Meloppr, QueryRequest};
 use meloppr::graph::generators;
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::{
-    bfs_ball, ConcurrentSubgraphCache, CsrGraph, MelopprParams, NodeId, PprBackend, PprParams,
-    SelectionStrategy, Subgraph,
+    bfs_ball, AdmissionPolicy, CacheConsumer, ConcurrentSubgraphCache, CsrGraph, GraphView,
+    MelopprParams, NodeId, PprBackend, PprParams, SelectionStrategy, Subgraph,
 };
 
 fn staged(selection: SelectionStrategy) -> MelopprParams {
@@ -168,6 +168,178 @@ fn shared_cache_batch_equals_per_query_path() {
     }
 }
 
+/// Per-consumer attribution under concurrency: two batch executors (each
+/// driving its own shared-cache backend) plus a raw third consumer all
+/// hammer **one** cache at the same time. Every `BatchStats::cache`
+/// delta must sum to exactly that executor's own lookups (one per
+/// diffusion task), and the raw consumer must see exactly its own — no
+/// cross-attribution, which the old global-counter bracketing could not
+/// guarantee.
+#[test]
+fn concurrent_executors_attribute_exactly_their_own_lookups() {
+    let g = PaperGraph::G1Citeseer.generate_scaled(0.25, 5).unwrap();
+    let params = staged(SelectionStrategy::TopFraction(0.1));
+    let cache = Arc::new(ConcurrentSubgraphCache::new(4096));
+    let backend_a = Meloppr::new(&g, params.clone())
+        .unwrap()
+        .with_shared_cache(Arc::clone(&cache));
+    let backend_b = Meloppr::new(&g, params.clone())
+        .unwrap()
+        .with_shared_cache(Arc::clone(&cache));
+    // Overlapping but distinct workloads so both hot and cold lookups
+    // race across consumers.
+    let reqs_a: Vec<QueryRequest> = (0..14).map(QueryRequest::new).collect();
+    let reqs_b: Vec<QueryRequest> = (7..21).map(QueryRequest::new).collect();
+    let raw_keys: Vec<NodeId> = (0..24u32).filter(|&v| g.degree(v) > 0).collect();
+    let raw_consumer = CacheConsumer::new(64);
+
+    let (batch_a, batch_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| {
+            BatchExecutor::new(3)
+                .unwrap()
+                .run(&backend_a, &reqs_a)
+                .unwrap()
+        });
+        let b = scope.spawn(|| {
+            BatchExecutor::new(2)
+                .unwrap()
+                .run(&backend_b, &reqs_b)
+                .unwrap()
+        });
+        let raw = scope.spawn(|| {
+            for _ in 0..2 {
+                for &node in &raw_keys {
+                    cache
+                        .get_or_extract_counted_as(&g, node, 2, &raw_consumer)
+                        .unwrap();
+                }
+            }
+        });
+        raw.join().unwrap();
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    let task_lookups = |batch: &meloppr::BatchOutcome| -> u64 {
+        batch
+            .outcomes
+            .iter()
+            .map(|o| o.stats.total_diffusions as u64)
+            .sum()
+    };
+    let delta_a = batch_a.stats.cache.expect("cache stats for executor A");
+    let delta_b = batch_b.stats.cache.expect("cache stats for executor B");
+    assert_eq!(
+        delta_a.lookups(),
+        task_lookups(&batch_a),
+        "executor A's delta must count exactly its own lookups"
+    );
+    assert_eq!(
+        delta_b.lookups(),
+        task_lookups(&batch_b),
+        "executor B's delta must count exactly its own lookups"
+    );
+    let raw_stats = raw_consumer.stats();
+    assert_eq!(
+        raw_stats.lookups(),
+        (2 * raw_keys.len()) as u64,
+        "the raw consumer must count exactly its own lookups"
+    );
+    // Nothing is lost or double-counted: the global counters are the sum
+    // of the three consumers (no anonymous traffic in this test).
+    let global = cache.stats();
+    assert_eq!(
+        global.lookups(),
+        delta_a.lookups() + delta_b.lookups() + raw_stats.lookups()
+    );
+    assert_eq!(
+        global.extractions,
+        delta_a.extractions + delta_b.extractions + raw_stats.extractions
+    );
+}
+
+/// Windowed-rate convergence after a synthetic traffic shift, at the
+/// engine level: hot traffic fills the backend's consumer window with
+/// hits; a burst of cold seeds must collapse the windowed rate within
+/// one window while the cumulative rate stays stale.
+#[test]
+fn windowed_rate_converges_where_cumulative_stays_stale() {
+    let g = PaperGraph::G2Cora.generate_scaled(0.25, 17).unwrap();
+    let params = staged(SelectionStrategy::TopFraction(0.1));
+    let cache = Arc::new(ConcurrentSubgraphCache::new(4096));
+    let shared = Meloppr::new(&g, params)
+        .unwrap()
+        .with_cache_window(48)
+        .with_shared_cache(Arc::clone(&cache));
+    let consumer = shared.cache_consumer().expect("shared mode has a consumer");
+
+    // Hot phase: a handful of seeds served repeatedly.
+    let hot: Vec<QueryRequest> = (0..4).cycle().take(40).map(QueryRequest::new).collect();
+    BatchExecutor::new(2).unwrap().run(&shared, &hot).unwrap();
+    let warm_windowed = consumer.windowed_hit_rate();
+    assert!(warm_windowed > 0.6, "hot phase must warm the window");
+
+    // Shift: every subsequent query uses a never-seen seed. Keep going
+    // until the shift itself has accumulated two windows of cold misses.
+    let base_misses = consumer.stats().misses;
+    let mut seed = 500u32;
+    while consumer.stats().misses - base_misses < consumer.window_len() as u64 * 2 {
+        shared.query(&QueryRequest::new(seed)).unwrap();
+        seed += 1;
+    }
+    let windowed = consumer.windowed_hit_rate();
+    let cumulative = consumer.stats().hit_rate();
+    assert!(
+        windowed < cumulative,
+        "windowed {windowed} must fall below stale cumulative {cumulative}"
+    );
+    assert!(
+        windowed < warm_windowed,
+        "the window must forget the hot phase"
+    );
+}
+
+/// Admission property: rejected balls never evict admitted ones. With a
+/// `MaxNodes` gate, interleaving over-budget lookups with hot in-budget
+/// traffic must cause zero evictions and zero residency change, and
+/// every admitted key must keep hitting.
+#[test]
+fn rejected_balls_never_evict_admitted_ones() {
+    let g = generators::path(256).unwrap();
+    // Depth-1 path balls have ≤ 3 nodes; depth-40 balls have ~81.
+    let cache = Arc::new(
+        ConcurrentSubgraphCache::with_shards(8, 1).with_admission(AdmissionPolicy::MaxNodes(8)),
+    );
+    let consumer = CacheConsumer::new(32);
+    let admitted: Vec<NodeId> = (40..48u32).collect();
+    for &node in &admitted {
+        cache
+            .get_or_extract_counted_as(&g, node, 1, &consumer)
+            .unwrap();
+    }
+    assert_eq!(cache.len(), admitted.len());
+    let resident_before = cache.len();
+
+    // A storm of giant one-off balls, all over budget.
+    for seed in [100u32, 120, 140, 160, 180] {
+        let (sub, work) = cache
+            .get_or_extract_counted_as(&g, seed, 40, &consumer)
+            .unwrap();
+        assert!(sub.num_nodes() > 8);
+        assert!(work > 0, "rejected balls are served fresh every time");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.rejected_admissions, 5);
+    assert_eq!(stats.evictions, 0, "rejected balls must not evict");
+    assert_eq!(cache.len(), resident_before, "residency unchanged");
+    // Every admitted ball still hits.
+    for &node in &admitted {
+        let (_, work) = cache
+            .get_or_extract_counted_as(&g, node, 1, &consumer)
+            .unwrap();
+        assert_eq!(work, 0, "admitted ball {node} was displaced");
+    }
+}
+
 /// Strategy: a connected-ish random simple graph (as `tests/properties.rs`).
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
     (8usize..40, any::<u64>()).prop_map(|(n, seed)| {
@@ -207,5 +379,42 @@ proptest! {
         let stats = batch.stats.cache.expect("cache stats");
         prop_assert_eq!(stats.lookups(), stats.hits + stats.shared + stats.misses);
         prop_assert!(cache.len() <= capacity + cache.shard_count());
+    }
+
+    /// Property: a `MaxNodes` admission gate never changes answers, every
+    /// demand miss still extracts, and rejected balls never push the
+    /// cache over budget or evict admitted residents.
+    #[test]
+    fn prop_admission_preserves_answers_and_counters(
+        g in arb_graph(),
+        fraction in 0.05f64..0.5,
+        budget in 1usize..16,
+        workers in 1usize..4,
+    ) {
+        let params = staged(SelectionStrategy::TopFraction(fraction));
+        let uncached = Meloppr::new(&g, params.clone()).unwrap();
+        let reqs: Vec<QueryRequest> =
+            (0..g.num_nodes().min(8) as u32).map(QueryRequest::new).collect();
+        let expected: Vec<_> = reqs.iter().map(|r| uncached.query(r).unwrap()).collect();
+
+        let cache = Arc::new(
+            ConcurrentSubgraphCache::with_shards(64, 1)
+                .with_admission(AdmissionPolicy::MaxNodes(budget)),
+        );
+        let shared = Meloppr::new(&g, params)
+            .unwrap()
+            .with_shared_cache(Arc::clone(&cache));
+        let batch = BatchExecutor::new(workers).unwrap().run(&shared, &reqs).unwrap();
+        for (got, want) in batch.outcomes.iter().zip(&expected) {
+            prop_assert_eq!(&got.ranking, &want.ranking);
+        }
+        let global = cache.stats();
+        // Every demand miss extracted (no warming in this test)…
+        prop_assert_eq!(global.misses, global.extractions);
+        // …rejections are a subset of extractions…
+        prop_assert!(global.rejected_admissions <= global.extractions);
+        // …and with capacity ample, nothing rejected caused an eviction.
+        prop_assert_eq!(global.evictions, 0);
+        prop_assert_eq!(cache.len() as u64, global.extractions - global.rejected_admissions);
     }
 }
