@@ -18,7 +18,7 @@ use meloppr_bench::workload::{sample_hub_seeds, sample_zipf_queries, sample_zipf
 use meloppr_bench::{measure_batch_throughput, CorpusGraph, CpuCostModel, ExperimentScale};
 use meloppr_core::backend::{BatchExecutor, Meloppr, QueryRequest};
 use meloppr_core::diffusion::{diffuse_from_seed, DiffusionConfig};
-use meloppr_core::ConcurrentSubgraphCache;
+use meloppr_core::{format_bytes, CacheBudget, ConcurrentSubgraphCache};
 use meloppr_core::{MelopprParams, PprBackend, PprParams, SelectionStrategy};
 use meloppr_fpga::{
     cycles_to_ns, AcceleratorConfig, CycleBreakdown, FixedPointFormat, FpgaAccelerator,
@@ -296,5 +296,92 @@ fn main() {
         windowed < cumulative,
         "the windowed rate ({windowed:.2}) must converge to the cold rotated traffic \
          while the cumulative rate ({cumulative:.2}) stays stale"
+    );
+
+    // Memory pressure: the same Zipf traffic under a fixed byte budget,
+    // with the budget denominated two ways. An entry-count cache treats
+    // a 5-node leaf ball and a hub ball as the same slot, so sizing its
+    // capacity from the average ball blows straight through the byte
+    // budget once the hot set skews big; the byte-budgeted cache
+    // reserves measured bytes before admitting and *cannot* exceed the
+    // bound — eviction is "evict LRU until the candidate fits".
+    println!();
+    println!("== memory pressure: fixed byte budget, entries- vs bytes-denominated eviction ==");
+    let staged = MelopprParams {
+        ppr: PprParams::new(alpha, 6, 20).expect("params"),
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopFraction(0.05),
+        ..MelopprParams::paper_defaults()
+    };
+    let mix = sample_zipf_queries(g, queries, 64, 1.0, 46);
+    let reqs: Vec<QueryRequest> = mix.iter().map(|&s| QueryRequest::new(s)).collect();
+
+    // Probe the full working set with an unbounded cache.
+    let unbounded = Arc::new(ConcurrentSubgraphCache::new(1 << 20));
+    let probe_backend = Meloppr::new(g, staged.clone())
+        .expect("backend")
+        .with_shared_cache(Arc::clone(&unbounded));
+    executor.run(&probe_backend, &reqs).expect("probe batch");
+    let full_bytes = unbounded.resident_bytes();
+    let full_entries = unbounded.resident_entries();
+    let byte_budget = (full_bytes / 3).max(1);
+    // The entries-denominated "equivalent": the same fraction of the
+    // entry count, i.e. a capacity sized from the average ball.
+    let entry_budget = (full_entries / 3).max(1);
+    println!(
+        "full working set: {} balls, {} — budget {} ({} avg-ball slots)",
+        full_entries,
+        format_bytes(full_bytes),
+        format_bytes(byte_budget),
+        entry_budget,
+    );
+
+    let mut pressure_table = TextTable::new(vec![
+        "denomination",
+        "resident",
+        "vs budget",
+        "balls",
+        "evictions",
+        "hit rate",
+        "extractions",
+    ]);
+    let mut run_budget = |label: &str, budget: CacheBudget| -> usize {
+        let cache = Arc::new(ConcurrentSubgraphCache::with_budget(budget));
+        let backend = Meloppr::new(g, staged.clone())
+            .expect("backend")
+            .with_shared_cache(Arc::clone(&cache));
+        let batch = executor.run(&backend, &reqs).expect("pressure batch");
+        let delta = batch.stats.cache.expect("cache stats");
+        let resident = cache.resident_bytes();
+        pressure_table.row(vec![
+            label.into(),
+            format_bytes(resident),
+            format!(
+                "{:+.0}%",
+                (resident as f64 / byte_budget as f64 - 1.0) * 100.0
+            ),
+            cache.resident_entries().to_string(),
+            cache.stats().evictions.to_string(),
+            format!("{:.0}%", delta.hit_rate() * 100.0),
+            delta.extractions.to_string(),
+        ]);
+        resident
+    };
+    run_budget(
+        "entries (avg-ball sizing)",
+        CacheBudget::entries(entry_budget),
+    );
+    let byte_resident = run_budget("bytes (enforced)", CacheBudget::bytes(byte_budget));
+    pressure_table.print();
+    assert!(
+        byte_resident <= byte_budget,
+        "byte-budgeted cache exceeded its budget: {byte_resident} > {byte_budget}"
+    );
+    println!(
+        "the byte-budgeted cache stays within {} by construction (reservation before \
+         admission); the entry-count cache keeps whatever {} balls are hot, whatever \
+         they weigh",
+        format_bytes(byte_budget),
+        entry_budget,
     );
 }

@@ -114,6 +114,7 @@ impl BatchExecutor {
                 _ => None,
             },
         };
+        stats.cache_resident_bytes = backend.shared_cache().map(|c| c.resident_bytes());
         Ok(BatchOutcome { outcomes, stats })
     }
 }
@@ -210,6 +211,17 @@ pub struct BatchStats {
     pub nodes_touched: usize,
     /// Largest single-query modelled working set in the batch, bytes.
     pub peak_memory_bytes: usize,
+    /// Largest single-task modelled working set in the batch, bytes
+    /// (Table II's per-task metric, maximized over every query).
+    pub peak_task_memory_bytes: usize,
+    /// Queries whose `max_memory_bytes` budget forced deterministic
+    /// degradation (see `QueryStats::memory_limited`). 0 means every
+    /// result in the batch is bit-identical to an unbudgeted run.
+    pub memory_limited_queries: usize,
+    /// Bytes resident in the backend's shared sub-graph cache when the
+    /// batch finished (`None` without a shared cache) — the number a
+    /// [`CacheBudget`](crate::cache::CacheBudget) byte bound caps.
+    pub cache_resident_bytes: Option<usize>,
     /// Total bounded-table evictions.
     pub table_evictions: usize,
     /// Sum of backend-reported latency estimates, where present
@@ -250,6 +262,9 @@ impl BatchStats {
             stats.random_walk_steps += q.random_walk_steps;
             stats.nodes_touched += q.nodes_touched;
             stats.peak_memory_bytes = stats.peak_memory_bytes.max(q.peak_memory_bytes);
+            stats.peak_task_memory_bytes =
+                stats.peak_task_memory_bytes.max(q.peak_task_memory_bytes);
+            stats.memory_limited_queries += q.memory_limited as usize;
             stats.table_evictions += q.table_evictions;
             if let Some(ns) = q.latency_estimate_ns {
                 *stats.latency_estimate_ns.get_or_insert(0.0) += ns;

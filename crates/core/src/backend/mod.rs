@@ -74,8 +74,8 @@ pub use batch::{BatchExecutor, BatchOutcome, BatchStats};
 pub use exact::ExactPower;
 pub use local::LocalPpr;
 pub use model::{
-    default_probe_seeds, estimate_staged_work, expected_selected, staged_precision_heuristic,
-    LatencyModel, StagedWorkEstimate, WorkProfile,
+    default_probe_seeds, estimate_staged_work, estimate_staged_work_with_depths, expected_selected,
+    staged_precision_heuristic, LatencyModel, StagedWorkEstimate, WorkProfile,
 };
 pub use monte_carlo::MonteCarlo;
 pub use router::{Route, Router};
@@ -134,17 +134,37 @@ pub struct ParamOverrides {
     pub length: Option<usize>,
 }
 
-/// A latency/memory/precision budget attached to a request — the hint the
-/// [`Router`] matches against backend [`CostEstimate`]s.
+/// A latency/memory/precision budget attached to a request — matched by
+/// the [`Router`] against backend [`CostEstimate`]s, and (for the memory
+/// bound) **enforced at run time** by the staged backend.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QueryBudget {
-    /// Soft deadline for the query, in milliseconds.
+    /// Soft deadline for the query, in milliseconds (advisory: routing
+    /// input only).
     pub max_latency_ms: Option<f64>,
     /// Peak working-set bound, in bytes (the paper's on-chip/edge-device
     /// constraint).
+    ///
+    /// This bound is **enforced, not advisory**, by the staged
+    /// [`Meloppr`] backend: `query_with` models every task's working set
+    /// (the extracted ball's [`cpu_task_memory`](crate::memory::cpu_task_memory)
+    /// plus aggregation-table and task-queue bytes) and deterministically
+    /// shrinks the ball's BFS depth until the task fits, reporting
+    /// [`QueryStats::memory_limited`] whenever it had to degrade. A
+    /// budgeted staged query therefore never reports
+    /// [`QueryStats::peak_memory_bytes`] above this bound (unless even
+    /// single-node balls cannot fit, the honest floor), and a query
+    /// whose budget was never hit is bit-identical to an unbudgeted run.
+    /// `estimate()` applies the same per-task byte model (evaluated at
+    /// query start, before aggregation state accrues), so the router's
+    /// predicted budgets agree with enforcement for the first task and
+    /// are never *looser* than it — enforcement can only degrade
+    /// further as the aggregation table and queue grow, which the
+    /// outcome reports.
     pub max_memory_bytes: Option<usize>,
     /// Minimum acceptable expected top-`k` precision in `[0, 1]`
-    /// (`Some(1.0)` demands an exact backend).
+    /// (`Some(1.0)` demands an exact backend). Advisory: routing input
+    /// only.
     pub min_precision: Option<f64>,
 }
 
@@ -287,6 +307,12 @@ pub struct QueryStats {
     pub aggregate_entries: usize,
     /// Evictions/rejections in bounded aggregation tables (0 when exact).
     pub table_evictions: usize,
+    /// Whether a [`QueryBudget::max_memory_bytes`] bound forced the
+    /// backend to degrade deterministically (staged backends shrink
+    /// stage-ball depth until the modelled working set fits). `false`
+    /// for unbudgeted queries and for budgets met without degradation —
+    /// those results are bit-identical to unbudgeted runs.
+    pub memory_limited: bool,
     /// Backend-reported end-to-end latency estimate in nanoseconds
     /// (`Some` for the simulated FPGA platform, whose timing model is the
     /// measurement; `None` for native CPU backends, which are measured by
@@ -312,6 +338,7 @@ impl QueryStats {
             peak_task_memory_bytes: 0,
             aggregate_entries: 0,
             table_evictions: 0,
+            memory_limited: false,
             latency_estimate_ns: None,
             host_latency_ns: None,
         }
@@ -330,6 +357,7 @@ impl QueryStats {
             peak_task_memory_bytes: stats.peak_task_memory.total(),
             aggregate_entries: stats.aggregate_entries,
             table_evictions: stats.table_evictions,
+            memory_limited: stats.memory_limited,
             ..QueryStats::empty(BackendKind::Meloppr)
         }
     }

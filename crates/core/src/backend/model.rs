@@ -194,6 +194,21 @@ pub struct StagedWorkEstimate {
 /// `diffusions_i · expected_selected(candidates_i)` diffusions over the
 /// average depth-`l_{i+1}` ball.
 pub fn estimate_staged_work(profile: &WorkProfile, params: &MelopprParams) -> StagedWorkEstimate {
+    estimate_staged_work_with_depths(profile, params, &params.stages)
+}
+
+/// As [`estimate_staged_work`], with per-stage **ball depths** decoupled
+/// from the stage lengths: `ball_depths[i]` sizes stage `i`'s ball (and
+/// its candidate pool) while `params.stages[i]` still sets the number
+/// of diffusion iterations — exactly how the staged engine degrades
+/// under a `max_memory_bytes` budget (shrunk extraction depth, full
+/// diffusion length on the smaller ball). Depths missing from the slice
+/// fall back to the stage length.
+pub fn estimate_staged_work_with_depths(
+    profile: &WorkProfile,
+    params: &MelopprParams,
+    ball_depths: &[usize],
+) -> StagedWorkEstimate {
     let mut stage_diffusions = Vec::with_capacity(params.stages.len());
     let mut tasks = 1.0f64;
     let (mut bfs_edges, mut diffusion_edges, mut nodes_touched) = (0.0f64, 0.0, 0.0);
@@ -203,7 +218,8 @@ pub fn estimate_staged_work(profile: &WorkProfile, params: &MelopprParams) -> St
         edges: 0,
     };
     for (i, &l) in params.stages.iter().enumerate() {
-        let ball = profile.ball(l);
+        let depth = ball_depths.get(i).copied().unwrap_or(l);
+        let ball = profile.ball(depth);
         stage_diffusions.push(tasks);
         bfs_edges += tasks * 2.0 * ball.edges as f64;
         diffusion_edges += tasks * l as f64 * 2.0 * ball.edges as f64;
@@ -212,7 +228,7 @@ pub fn estimate_staged_work(profile: &WorkProfile, params: &MelopprParams) -> St
             peak_ball = ball;
         }
         if i + 1 < params.stages.len() {
-            tasks *= expected_selected(&params.selection, profile.candidates(l));
+            tasks *= expected_selected(&params.selection, profile.candidates(depth));
         }
     }
     StagedWorkEstimate {

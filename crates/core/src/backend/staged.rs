@@ -5,15 +5,14 @@ use std::sync::{Arc, Mutex};
 use meloppr_graph::{GraphView, NodeId};
 
 use super::{
-    estimate_staged_work, staged_precision_heuristic, BackendCaps, BackendKind, CostEstimate,
-    LatencyModel, ParamOverrides, PprBackend, QueryOutcome, QueryRequest, QueryStats, WorkProfile,
+    estimate_staged_work_with_depths, staged_precision_heuristic, BackendCaps, BackendKind,
+    CostEstimate, LatencyModel, ParamOverrides, PprBackend, QueryOutcome, QueryRequest, QueryStats,
+    WorkProfile,
 };
 use crate::cache::{CacheConsumer, ConcurrentSubgraphCache, SubgraphCache, DEFAULT_HIT_WINDOW};
 use crate::error::{PprError, Result};
-use crate::meloppr::{
-    staged_query_cached_with, staged_query_shared_with, staged_query_with, MelopprOutcome,
-};
-use crate::memory::{cpu_task_memory, fpga_global_table_bytes};
+use crate::meloppr::{staged_query_impl, BallSource, MelopprOutcome, MemoryBudget};
+use crate::memory::cpu_task_memory;
 use crate::parallel::parallel_query_impl;
 use crate::params::MelopprParams;
 use crate::selection::SelectionStrategy;
@@ -240,6 +239,54 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
         }
     }
 
+    /// The modelled working set of one stage task on the average
+    /// depth-`depth` probe ball — the runtime budget gate's formula
+    /// (`QueryAccumulator::working_set_bound`) evaluated with an empty
+    /// table and queue, i.e. the bound the first task of a query faces.
+    fn stage_working_set(&self, params: &MelopprParams, depth: usize) -> usize {
+        let ball = self.profile.ball(depth);
+        let table_entries = match params.table_factor.map(|c| c * params.ppr.k) {
+            Some(cap) => ball.nodes.min(cap),
+            None => ball.nodes,
+        };
+        crate::memory::meloppr_cpu_peak(
+            cpu_task_memory(ball.nodes, ball.edges),
+            table_entries,
+            params.selection.upper_bound(ball.nodes),
+        )
+    }
+
+    /// Plans the starting ball depth per stage under a byte budget: the
+    /// largest depth whose modelled working set fits, per the probe
+    /// profile. Returns the full stage lengths (and `false`) without a
+    /// budget. Shared by `estimate()` and the budgeted execution path
+    /// (`run_staged`), so prediction and enforcement start from the same
+    /// plan — execution then measures each concrete ball and can only
+    /// shrink further.
+    fn plan_ball_depths(
+        &self,
+        params: &MelopprParams,
+        budget_bytes: Option<usize>,
+    ) -> (Vec<usize>, bool) {
+        let Some(limit) = budget_bytes else {
+            return (params.stages.clone(), false);
+        };
+        let mut degraded = false;
+        let depths = params
+            .stages
+            .iter()
+            .map(|&l| {
+                let mut depth = l;
+                while depth > 0 && self.stage_working_set(params, depth) > limit {
+                    depth -= 1;
+                    degraded = true;
+                }
+                depth
+            })
+            .collect();
+        (depths, degraded)
+    }
+
     /// The effective staged parameters for a request: overrides merged,
     /// and a `length` override redistributed over the configured stage
     /// count, front-loading depth as the planner does (stage-one output
@@ -326,9 +373,25 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
 
     fn estimate(&self, req: &QueryRequest) -> Result<CostEstimate> {
         let params = self.effective_meloppr(req)?;
-        let work = estimate_staged_work(&self.profile, &params);
+        // A memory budget is *enforced* at run time: the staged loop
+        // starts every stage at the profile-planned ball depth below
+        // (the same `plan_ball_depths` the runtime uses) and shrinks
+        // further if a concrete ball still exceeds the bound. The
+        // estimate therefore models the *identical* starting plan with
+        // the identical byte model; the runtime can only degrade
+        // further as the aggregation state grows, which the outcome
+        // reports via `memory_limited`.
+        let (ball_depths, degraded) = self.plan_ball_depths(&params, req.budget.max_memory_bytes);
+        let work = estimate_staged_work_with_depths(&self.profile, &params, &ball_depths);
         let m = self.latency;
-        let threads = self.threads.max(1) as f64;
+        // Budgeted queries always run the sequential workspace loop (see
+        // `run_staged`), so they must not be priced as if stage-level
+        // threads applied.
+        let threads = if req.budget.max_memory_bytes.is_some() {
+            1.0
+        } else {
+            self.threads.max(1) as f64
+        };
         // Cache hits skip ball extraction entirely, so only the expected
         // miss fraction of the BFS work is charged: a warmed cache makes
         // the budget router prefer this backend for repeat-heavy traffic.
@@ -346,7 +409,7 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
         let compute_ns = cost_of(work.bfs_edges, work.diffusion_edges, work.nodes_touched);
         // Stage one is a single serial task; worker threads only spread
         // the later stages' diffusions.
-        let stage1 = self.profile.ball(params.stages[0]);
+        let stage1 = self.profile.ball(ball_depths[0]);
         let l1 = params.stages[0] as f64;
         let stage1_ns = cost_of(
             2.0 * stage1.edges as f64,
@@ -354,12 +417,29 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
             stage1.nodes as f64,
         )
         .min(compute_ns);
-        let table_bytes = fpga_global_table_bytes(params.table_factor.unwrap_or(10), params.ppr.k);
+        // Shrunk balls truncate the diffusion's reach: charge the lost
+        // depth fraction against the precision heuristic (documented
+        // heuristic, like the base curve itself).
+        let mut precision = staged_precision_heuristic(&params);
+        if degraded {
+            let full: usize = params.stages.iter().sum::<usize>().max(1);
+            let kept: usize = ball_depths.iter().sum();
+            precision *= 0.7 + 0.3 * kept as f64 / full as f64;
+        }
+        // Predicted peak: the largest per-stage working set under the
+        // same model the degradation loop (and the runtime gate) uses —
+        // by construction ≤ the budget whenever degradation can achieve
+        // it, so routing admits exactly the queries enforcement can
+        // serve within bound.
+        let peak_memory_bytes = ball_depths
+            .iter()
+            .map(|&depth| self.stage_working_set(&params, depth))
+            .max()
+            .unwrap_or(0);
         Ok(CostEstimate {
             latency_ns: m.fixed_overhead_ns + stage1_ns + (compute_ns - stage1_ns) / threads,
-            peak_memory_bytes: cpu_task_memory(work.peak_ball.nodes, work.peak_ball.edges).total()
-                + table_bytes,
-            expected_precision: staged_precision_heuristic(&params),
+            peak_memory_bytes,
+            expected_precision: precision.clamp(0.0, 1.0),
         })
     }
 
@@ -382,13 +462,14 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
     }
 
     fn query_with(&self, req: &QueryRequest, ws: &mut QueryWorkspace) -> Result<QueryOutcome> {
+        let budget = req.budget.max_memory_bytes;
         // The common no-override case borrows the configured parameters;
         // only overridden requests pay a parameter clone.
         let outcome = if req.k.is_none() && req.overrides == ParamOverrides::default() {
-            self.run_staged(&self.params, req.seed, ws)?
+            self.run_staged(&self.params, req.seed, budget, ws)?
         } else {
             let params = self.effective_meloppr(req)?;
-            self.run_staged(&params, req.seed, ws)?
+            self.run_staged(&params, req.seed, budget, ws)?
         };
         Ok(QueryOutcome {
             stats: QueryStats::from_meloppr(&outcome.stats),
@@ -402,20 +483,50 @@ impl<G: GraphView + Sync + ?Sized> Meloppr<'_, G> {
         &self,
         params: &MelopprParams,
         seed: NodeId,
+        budget_bytes: Option<usize>,
         ws: &mut QueryWorkspace,
     ) -> Result<MelopprOutcome> {
+        // Plan the starting ball depths from the probe profile (the
+        // same plan `estimate()` prices), so the budget gate does not
+        // have to materialize predictably-over-budget balls only to
+        // discard them.
+        let budget = budget_bytes.map(|limit| {
+            let (depths, _) = self.plan_ball_depths(params, Some(limit));
+            MemoryBudget {
+                limit,
+                ball_depths: depths.iter().map(|&d| d as u32).collect(),
+            }
+        });
+        let budget = budget.as_ref();
         match &self.cache {
             CacheMode::Owned(cache) => {
                 let mut cache = cache.lock().expect("cache poisoned");
-                staged_query_cached_with(self.graph, params, seed, &mut cache, ws)
+                staged_query_impl(
+                    self.graph,
+                    params,
+                    seed,
+                    BallSource::Owned(&mut cache),
+                    budget,
+                    ws,
+                )
             }
-            CacheMode::Shared { cache, consumer } => {
-                staged_query_shared_with(self.graph, params, seed, cache, consumer, ws)
-            }
-            CacheMode::None if self.threads > 1 => {
+            CacheMode::Shared { cache, consumer } => staged_query_impl(
+                self.graph,
+                params,
+                seed,
+                BallSource::Shared { cache, consumer },
+                budget,
+                ws,
+            ),
+            // Budgeted queries always run the workspace loop: the budget
+            // gate needs the instantaneous table/queue state, which the
+            // stage-parallel executor only has at stage barriers.
+            CacheMode::None if self.threads > 1 && budget_bytes.is_none() => {
                 parallel_query_impl(self.graph, params, seed, self.threads)
             }
-            CacheMode::None => staged_query_with(self.graph, params, seed, ws),
+            CacheMode::None => {
+                staged_query_impl(self.graph, params, seed, BallSource::Fresh, budget, ws)
+            }
         }
     }
 }

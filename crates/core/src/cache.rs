@@ -1,20 +1,41 @@
 //! Sub-graph caching for repeated queries ("adaptively loading only the
-//! necessary sub-graphs", §IV-A) — including the concurrent sharded cache
-//! that shares hot balls across batch workers.
+//! necessary sub-graphs", §IV-A) — one concurrent core, governed by
+//! **byte-denominated budgets**.
 //!
 //! A PPR server answers many queries against the same graph, and popular
 //! next-stage nodes (hubs) recur across queries. Re-running BFS + induced
 //! extraction for them is the dominant host cost (Fig. 7's light-blue
 //! bars). Under skewed real traffic the *same* hub balls recur across
 //! concurrent queries too, so extracted state is most valuable when it is
-//! shared by every worker serving the batch. Two caches live here:
+//! shared by every worker serving the batch. One cache core lives here:
 //!
-//! * [`SubgraphCache`] — the single-threaded LRU keyed by `(node, depth)`,
-//!   for one engine serving queries sequentially (`&mut self`). Eviction
-//!   is strict LRU with deterministic key tie-breaking.
 //! * [`ConcurrentSubgraphCache`] — the serving structure: a sharded,
 //!   lock-striped map of `Arc<Subgraph>` designed for N batch workers
 //!   hammering it at once.
+//! * [`SubgraphCache`] — the single-threaded owned facade keyed by the
+//!   same `(node, depth)` keys, for one engine serving queries
+//!   sequentially (`&mut self`). It is a thin wrapper over a
+//!   single-shard concurrent core plus a private [`CacheConsumer`], so
+//!   eviction, windows, byte budgets and admission share **one** code
+//!   path with the serving cache (strict LRU with deterministic key
+//!   tie-breaking falls out of the single-shard configuration).
+//!
+//! # Byte-denominated capacity
+//!
+//! MELOPPR's claim is *memory*-efficient PPR, so capacity is governed in
+//! bytes, not entry counts: a 50k-node hub ball and a 12-node leaf ball
+//! are not the same cost. A [`CacheBudget`] bounds resident entries
+//! and/or resident bytes (each ball is charged its measured
+//! `Subgraph::memory_bytes().total()` at admission time); both bounds are
+//! maintained by **global atomic counters with CAS reservation**, so the
+//! cache never exceeds a configured budget — not per shard, not
+//! transiently, not under concurrent inserts. (The previous design split
+//! the entry budget `ceil(capacity / shards)` per shard, over-admitting
+//! by up to `shards - 1` entries; the global counters close that hole.)
+//! Admission reserves budget *before* an entry becomes resident, evicting
+//! the least-recently-used published entries — across all shards — until
+//! the candidate fits; a candidate larger than the whole byte budget is
+//! rejected outright (served, never resident).
 //!
 //! # Concurrent design
 //!
@@ -23,7 +44,7 @@
 //! different balls never contend on the same lock. Each shard guards its
 //! map with an `RwLock`: the hit path takes only the *shared* read lock,
 //! so concurrent hits proceed in parallel; the exclusive write lock is
-//! held only to insert a placeholder or evict — never across an
+//! held only to insert a placeholder, publish, or evict — never across an
 //! extraction.
 //!
 //! **Singleflight extraction.** On a miss the first worker installs a
@@ -76,17 +97,21 @@
 //! **Admission control.** A giant one-off ball can evict the hot hub
 //! balls that make the cache worthwhile. [`AdmissionPolicy`] decides,
 //! after extraction, whether the ball becomes resident: `Always`,
-//! `MaxNodes(n)` (never admit balls over `n` nodes), or
-//! `FrequencyGated(n)` (admit over-budget balls only once their key has
-//! been seen at least twice). Rejected balls are still returned to the
-//! caller (and shared with any singleflight waiters) — they just never
-//! enter the map, so they can never evict an admitted entry. Rejections
-//! are counted in [`CacheStats::rejected_admissions`] and per consumer.
+//! `MaxNodes(n)` (never admit balls over `n` nodes), `FrequencyGated(n)`
+//! (admit over-budget balls only once their key has been seen at least
+//! twice), or the TinyLFU-style `FrequencyVsVictim` (when admission
+//! requires an eviction, admit only if the candidate's sketch frequency
+//! beats the would-be victim's — following Einziger et al.'s
+//! frequency-vs-victim rule, so a cold ball can never displace a hotter
+//! resident). Rejected balls are still returned to the caller (and
+//! shared with any singleflight waiters) — they just never enter the
+//! map, so they can never evict an admitted entry. Rejections are
+//! counted in [`CacheStats::rejected_admissions`] and per consumer.
 //!
-//! Both caches store [`Arc<Subgraph>`] so readers share entries without
-//! copying, and both charge **zero BFS work on hits** — the whole point
-//! of caching (the work counter in the `_counted` getters is the
-//! adjacency entries scanned, 0 unless this call performed the BFS).
+//! Both cache facades store [`Arc<Subgraph>`] so readers share entries
+//! without copying, and both charge **zero BFS work on hits** — the
+//! whole point of caching (the work counter in the `_counted` getters is
+//! the adjacency entries scanned, 0 unless this call performed the BFS).
 
 use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
@@ -98,24 +123,84 @@ use crate::error::Result;
 /// Cache key: the ball's seed node and BFS depth.
 type CacheKey = (NodeId, u32);
 
-struct Slot {
-    sub: Arc<Subgraph>,
-    last_used: u64,
+/// Resident-capacity bounds of a sub-graph cache, denominated in entries
+/// and/or **bytes**.
+///
+/// Every bound set is enforced globally (one atomic counter per bound,
+/// reserved before an entry becomes resident), so a budgeted cache never
+/// holds more than `entries` balls nor more than `bytes` measured bytes
+/// of sub-graph storage — even under concurrent inserts across shards.
+/// `None` leaves a dimension unbounded; both `None` is a fully unbounded
+/// cache.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::cache::CacheBudget;
+///
+/// let b = CacheBudget::bytes(64 << 20).with_entries(4096);
+/// assert_eq!(b.bytes, Some(64 << 20));
+/// assert_eq!(b.entries, Some(4096));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheBudget {
+    /// Maximum resident entries (balls), `None` = unbounded.
+    pub entries: Option<usize>,
+    /// Maximum resident bytes (sum of each resident ball's
+    /// `Subgraph::memory_bytes().total()`), `None` = unbounded.
+    pub bytes: Option<usize>,
 }
 
-impl std::fmt::Debug for Slot {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Slot")
-            .field("nodes", &self.sub.num_nodes())
-            .field("last_used", &self.last_used)
-            .finish()
+impl CacheBudget {
+    /// A budget with no bounds at all.
+    pub fn unbounded() -> Self {
+        CacheBudget::default()
+    }
+
+    /// An entry-count budget (the legacy denomination).
+    pub fn entries(entries: usize) -> Self {
+        CacheBudget {
+            entries: Some(entries),
+            bytes: None,
+        }
+    }
+
+    /// A byte budget (the paper-faithful denomination).
+    pub fn bytes(bytes: usize) -> Self {
+        CacheBudget {
+            entries: None,
+            bytes: Some(bytes),
+        }
+    }
+
+    /// Adds/overrides the entry bound (builder style).
+    #[must_use]
+    pub fn with_entries(mut self, entries: usize) -> Self {
+        self.entries = Some(entries);
+        self
+    }
+
+    /// Adds/overrides the byte bound (builder style).
+    #[must_use]
+    pub fn with_bytes(mut self, bytes: usize) -> Self {
+        self.bytes = Some(bytes);
+        self
     }
 }
 
-/// An LRU cache of extracted BFS-ball sub-graphs (single-threaded).
+/// An LRU cache of extracted BFS-ball sub-graphs (single-threaded owned
+/// facade).
+///
+/// This is a thin wrapper over a **single-shard**
+/// [`ConcurrentSubgraphCache`] plus a private [`CacheConsumer`]: the
+/// eviction scan, byte budget, admission policy and hit-rate window are
+/// literally the concurrent cache's — one code path, two facades. With a
+/// single shard and single-threaded use the clock stamps are a strict
+/// LRU order with deterministic smallest-key tie-breaking, exactly the
+/// old owned semantics.
 ///
 /// For sharing extracted balls *across* concurrent batch workers, use
-/// [`ConcurrentSubgraphCache`] instead.
+/// [`ConcurrentSubgraphCache`] directly.
 ///
 /// # Examples
 ///
@@ -135,17 +220,8 @@ impl std::fmt::Debug for Slot {
 /// ```
 #[derive(Debug)]
 pub struct SubgraphCache {
-    capacity: usize,
-    entries: FastHashMap<CacheKey, Slot>,
-    clock: u64,
-    hits: usize,
-    misses: usize,
-    /// Sliding window of recent lookup outcomes (`1` = hit), a ring
-    /// buffer backing [`SubgraphCache::recent_hit_rate`].
-    window: Vec<u8>,
-    window_cursor: usize,
-    window_filled: usize,
-    window_hits: usize,
+    core: ConcurrentSubgraphCache,
+    consumer: CacheConsumer,
 }
 
 impl SubgraphCache {
@@ -166,19 +242,28 @@ impl SubgraphCache {
     ///
     /// Panics if `capacity == 0` or `window == 0`.
     pub fn with_window(capacity: usize, window: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
-        assert!(window > 0, "hit-rate window must be positive");
+        Self::with_budget(CacheBudget::entries(capacity), window)
+    }
+
+    /// An owned cache governed by an arbitrary [`CacheBudget`] — byte
+    /// bounds work exactly as on the concurrent cache (same core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a budget bound or `window` is zero.
+    pub fn with_budget(budget: CacheBudget, window: usize) -> Self {
         SubgraphCache {
-            capacity,
-            entries: FastHashMap::default(),
-            clock: 0,
-            hits: 0,
-            misses: 0,
-            window: vec![0; window],
-            window_cursor: 0,
-            window_filled: 0,
-            window_hits: 0,
+            core: ConcurrentSubgraphCache::with_budget_and_shards(budget, 1),
+            consumer: CacheConsumer::new(window),
         }
+    }
+
+    /// Sets the [`AdmissionPolicy`] (builder style), as
+    /// [`ConcurrentSubgraphCache::with_admission`].
+    #[must_use]
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.core = self.core.with_admission(policy);
+        self
     }
 
     /// Resizes the hit-rate window, discarding its current contents
@@ -188,29 +273,12 @@ impl SubgraphCache {
     ///
     /// Panics if `window == 0`.
     pub fn set_window(&mut self, window: usize) {
-        assert!(window > 0, "hit-rate window must be positive");
-        self.window = vec![0; window];
-        self.window_cursor = 0;
-        self.window_filled = 0;
-        self.window_hits = 0;
-    }
-
-    /// Records one lookup outcome in the sliding window.
-    fn record_window(&mut self, hit: bool) {
-        let idx = self.window_cursor;
-        if self.window_filled < self.window.len() {
-            self.window_filled += 1;
-        } else {
-            self.window_hits -= self.window[idx] as usize;
-        }
-        self.window[idx] = hit as u8;
-        self.window_hits += hit as usize;
-        self.window_cursor = (idx + 1) % self.window.len();
+        self.consumer.resize_window(window);
     }
 
     /// Returns the cached ball around `(node, depth)`, extracting and
-    /// inserting it on a miss (evicting the least-recently-used entry when
-    /// full).
+    /// inserting it on a miss (evicting least-recently-used entries until
+    /// the budget holds it).
     ///
     /// # Errors
     ///
@@ -236,46 +304,45 @@ impl SubgraphCache {
         node: NodeId,
         depth: u32,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.clock += 1;
-        let clock = self.clock;
-        if let Some(slot) = self.entries.get_mut(&(node, depth)) {
-            slot.last_used = clock;
-            let sub = Arc::clone(&slot.sub);
-            self.hits += 1;
-            self.record_window(true);
-            return Ok((sub, 0));
-        }
-        self.misses += 1;
-        self.record_window(false);
-        let ball = bfs_ball(g, node, depth)?;
-        let sub = Arc::new(Subgraph::extract(g, &ball)?);
-        self.insert(node, depth, Arc::clone(&sub), clock);
-        Ok((sub, ball.edges_scanned))
+        self.core
+            .get_or_extract_counted_as(g, node, depth, &self.consumer)
     }
 
-    /// Inserts an extracted ball, evicting the LRU entry when full.
-    fn insert(&mut self, node: NodeId, depth: u32, sub: Arc<Subgraph>, clock: u64) {
-        if self.entries.len() >= self.capacity {
-            // O(capacity) eviction scan: capacities are modest (hundreds
-            // to thousands), and extraction dwarfs the scan. Equal stamps
-            // break ties by smallest key so eviction order never depends
-            // on hash-map iteration order (reproducible across runs).
-            if let Some(&key) = self
-                .entries
-                .iter()
-                .min_by_key(|&(&key, slot)| (slot.last_used, key))
-                .map(|(k, _)| k)
-            {
-                self.entries.remove(&key);
-            }
-        }
-        self.entries.insert(
-            (node, depth),
-            Slot {
-                sub,
-                last_used: clock,
-            },
-        );
+    /// As [`SubgraphCache::get_or_extract_counted`], extracting through
+    /// `scratch` on a miss so BFS bookkeeping buffers are reused.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_or_extract_with<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        scratch: &mut ExtractScratch,
+    ) -> Result<(Arc<Subgraph>, usize)> {
+        self.core
+            .get_or_extract_with_as(g, node, depth, scratch, &self.consumer)
+    }
+
+    /// Non-admitting probe lookup (see
+    /// [`ConcurrentSubgraphCache::probe_or_extract_with_as`]).
+    pub(crate) fn probe_or_extract_with<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        scratch: &mut ExtractScratch,
+    ) -> Result<(Arc<Subgraph>, usize)> {
+        self.core
+            .probe_or_extract_with_as(g, node, depth, scratch, &self.consumer)
+    }
+
+    /// Admits an already-extracted ball (see
+    /// [`ConcurrentSubgraphCache::admit_extracted`]).
+    pub(crate) fn admit_extracted(&mut self, node: NodeId, depth: u32, sub: &Arc<Subgraph>) {
+        self.core
+            .admit_extracted(node, depth, sub, Some(&self.consumer));
     }
 
     /// Pre-extracts the ball around `(node, depth)` into the cache
@@ -288,25 +355,17 @@ impl SubgraphCache {
     ///
     /// Propagates graph errors from extraction.
     pub fn warm<G: GraphView + ?Sized>(&mut self, g: &G, node: NodeId, depth: u32) -> Result<()> {
-        if self.entries.contains_key(&(node, depth)) {
-            return Ok(());
-        }
-        self.clock += 1;
-        let clock = self.clock;
-        let ball = bfs_ball(g, node, depth)?;
-        let sub = Arc::new(Subgraph::extract(g, &ball)?);
-        self.insert(node, depth, sub, clock);
-        Ok(())
+        self.core.warm(g, node, depth)
     }
 
     /// Cache hits so far.
     pub fn hits(&self) -> usize {
-        self.hits
+        self.consumer.stats().hits as usize
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> usize {
-        self.misses
+        self.consumer.stats().misses as usize
     }
 
     /// Hit fraction of the last `window` lookups (exact over the sliding
@@ -314,33 +373,33 @@ impl SubgraphCache {
     /// Warm-ups ([`SubgraphCache::warm`]) are not lookups and do not
     /// appear here.
     pub fn recent_hit_rate(&self) -> f64 {
-        if self.window_filled == 0 {
-            return 0.0;
-        }
-        self.window_hits as f64 / self.window_filled as f64
+        self.consumer.windowed_hit_rate()
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> CacheBudget {
+        self.core.budget()
     }
 
     /// Resident entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.core.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.core.is_empty()
     }
 
-    /// Approximate resident bytes (sum of cached sub-graph footprints).
+    /// Resident bytes (the exact global counter: sum of each resident
+    /// ball's measured footprint).
     pub fn resident_bytes(&self) -> usize {
-        self.entries
-            .values()
-            .map(|s| s.sub.memory_bytes().total())
-            .sum()
+        self.core.resident_bytes()
     }
 
     /// Drops every entry (statistics are kept).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.core.clear();
     }
 }
 
@@ -592,6 +651,21 @@ impl CacheConsumer {
         self.window.len()
     }
 
+    /// Resizes the sliding window, discarding its contents (the
+    /// cumulative attribution counters are kept). Requires exclusive
+    /// access — lookups must have quiesced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn resize_window(&mut self, window: usize) {
+        assert!(window > 0, "hit-rate window must be positive");
+        self.window = (0..window).map(|_| AtomicU8::new(WINDOW_EMPTY)).collect();
+        *self.cursor.get_mut() = 0;
+        *self.filled.get_mut() = 0;
+        *self.window_free.get_mut() = 0;
+    }
+
     /// Snapshot of this consumer's attribution counters (relaxed loads;
     /// exact once its lookups have quiesced).
     pub fn stats(&self) -> ConsumerStats {
@@ -692,7 +766,7 @@ impl CacheConsumer {
 /// counted ([`CacheStats::rejected_admissions`], per consumer too).
 ///
 /// Parse from CLI-style strings via [`std::str::FromStr`]:
-/// `"always"`, `"max-nodes:N"`, `"freq:N"`.
+/// `"always"`, `"max-nodes:N"`, `"freq:N"`, `"tinylfu"`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AdmissionPolicy {
     /// Admit every extracted ball (the pre-admission behaviour).
@@ -706,14 +780,26 @@ pub enum AdmissionPolicy {
     /// *early*, never reject a deserving ball). The second miss on a hot
     /// big ball admits it; true one-offs never displace anything.
     FrequencyGated(usize),
+    /// TinyLFU-style frequency-vs-victim admission (Einziger et al.):
+    /// while the [`CacheBudget`] has room, every ball is admitted; once
+    /// admission would require an eviction, the candidate is admitted
+    /// only if its sketch frequency **strictly beats** the would-be
+    /// (least-recently-used) victim's. A one-off ball can therefore
+    /// never displace a resident that has been demanded at least as
+    /// often, while a ball hotter than the coldest resident always gets
+    /// in. Sketch collisions over-count, which can only admit early.
+    FrequencyVsVictim,
 }
 
 impl AdmissionPolicy {
-    /// Whether a ball of `nodes` nodes is admitted, given whether its
-    /// key was seen before this lookup.
-    fn admits(&self, nodes: usize, seen_before: bool) -> bool {
+    /// The size gate: whether a ball of `nodes` nodes passes this
+    /// policy's pre-admission check, given whether its key was seen
+    /// before this lookup. Budget reservation (and the
+    /// [`AdmissionPolicy::FrequencyVsVictim`] victim comparison) happens
+    /// afterwards.
+    fn size_gate(&self, nodes: usize, seen_before: bool) -> bool {
         match *self {
-            AdmissionPolicy::Always => true,
+            AdmissionPolicy::Always | AdmissionPolicy::FrequencyVsVictim => true,
             AdmissionPolicy::MaxNodes(limit) => nodes <= limit,
             AdmissionPolicy::FrequencyGated(limit) => nodes <= limit || seen_before,
         }
@@ -721,7 +807,10 @@ impl AdmissionPolicy {
 
     /// Whether this policy ever consults the seen-key sketch.
     fn needs_seen_tracking(&self) -> bool {
-        matches!(self, AdmissionPolicy::FrequencyGated(_))
+        matches!(
+            self,
+            AdmissionPolicy::FrequencyGated(_) | AdmissionPolicy::FrequencyVsVictim
+        )
     }
 }
 
@@ -731,6 +820,7 @@ impl std::fmt::Display for AdmissionPolicy {
             AdmissionPolicy::Always => f.write_str("always"),
             AdmissionPolicy::MaxNodes(n) => write!(f, "max-nodes:{n}"),
             AdmissionPolicy::FrequencyGated(n) => write!(f, "freq:{n}"),
+            AdmissionPolicy::FrequencyVsVictim => f.write_str("tinylfu"),
         }
     }
 }
@@ -741,6 +831,9 @@ impl std::str::FromStr for AdmissionPolicy {
     fn from_str(s: &str) -> std::result::Result<Self, String> {
         if s.eq_ignore_ascii_case("always") {
             return Ok(AdmissionPolicy::Always);
+        }
+        if s.eq_ignore_ascii_case("tinylfu") || s.eq_ignore_ascii_case("freq-vs-victim") {
+            return Ok(AdmissionPolicy::FrequencyVsVictim);
         }
         let parse = |value: &str, what: &str| -> std::result::Result<usize, String> {
             let n: usize = value
@@ -758,7 +851,7 @@ impl std::str::FromStr for AdmissionPolicy {
             return Ok(AdmissionPolicy::FrequencyGated(parse(v, "freq")?));
         }
         Err(format!(
-            "unknown admission policy {s:?} (always | max-nodes:N | freq:N)"
+            "unknown admission policy {s:?} (always | max-nodes:N | freq:N | tinylfu)"
         ))
     }
 }
@@ -785,6 +878,11 @@ struct Entry {
     state: Mutex<EntryState>,
     ready: Condvar,
     last_used: AtomicU64,
+    /// Bytes this entry charged against the global resident-bytes
+    /// counter (0 while pending or when it was never made resident).
+    /// Written under the shard write lock before publication, so under a
+    /// shard lock an in-map published entry is always exactly charged.
+    charged_bytes: AtomicUsize,
 }
 
 impl Entry {
@@ -794,6 +892,7 @@ impl Entry {
             state: Mutex::new(EntryState::Pending),
             ready: Condvar::new(),
             last_used: AtomicU64::new(stamp),
+            charged_bytes: AtomicUsize::new(0),
         })
     }
 }
@@ -808,6 +907,26 @@ enum Found {
     Existing(Arc<Entry>),
     /// We installed the pending placeholder; we extract.
     Winner(Arc<Entry>),
+}
+
+/// How a lookup participates in accounting and admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LookupMode {
+    /// A serving lookup: counted (globally and per consumer), extracted
+    /// balls admitted per the [`AdmissionPolicy`] and [`CacheBudget`].
+    Demand,
+    /// Warm-up: no lookup accounting at all (only physical extractions
+    /// tick), admission bypasses the frequency gates, resident entries'
+    /// recency is not refreshed.
+    Warming,
+    /// A budget probe: counted exactly like demand (the work is real),
+    /// but an extracted ball is **never** admitted — served to the
+    /// caller and to singleflight waiters only. The staged engine's
+    /// memory-budget gate probes shrinking ball depths this way so
+    /// over-budget balls it will not execute never displace residents;
+    /// the depth it settles on is admitted explicitly via
+    /// [`ConcurrentSubgraphCache::admit_extracted`].
+    Probe,
 }
 
 /// A sharded, lock-striped cache of extracted BFS-ball sub-graphs shared
@@ -839,14 +958,20 @@ enum Found {
 /// ```
 pub struct ConcurrentSubgraphCache {
     shards: Box<[Shard]>,
-    capacity: usize,
-    per_shard_capacity: usize,
+    budget: CacheBudget,
     admission: AdmissionPolicy,
-    /// Counting sketch of key sightings for
-    /// [`AdmissionPolicy::FrequencyGated`]; empty for other policies.
-    /// Collisions over-count, which can only admit early.
+    /// Counting sketch of key sightings for the frequency-aware
+    /// admission policies; empty for other policies. Collisions
+    /// over-count, which can only admit early.
     seen: Box<[AtomicU32]>,
     clock: AtomicU64,
+    /// Global resident-entry count — the *only* entry-budget authority
+    /// (per-shard splits over-admit; see the module docs). Reserved via
+    /// CAS before an entry is published, released on eviction/clear.
+    resident_entries: AtomicUsize,
+    /// Global resident bytes: sum of `charged_bytes` over resident
+    /// entries, reserved/released in lockstep with `resident_entries`.
+    resident_bytes: AtomicUsize,
     hits: AtomicU64,
     shared: AtomicU64,
     misses: AtomicU64,
@@ -858,9 +983,10 @@ pub struct ConcurrentSubgraphCache {
 impl std::fmt::Debug for ConcurrentSubgraphCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConcurrentSubgraphCache")
-            .field("capacity", &self.capacity)
+            .field("budget", &self.budget)
             .field("shards", &self.shards.len())
             .field("len", &self.len())
+            .field("resident_bytes", &self.resident_bytes())
             .field("stats", &self.stats())
             .finish()
     }
@@ -877,13 +1003,11 @@ impl ConcurrentSubgraphCache {
     /// Creates a cache budgeted for `capacity` sub-graphs, striped over
     /// the default shard count (clamped to `capacity`).
     ///
-    /// The budget is enforced **per shard** at `ceil(capacity / shards)`
-    /// entries (eviction is a shard-local decision; a global count would
-    /// re-serialize the stripes), so total residency may exceed
-    /// `capacity` by up to `shards - 1` entries, and a key mix that
-    /// hashes one shard disproportionately hot evicts there while other
-    /// stripes have room. Size `capacity` as a budget, not an exact
-    /// bound.
+    /// The budget is a **global** bound maintained by an atomic resident
+    /// counter: total residency never exceeds `capacity`, regardless of
+    /// how keys hash across shards or how many workers insert
+    /// concurrently. For byte-denominated budgets use
+    /// [`ConcurrentSubgraphCache::with_budget`].
     ///
     /// # Panics
     ///
@@ -893,15 +1017,42 @@ impl ConcurrentSubgraphCache {
     }
 
     /// As [`ConcurrentSubgraphCache::new`] with an explicit shard count
-    /// (lock stripes). More shards mean less contention but a coarser
-    /// per-shard capacity split (see [`ConcurrentSubgraphCache::new`] on
-    /// the striped budget semantics).
+    /// (lock stripes). More shards mean less contention; the budget
+    /// stays a single global bound either way.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0` or `shards == 0`.
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
+        Self::with_budget_and_shards(CacheBudget::entries(capacity), shards)
+    }
+
+    /// A cache governed by an arbitrary [`CacheBudget`] (entries and/or
+    /// bytes), striped over the default shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured budget bound is zero.
+    pub fn with_budget(budget: CacheBudget) -> Self {
+        let shards = match budget.entries {
+            Some(entries) => DEFAULT_SHARDS.min(entries.max(1)),
+            None => DEFAULT_SHARDS,
+        };
+        Self::with_budget_and_shards(budget, shards)
+    }
+
+    /// As [`ConcurrentSubgraphCache::with_budget`] with an explicit
+    /// shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured budget bound or `shards` is zero.
+    pub fn with_budget_and_shards(budget: CacheBudget, shards: usize) -> Self {
+        assert!(budget.entries != Some(0), "cache capacity must be positive");
+        assert!(
+            budget.bytes != Some(0),
+            "cache byte budget must be positive"
+        );
         assert!(shards > 0, "shard count must be positive");
         let shards: Box<[Shard]> = (0..shards)
             .map(|_| Shard {
@@ -909,12 +1060,13 @@ impl ConcurrentSubgraphCache {
             })
             .collect();
         ConcurrentSubgraphCache {
-            per_shard_capacity: capacity.div_ceil(shards.len()),
             shards,
-            capacity,
+            budget,
             admission: AdmissionPolicy::Always,
             seen: Box::new([]),
             clock: AtomicU64::new(0),
+            resident_entries: AtomicUsize::new(0),
+            resident_bytes: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             shared: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -943,20 +1095,48 @@ impl ConcurrentSubgraphCache {
     }
 
     /// Records one sighting of `key` in the frequency sketch, returning
-    /// whether it had been seen before. Collisions over-count (early
-    /// admission only). No-op (`true`) when the policy keeps no sketch.
-    fn note_seen(&self, key: CacheKey) -> bool {
+    /// the updated sighting count. Collisions over-count (early
+    /// admission only). Saturates at `u32::MAX` when the policy keeps no
+    /// sketch.
+    fn note_seen(&self, key: CacheKey) -> u32 {
         if self.seen.is_empty() {
-            return true;
+            return u32::MAX;
         }
-        let mixed = ((key.0 as u64) << 32 | key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let slot = &self.seen[(mixed >> 13) as usize % self.seen.len()];
-        slot.fetch_add(1, Ordering::Relaxed) >= 1
+        self.seen_slot(key).fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Total entry capacity across all shards.
+    /// The current sketch frequency of `key` (how often it has been
+    /// demanded), `u32::MAX` without a sketch.
+    fn sketch_frequency(&self, key: CacheKey) -> u32 {
+        if self.seen.is_empty() {
+            return u32::MAX;
+        }
+        self.seen_slot(key).load(Ordering::Relaxed)
+    }
+
+    fn seen_slot(&self, key: CacheKey) -> &AtomicU32 {
+        let mixed = ((key.0 as u64) << 32 | key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Take the *top* bits: the node id sits in the high half of the
+        // pre-multiply key, so low product bits depend only on the depth
+        // (the old `>> 13` slot collapsed every same-depth key into one
+        // slot, blinding the frequency sketch).
+        &self.seen[(mixed >> 52) as usize % self.seen.len()]
+    }
+
+    /// The configured [`CacheBudget`].
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// The entry budget (`usize::MAX` when only a byte budget bounds the
+    /// cache). Prefer [`ConcurrentSubgraphCache::budget`].
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.budget.entries.unwrap_or(usize::MAX)
+    }
+
+    /// Resident (published) entries, from the global budget counter.
+    pub fn resident_entries(&self) -> usize {
+        self.resident_entries.load(Ordering::Relaxed)
     }
 
     /// Number of lock stripes.
@@ -1003,7 +1183,7 @@ impl ConcurrentSubgraphCache {
         node: NodeId,
         depth: u32,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, None, false, |g| {
+        self.lookup(g, node, depth, None, LookupMode::Demand, |g| {
             let ball = bfs_ball(g, node, depth)?;
             let sub = Subgraph::extract(g, &ball)?;
             Ok((sub, ball.edges_scanned))
@@ -1026,7 +1206,7 @@ impl ConcurrentSubgraphCache {
         depth: u32,
         consumer: &CacheConsumer,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, Some(consumer), false, |g| {
+        self.lookup(g, node, depth, Some(consumer), LookupMode::Demand, |g| {
             let ball = bfs_ball(g, node, depth)?;
             let sub = Subgraph::extract(g, &ball)?;
             Ok((sub, ball.edges_scanned))
@@ -1048,7 +1228,7 @@ impl ConcurrentSubgraphCache {
         depth: u32,
         scratch: &mut ExtractScratch,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, None, false, |g| {
+        self.lookup(g, node, depth, None, LookupMode::Demand, |g| {
             Ok(scratch.extract_owned(g, node, depth)?)
         })
     }
@@ -1068,9 +1248,102 @@ impl ConcurrentSubgraphCache {
         scratch: &mut ExtractScratch,
         consumer: &CacheConsumer,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, Some(consumer), false, |g| {
+        self.lookup(g, node, depth, Some(consumer), LookupMode::Demand, |g| {
             Ok(scratch.extract_owned(g, node, depth)?)
         })
+    }
+
+    /// As [`ConcurrentSubgraphCache::get_or_extract_with_as`], but an
+    /// extracted ball is **never admitted**: it is served to the caller
+    /// (and any singleflight waiters), counted like a demand lookup, and
+    /// then forgotten. The staged engine's memory-budget gate uses this
+    /// to probe shrinking ball depths — a depth it decides *not* to
+    /// execute must not displace residents or charge the byte budget;
+    /// the depth it settles on is admitted explicitly via
+    /// [`ConcurrentSubgraphCache::admit_extracted`]. Resident keys still
+    /// hit for free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub(crate) fn probe_or_extract_with_as<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        scratch: &mut ExtractScratch,
+        consumer: &CacheConsumer,
+    ) -> Result<(Arc<Subgraph>, usize)> {
+        self.lookup(g, node, depth, Some(consumer), LookupMode::Probe, |g| {
+            Ok(scratch.extract_owned(g, node, depth)?)
+        })
+    }
+
+    /// Makes an already-extracted ball resident (if the policy and
+    /// budget admit it): the admission half of a
+    /// [`probe_or_extract_with_as`](ConcurrentSubgraphCache::probe_or_extract_with_as)
+    /// that settled on this depth. No hit/miss is counted and no BFS
+    /// runs, but this **is** the executed ball's one demand sighting:
+    /// the frequency sketch is bumped here (probes never touch it), and
+    /// the full [`AdmissionPolicy`] applies — size gates, the
+    /// frequency gate's second-sighting rule and the TinyLFU
+    /// victim comparison behave exactly as they would for an unbudgeted
+    /// demand miss, so a memory budget never weakens admission control.
+    /// Policy/budget refusals count as `rejected_admissions` (globally
+    /// and for `consumer`). A no-op when the key is already resident or
+    /// in flight.
+    pub(crate) fn admit_extracted(
+        &self,
+        node: NodeId,
+        depth: u32,
+        sub: &Arc<Subgraph>,
+        consumer: Option<&CacheConsumer>,
+    ) {
+        let key = (node, depth);
+        {
+            let shard = self.shard_for(key);
+            let map = shard.map.read().expect("cache shard poisoned");
+            if map.contains_key(&key) {
+                return;
+            }
+        }
+        let (seen_before, candidate_freq) = if !self.admission.needs_seen_tracking() {
+            (true, u32::MAX)
+        } else {
+            let count = self.note_seen(key);
+            (count > 1, count)
+        };
+        let bytes = sub.memory_bytes().total();
+        let admitted = self.admission.size_gate(sub.num_nodes(), seen_before)
+            && self.reserve_residency(key, bytes, candidate_freq);
+        if !admitted {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = consumer {
+                c.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Entry::pending(stamp);
+        let shard = self.shard_for(key);
+        let mut map = shard.map.write().expect("cache shard poisoned");
+        if map.contains_key(&key) {
+            // Raced with a concurrent installer: release the reservation.
+            self.resident_entries.fetch_sub(1, Ordering::Relaxed);
+            self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            return;
+        }
+        // Charge and publish before the entry becomes map-visible (all
+        // under the shard write lock), preserving the invariant that an
+        // in-map published entry is exactly charged. No waiter can exist
+        // before insertion, so no notify is needed.
+        entry.charged_bytes.store(bytes, Ordering::Relaxed);
+        entry
+            .published
+            .set(Arc::clone(sub))
+            .unwrap_or_else(|_| unreachable!("entry is freshly created"));
+        *entry.state.lock().expect("cache entry poisoned") = EntryState::Ready;
+        map.insert(key, entry);
     }
 
     /// Pre-extracts the ball around `(node, depth)` **without counting a
@@ -1088,7 +1361,7 @@ impl ConcurrentSubgraphCache {
     ///
     /// Propagates graph errors from extraction.
     pub fn warm<G: GraphView + ?Sized>(&self, g: &G, node: NodeId, depth: u32) -> Result<()> {
-        self.lookup(g, node, depth, None, true, |g| {
+        self.lookup(g, node, depth, None, LookupMode::Warming, |g| {
             let ball = bfs_ball(g, node, depth)?;
             let sub = Subgraph::extract(g, &ball)?;
             Ok((sub, ball.edges_scanned))
@@ -1108,7 +1381,7 @@ impl ConcurrentSubgraphCache {
         depth: u32,
         scratch: &mut ExtractScratch,
     ) -> Result<()> {
-        self.lookup(g, node, depth, None, true, |g| {
+        self.lookup(g, node, depth, None, LookupMode::Warming, |g| {
             Ok(scratch.extract_owned(g, node, depth)?)
         })
         .map(|_| ())
@@ -1117,16 +1390,17 @@ impl ConcurrentSubgraphCache {
     /// The shared lookup core: fast-path read, singleflight install on
     /// miss, condvar wait for in-flight extractions, post-extraction
     /// admission. `extract` runs at most once per call and **never under
-    /// a shard lock**. `warming` suppresses all lookup accounting (only
-    /// physical extraction work is counted) and bypasses the frequency
-    /// gate.
+    /// a shard lock**. [`LookupMode::Warming`] suppresses all lookup
+    /// accounting (only physical extraction work is counted) and
+    /// bypasses the frequency gate; [`LookupMode::Probe`] counts like
+    /// demand but never admits the extracted ball.
     fn lookup<G, F>(
         &self,
         g: &G,
         node: NodeId,
         depth: u32,
         consumer: Option<&CacheConsumer>,
-        warming: bool,
+        mode: LookupMode,
         extract: F,
     ) -> Result<(Arc<Subgraph>, usize)>
     where
@@ -1163,7 +1437,7 @@ impl ConcurrentSubgraphCache {
                 // Warming is not demand: it must not refresh recency, or
                 // repeated warm-ups of never-queried probe balls would
                 // out-compete genuinely hot entries at eviction time.
-                if !warming {
+                if mode != LookupMode::Warming {
                     entry.last_used.store(stamp, Ordering::Relaxed);
                 }
                 // Hit fast path: a published entry is read without any
@@ -1171,7 +1445,7 @@ impl ConcurrentSubgraphCache {
                 // set), so concurrent hits on one hot ball never
                 // serialize.
                 if let Some(sub) = entry.published.get() {
-                    if !warming {
+                    if mode != LookupMode::Warming {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         if let Some(c) = consumer {
                             c.on_hit();
@@ -1183,7 +1457,7 @@ impl ConcurrentSubgraphCache {
                 loop {
                     match &*state {
                         EntryState::Ready => {
-                            if !warming {
+                            if mode != LookupMode::Warming {
                                 self.shared.fetch_add(1, Ordering::Relaxed);
                                 if let Some(c) = consumer {
                                     c.on_shared();
@@ -1202,14 +1476,14 @@ impl ConcurrentSubgraphCache {
                             // (out-of-bounds seeds), so this surfaces the
                             // same error without retry loops.
                             drop(state);
-                            if !warming {
+                            if mode != LookupMode::Warming {
                                 self.misses.fetch_add(1, Ordering::Relaxed);
                                 if let Some(c) = consumer {
                                     c.on_miss();
                                 }
                             }
                             let (sub, work) = extract(g)?;
-                            self.count_extraction(consumer, warming);
+                            self.count_extraction(consumer, mode);
                             // Deterministic failures cannot reach here, but
                             // a success is still a valid answer: serve it
                             // without touching the map (the key was purged).
@@ -1219,24 +1493,35 @@ impl ConcurrentSubgraphCache {
                 }
             }
             Found::Winner(entry) => {
-                if !warming {
+                if mode != LookupMode::Warming {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     if let Some(c) = consumer {
                         c.on_miss();
                     }
                 }
-                // The frequency gate counts demand sightings; a warm-up
-                // is treated as already-seen (warming *is* the decision).
-                let seen_before = if warming || !self.admission.needs_seen_tracking() {
-                    true
-                } else {
-                    self.note_seen(key)
-                };
+                // The frequency sketch counts demand sightings; a warm-up
+                // is treated as already-seen and maximally hot (warming
+                // *is* the admission decision).
+                let (seen_before, candidate_freq) =
+                    if mode != LookupMode::Demand || !self.admission.needs_seen_tracking() {
+                        (true, u32::MAX)
+                    } else {
+                        let count = self.note_seen(key);
+                        (count > 1, count)
+                    };
                 match extract(g) {
                     Ok((sub, work)) => {
                         let sub = Arc::new(sub);
-                        self.count_extraction(consumer, warming);
-                        let admitted = self.admission.admits(sub.num_nodes(), seen_before);
+                        self.count_extraction(consumer, mode);
+                        let bytes = sub.memory_bytes().total();
+                        // Admission is two gates: the policy's size gate,
+                        // then budget reservation (which plans and evicts
+                        // LRU victims until the candidate fits, applying
+                        // the TinyLFU frequency-vs-victim comparison when
+                        // configured). Probes never admit.
+                        let admitted = mode != LookupMode::Probe
+                            && self.admission.size_gate(sub.num_nodes(), seen_before)
+                            && self.reserve_residency(key, bytes, candidate_freq);
                         if !admitted {
                             // Rejected: remove the entry from the map
                             // BEFORE publishing, so a rejected ball is
@@ -1246,9 +1531,12 @@ impl ConcurrentSubgraphCache {
                             // admitted entry in its place. Singleflight
                             // waiters hold the `Arc<Entry>` directly and
                             // are still served zero-copy below.
-                            self.rejected.fetch_add(1, Ordering::Relaxed);
-                            if let Some(c) = consumer {
-                                if !warming {
+                            // A probe's non-admission is by design, not
+                            // a policy rejection — only real rejections
+                            // count.
+                            if mode != LookupMode::Probe {
+                                self.rejected.fetch_add(1, Ordering::Relaxed);
+                                if let (Some(c), LookupMode::Demand) = (consumer, mode) {
                                     c.rejected.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
@@ -1258,19 +1546,39 @@ impl ConcurrentSubgraphCache {
                                     map.remove(&key);
                                 }
                             }
+                            entry
+                                .published
+                                .set(Arc::clone(&sub))
+                                .unwrap_or_else(|_| unreachable!("only the winner publishes"));
+                        } else {
+                            // Publish under the shard write lock so the
+                            // charge and the publication are atomic with
+                            // respect to eviction/clear scans: under any
+                            // shard lock, an in-map published entry is
+                            // exactly charged. If the cache was cleared
+                            // while we extracted (our pending entry is
+                            // gone), release the reservation — the ball
+                            // is still served, it is just not resident.
+                            let map = shard.map.write().expect("cache shard poisoned");
+                            let still_resident = map
+                                .get(&key)
+                                .is_some_and(|current| Arc::ptr_eq(current, &entry));
+                            if still_resident {
+                                entry.charged_bytes.store(bytes, Ordering::Relaxed);
+                            } else {
+                                self.resident_entries.fetch_sub(1, Ordering::Relaxed);
+                                self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+                            }
+                            entry
+                                .published
+                                .set(Arc::clone(&sub))
+                                .unwrap_or_else(|_| unreachable!("only the winner publishes"));
                         }
-                        entry
-                            .published
-                            .set(Arc::clone(&sub))
-                            .unwrap_or_else(|_| unreachable!("only the winner publishes"));
                         {
                             let mut state = entry.state.lock().expect("cache entry poisoned");
                             *state = EntryState::Ready;
                         }
                         entry.ready.notify_all();
-                        if admitted {
-                            self.evict_over_capacity(shard, key);
-                        }
                         Ok((sub, work))
                     }
                     Err(err) => {
@@ -1294,9 +1602,9 @@ impl ConcurrentSubgraphCache {
 
     /// Counts one physical ball extraction (globally, and for the
     /// demanding consumer when the lookup is attributed).
-    fn count_extraction(&self, consumer: Option<&CacheConsumer>, warming: bool) {
+    fn count_extraction(&self, consumer: Option<&CacheConsumer>, mode: LookupMode) {
         self.extractions.fetch_add(1, Ordering::Relaxed);
-        if warming {
+        if mode == LookupMode::Warming {
             return;
         }
         if let Some(c) = consumer {
@@ -1304,42 +1612,169 @@ impl ConcurrentSubgraphCache {
         }
     }
 
-    /// Evicts the least-recently-stamped **ready** entries of `shard`
-    /// until it is back within its capacity share. `keep` (the key just
-    /// published) and in-flight pending entries are never victims. Equal
-    /// stamps break ties by smallest key for reproducible single-threaded
-    /// eviction order.
-    fn evict_over_capacity(&self, shard: &Shard, keep: CacheKey) {
-        let mut map = shard.map.write().expect("cache shard poisoned");
-        // O(1) fast path: `map.len()` bounds the resident count from
-        // above (rejected balls are removed before they publish, so a
-        // published map entry is always an admitted resident; the only
-        // overcount is in-flight pending placeholders).
-        if map.len() <= self.per_shard_capacity {
-            return;
+    /// Reserves budget room for a `bytes`-sized candidate, evicting the
+    /// globally least-recently-used published entries until it fits.
+    /// Returns `false` (no reservation held, **nothing evicted**) when
+    /// the candidate cannot or should not become resident:
+    ///
+    /// * it is larger than the whole byte budget;
+    /// * nothing evictable remains and the budget is still full (every
+    ///   other entry is pending/in-flight);
+    /// * the [`AdmissionPolicy::FrequencyVsVictim`] comparison finds
+    ///   *any* of the would-be victims at least as frequently demanded
+    ///   as the candidate (`candidate_freq` is the candidate's sketch
+    ///   count; `u32::MAX` bypasses the comparison). The whole victim
+    ///   set is planned and frequency-checked **before** the first
+    ///   eviction, so a rejected candidate never costs a resident its
+    ///   slot.
+    ///
+    /// On `true`, both global counters have been advanced via CAS while
+    /// their bound held, so a configured budget is **never** exceeded —
+    /// not even transiently under concurrent inserts.
+    fn reserve_residency(&self, keep: CacheKey, bytes: usize, candidate_freq: u32) -> bool {
+        if self.budget.bytes.is_some_and(|cap| bytes > cap) {
+            return false;
         }
-        // Count only *published* entries against the budget — once; the
-        // count is maintained incrementally while we evict. Pending
-        // placeholders must never push an admitted resident out.
-        let mut resident = map
-            .values()
-            .filter(|entry| entry.published.get().is_some())
-            .count();
-        while resident > self.per_shard_capacity {
-            let victim = map
-                .iter()
-                .filter(|&(&key, entry)| key != keep && entry.published.get().is_some())
-                .map(|(&key, entry)| (entry.last_used.load(Ordering::Relaxed), key))
-                .min();
-            match victim {
-                Some((_, key)) => {
-                    map.remove(&key);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                    resident -= 1;
-                }
-                None => break, // everything else is pending or `keep`
+        let victim_gate = matches!(self.admission, AdmissionPolicy::FrequencyVsVictim);
+        loop {
+            if self.try_reserve(bytes) {
+                return true;
+            }
+            // Plan the complete victim set in ONE scan (LRU-first), so
+            // admission costs one cache walk rather than one per
+            // eviction — and so the frequency gate can veto the whole
+            // plan before anything is evicted.
+            let Some(victims) = self.plan_victims(keep, bytes) else {
+                return false;
+            };
+            if victims.is_empty() {
+                // Counters moved between the failed reservation and the
+                // plan (another thread freed room): just retry.
+                continue;
+            }
+            if victim_gate
+                && victims
+                    .iter()
+                    .any(|&victim| self.sketch_frequency(victim) >= candidate_freq)
+            {
+                return false;
+            }
+            for victim in victims {
+                // If a victim vanished meanwhile (a concurrent evicter
+                // got it first), the outer retry re-plans.
+                self.try_evict(victim);
             }
         }
+    }
+
+    /// One attempt to reserve `bytes` + one entry against the budget
+    /// counters. Fails (without side effects) when a bound would be
+    /// exceeded; CAS races retry internally.
+    fn try_reserve(&self, bytes: usize) -> bool {
+        loop {
+            let entries = self.resident_entries.load(Ordering::Relaxed);
+            let resident = self.resident_bytes.load(Ordering::Relaxed);
+            let entries_fit = self.budget.entries.is_none_or(|cap| entries < cap);
+            let bytes_fit = self.budget.bytes.is_none_or(|cap| resident + bytes <= cap);
+            if !(entries_fit && bytes_fit) {
+                return false;
+            }
+            if self
+                .resident_entries
+                .compare_exchange(entries, entries + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            match self.resident_bytes.compare_exchange(
+                resident,
+                resident + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(_) => {
+                    self.resident_entries.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// The least-recently-stamped published entries (other than `keep`)
+    /// whose eviction would let a `bytes`-sized candidate fit, in
+    /// eviction order. Equal stamps break ties by smallest key so
+    /// single-threaded eviction order is reproducible. Returns `None`
+    /// when even evicting every candidate victim cannot make room
+    /// (admission should reject); an empty plan means the budget
+    /// already fits.
+    fn plan_victims(&self, keep: CacheKey, bytes: usize) -> Option<Vec<CacheKey>> {
+        let mut residents: Vec<(u64, CacheKey, usize)> = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.read().expect("cache shard poisoned");
+            for (&key, entry) in map.iter() {
+                if key == keep || entry.published.get().is_none() {
+                    continue;
+                }
+                residents.push((
+                    entry.last_used.load(Ordering::Relaxed),
+                    key,
+                    entry.charged_bytes.load(Ordering::Relaxed),
+                ));
+            }
+        }
+        residents.sort_unstable();
+        let entries = self.resident_entries.load(Ordering::Relaxed);
+        let resident = self.resident_bytes.load(Ordering::Relaxed);
+        let mut freed_entries = 0usize;
+        let mut freed_bytes = 0usize;
+        let mut plan = Vec::new();
+        for (_, key, charged) in residents {
+            let entries_left = entries.saturating_sub(freed_entries);
+            let bytes_left = resident.saturating_sub(freed_bytes);
+            let entries_fit = self.budget.entries.is_none_or(|cap| entries_left < cap);
+            let bytes_fit = self
+                .budget
+                .bytes
+                .is_none_or(|cap| bytes_left + bytes <= cap);
+            if entries_fit && bytes_fit {
+                return Some(plan);
+            }
+            plan.push(key);
+            freed_entries += 1;
+            freed_bytes += charged;
+        }
+        let entries_left = entries.saturating_sub(freed_entries);
+        let bytes_left = resident.saturating_sub(freed_bytes);
+        let entries_fit = self.budget.entries.is_none_or(|cap| entries_left < cap);
+        let bytes_fit = self
+            .budget
+            .bytes
+            .is_none_or(|cap| bytes_left + bytes <= cap);
+        if entries_fit && bytes_fit {
+            Some(plan)
+        } else {
+            None
+        }
+    }
+
+    /// Evicts `key` if it is still a published resident, releasing its
+    /// budget reservation. Returns whether an eviction happened.
+    fn try_evict(&self, key: CacheKey) -> bool {
+        let shard = self.shard_for(key);
+        let mut map = shard.map.write().expect("cache shard poisoned");
+        let is_resident = map
+            .get(&key)
+            .is_some_and(|entry| entry.published.get().is_some());
+        if !is_resident {
+            return false;
+        }
+        let entry = map.remove(&key).expect("checked above");
+        let bytes = entry.charged_bytes.swap(0, Ordering::Relaxed);
+        self.resident_entries.fetch_sub(1, Ordering::Relaxed);
+        self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// A consistent-enough snapshot of the always-on counters (relaxed
@@ -1368,8 +1803,20 @@ impl ConcurrentSubgraphCache {
         self.len() == 0
     }
 
-    /// Approximate resident bytes (sum of ready sub-graph footprints).
+    /// Resident bytes: the exact global budget counter (O(1) relaxed
+    /// load). This is the number admission reserves against; a
+    /// configured [`CacheBudget::bytes`] bound is an invariant of this
+    /// counter.
     pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resident bytes recomputed by summing every published entry's
+    /// measured `Subgraph::memory_bytes().total()` (O(residents), takes
+    /// every shard read lock). Once lookups quiesce this equals
+    /// [`ConcurrentSubgraphCache::resident_bytes`] — asserted by the
+    /// accounting property tests.
+    pub fn resident_bytes_exact(&self) -> usize {
         self.shards
             .iter()
             .map(|s| {
@@ -1388,7 +1835,18 @@ impl ConcurrentSubgraphCache {
     /// extractions complete normally; their waiters are still served.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.map.write().expect("cache shard poisoned").clear();
+            let mut map = shard.map.write().expect("cache shard poisoned");
+            for entry in map.values() {
+                // Only charged residents release budget; pending entries
+                // (whose winner validates membership at publish time)
+                // never charged anything.
+                let bytes = entry.charged_bytes.swap(0, Ordering::Relaxed);
+                if bytes > 0 {
+                    self.resident_entries.fetch_sub(1, Ordering::Relaxed);
+                    self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+                }
+            }
+            map.clear();
         }
     }
 }
@@ -1785,6 +2243,14 @@ mod concurrent_tests {
             AdmissionPolicy::from_str("freq:64").unwrap(),
             AdmissionPolicy::FrequencyGated(64)
         );
+        assert_eq!(
+            AdmissionPolicy::from_str("tinylfu").unwrap(),
+            AdmissionPolicy::FrequencyVsVictim
+        );
+        assert_eq!(
+            AdmissionPolicy::from_str("freq-vs-victim").unwrap(),
+            AdmissionPolicy::FrequencyVsVictim
+        );
         assert!(AdmissionPolicy::from_str("max-nodes:0").is_err());
         assert!(AdmissionPolicy::from_str("freq:x").is_err());
         assert!(AdmissionPolicy::from_str("lfu").is_err());
@@ -1792,12 +2258,201 @@ mod concurrent_tests {
             AdmissionPolicy::Always,
             AdmissionPolicy::MaxNodes(7),
             AdmissionPolicy::FrequencyGated(9),
+            AdmissionPolicy::FrequencyVsVictim,
         ] {
             assert_eq!(
                 AdmissionPolicy::from_str(&policy.to_string()).unwrap(),
                 policy
             );
         }
+    }
+
+    #[test]
+    fn byte_budget_evicts_until_candidate_fits() {
+        let g = generators::path(64).unwrap();
+        // A depth-1 path ball (≤ 3 nodes) costs a fixed number of bytes;
+        // budget exactly two of them.
+        let one = Subgraph::extract(&g, &bfs_ball(&g, 10, 1).unwrap())
+            .unwrap()
+            .memory_bytes()
+            .total();
+        let cache = ConcurrentSubgraphCache::with_budget_and_shards(CacheBudget::bytes(2 * one), 1);
+        assert_eq!(cache.budget(), CacheBudget::bytes(2 * one));
+        cache.get_or_extract(&g, 10, 1).unwrap();
+        cache.get_or_extract(&g, 20, 1).unwrap();
+        assert_eq!(cache.resident_bytes(), 2 * one);
+        assert_eq!(cache.stats().evictions, 0);
+        // The third ball fits only after evicting the LRU first.
+        cache.get_or_extract(&g, 30, 1).unwrap();
+        assert_eq!(cache.resident_bytes(), 2 * one);
+        assert_eq!(cache.resident_bytes_exact(), 2 * one);
+        assert_eq!(cache.stats().evictions, 1);
+        // Key 10 was the victim; 20 and 30 still hit.
+        let misses = cache.stats().misses;
+        cache.get_or_extract(&g, 20, 1).unwrap();
+        cache.get_or_extract(&g, 30, 1).unwrap();
+        assert_eq!(cache.stats().misses, misses);
+        cache.get_or_extract(&g, 10, 1).unwrap();
+        assert_eq!(cache.stats().misses, misses + 1);
+    }
+
+    #[test]
+    fn ball_larger_than_whole_byte_budget_is_rejected_but_served() {
+        let g = generators::grid(8, 8).unwrap();
+        // Budget far below any depth-2 grid ball.
+        let cache = ConcurrentSubgraphCache::with_budget_and_shards(CacheBudget::bytes(64), 1);
+        let (sub, work) = cache.get_or_extract_counted(&g, 27, 2).unwrap();
+        assert!(sub.num_nodes() > 1);
+        assert!(work > 0, "rejected balls are still served");
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.stats().rejected_admissions, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn entry_and_byte_budgets_compose() {
+        let g = generators::path(64).unwrap();
+        let one = Subgraph::extract(&g, &bfs_ball(&g, 10, 1).unwrap())
+            .unwrap()
+            .memory_bytes()
+            .total();
+        // Bytes would allow 4 balls; entries cap at 2 — the tighter
+        // bound governs.
+        let cache = ConcurrentSubgraphCache::with_budget_and_shards(
+            CacheBudget::bytes(4 * one).with_entries(2),
+            1,
+        );
+        for seed in [10u32, 20, 30, 40] {
+            cache.get_or_extract(&g, seed, 1).unwrap();
+        }
+        assert_eq!(cache.resident_entries(), 2);
+        assert_eq!(cache.resident_bytes(), 2 * one);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn tinylfu_admits_only_when_candidate_beats_victim() {
+        let g = generators::path(256).unwrap();
+        let cache = ConcurrentSubgraphCache::with_budget_and_shards(CacheBudget::entries(2), 1)
+            .with_admission(AdmissionPolicy::FrequencyVsVictim);
+        // While under budget, everything is admitted.
+        cache.get_or_extract(&g, 10, 1).unwrap(); // freq(10) = 1
+        cache.get_or_extract(&g, 20, 1).unwrap(); // freq(20) = 1
+        cache.get_or_extract(&g, 20, 1).unwrap(); // hit, freq unchanged
+        assert_eq!(cache.len(), 2);
+        // A cold candidate (freq 1) does not beat the LRU victim
+        // (key 10, freq 1): rejected, nothing evicted.
+        cache.get_or_extract(&g, 30, 1).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().rejected_admissions, 1);
+        assert_eq!(cache.stats().evictions, 0);
+        let misses = cache.stats().misses;
+        cache.get_or_extract(&g, 10, 1).unwrap(); // still resident
+        assert_eq!(cache.stats().misses, misses);
+        // The second sighting of key 30 (sketch count 2) beats the LRU
+        // victim (key 20 — demanded once; hits are not sketch
+        // sightings, so its count stayed 1): admitted, 20 evicted.
+        cache.get_or_extract(&g, 30, 1).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        let misses = cache.stats().misses;
+        cache.get_or_extract(&g, 30, 1).unwrap();
+        assert_eq!(cache.stats().misses, misses, "admitted ball must hit");
+    }
+
+    #[test]
+    fn tinylfu_rejection_never_evicts_even_when_multiple_victims_were_needed() {
+        let g = generators::path(64).unwrap();
+        let small = Subgraph::extract(&g, &bfs_ball(&g, 10, 1).unwrap())
+            .unwrap()
+            .memory_bytes()
+            .total();
+        let big = Subgraph::extract(&g, &bfs_ball(&g, 50, 2).unwrap())
+            .unwrap()
+            .memory_bytes()
+            .total();
+        // The candidate must need BOTH residents evicted to fit.
+        assert!(small < big && big <= 2 * small, "setup: S < big <= 2S");
+        let cache =
+            ConcurrentSubgraphCache::with_budget_and_shards(CacheBudget::bytes(2 * small), 1)
+                .with_admission(AdmissionPolicy::FrequencyVsVictim);
+        // Sketch frequencies survive clear(): demand the hot key twice
+        // (with a clear between, so both demands are misses), the cold
+        // key once. Residents afterwards: cold (LRU, freq 1), hot
+        // (freq 2); the byte budget is exactly full.
+        cache.get_or_extract(&g, 30, 1).unwrap(); // hot, freq 1
+        cache.clear();
+        cache.get_or_extract(&g, 10, 1).unwrap(); // cold, freq 1
+        cache.get_or_extract(&g, 30, 1).unwrap(); // hot again, freq 2
+        assert_eq!(cache.resident_bytes(), 2 * small);
+
+        // First sighting of the big candidate (freq 1): the LRU victim
+        // (cold, freq 1) already ties it — rejected, nothing evicted.
+        cache.get_or_extract(&g, 50, 2).unwrap();
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().rejected_admissions, 1);
+        // Second sighting (freq 2): the victim PLAN is [cold, hot]; the
+        // cold victim (freq 1) loses to the candidate, but the hot one
+        // (freq 2) does not. The whole plan must be vetoed BEFORE any
+        // eviction — the old incremental loop evicted the cold resident
+        // first and then rejected, costing an admitted entry for
+        // nothing.
+        cache.get_or_extract(&g, 50, 2).unwrap();
+        assert_eq!(cache.stats().evictions, 0, "rejection must evict nothing");
+        assert_eq!(cache.resident_bytes(), 2 * small);
+        let misses = cache.stats().misses;
+        cache.get_or_extract(&g, 10, 1).unwrap(); // cold resident intact
+        cache.get_or_extract(&g, 30, 1).unwrap(); // hot resident intact
+        assert_eq!(cache.stats().misses, misses);
+    }
+
+    #[test]
+    fn budget_probe_serves_without_admitting_and_admit_extracted_publishes() {
+        let g = generators::path(64).unwrap();
+        let cache = ConcurrentSubgraphCache::with_shards(8, 1);
+        let consumer = CacheConsumer::new(8);
+        let mut scratch = ExtractScratch::new();
+        // A probe miss extracts and counts, but nothing becomes resident.
+        let (sub, work) = cache
+            .probe_or_extract_with_as(&g, 10, 2, &mut scratch, &consumer)
+            .unwrap();
+        assert!(work > 0);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(consumer.stats().misses, 1);
+        assert_eq!(consumer.stats().extractions, 1);
+        assert_eq!(cache.stats().rejected_admissions, 0, "not a rejection");
+        // Explicit admission makes it resident without a lookup or BFS.
+        cache.admit_extracted(10, 2, &sub, Some(&consumer));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(), sub.memory_bytes().total());
+        assert_eq!(cache.stats().extractions, 1);
+        // The admitted ball now hits — for probes and demand alike.
+        let (again, work) = cache
+            .probe_or_extract_with_as(&g, 10, 2, &mut scratch, &consumer)
+            .unwrap();
+        assert!(Arc::ptr_eq(&sub, &again));
+        assert_eq!(work, 0);
+        assert_eq!(consumer.stats().hits, 1);
+        // Re-admitting is a no-op.
+        cache.admit_extracted(10, 2, &sub, Some(&consumer));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn global_entry_budget_is_exact_across_shards() {
+        // The per-shard rounding regression: 16 entries over 8 shards
+        // used to admit up to ceil(16/8) per shard = 16 + 7 extra under
+        // unlucky hashing. The global counter holds the bound exactly.
+        let g = generators::path(512).unwrap();
+        let cache = ConcurrentSubgraphCache::with_shards(16, 8);
+        for seed in 0..128u32 {
+            cache.get_or_extract(&g, seed, 1).unwrap();
+        }
+        assert_eq!(cache.resident_entries(), 16);
+        assert!(cache.len() <= 16);
+        assert_eq!(cache.stats().evictions, 128 - 16);
+        assert_eq!(cache.resident_bytes(), cache.resident_bytes_exact());
     }
 
     #[test]

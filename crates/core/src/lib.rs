@@ -17,11 +17,13 @@
 //!   [`Router`], and the [`BatchExecutor`] worker pool;
 //! * [`QueryWorkspace`] — the reusable scratch arena behind the
 //!   zero-allocation query path (one [`WorkspacePool`] per backend);
-//! * [`cache`] — sub-graph caching: the single-threaded LRU
-//!   [`SubgraphCache`] and the [`ConcurrentSubgraphCache`], a sharded,
-//!   lock-striped, singleflight cache shared by all batch workers so hot
-//!   balls in skewed traffic are extracted once and reused zero-copy
-//!   (attach with [`backend::Meloppr::with_shared_cache`]);
+//! * [`cache`] — sub-graph caching on one core: the
+//!   [`ConcurrentSubgraphCache`], a sharded, lock-striped, singleflight
+//!   cache shared by all batch workers so hot balls in skewed traffic
+//!   are extracted once and reused zero-copy (attach with
+//!   [`backend::Meloppr::with_shared_cache`]), governed by a
+//!   byte-and/or-entry [`CacheBudget`] that is never exceeded; plus the
+//!   single-threaded [`SubgraphCache`] facade over the same core;
 //! * [`diffusion`] — the `GD(l)` kernel producing accumulated (`πa`) and
 //!   residual (`πr`) scores (Eq. 1, Fig. 3(b)), with
 //!   [`diffuse_into`] computing into caller-owned scratch;
@@ -158,8 +160,8 @@ pub use backend::{
     PprBackend, QueryBudget, QueryOutcome, QueryRequest, QueryStats, Route, Router,
 };
 pub use cache::{
-    AdmissionPolicy, CacheConsumer, CacheStats, ConcurrentSubgraphCache, ConsumerStats,
-    SubgraphCache,
+    AdmissionPolicy, CacheBudget, CacheConsumer, CacheStats, ConcurrentSubgraphCache,
+    ConsumerStats, SubgraphCache,
 };
 pub use diffusion::{
     diffuse, diffuse_from_seed, diffuse_into, DiffusionConfig, DiffusionOutput, DiffusionScratch,
@@ -170,6 +172,7 @@ pub use global_table::GlobalScoreTable;
 pub use ground_truth::{exact_ppr, exact_top_k};
 pub use local_ppr::{LocalPprResult, LocalPprStats};
 pub use meloppr::{DiffusionRecord, MelopprEngine, MelopprOutcome, MelopprStats, StageStats};
+pub use memory::{format_bytes, parse_byte_size};
 pub use params::{MelopprParams, PprParams, ResidualPolicy};
 pub use planner::{plan_stages, StagePlan};
 pub use precision::{mean_precision, precision_at_k};

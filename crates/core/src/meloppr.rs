@@ -87,7 +87,10 @@ pub struct MelopprStats {
     pub diffusion_edge_updates: usize,
     /// Memory of the largest single task (the paper's peak working set).
     pub peak_task_memory: CpuTaskMemory,
-    /// Modelled peak CPU bytes (task + aggregation + queue).
+    /// Modelled peak CPU bytes: the largest *instantaneous* working set
+    /// observed over the query (current task + aggregation table + task
+    /// queue at that moment), under the `memory` module's byte model.
+    /// This is the number a `max_memory_bytes` budget bounds.
     pub peak_cpu_bytes: usize,
     /// Modelled peak FPGA BRAM bytes (largest ball's tables + global
     /// table).
@@ -96,6 +99,11 @@ pub struct MelopprStats {
     pub aggregate_entries: usize,
     /// Evictions/rejections in the bounded table (0 when unbounded).
     pub table_evictions: usize,
+    /// Whether a `max_memory_bytes` budget forced deterministic
+    /// degradation (stage-ball depth shrunk so the working set fits).
+    /// `false` means the budget (if any) was met without touching the
+    /// schedule — the result is bit-identical to an unbudgeted run.
+    pub memory_limited: bool,
     /// The full diffusion trace, in execution order.
     pub trace: Vec<DiffusionRecord>,
 }
@@ -331,9 +339,13 @@ pub(crate) struct QueryAccumulator<'t> {
     pub(crate) table: &'t mut GlobalScoreTable,
     pub(crate) stages: Vec<StageStats>,
     pub(crate) trace: Vec<DiffusionRecord>,
+    /// Set when a `max_memory_bytes` budget forced ball-depth shrinking.
+    pub(crate) memory_limited: bool,
     peak_task: CpuTaskMemory,
     peak_ball: (usize, usize),
-    max_queue: usize,
+    /// Largest instantaneous working set observed (task + table + queue
+    /// under the byte model) — becomes `MelopprStats::peak_cpu_bytes`.
+    peak_working_set: usize,
     table_factor: usize,
     bounded_capacity: Option<usize>,
     k: usize,
@@ -347,17 +359,49 @@ impl<'t> QueryAccumulator<'t> {
             table,
             stages: vec![StageStats::default(); params.stages.len()],
             trace: Vec::new(),
+            memory_limited: false,
             peak_task: CpuTaskMemory::default(),
             peak_ball: (0, 0),
-            max_queue: 0,
+            peak_working_set: 0,
             table_factor: params.table_factor.unwrap_or(DEFAULT_TABLE_FACTOR),
             bounded_capacity: params.table_factor.map(|c| c * k),
             k,
         }
     }
 
-    pub(crate) fn observe_queue(&mut self, len: usize) {
-        self.max_queue = self.max_queue.max(len);
+    /// Records the instantaneous working set right after a task's merge:
+    /// the task's modelled bytes plus the aggregation table and pending
+    /// queue as they stand *now*. The running maximum is the honest
+    /// peak — unlike combining the largest-ever task with the final
+    /// table size, which mixes maxima from different instants.
+    pub(crate) fn observe_working_set(&mut self, rec: &DiffusionRecord, queue_len: usize) {
+        let task = cpu_task_memory(rec.ball_nodes, rec.ball_edges);
+        let snapshot = meloppr_cpu_peak(task, self.table.len(), queue_len);
+        self.peak_working_set = self.peak_working_set.max(snapshot);
+    }
+
+    /// Conservative upper bound on the working set a candidate ball
+    /// would produce if its task ran now: the ball's task bytes plus the
+    /// table and queue each grown by the most entries this task could
+    /// add (table: every ball node; queue: the selection's worst-case
+    /// spawn count). Used by the budget gate *before* execution; the
+    /// post-merge [`QueryAccumulator::observe_working_set`] snapshot is
+    /// always ≤ this bound, so enforcing the bound enforces the reported
+    /// peak.
+    pub(crate) fn working_set_bound(
+        &self,
+        ball_nodes: usize,
+        ball_edges: usize,
+        queue_len: usize,
+        selection: &crate::selection::SelectionStrategy,
+    ) -> usize {
+        let task = cpu_task_memory(ball_nodes, ball_edges);
+        let spawn_bound = selection.upper_bound(ball_nodes);
+        let table_bound = match self.bounded_capacity {
+            Some(cap) => (self.table.len() + ball_nodes).min(cap),
+            None => self.table.len() + ball_nodes,
+        };
+        meloppr_cpu_peak(task, table_bound, queue_len + spawn_bound)
     }
 
     /// Merges one task's output (must be called in task order for
@@ -407,14 +451,7 @@ impl<'t> QueryAccumulator<'t> {
             bfs_edges_scanned: self.stages.iter().map(|s| s.bfs_edges_scanned).sum(),
             diffusion_edge_updates: self.stages.iter().map(|s| s.diffusion_edge_updates).sum(),
             peak_task_memory: self.peak_task,
-            peak_cpu_bytes: meloppr_cpu_peak(
-                self.peak_task,
-                match self.bounded_capacity {
-                    Some(cap) => aggregate_entries.min(cap),
-                    None => aggregate_entries,
-                },
-                self.max_queue,
-            ),
+            peak_cpu_bytes: self.peak_working_set,
             peak_fpga_bytes: meloppr_fpga_peak(
                 self.peak_ball.0,
                 self.peak_ball.1,
@@ -423,6 +460,7 @@ impl<'t> QueryAccumulator<'t> {
             ),
             aggregate_entries,
             table_evictions: self.table.evictions(),
+            memory_limited: self.memory_limited,
             stages: self.stages,
             trace: self.trace,
         };
@@ -469,7 +507,7 @@ impl<'g, G: GraphView + ?Sized> MelopprEngine<'g, G> {
     ///
     /// As [`MelopprEngine::query`].
     pub fn query_with(&self, seed: NodeId, ws: &mut QueryWorkspace) -> Result<MelopprOutcome> {
-        staged_query_with(self.graph, &self.params, seed, ws)
+        staged_query_impl(self.graph, &self.params, seed, BallSource::Fresh, None, ws)
     }
 
     /// Cached-extraction reference query, pinned against the backend's
@@ -480,25 +518,91 @@ impl<'g, G: GraphView + ?Sized> MelopprEngine<'g, G> {
         seed: NodeId,
         cache: &mut crate::cache::SubgraphCache,
     ) -> Result<MelopprOutcome> {
-        staged_query_cached_with(
+        staged_query_impl(
             self.graph,
             &self.params,
             seed,
-            cache,
+            BallSource::Owned(cache),
+            None,
             &mut QueryWorkspace::new(),
         )
     }
 }
 
+/// A planned memory budget for one staged query: the enforced byte
+/// limit plus the profile-predicted starting ball depth per stage (so
+/// the loop does not have to materialize over-budget balls just to
+/// measure them — it starts from the plan and only shrinks further when
+/// a concrete ball still exceeds the bound).
+pub(crate) struct MemoryBudget {
+    pub(crate) limit: usize,
+    /// Starting ball depth per stage, each ≤ the stage length.
+    pub(crate) ball_depths: Vec<u32>,
+}
+
+/// Where the staged loop gets its sub-graph balls from — the one
+/// extraction seam shared by the fresh, owned-cache and shared-cache
+/// execution modes (one loop, one budget gate, three ball sources).
+pub(crate) enum BallSource<'c> {
+    /// Extract every ball fresh through the workspace scratch.
+    Fresh,
+    /// Serve balls from (and populate) an owned [`SubgraphCache`].
+    Owned(&'c mut crate::cache::SubgraphCache),
+    /// Serve balls from a [`ConcurrentSubgraphCache`] shared across
+    /// workers, attributing every lookup to `consumer`.
+    Shared {
+        cache: &'c crate::cache::ConcurrentSubgraphCache,
+        consumer: &'c crate::cache::CacheConsumer,
+    },
+}
+
+/// A ball handed to one task: borrowed from the extraction scratch
+/// (fresh mode) or shared zero-copy out of a cache.
+enum Ball<'a> {
+    Borrowed(&'a Subgraph),
+    Cached(std::sync::Arc<Subgraph>),
+}
+
+impl std::ops::Deref for Ball<'_> {
+    type Target = Subgraph;
+
+    fn deref(&self) -> &Subgraph {
+        match self {
+            Ball::Borrowed(sub) => sub,
+            Ball::Cached(sub) => sub,
+        }
+    }
+}
+
 /// The staged query loop over workspace-owned storage: the engine behind
-/// [`MelopprEngine::query_with`] and the sequential mode of
-/// [`backend::Meloppr`](crate::backend::Meloppr).
+/// [`MelopprEngine::query_with`] and every execution mode of
+/// [`backend::Meloppr`](crate::backend::Meloppr) (the ball source is the
+/// only difference between fresh, owned-cache and shared-cache serving).
+///
+/// # Memory-budget enforcement
+///
+/// With `budget_bytes` set, the modelled working set of every task —
+/// [`cpu_task_memory`] on the extracted ball plus the aggregation table
+/// and pending queue under the same byte model — is bounded *before* the
+/// task runs: a ball whose conservative working-set bound exceeds the
+/// budget is re-extracted at a smaller depth (deterministically, one
+/// level at a time) until it fits, and the outcome reports
+/// [`MelopprStats::memory_limited`]. Shrinking the extraction depth
+/// keeps the diffusion length (the smaller ball is a localized
+/// approximation — exactly the paper's fit-the-budget adaptivity), so a
+/// budgeted query degrades precision, never correctness, and a query
+/// whose budget is never hit is bit-identical to an unbudgeted run.
+/// `MelopprStats::peak_cpu_bytes` then never exceeds the budget unless
+/// even depth-0 balls cannot fit (the floor — still reported honestly,
+/// with `memory_limited` set).
 ///
 /// `params` must already be validated.
-pub(crate) fn staged_query_with<G: GraphView + ?Sized>(
+pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
     graph: &G,
     params: &MelopprParams,
     seed: NodeId,
+    mut source: BallSource<'_>,
+    budget: Option<&MemoryBudget>,
     ws: &mut QueryWorkspace,
 ) -> Result<MelopprOutcome> {
     let QueryWorkspace {
@@ -519,129 +623,97 @@ pub(crate) fn staged_query_with<G: GraphView + ?Sized>(
         weight: 1.0,
         stage: 0,
     });
+    let budgeted = budget.is_some();
     while let Some(task) = queue.pop_front() {
-        acc.observe_queue(queue.len() + 1);
-        let l = params.stages[task.stage];
-        let (sub, bfs_edges) = extract.extract(graph, task.node, l as u32)?;
-        let (record, candidates_count) = execute_task_on_with(
-            sub,
-            bfs_edges,
-            params,
-            &task,
-            diffusion,
-            candidates,
-            contributions,
-            children,
-        )?;
-        acc.merge_parts(contributions, children.len(), record, candidates_count);
-        queue.extend(children.iter().copied());
-    }
-    Ok(acc.finish(sparse))
-}
-
-/// As [`staged_query_with`], serving sub-graph extractions from (and
-/// populating) `cache`. Results are identical; only the BFS work counters
-/// differ, recording zero for cache hits — see
-/// [`SubgraphCache`](crate::cache::SubgraphCache).
-pub(crate) fn staged_query_cached_with<G: GraphView + ?Sized>(
-    graph: &G,
-    params: &MelopprParams,
-    seed: NodeId,
-    cache: &mut crate::cache::SubgraphCache,
-    ws: &mut QueryWorkspace,
-) -> Result<MelopprOutcome> {
-    let QueryWorkspace {
-        diffusion,
-        candidates,
-        contributions,
-        children,
-        queue,
-        table,
-        sparse,
-        ..
-    } = ws;
-    let mut acc = QueryAccumulator::new(params, table);
-    queue.clear();
-    queue.push_back(TaskSpec {
-        node: seed,
-        weight: 1.0,
-        stage: 0,
-    });
-    while let Some(task) = queue.pop_front() {
-        acc.observe_queue(queue.len() + 1);
-        let depth = params.stages[task.stage] as u32;
-        let (sub, bfs_work) = cache.get_or_extract_counted(graph, task.node, depth)?;
-        let (record, candidates_count) = execute_task_on_with(
-            &sub,
-            bfs_work,
-            params,
-            &task,
-            diffusion,
-            candidates,
-            contributions,
-            children,
-        )?;
-        acc.merge_parts(contributions, children.len(), record, candidates_count);
-        queue.extend(children.iter().copied());
-    }
-    Ok(acc.finish(sparse))
-}
-
-/// As [`staged_query_with`], serving sub-graph extractions from (and
-/// populating) a [`ConcurrentSubgraphCache`](crate::cache::ConcurrentSubgraphCache)
-/// shared across workers, attributing every lookup to `consumer` (the
-/// querying backend's [`CacheConsumer`](crate::cache::CacheConsumer)
-/// handle — so several backends or executors sharing one cache each see
-/// exactly their own hit/miss traffic). Rankings are identical to the
-/// uncached path; only the BFS work counters differ — hits and
-/// singleflight shares record zero, and the cache's own counters
-/// attribute extraction work to exactly one worker per hot ball. Misses
-/// extract through the workspace's
-/// [`ExtractScratch`](meloppr_graph::ExtractScratch), so BFS bookkeeping
-/// buffers are still reused.
-pub(crate) fn staged_query_shared_with<G: GraphView + ?Sized>(
-    graph: &G,
-    params: &MelopprParams,
-    seed: NodeId,
-    cache: &crate::cache::ConcurrentSubgraphCache,
-    consumer: &crate::cache::CacheConsumer,
-    ws: &mut QueryWorkspace,
-) -> Result<MelopprOutcome> {
-    let QueryWorkspace {
-        extract,
-        diffusion,
-        candidates,
-        contributions,
-        children,
-        queue,
-        table,
-        sparse,
-        ..
-    } = ws;
-    let mut acc = QueryAccumulator::new(params, table);
-    queue.clear();
-    queue.push_back(TaskSpec {
-        node: seed,
-        weight: 1.0,
-        stage: 0,
-    });
-    while let Some(task) = queue.pop_front() {
-        acc.observe_queue(queue.len() + 1);
-        let depth = params.stages[task.stage] as u32;
-        let (sub, bfs_work) =
-            cache.get_or_extract_with_as(graph, task.node, depth, extract, consumer)?;
-        let (record, candidates_count) = execute_task_on_with(
-            &sub,
-            bfs_work,
-            params,
-            &task,
-            diffusion,
-            candidates,
-            contributions,
-            children,
-        )?;
-        acc.merge_parts(contributions, children.len(), record, candidates_count);
-        queue.extend(children.iter().copied());
+        let stage_depth = params.stages[task.stage] as u32;
+        let mut depth = match budget {
+            Some(plan) => plan
+                .ball_depths
+                .get(task.stage)
+                .copied()
+                .unwrap_or(stage_depth)
+                .min(stage_depth),
+            None => stage_depth,
+        };
+        if depth < stage_depth {
+            // Starting below the stage depth is already degradation.
+            acc.memory_limited = true;
+        }
+        loop {
+            // Under a budget, cached lookups are non-admitting *probes*:
+            // a depth the gate discards must not make its (over-budget)
+            // ball resident — probe balls would be the biggest entries
+            // in the cache and would displace hot residents. The depth
+            // that actually executes is admitted explicitly below.
+            // Resident keys still hit for free either way.
+            let (sub, bfs_work): (Ball<'_>, usize) = match &mut source {
+                BallSource::Fresh => {
+                    let (sub, work) = extract.extract(graph, task.node, depth)?;
+                    (Ball::Borrowed(sub), work)
+                }
+                BallSource::Owned(cache) => {
+                    let (sub, work) = if budgeted {
+                        cache.probe_or_extract_with(graph, task.node, depth, extract)?
+                    } else {
+                        cache.get_or_extract_with(graph, task.node, depth, extract)?
+                    };
+                    (Ball::Cached(sub), work)
+                }
+                BallSource::Shared { cache, consumer } => {
+                    let (sub, work) = if budgeted {
+                        cache
+                            .probe_or_extract_with_as(graph, task.node, depth, extract, consumer)?
+                    } else {
+                        cache.get_or_extract_with_as(graph, task.node, depth, extract, consumer)?
+                    };
+                    (Ball::Cached(sub), work)
+                }
+            };
+            if let Some(plan) = budget {
+                let bound = acc.working_set_bound(
+                    sub.num_nodes(),
+                    sub.num_edges(),
+                    queue.len(),
+                    &params.selection,
+                );
+                if bound > plan.limit {
+                    acc.memory_limited = true;
+                    if depth > 0 {
+                        // Deterministic degradation: shrink the ball one
+                        // BFS level and re-extract. Depth 0 is the
+                        // floor — run it even if it still exceeds an
+                        // unsatisfiable budget.
+                        depth -= 1;
+                        continue;
+                    }
+                }
+            }
+            if budgeted {
+                if let Ball::Cached(ball) = &sub {
+                    match &mut source {
+                        BallSource::Fresh => {}
+                        BallSource::Owned(cache) => cache.admit_extracted(task.node, depth, ball),
+                        BallSource::Shared { cache, consumer } => {
+                            cache.admit_extracted(task.node, depth, ball, Some(consumer))
+                        }
+                    }
+                }
+            }
+            let (record, candidates_count) = execute_task_on_with(
+                &sub,
+                bfs_work,
+                params,
+                &task,
+                diffusion,
+                candidates,
+                contributions,
+                children,
+            )?;
+            acc.merge_parts(contributions, children.len(), record, candidates_count);
+            queue.extend(children.iter().copied());
+            acc.observe_working_set(&record, queue.len());
+            break;
+        }
     }
     Ok(acc.finish(sparse))
 }

@@ -94,6 +94,80 @@ pub fn meloppr_fpga_peak(peak_nodes: usize, peak_edges: usize, c: usize, k: usiz
     fpga_bram_bytes(peak_nodes, peak_edges) + fpga_global_table_bytes(c, k)
 }
 
+/// Parses a human byte size: a number with an optional binary
+/// (`KiB`/`MiB`/`GiB`, or bare `K`/`M`/`G`) or decimal (`KB`/`MB`/`GB`)
+/// suffix. Case-insensitive, fractional values allowed (`"1.5MiB"`),
+/// surrounding whitespace ignored. Used by the CLI's `--cache-bytes` /
+/// `--budget-memory` flags.
+///
+/// # Errors
+///
+/// Returns a description of the problem for empty input, an unknown
+/// suffix, a malformed number, zero, or a value overflowing `usize`.
+///
+/// # Examples
+///
+/// ```
+/// use meloppr_core::memory::parse_byte_size;
+///
+/// assert_eq!(parse_byte_size("64MiB").unwrap(), 64 << 20);
+/// assert_eq!(parse_byte_size("2 kb").unwrap(), 2000);
+/// assert_eq!(parse_byte_size("512").unwrap(), 512);
+/// ```
+pub fn parse_byte_size(s: &str) -> std::result::Result<usize, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err("empty byte size".into());
+    }
+    let split = s
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(s.len());
+    let (number, suffix) = s.split_at(split);
+    let number: f64 = number
+        .parse()
+        .map_err(|_| format!("bad byte size {s:?}: no leading number"))?;
+    let multiplier: f64 = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1.0,
+        "k" | "kib" => 1024.0,
+        "m" | "mib" => 1024.0 * 1024.0,
+        "g" | "gib" => 1024.0 * 1024.0 * 1024.0,
+        "kb" => 1e3,
+        "mb" => 1e6,
+        "gb" => 1e9,
+        other => {
+            return Err(format!(
+                "unknown byte suffix {other:?} in {s:?} (use B, KiB/MiB/GiB or KB/MB/GB)"
+            ))
+        }
+    };
+    let value = number * multiplier;
+    if !value.is_finite() || value < 0.0 || value > usize::MAX as f64 {
+        return Err(format!("byte size {s:?} out of range"));
+    }
+    let bytes = value.round() as usize;
+    if bytes == 0 {
+        return Err(format!("byte size {s:?} must be positive"));
+    }
+    Ok(bytes)
+}
+
+/// Formats a byte count with a binary suffix (`"1.5 MiB"`), for budget
+/// and residency telemetry lines.
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +214,52 @@ mod tests {
         let m = cpu_task_memory_measured(sub, 25);
         assert_eq!(m.graph_bytes, 1600);
         assert_eq!(m.score_bytes, 3 * 25 * 8);
+    }
+
+    #[test]
+    fn parse_byte_size_suffixes() {
+        assert_eq!(parse_byte_size("512").unwrap(), 512);
+        assert_eq!(parse_byte_size("512B").unwrap(), 512);
+        assert_eq!(parse_byte_size("4KiB").unwrap(), 4096);
+        assert_eq!(parse_byte_size("4k").unwrap(), 4096);
+        assert_eq!(parse_byte_size("64MiB").unwrap(), 64 << 20);
+        assert_eq!(parse_byte_size("64 MiB").unwrap(), 64 << 20);
+        assert_eq!(parse_byte_size("2GiB").unwrap(), 2 << 30);
+        assert_eq!(parse_byte_size("1kb").unwrap(), 1000);
+        assert_eq!(parse_byte_size("3MB").unwrap(), 3_000_000);
+        assert_eq!(parse_byte_size("1GB").unwrap(), 1_000_000_000);
+        assert_eq!(parse_byte_size("  8m  ").unwrap(), 8 << 20);
+    }
+
+    #[test]
+    fn parse_byte_size_fractional_and_case() {
+        assert_eq!(parse_byte_size("1.5KiB").unwrap(), 1536);
+        assert_eq!(parse_byte_size("0.5MiB").unwrap(), 512 << 10);
+        assert_eq!(parse_byte_size("64mib").unwrap(), 64 << 20);
+        assert_eq!(parse_byte_size("64MIB").unwrap(), 64 << 20);
+    }
+
+    #[test]
+    fn parse_byte_size_rejects_garbage() {
+        assert!(parse_byte_size("").is_err());
+        assert!(parse_byte_size("   ").is_err());
+        assert!(parse_byte_size("MiB").is_err());
+        assert!(parse_byte_size("12XB").is_err());
+        assert!(parse_byte_size("1.2.3K").is_err());
+        assert!(parse_byte_size("0").is_err());
+        assert!(parse_byte_size("0.0001").is_err()); // rounds to zero
+        assert!(parse_byte_size("1e300GiB").is_err());
+        assert!(parse_byte_size("-5K").is_err());
+    }
+
+    #[test]
+    fn format_bytes_picks_binary_units() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(64 << 20), "64.0 MiB");
+        assert_eq!(format_bytes(3 << 30), "3.0 GiB");
+        assert_eq!(format_bytes(1536), "1.5 KiB");
     }
 
     #[test]

@@ -43,12 +43,17 @@ where
     }];
 
     while !frontier.is_empty() {
-        acc.observe_queue(frontier.len());
         let outputs = run_stage(graph, params, &frontier, threads)?;
         let mut next = Vec::new();
-        for output in &outputs {
+        for (i, output) in outputs.iter().enumerate() {
             acc.merge(output);
             next.extend(output.children.iter().copied());
+            // Mirror the sequential FIFO's queue depth at this point —
+            // remaining same-stage tasks plus children spawned so far —
+            // so the working-set snapshots (and thus `peak_cpu_bytes`)
+            // stay bit-identical to the sequential engine.
+            let remaining = outputs.len() - 1 - i;
+            acc.observe_working_set(&output.record, remaining + next.len());
         }
         frontier = next;
     }

@@ -67,6 +67,24 @@ impl SelectionStrategy {
         candidates
     }
 
+    /// Upper bound on how many of `candidates` nodes this strategy can
+    /// select — the worst case the memory-budget gate plans for before a
+    /// task runs ([`select_in_place`](SelectionStrategy::select_in_place)
+    /// never keeps more than this).
+    pub fn upper_bound(&self, candidates: usize) -> usize {
+        match *self {
+            SelectionStrategy::All | SelectionStrategy::RelativeThreshold(_) => candidates,
+            SelectionStrategy::TopFraction(f) => {
+                if f <= 0.0 {
+                    0
+                } else {
+                    ((candidates as f64 * f).ceil() as usize).min(candidates)
+                }
+            }
+            SelectionStrategy::TopCount(n) => n.min(candidates),
+        }
+    }
+
     /// As [`SelectionStrategy::select`], but operates on a caller-owned
     /// buffer in place (sort + truncate, no allocation). After the call,
     /// `candidates` holds exactly the selected entries in selection order.

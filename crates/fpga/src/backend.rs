@@ -146,6 +146,7 @@ impl<'g, G: GraphView + ?Sized> FpgaHybrid<'g, G> {
                 peak_task_memory_bytes: fpga_bram_bytes(stats.max_ball_nodes, stats.max_ball_edges),
                 aggregate_entries: outcome.ranking_int.len(),
                 table_evictions: stats.table_evictions,
+                memory_limited: false,
                 latency_estimate_ns: Some(outcome.latency.total_ns()),
                 host_latency_ns: Some(outcome.latency.host_bfs_ns),
             },

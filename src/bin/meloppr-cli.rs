@@ -6,9 +6,11 @@
 //!                    [--stages a,b,..] [--ratio R] [--alpha A]
 //!                    [--backend auto|exact|local|mc|meloppr|fpga] [--fpga]
 //!                    [--walks W] [--threads T]
-//!                    [--cache-shared] [--cache-capacity N]
-//!                    [--cache-admission always|max-nodes:N|freq:N] [--cache-window N]
-//!                    [--max-latency-ms X] [--max-memory-kb X] [--min-precision P]
+//!                    [--cache-shared] [--cache-capacity N] [--cache-bytes SIZE]
+//!                    [--cache-admission always|max-nodes:N|freq:N|tinylfu]
+//!                    [--cache-window N]
+//!                    [--max-latency-ms X] [--max-memory-kb X]
+//!                    [--budget-memory SIZE] [--min-precision P]
 //! meloppr-cli exact  <graph> --seed-node N [--k K] [--length L] [--alpha A]
 //! ```
 //!
@@ -29,16 +31,25 @@
 //! routed individually (sequentially; `--threads` then only sets the
 //! staged backend's intra-query parallelism).
 //!
-//! `--cache-shared` attaches a concurrent sub-graph cache (capacity
-//! `--cache-capacity`, default 1024 balls) to the staged `meloppr`
-//! backend: all batch workers share one cache, hot balls are extracted
-//! once, and the batch report includes the backend's consumer-attributed
-//! hit/extraction counters (exactly this batch's lookups, even if other
-//! consumers share the cache). `--cache-admission` sets the admission
-//! policy (`always` | `max-nodes:N` | `freq:N`) so giant one-off balls
-//! don't evict hot residents, and `--cache-window` sets the sliding
-//! window (lookups) of the hit rate that routing estimates discount BFS
-//! by.
+//! `--cache-shared` attaches a concurrent sub-graph cache to the staged
+//! `meloppr` backend: all batch workers share one cache, hot balls are
+//! extracted once, and the batch report includes the backend's
+//! consumer-attributed hit/extraction counters (exactly this batch's
+//! lookups, even if other consumers share the cache). The cache budget
+//! is byte-denominated with `--cache-bytes 64MiB`-style suffixed sizes
+//! (`KiB`/`MiB`/`GiB`, or decimal `KB`/`MB`/`GB`), entry-denominated
+//! with `--cache-capacity N`, or both at once; without either, the
+//! default is 1024 balls. `--cache-admission` sets the admission policy
+//! (`always` | `max-nodes:N` | `freq:N` | `tinylfu`) so giant one-off
+//! balls don't evict hot residents, and `--cache-window` sets the
+//! sliding window (lookups) of the hit rate that routing estimates
+//! discount BFS by.
+//!
+//! `--budget-memory 256KiB` attaches an **enforced** per-query working
+//! set budget (`QueryBudget::max_memory_bytes`): the staged backend
+//! shrinks stage-ball depth deterministically until each task's
+//! modelled working set fits, and the report counts queries that had to
+//! degrade. `--max-memory-kb` is the legacy spelling of the same bound.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -50,10 +61,11 @@ use meloppr::graph::edge_list::{read_edge_list_file, EdgeListOptions};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::graph::{components, CsrGraph};
 use meloppr::{
-    exact_top_k, AcceleratorConfig, BatchExecutor, BatchStats, FpgaHybrid, HybridConfig,
-    MelopprParams, NodeId, PprBackend, PprParams, QueryRequest, Router, SelectionStrategy,
+    exact_top_k, format_bytes, parse_byte_size, AcceleratorConfig, BatchExecutor, BatchStats,
+    FpgaHybrid, HybridConfig, MelopprParams, NodeId, PprBackend, PprParams, QueryRequest, Router,
+    SelectionStrategy,
 };
-use meloppr::{AdmissionPolicy, ConcurrentSubgraphCache};
+use meloppr::{AdmissionPolicy, CacheBudget, ConcurrentSubgraphCache};
 
 fn main() -> ExitCode {
     match run() {
@@ -73,9 +85,11 @@ const USAGE: &str = "usage:
                     [--stages a,b,..] [--ratio R] [--alpha A] \\
                     [--backend auto|exact|local|mc|meloppr|fpga] [--fpga] \\
                     [--walks W] [--threads T] \\
-                    [--cache-shared] [--cache-capacity N] \\
-                    [--cache-admission always|max-nodes:N|freq:N] [--cache-window N] \\
-                    [--max-latency-ms X] [--max-memory-kb X] [--min-precision P]
+                    [--cache-shared] [--cache-capacity N] [--cache-bytes SIZE] \\
+                    [--cache-admission always|max-nodes:N|freq:N|tinylfu] \\
+                    [--cache-window N] \\
+                    [--max-latency-ms X] [--max-memory-kb X] \\
+                    [--budget-memory SIZE] [--min-precision P]
   meloppr-cli exact <graph> --seed-node N [--k K] [--length L] [--alpha A]
 
   <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]
@@ -84,12 +98,19 @@ const USAGE: &str = "usage:
                    --backend auto routes each request individually
   --cache-shared = share one concurrent sub-graph cache across all
                    workers of the staged meloppr backend
-                   (--cache-capacity balls, default 1024)
+  --cache-capacity N / --cache-bytes SIZE = the shared cache's budget in
+                   balls and/or bytes (SIZE takes KiB/MiB/GiB or
+                   KB/MB/GB suffixes, e.g. 64MiB); default 1024 balls
   --cache-admission = ball admission policy: always (default),
-                   max-nodes:N (never admit balls over N nodes), or
-                   freq:N (admit over-budget balls on second sighting)
+                   max-nodes:N (never admit balls over N nodes),
+                   freq:N (admit over-budget balls on second sighting),
+                   or tinylfu (admit only when the candidate's sketch
+                   frequency beats the would-be eviction victim's)
   --cache-window = sliding window (lookups) for the hit rate that
-                   routing estimates discount BFS by (default 256)";
+                   routing estimates discount BFS by (default 256)
+  --budget-memory SIZE = enforced per-query working-set budget (the
+                   staged backend degrades deterministically to fit);
+                   --max-memory-kb X is the same bound in KiB";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -176,12 +197,38 @@ struct QueryArgs {
     walks: usize,
     threads: usize,
     cache_shared: bool,
-    cache_capacity: usize,
+    cache_capacity: Option<usize>,
+    cache_bytes: Option<usize>,
     cache_admission: AdmissionPolicy,
     cache_window: usize,
     max_latency_ms: Option<f64>,
-    max_memory_kb: Option<usize>,
+    max_memory_bytes: Option<usize>,
     min_precision: Option<f64>,
+}
+
+impl QueryArgs {
+    /// The shared cache's budget: entries and/or bytes as given, 1024
+    /// balls when neither flag is set.
+    fn cache_budget(&self) -> CacheBudget {
+        match (self.cache_capacity, self.cache_bytes) {
+            (None, None) => CacheBudget::entries(1024),
+            (Some(entries), None) => CacheBudget::entries(entries),
+            (None, Some(bytes)) => CacheBudget::bytes(bytes),
+            (Some(entries), Some(bytes)) => CacheBudget::entries(entries).with_bytes(bytes),
+        }
+    }
+
+    fn cache_budget_label(&self) -> String {
+        let budget = self.cache_budget();
+        match (budget.entries, budget.bytes) {
+            (Some(entries), Some(bytes)) => {
+                format!("{entries} balls / {}", format_bytes(bytes))
+            }
+            (None, Some(bytes)) => format_bytes(bytes),
+            (Some(entries), None) => format!("{entries} balls"),
+            (None, None) => "unbounded".into(),
+        }
+    }
 }
 
 fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
@@ -197,11 +244,12 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
         walks: 10_000,
         threads: 1,
         cache_shared: false,
-        cache_capacity: 1024,
+        cache_capacity: None,
+        cache_bytes: None,
         cache_admission: AdmissionPolicy::Always,
         cache_window: 256,
         max_latency_ms: None,
-        max_memory_kb: None,
+        max_memory_bytes: None,
         min_precision: None,
     };
     let mut it = args.iter();
@@ -266,12 +314,19 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
             }
             "--cache-shared" => out.cache_shared = true,
             "--cache-capacity" => {
-                out.cache_capacity = value("--cache-capacity")?
+                let capacity: usize = value("--cache-capacity")?
                     .parse()
                     .map_err(|e| format!("--cache-capacity: {e}"))?;
-                if out.cache_capacity == 0 {
+                if capacity == 0 {
                     return Err("--cache-capacity must be >= 1".into());
                 }
+                out.cache_capacity = Some(capacity);
+            }
+            "--cache-bytes" => {
+                out.cache_bytes = Some(
+                    parse_byte_size(value("--cache-bytes")?)
+                        .map_err(|e| format!("--cache-bytes: {e}"))?,
+                )
             }
             "--cache-admission" => {
                 out.cache_admission = value("--cache-admission")?
@@ -294,10 +349,15 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
                 )
             }
             "--max-memory-kb" => {
-                out.max_memory_kb = Some(
-                    value("--max-memory-kb")?
-                        .parse()
-                        .map_err(|e| format!("--max-memory-kb: {e}"))?,
+                let kb: usize = value("--max-memory-kb")?
+                    .parse()
+                    .map_err(|e| format!("--max-memory-kb: {e}"))?;
+                out.max_memory_bytes = Some(kb << 10);
+            }
+            "--budget-memory" => {
+                out.max_memory_bytes = Some(
+                    parse_byte_size(value("--budget-memory")?)
+                        .map_err(|e| format!("--budget-memory: {e}"))?,
                 )
             }
             "--min-precision" => {
@@ -379,13 +439,15 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
         ..HybridConfig::default()
     };
 
-    // One request; the budget flags only matter for --backend auto.
+    // One request. Latency/precision budgets steer --backend auto
+    // routing; the memory budget is additionally *enforced* by the
+    // staged backend at run time.
     let mut req = QueryRequest::new(qa.seed);
     if let Some(ms) = qa.max_latency_ms {
         req = req.with_max_latency_ms(ms);
     }
-    if let Some(kb) = qa.max_memory_kb {
-        req = req.with_max_memory_bytes(kb << 10);
+    if let Some(bytes) = qa.max_memory_bytes {
+        req = req.with_max_memory_bytes(bytes);
     }
     if let Some(p) = qa.min_precision {
         req = req.with_min_precision(p);
@@ -442,23 +504,40 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
             stats.mean_latency_ms()
         );
         print!(
-            "diffusions: {}   bfs edges: {}   peak memory: {} bytes",
-            stats.total_diffusions, stats.bfs_edges_scanned, stats.peak_memory_bytes
+            "diffusions: {}   bfs edges: {}   peak memory: {} ({} peak task)",
+            stats.total_diffusions,
+            stats.bfs_edges_scanned,
+            format_bytes(stats.peak_memory_bytes),
+            format_bytes(stats.peak_task_memory_bytes),
         );
         if stats.random_walk_steps > 0 {
             print!("   walk steps: {}", stats.random_walk_steps);
         }
         println!();
+        if qa.max_memory_bytes.is_some() {
+            println!(
+                "memory budget {}: {} of {} queries degraded to fit (memory_limited)",
+                format_bytes(qa.max_memory_bytes.unwrap_or(0)),
+                stats.memory_limited_queries,
+                stats.queries
+            );
+        }
         if let Some(cache) = &stats.cache {
+            let resident = stats
+                .cache_resident_bytes
+                .map(format_bytes)
+                .unwrap_or_else(|| "?".into());
             println!(
                 "shared cache (this batch's own lookups): {} lookups, {} hits + {} shared, \
-                 {} extractions, {} admissions rejected ({:.0}% served without BFS)",
+                 {} extractions, {} admissions rejected ({:.0}% served without BFS); \
+                 resident {resident} of budget {}",
                 cache.lookups(),
                 cache.hits,
                 cache.shared,
                 cache.extractions,
                 cache.rejected_admissions,
-                cache.hit_rate() * 100.0
+                cache.hit_rate() * 100.0,
+                qa.cache_budget_label(),
             );
         } else if qa.cache_shared {
             println!(
@@ -508,6 +587,9 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
         stats.total_diffusions,
         stats.peak_memory_bytes
     );
+    if stats.memory_limited {
+        print!("   [memory-limited: degraded to fit the budget]");
+    }
     if stats.random_walk_steps > 0 {
         print!("   walk steps: {}", stats.random_walk_steps);
     }
@@ -550,15 +632,18 @@ fn build_pinned<'g>(
                 .with_cache_window(qa.cache_window);
             if qa.cache_shared {
                 let cache = Arc::new(
-                    ConcurrentSubgraphCache::new(qa.cache_capacity)
+                    ConcurrentSubgraphCache::with_budget(qa.cache_budget())
                         .with_admission(qa.cache_admission),
                 );
                 (
                     Box::new(backend.with_shared_cache(cache)) as Box<dyn PprBackend + Sync>,
                     format!(
-                        "meloppr (stages {:?}, ratio {}, shared cache of {} balls, \
+                        "meloppr (stages {:?}, ratio {}, shared cache budget {}, \
                          admission {})",
-                        qa.stages, qa.ratio, qa.cache_capacity, qa.cache_admission
+                        qa.stages,
+                        qa.ratio,
+                        qa.cache_budget_label(),
+                        qa.cache_admission
                     ),
                 )
             } else {
@@ -596,7 +681,8 @@ fn build_router<'g>(
         // backend consumer's windowed hit rate (and with self-calibration
         // also learn residual latency error).
         meloppr_backend = meloppr_backend.with_shared_cache(Arc::new(
-            ConcurrentSubgraphCache::new(qa.cache_capacity).with_admission(qa.cache_admission),
+            ConcurrentSubgraphCache::with_budget(qa.cache_budget())
+                .with_admission(qa.cache_admission),
         ));
     }
     Ok(Router::new()

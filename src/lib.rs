@@ -135,12 +135,12 @@ pub use meloppr_graph as graph;
 pub use meloppr_core::backend;
 
 pub use meloppr_core::{
-    exact_ppr, exact_top_k, precision_at_k, AdmissionPolicy, BackendCaps, BackendError,
-    BackendKind, BatchExecutor, BatchOutcome, BatchStats, CacheConsumer, CacheStats,
-    ConcurrentSubgraphCache, ConsumerStats, CostEstimate, MelopprEngine, MelopprOutcome,
-    MelopprParams, PprBackend, PprParams, QueryBudget, QueryOutcome, QueryRequest, QueryStats,
-    QueryWorkspace, Ranking, ResidualPolicy, Route, Router, SelectionStrategy, SubgraphCache,
-    WorkspacePool,
+    exact_ppr, exact_top_k, format_bytes, parse_byte_size, precision_at_k, AdmissionPolicy,
+    BackendCaps, BackendError, BackendKind, BatchExecutor, BatchOutcome, BatchStats, CacheBudget,
+    CacheConsumer, CacheStats, ConcurrentSubgraphCache, ConsumerStats, CostEstimate, MelopprEngine,
+    MelopprOutcome, MelopprParams, PprBackend, PprParams, QueryBudget, QueryOutcome, QueryRequest,
+    QueryStats, QueryWorkspace, Ranking, ResidualPolicy, Route, Router, SelectionStrategy,
+    SubgraphCache, WorkspacePool,
 };
 pub use meloppr_fpga::{AcceleratorConfig, FpgaHybrid, HybridConfig, HybridMeloppr};
 pub use meloppr_graph::{

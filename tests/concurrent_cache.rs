@@ -12,8 +12,8 @@ use meloppr::backend::{BatchExecutor, Meloppr, QueryRequest};
 use meloppr::graph::generators;
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::{
-    bfs_ball, AdmissionPolicy, CacheConsumer, ConcurrentSubgraphCache, CsrGraph, GraphView,
-    MelopprParams, NodeId, PprBackend, PprParams, SelectionStrategy, Subgraph,
+    bfs_ball, AdmissionPolicy, CacheBudget, CacheConsumer, ConcurrentSubgraphCache, CsrGraph,
+    GraphView, MelopprParams, NodeId, PprBackend, PprParams, SelectionStrategy, Subgraph,
 };
 
 fn staged(selection: SelectionStrategy) -> MelopprParams {
@@ -340,6 +340,83 @@ fn rejected_balls_never_evict_admitted_ones() {
     }
 }
 
+/// Regression for the per-shard capacity rounding: 16 entries striped
+/// over 8 shards used to admit up to `capacity + shards - 1` residents
+/// (each shard enforced `ceil(16/8)` locally). The global reservation
+/// counter must hold the exact bound under concurrent inserts — a full
+/// cache never exceeds its configured budget, not even transiently (the
+/// CAS reservation makes overshoot impossible, so the post-join check
+/// plus mid-run byte probes below cover it).
+#[test]
+fn full_cache_never_exceeds_entry_budget_under_concurrent_inserts() {
+    let g = generators::path(4096).unwrap();
+    let cache = Arc::new(ConcurrentSubgraphCache::with_shards(16, 8));
+    let threads = 8;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let cache = &cache;
+            let g = &g;
+            scope.spawn(move || {
+                for i in 0..64u32 {
+                    let seed = (t as u32) * 64 + i;
+                    cache.get_or_extract(g, seed, 1).unwrap();
+                    // Mid-churn, the global bound must already hold.
+                    assert!(
+                        cache.resident_entries() <= 16,
+                        "entry budget exceeded under concurrency"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(cache.resident_entries(), 16, "a full cache fills exactly");
+    assert!(cache.len() <= 16);
+    assert_eq!(cache.resident_bytes(), cache.resident_bytes_exact());
+    let stats = cache.stats();
+    assert_eq!(stats.extractions, 8 * 64);
+    assert_eq!(stats.evictions, 8 * 64 - 16);
+}
+
+/// Byte budgets hold under concurrent churn too: the resident-bytes
+/// counter (which admission reserves against) never exceeds the bound
+/// mid-run, and agrees with the recomputed published sum at quiesce.
+#[test]
+fn byte_budget_holds_under_concurrent_churn() {
+    let g = generators::path(2048).unwrap();
+    let probe = Subgraph::extract(&g, &bfs_ball(&g, 100, 1).unwrap()).unwrap();
+    let budget = probe.memory_bytes().total() * 10; // room for ~10 small balls
+    let cache = Arc::new(ConcurrentSubgraphCache::with_budget(CacheBudget::bytes(
+        budget,
+    )));
+    std::thread::scope(|scope| {
+        for t in 0..6usize {
+            let cache = &cache;
+            let g = &g;
+            scope.spawn(move || {
+                for i in 0..96u32 {
+                    // Mixed depths: ball sizes vary, so byte-aware
+                    // eviction has to evict a varying number of victims
+                    // per admission.
+                    let seed = ((t as u32) * 313 + i * 7) % 2000;
+                    let depth = 1 + (i % 3);
+                    cache.get_or_extract(g, seed, depth).unwrap();
+                    assert!(
+                        cache.resident_bytes() <= budget,
+                        "byte budget exceeded under concurrency"
+                    );
+                }
+            });
+        }
+    });
+    assert!(cache.resident_bytes() <= budget);
+    assert_eq!(
+        cache.resident_bytes(),
+        cache.resident_bytes_exact(),
+        "counter must equal the sum over published entries"
+    );
+    assert!(cache.stats().evictions > 0, "churn must evict");
+}
+
 /// Strategy: a connected-ish random simple graph (as `tests/properties.rs`).
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
     (8usize..40, any::<u64>()).prop_map(|(n, seed)| {
@@ -416,5 +493,46 @@ proptest! {
         // …and with capacity ample, nothing rejected caused an eviction.
         prop_assert_eq!(global.evictions, 0);
         prop_assert_eq!(cache.len() as u64, global.extractions - global.rejected_admissions);
+    }
+
+    /// Property: the resident-bytes counter always equals the sum of
+    /// `memory_bytes().total()` over published entries, under random
+    /// insert/evict/reject churn across threads — and never exceeds a
+    /// configured byte budget.
+    #[test]
+    fn prop_resident_bytes_counter_matches_published_sum(
+        g in arb_graph(),
+        budget_balls in 2usize..12,
+        max_nodes in 4usize..24,
+        threads in 1usize..4,
+        seed_stride in 1u32..7,
+    ) {
+        // Budget in bytes, derived from a probe ball so it scales with
+        // the random graph; MaxNodes admission adds reject churn.
+        let probe = Subgraph::extract(&g, &bfs_ball(&g, 0, 1).unwrap()).unwrap();
+        let budget = probe.memory_bytes().total() * budget_balls;
+        let cache = Arc::new(
+            ConcurrentSubgraphCache::with_budget_and_shards(CacheBudget::bytes(budget), 4)
+                .with_admission(AdmissionPolicy::MaxNodes(max_nodes)),
+        );
+        let n = g.num_nodes() as u32;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = &cache;
+                let g = &g;
+                scope.spawn(move || {
+                    for i in 0..48u32 {
+                        let seed = (t as u32 + i * seed_stride) % n;
+                        let depth = i % 3;
+                        cache.get_or_extract(g, seed, depth).unwrap();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(cache.resident_bytes(), cache.resident_bytes_exact());
+        prop_assert!(cache.resident_bytes() <= budget);
+        // Nothing over the node gate ever became resident.
+        let global = cache.stats();
+        prop_assert!(global.misses == global.extractions);
     }
 }

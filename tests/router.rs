@@ -190,6 +190,7 @@ impl PprBackend for Miscalibrated {
                 peak_task_memory_bytes: 1 << 10,
                 aggregate_entries: 1,
                 table_evictions: 0,
+                memory_limited: false,
                 latency_estimate_ns: Some(self.actual_ns),
                 host_latency_ns: None,
             },
