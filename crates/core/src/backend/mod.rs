@@ -67,6 +67,7 @@ mod exact;
 mod local;
 mod model;
 mod monte_carlo;
+pub mod persist;
 mod router;
 mod staged;
 
@@ -78,7 +79,7 @@ pub use model::{
     staged_precision_heuristic, LatencyModel, StagedWorkEstimate, WorkProfile,
 };
 pub use monte_carlo::MonteCarlo;
-pub use router::{Route, Router};
+pub use router::{CalibrationEntry, Route, Router};
 pub use staged::Meloppr;
 
 use meloppr_graph::NodeId;
@@ -117,6 +118,23 @@ impl std::fmt::Display for BackendKind {
             BackendKind::FpgaHybrid => "fpga-hybrid",
         };
         f.write_str(name)
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) names back — the
+    /// persistence layer and wire protocol speak these strings.
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "exact-power" => Ok(BackendKind::ExactPower),
+            "local-ppr" => Ok(BackendKind::LocalPpr),
+            "monte-carlo" => Ok(BackendKind::MonteCarlo),
+            "meloppr" => Ok(BackendKind::Meloppr),
+            "fpga-hybrid" => Ok(BackendKind::FpgaHybrid),
+            other => Err(format!("unknown backend kind {other:?}")),
+        }
     }
 }
 

@@ -16,6 +16,13 @@ const CALIBRATION_BETA: f64 = 0.3;
 /// the EWMA (wall-clock noise on microsecond queries can be extreme).
 const CALIBRATION_RATIO_RANGE: (f64, f64) = (1e-6, 1e6);
 
+/// Every `memory_limited` outcome folds a `ratio × 1.25` sample into the
+/// backend's EWMA (see [`Router::observe_degradation`]): one degradation
+/// nudges the predicted latency up ~7.5 %, repeated degradation compounds
+/// until budgeted traffic steers to a backend that serves full-fidelity
+/// answers instead.
+const DEGRADATION_PENALTY: f64 = 1.25;
+
 /// Per-backend latency correction state.
 #[derive(Debug, Clone, Copy)]
 struct LatencyCalibration {
@@ -23,6 +30,8 @@ struct LatencyCalibration {
     ratio: f64,
     /// Observations folded in so far.
     samples: usize,
+    /// `memory_limited` degradations folded in so far.
+    degraded: usize,
 }
 
 impl Default for LatencyCalibration {
@@ -30,8 +39,25 @@ impl Default for LatencyCalibration {
         LatencyCalibration {
             ratio: 1.0,
             samples: 0,
+            degraded: 0,
         }
     }
+}
+
+/// One backend's persistable calibration state, keyed by
+/// [`BackendKind`] so it survives process restarts even when unrelated
+/// backends are added or removed (see
+/// [`persist`](super::persist)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationEntry {
+    /// Which solver this calibration belongs to.
+    pub kind: BackendKind,
+    /// EWMA of observed/predicted latency ratios.
+    pub ratio: f64,
+    /// Latency observations folded in.
+    pub samples: usize,
+    /// `memory_limited` degradations folded in.
+    pub degraded: usize,
 }
 
 /// The router's verdict for one request.
@@ -104,7 +130,7 @@ pub struct Route {
 /// ```
 #[derive(Default)]
 pub struct Router<'g> {
-    backends: Vec<Box<dyn PprBackend + 'g>>,
+    backends: Vec<Box<dyn PprBackend + Sync + 'g>>,
     calibrate: bool,
     calibration: Mutex<Vec<LatencyCalibration>>,
 }
@@ -127,9 +153,11 @@ impl<'g> Router<'g> {
     }
 
     /// Registers a backend (builder style). Registration order is the
-    /// final tie-breaker in routing.
+    /// final tie-breaker in routing. Backends must be `Sync`: a router
+    /// is shared by reference across serving threads (the
+    /// [`server`](crate::server) workers, batch executors).
     #[must_use]
-    pub fn with_backend(mut self, backend: Box<dyn PprBackend + 'g>) -> Self {
+    pub fn with_backend(mut self, backend: Box<dyn PprBackend + Sync + 'g>) -> Self {
         self.push(backend);
         self
     }
@@ -143,7 +171,7 @@ impl<'g> Router<'g> {
     }
 
     /// Registers a backend.
-    pub fn push(&mut self, backend: Box<dyn PprBackend + 'g>) {
+    pub fn push(&mut self, backend: Box<dyn PprBackend + Sync + 'g>) {
         self.backends.push(backend);
         self.calibration
             .lock()
@@ -152,7 +180,7 @@ impl<'g> Router<'g> {
     }
 
     /// The registered backends, in registration order.
-    pub fn backends(&self) -> &[Box<dyn PprBackend + 'g>] {
+    pub fn backends(&self) -> &[Box<dyn PprBackend + Sync + 'g>] {
         &self.backends
     }
 
@@ -272,9 +300,31 @@ impl<'g> Router<'g> {
     ///
     /// As [`Router::select`], plus any error from the chosen backend.
     pub fn query(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+        self.query_routed(req).map(|(_, outcome)| outcome)
+    }
+
+    /// As [`Router::query`], also returning the [`Route`] the decision
+    /// was based on — serving layers use it for per-backend telemetry
+    /// and degraded-plan accounting without a second `select()`.
+    ///
+    /// With self-calibration enabled this additionally feeds two signals
+    /// back into the chosen backend's correction ratio: the observed
+    /// latency (as [`Router::query`] always did), and — when the outcome
+    /// reports [`QueryStats::memory_limited`](super::QueryStats) — a
+    /// degradation penalty ([`Router::observe_degradation`]), so a
+    /// backend that repeatedly has to shrink its plan under its byte
+    /// budget gradually looks slower to the router and budgeted traffic
+    /// steers toward backends that can serve the request at full
+    /// fidelity.
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::select`], plus any error from the chosen backend.
+    pub fn query_routed(&self, req: &QueryRequest) -> Result<(Route, QueryOutcome)> {
         let route = self.select(req)?;
         if !self.calibrate {
-            return self.backends[route.index].query(req);
+            let outcome = self.backends[route.index].query(req)?;
+            return Ok((route, outcome));
         }
         // The observation is measured against the *uncalibrated*
         // prediction; undo the ratio select() applied rather than paying
@@ -288,7 +338,10 @@ impl<'g> Router<'g> {
             .latency_estimate_ns
             .unwrap_or_else(|| started.elapsed().as_nanos() as f64);
         self.observe(route.index, observed_ns, predicted_ns);
-        Ok(outcome)
+        if outcome.stats.memory_limited {
+            self.observe_degradation(route.index);
+        }
+        Ok((route, outcome))
     }
 
     /// Folds one latency observation for backend `index` into its
@@ -317,6 +370,31 @@ impl<'g> Router<'g> {
         }
     }
 
+    /// Folds one **degradation** observation for backend `index` into
+    /// its correction ratio: the backend served the query, but had to
+    /// deterministically shrink its plan to fit a byte budget
+    /// (`memory_limited`). The EWMA absorbs a `ratio ×`
+    /// `DEGRADATION_PENALTY` (1.25) sample, so each degradation inflates the
+    /// backend's predicted latency a little and *repeated* degradation
+    /// compounds until budgeted routing steers to a cheaper (or
+    /// roomier) backend. Called automatically by
+    /// [`Router::query_routed`] under self-calibration; exposed for
+    /// serving layers that execute backends themselves.
+    pub fn observe_degradation(&self, index: usize) {
+        let (lo, hi) = CALIBRATION_RATIO_RANGE;
+        let mut calibration = self.calibration.lock().expect("calibration poisoned");
+        if let Some(c) = calibration.get_mut(index) {
+            let sample = (c.ratio * DEGRADATION_PENALTY).clamp(lo, hi);
+            c.ratio = if c.samples == 0 {
+                sample
+            } else {
+                (1.0 - CALIBRATION_BETA) * c.ratio + CALIBRATION_BETA * sample
+            };
+            c.samples += 1;
+            c.degraded += 1;
+        }
+    }
+
     /// The current observed/predicted latency correction ratio of backend
     /// `index` (1.0 until the first observation), with the number of
     /// observations folded in.
@@ -326,6 +404,60 @@ impl<'g> Router<'g> {
             .get(index)
             .map(|c| (c.ratio, c.samples))
             .unwrap_or((1.0, 0))
+    }
+
+    /// Snapshot of every backend's calibration state, in registration
+    /// order — the in-memory half of calibration persistence (see
+    /// [`persist`](super::persist)).
+    pub fn calibration_entries(&self) -> Vec<CalibrationEntry> {
+        let calibration = self.calibration.lock().expect("calibration poisoned");
+        self.backends
+            .iter()
+            .zip(calibration.iter())
+            .map(|(backend, c)| CalibrationEntry {
+                kind: backend.capabilities().kind,
+                ratio: c.ratio,
+                samples: c.samples,
+                degraded: c.degraded,
+            })
+            .collect()
+    }
+
+    /// Re-applies persisted calibration entries, matching each entry to
+    /// the first not-yet-restored backend of the same [`BackendKind`]
+    /// (registration order). Entries for kinds this router does not
+    /// register, or with non-finite/non-positive ratios, are skipped —
+    /// stale state never panics. Returns how many entries were applied.
+    pub fn restore_calibration(&self, entries: &[CalibrationEntry]) -> usize {
+        let (lo, hi) = CALIBRATION_RATIO_RANGE;
+        let kinds: Vec<BackendKind> = self
+            .backends
+            .iter()
+            .map(|b| b.capabilities().kind)
+            .collect();
+        let mut calibration = self.calibration.lock().expect("calibration poisoned");
+        let mut restored = vec![false; kinds.len()];
+        let mut applied = 0;
+        for entry in entries {
+            if !entry.ratio.is_finite() || entry.ratio <= 0.0 {
+                continue;
+            }
+            let Some(index) = kinds
+                .iter()
+                .enumerate()
+                .position(|(i, &kind)| kind == entry.kind && !restored[i])
+            else {
+                continue;
+            };
+            if let Some(c) = calibration.get_mut(index) {
+                c.ratio = entry.ratio.clamp(lo, hi);
+                c.samples = entry.samples.max(1);
+                c.degraded = entry.degraded;
+                restored[index] = true;
+                applied += 1;
+            }
+        }
+        applied
     }
 
     /// Routes and runs a batch, selecting per request.
@@ -490,6 +622,85 @@ mod tests {
             "calibrated {} vs raw {raw}",
             route.estimate.latency_ns
         );
+    }
+
+    #[test]
+    fn degradation_observations_inflate_the_ratio() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let router = Router::new()
+            .with_backend(Box::new(LocalPpr::new(&g, params).unwrap()))
+            .with_self_calibration(true);
+        // First degradation seeds the EWMA with ratio × penalty.
+        router.observe_degradation(0);
+        let (ratio, samples) = router.calibration_ratio(0);
+        assert!((ratio - DEGRADATION_PENALTY).abs() < 1e-12);
+        assert_eq!(samples, 1);
+        // Repeated degradation compounds monotonically.
+        let mut last = ratio;
+        for _ in 0..10 {
+            router.observe_degradation(0);
+            let (next, _) = router.calibration_ratio(0);
+            assert!(next > last, "penalty did not compound: {next} vs {last}");
+            last = next;
+        }
+        assert_eq!(router.calibration_entries()[0].degraded, 11);
+        // Out-of-range indices are ignored.
+        router.observe_degradation(9);
+    }
+
+    #[test]
+    fn calibration_entries_roundtrip_and_skip_garbage() {
+        let g = generators::karate_club();
+        let params = PprParams::new(0.85, 4, 5).unwrap();
+        let build = || {
+            Router::new()
+                .with_backend(Box::new(ExactPower::new(&g, params).unwrap()))
+                .with_backend(Box::new(LocalPpr::new(&g, params).unwrap()))
+                .with_self_calibration(true)
+        };
+        let warm = build();
+        warm.observe(0, 5.0e6, 1.0e6);
+        warm.observe(1, 1.0e6, 2.0e6);
+        warm.observe_degradation(1);
+        let entries = warm.calibration_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, BackendKind::ExactPower);
+        assert_eq!(entries[1].degraded, 1);
+
+        let fresh = build();
+        assert_eq!(fresh.restore_calibration(&entries), 2);
+        assert_eq!(fresh.calibration_ratio(0), warm.calibration_ratio(0));
+        assert_eq!(fresh.calibration_ratio(1), warm.calibration_ratio(1));
+        assert_eq!(fresh.calibration_entries(), entries);
+
+        // Unknown kinds and garbage ratios are skipped, never panic.
+        let fresh = build();
+        let applied = fresh.restore_calibration(&[
+            CalibrationEntry {
+                kind: BackendKind::FpgaHybrid,
+                ratio: 3.0,
+                samples: 2,
+                degraded: 0,
+            },
+            CalibrationEntry {
+                kind: BackendKind::LocalPpr,
+                ratio: f64::NAN,
+                samples: 2,
+                degraded: 0,
+            },
+            CalibrationEntry {
+                kind: BackendKind::LocalPpr,
+                ratio: 4.0,
+                samples: 0,
+                degraded: 0,
+            },
+        ]);
+        assert_eq!(applied, 1);
+        // samples is floored at 1 so the next observation refines, not
+        // replaces, the restored ratio.
+        assert_eq!(fresh.calibration_ratio(1), (4.0, 1));
+        assert_eq!(fresh.calibration_ratio(0), (1.0, 0));
     }
 
     #[test]

@@ -531,6 +531,27 @@ impl From<CacheStats> for ConsumerStats {
     }
 }
 
+/// A [`CacheConsumer`]'s complete persistable state: cumulative
+/// attribution counters, the EWMA hit rate, and the sliding window's
+/// recent lookup outcomes (oldest first, `true` = served without BFS).
+///
+/// Exported with [`CacheConsumer::export_state`] and re-applied with
+/// [`CacheConsumer::restore_state`], this is what lets a restarted
+/// serving process begin with *warm* hit-rate estimates — the staged
+/// backend's `estimate()` discounts BFS by the windowed rate, so a cold
+/// window makes the router pessimistic about cached backends for a full
+/// window after every restart. The on-disk encoding lives in
+/// [`backend::persist`](crate::backend::persist).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConsumerState {
+    /// Cumulative attribution counters.
+    pub stats: ConsumerStats,
+    /// The decayed (EWMA) hit rate, `None` before any lookup.
+    pub ewma: Option<f64>,
+    /// Window outcomes, oldest first (`true` = hit or shared).
+    pub window: Vec<bool>,
+}
+
 /// Default sliding-window length (lookups) for windowed hit rates.
 pub const DEFAULT_HIT_WINDOW: usize = 256;
 
@@ -752,6 +773,67 @@ impl CacheConsumer {
     fn on_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.record(false);
+    }
+
+    /// Snapshot of this consumer's complete persistable state — counters,
+    /// EWMA and the window's outcomes oldest-first. Relaxed loads: call
+    /// after lookups have quiesced (e.g. at server shutdown).
+    pub fn export_state(&self) -> ConsumerState {
+        let len = self.window.len();
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let filled = self.filled.load(Ordering::Relaxed).min(len);
+        // When the ring has wrapped, the oldest outcome sits at the
+        // cursor's current slot; before the first wrap the slots fill in
+        // order from 0.
+        let start = if filled == len { cursor % len } else { 0 };
+        let window = (0..filled)
+            .filter_map(
+                |i| match self.window[(start + i) % len].load(Ordering::Relaxed) {
+                    WINDOW_FREE => Some(true),
+                    WINDOW_MISS => Some(false),
+                    _ => None,
+                },
+            )
+            .collect();
+        let bits = self.ewma_bits.load(Ordering::Relaxed);
+        ConsumerState {
+            stats: self.stats(),
+            ewma: (bits != EWMA_UNSET).then(|| f64::from_bits(bits)),
+            window,
+        }
+    }
+
+    /// Re-applies a previously exported state: cumulative counters are
+    /// overwritten, the window is replayed oldest-first (truncated to the
+    /// newest `window_len()` outcomes when the persisted window is
+    /// longer), and the EWMA is restored exactly. Call before serving —
+    /// concurrent lookups during restore interleave arbitrarily.
+    pub fn restore_state(&self, state: &ConsumerState) {
+        self.hits.store(state.stats.hits, Ordering::Relaxed);
+        self.shared.store(state.stats.shared, Ordering::Relaxed);
+        self.misses.store(state.stats.misses, Ordering::Relaxed);
+        self.extractions
+            .store(state.stats.extractions, Ordering::Relaxed);
+        self.rejected
+            .store(state.stats.rejected_admissions, Ordering::Relaxed);
+        // Reset the ring, then replay the newest window_len() outcomes.
+        for slot in self.window.iter() {
+            slot.store(WINDOW_EMPTY, Ordering::Relaxed);
+        }
+        self.cursor.store(0, Ordering::Relaxed);
+        self.filled.store(0, Ordering::Relaxed);
+        self.window_free.store(0, Ordering::Relaxed);
+        self.ewma_bits.store(EWMA_UNSET, Ordering::Relaxed);
+        let skip = state.window.len().saturating_sub(self.window.len());
+        for &free in &state.window[skip..] {
+            self.record(free);
+        }
+        // The replay rebuilt an EWMA from window outcomes only; the
+        // persisted EWMA carries the full lifetime decay, so it wins.
+        match state.ewma {
+            Some(ewma) => self.ewma_bits.store(ewma.to_bits(), Ordering::Relaxed),
+            None => self.ewma_bits.store(EWMA_UNSET, Ordering::Relaxed),
+        }
     }
 }
 
@@ -2123,6 +2205,60 @@ mod concurrent_tests {
         }
         assert!(consumer.decayed_hit_rate() < 0.5);
         assert_eq!(consumer.windowed_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn consumer_state_roundtrips_through_export_restore() {
+        let consumer = CacheConsumer::new(8);
+        // 3 misses then 5 frees, plus raw counter traffic.
+        for _ in 0..3 {
+            consumer.on_miss();
+        }
+        for _ in 0..4 {
+            consumer.on_hit();
+        }
+        consumer.on_shared();
+        consumer.extractions.store(3, Ordering::Relaxed);
+        let state = consumer.export_state();
+        assert_eq!(
+            state.window,
+            vec![false, false, false, true, true, true, true, true]
+        );
+        assert_eq!(state.stats.hits, 4);
+        assert_eq!(state.stats.shared, 1);
+        assert_eq!(state.stats.misses, 3);
+        assert!(state.ewma.is_some());
+
+        // Restore into a fresh consumer of the same window length: the
+        // windowed and decayed rates are identical to the original's.
+        let restored = CacheConsumer::new(8);
+        restored.restore_state(&state);
+        assert_eq!(restored.stats(), consumer.stats());
+        assert_eq!(restored.windowed_hit_rate(), consumer.windowed_hit_rate());
+        assert_eq!(restored.decayed_hit_rate(), consumer.decayed_hit_rate());
+        assert_eq!(restored.export_state(), state);
+
+        // A shorter window keeps the newest outcomes (all frees here).
+        let short = CacheConsumer::new(4);
+        short.restore_state(&state);
+        assert_eq!(short.windowed_hit_rate(), 1.0);
+        assert_eq!(short.export_state().window, vec![true, true, true, true]);
+
+        // A wrapped ring exports oldest-first: overwrite the 8-slot ring
+        // with 12 outcomes ending in 4 misses.
+        for _ in 0..4 {
+            consumer.on_miss();
+        }
+        let wrapped = consumer.export_state();
+        assert_eq!(
+            wrapped.window,
+            vec![true, true, true, true, false, false, false, false]
+        );
+        // Restoring an empty/default state resets everything.
+        consumer.restore_state(&ConsumerState::default());
+        assert_eq!(consumer.stats(), ConsumerStats::default());
+        assert_eq!(consumer.windowed_hit_rate(), 0.0);
+        assert_eq!(consumer.decayed_hit_rate(), 0.0);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   [`MonteCarlo`](backend::MonteCarlo), staged
 //!   [`Meloppr`](backend::Meloppr)), the self-calibrating budget-driven
 //!   [`Router`], and the [`BatchExecutor`] worker pool;
+//! * [`server`] — the long-lived serving front-end: [`PprServer`]
+//!   speaks a length-prefixed TCP protocol and schedules every request
+//!   under a deadline (EDF queue, latest-deadline load shedding,
+//!   fast-fail admission), exporting latency/shed/route telemetry;
+//!   [`backend::persist`] keeps router calibration and cache hit-rate
+//!   state warm across restarts;
 //! * [`QueryWorkspace`] — the reusable scratch arena behind the
 //!   zero-allocation query path (one [`WorkspacePool`] per backend);
 //! * [`cache`] — sub-graph caching on one core: the
@@ -150,6 +156,7 @@ pub mod precision;
 pub mod push;
 pub mod score_vec;
 mod selection;
+pub mod server;
 pub mod sparsity;
 #[cfg(test)]
 pub(crate) mod test_util;
@@ -179,4 +186,5 @@ pub use precision::{mean_precision, precision_at_k};
 pub use push::{forward_push, PushResult};
 pub use score_vec::Ranking;
 pub use selection::SelectionStrategy;
+pub use server::{PprServer, ServerConfig, TelemetrySnapshot};
 pub use workspace::{QueryWorkspace, WorkspacePool};

@@ -1,0 +1,448 @@
+//! Long-lived serving front-end: deadline-aware scheduling and load
+//! shedding over the unified backend [`Router`].
+//!
+//! This module turns the batch-oriented engine into a persistent
+//! service. [`PprServer`] listens on plain `std::net` TCP (scoped
+//! threads, no async runtime), speaks the length-prefixed line protocol
+//! of [`protocol`], and drives every query through the same
+//! [`Router`]/[`QueryWorkspace`](crate::workspace::QueryWorkspace)
+//! machinery the CLI uses — one shared [`Router`] reference, so serving
+//! inherits backend calibration, the shared sub-graph cache, and pooled
+//! workspaces for free.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! accept ── frame ── parse ── admit ──► DeadlineQueue ──► worker pool
+//!                              │   ▲        │                  │
+//!              REJECTED (unmeetable)  REJECTED (queue-full,    │
+//!                                     shed latest deadline)    │
+//!                                           │                  ▼
+//!                 client ◄── out-of-order response frames ── router.query
+//! ```
+//!
+//! Every request carries a **deadline** (client-supplied `deadline_ms`,
+//! else the server default). Admission ([`scheduler`]) asks
+//! [`Router::select`] whether any calibrated backend can finish inside
+//! the *remaining* budget: late-risk queries automatically route to
+//! cheaper backends or degraded (`memory_limited`) plans because their
+//! tightened latency budget excludes the expensive routes, and queries
+//! no backend can serve in time are **fast-failed** with a typed
+//! `deadline-unmeetable` rejection instead of wasting queue capacity.
+//!
+//! Admitted work enters a **bounded** MPMC [`DeadlineQueue`] drained by
+//! a worker pool in earliest-deadline-first order. When the queue
+//! saturates, the entry with the **latest** deadline is shed
+//! (`queue-full`) — under overload the server keeps the requests with
+//! the least slack and sheds the ones cheapest to retry. Workers
+//! re-check the deadline at dequeue (queue waits consume budget) and
+//! answer expired entries with `deadline-exceeded`.
+//!
+//! Because scheduling reorders requests, responses carry the client's
+//! correlation `id` and may arrive out of order; clients may pipeline
+//! freely.
+//!
+//! [`ServerTelemetry`] tracks the serving health the roadmap asks for:
+//! a recent-window latency reservoir (p50/p95/p99), queue depth
+//! high-water, shed / unmeetable / deadline-missed / degraded counters,
+//! and per-backend route counts. Snapshots are queryable over the
+//! protocol (`STATS`) and rendered on shutdown.
+
+pub mod protocol;
+pub mod queue;
+pub mod scheduler;
+pub mod telemetry;
+
+pub use protocol::{
+    write_frame, FrameEvent, FrameReader, QuerySpec, RejectReason, Request, Response, MAX_FRAME,
+};
+pub use queue::{DeadlineQueue, Enqueued};
+pub use scheduler::{admit, Admission};
+pub use telemetry::{ServerTelemetry, TelemetrySnapshot};
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::backend::Router;
+
+/// Tuning for a [`PprServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it shed the latest
+    /// deadline (≥ 1).
+    pub queue_capacity: usize,
+    /// Deadline for requests that do not carry `deadline_ms`,
+    /// milliseconds.
+    pub default_deadline_ms: f64,
+    /// Completion latencies retained for quantile estimates.
+    pub latency_reservoir: usize,
+    /// Read-timeout tick for connection threads: how often they notice
+    /// shutdown and flush out-of-order responses.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline_ms: 100.0,
+            latency_reservoir: 4096,
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// One admitted request waiting for a worker.
+struct Job {
+    /// Correlation id echoed on the response.
+    id: u64,
+    /// The admission-tightened request (budget re-tightened at dequeue).
+    req: crate::backend::QueryRequest,
+    /// When the request was admitted.
+    arrival: Instant,
+    /// Absolute deadline.
+    deadline: Instant,
+    /// Where the response frame goes (the owning connection's channel).
+    reply: mpsc::Sender<Response>,
+}
+
+/// A long-lived TCP serving front-end over a shared [`Router`].
+///
+/// The server borrows the router (and through it the graph), so the
+/// usual pattern is: build and prepare a router, [`PprServer::bind`],
+/// then [`PprServer::serve`] on the main thread while other threads (or
+/// a signal handler) call [`PprServer::shutdown`]. `serve` returns once
+/// every connection and worker has wound down; queued residents are
+/// drained, not dropped.
+pub struct PprServer<'r, 'g> {
+    router: &'r Router<'g>,
+    config: ServerConfig,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    queue: DeadlineQueue<Job>,
+    telemetry: ServerTelemetry,
+    stop: AtomicBool,
+}
+
+impl<'r, 'g> PprServer<'r, 'g> {
+    /// Binds a listener on `addr` (e.g. `"127.0.0.1:0"` for an
+    /// ephemeral test port).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    ///
+    /// # Panics
+    ///
+    /// If `config.workers` or `config.queue_capacity` is zero.
+    pub fn bind<A: ToSocketAddrs>(
+        router: &'r Router<'g>,
+        config: ServerConfig,
+        addr: A,
+    ) -> io::Result<Self> {
+        assert!(config.workers > 0, "server needs at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(PprServer {
+            router,
+            queue: DeadlineQueue::bounded(config.queue_capacity),
+            telemetry: ServerTelemetry::new(config.latency_reservoir),
+            config,
+            listener,
+            local_addr,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether [`PprServer::shutdown`] has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown from any thread: closes the queue to new work
+    /// and wakes the blocking accept loop. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// A telemetry snapshot including live queue figures.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry
+            .snapshot(self.queue.len(), self.queue.high_water())
+    }
+
+    /// Runs the accept loop and worker pool until [`PprServer::shutdown`].
+    ///
+    /// Blocks the calling thread. Per-connection I/O errors only drop
+    /// that connection.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors.
+    pub fn serve(&self) -> io::Result<()> {
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers {
+                scope.spawn(|| self.worker_loop());
+            }
+            let result = loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if self.is_shutdown() {
+                            break Ok(()); // the shutdown wake-up connection
+                        }
+                        scope.spawn(move || {
+                            let _ = self.handle_connection(stream);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) if self.is_shutdown() => break Ok(()),
+                    Err(e) => {
+                        // A fatal listener error must still wind down the
+                        // workers, or the scope would never exit.
+                        self.stop.store(true, Ordering::SeqCst);
+                        break Err(e);
+                    }
+                }
+            };
+            self.queue.close();
+            result
+        })
+    }
+
+    /// Worker: drain the queue in deadline order until closed and empty.
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            self.execute(job);
+        }
+    }
+
+    /// Runs one admitted job, re-checking its deadline first.
+    fn execute(&self, job: Job) {
+        let now = Instant::now();
+        let remaining = job.deadline.saturating_duration_since(now);
+        // Re-admit against the post-queue-wait remainder: the wait may
+        // have made the deadline unmeetable, and a shrunken budget may
+        // re-route to a cheaper backend than admission predicted.
+        let admission = match admit(self.router, &job.req, remaining) {
+            Ok(admission) => admission,
+            Err(e) => {
+                self.telemetry.on_error();
+                let _ = job.reply.send(Response::Error {
+                    id: job.id,
+                    message: e.to_string(),
+                });
+                return;
+            }
+        };
+        let req = match admission {
+            Admission::Admit { req, .. } => req,
+            Admission::Reject { predicted_us } => {
+                self.telemetry.on_queue_expiry();
+                let _ = job.reply.send(Response::Rejected {
+                    id: job.id,
+                    reason: RejectReason::DeadlineExceeded,
+                    predicted_us,
+                    remaining_us: remaining.as_micros() as u64,
+                });
+                return;
+            }
+        };
+        match self.router.query_routed(&req) {
+            Ok((route, outcome)) => {
+                let completed_at = Instant::now();
+                let latency = completed_at.duration_since(job.arrival);
+                let missed = completed_at > job.deadline;
+                let degraded = !route.fits_budget || outcome.stats.memory_limited;
+                self.telemetry
+                    .on_completion(route.kind, latency, degraded, missed);
+                let _ = job.reply.send(Response::Ranking {
+                    id: job.id,
+                    backend: route.kind,
+                    latency_us: latency.as_micros() as u64,
+                    degraded,
+                    ranking: outcome.ranking,
+                });
+            }
+            Err(e) => {
+                self.telemetry.on_error();
+                let _ = job.reply.send(Response::Error {
+                    id: job.id,
+                    message: e.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Serves one connection: read frames, admit queries, and interleave
+    /// out-of-order worker responses, until EOF or shutdown.
+    fn handle_connection(&self, mut stream: TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(self.config.poll_interval))?;
+        // Nagle's algorithm can hold small response frames hostage to the
+        // peer's delayed ACK (tens of ms) — poison for a deadline-driven
+        // protocol, so write eagerly.
+        stream.set_nodelay(true)?;
+        let (tx, rx) = mpsc::channel::<Response>();
+        let mut reader = FrameReader::new();
+        let mut inflight: usize = 0;
+        let mut open = true;
+        while (open || inflight > 0) && !self.is_shutdown() {
+            if open {
+                match reader.read_event(&mut stream) {
+                    Ok(FrameEvent::Frame(payload)) => {
+                        self.handle_frame(&payload, &mut stream, &tx, &mut inflight)?;
+                    }
+                    Ok(FrameEvent::Idle) => {}
+                    Ok(FrameEvent::Eof) => open = false,
+                    Err(_) => open = false,
+                }
+            } else {
+                // EOF but responses still owed (the peer may have
+                // half-closed): wait out the stragglers.
+                match rx.recv_timeout(self.config.poll_interval) {
+                    Ok(response) => {
+                        write_frame(&mut stream, &response.encode())?;
+                        inflight -= 1;
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            // Flush any completions that arrived while we were reading.
+            while let Ok(response) = rx.try_recv() {
+                write_frame(&mut stream, &response.encode())?;
+                inflight -= 1;
+            }
+        }
+        stream.flush()
+    }
+
+    /// Dispatches one parsed frame.
+    fn handle_frame(
+        &self,
+        payload: &str,
+        stream: &mut TcpStream,
+        tx: &mpsc::Sender<Response>,
+        inflight: &mut usize,
+    ) -> io::Result<()> {
+        let request = match Request::parse(payload) {
+            Ok(request) => request,
+            Err(message) => {
+                self.telemetry.on_error();
+                return write_frame(stream, &Response::Error { id: 0, message }.encode());
+            }
+        };
+        match request {
+            Request::Ping => write_frame(stream, &Response::Pong.encode()),
+            Request::Stats => write_frame(
+                stream,
+                &Response::Stats(self.telemetry().render_compact()).encode(),
+            ),
+            Request::Shutdown => {
+                // Answer with the final snapshot, then stop the world.
+                let stats = Response::Stats(self.telemetry().render_compact());
+                let result = write_frame(stream, &stats.encode());
+                self.shutdown();
+                result
+            }
+            Request::Query(spec) => {
+                self.admit_query(spec, tx, inflight);
+                Ok(())
+            }
+        }
+    }
+
+    /// Admission + enqueue for one `QUERY`. All rejections flow through
+    /// the connection's response channel, like completions.
+    fn admit_query(&self, spec: QuerySpec, tx: &mpsc::Sender<Response>, inflight: &mut usize) {
+        let arrival = Instant::now();
+        let deadline_ms = spec
+            .deadline_ms
+            .unwrap_or(self.config.default_deadline_ms)
+            .max(0.0);
+        let deadline = arrival + Duration::from_secs_f64(deadline_ms / 1e3);
+        let remaining = Duration::from_secs_f64(deadline_ms / 1e3);
+        *inflight += 1;
+        let admission = match admit(self.router, &spec.to_query_request(), remaining) {
+            Ok(admission) => admission,
+            Err(e) => {
+                self.telemetry.on_error();
+                let _ = tx.send(Response::Error {
+                    id: spec.id,
+                    message: e.to_string(),
+                });
+                return;
+            }
+        };
+        let req = match admission {
+            Admission::Admit { req, .. } => req,
+            Admission::Reject { predicted_us } => {
+                self.telemetry.on_unmeetable();
+                let _ = tx.send(Response::Rejected {
+                    id: spec.id,
+                    reason: RejectReason::DeadlineUnmeetable,
+                    predicted_us,
+                    remaining_us: remaining.as_micros() as u64,
+                });
+                return;
+            }
+        };
+        let job = Job {
+            id: spec.id,
+            req,
+            arrival,
+            deadline,
+            reply: tx.clone(),
+        };
+        match self.queue.push(job, deadline) {
+            Enqueued::Admitted => self.telemetry.on_accept(),
+            Enqueued::Displaced(shed) => {
+                // The incoming request was admitted by evicting the
+                // resident with the most slack; that resident may belong
+                // to another connection — its rejection flows through its
+                // own channel.
+                self.telemetry.on_accept();
+                self.reject_shed(shed);
+            }
+            Enqueued::Refused(shed) => self.reject_shed(shed),
+        }
+    }
+
+    /// Answers a load-shed job with a typed `queue-full` rejection.
+    fn reject_shed(&self, shed: Job) {
+        self.telemetry.on_shed();
+        let remaining = shed.deadline.saturating_duration_since(Instant::now());
+        let _ = shed.reply.send(Response::Rejected {
+            id: shed.id,
+            reason: RejectReason::QueueFull,
+            predicted_us: None,
+            remaining_us: remaining.as_micros() as u64,
+        });
+    }
+}
+
+impl std::fmt::Debug for PprServer<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PprServer")
+            .field("addr", &self.local_addr)
+            .field("workers", &self.config.workers)
+            .field("queue_capacity", &self.config.queue_capacity)
+            .field("shutdown", &self.is_shutdown())
+            .finish()
+    }
+}

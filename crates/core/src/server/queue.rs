@@ -1,0 +1,225 @@
+//! Bounded MPMC queue ordered by deadline, with latest-deadline-first
+//! load shedding.
+//!
+//! The serving front-end needs three properties from its request queue
+//! that a plain channel cannot give it at once:
+//!
+//! 1. **EDF service order** — workers always drain the entry whose
+//!    deadline is nearest ([`DeadlineQueue::pop`] is `pop_first` on a
+//!    `BTreeMap` keyed by `(deadline, seq)`), which minimises the number
+//!    of missed deadlines under overload for this workload shape.
+//! 2. **Bounded depth** — the queue never holds more than its capacity,
+//!    so queue wait (and therefore tail latency of *accepted* work) is
+//!    bounded by `capacity × service time`.
+//! 3. **Deadline-aware shedding** — when a push would exceed capacity,
+//!    the entry with the **latest** deadline is shed (the incoming one,
+//!    or a displaced resident), keeping the oldest deadlines in service.
+//!    Shedding the most-distant deadline loses the requests with the
+//!    most slack, which are exactly the ones a client can cheapest
+//!    retry.
+//!
+//! Entries with equal deadlines are served FIFO via a monotonic
+//! sequence number, so two requests with the same deadline can never
+//! starve each other.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// The outcome of a [`DeadlineQueue::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Enqueued<T> {
+    /// The entry was admitted within capacity.
+    Admitted,
+    /// The entry was admitted by shedding a resident whose deadline was
+    /// later than the incoming one's.
+    Displaced(T),
+    /// The entry itself held the latest deadline (or the queue is
+    /// closed) and was refused.
+    Refused(T),
+}
+
+struct QueueState<T> {
+    entries: BTreeMap<(Instant, u64), T>,
+    seq: u64,
+    closed: bool,
+}
+
+/// A bounded MPMC priority queue keyed by deadline. See the [module
+/// docs](self) for the service and shedding policy.
+pub struct DeadlineQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+    high_water: AtomicUsize,
+}
+
+impl<T> std::fmt::Debug for DeadlineQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeadlineQueue")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("high_water", &self.high_water())
+            .finish()
+    }
+}
+
+impl<T> DeadlineQueue<T> {
+    /// An empty queue holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "DeadlineQueue capacity must be positive");
+        DeadlineQueue {
+            state: Mutex::new(QueueState {
+                entries: BTreeMap::new(),
+                seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+            high_water: AtomicUsize::new(0),
+        }
+    }
+
+    /// Offers `item` with `deadline`, shedding the latest deadline if
+    /// the queue is full. Pushing to a closed queue refuses the item.
+    pub fn push(&self, item: T, deadline: Instant) -> Enqueued<T> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Enqueued::Refused(item);
+        }
+        let mut displaced = None;
+        if state.entries.len() >= self.capacity {
+            let latest = *state
+                .entries
+                .last_key_value()
+                .expect("capacity > 0, so a full queue is non-empty")
+                .0;
+            if deadline >= latest.0 {
+                // The incoming entry has the most slack: refuse it. Ties
+                // favour residents (they have waited longer already).
+                return Enqueued::Refused(item);
+            }
+            displaced = state.entries.pop_last().map(|(_, shed)| shed);
+        }
+        let seq = state.seq;
+        state.seq += 1;
+        state.entries.insert((deadline, seq), item);
+        self.high_water
+            .fetch_max(state.entries.len(), Ordering::Relaxed);
+        drop(state);
+        self.available.notify_one();
+        match displaced {
+            Some(shed) => Enqueued::Displaced(shed),
+            None => Enqueued::Admitted,
+        }
+    }
+
+    /// Blocks for the entry with the earliest deadline. Returns `None`
+    /// once the queue is closed **and** drained — residents queued
+    /// before [`DeadlineQueue::close`] are still served.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some((_, item)) = state.entries.pop_first() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes are refused, blocked poppers wake
+    /// up, and `pop` returns `None` once residents drain.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Current number of queued entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().entries.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The deepest the queue has ever been (never exceeds capacity).
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// The configured depth bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn at(base: Instant, ms: u64) -> Instant {
+        base + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_deadline_order_fifo_on_ties() {
+        let base = Instant::now();
+        let q = DeadlineQueue::bounded(8);
+        assert_eq!(q.push("late", at(base, 30)), Enqueued::Admitted);
+        assert_eq!(q.push("early", at(base, 10)), Enqueued::Admitted);
+        assert_eq!(q.push("tie-a", at(base, 20)), Enqueued::Admitted);
+        assert_eq!(q.push("tie-b", at(base, 20)), Enqueued::Admitted);
+        q.close();
+        assert_eq!(q.pop(), Some("early"));
+        assert_eq!(q.pop(), Some("tie-a"));
+        assert_eq!(q.pop(), Some("tie-b"));
+        assert_eq!(q.pop(), Some("late"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn saturation_sheds_the_latest_deadline() {
+        let base = Instant::now();
+        let q = DeadlineQueue::bounded(2);
+        assert_eq!(q.push("a", at(base, 10)), Enqueued::Admitted);
+        assert_eq!(q.push("b", at(base, 20)), Enqueued::Admitted);
+        // Most slack incoming: refused outright (a tie also refuses).
+        assert_eq!(q.push("c", at(base, 30)), Enqueued::Refused("c"));
+        assert_eq!(q.push("d", at(base, 20)), Enqueued::Refused("d"));
+        // Tighter deadline displaces the latest resident.
+        assert_eq!(q.push("e", at(base, 15)), Enqueued::Displaced("b"));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 2);
+        q.close();
+        assert_eq!(q.push("f", at(base, 1)), Enqueued::Refused("f"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("e"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = DeadlineQueue::<u32>::bounded(4);
+        std::thread::scope(|scope| {
+            let waiters: Vec<_> = (0..3).map(|_| scope.spawn(|| q.pop())).collect();
+            // Give the poppers a moment to block, then close.
+            std::thread::sleep(Duration::from_millis(20));
+            q.push(7, Instant::now());
+            q.close();
+            let drained: Vec<_> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+            assert_eq!(drained.iter().filter(|d| d.is_some()).count(), 1);
+            assert_eq!(drained.iter().filter(|d| d.is_none()).count(), 2);
+        });
+    }
+}

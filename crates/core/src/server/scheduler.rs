@@ -1,0 +1,196 @@
+//! Deadline-aware admission control.
+//!
+//! Every query enters the server with a wall-clock deadline. Admission
+//! runs the same decision twice — once at the front door, once again
+//! when a worker dequeues the request (the queue wait has eaten into
+//! the budget by then):
+//!
+//! 1. Compute the **remaining** deadline budget.
+//! 2. Tighten the request's latency budget to that remainder and ask
+//!    [`Router::select`] for a route. The router's calibrated estimates
+//!    do the degrading for us: a query that has become late-risk stops
+//!    fitting the expensive backends' estimates and routes to a cheaper
+//!    backend (or a `memory_limited`-style degraded plan) instead.
+//! 3. If even the selected route's calibrated estimate exceeds the
+//!    remainder, **fail fast** with a typed rejection rather than
+//!    burning a worker on a query that is already doomed — under
+//!    overload, work-that-cannot-succeed is the first thing to drop.
+
+use std::time::Duration;
+
+use crate::backend::{QueryRequest, Route, Router};
+use crate::error::Result;
+
+/// The admission decision for one request at one instant.
+#[derive(Debug)]
+pub enum Admission {
+    /// Enqueue (or execute) the request with its latency budget tightened
+    /// to the remaining deadline; `route` is the plan the decision was
+    /// based on.
+    Admit {
+        /// `base` with `budget.max_latency_ms` clamped to the remainder.
+        req: QueryRequest,
+        /// The route the router would take right now.
+        route: Route,
+    },
+    /// No backend can meet the remaining deadline.
+    Reject {
+        /// The best (smallest) calibrated latency estimate, µs — absent
+        /// when the deadline had already expired outright.
+        predicted_us: Option<u64>,
+    },
+}
+
+/// Decides whether `base` can still meet a deadline `remaining` away.
+///
+/// # Errors
+///
+/// Propagates routing errors ([`Router::select`]) — e.g. every backend
+/// failed to estimate the request.
+pub fn admit(router: &Router<'_>, base: &QueryRequest, remaining: Duration) -> Result<Admission> {
+    let remaining_ms = remaining.as_secs_f64() * 1e3;
+    if remaining_ms <= 0.0 {
+        return Ok(Admission::Reject { predicted_us: None });
+    }
+    let mut req = *base;
+    req.budget.max_latency_ms = Some(match base.budget.max_latency_ms {
+        Some(user_budget) => user_budget.min(remaining_ms),
+        None => remaining_ms,
+    });
+    let route = router.select(&req)?;
+    if route.estimate.latency_ns > remaining_ms * 1e6 {
+        // `select` minimizes budget violations and breaks best-effort
+        // ties by latency, so no registered backend predicts it can make
+        // this deadline.
+        return Ok(Admission::Reject {
+            predicted_us: Some((route.estimate.latency_ns / 1e3).ceil() as u64),
+        });
+    }
+    Ok(Admission::Admit { req, route })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{
+        BackendCaps, BackendKind, CostEstimate, PprBackend, QueryOutcome, QueryStats,
+    };
+    use crate::workspace::QueryWorkspace;
+
+    /// A stub backend whose estimate is a constant latency.
+    struct Fixed {
+        kind: BackendKind,
+        latency_ns: f64,
+    }
+
+    impl PprBackend for Fixed {
+        fn capabilities(&self) -> BackendCaps {
+            BackendCaps {
+                kind: self.kind,
+                exact: false,
+                deterministic: true,
+                accelerated: false,
+                batch_aware: false,
+            }
+        }
+
+        fn estimate(&self, _req: &QueryRequest) -> Result<CostEstimate> {
+            Ok(CostEstimate {
+                latency_ns: self.latency_ns,
+                peak_memory_bytes: 1,
+                expected_precision: 1.0,
+            })
+        }
+
+        fn query_with(
+            &self,
+            _req: &QueryRequest,
+            _workspace: &mut QueryWorkspace,
+        ) -> Result<QueryOutcome> {
+            Ok(QueryOutcome {
+                ranking: vec![(0, 1.0)],
+                stats: QueryStats {
+                    backend: self.kind,
+                    stages: Vec::new(),
+                    total_diffusions: 0,
+                    bfs_edges_scanned: 0,
+                    diffusion_edge_updates: 0,
+                    random_walk_steps: 0,
+                    nodes_touched: 0,
+                    peak_memory_bytes: 0,
+                    peak_task_memory_bytes: 0,
+                    aggregate_entries: 0,
+                    table_evictions: 0,
+                    memory_limited: false,
+                    latency_estimate_ns: Some(self.latency_ns),
+                    host_latency_ns: None,
+                },
+            })
+        }
+    }
+
+    fn router() -> Router<'static> {
+        // Without calibration the raw estimates drive admission, which
+        // keeps these tests deterministic.
+        Router::new()
+            .with_backend(Box::new(Fixed {
+                kind: BackendKind::LocalPpr,
+                latency_ns: 1e6, // 1 ms
+            }))
+            .with_backend(Box::new(Fixed {
+                kind: BackendKind::ExactPower,
+                latency_ns: 5e7, // 50 ms
+            }))
+    }
+
+    #[test]
+    fn expired_deadlines_reject_without_routing() {
+        let router = router();
+        let base = QueryRequest::new(0);
+        match admit(&router, &base, Duration::ZERO).unwrap() {
+            Admission::Reject { predicted_us: None } => {}
+            other => panic!("expected outright reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_deadlines_route_to_the_cheaper_backend() {
+        let router = router();
+        let base = QueryRequest::new(0);
+        // 10 ms of slack: the 50 ms backend no longer fits, the 1 ms one
+        // does.
+        match admit(&router, &base, Duration::from_millis(10)).unwrap() {
+            Admission::Admit { req, route } => {
+                assert_eq!(route.kind, BackendKind::LocalPpr);
+                assert!(route.fits_budget);
+                assert_eq!(req.budget.max_latency_ms, Some(10.0));
+            }
+            other => panic!("expected admit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmeetable_deadlines_fail_fast_with_the_estimate() {
+        let router = router();
+        let base = QueryRequest::new(0);
+        // 0.1 ms of slack: even the 1 ms backend cannot make it.
+        match admit(&router, &base, Duration::from_micros(100)).unwrap() {
+            Admission::Reject {
+                predicted_us: Some(us),
+            } => assert_eq!(us, 1_000),
+            other => panic!("expected predicted reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_latency_budgets_only_ever_tighten() {
+        let router = router();
+        let base = QueryRequest::new(0).with_max_latency_ms(2.0);
+        match admit(&router, &base, Duration::from_millis(500)).unwrap() {
+            Admission::Admit { req, .. } => {
+                assert_eq!(req.budget.max_latency_ms, Some(2.0));
+            }
+            other => panic!("expected admit, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Deadline-aware PPR serving on a loopback socket.
+//!
+//! Spins up the long-lived serving front-end (`meloppr::server`) over a
+//! five-backend router on a synthetic social graph, then plays three
+//! client scenarios against it:
+//!
+//! 1. **Comfortable deadlines** — requests route to the most precise
+//!    backend that fits and complete well inside their budget.
+//! 2. **Tight deadlines** — late-risk requests route to cheaper
+//!    backends, and impossible ones fail fast with a typed
+//!    `deadline-unmeetable` rejection instead of queueing doomed work.
+//! 3. **A burst** — a pipelined flood saturates the bounded queue; the
+//!    server sheds the requests with the most deadline slack
+//!    (`queue-full`) and keeps tail latency of the accepted ones
+//!    bounded.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use meloppr::backend::{ExactPower, LocalPpr, Meloppr, MonteCarlo};
+use meloppr::graph::generators;
+use meloppr::server::{
+    write_frame, FrameEvent, FrameReader, PprServer, QuerySpec, Request, Response, ServerConfig,
+};
+use meloppr::{MelopprParams, PprParams, Router, SelectionStrategy};
+
+/// A minimal blocking protocol client.
+struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+            reader: FrameReader::new(),
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        write_frame(&mut self.stream, &request.encode())
+    }
+
+    fn recv(&mut self) -> std::io::Result<Response> {
+        loop {
+            match self.reader.read_event(&mut self.stream)? {
+                FrameEvent::Frame(payload) => {
+                    return Response::parse(&payload).map_err(std::io::Error::other)
+                }
+                FrameEvent::Idle => continue,
+                FrameEvent::Eof => {
+                    return Err(std::io::Error::other("server closed the connection"))
+                }
+            }
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = generators::planted_partition(6, 200, 0.05, 0.002, 7)?;
+    let ppr = PprParams::new(0.85, 4, 10)?;
+    let staged = MelopprParams::two_stage(ppr, 2, 2, SelectionStrategy::TopFraction(0.2))?;
+    let mut router = Router::new()
+        .with_backend(Box::new(ExactPower::new(&graph, ppr)?))
+        .with_backend(Box::new(LocalPpr::new(&graph, ppr)?))
+        .with_backend(Box::new(MonteCarlo::new(&graph, ppr, 3000, 42)?))
+        .with_backend(Box::new(Meloppr::new(&graph, staged)?))
+        .with_self_calibration(true);
+    router.prepare()?;
+
+    let server = PprServer::bind(
+        &router,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 4,
+            default_deadline_ms: 50.0,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )?;
+    let addr = server.local_addr();
+    println!("serving on {addr} (2 workers, queue depth 4)");
+
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+        let handle = scope.spawn(|| server.serve());
+
+        // Scenario 1: comfortable deadlines, sequential request/response.
+        let mut client = Client::connect(addr)?;
+        println!("\n-- comfortable deadlines (200 ms) --");
+        for (id, seed) in [(1u64, 0u32), (2, 201), (3, 402)] {
+            client.send(&Request::Query(
+                QuerySpec::new(id, seed).with_deadline_ms(200.0),
+            ))?;
+            match client.recv()? {
+                Response::Ranking {
+                    backend,
+                    latency_us,
+                    ranking,
+                    ..
+                } => {
+                    let (top, score) = ranking.first().copied().unwrap_or((0, 0.0));
+                    println!(
+                        "  seed {seed:>4} -> node {top:>4} ({score:.4}) \
+                         via {backend} in {latency_us} us"
+                    );
+                }
+                other => println!("  seed {seed:>4} -> {other:?}"),
+            }
+        }
+
+        // Scenario 2: deadlines too tight for anything to serve.
+        println!("\n-- impossible deadlines (0.001 ms) --");
+        client.send(&Request::Query(
+            QuerySpec::new(10, 17).with_deadline_ms(0.001),
+        ))?;
+        match client.recv()? {
+            Response::Rejected {
+                reason,
+                predicted_us,
+                ..
+            } => println!("  fast-failed: {reason} (cheapest estimate {predicted_us:?} us)"),
+            other => println!("  unexpected: {other:?}"),
+        }
+
+        // Scenario 3: a pipelined burst against a queue of depth 4.
+        println!("\n-- burst of 40 pipelined requests --");
+        let mut burst = Client::connect(addr)?;
+        let n = 40u64;
+        for id in 0..n {
+            burst.send(&Request::Query(
+                QuerySpec::new(id, (id as u32 * 31) % 1200).with_deadline_ms(250.0),
+            ))?;
+        }
+        let (mut served, mut shed) = (0u32, 0u32);
+        for _ in 0..n {
+            match burst.recv()? {
+                Response::Ranking { .. } => served += 1,
+                Response::Rejected { .. } => shed += 1,
+                other => println!("  unexpected: {other:?}"),
+            }
+        }
+        println!("  {served} served, {shed} shed (bounded queue at work)");
+
+        // Ask the server for its own view, then stop it.
+        client.send(&Request::Stats)?;
+        if let Response::Stats(line) = client.recv()? {
+            println!("\nserver stats: {line}");
+        }
+        client.send(&Request::Shutdown)?;
+        let _ = client.recv()?; // final stats frame
+        handle.join().expect("serve thread panicked")?;
+        Ok(())
+    })?;
+
+    let snapshot = server.telemetry();
+    println!("\nfinal telemetry:\n{snapshot}");
+    assert!(snapshot.queue_high_water <= 4, "queue depth stayed bounded");
+    std::thread::sleep(Duration::from_millis(10));
+    Ok(())
+}

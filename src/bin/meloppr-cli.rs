@@ -11,6 +11,7 @@
 //!                    [--cache-window N]
 //!                    [--max-latency-ms X] [--max-memory-kb X]
 //!                    [--budget-memory SIZE] [--min-precision P]
+//!                    [--calibration-file F]
 //! meloppr-cli exact  <graph> --seed-node N [--k K] [--length L] [--alpha A]
 //! ```
 //!
@@ -50,11 +51,20 @@
 //! shrinks stage-ball depth deterministically until each task's
 //! modelled working set fits, and the report counts queries that had to
 //! degrade. `--max-memory-kb` is the legacy spelling of the same bound.
+//!
+//! `--calibration-file F` (with `--backend auto`) makes the router's
+//! learned state persistent: latency-calibration EWMAs and cache
+//! hit-rate windows are loaded from `F` before serving and saved back
+//! after, so a fresh process routes with the previous run's calibration
+//! instead of re-learning from the analytic models. A missing file is a
+//! silent first boot; a corrupt or version-mismatched file is ignored
+//! with a warning.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use meloppr::backend::{ExactPower, LocalPpr, Meloppr, MonteCarlo};
+use meloppr::backend::{persist, ExactPower, LocalPpr, Meloppr, MonteCarlo};
 use meloppr::core::precision::precision_at_k;
 use meloppr::graph::degree::degree_stats;
 use meloppr::graph::edge_list::{read_edge_list_file, EdgeListOptions};
@@ -89,7 +99,8 @@ const USAGE: &str = "usage:
                     [--cache-admission always|max-nodes:N|freq:N|tinylfu] \\
                     [--cache-window N] \\
                     [--max-latency-ms X] [--max-memory-kb X] \\
-                    [--budget-memory SIZE] [--min-precision P]
+                    [--budget-memory SIZE] [--min-precision P] \\
+                    [--calibration-file F]
   meloppr-cli exact <graph> --seed-node N [--k K] [--length L] [--alpha A]
 
   <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]
@@ -110,7 +121,10 @@ const USAGE: &str = "usage:
                    routing estimates discount BFS by (default 256)
   --budget-memory SIZE = enforced per-query working-set budget (the
                    staged backend degrades deterministically to fit);
-                   --max-memory-kb X is the same bound in KiB";
+                   --max-memory-kb X is the same bound in KiB
+  --calibration-file F = persist the auto router's learned state (latency
+                   EWMAs, cache hit-rate windows): loaded before serving,
+                   saved after; corrupt files are ignored with a warning";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -204,6 +218,7 @@ struct QueryArgs {
     max_latency_ms: Option<f64>,
     max_memory_bytes: Option<usize>,
     min_precision: Option<f64>,
+    calibration_file: Option<String>,
 }
 
 impl QueryArgs {
@@ -251,6 +266,7 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
         max_latency_ms: None,
         max_memory_bytes: None,
         min_precision: None,
+        calibration_file: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -367,11 +383,21 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
                         .map_err(|e| format!("--min-precision: {e}"))?,
                 )
             }
+            "--calibration-file" => {
+                out.calibration_file = Some(value("--calibration-file")?.clone())
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if out.seed == u32::MAX && out.batch_file.is_none() {
         return Err("--seed-node or --batch-file is required".into());
+    }
+    if out.calibration_file.is_some() && out.backend != BackendChoice::Auto {
+        return Err(
+            "--calibration-file persists the router's learned state: it requires \
+             --backend auto"
+                .into(),
+        );
     }
     if out.cache_shared && !matches!(out.backend, BackendChoice::Meloppr | BackendChoice::Auto) {
         return Err(
@@ -467,9 +493,11 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
 
         let (outcomes, stats, served_by) = if qa.backend == BackendChoice::Auto {
             let router = build_router(g, ppr, staged, hybrid_config, &qa)?;
+            load_calibration(&router, &qa)?;
             let started = std::time::Instant::now();
             let outcomes = router.query_batch(&reqs).map_err(err)?;
             let stats = BatchStats::aggregate(&outcomes, started.elapsed());
+            save_calibration(&router, &qa)?;
             (outcomes, stats, "router (per-request)".to_string())
         } else {
             // Batch workers own the parallelism; the staged backend runs
@@ -556,8 +584,10 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
 
     let (outcome, served_by) = if qa.backend == BackendChoice::Auto {
         let router = build_router(g, ppr, staged, hybrid_config, &qa)?;
+        load_calibration(&router, &qa)?;
         let route = router.select(&req).map_err(err)?;
         let outcome = router.query(&req).map_err(err)?;
+        save_calibration(&router, &qa)?;
         (
             outcome,
             format!(
@@ -598,6 +628,32 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
     }
     println!();
     Ok(())
+}
+
+/// Loads persisted router state from `--calibration-file`, if given. A
+/// missing file is a silent first boot; corrupt files warn and proceed.
+fn load_calibration(router: &Router<'_>, qa: &QueryArgs) -> Result<(), String> {
+    let Some(path) = &qa.calibration_file else {
+        return Ok(());
+    };
+    match persist::load_state(router, Path::new(path)) {
+        Ok(true) => {
+            println!("calibration: restored from {path}");
+            Ok(())
+        }
+        Ok(false) => Ok(()),
+        Err(e) => Err(format!("reading calibration file {path:?}: {e}")),
+    }
+}
+
+/// Saves the router's learned state back to `--calibration-file`, if
+/// given.
+fn save_calibration(router: &Router<'_>, qa: &QueryArgs) -> Result<(), String> {
+    let Some(path) = &qa.calibration_file else {
+        return Ok(());
+    };
+    persist::save_state(router, Path::new(path))
+        .map_err(|e| format!("writing calibration file {path:?}: {e}"))
 }
 
 /// Builds the pinned (non-auto) backend named by `--backend` as a

@@ -134,13 +134,18 @@ pub use meloppr_graph as graph;
 /// The unified query API (re-export of [`meloppr_core::backend`]).
 pub use meloppr_core::backend;
 
+/// The deadline-aware serving front-end (re-export of
+/// [`meloppr_core::server`]): [`PprServer`], the length-prefixed wire
+/// protocol, the bounded EDF queue, and serving telemetry.
+pub use meloppr_core::server;
+
 pub use meloppr_core::{
     exact_ppr, exact_top_k, format_bytes, parse_byte_size, precision_at_k, AdmissionPolicy,
     BackendCaps, BackendError, BackendKind, BatchExecutor, BatchOutcome, BatchStats, CacheBudget,
     CacheConsumer, CacheStats, ConcurrentSubgraphCache, ConsumerStats, CostEstimate, MelopprEngine,
-    MelopprOutcome, MelopprParams, PprBackend, PprParams, QueryBudget, QueryOutcome, QueryRequest,
-    QueryStats, QueryWorkspace, Ranking, ResidualPolicy, Route, Router, SelectionStrategy,
-    SubgraphCache, WorkspacePool,
+    MelopprOutcome, MelopprParams, PprBackend, PprParams, PprServer, QueryBudget, QueryOutcome,
+    QueryRequest, QueryStats, QueryWorkspace, Ranking, ResidualPolicy, Route, Router,
+    SelectionStrategy, ServerConfig, SubgraphCache, TelemetrySnapshot, WorkspacePool,
 };
 pub use meloppr_fpga::{AcceleratorConfig, FpgaHybrid, HybridConfig, HybridMeloppr};
 pub use meloppr_graph::{

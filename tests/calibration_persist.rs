@@ -1,0 +1,232 @@
+//! Warm-restart persistence tests: a router that learned latency
+//! corrections (and cache hit-rate windows) saves them to the versioned
+//! state file, and a freshly built router that loads the file routes its
+//! **first** post-restart request with the pre-restart EWMAs — asserted
+//! against a cold-started twin that repeats the miscalibrated choice.
+//! Corrupt and version-mismatched files are ignored without touching the
+//! router's state.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use meloppr::backend::persist::{self, PersistedState};
+use meloppr::backend::Meloppr;
+use meloppr::core::backend::{BackendCaps, CostEstimate};
+use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::{
+    BackendKind, CacheBudget, ConcurrentSubgraphCache, MelopprParams, PprBackend, PprParams,
+    QueryOutcome, QueryRequest, QueryStats, QueryWorkspace, Router, SelectionStrategy,
+};
+
+/// A unique scratch path per test (the two tests must not share a file).
+fn scratch(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "meloppr-persist-{tag}-{}.state",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A solver whose static model lies about latency by a large factor:
+/// `estimate` predicts `predicted_ns`, served queries report `actual_ns`.
+struct Miscalibrated {
+    kind: BackendKind,
+    precision: f64,
+    predicted_ns: f64,
+    actual_ns: f64,
+}
+
+impl PprBackend for Miscalibrated {
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            kind: self.kind,
+            exact: false,
+            deterministic: true,
+            accelerated: true, // its reported latency is authoritative
+            batch_aware: false,
+        }
+    }
+
+    fn estimate(&self, _req: &QueryRequest) -> meloppr::core::Result<CostEstimate> {
+        Ok(CostEstimate {
+            latency_ns: self.predicted_ns,
+            peak_memory_bytes: 1 << 10,
+            expected_precision: self.precision,
+        })
+    }
+
+    fn query_with(
+        &self,
+        _req: &QueryRequest,
+        _ws: &mut QueryWorkspace,
+    ) -> meloppr::core::Result<QueryOutcome> {
+        Ok(QueryOutcome {
+            ranking: vec![(0, 1.0)],
+            stats: QueryStats {
+                backend: self.kind,
+                stages: Vec::new(),
+                total_diffusions: 0,
+                bfs_edges_scanned: 0,
+                diffusion_edge_updates: 0,
+                random_walk_steps: 0,
+                nodes_touched: 0,
+                peak_memory_bytes: 1 << 10,
+                peak_task_memory_bytes: 1 << 10,
+                aggregate_entries: 1,
+                table_evictions: 0,
+                memory_limited: false,
+                latency_estimate_ns: Some(self.actual_ns),
+                host_latency_ns: None,
+            },
+        })
+    }
+}
+
+/// The fresh-boot router both halves of the restart tests build: a
+/// "liar" (predicts 0.1 ms, actually runs 30 ms, high precision) and an
+/// honest 4 ms backend. Under a 10 ms deadline a cold router trusts the
+/// liar; a calibrated one must not.
+fn fresh_router() -> Router<'static> {
+    Router::new()
+        .with_backend(Box::new(Miscalibrated {
+            kind: BackendKind::Meloppr,
+            precision: 0.95,
+            predicted_ns: 1e5,
+            actual_ns: 3e7,
+        }))
+        .with_backend(Box::new(Miscalibrated {
+            kind: BackendKind::MonteCarlo,
+            precision: 0.80,
+            predicted_ns: 4e6,
+            actual_ns: 4e6,
+        }))
+        .with_self_calibration(true)
+}
+
+fn deadline_req() -> QueryRequest {
+    QueryRequest::new(0).with_max_latency_ms(10.0)
+}
+
+#[test]
+fn warm_restart_routes_first_request_with_learned_calibration() {
+    let path = scratch("calibration");
+
+    // First life: traffic teaches the router that the liar's model is
+    // off by ~300×, flipping deadline routing onto the honest backend.
+    let first_life = fresh_router();
+    assert_eq!(
+        first_life.select(&deadline_req()).unwrap().kind,
+        BackendKind::Meloppr,
+        "a cold router should trust the miscalibrated model"
+    );
+    for _ in 0..12 {
+        first_life.query_routed(&deadline_req()).unwrap();
+    }
+    assert_eq!(
+        first_life.select(&deadline_req()).unwrap().kind,
+        BackendKind::MonteCarlo,
+        "calibration should have flipped the deadline route"
+    );
+    let (learned_ratio, learned_samples) = first_life.calibration_ratio(0);
+    assert!(learned_ratio > 10.0);
+    persist::save_state(&first_life, &path).unwrap();
+
+    // Cold restart (no state file): the very first request repeats the
+    // miscalibrated choice — this is the regression the file prevents.
+    let cold = fresh_router();
+    assert_eq!(
+        cold.select(&deadline_req()).unwrap().kind,
+        BackendKind::Meloppr
+    );
+
+    // Warm restart: the first post-restart request already routes with
+    // the previous life's EWMAs.
+    let warm = fresh_router();
+    assert!(persist::load_state(&warm, &path).unwrap());
+    let (ratio, samples) = warm.calibration_ratio(0);
+    assert_eq!(ratio, learned_ratio);
+    assert_eq!(samples, learned_samples);
+    let first_request = warm.query_routed(&deadline_req()).unwrap();
+    assert_eq!(first_request.0.kind, BackendKind::MonteCarlo);
+
+    // Corrupt and version-mismatched files are ignored (warning only),
+    // leaving whatever the router already knows untouched.
+    std::fs::write(&path, "meloppr-state v999\ncalibration who knows\n").unwrap();
+    assert!(!persist::load_state(&warm, &path).unwrap());
+    std::fs::write(&path, b"\xff\xfe not even text").unwrap();
+    assert!(!persist::load_state(&warm, &path).unwrap());
+    assert_eq!(warm.calibration_ratio(0).0, learned_ratio);
+
+    // A missing file is a silent first boot, not an error.
+    let _ = std::fs::remove_file(&path);
+    assert!(!persist::load_state(&warm, &path).unwrap());
+}
+
+#[test]
+fn consumer_windows_round_trip_and_warm_the_estimate() {
+    let path = scratch("consumer");
+    let g = PaperGraph::G2Cora.generate_scaled(0.3, 7).unwrap();
+    let ppr = PprParams::new(0.85, 4, 10).unwrap();
+    let params = MelopprParams {
+        ppr,
+        stages: vec![2, 2],
+        selection: SelectionStrategy::TopFraction(0.2),
+        ..MelopprParams::paper_defaults()
+    };
+    let build = |params: &MelopprParams| {
+        Router::new()
+            .with_backend(Box::new(
+                Meloppr::new(&g, params.clone())
+                    .unwrap()
+                    .with_shared_cache(Arc::new(ConcurrentSubgraphCache::with_budget(
+                        CacheBudget::entries(64),
+                    ))),
+            ))
+            .with_self_calibration(true)
+    };
+
+    // First life: repeated seeds fill the consumer's sliding window with
+    // hits, so `estimate()` discounts the BFS stage.
+    let first_life = build(&params);
+    for _ in 0..4 {
+        for seed in [3u32, 5, 7] {
+            first_life.query_routed(&QueryRequest::new(seed)).unwrap();
+        }
+    }
+    let saved = PersistedState::capture(&first_life);
+    assert_eq!(
+        saved.consumers.len(),
+        1,
+        "the staged backend has a consumer"
+    );
+    persist::save_state(&first_life, &path).unwrap();
+    let warmed_estimate = first_life.backends()[0]
+        .estimate(&QueryRequest::new(3))
+        .unwrap()
+        .latency_ns;
+
+    // Second life, warm: the restored window reproduces the discounted
+    // estimate before a single request is served...
+    let warm = build(&params);
+    assert!(persist::load_state(&warm, &path).unwrap());
+    assert_eq!(PersistedState::capture(&warm), saved);
+    let warm_estimate = warm.backends()[0]
+        .estimate(&QueryRequest::new(3))
+        .unwrap()
+        .latency_ns;
+    assert_eq!(warm_estimate, warmed_estimate);
+
+    // ...while a cold twin still prices in the full BFS.
+    let cold = build(&params);
+    let cold_estimate = cold.backends()[0]
+        .estimate(&QueryRequest::new(3))
+        .unwrap()
+        .latency_ns;
+    assert!(
+        warm_estimate < cold_estimate,
+        "warm {warm_estimate} ns should undercut cold {cold_estimate} ns"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,435 @@
+//! Serving front-end integration tests over loopback TCP: concurrent
+//! clients get bit-identical results to direct execution, a saturated
+//! bounded queue sheds with typed rejections (and shuts down without
+//! deadlock), and deadline scheduling routes late-risk queries to
+//! cheaper backends or fails them fast.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use meloppr::backend::LocalPpr;
+use meloppr::core::backend::{BackendCaps, CostEstimate};
+use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::server::{
+    write_frame, FrameEvent, FrameReader, QuerySpec, RejectReason, Request, Response,
+};
+use meloppr::{
+    BackendKind, BatchExecutor, CsrGraph, PprBackend, PprParams, PprServer, QueryOutcome,
+    QueryRequest, QueryStats, QueryWorkspace, Router, ServerConfig,
+};
+
+fn graph() -> CsrGraph {
+    PaperGraph::G2Cora.generate_scaled(0.3, 7).unwrap()
+}
+
+/// Shuts the server down when dropped, so a failing assertion inside a
+/// serving scope unwinds cleanly instead of deadlocking on the scope's
+/// implicit join of the accept loop.
+struct ShutdownOnDrop<'a, 'r, 'g>(&'a meloppr::PprServer<'r, 'g>);
+
+impl Drop for ShutdownOnDrop<'_, '_, '_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// A blocking protocol client for the tests.
+struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        // Without this, Nagle can hold a request frame hostage to the
+        // server's delayed ACK, skewing the deadline-timing scenarios.
+        stream.set_nodelay(true).unwrap();
+        Client {
+            stream,
+            reader: FrameReader::new(),
+        }
+    }
+
+    fn send(&mut self, request: &Request) {
+        write_frame(&mut self.stream, &request.encode()).unwrap();
+    }
+
+    fn recv(&mut self) -> Response {
+        loop {
+            match self.reader.read_event(&mut self.stream).unwrap() {
+                FrameEvent::Frame(payload) => return Response::parse(&payload).unwrap(),
+                FrameEvent::Idle => continue,
+                FrameEvent::Eof => panic!("server closed the connection mid-conversation"),
+            }
+        }
+    }
+}
+
+/// A stub solver with a configurable static estimate, actual service
+/// time, and precision — the knobs deadline scheduling turns on.
+struct Stub {
+    kind: BackendKind,
+    precision: f64,
+    estimate_ns: f64,
+    work: Duration,
+}
+
+impl PprBackend for Stub {
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            kind: self.kind,
+            exact: false,
+            deterministic: true,
+            accelerated: false,
+            batch_aware: false,
+        }
+    }
+
+    fn estimate(&self, _req: &QueryRequest) -> meloppr::core::Result<CostEstimate> {
+        Ok(CostEstimate {
+            latency_ns: self.estimate_ns,
+            peak_memory_bytes: 1 << 10,
+            expected_precision: self.precision,
+        })
+    }
+
+    fn query_with(
+        &self,
+        req: &QueryRequest,
+        _ws: &mut QueryWorkspace,
+    ) -> meloppr::core::Result<QueryOutcome> {
+        if !self.work.is_zero() {
+            std::thread::sleep(self.work);
+        }
+        Ok(QueryOutcome {
+            ranking: vec![(req.seed, 1.0)],
+            stats: QueryStats {
+                backend: self.kind,
+                stages: Vec::new(),
+                total_diffusions: 0,
+                bfs_edges_scanned: 0,
+                diffusion_edge_updates: 0,
+                random_walk_steps: 0,
+                nodes_touched: 0,
+                peak_memory_bytes: 1 << 10,
+                peak_task_memory_bytes: 1 << 10,
+                aggregate_entries: 1,
+                table_evictions: 0,
+                memory_limited: false,
+                latency_estimate_ns: None,
+                host_latency_ns: None,
+            },
+        })
+    }
+}
+
+/// N concurrent pipelined clients against a deterministic backend: every
+/// response must be bit-identical to direct `BatchExecutor` execution of
+/// the same requests.
+#[test]
+fn loopback_clients_match_direct_batch_execution() {
+    const CLIENTS: u32 = 4;
+    const PER_CLIENT: u32 = 8;
+
+    let g = graph();
+    let ppr = PprParams::new(0.85, 4, 10).unwrap();
+    let router = Router::new().with_backend(Box::new(LocalPpr::new(&g, ppr).unwrap()));
+    let server = PprServer::bind(
+        &router,
+        ServerConfig {
+            workers: 3,
+            queue_capacity: 64,
+            default_deadline_ms: 10_000.0,
+            poll_interval: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // The reference: the same requests served directly through a batch
+    // executor on an independent instance of the same backend.
+    let seed_of = |client: u32, i: u32| (client * 131 + i * 17) % g.num_nodes() as u32;
+    let direct = LocalPpr::new(&g, ppr).unwrap();
+    let mut reference = Vec::new();
+    for client in 0..CLIENTS {
+        let reqs: Vec<QueryRequest> = (0..PER_CLIENT)
+            .map(|i| QueryRequest::new(seed_of(client, i)))
+            .collect();
+        let batch = BatchExecutor::new(2).unwrap().run(&direct, &reqs).unwrap();
+        reference.push(batch.outcomes);
+    }
+
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve());
+        let _guard = ShutdownOnDrop(&server);
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let reference = &reference[client as usize];
+                scope.spawn(move || {
+                    let mut conn = Client::connect(addr);
+                    // Pipeline the whole batch, then collect out-of-order
+                    // responses by id.
+                    for i in 0..PER_CLIENT {
+                        conn.send(&Request::Query(QuerySpec::new(
+                            u64::from(i),
+                            seed_of(client, i),
+                        )));
+                    }
+                    let mut got = vec![None; PER_CLIENT as usize];
+                    for _ in 0..PER_CLIENT {
+                        match conn.recv() {
+                            Response::Ranking {
+                                id,
+                                backend,
+                                ranking,
+                                ..
+                            } => {
+                                assert_eq!(backend, BackendKind::LocalPpr);
+                                got[id as usize] = Some(ranking);
+                            }
+                            other => panic!("client {client}: unexpected {other:?}"),
+                        }
+                    }
+                    for (i, ranking) in got.into_iter().enumerate() {
+                        // Scores survive the text protocol bit-identically
+                        // (shortest-roundtrip f64 formatting).
+                        assert_eq!(
+                            ranking.unwrap(),
+                            reference[i].ranking,
+                            "client {client} query {i} diverged from direct execution"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        server.shutdown();
+        serve.join().unwrap().unwrap();
+    });
+
+    let snapshot = server.telemetry();
+    assert_eq!(snapshot.completed, u64::from(CLIENTS * PER_CLIENT));
+    assert_eq!(snapshot.shed, 0);
+    assert_eq!(snapshot.errors, 0);
+}
+
+/// A pipelined flood against a single slow worker: the bounded queue
+/// hits its cap and never exceeds it, overflow is answered with typed
+/// `queue-full` rejections, accepted work still meets its deadline, and
+/// shutdown completes without deadlock.
+#[test]
+fn saturation_sheds_with_bounded_queue_and_clean_shutdown() {
+    const QUEUE: usize = 4;
+    const BURST: u64 = 60;
+    const DEADLINE_MS: f64 = 5_000.0;
+
+    let router = Router::new().with_backend(Box::new(Stub {
+        kind: BackendKind::MonteCarlo,
+        precision: 0.9,
+        estimate_ns: 1e6,               // claims 1 ms
+        work: Duration::from_millis(3), // actually 3 ms
+    }));
+    let server = PprServer::bind(
+        &router,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: QUEUE,
+            default_deadline_ms: DEADLINE_MS,
+            poll_interval: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve());
+        let _guard = ShutdownOnDrop(&server);
+        let mut conn = Client::connect(addr);
+        for id in 0..BURST {
+            conn.send(&Request::Query(QuerySpec::new(id, id as u32)));
+        }
+        let (mut served, mut shed) = (0u64, 0u64);
+        for _ in 0..BURST {
+            match conn.recv() {
+                Response::Ranking { .. } => served += 1,
+                Response::Rejected { reason, .. } => {
+                    assert_eq!(reason, RejectReason::QueueFull);
+                    shed += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(served + shed, BURST);
+        assert!(
+            shed > 0,
+            "burst of {BURST} into a queue of {QUEUE} never shed"
+        );
+        assert!(served > 0, "everything was shed");
+
+        // SHUTDOWN over the protocol answers with final stats and winds
+        // the server down; serve() returning is the no-deadlock proof.
+        conn.send(&Request::Shutdown);
+        match conn.recv() {
+            Response::Stats(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        serve.join().unwrap().unwrap();
+    });
+
+    let snapshot = server.telemetry();
+    assert_eq!(snapshot.shed, snapshot.shed.max(1));
+    assert_eq!(snapshot.completed + snapshot.shed, BURST);
+    // The queue really was bounded: its high-water mark sits exactly at
+    // the configured cap, never beyond.
+    assert_eq!(snapshot.queue_high_water, QUEUE);
+    // Accepted requests stayed comfortably inside their deadline even at
+    // p99 (bounded queue wait: at most QUEUE × service time).
+    assert!(
+        snapshot.p99_ms <= DEADLINE_MS,
+        "p99 {} ms blew the {} ms deadline",
+        snapshot.p99_ms,
+        DEADLINE_MS
+    );
+    assert_eq!(snapshot.deadline_missed, 0);
+}
+
+/// Deadline scheduling: slack routes to the precise backend, late-risk
+/// routes to the cheap one, hopeless fails fast (`deadline-unmeetable`),
+/// and deadlines that expire in the queue come back `deadline-exceeded`.
+#[test]
+fn deadlines_route_degrade_and_fast_fail() {
+    let router = Router::new()
+        .with_backend(Box::new(Stub {
+            kind: BackendKind::ExactPower,
+            precision: 1.0,
+            estimate_ns: 5e7, // 50 ms, precise
+            work: Duration::from_millis(50),
+        }))
+        .with_backend(Box::new(Stub {
+            kind: BackendKind::MonteCarlo,
+            precision: 0.5,
+            estimate_ns: 2e5, // 0.2 ms, cheap
+            work: Duration::ZERO,
+        }));
+    let server = PprServer::bind(
+        &router,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            default_deadline_ms: 1_000.0,
+            poll_interval: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve());
+        let _guard = ShutdownOnDrop(&server);
+        let mut conn = Client::connect(addr);
+
+        // Plenty of slack: precision wins, the expensive backend serves.
+        conn.send(&Request::Query(
+            QuerySpec::new(1, 7).with_deadline_ms(500.0),
+        ));
+        match conn.recv() {
+            Response::Ranking { id, backend, .. } => {
+                assert_eq!(id, 1);
+                assert_eq!(backend, BackendKind::ExactPower);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Late risk: 5 ms of slack excludes the 50 ms backend, so the
+        // query degrades to the cheaper backend instead of missing.
+        conn.send(&Request::Query(QuerySpec::new(2, 7).with_deadline_ms(5.0)));
+        match conn.recv() {
+            Response::Ranking { id, backend, .. } => {
+                assert_eq!(id, 2);
+                assert_eq!(backend, BackendKind::MonteCarlo);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Hopeless: no backend predicts finishing in 150 µs — typed
+        // fast-fail, carrying the cheapest estimate (unless the deadline
+        // already lapsed before admission ran, where no estimate exists).
+        conn.send(&Request::Query(QuerySpec::new(3, 7).with_deadline_ms(0.15)));
+        match conn.recv() {
+            Response::Rejected {
+                id,
+                reason,
+                predicted_us,
+                ..
+            } => {
+                assert_eq!(id, 3);
+                assert_eq!(reason, RejectReason::DeadlineUnmeetable);
+                assert!(
+                    predicted_us.is_none() || predicted_us == Some(200),
+                    "unexpected prediction {predicted_us:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Queue expiry: a 50 ms job occupies the single worker, so a
+        // 10 ms-deadline request admitted behind it expires while queued
+        // and is answered with a typed `deadline-exceeded`. The pause
+        // ensures the long job is already executing (not still queued,
+        // where EDF would serve the short-deadline request first).
+        conn.send(&Request::Query(
+            QuerySpec::new(4, 7).with_deadline_ms(900.0),
+        ));
+        std::thread::sleep(Duration::from_millis(20));
+        conn.send(&Request::Query(QuerySpec::new(5, 7).with_deadline_ms(10.0)));
+        let mut outcomes = std::collections::BTreeMap::new();
+        for _ in 0..2 {
+            match conn.recv() {
+                Response::Ranking { id, backend, .. } => {
+                    outcomes.insert(id, format!("ok:{backend}"));
+                }
+                Response::Rejected { id, reason, .. } => {
+                    outcomes.insert(id, format!("rejected:{reason}"));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(outcomes[&4], "ok:exact-power");
+        assert_eq!(outcomes[&5], "rejected:deadline-exceeded");
+
+        // Liveness and garbage handling while we're connected.
+        conn.send(&Request::Ping);
+        assert_eq!(conn.recv(), Response::Pong);
+        write_frame(&mut conn.stream, "FROBNICATE the server").unwrap();
+        match conn.recv() {
+            Response::Error { id, .. } => assert_eq!(id, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        server.shutdown();
+        serve.join().unwrap().unwrap();
+    });
+
+    let snapshot = server.telemetry();
+    assert_eq!(snapshot.rejected_unmeetable, 1);
+    assert!(snapshot.deadline_missed >= 1);
+    assert_eq!(snapshot.errors, 1);
+    let routed = |kind: BackendKind| {
+        snapshot
+            .routes
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, n)| *n)
+    };
+    assert_eq!(routed(BackendKind::ExactPower), 2);
+    assert_eq!(routed(BackendKind::MonteCarlo), 1);
+}
