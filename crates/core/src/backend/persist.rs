@@ -277,11 +277,18 @@ fn parse_window<'a>(tokens: &mut impl Iterator<Item = &'a str>) -> Result<Vec<bo
 /// Any filesystem error (permissions, missing parent directory, …).
 pub fn save_state(router: &Router<'_>, path: &Path) -> io::Result<()> {
     let encoded = PersistedState::capture(router).encode();
+    // Pid-suffixed temp name: two processes sharing one state file (CLI
+    // alongside a daemon) each stage in their own sibling, so neither
+    // can rename the other's half-written temp into place — last full
+    // rename wins.
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(".tmp.{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, encoded)?;
-    std::fs::rename(&tmp, path)
+    let result = std::fs::write(&tmp, encoded).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Loads `path` and applies it to `router`. Returns `Ok(true)` when

@@ -54,14 +54,15 @@ pub mod scheduler;
 pub mod telemetry;
 
 pub use protocol::{
-    write_frame, FrameEvent, FrameReader, QuerySpec, RejectReason, Request, Response, MAX_FRAME,
+    write_frame, FrameEvent, FrameReader, QuerySpec, RejectReason, Request, Response,
+    MAX_DEADLINE_MS, MAX_FRAME,
 };
 pub use queue::{DeadlineQueue, Enqueued};
 pub use scheduler::{admit, Admission};
 pub use telemetry::{ServerTelemetry, TelemetrySnapshot};
 
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -77,7 +78,7 @@ pub struct ServerConfig {
     /// deadline (≥ 1).
     pub queue_capacity: usize,
     /// Deadline for requests that do not carry `deadline_ms`,
-    /// milliseconds.
+    /// milliseconds (saturated to [`MAX_DEADLINE_MS`]).
     pub default_deadline_ms: f64,
     /// Completion latencies retained for quantile estimates.
     pub latency_reservoir: usize,
@@ -177,8 +178,18 @@ impl<'r, 'g> PprServer<'r, 'g> {
             return;
         }
         self.queue.close();
-        // Wake the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        // Wake the accept loop with a throwaway connection. A wildcard
+        // bind (0.0.0.0 / [::]) is not a guaranteed-connectable
+        // destination on every platform, so aim at the same-family
+        // loopback with the bound port instead.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
     }
 
     /// A telemetry snapshot including live queue figures.
@@ -301,8 +312,16 @@ impl<'r, 'g> PprServer<'r, 'g> {
         let mut reader = FrameReader::new();
         let mut inflight: usize = 0;
         let mut open = true;
-        while (open || inflight > 0) && !self.is_shutdown() {
-            if open {
+        loop {
+            // Shutdown stops reading new frames but does NOT abandon
+            // responses already owed: the workers drain queued residents
+            // after the queue closes, and every admitted request must
+            // still reach its client ("drained, not dropped").
+            let reading = open && !self.is_shutdown();
+            if !reading && inflight == 0 {
+                break;
+            }
+            if reading {
                 match reader.read_event(&mut stream) {
                     Ok(FrameEvent::Frame(payload)) => {
                         self.handle_frame(&payload, &mut stream, &tx, &mut inflight)?;
@@ -312,8 +331,10 @@ impl<'r, 'g> PprServer<'r, 'g> {
                     Err(_) => open = false,
                 }
             } else {
-                // EOF but responses still owed (the peer may have
-                // half-closed): wait out the stragglers.
+                // EOF, read error, or shutdown, but responses still owed
+                // (the peer may have half-closed): wait out the
+                // stragglers. A write failure below aborts the drain, so
+                // a vanished peer cannot wedge the wind-down.
                 match rx.recv_timeout(self.config.poll_interval) {
                     Ok(response) => {
                         write_frame(&mut stream, &response.encode())?;
@@ -371,12 +392,15 @@ impl<'r, 'g> PprServer<'r, 'g> {
     /// the connection's response channel, like completions.
     fn admit_query(&self, spec: QuerySpec, tx: &mpsc::Sender<Response>, inflight: &mut usize) {
         let arrival = Instant::now();
-        let deadline_ms = spec
-            .deadline_ms
-            .unwrap_or(self.config.default_deadline_ms)
-            .max(0.0);
-        let deadline = arrival + Duration::from_secs_f64(deadline_ms / 1e3);
-        let remaining = Duration::from_secs_f64(deadline_ms / 1e3);
+        let deadline_ms = spec.deadline_ms.unwrap_or(self.config.default_deadline_ms);
+        // Parsed deadlines are range-checked at the protocol layer, so
+        // only a misconfigured server default can reach here non-finite
+        // or oversized — saturate rather than panic in a connection
+        // thread (`max` maps NaN and negatives to zero, `try_from`
+        // rejects infinities and overflow).
+        let remaining = Duration::try_from_secs_f64((deadline_ms / 1e3).max(0.0))
+            .unwrap_or_else(|_| Duration::from_secs_f64(MAX_DEADLINE_MS / 1e3));
+        let deadline = arrival + remaining;
         *inflight += 1;
         let admission = match admit(self.router, &spec.to_query_request(), remaining) {
             Ok(admission) => admission,

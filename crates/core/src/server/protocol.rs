@@ -20,7 +20,8 @@
 //! Only `seed` is mandatory on `QUERY`; `id` (default 0) is echoed on
 //! the response so clients may pipeline — under deadline scheduling
 //! responses complete **out of order**. `deadline_ms` defaults to the
-//! server's configured deadline.
+//! server's configured deadline and must be finite, non-negative, and
+//! at most [`MAX_DEADLINE_MS`].
 //!
 //! Responses ([`Response`]):
 //!
@@ -51,6 +52,13 @@ use crate::score_vec::Ranking;
 /// ranking, small enough that a garbage length prefix cannot make the
 /// server buffer gigabytes.
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Largest accepted `deadline_ms` (one hour). A deadline is untrusted
+/// client input that feeds straight into `Duration` arithmetic, where
+/// `inf`/`NaN`/astronomical values panic — so anything non-finite,
+/// negative, or beyond this cap is a protocol error at parse time, not
+/// a panic in a connection thread.
+pub const MAX_DEADLINE_MS: f64 = 3_600_000.0;
 
 /// Writes one frame: 4-byte big-endian payload length, then the payload.
 ///
@@ -278,7 +286,16 @@ impl Request {
                             spec.seed = parse_value(key, value)?;
                             have_seed = true;
                         }
-                        "deadline_ms" => spec.deadline_ms = Some(parse_value(key, value)?),
+                        "deadline_ms" => {
+                            let ms: f64 = parse_value(key, value)?;
+                            if !ms.is_finite() || !(0.0..=MAX_DEADLINE_MS).contains(&ms) {
+                                return Err(format!(
+                                    "deadline_ms {value:?} out of range \
+                                     (want finite 0..={MAX_DEADLINE_MS})"
+                                ));
+                            }
+                            spec.deadline_ms = Some(ms);
+                        }
                         "k" => spec.k = Some(parse_value(key, value)?),
                         "alpha" => spec.alpha = Some(parse_value(key, value)?),
                         "length" => spec.length = Some(parse_value(key, value)?),
@@ -629,6 +646,12 @@ mod tests {
             "QUERY seed=x",
             "QUERY seed=1 unknown=2",
             "QUERY seed=1 naked-token",
+            // Hostile deadlines must die at parse, not as a Duration
+            // panic in a connection thread.
+            "QUERY seed=1 deadline_ms=inf",
+            "QUERY seed=1 deadline_ms=NaN",
+            "QUERY seed=1 deadline_ms=1e25",
+            "QUERY seed=1 deadline_ms=-5",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} parsed");
         }

@@ -414,6 +414,17 @@ fn deadlines_route_degrade_and_fast_fail() {
             Response::Error { id, .. } => assert_eq!(id, 0),
             other => panic!("unexpected {other:?}"),
         }
+        // Hostile deadlines (inf / astronomical) must come back as typed
+        // protocol errors — not a Duration panic in a connection thread.
+        for hostile in ["deadline_ms=inf", "deadline_ms=1e25"] {
+            write_frame(&mut conn.stream, &format!("QUERY seed=7 {hostile}")).unwrap();
+            match conn.recv() {
+                Response::Error { message, .. } => {
+                    assert!(message.contains("out of range"), "unexpected {message:?}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
 
         server.shutdown();
         serve.join().unwrap().unwrap();
@@ -422,7 +433,7 @@ fn deadlines_route_degrade_and_fast_fail() {
     let snapshot = server.telemetry();
     assert_eq!(snapshot.rejected_unmeetable, 1);
     assert!(snapshot.deadline_missed >= 1);
-    assert_eq!(snapshot.errors, 1);
+    assert_eq!(snapshot.errors, 3); // one garbage frame, two hostile deadlines
     let routed = |kind: BackendKind| {
         snapshot
             .routes
@@ -432,4 +443,75 @@ fn deadlines_route_degrade_and_fast_fail() {
     };
     assert_eq!(routed(BackendKind::ExactPower), 2);
     assert_eq!(routed(BackendKind::MonteCarlo), 1);
+}
+
+/// Shutdown while a pipelined burst is still queued: every admitted
+/// request must still get its response before the connection closes —
+/// queued residents are drained, not dropped.
+#[test]
+fn shutdown_drains_inflight_responses() {
+    const BURST: u64 = 16;
+
+    let router = Router::new().with_backend(Box::new(Stub {
+        kind: BackendKind::MonteCarlo,
+        precision: 0.9,
+        estimate_ns: 1e6,
+        work: Duration::from_millis(2),
+    }));
+    let server = PprServer::bind(
+        &router,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: BURST as usize,
+            default_deadline_ms: 5_000.0,
+            poll_interval: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve());
+        let _guard = ShutdownOnDrop(&server);
+        let mut conn = Client::connect(addr);
+        // Pipeline the burst and immediately ask for shutdown: the
+        // SHUTDOWN frame is processed while most of the burst is still
+        // queued behind the slow single worker.
+        for id in 0..BURST {
+            conn.send(&Request::Query(QuerySpec::new(id, id as u32)));
+        }
+        conn.send(&Request::Shutdown);
+        let (mut outcomes, mut stats) = (0u64, 0u64);
+        for _ in 0..=BURST {
+            match conn.recv() {
+                Response::Ranking { .. } | Response::Rejected { .. } => outcomes += 1,
+                Response::Stats(_) => stats += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(outcomes, BURST, "admitted requests lost their responses");
+        assert_eq!(stats, 1);
+        serve.join().unwrap().unwrap();
+    });
+}
+
+/// Shutdown must unblock the accept loop even for a wildcard bind,
+/// where the self-connect wake-up targets the loopback address.
+#[test]
+fn shutdown_wakes_wildcard_binds() {
+    let router = Router::new().with_backend(Box::new(Stub {
+        kind: BackendKind::MonteCarlo,
+        precision: 0.9,
+        estimate_ns: 1e6,
+        work: Duration::ZERO,
+    }));
+    let server = PprServer::bind(&router, ServerConfig::default(), "0.0.0.0:0").unwrap();
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve());
+        std::thread::sleep(Duration::from_millis(20));
+        server.shutdown();
+        serve.join().unwrap().unwrap();
+    });
 }
