@@ -12,17 +12,20 @@
 //! [--full] [--seeds N] [--scale F]`
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use meloppr_bench::table::TextTable;
 use meloppr_bench::workload::{sample_hub_seeds, sample_zipf_queries, sample_zipf_queries_offset};
 use meloppr_bench::{measure_batch_throughput, CorpusGraph, CpuCostModel, ExperimentScale};
 use meloppr_core::backend::{BatchExecutor, Meloppr, QueryRequest};
-use meloppr_core::diffusion::{diffuse_from_seed, DiffusionConfig};
-use meloppr_core::{format_bytes, CacheBudget, ConcurrentSubgraphCache};
+use meloppr_core::diffusion::{diffuse_from_seed, diffuse_into, DiffusionConfig, DiffusionScratch};
+use meloppr_core::{diffuse_quantized, precision_at_k, CompactBall, QCtx, Qu32, QuantScratch};
+use meloppr_core::{format_bytes, BallStore, CacheBudget, ConcurrentSubgraphCache, PrecisionClass};
 use meloppr_core::{MelopprParams, PprBackend, PprParams, SelectionStrategy};
 use meloppr_fpga::{
     cycles_to_ns, AcceleratorConfig, CycleBreakdown, FixedPointFormat, FpgaAccelerator,
 };
+use meloppr_graph::generators::barabasi_albert;
 use meloppr_graph::generators::corpus::PaperGraph;
 use meloppr_graph::{bfs_ball, GraphView, Subgraph};
 
@@ -85,6 +88,9 @@ fn main() {
     ]);
     let mut p1_total: Option<f64> = None;
     let mut p1_diff: Option<f64> = None;
+    // (P, total ms, scheduling ms, diffusion ms, data-movement ms) for
+    // the machine-readable report.
+    let mut fpga_rows: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
     for p in [1usize, 2, 4, 8, 16] {
         let accel = FpgaAccelerator::new(AcceleratorConfig {
             parallelism: p,
@@ -114,6 +120,13 @@ fn main() {
         } else {
             0.0
         };
+        fpga_rows.push((
+            p,
+            total_ms,
+            cycles_to_ns(cycles.scheduling, clock) / n / 1e6,
+            cycles_to_ns(cycles.diffusion, clock) / n / 1e6,
+            cycles_to_ns(cycles.data_movement, clock) / n / 1e6,
+        ));
         table.row(vec![
             p.to_string(),
             format!("{total_ms:.4}"),
@@ -384,4 +397,310 @@ fn main() {
         format_bytes(byte_budget),
         entry_budget,
     );
+
+    // The precision ladder on the host path: the same Zipf
+    // diffusion-dominated workload, scored at each rung. Three measured
+    // claims, each recorded in BENCH_fig5.json:
+    //   1. a narrower rung (f32 or q16) runs the per-ball diffusion
+    //      >= 1.2x faster than the exact f64 pipeline;
+    //   2. the compact ball store fits >= 1.5x more residents under the
+    //      same cache byte budget;
+    //   3. quantized end-to-end rankings keep precision@200 >= 0.95
+    //      against the exact-f64 staged baseline.
+    println!();
+    println!("== precision ladder: quantized diffusion on Zipf-seeded diffusion-bound balls ==");
+    // Score width only matters once the dense score arrays outgrow the
+    // fast caches — citeseer's 3.3k-node balls fit in L1 at any width,
+    // so the rung timing uses a scale-free graph whose stage-one balls
+    // are genuinely diffusion-bound (tens of thousands of nodes, within
+    // the compact store's u16 local-id cap), seeded Zipf like the cache
+    // sections above.
+    let ladder_g = barabasi_albert(60_000, 8, 47).expect("ladder graph");
+    let mut zipf_seeds = sample_zipf_queries(&ladder_g, 8, 64, 1.0, 47);
+    zipf_seeds.sort_unstable();
+    zipf_seeds.dedup();
+    let ladder_subs: Vec<Subgraph> = zipf_seeds
+        .iter()
+        .map(|&s| {
+            let ball = bfs_ball(&ladder_g, s, L1 as u32).expect("bfs");
+            Subgraph::extract(&ladder_g, &ball).expect("extract")
+        })
+        .collect();
+    let ladder_nodes: f64 = ladder_subs
+        .iter()
+        .map(|s| s.num_nodes() as f64)
+        .sum::<f64>()
+        / ladder_subs.len().max(1) as f64;
+    println!(
+        "ladder working set: {} Zipf balls, avg {ladder_nodes:.0} nodes each \
+         (scale-free |V|=60k, m=8, depth {L1})",
+        ladder_subs.len()
+    );
+    // The cached ladder executes over the reduced-width resident form;
+    // every ball here fits the u16 local-id space (<= 65 536 nodes).
+    let compacts: Vec<CompactBall> = ladder_subs
+        .iter()
+        .map(|sub| CompactBall::from_subgraph(sub).expect("compact ball"))
+        .collect();
+    let config = DiffusionConfig::new(alpha, L1).expect("config");
+    let rounds = 8usize;
+    let diffusions = (rounds * ladder_subs.len()) as f64;
+
+    let mut out = DiffusionScratch::new();
+    // Ball-major timing: each ball gets its rounds back-to-back, the
+    // way Zipf traffic re-diffuses a hot resident ball (the shared
+    // cache above serves ~90 % of lookups without a BFS). The first,
+    // untimed visit per ball sizes scratch and faults the adjacency in.
+    // Best-of-3 trials filters scheduler noise out of the floor check.
+    let mut time_rung = |run: &mut dyn FnMut(usize, &mut DiffusionScratch)| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut total = 0.0f64;
+            for i in 0..ladder_subs.len() {
+                run(i, &mut out);
+                let started = Instant::now();
+                for _ in 0..rounds {
+                    run(i, &mut out);
+                }
+                total += started.elapsed().as_secs_f64();
+            }
+            best = best.min(total * 1e9 / diffusions);
+        }
+        best
+    };
+    // The pre-ladder baseline: the legacy frontier-sparse f64 kernel on
+    // the full Subgraph (what uncached Exact64 executes).
+    let sparse_ns = time_rung(&mut |i, out| {
+        let sub = &ladder_subs[i];
+        diffuse_into(sub, &[(sub.seed_local(), 1.0)], config, out).expect("diffusion");
+    });
+    // The ladder rungs, all over the compact resident form, differing
+    // only in score width: this isolates the arithmetic's cost.
+    let mut qs64 = QuantScratch::<f64>::default();
+    let f64_ns = time_rung(&mut |i, out| {
+        let b = &compacts[i];
+        diffuse_quantized::<f64, _>(b, &[(b.seed_local(), 1.0)], config, (), &mut qs64, out)
+            .expect("diffusion");
+    });
+    let mut qs32 = QuantScratch::<f32>::default();
+    let f32_ns = time_rung(&mut |i, out| {
+        let b = &compacts[i];
+        diffuse_quantized::<f32, _>(b, &[(b.seed_local(), 1.0)], config, (), &mut qs32, out)
+            .expect("diffusion");
+    });
+    let mut qsfx = QuantScratch::<Qu32>::default();
+    let q16_ns = time_rung(&mut |i, out| {
+        let b = &compacts[i];
+        diffuse_quantized::<Qu32, _>(
+            b,
+            &[(b.seed_local(), 1.0)],
+            config,
+            QCtx::new(16),
+            &mut qsfx,
+            out,
+        )
+        .expect("diffusion");
+    });
+    // Four rows: `exact/sparse` is the pre-ladder pipeline (Exact64 on
+    // a full-store ball takes the legacy frontier-sparse f64 kernel);
+    // `exact/compact` is the dense f64 rung the cached ladder executes,
+    // isolating the width effect from the kernel/storage change; `f32`
+    // and `q16` are the narrow rungs the router degrades to.
+    let ladder_ns = [
+        ("exact/sparse", sparse_ns),
+        ("exact/compact", f64_ns),
+        ("f32", f32_ns),
+        ("q16", q16_ns),
+    ];
+    let mut ladder_table = TextTable::new(vec!["rung", "ns/diffusion", "speedup vs exact"]);
+    for (label, ns) in ladder_ns {
+        ladder_table.row(vec![
+            label.into(),
+            format!("{ns:.0}"),
+            format!("{:.2}x", sparse_ns / ns),
+        ]);
+    }
+    ladder_table.print();
+    let best_speedup = (sparse_ns / f32_ns).max(sparse_ns / q16_ns);
+    println!(
+        "best narrow rung: {:.2}x the exact-f64 pipeline over {} Zipf balls x {} rounds \
+         (the router's actual trade: full-store sparse f64 vs compact-store narrow scores)",
+        best_speedup,
+        ladder_subs.len(),
+        rounds,
+    );
+    // Wall-clock claims only hold with optimizations; debug builds run
+    // the section for coverage without enforcing the floors.
+    #[cfg(not(debug_assertions))]
+    {
+        assert!(
+            best_speedup >= 1.2,
+            "precision ladder speedup regressed: best narrow rung is {best_speedup:.2}x \
+             (need >= 1.2x vs the exact-f64 pipeline)"
+        );
+        // The width effect itself must not regress either: the best
+        // narrow rung may not run slower than the dense f64 rung on the
+        // same compact balls (2 % tolerance for scheduler noise).
+        let narrow_ns = f32_ns.min(q16_ns);
+        assert!(
+            narrow_ns <= f64_ns * 1.02,
+            "narrow scores regressed vs the f64 rung on the same balls: \
+             {narrow_ns:.0} ns vs {f64_ns:.0} ns"
+        );
+    }
+
+    // Claim 2: resident density under the byte budget of the memory
+    // pressure section, full vs compact ball store.
+    let run_store = |store: BallStore| -> usize {
+        let cache = Arc::new(
+            ConcurrentSubgraphCache::with_budget(CacheBudget::bytes(byte_budget))
+                .with_ball_store(store),
+        );
+        let backend = Meloppr::new(g, staged.clone())
+            .expect("backend")
+            .with_shared_cache(Arc::clone(&cache));
+        executor.run(&backend, &reqs).expect("store batch");
+        cache.resident_entries()
+    };
+    let full_resident = run_store(BallStore::Full);
+    let compact_resident = run_store(BallStore::Compact);
+    let density = compact_resident as f64 / full_resident.max(1) as f64;
+    println!(
+        "ball store density under {}: full {} residents, compact {} residents ({:.2}x)",
+        format_bytes(byte_budget),
+        full_resident,
+        compact_resident,
+        density,
+    );
+    assert!(
+        density >= 1.5,
+        "compact ball store regressed: {compact_resident} residents vs {full_resident} \
+         full ({density:.2}x, need >= 1.5x under the same byte budget)"
+    );
+
+    // Claim 3: end-to-end quantized rankings against the exact-f64
+    // staged baseline, top-200.
+    let ppr200 = PprParams::new(alpha, 6, 200).expect("params");
+    let staged200 = MelopprParams {
+        ppr: ppr200,
+        stages: vec![3, 3],
+        selection: SelectionStrategy::TopFraction(0.05),
+        ..MelopprParams::paper_defaults()
+    };
+    let floor_backend = Meloppr::new(g, staged200).expect("backend");
+    let floor_seeds = sample_hub_seeds(g, 3);
+    let mut floors = [
+        ("f32", PrecisionClass::Fast32, 1.0f64),
+        ("q16", PrecisionClass::Fixed(16), 1.0f64),
+    ];
+    for &seed in &floor_seeds {
+        let exact = floor_backend
+            .query(&QueryRequest::new(seed))
+            .expect("exact query")
+            .ranking;
+        for (_, class, worst) in floors.iter_mut() {
+            let outcome = floor_backend
+                .query(&QueryRequest::new(seed).with_precision(*class))
+                .expect("quantized query");
+            assert_eq!(outcome.stats.precision_class, *class);
+            let p = precision_at_k(&outcome.ranking, &exact, 200);
+            *worst = worst.min(p);
+        }
+    }
+    for (label, _, worst) in &floors {
+        println!(
+            "precision@200 floor ({label} vs exact, {} hub seeds): {worst:.4}",
+            floor_seeds.len()
+        );
+        assert!(
+            *worst >= 0.95,
+            "{label} rung dropped below the precision floor: {worst:.4} < 0.95"
+        );
+    }
+
+    // Machine-readable mirror of everything above.
+    let json = render_json(
+        &corpus.label(),
+        g.num_nodes(),
+        g.num_edges(),
+        cpu_ms,
+        &fpga_rows,
+        &ladder_ns,
+        byte_budget,
+        full_resident,
+        compact_resident,
+        &floors,
+    );
+    const REPORT: &str = "BENCH_fig5.json";
+    std::fs::write(REPORT, json).expect("write BENCH_fig5.json");
+    println!();
+    println!("machine-readable report written to {REPORT}");
+}
+
+/// Renders the figure's machine-readable report. Hand-rolled writer —
+/// the workspace deliberately carries no serde; every value is a plain
+/// number or an ASCII label, so escaping is a non-issue.
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    graph_label: &str,
+    nodes: usize,
+    edges: usize,
+    cpu_ms: f64,
+    fpga_rows: &[(usize, f64, f64, f64, f64)],
+    ladder_ns: &[(&str, f64)],
+    byte_budget: usize,
+    full_resident: usize,
+    compact_resident: usize,
+    floors: &[(&str, PrecisionClass, f64)],
+) -> String {
+    // Speedups are relative to the pre-ladder exact pipeline (sparse
+    // f64 over full-store balls — what Exact64 executes).
+    let exact_ns = ladder_ns
+        .iter()
+        .find(|(label, _)| *label == "exact/sparse")
+        .map(|&(_, ns)| ns)
+        .unwrap_or(f64::NAN);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"fig5_scalability\",\n");
+    out.push_str(&format!(
+        "  \"graph\": {{\"label\": \"{graph_label}\", \"nodes\": {nodes}, \"edges\": {edges}}},\n"
+    ));
+    out.push_str(&format!("  \"cpu_diffusion_ms\": {cpu_ms:.6},\n"));
+    out.push_str("  \"fpga_scalability\": [\n");
+    for (i, (p, total, sched, diff, dm)) in fpga_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"parallelism\": {p}, \"total_ms\": {total:.6}, \"scheduling_ms\": \
+             {sched:.6}, \"diffusion_ms\": {diff:.6}, \"data_movement_ms\": {dm:.6}}}{}\n",
+            if i + 1 < fpga_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"precision_ladder\": {\n");
+    out.push_str("    \"diffusion\": [\n");
+    for (i, (label, ns)) in ladder_ns.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"class\": \"{label}\", \"ns_per_diffusion\": {ns:.1}, \
+             \"speedup_vs_exact\": {:.4}}}{}\n",
+            exact_ns / ns,
+            if i + 1 < ladder_ns.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"cache_density\": {{\"byte_budget\": {byte_budget}, \"full_resident_balls\": \
+         {full_resident}, \"compact_resident_balls\": {compact_resident}, \"ratio\": {:.4}}},\n",
+        compact_resident as f64 / full_resident.max(1) as f64
+    ));
+    out.push_str("    \"precision_at_200_floors\": [\n");
+    for (i, (label, _, worst)) in floors.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"class\": \"{label}\", \"min_precision_at_200\": {worst:.6}}}{}\n",
+            if i + 1 < floors.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
 }

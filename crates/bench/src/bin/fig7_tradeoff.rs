@@ -14,7 +14,8 @@
 
 use meloppr_bench::table::TextTable;
 use meloppr_bench::{measure_tradeoff, sample_seeds, CorpusGraph, CpuCostModel, ExperimentScale};
-use meloppr_core::MelopprParams;
+use meloppr_core::backend::{Meloppr, QueryRequest};
+use meloppr_core::{precision_at_k, MelopprParams, PprBackend, PrecisionClass, SelectionStrategy};
 use meloppr_fpga::{AcceleratorConfig, HybridConfig};
 use meloppr_graph::generators::corpus::PaperGraph;
 
@@ -92,6 +93,39 @@ fn main() {
             ]);
         }
         table.print();
+        // A third axis the paper's figure lacks: the same staged
+        // configuration scored down the host precision ladder. Worst
+        // precision@200 of each narrow rung against its own Exact64
+        // ranking, at the 5 % selection ratio.
+        let ladder_params = MelopprParams {
+            selection: SelectionStrategy::TopFraction(0.05),
+            ..params.clone()
+        };
+        let backend = Meloppr::new(&corpus.graph, ladder_params).expect("backend");
+        let ladder_seeds = &seeds[..seeds.len().min(2)];
+        let mut line = format!(
+            "precision ladder vs exact (ratio 5%, top-200, {} seeds):",
+            ladder_seeds.len()
+        );
+        for (label, class) in [
+            ("f32", PrecisionClass::Fast32),
+            ("q16", PrecisionClass::Fixed(16)),
+        ] {
+            let mut worst = 1.0f64;
+            for &seed in ladder_seeds {
+                let exact = backend
+                    .query(&QueryRequest::new(seed))
+                    .expect("exact query")
+                    .ranking;
+                let quant = backend
+                    .query(&QueryRequest::new(seed).with_precision(class))
+                    .expect("quantized query")
+                    .ranking;
+                worst = worst.min(precision_at_k(&quant, &exact, 200));
+            }
+            line.push_str(&format!("  {label} {:.1}%", worst * 100.0));
+        }
+        println!("{line}");
         println!();
     }
     println!("shape checks vs paper: precision rises and speedup falls with the ratio;");

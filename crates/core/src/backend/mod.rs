@@ -89,6 +89,7 @@ use crate::error::Result;
 use crate::local_ppr::LocalPprStats;
 use crate::meloppr::{MelopprStats, StageStats};
 use crate::params::PprParams;
+use crate::quantized::PrecisionClass;
 use crate::score_vec::Ranking;
 use crate::workspace::{QueryWorkspace, WorkspacePool};
 
@@ -184,12 +185,28 @@ pub struct QueryBudget {
     /// (`Some(1.0)` demands an exact backend). Advisory: routing input
     /// only.
     pub min_precision: Option<f64>,
+    /// Requested score-arithmetic precision rung for the staged host
+    /// path (`None` inherits [`PrecisionClass::Exact64`]). Honoured by
+    /// the staged [`Meloppr`] backend, which runs its diffusions at this
+    /// width and reports the executed class in
+    /// [`QueryStats::precision_class`]; the serving front-end's
+    /// admission path may *degrade* this rung (before it shrinks ball
+    /// depth) when a deadline or byte budget is tight.
+    pub precision: Option<PrecisionClass>,
 }
 
 impl QueryBudget {
     /// A budget with no constraints (every backend is admissible).
     pub fn unconstrained() -> Self {
         QueryBudget::default()
+    }
+
+    /// Requests a score-arithmetic precision rung (see
+    /// [`QueryBudget::precision`]).
+    #[must_use]
+    pub fn with_precision(mut self, class: PrecisionClass) -> Self {
+        self.precision = Some(class);
+        self
     }
 }
 
@@ -279,6 +296,14 @@ impl QueryRequest {
         self
     }
 
+    /// Requests a score-arithmetic precision rung for the staged host
+    /// path (see [`QueryBudget::precision`]).
+    #[must_use]
+    pub fn with_precision(mut self, class: PrecisionClass) -> Self {
+        self.budget.precision = Some(class);
+        self
+    }
+
     /// The effective `PprParams` for this request given a backend's
     /// configured base parameters.
     pub fn effective_params(&self, base: &PprParams) -> Result<PprParams> {
@@ -331,6 +356,12 @@ pub struct QueryStats {
     /// for unbudgeted queries and for budgets met without degradation —
     /// those results are bit-identical to unbudgeted runs.
     pub memory_limited: bool,
+    /// Score-arithmetic precision rung the query actually executed at.
+    /// [`PrecisionClass::Exact64`] for every backend except the staged
+    /// [`Meloppr`] host path, which honours
+    /// [`QueryBudget::precision`] (possibly degraded by the serving
+    /// front-end's admission ladder) and reports the rung that ran here.
+    pub precision_class: PrecisionClass,
     /// Backend-reported end-to-end latency estimate in nanoseconds
     /// (`Some` for the simulated FPGA platform, whose timing model is the
     /// measurement; `None` for native CPU backends, which are measured by
@@ -357,6 +388,7 @@ impl QueryStats {
             aggregate_entries: 0,
             table_evictions: 0,
             memory_limited: false,
+            precision_class: PrecisionClass::Exact64,
             latency_estimate_ns: None,
             host_latency_ns: None,
         }
@@ -376,6 +408,7 @@ impl QueryStats {
             aggregate_entries: stats.aggregate_entries,
             table_evictions: stats.table_evictions,
             memory_limited: stats.memory_limited,
+            precision_class: stats.precision_class,
             ..QueryStats::empty(BackendKind::Meloppr)
         }
     }
@@ -618,6 +651,7 @@ mod tests {
             max_latency_ms: Some(10.0),
             max_memory_bytes: Some(2000),
             min_precision: Some(0.9),
+            precision: None,
         }));
         assert!(!est.fits(&QueryBudget {
             max_latency_ms: Some(1.0),

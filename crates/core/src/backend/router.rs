@@ -548,6 +548,7 @@ mod tests {
             max_latency_ms: Some(0.0),
             max_memory_bytes: Some(1),
             min_precision: Some(1.0),
+            precision: None,
         });
         let route = router.select(&req).unwrap();
         assert!(!route.fits_budget);

@@ -12,9 +12,10 @@ use super::{
 use crate::cache::{CacheConsumer, ConcurrentSubgraphCache, SubgraphCache, DEFAULT_HIT_WINDOW};
 use crate::error::{PprError, Result};
 use crate::meloppr::{staged_query_impl, BallSource, MelopprOutcome, MemoryBudget};
-use crate::memory::cpu_task_memory;
+use crate::memory::cpu_task_memory_width;
 use crate::parallel::parallel_query_impl;
 use crate::params::MelopprParams;
+use crate::quantized::PrecisionClass;
 use crate::selection::SelectionStrategy;
 use crate::workspace::{QueryWorkspace, WorkspacePool};
 
@@ -243,14 +244,19 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
     /// depth-`depth` probe ball — the runtime budget gate's formula
     /// (`QueryAccumulator::working_set_bound`) evaluated with an empty
     /// table and queue, i.e. the bound the first task of a query faces.
-    fn stage_working_set(&self, params: &MelopprParams, depth: usize) -> usize {
+    fn stage_working_set(
+        &self,
+        params: &MelopprParams,
+        depth: usize,
+        class: PrecisionClass,
+    ) -> usize {
         let ball = self.profile.ball(depth);
         let table_entries = match params.table_factor.map(|c| c * params.ppr.k) {
             Some(cap) => ball.nodes.min(cap),
             None => ball.nodes,
         };
         crate::memory::meloppr_cpu_peak(
-            cpu_task_memory(ball.nodes, ball.edges),
+            cpu_task_memory_width(ball.nodes, ball.edges, class.score_width_bytes()),
             table_entries,
             params.selection.upper_bound(ball.nodes),
         )
@@ -267,6 +273,7 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
         &self,
         params: &MelopprParams,
         budget_bytes: Option<usize>,
+        class: PrecisionClass,
     ) -> (Vec<usize>, bool) {
         let Some(limit) = budget_bytes else {
             return (params.stages.clone(), false);
@@ -277,7 +284,7 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
             .iter()
             .map(|&l| {
                 let mut depth = l;
-                while depth > 0 && self.stage_working_set(params, depth) > limit {
+                while depth > 0 && self.stage_working_set(params, depth, class) > limit {
                     depth -= 1;
                     degraded = true;
                 }
@@ -285,6 +292,36 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
             })
             .collect();
         (depths, degraded)
+    }
+
+    /// The precision ladder's **width-before-depth** rule under a byte
+    /// budget: if the plan at `requested` would have to shrink any
+    /// stage's ball depth, first step the precision rung down (halving
+    /// the modelled score-vector width) and re-plan — a narrower rung
+    /// often readmits the full depth, and a truncated diffusion loses
+    /// strictly more ranking signal than half-width arithmetic does.
+    /// Stops as soon as depth fits, or narrowing stops shrinking the
+    /// working set (the `Fast32 → Fixed` step keeps the same width).
+    /// Without a budget the requested rung passes through untouched.
+    fn plan_precision(
+        &self,
+        params: &MelopprParams,
+        budget_bytes: Option<usize>,
+        requested: PrecisionClass,
+    ) -> (PrecisionClass, Vec<usize>, bool) {
+        let (mut depths, mut degraded) = self.plan_ball_depths(params, budget_bytes, requested);
+        let mut class = requested;
+        while degraded {
+            let Some(next) = class.degraded() else { break };
+            if next.score_width_bytes() >= class.score_width_bytes() {
+                break;
+            }
+            let (next_depths, next_degraded) = self.plan_ball_depths(params, budget_bytes, next);
+            class = next;
+            depths = next_depths;
+            degraded = next_degraded;
+        }
+        (class, depths, degraded)
     }
 
     /// The effective staged parameters for a request: overrides merged,
@@ -373,15 +410,18 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
 
     fn estimate(&self, req: &QueryRequest) -> Result<CostEstimate> {
         let params = self.effective_meloppr(req)?;
+        let requested = req.budget.precision.unwrap_or_default();
+        requested.validate()?;
         // A memory budget is *enforced* at run time: the staged loop
-        // starts every stage at the profile-planned ball depth below
-        // (the same `plan_ball_depths` the runtime uses) and shrinks
-        // further if a concrete ball still exceeds the bound. The
-        // estimate therefore models the *identical* starting plan with
-        // the identical byte model; the runtime can only degrade
-        // further as the aggregation state grows, which the outcome
-        // reports via `memory_limited`.
-        let (ball_depths, degraded) = self.plan_ball_depths(&params, req.budget.max_memory_bytes);
+        // starts every stage at the profile-planned precision rung and
+        // ball depth below (the same `plan_precision` the runtime uses)
+        // and shrinks further if a concrete ball still exceeds the
+        // bound. The estimate therefore models the *identical* starting
+        // plan with the identical byte model; the runtime can only
+        // degrade further as the aggregation state grows, which the
+        // outcome reports via `memory_limited`.
+        let (class, ball_depths, degraded) =
+            self.plan_precision(&params, req.budget.max_memory_bytes, requested);
         let work = estimate_staged_work_with_depths(&self.profile, &params, &ball_depths);
         let m = self.latency;
         // Budgeted queries always run the sequential workspace loop (see
@@ -401,9 +441,13 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
         // mixes other consumers' traffic in). Warm-up extractions never
         // enter the window.
         let bfs_miss_fraction = 1.0 - self.cache_hit_rate();
+        // Reduced-width rungs run the dense vectorizable diffusion
+        // kernel; charge their per-edge cost at the class's documented
+        // discount so a deadline router learns that narrower is faster.
+        let ns_per_diffusion_edge = m.ns_per_diffusion_edge * class.diffusion_cost_factor();
         let cost_of = |bfs: f64, diffusion_edges: f64, nodes: f64| {
             bfs * bfs_miss_fraction * m.ns_per_bfs_edge
-                + diffusion_edges * m.ns_per_diffusion_edge
+                + diffusion_edges * ns_per_diffusion_edge
                 + nodes * m.ns_per_node
         };
         let compute_ns = cost_of(work.bfs_edges, work.diffusion_edges, work.nodes_touched);
@@ -426,6 +470,11 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
             let kept: usize = ball_depths.iter().sum();
             precision *= 0.7 + 0.3 * kept as f64 / full as f64;
         }
+        // Reduced-precision arithmetic costs ranking fidelity; the
+        // per-class penalty is deliberately conservative (never above
+        // the measured precision@k floors — see the precision_ladder
+        // test suite).
+        precision *= class.precision_factor();
         // Predicted peak: the largest per-stage working set under the
         // same model the degradation loop (and the runtime gate) uses —
         // by construction ≤ the budget whenever degradation can achieve
@@ -433,7 +482,7 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
         // serve within bound.
         let peak_memory_bytes = ball_depths
             .iter()
-            .map(|&depth| self.stage_working_set(&params, depth))
+            .map(|&depth| self.stage_working_set(&params, depth, class))
             .max()
             .unwrap_or(0);
         Ok(CostEstimate {
@@ -463,13 +512,15 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
 
     fn query_with(&self, req: &QueryRequest, ws: &mut QueryWorkspace) -> Result<QueryOutcome> {
         let budget = req.budget.max_memory_bytes;
+        let requested = req.budget.precision.unwrap_or_default();
+        requested.validate()?;
         // The common no-override case borrows the configured parameters;
         // only overridden requests pay a parameter clone.
         let outcome = if req.k.is_none() && req.overrides == ParamOverrides::default() {
-            self.run_staged(&self.params, req.seed, budget, ws)?
+            self.run_staged(&self.params, req.seed, requested, budget, ws)?
         } else {
             let params = self.effective_meloppr(req)?;
-            self.run_staged(&params, req.seed, budget, ws)?
+            self.run_staged(&params, req.seed, requested, budget, ws)?
         };
         Ok(QueryOutcome {
             stats: QueryStats::from_meloppr(&outcome.stats),
@@ -483,20 +534,27 @@ impl<G: GraphView + Sync + ?Sized> Meloppr<'_, G> {
         &self,
         params: &MelopprParams,
         seed: NodeId,
+        requested: PrecisionClass,
         budget_bytes: Option<usize>,
         ws: &mut QueryWorkspace,
     ) -> Result<MelopprOutcome> {
-        // Plan the starting ball depths from the probe profile (the
-        // same plan `estimate()` prices), so the budget gate does not
-        // have to materialize predictably-over-budget balls only to
-        // discard them.
-        let budget = budget_bytes.map(|limit| {
-            let (depths, _) = self.plan_ball_depths(params, Some(limit));
-            MemoryBudget {
-                limit,
-                ball_depths: depths.iter().map(|&d| d as u32).collect(),
+        // Plan the starting precision rung and ball depths from the
+        // probe profile (the same plan `estimate()` prices), so the
+        // budget gate does not have to materialize predictably
+        // over-budget balls only to discard them. Under a byte budget
+        // the rung degrades *before* depth (`plan_precision`); the
+        // executed class is reported in the outcome's stats.
+        let (class, budget) = match budget_bytes {
+            Some(limit) => {
+                let (class, depths, _) = self.plan_precision(params, Some(limit), requested);
+                let budget = MemoryBudget {
+                    limit,
+                    ball_depths: depths.iter().map(|&d| d as u32).collect(),
+                };
+                (class, Some(budget))
             }
-        });
+            None => (requested, None),
+        };
         let budget = budget.as_ref();
         match &self.cache {
             CacheMode::Owned(cache) => {
@@ -505,6 +563,7 @@ impl<G: GraphView + Sync + ?Sized> Meloppr<'_, G> {
                     self.graph,
                     params,
                     seed,
+                    class,
                     BallSource::Owned(&mut cache),
                     budget,
                     ws,
@@ -514,6 +573,7 @@ impl<G: GraphView + Sync + ?Sized> Meloppr<'_, G> {
                 self.graph,
                 params,
                 seed,
+                class,
                 BallSource::Shared { cache, consumer },
                 budget,
                 ws,
@@ -522,11 +582,17 @@ impl<G: GraphView + Sync + ?Sized> Meloppr<'_, G> {
             // gate needs the instantaneous table/queue state, which the
             // stage-parallel executor only has at stage barriers.
             CacheMode::None if self.threads > 1 && budget_bytes.is_none() => {
-                parallel_query_impl(self.graph, params, seed, self.threads)
+                parallel_query_impl(self.graph, params, seed, class, self.threads)
             }
-            CacheMode::None => {
-                staged_query_impl(self.graph, params, seed, BallSource::Fresh, budget, ws)
-            }
+            CacheMode::None => staged_query_impl(
+                self.graph,
+                params,
+                seed,
+                class,
+                BallSource::Fresh,
+                budget,
+                ws,
+            ),
         }
     }
 }

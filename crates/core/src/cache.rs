@@ -119,9 +119,61 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use meloppr_graph::{bfs_ball, ExtractScratch, FastHashMap, GraphView, NodeId, Subgraph};
 
 use crate::error::Result;
+use crate::quantized::CompactBall;
 
 /// Cache key: the ball's seed node and BFS depth.
 type CacheKey = (NodeId, u32);
+
+/// How a cache stores resident balls.
+///
+/// The default [`BallStore::Full`] keeps the extracted [`Subgraph`]s
+/// themselves — zero-copy hits, bit-identical to fresh extraction.
+/// [`BallStore::Compact`] is the precision ladder's memory rung: it
+/// stores residents as [`CompactBall`]s (`u16` local adjacency, no
+/// global→local map) at roughly **half** the bytes, so the same
+/// [`CacheBudget::bytes`] holds ~2× more balls (asserted ≥ 1.5× by the
+/// fig5 ladder section). Compact residents are served to the staged
+/// engine's ball-aware lookups and diffused by the dense quantized
+/// kernel; legacy full-ball getters hitting a compact resident fall back
+/// to a fresh extraction (only reachable when compaction was explicitly
+/// opted into).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BallStore {
+    /// Residents are full [`Subgraph`]s (default).
+    #[default]
+    Full,
+    /// Residents are compacted to [`CompactBall`]s when the ball fits
+    /// `u16` local ids (≤ 65 536 nodes); oversized balls stay full.
+    Compact,
+}
+
+/// A resident ball in whichever representation the [`BallStore`] chose.
+#[derive(Debug, Clone)]
+pub enum CachedBall {
+    /// The full extracted sub-graph.
+    Full(Arc<Subgraph>),
+    /// The reduced-width representation (see [`CompactBall`]).
+    Compact(Arc<CompactBall>),
+}
+
+impl CachedBall {
+    /// Nodes in the ball.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            CachedBall::Full(sub) => sub.num_nodes(),
+            CachedBall::Compact(ball) => ball.global_ids().len(),
+        }
+    }
+
+    /// Measured heap bytes of this representation — what a byte-budgeted
+    /// cache charges the resident.
+    pub fn memory_bytes_total(&self) -> usize {
+        match self {
+            CachedBall::Full(sub) => sub.memory_bytes().total(),
+            CachedBall::Compact(ball) => ball.memory_bytes_total(),
+        }
+    }
+}
 
 /// Resident-capacity bounds of a sub-graph cache, denominated in entries
 /// and/or **bytes**.
@@ -266,6 +318,14 @@ impl SubgraphCache {
         self
     }
 
+    /// Sets the resident-ball representation (builder style), as
+    /// [`ConcurrentSubgraphCache::with_ball_store`].
+    #[must_use]
+    pub fn with_ball_store(mut self, store: BallStore) -> Self {
+        self.core = self.core.with_ball_store(store);
+        self
+    }
+
     /// Resizes the hit-rate window, discarding its current contents
     /// (cumulative counters are kept).
     ///
@@ -325,17 +385,35 @@ impl SubgraphCache {
             .get_or_extract_with_as(g, node, depth, scratch, &self.consumer)
     }
 
-    /// Non-admitting probe lookup (see
-    /// [`ConcurrentSubgraphCache::probe_or_extract_with_as`]).
-    pub(crate) fn probe_or_extract_with<G: GraphView + ?Sized>(
+    /// Ball-representation lookup, as
+    /// [`ConcurrentSubgraphCache::get_ball_with_as`]: a compact resident
+    /// is served as-is instead of being re-extracted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_ball_with<G: GraphView + ?Sized>(
         &mut self,
         g: &G,
         node: NodeId,
         depth: u32,
         scratch: &mut ExtractScratch,
-    ) -> Result<(Arc<Subgraph>, usize)> {
+    ) -> Result<(CachedBall, usize)> {
         self.core
-            .probe_or_extract_with_as(g, node, depth, scratch, &self.consumer)
+            .get_ball_with_as(g, node, depth, scratch, &self.consumer)
+    }
+
+    /// Ball-representation probe, as
+    /// [`ConcurrentSubgraphCache::probe_ball_with_as`].
+    pub(crate) fn probe_ball_with<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        scratch: &mut ExtractScratch,
+    ) -> Result<(CachedBall, usize)> {
+        self.core
+            .probe_ball_with_as(g, node, depth, scratch, &self.consumer)
     }
 
     /// Admits an already-extracted ball (see
@@ -956,7 +1034,7 @@ enum EntryState {
 /// serialize. The `Mutex`/`Condvar` pair is touched only by singleflight
 /// losers waiting out an in-flight extraction (state `Pending`).
 struct Entry {
-    published: OnceLock<Arc<Subgraph>>,
+    published: OnceLock<CachedBall>,
     state: Mutex<EntryState>,
     ready: Condvar,
     last_used: AtomicU64,
@@ -981,6 +1059,28 @@ impl Entry {
 
 struct Shard {
     map: RwLock<FastHashMap<CacheKey, Arc<Entry>>>,
+}
+
+/// Adapts a lookup result to the legacy full-ball contract: a compact
+/// hit (only reachable when [`BallStore::Compact`] was opted into) is
+/// served by a fresh extraction — the compact resident keeps its slot,
+/// and the hit was already counted. [`CompactBall`] deliberately has no
+/// inflation path back to [`Subgraph`] (it drops the global→local map).
+fn inflate_full<G: GraphView + ?Sized>(
+    g: &G,
+    node: NodeId,
+    depth: u32,
+    ball: CachedBall,
+    work: usize,
+) -> Result<(Arc<Subgraph>, usize)> {
+    match ball {
+        CachedBall::Full(sub) => Ok((sub, work)),
+        CachedBall::Compact(_) => {
+            let b = bfs_ball(g, node, depth)?;
+            let sub = Subgraph::extract(g, &b)?;
+            Ok((Arc::new(sub), b.edges_scanned))
+        }
+    }
 }
 
 /// What a lookup found after consulting (and possibly updating) a shard.
@@ -1042,6 +1142,7 @@ pub struct ConcurrentSubgraphCache {
     shards: Box<[Shard]>,
     budget: CacheBudget,
     admission: AdmissionPolicy,
+    store: BallStore,
     /// Counting sketch of key sightings for the frequency-aware
     /// admission policies; empty for other policies. Collisions
     /// over-count, which can only admit early.
@@ -1145,6 +1246,7 @@ impl ConcurrentSubgraphCache {
             shards,
             budget,
             admission: AdmissionPolicy::Always,
+            store: BallStore::Full,
             seen: Box::new([]),
             clock: AtomicU64::new(0),
             resident_entries: AtomicUsize::new(0),
@@ -1174,6 +1276,32 @@ impl ConcurrentSubgraphCache {
     /// The configured admission policy.
     pub fn admission(&self) -> AdmissionPolicy {
         self.admission
+    }
+
+    /// Sets the [`BallStore`] deciding which representation residents
+    /// keep (builder style; default [`BallStore::Full`]).
+    #[must_use]
+    pub fn with_ball_store(mut self, store: BallStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The configured resident-ball representation.
+    pub fn ball_store(&self) -> BallStore {
+        self.store
+    }
+
+    /// The representation an extracted ball would be stored under: the
+    /// compact form when configured and the ball fits `u16` local ids,
+    /// the full form otherwise.
+    fn store_ball(&self, sub: &Arc<Subgraph>) -> CachedBall {
+        match self.store {
+            BallStore::Full => CachedBall::Full(Arc::clone(sub)),
+            BallStore::Compact => match CompactBall::from_subgraph(sub) {
+                Some(compact) => CachedBall::Compact(Arc::new(compact)),
+                None => CachedBall::Full(Arc::clone(sub)),
+            },
+        }
     }
 
     /// Records one sighting of `key` in the frequency sketch, returning
@@ -1265,11 +1393,12 @@ impl ConcurrentSubgraphCache {
         node: NodeId,
         depth: u32,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, None, LookupMode::Demand, |g| {
+        let (ball, work) = self.lookup(g, node, depth, None, LookupMode::Demand, |g| {
             let ball = bfs_ball(g, node, depth)?;
             let sub = Subgraph::extract(g, &ball)?;
             Ok((sub, ball.edges_scanned))
-        })
+        })?;
+        inflate_full(g, node, depth, ball, work)
     }
 
     /// As [`ConcurrentSubgraphCache::get_or_extract_counted`], attributing
@@ -1288,11 +1417,13 @@ impl ConcurrentSubgraphCache {
         depth: u32,
         consumer: &CacheConsumer,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, Some(consumer), LookupMode::Demand, |g| {
-            let ball = bfs_ball(g, node, depth)?;
-            let sub = Subgraph::extract(g, &ball)?;
-            Ok((sub, ball.edges_scanned))
-        })
+        let (ball, work) =
+            self.lookup(g, node, depth, Some(consumer), LookupMode::Demand, |g| {
+                let ball = bfs_ball(g, node, depth)?;
+                let sub = Subgraph::extract(g, &ball)?;
+                Ok((sub, ball.edges_scanned))
+            })?;
+        inflate_full(g, node, depth, ball, work)
     }
 
     /// As [`ConcurrentSubgraphCache::get_or_extract_counted`], extracting
@@ -1310,9 +1441,10 @@ impl ConcurrentSubgraphCache {
         depth: u32,
         scratch: &mut ExtractScratch,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, None, LookupMode::Demand, |g| {
+        let (ball, work) = self.lookup(g, node, depth, None, LookupMode::Demand, |g| {
             Ok(scratch.extract_owned(g, node, depth)?)
-        })
+        })?;
+        inflate_full(g, node, depth, ball, work)
     }
 
     /// The serving-path lookup: extraction through the workspace
@@ -1330,7 +1462,49 @@ impl ConcurrentSubgraphCache {
         scratch: &mut ExtractScratch,
         consumer: &CacheConsumer,
     ) -> Result<(Arc<Subgraph>, usize)> {
+        let (ball, work) =
+            self.lookup(g, node, depth, Some(consumer), LookupMode::Demand, |g| {
+                Ok(scratch.extract_owned(g, node, depth)?)
+            })?;
+        inflate_full(g, node, depth, ball, work)
+    }
+
+    /// The precision ladder's serving-path lookup: as
+    /// [`ConcurrentSubgraphCache::get_or_extract_with_as`], but returns
+    /// the resident in **whichever representation the [`BallStore`]
+    /// keeps** — a compact hit is served as-is instead of being
+    /// re-extracted, which is the whole point of compact residents (the
+    /// quantized diffusion kernel consumes either form directly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors from extraction on misses.
+    pub fn get_ball_with_as<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        scratch: &mut ExtractScratch,
+        consumer: &CacheConsumer,
+    ) -> Result<(CachedBall, usize)> {
         self.lookup(g, node, depth, Some(consumer), LookupMode::Demand, |g| {
+            Ok(scratch.extract_owned(g, node, depth)?)
+        })
+    }
+
+    /// Ball-representation form of
+    /// [`ConcurrentSubgraphCache::probe_or_extract_with_as`]: counted
+    /// like demand, never admits, serves a compact resident as-is on a
+    /// hit.
+    pub(crate) fn probe_ball_with_as<G: GraphView + ?Sized>(
+        &self,
+        g: &G,
+        node: NodeId,
+        depth: u32,
+        scratch: &mut ExtractScratch,
+        consumer: &CacheConsumer,
+    ) -> Result<(CachedBall, usize)> {
+        self.lookup(g, node, depth, Some(consumer), LookupMode::Probe, |g| {
             Ok(scratch.extract_owned(g, node, depth)?)
         })
     }
@@ -1348,6 +1522,7 @@ impl ConcurrentSubgraphCache {
     /// # Errors
     ///
     /// Propagates graph errors from extraction on misses.
+    #[cfg(test)]
     pub(crate) fn probe_or_extract_with_as<G: GraphView + ?Sized>(
         &self,
         g: &G,
@@ -1356,9 +1531,10 @@ impl ConcurrentSubgraphCache {
         scratch: &mut ExtractScratch,
         consumer: &CacheConsumer,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        self.lookup(g, node, depth, Some(consumer), LookupMode::Probe, |g| {
+        let (ball, work) = self.lookup(g, node, depth, Some(consumer), LookupMode::Probe, |g| {
             Ok(scratch.extract_owned(g, node, depth)?)
-        })
+        })?;
+        inflate_full(g, node, depth, ball, work)
     }
 
     /// Makes an already-extracted ball resident (if the policy and
@@ -1395,7 +1571,8 @@ impl ConcurrentSubgraphCache {
             let count = self.note_seen(key);
             (count > 1, count)
         };
-        let bytes = sub.memory_bytes().total();
+        let stored = self.store_ball(sub);
+        let bytes = stored.memory_bytes_total();
         let admitted = self.admission.size_gate(sub.num_nodes(), seen_before)
             && self.reserve_residency(key, bytes, candidate_freq);
         if !admitted {
@@ -1422,7 +1599,7 @@ impl ConcurrentSubgraphCache {
         entry.charged_bytes.store(bytes, Ordering::Relaxed);
         entry
             .published
-            .set(Arc::clone(sub))
+            .set(stored)
             .unwrap_or_else(|_| unreachable!("entry is freshly created"));
         *entry.state.lock().expect("cache entry poisoned") = EntryState::Ready;
         map.insert(key, entry);
@@ -1484,7 +1661,7 @@ impl ConcurrentSubgraphCache {
         consumer: Option<&CacheConsumer>,
         mode: LookupMode,
         extract: F,
-    ) -> Result<(Arc<Subgraph>, usize)>
+    ) -> Result<(CachedBall, usize)>
     where
         G: GraphView + ?Sized,
         F: FnOnce(&G) -> Result<(Subgraph, usize)>,
@@ -1526,14 +1703,14 @@ impl ConcurrentSubgraphCache {
                 // exclusive lock (OnceLock::get is a lock-free load once
                 // set), so concurrent hits on one hot ball never
                 // serialize.
-                if let Some(sub) = entry.published.get() {
+                if let Some(ball) = entry.published.get() {
                     if mode != LookupMode::Warming {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         if let Some(c) = consumer {
                             c.on_hit();
                         }
                     }
-                    return Ok((Arc::clone(sub), 0));
+                    return Ok((ball.clone(), 0));
                 }
                 let mut state = entry.state.lock().expect("cache entry poisoned");
                 loop {
@@ -1545,8 +1722,8 @@ impl ConcurrentSubgraphCache {
                                     c.on_shared();
                                 }
                             }
-                            let sub = entry.published.get().expect("ready entry published");
-                            return Ok((Arc::clone(sub), 0));
+                            let ball = entry.published.get().expect("ready entry published");
+                            return Ok((ball.clone(), 0));
                         }
                         EntryState::Pending => {
                             state = entry.ready.wait(state).expect("cache entry poisoned");
@@ -1569,7 +1746,7 @@ impl ConcurrentSubgraphCache {
                             // Deterministic failures cannot reach here, but
                             // a success is still a valid answer: serve it
                             // without touching the map (the key was purged).
-                            return Ok((Arc::new(sub), work));
+                            return Ok((CachedBall::Full(Arc::new(sub)), work));
                         }
                     }
                 }
@@ -1595,7 +1772,12 @@ impl ConcurrentSubgraphCache {
                     Ok((sub, work)) => {
                         let sub = Arc::new(sub);
                         self.count_extraction(consumer, mode);
-                        let bytes = sub.memory_bytes().total();
+                        // The resident representation (full or compact per
+                        // the [`BallStore`]) is what gets published and
+                        // charged; the caller is always served the full
+                        // extraction it just performed.
+                        let stored = self.store_ball(&sub);
+                        let bytes = stored.memory_bytes_total();
                         // Admission is two gates: the policy's size gate,
                         // then budget reservation (which plans and evicts
                         // LRU victims until the candidate fits, applying
@@ -1630,7 +1812,7 @@ impl ConcurrentSubgraphCache {
                             }
                             entry
                                 .published
-                                .set(Arc::clone(&sub))
+                                .set(CachedBall::Full(Arc::clone(&sub)))
                                 .unwrap_or_else(|_| unreachable!("only the winner publishes"));
                         } else {
                             // Publish under the shard write lock so the
@@ -1653,7 +1835,7 @@ impl ConcurrentSubgraphCache {
                             }
                             entry
                                 .published
-                                .set(Arc::clone(&sub))
+                                .set(stored)
                                 .unwrap_or_else(|_| unreachable!("only the winner publishes"));
                         }
                         {
@@ -1661,7 +1843,7 @@ impl ConcurrentSubgraphCache {
                             *state = EntryState::Ready;
                         }
                         entry.ready.notify_all();
-                        Ok((sub, work))
+                        Ok((CachedBall::Full(sub), work))
                     }
                     Err(err) => {
                         {
@@ -1907,7 +2089,7 @@ impl ConcurrentSubgraphCache {
                     .expect("cache shard poisoned")
                     .values()
                     .filter_map(|entry| entry.published.get())
-                    .map(|sub| sub.memory_bytes().total())
+                    .map(|ball| ball.memory_bytes_total())
                     .sum::<usize>()
             })
             .sum()

@@ -17,6 +17,15 @@
 //! non-zero mass, so early iterations on large graphs cost `O(ball)` rather
 //! than `O(|V|)`.
 //!
+//! It has a *dense* twin,
+//! [`diffuse_quantized`](crate::quantized::diffuse_quantized), generic
+//! over score width ([`f64`]/[`f32`]/Q-format `u32`), which the
+//! precision ladder executes for reduced-precision queries and for
+//! every diffusion over the compact ball store; its `f64`
+//! instantiation keeps this kernel's semantics (same `πa`/`πr`,
+//! leakage, and isolated-node rules, asserted by the quantized unit
+//! tests).
+//!
 //! # Degree semantics and leakage
 //!
 //! The random-walk divisor is [`GraphView::walk_degree`], which for

@@ -33,6 +33,15 @@
 //! * [`diffusion`] — the `GD(l)` kernel producing accumulated (`πa`) and
 //!   residual (`πr`) scores (Eq. 1, Fig. 3(b)), with
 //!   [`diffuse_into`] computing into caller-owned scratch;
+//! * [`quantized`] — **the precision ladder**: [`PrecisionClass`]
+//!   (`Exact64` / `Fast32` / `Fixed(q)`), the [`ScoreScalar`] abstraction
+//!   over f64/f32/Q-format score words, the dense branch-free
+//!   [`diffuse_quantized`] kernel, and [`CompactBall`] — the half-width
+//!   cached-ball representation that lets the same
+//!   [`CacheBudget`] admit ~2× more residents. Queries pick a rung via
+//!   [`QueryBudget::with_precision`]; the server's admission path degrades
+//!   the rung (before ball depth) when a deadline or byte budget is tight
+//!   and reports the executed class in [`QueryStats`] and telemetry;
 //! * [`MelopprEngine`] — the multi-stage engine implementing stage
 //!   decomposition (Eq. 6), linear decomposition (Eq. 7) and sparsity
 //!   exploitation (Eq. 8, §IV-D);
@@ -154,6 +163,7 @@ mod params;
 pub mod planner;
 pub mod precision;
 pub mod push;
+pub mod quantized;
 pub mod score_vec;
 mod selection;
 pub mod server;
@@ -167,8 +177,8 @@ pub use backend::{
     PprBackend, QueryBudget, QueryOutcome, QueryRequest, QueryStats, Route, Router,
 };
 pub use cache::{
-    AdmissionPolicy, CacheBudget, CacheConsumer, CacheStats, ConcurrentSubgraphCache,
-    ConsumerStats, SubgraphCache,
+    AdmissionPolicy, BallStore, CacheBudget, CacheConsumer, CacheStats, CachedBall,
+    ConcurrentSubgraphCache, ConsumerStats, SubgraphCache,
 };
 pub use diffusion::{
     diffuse, diffuse_from_seed, diffuse_into, DiffusionConfig, DiffusionOutput, DiffusionScratch,
@@ -183,7 +193,10 @@ pub use memory::{format_bytes, parse_byte_size};
 pub use params::{MelopprParams, PprParams, ResidualPolicy};
 pub use planner::{plan_stages, StagePlan};
 pub use precision::{mean_precision, precision_at_k};
-pub use push::{forward_push, PushResult};
+pub use push::{forward_push, forward_push_class, PushResult};
+pub use quantized::{
+    diffuse_quantized, CompactBall, PrecisionClass, QCtx, Qu32, QuantScratch, ScoreScalar,
+};
 pub use score_vec::Ranking;
 pub use selection::SelectionStrategy;
 pub use server::{PprServer, ServerConfig, TelemetrySnapshot};

@@ -22,11 +22,13 @@
 
 use meloppr_graph::{bfs_ball, GraphView, NodeId, Subgraph};
 
-use crate::diffusion::{diffuse_into, DiffusionConfig, DiffusionScratch};
+use crate::cache::CachedBall;
+use crate::diffusion::{DiffusionConfig, DiffusionScratch};
 use crate::error::Result;
 use crate::global_table::GlobalScoreTable;
-use crate::memory::{cpu_task_memory, meloppr_cpu_peak, meloppr_fpga_peak, CpuTaskMemory};
+use crate::memory::{cpu_task_memory_width, meloppr_cpu_peak, meloppr_fpga_peak, CpuTaskMemory};
 use crate::params::{MelopprParams, ResidualPolicy};
+use crate::quantized::{diffuse_ball, BallRef, CompactBall, PrecisionClass, QuantScratchSet};
 use crate::score_vec::Ranking;
 use crate::workspace::QueryWorkspace;
 
@@ -104,6 +106,10 @@ pub struct MelopprStats {
     /// `false` means the budget (if any) was met without touching the
     /// schedule — the result is bit-identical to an unbudgeted run.
     pub memory_limited: bool,
+    /// The [`PrecisionClass`] this query's diffusions executed at — the
+    /// ladder rung after any deadline- or memory-driven degradation
+    /// (which the server reports to clients and telemetry).
+    pub precision_class: PrecisionClass,
     /// The full diffusion trace, in execution order.
     pub trace: Vec<DiffusionRecord>,
 }
@@ -175,11 +181,12 @@ pub(crate) fn execute_task<G: GraphView + ?Sized>(
     graph: &G,
     params: &MelopprParams,
     task: &TaskSpec,
+    class: PrecisionClass,
 ) -> Result<TaskOutput> {
     let l = params.stages[task.stage];
     let ball = bfs_ball(graph, task.node, l as u32)?;
     let sub = Subgraph::extract(graph, &ball)?;
-    execute_task_on(&sub, ball.edges_scanned, params, task)
+    execute_task_on(&sub, ball.edges_scanned, params, task, class)
 }
 
 /// The diffusion/selection half of [`execute_task`], operating on an
@@ -194,17 +201,21 @@ pub(crate) fn execute_task_on(
     bfs_edges_scanned: usize,
     params: &MelopprParams,
     task: &TaskSpec,
+    class: PrecisionClass,
 ) -> Result<TaskOutput> {
     let mut diffusion = DiffusionScratch::new();
+    let mut quant = QuantScratchSet::default();
     let mut candidates = Vec::new();
     let mut contributions = Vec::new();
     let mut children = Vec::new();
     let (record, candidates_count) = execute_task_on_with(
-        sub,
+        BallRef::Full(sub),
         bfs_edges_scanned,
         params,
         task,
+        class,
         &mut diffusion,
+        &mut quant,
         &mut candidates,
         &mut contributions,
         &mut children,
@@ -227,11 +238,13 @@ pub(crate) fn execute_task_on(
 /// count. Bit-identical to [`execute_task_on`].
 #[allow(clippy::too_many_arguments)] // the workspace split keeps borrows disjoint
 pub(crate) fn execute_task_on_with(
-    sub: &Subgraph,
+    ball: BallRef<'_>,
     bfs_edges_scanned: usize,
     params: &MelopprParams,
     task: &TaskSpec,
+    class: PrecisionClass,
     diffusion: &mut DiffusionScratch,
+    quant: &mut QuantScratchSet,
     candidates: &mut Vec<(NodeId, f64)>,
     contributions: &mut Vec<(NodeId, f64)>,
     children: &mut Vec<TaskSpec>,
@@ -239,7 +252,14 @@ pub(crate) fn execute_task_on_with(
     let num_stages = params.stages.len();
     let l = params.stages[task.stage];
     let config = DiffusionConfig::new(params.ppr.alpha, l)?;
-    let work = diffuse_into(sub, &[(sub.seed_local(), 1.0)], config, diffusion)?;
+    let work = diffuse_ball(
+        ball,
+        &[(ball.seed_local(), 1.0)],
+        config,
+        class,
+        quant,
+        diffusion,
+    )?;
 
     let last_stage = task.stage + 1 == num_stages;
     let alpha_l = params.ppr.alpha.powi(l as i32);
@@ -305,12 +325,12 @@ pub(crate) fn execute_task_on_with(
             .iter()
             .enumerate()
             .filter(|&(_, &s)| s > 0.0)
-            .map(|(local, &s)| (sub.to_global(local as NodeId), task.weight * s)),
+            .map(|(local, &s)| (ball.to_global(local as NodeId), task.weight * s)),
     );
 
     children.clear();
     children.extend(candidates.iter().map(|&(local, r)| TaskSpec {
-        node: sub.to_global(local),
+        node: ball.to_global(local),
         weight: task.weight * alpha_l * r,
         stage: task.stage + 1,
     }));
@@ -320,8 +340,8 @@ pub(crate) fn execute_task_on_with(
             stage: task.stage,
             node: task.node,
             weight: task.weight,
-            ball_nodes: sub.num_nodes(),
-            ball_edges: sub.num_edges(),
+            ball_nodes: ball.num_nodes(),
+            ball_edges: ball.num_edges(),
             bfs_edges_scanned,
             diffusion_edge_updates: work.edge_updates,
         },
@@ -349,10 +369,16 @@ pub(crate) struct QueryAccumulator<'t> {
     table_factor: usize,
     bounded_capacity: Option<usize>,
     k: usize,
+    /// The precision class this query executes at (reported in stats).
+    class: PrecisionClass,
 }
 
 impl<'t> QueryAccumulator<'t> {
-    pub(crate) fn new(params: &MelopprParams, table: &'t mut GlobalScoreTable) -> Self {
+    pub(crate) fn new(
+        params: &MelopprParams,
+        table: &'t mut GlobalScoreTable,
+        class: PrecisionClass,
+    ) -> Self {
         let k = params.ppr.k;
         table.reset(params.table_factor.map(|c| c * k));
         QueryAccumulator {
@@ -366,6 +392,7 @@ impl<'t> QueryAccumulator<'t> {
             table_factor: params.table_factor.unwrap_or(DEFAULT_TABLE_FACTOR),
             bounded_capacity: params.table_factor.map(|c| c * k),
             k,
+            class,
         }
     }
 
@@ -375,7 +402,11 @@ impl<'t> QueryAccumulator<'t> {
     /// peak — unlike combining the largest-ever task with the final
     /// table size, which mixes maxima from different instants.
     pub(crate) fn observe_working_set(&mut self, rec: &DiffusionRecord, queue_len: usize) {
-        let task = cpu_task_memory(rec.ball_nodes, rec.ball_edges);
+        let task = cpu_task_memory_width(
+            rec.ball_nodes,
+            rec.ball_edges,
+            self.class.score_width_bytes(),
+        );
         let snapshot = meloppr_cpu_peak(task, self.table.len(), queue_len);
         self.peak_working_set = self.peak_working_set.max(snapshot);
     }
@@ -395,7 +426,7 @@ impl<'t> QueryAccumulator<'t> {
         queue_len: usize,
         selection: &crate::selection::SelectionStrategy,
     ) -> usize {
-        let task = cpu_task_memory(ball_nodes, ball_edges);
+        let task = cpu_task_memory_width(ball_nodes, ball_edges, self.class.score_width_bytes());
         let spawn_bound = selection.upper_bound(ball_nodes);
         let table_bound = match self.bounded_capacity {
             Some(cap) => (self.table.len() + ball_nodes).min(cap),
@@ -435,7 +466,11 @@ impl<'t> QueryAccumulator<'t> {
         st.max_ball_nodes = st.max_ball_nodes.max(rec.ball_nodes);
         st.max_ball_edges = st.max_ball_edges.max(rec.ball_edges);
 
-        let task_mem = cpu_task_memory(rec.ball_nodes, rec.ball_edges);
+        let task_mem = cpu_task_memory_width(
+            rec.ball_nodes,
+            rec.ball_edges,
+            self.class.score_width_bytes(),
+        );
         if task_mem.total() > self.peak_task.total() {
             self.peak_task = task_mem;
             self.peak_ball = (rec.ball_nodes, rec.ball_edges);
@@ -461,6 +496,7 @@ impl<'t> QueryAccumulator<'t> {
             aggregate_entries,
             table_evictions: self.table.evictions(),
             memory_limited: self.memory_limited,
+            precision_class: self.class,
             stages: self.stages,
             trace: self.trace,
         };
@@ -507,7 +543,15 @@ impl<'g, G: GraphView + ?Sized> MelopprEngine<'g, G> {
     ///
     /// As [`MelopprEngine::query`].
     pub fn query_with(&self, seed: NodeId, ws: &mut QueryWorkspace) -> Result<MelopprOutcome> {
-        staged_query_impl(self.graph, &self.params, seed, BallSource::Fresh, None, ws)
+        staged_query_impl(
+            self.graph,
+            &self.params,
+            seed,
+            PrecisionClass::Exact64,
+            BallSource::Fresh,
+            None,
+            ws,
+        )
     }
 
     /// Cached-extraction reference query, pinned against the backend's
@@ -522,6 +566,7 @@ impl<'g, G: GraphView + ?Sized> MelopprEngine<'g, G> {
             self.graph,
             &self.params,
             seed,
+            PrecisionClass::Exact64,
             BallSource::Owned(cache),
             None,
             &mut QueryWorkspace::new(),
@@ -557,20 +602,37 @@ pub(crate) enum BallSource<'c> {
 }
 
 /// A ball handed to one task: borrowed from the extraction scratch
-/// (fresh mode) or shared zero-copy out of a cache.
+/// (fresh mode) or shared zero-copy out of a cache — in either resident
+/// representation when the cache compacts
+/// ([`BallStore::Compact`](crate::cache::BallStore)).
 enum Ball<'a> {
     Borrowed(&'a Subgraph),
     Cached(std::sync::Arc<Subgraph>),
+    CachedCompact(std::sync::Arc<CompactBall>),
 }
 
-impl std::ops::Deref for Ball<'_> {
-    type Target = Subgraph;
-
-    fn deref(&self) -> &Subgraph {
-        match self {
-            Ball::Borrowed(sub) => sub,
-            Ball::Cached(sub) => sub,
+impl Ball<'_> {
+    fn from_cached(ball: CachedBall) -> Self {
+        match ball {
+            CachedBall::Full(sub) => Ball::Cached(sub),
+            CachedBall::Compact(compact) => Ball::CachedCompact(compact),
         }
+    }
+
+    fn as_ref(&self) -> BallRef<'_> {
+        match self {
+            Ball::Borrowed(sub) => BallRef::Full(sub),
+            Ball::Cached(sub) => BallRef::Full(sub),
+            Ball::CachedCompact(ball) => BallRef::Compact(ball),
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.as_ref().num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.as_ref().num_edges()
     }
 }
 
@@ -601,6 +663,7 @@ pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
     graph: &G,
     params: &MelopprParams,
     seed: NodeId,
+    class: PrecisionClass,
     mut source: BallSource<'_>,
     budget: Option<&MemoryBudget>,
     ws: &mut QueryWorkspace,
@@ -608,6 +671,7 @@ pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
     let QueryWorkspace {
         extract,
         diffusion,
+        quant,
         candidates,
         contributions,
         children,
@@ -616,7 +680,7 @@ pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
         sparse,
         ..
     } = ws;
-    let mut acc = QueryAccumulator::new(params, table);
+    let mut acc = QueryAccumulator::new(params, table, class);
     queue.clear();
     queue.push_back(TaskSpec {
         node: seed,
@@ -652,21 +716,20 @@ pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
                     (Ball::Borrowed(sub), work)
                 }
                 BallSource::Owned(cache) => {
-                    let (sub, work) = if budgeted {
-                        cache.probe_or_extract_with(graph, task.node, depth, extract)?
+                    let (ball, work) = if budgeted {
+                        cache.probe_ball_with(graph, task.node, depth, extract)?
                     } else {
-                        cache.get_or_extract_with(graph, task.node, depth, extract)?
+                        cache.get_ball_with(graph, task.node, depth, extract)?
                     };
-                    (Ball::Cached(sub), work)
+                    (Ball::from_cached(ball), work)
                 }
                 BallSource::Shared { cache, consumer } => {
-                    let (sub, work) = if budgeted {
-                        cache
-                            .probe_or_extract_with_as(graph, task.node, depth, extract, consumer)?
+                    let (ball, work) = if budgeted {
+                        cache.probe_ball_with_as(graph, task.node, depth, extract, consumer)?
                     } else {
-                        cache.get_or_extract_with_as(graph, task.node, depth, extract, consumer)?
+                        cache.get_ball_with_as(graph, task.node, depth, extract, consumer)?
                     };
-                    (Ball::Cached(sub), work)
+                    (Ball::from_cached(ball), work)
                 }
             };
             if let Some(plan) = budget {
@@ -700,11 +763,13 @@ pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
                 }
             }
             let (record, candidates_count) = execute_task_on_with(
-                &sub,
+                sub.as_ref(),
                 bfs_work,
                 params,
                 &task,
+                class,
                 diffusion,
+                quant,
                 candidates,
                 contributions,
                 children,

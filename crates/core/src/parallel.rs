@@ -15,6 +15,7 @@ use crate::error::{PprError, Result};
 use crate::global_table::GlobalScoreTable;
 use crate::meloppr::{execute_task, MelopprOutcome, QueryAccumulator, TaskSpec};
 use crate::params::MelopprParams;
+use crate::quantized::PrecisionClass;
 
 /// Stage-parallel query, used by the
 /// [`backend::Meloppr`](crate::backend::Meloppr) backend's threaded mode.
@@ -22,6 +23,7 @@ pub(crate) fn parallel_query_impl<G>(
     graph: &G,
     params: &MelopprParams,
     seed: NodeId,
+    class: PrecisionClass,
     threads: usize,
 ) -> Result<MelopprOutcome>
 where
@@ -35,7 +37,7 @@ where
     }
 
     let mut table = GlobalScoreTable::unbounded();
-    let mut acc = QueryAccumulator::new(params, &mut table);
+    let mut acc = QueryAccumulator::new(params, &mut table, class);
     let mut frontier: Vec<TaskSpec> = vec![TaskSpec {
         node: seed,
         weight: 1.0,
@@ -43,7 +45,7 @@ where
     }];
 
     while !frontier.is_empty() {
-        let outputs = run_stage(graph, params, &frontier, threads)?;
+        let outputs = run_stage(graph, params, &frontier, class, threads)?;
         let mut next = Vec::new();
         for (i, output) in outputs.iter().enumerate() {
             acc.merge(output);
@@ -69,6 +71,7 @@ fn run_stage<G>(
     graph: &G,
     params: &MelopprParams,
     tasks: &[TaskSpec],
+    class: PrecisionClass,
     threads: usize,
 ) -> Result<Vec<crate::meloppr::TaskOutput>>
 where
@@ -78,7 +81,7 @@ where
     if workers == 1 {
         return tasks
             .iter()
-            .map(|t| execute_task(graph, params, t))
+            .map(|t| execute_task(graph, params, t, class))
             .collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -94,7 +97,7 @@ where
                             if i >= tasks.len() {
                                 break;
                             }
-                            mine.push((i, execute_task(graph, params, &tasks[i])?));
+                            mine.push((i, execute_task(graph, params, &tasks[i], class)?));
                         }
                         Ok(mine)
                     })
@@ -140,7 +143,8 @@ mod tests {
         let engine = MelopprEngine::new(&g, p.clone()).unwrap();
         let sequential = engine.query(7).unwrap();
         for threads in [1, 2, 4, 7] {
-            let parallel = parallel_query_impl(&g, &p, 7, threads).unwrap();
+            let parallel =
+                parallel_query_impl(&g, &p, 7, PrecisionClass::Exact64, threads).unwrap();
             assert_eq!(parallel.ranking, sequential.ranking, "threads = {threads}");
             assert_eq!(parallel.stats.trace, sequential.stats.trace);
             assert_eq!(
@@ -156,8 +160,8 @@ mod tests {
             .generate_scaled(0.2, 6)
             .unwrap();
         let p = params().with_table_factor(2);
-        let a = parallel_query_impl(&g, &p, 3, 1).unwrap();
-        let b = parallel_query_impl(&g, &p, 3, 5).unwrap();
+        let a = parallel_query_impl(&g, &p, 3, PrecisionClass::Exact64, 1).unwrap();
+        let b = parallel_query_impl(&g, &p, 3, PrecisionClass::Exact64, 5).unwrap();
         assert_eq!(a.ranking, b.ranking);
         assert_eq!(a.stats.table_evictions, b.stats.table_evictions);
     }
@@ -165,7 +169,7 @@ mod tests {
     #[test]
     fn zero_threads_rejected() {
         let g = generators::path(4).unwrap();
-        assert!(parallel_query_impl(&g, &params(), 0, 0).is_err());
+        assert!(parallel_query_impl(&g, &params(), 0, PrecisionClass::Exact64, 0).is_err());
     }
 
     #[test]
@@ -173,7 +177,7 @@ mod tests {
         let g = generators::karate_club();
         let mut p = params();
         p.ppr.k = 5;
-        let outcome = parallel_query_impl(&g, &p, 0, 64).unwrap();
+        let outcome = parallel_query_impl(&g, &p, 0, PrecisionClass::Exact64, 64).unwrap();
         assert_eq!(outcome.ranking.len(), 5);
     }
 }

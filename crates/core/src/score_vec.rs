@@ -39,13 +39,43 @@ pub fn top_k_sparse(scores: &[(NodeId, f64)], k: usize) -> Ranking {
     top_k_from_iter(scores.iter().copied().filter(|&(_, s)| s > 0.0), k)
 }
 
+/// Streaming bounded selection: instead of collecting and sorting every
+/// entry (O(n log n) per query), keep a buffer of at most `max(2k, 64)`
+/// candidates, pruning with `select_nth_unstable` whenever it fills and
+/// skipping entries strictly below the current kth-best score. Ties at
+/// the boundary are never skipped (an equal score with a smaller node id
+/// can still enter the top-k), so the result is identical to the full
+/// sort. Amortized O(n + k log k).
 fn top_k_from_iter<I>(entries: I, k: usize) -> Ranking
 where
     I: Iterator<Item = (NodeId, f64)>,
 {
-    let mut all: Vec<(NodeId, f64)> = entries.collect();
-    top_k_in_place(&mut all, k);
-    all
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp =
+        |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0));
+    let cap = (2 * k).max(64);
+    let mut buf: Vec<(NodeId, f64)> = Vec::with_capacity(cap + 1);
+    // Once the buffer has been pruned, scores strictly below the kth-best
+    // seen so far can never reach the top-k and are dropped on arrival.
+    let mut kth_score = f64::NEG_INFINITY;
+    for entry in entries {
+        if entry.1 < kth_score {
+            continue;
+        }
+        if buf.len() >= cap {
+            buf.select_nth_unstable_by(k - 1, cmp);
+            buf.truncate(k);
+            kth_score = buf[k - 1].1;
+            if entry.1 < kth_score {
+                continue;
+            }
+        }
+        buf.push(entry);
+    }
+    top_k_in_place(&mut buf, k);
+    buf
 }
 
 /// Reduces a caller-owned `(node, score)` buffer to its top-`k` in place
@@ -149,6 +179,45 @@ mod tests {
         assert!((total_mass(&scores) - 1.0).abs() < 1e-12);
         assert_eq!(count_above(&scores, 0.3), 1);
         assert_eq!(count_above(&scores, 0.0), 3);
+    }
+
+    #[test]
+    fn streaming_prune_keeps_boundary_ties() {
+        // Thousands of entries tied at the boundary score, with the
+        // smallest ids arriving *last*: the streaming prune must not
+        // drop boundary ties, so the smallest ids still win.
+        let n = 5_000usize;
+        let mut scores = vec![0.5f64; n];
+        for (i, s) in scores.iter_mut().enumerate().take(10) {
+            *s = 1.0 - i as f64 * 0.01; // ten clear winners at ids 0..10
+        }
+        let top = top_k_dense(&scores, 20);
+        assert_eq!(top.len(), 20);
+        for (rank, &(node, score)) in top.iter().take(10).enumerate() {
+            assert_eq!(node as usize, rank);
+            assert!((score - (1.0 - rank as f64 * 0.01)).abs() < 1e-12);
+        }
+        // The remaining ten slots: tied 0.5 scores, smallest ids 10..20.
+        for (rank, &(node, score)) in top.iter().enumerate().skip(10) {
+            assert_eq!(node as usize, rank);
+            assert_eq!(score, 0.5);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_full_sort_on_adversarial_order() {
+        // Descending input means every entry beats the threshold; the
+        // buffer must prune repeatedly and still match the exact result.
+        let scores: Vec<f64> = (0..3_000).rev().map(|i| i as f64 + 0.5).collect();
+        let sparse: Vec<(NodeId, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as NodeId, s))
+            .collect();
+        let mut exact = sparse.clone();
+        exact.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        exact.truncate(100);
+        assert_eq!(top_k_sparse(&sparse, 100), exact);
     }
 
     #[test]

@@ -26,9 +26,15 @@
 //! [`Router::select`] whether any calibrated backend can finish inside
 //! the *remaining* budget: late-risk queries automatically route to
 //! cheaper backends or degraded (`memory_limited`) plans because their
-//! tightened latency budget excludes the expensive routes, and queries
-//! no backend can serve in time are **fast-failed** with a typed
-//! `deadline-unmeetable` rejection instead of wasting queue capacity.
+//! tightened latency budget excludes the expensive routes. When even
+//! the cheapest route cannot finish in time, admission walks the
+//! request's **precision ladder** (`exact` → `f32` → `q16`; narrower
+//! score arithmetic cheapens the staged diffusion estimate) before
+//! giving up; queries no backend can serve at any rung are
+//! **fast-failed** with a typed `deadline-unmeetable` rejection instead
+//! of wasting queue capacity. `OK` responses report the rung each query
+//! executed at, and `precision_degraded` in the telemetry counts
+//! completions served below the requested rung.
 //!
 //! Admitted work enters a **bounded** MPMC [`DeadlineQueue`] drained by
 //! a worker pool in earliest-deadline-first order. When the queue
@@ -68,6 +74,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use crate::backend::Router;
+use crate::quantized::PrecisionClass;
 
 /// Tuning for a [`PprServer`].
 #[derive(Debug, Clone)]
@@ -85,6 +92,11 @@ pub struct ServerConfig {
     /// Read-timeout tick for connection threads: how often they notice
     /// shutdown and flush out-of-order responses.
     pub poll_interval: Duration,
+    /// Precision rung applied to `QUERY` frames that carry no
+    /// `precision=` token (`None` keeps the `Exact64` default). Lets an
+    /// operator run a whole deployment at `f32`/`q16` without touching
+    /// clients; per-request tokens still win.
+    pub default_precision: Option<PrecisionClass>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +107,7 @@ impl Default for ServerConfig {
             default_deadline_ms: 100.0,
             latency_reservoir: 4096,
             poll_interval: Duration::from_millis(5),
+            default_precision: None,
         }
     }
 }
@@ -109,6 +122,9 @@ struct Job {
     arrival: Instant,
     /// Absolute deadline.
     deadline: Instant,
+    /// The score-arithmetic rung the client asked for (`Exact64` when
+    /// the request carried none) — admission may execute below it.
+    requested_precision: PrecisionClass,
     /// Where the response frame goes (the owning connection's channel).
     reply: mpsc::Sender<Response>,
 }
@@ -280,13 +296,21 @@ impl<'r, 'g> PprServer<'r, 'g> {
                 let latency = completed_at.duration_since(job.arrival);
                 let missed = completed_at > job.deadline;
                 let degraded = !route.fits_budget || outcome.stats.memory_limited;
-                self.telemetry
-                    .on_completion(route.kind, latency, degraded, missed);
+                let precision = outcome.stats.precision_class;
+                let precision_degraded = precision != job.requested_precision;
+                self.telemetry.on_completion(
+                    route.kind,
+                    latency,
+                    degraded,
+                    precision_degraded,
+                    missed,
+                );
                 let _ = job.reply.send(Response::Ranking {
                     id: job.id,
                     backend: route.kind,
                     latency_us: latency.as_micros() as u64,
                     degraded,
+                    precision,
                     ranking: outcome.ranking,
                 });
             }
@@ -391,6 +415,10 @@ impl<'r, 'g> PprServer<'r, 'g> {
     /// Admission + enqueue for one `QUERY`. All rejections flow through
     /// the connection's response channel, like completions.
     fn admit_query(&self, spec: QuerySpec, tx: &mpsc::Sender<Response>, inflight: &mut usize) {
+        let mut spec = spec;
+        if spec.precision.is_none() {
+            spec.precision = self.config.default_precision;
+        }
         let arrival = Instant::now();
         let deadline_ms = spec.deadline_ms.unwrap_or(self.config.default_deadline_ms);
         // Parsed deadlines are range-checked at the protocol layer, so
@@ -431,6 +459,7 @@ impl<'r, 'g> PprServer<'r, 'g> {
             req,
             arrival,
             deadline,
+            requested_precision: spec.precision.unwrap_or_default(),
             reply: tx.clone(),
         };
         match self.queue.push(job, deadline) {

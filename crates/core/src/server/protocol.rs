@@ -11,7 +11,7 @@
 //! Requests ([`Request`]):
 //!
 //! ```text
-//! QUERY id=7 seed=42 deadline_ms=25 k=10 alpha=0.85 length=6 max_memory=65536 min_precision=0.9
+//! QUERY id=7 seed=42 deadline_ms=25 k=10 alpha=0.85 length=6 max_memory=65536 min_precision=0.9 precision=f32
 //! STATS
 //! PING
 //! SHUTDOWN
@@ -26,12 +26,17 @@
 //! Responses ([`Response`]):
 //!
 //! ```text
-//! OK id=7 backend=meloppr latency_us=1234 degraded=0 ranking=3:0.0625,9:0.03125
+//! OK id=7 backend=meloppr latency_us=1234 degraded=0 precision=exact ranking=3:0.0625,9:0.03125
 //! REJECTED id=7 reason=queue-full predicted_us=- remaining_us=190
 //! ERR id=7 message=no backend available: ...
 //! STATS accepted=100 completed=97 ...
 //! PONG
 //! ```
+//!
+//! `precision=` on `QUERY` requests a score-arithmetic rung
+//! (`exact` / `f32` / `q<N>`, see [`PrecisionClass`]); on `OK` it
+//! reports the rung the query **executed** at — the admission ladder may
+//! have degraded the requested one to make a tight deadline.
 //!
 //! Scores are rendered with Rust's shortest-roundtrip `f64` formatting,
 //! so a parsed ranking is **bit-identical** to the server's (the
@@ -46,6 +51,7 @@ use std::io::{self, Read, Write};
 use meloppr_graph::NodeId;
 
 use crate::backend::{BackendKind, QueryRequest};
+use crate::quantized::PrecisionClass;
 use crate::score_vec::Ranking;
 
 /// Maximum frame payload size in bytes. Large enough for any sane
@@ -180,6 +186,9 @@ pub struct QuerySpec {
     pub max_memory_bytes: Option<usize>,
     /// Optional expected-precision floor for routing.
     pub min_precision: Option<f64>,
+    /// Optional requested score-arithmetic rung (the admission ladder
+    /// may degrade it further under a tight deadline).
+    pub precision: Option<PrecisionClass>,
 }
 
 impl QuerySpec {
@@ -195,6 +204,7 @@ impl QuerySpec {
             deadline_ms: None,
             max_memory_bytes: None,
             min_precision: None,
+            precision: None,
         }
     }
 
@@ -224,6 +234,9 @@ impl QuerySpec {
         }
         if let Some(precision) = self.min_precision {
             req = req.with_min_precision(precision);
+        }
+        if let Some(class) = self.precision {
+            req = req.with_precision(class);
         }
         req
     }
@@ -257,6 +270,7 @@ impl Request {
                 append_optional(&mut out, "length", q.length);
                 append_optional(&mut out, "max_memory", q.max_memory_bytes);
                 append_optional(&mut out, "min_precision", q.min_precision);
+                append_optional(&mut out, "precision", q.precision);
                 out
             }
         }
@@ -301,6 +315,11 @@ impl Request {
                         "length" => spec.length = Some(parse_value(key, value)?),
                         "max_memory" => spec.max_memory_bytes = Some(parse_value(key, value)?),
                         "min_precision" => spec.min_precision = Some(parse_value(key, value)?),
+                        "precision" => {
+                            let class: PrecisionClass = parse_value(key, value)?;
+                            class.validate().map_err(|e| e.to_string())?;
+                            spec.precision = Some(class);
+                        }
                         other => return Err(format!("unknown QUERY key {other:?}")),
                     }
                 }
@@ -386,6 +405,10 @@ pub enum Response {
         /// every budget constraint, or the backend had to shrink its
         /// working set (`memory_limited`) to fit a byte budget.
         degraded: bool,
+        /// The score-arithmetic rung the query **executed** at — may be
+        /// lower than the requested rung when admission walked the
+        /// precision ladder to make a tight deadline.
+        precision: PrecisionClass,
         /// The top-`k` ranking, scores in shortest-roundtrip form (a
         /// parsed ranking is bit-identical to the server's).
         ranking: Ranking,
@@ -443,6 +466,7 @@ impl Response {
                 backend,
                 latency_us,
                 degraded,
+                precision,
                 ranking,
             } => {
                 let rendered: String = if ranking.is_empty() {
@@ -456,7 +480,7 @@ impl Response {
                 };
                 format!(
                     "OK id={id} backend={backend} latency_us={latency_us} \
-                     degraded={} ranking={rendered}",
+                     degraded={} precision={precision} ranking={rendered}",
                     *degraded as u8
                 )
             }
@@ -514,6 +538,7 @@ impl Response {
                 let backend = parse_value("backend", take_kv(&mut tokens, "backend")?)?;
                 let latency_us = parse_value("latency_us", take_kv(&mut tokens, "latency_us")?)?;
                 let degraded = take_kv(&mut tokens, "degraded")? == "1";
+                let precision = parse_value("precision", take_kv(&mut tokens, "precision")?)?;
                 let rendered = take_kv(&mut tokens, "ranking")?;
                 let ranking = if rendered == "-" {
                     Vec::new()
@@ -533,6 +558,7 @@ impl Response {
                     backend,
                     latency_us,
                     degraded,
+                    precision,
                     ranking,
                 })
             }
@@ -634,6 +660,14 @@ mod tests {
                 min_precision: Some(0.9),
                 ..QuerySpec::new(1, 7)
             }),
+            Request::Query(QuerySpec {
+                precision: Some(PrecisionClass::Fast32),
+                ..QuerySpec::new(2, 8)
+            }),
+            Request::Query(QuerySpec {
+                precision: Some(PrecisionClass::Fixed(12)),
+                ..QuerySpec::new(3, 9)
+            }),
         ];
         for req in specs {
             assert_eq!(Request::parse(&req.encode()).unwrap(), req, "{req:?}");
@@ -652,6 +686,10 @@ mod tests {
             "QUERY seed=1 deadline_ms=NaN",
             "QUERY seed=1 deadline_ms=1e25",
             "QUERY seed=1 deadline_ms=-5",
+            // Out-of-range Q formats must die at parse too.
+            "QUERY seed=1 precision=q0",
+            "QUERY seed=1 precision=q99",
+            "QUERY seed=1 precision=double",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} parsed");
         }
@@ -666,6 +704,7 @@ mod tests {
             deadline_ms: Some(12.5),
             max_memory_bytes: Some(1 << 16),
             min_precision: Some(0.9),
+            precision: Some(PrecisionClass::Fast32),
             ..QuerySpec::new(1, 7)
         };
         let req = spec.to_query_request();
@@ -675,6 +714,7 @@ mod tests {
         assert_eq!(req.overrides.length, Some(4));
         assert_eq!(req.budget.max_memory_bytes, Some(1 << 16));
         assert_eq!(req.budget.min_precision, Some(0.9));
+        assert_eq!(req.budget.precision, Some(PrecisionClass::Fast32));
         // The latency budget is the scheduler's to set from the live
         // remaining deadline.
         assert_eq!(req.budget.max_latency_ms, None);
@@ -706,6 +746,7 @@ mod tests {
                 backend: BackendKind::Meloppr,
                 latency_us: 991,
                 degraded: true,
+                precision: PrecisionClass::Fast32,
                 ranking: vec![(3, 0.1_f64), (9, 1.0 / 3.0), (1, f64::MIN_POSITIVE)],
             },
             Response::Ranking {
@@ -713,7 +754,16 @@ mod tests {
                 backend: BackendKind::LocalPpr,
                 latency_us: 1,
                 degraded: false,
+                precision: PrecisionClass::Exact64,
                 ranking: Vec::new(),
+            },
+            Response::Ranking {
+                id: 9,
+                backend: BackendKind::FpgaHybrid,
+                latency_us: 77,
+                degraded: false,
+                precision: PrecisionClass::Fixed(14),
+                ranking: vec![(0, 0.5_f64)],
             },
         ];
         for resp in cases {

@@ -12,9 +12,19 @@
 //!    fitting the expensive backends' estimates and routes to a cheaper
 //!    backend (or a `memory_limited`-style degraded plan) instead.
 //! 3. If even the selected route's calibrated estimate exceeds the
-//!    remainder, **fail fast** with a typed rejection rather than
-//!    burning a worker on a query that is already doomed — under
-//!    overload, work-that-cannot-succeed is the first thing to drop.
+//!    remainder, walk the request's **precision ladder** down one rung
+//!    at a time
+//!    ([`PrecisionClass::degraded`](crate::quantized::PrecisionClass::degraded))
+//!    and re-route: narrower
+//!    score arithmetic cheapens the staged backend's diffusion
+//!    estimate, so a query that cannot make its deadline at `Exact64`
+//!    may still make it at `Fast32` or `Fixed(q)`. The degraded rung
+//!    rides in the admitted request's budget, so the executed class is
+//!    reported honestly in stats and telemetry.
+//! 4. If no rung fits either, **fail fast** with a typed rejection
+//!    rather than burning a worker on a query that is already doomed —
+//!    under overload, work-that-cannot-succeed is the first thing to
+//!    drop.
 
 use std::time::Duration;
 
@@ -58,15 +68,31 @@ pub fn admit(router: &Router<'_>, base: &QueryRequest, remaining: Duration) -> R
         None => remaining_ms,
     });
     let route = router.select(&req)?;
-    if route.estimate.latency_ns > remaining_ms * 1e6 {
-        // `select` minimizes budget violations and breaks best-effort
-        // ties by latency, so no registered backend predicts it can make
-        // this deadline.
-        return Ok(Admission::Reject {
-            predicted_us: Some((route.estimate.latency_ns / 1e3).ceil() as u64),
-        });
+    if route.estimate.latency_ns <= remaining_ms * 1e6 {
+        return Ok(Admission::Admit { req, route });
     }
-    Ok(Admission::Admit { req, route })
+    // `select` minimizes budget violations and breaks best-effort ties
+    // by latency, so no registered backend predicts it can make this
+    // deadline at the requested precision rung. Degrade the rung —
+    // before anything shrinks ball depth — and re-route: each step
+    // down cheapens the staged diffusion estimate.
+    let mut best_ns = route.estimate.latency_ns;
+    let mut class = req.budget.precision.unwrap_or_default();
+    while let Some(next) = class.degraded() {
+        class = next;
+        req.budget.precision = Some(class);
+        let candidate = router.select(&req)?;
+        if candidate.estimate.latency_ns <= remaining_ms * 1e6 {
+            return Ok(Admission::Admit {
+                req,
+                route: candidate,
+            });
+        }
+        best_ns = best_ns.min(candidate.estimate.latency_ns);
+    }
+    Ok(Admission::Reject {
+        predicted_us: Some((best_ns / 1e3).ceil() as u64),
+    })
 }
 
 #[cfg(test)]
@@ -75,6 +101,7 @@ mod tests {
     use crate::backend::{
         BackendCaps, BackendKind, CostEstimate, PprBackend, QueryOutcome, QueryStats,
     };
+    use crate::quantized::PrecisionClass;
     use crate::workspace::QueryWorkspace;
 
     /// A stub backend whose estimate is a constant latency.
@@ -122,6 +149,7 @@ mod tests {
                     aggregate_entries: 0,
                     table_evictions: 0,
                     memory_limited: false,
+                    precision_class: PrecisionClass::Exact64,
                     latency_estimate_ns: Some(self.latency_ns),
                     host_latency_ns: None,
                 },
@@ -179,6 +207,74 @@ mod tests {
                 predicted_us: Some(us),
             } => assert_eq!(us, 1_000),
             other => panic!("expected predicted reject, got {other:?}"),
+        }
+    }
+
+    /// A stub whose estimate honours the precision rung's diffusion
+    /// discount, like the staged backend does.
+    struct Laddered {
+        latency_ns: f64,
+    }
+
+    impl PprBackend for Laddered {
+        fn capabilities(&self) -> BackendCaps {
+            BackendCaps {
+                kind: BackendKind::Meloppr,
+                exact: false,
+                deterministic: true,
+                accelerated: false,
+                batch_aware: false,
+            }
+        }
+
+        fn estimate(&self, req: &QueryRequest) -> Result<CostEstimate> {
+            let class = req.budget.precision.unwrap_or_default();
+            Ok(CostEstimate {
+                latency_ns: self.latency_ns * class.diffusion_cost_factor(),
+                peak_memory_bytes: 1,
+                expected_precision: class.precision_factor(),
+            })
+        }
+
+        fn query_with(&self, req: &QueryRequest, ws: &mut QueryWorkspace) -> Result<QueryOutcome> {
+            let fixed = Fixed {
+                kind: BackendKind::Meloppr,
+                latency_ns: self.latency_ns,
+            };
+            let mut outcome = fixed.query_with(req, ws)?;
+            outcome.stats.precision_class = req.budget.precision.unwrap_or_default();
+            Ok(outcome)
+        }
+    }
+
+    #[test]
+    fn tight_deadline_degrades_precision_before_rejecting() {
+        let router = Router::new().with_backend(Box::new(Laddered {
+            latency_ns: 1e7, /* 10 ms */
+        }));
+        let base = QueryRequest::new(0);
+        // 9 ms of slack: Exact64 predicts 10 ms (over), Fast32 predicts
+        // 8 ms (fits) — the ladder admits at the degraded rung instead
+        // of fail-fasting.
+        match admit(&router, &base, Duration::from_millis(9)).unwrap() {
+            Admission::Admit { req, route } => {
+                assert_eq!(req.budget.precision, Some(PrecisionClass::Fast32));
+                assert!(route.estimate.latency_ns <= 9e6);
+            }
+            other => panic!("expected degraded admit, got {other:?}"),
+        }
+        // 5 ms of slack: even the cheapest rung predicts 8 ms — reject,
+        // reporting the best (smallest) estimate seen on the ladder.
+        match admit(&router, &base, Duration::from_millis(5)).unwrap() {
+            Admission::Reject {
+                predicted_us: Some(us),
+            } => assert_eq!(us, 8_000),
+            other => panic!("expected reject, got {other:?}"),
+        }
+        // Plenty of slack: the requested rung is untouched.
+        match admit(&router, &base, Duration::from_millis(50)).unwrap() {
+            Admission::Admit { req, .. } => assert_eq!(req.budget.precision, None),
+            other => panic!("expected admit, got {other:?}"),
         }
     }
 

@@ -70,6 +70,7 @@ pub struct ServerTelemetry {
     rejected_unmeetable: AtomicU64,
     deadline_missed: AtomicU64,
     degraded: AtomicU64,
+    precision_degraded: AtomicU64,
     errors: AtomicU64,
     routes: Mutex<Vec<(BackendKind, u64)>>,
     latencies: Mutex<LatencyReservoir>,
@@ -86,6 +87,7 @@ impl ServerTelemetry {
             rejected_unmeetable: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            precision_degraded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             routes: Mutex::new(Vec::new()),
             latencies: Mutex::new(LatencyReservoir::new(reservoir)),
@@ -118,17 +120,22 @@ impl ServerTelemetry {
     }
 
     /// A query completed: record its route, end-to-end latency, and
-    /// whether it was served degraded or past its deadline.
+    /// whether it was served degraded (plan, precision rung) or past
+    /// its deadline.
     pub fn on_completion(
         &self,
         kind: BackendKind,
         latency: Duration,
         degraded: bool,
+        precision_degraded: bool,
         missed_deadline: bool,
     ) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         if degraded {
             self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        if precision_degraded {
+            self.precision_degraded.fetch_add(1, Ordering::Relaxed);
         }
         if missed_deadline {
             self.deadline_missed.fetch_add(1, Ordering::Relaxed);
@@ -157,6 +164,7 @@ impl ServerTelemetry {
             rejected_unmeetable: self.rejected_unmeetable.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
+            precision_degraded: self.precision_degraded.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             queue_depth,
             queue_high_water,
@@ -186,6 +194,11 @@ pub struct TelemetrySnapshot {
     /// Completions served via a degraded plan (budget-unfit route or a
     /// `memory_limited` execution).
     pub degraded: u64,
+    /// Completions executed at a different score-arithmetic rung than
+    /// the client requested (the admission ladder stepped the precision
+    /// class down to make the deadline, or the route landed on the
+    /// fixed-point accelerator).
+    pub precision_degraded: u64,
     /// Protocol parse failures plus backend execution errors.
     pub errors: u64,
     /// Queue depth at snapshot time.
@@ -218,14 +231,15 @@ impl TelemetrySnapshot {
         };
         format!(
             "accepted={} completed={} shed={} rejected_unmeetable={} deadline_missed={} \
-             degraded={} errors={} queue_depth={} queue_high_water={} p50_ms={:.3} \
-             p95_ms={:.3} p99_ms={:.3} max_ms={:.3} routes={routes}",
+             degraded={} precision_degraded={} errors={} queue_depth={} queue_high_water={} \
+             p50_ms={:.3} p95_ms={:.3} p99_ms={:.3} max_ms={:.3} routes={routes}",
             self.accepted,
             self.completed,
             self.shed,
             self.rejected_unmeetable,
             self.deadline_missed,
             self.degraded,
+            self.precision_degraded,
             self.errors,
             self.queue_depth,
             self.queue_high_water,
@@ -251,6 +265,7 @@ impl TelemetrySnapshot {
             rejected_unmeetable: 0,
             deadline_missed: 0,
             degraded: 0,
+            precision_degraded: 0,
             errors: 0,
             queue_depth: 0,
             queue_high_water: 0,
@@ -273,6 +288,7 @@ impl TelemetrySnapshot {
                 "rejected_unmeetable" => snap.rejected_unmeetable = parse_u64(value)?,
                 "deadline_missed" => snap.deadline_missed = parse_u64(value)?,
                 "degraded" => snap.degraded = parse_u64(value)?,
+                "precision_degraded" => snap.precision_degraded = parse_u64(value)?,
                 "errors" => snap.errors = parse_u64(value)?,
                 "queue_depth" => snap.queue_depth = parse_u64(value)? as usize,
                 "queue_high_water" => snap.queue_high_water = parse_u64(value)? as usize,
@@ -314,8 +330,12 @@ impl std::fmt::Display for TelemetrySnapshot {
         )?;
         writeln!(
             f,
-            "  shed {}  unmeetable {}  deadline-missed {}  degraded {}",
-            self.shed, self.rejected_unmeetable, self.deadline_missed, self.degraded
+            "  shed {}  unmeetable {}  deadline-missed {}  degraded {}  precision-degraded {}",
+            self.shed,
+            self.rejected_unmeetable,
+            self.deadline_missed,
+            self.degraded,
+            self.precision_degraded
         )?;
         writeln!(
             f,
@@ -346,7 +366,13 @@ mod tests {
     fn quantiles_use_nearest_rank_over_the_reservoir() {
         let telemetry = ServerTelemetry::new(128);
         for i in 1..=100u64 {
-            telemetry.on_completion(BackendKind::Meloppr, Duration::from_millis(i), false, false);
+            telemetry.on_completion(
+                BackendKind::Meloppr,
+                Duration::from_millis(i),
+                false,
+                false,
+                false,
+            );
         }
         let snap = telemetry.snapshot(3, 7);
         assert_eq!(snap.completed, 100);
@@ -366,6 +392,7 @@ mod tests {
             telemetry.on_completion(
                 BackendKind::LocalPpr,
                 Duration::from_millis(ms),
+                false,
                 false,
                 false,
             );
@@ -390,6 +417,7 @@ mod tests {
             Duration::from_millis(3),
             true,
             true,
+            true,
         );
         let snap = telemetry.snapshot(0, 0);
         assert_eq!(snap.accepted, 2);
@@ -397,6 +425,7 @@ mod tests {
         assert_eq!(snap.rejected_unmeetable, 1);
         assert_eq!(snap.deadline_missed, 2); // queue expiry + late completion
         assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.precision_degraded, 1);
         assert_eq!(snap.errors, 1);
         assert_eq!(snap.completed, 1);
     }
@@ -409,11 +438,13 @@ mod tests {
             BackendKind::MonteCarlo,
             Duration::from_micros(1500),
             false,
+            true,
             false,
         );
         let snap = telemetry.snapshot(1, 2);
         let parsed = TelemetrySnapshot::parse_compact(&snap.render_compact()).unwrap();
         assert_eq!(parsed.accepted, 1);
+        assert_eq!(parsed.precision_degraded, 1);
         assert_eq!(parsed.completed, 1);
         assert_eq!(parsed.queue_depth, 1);
         assert_eq!(parsed.queue_high_water, 2);

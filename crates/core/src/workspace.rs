@@ -29,6 +29,7 @@ use meloppr_graph::{ExtractScratch, FastHashMap, NodeId};
 use crate::diffusion::DiffusionScratch;
 use crate::global_table::GlobalScoreTable;
 use crate::meloppr::TaskSpec;
+use crate::quantized::QuantScratchSet;
 
 /// Scratch arena holding every reusable buffer of the query hot path.
 ///
@@ -43,6 +44,10 @@ pub struct QueryWorkspace {
     pub extract: ExtractScratch,
     /// Dense diffusion vectors and frontier stacks.
     pub diffusion: DiffusionScratch,
+    /// Reduced-precision dense buffers, one per ladder width; only the
+    /// widths a query actually uses ever grow, so the default `f64`
+    /// path pays nothing for the ladder.
+    pub(crate) quant: QuantScratchSet,
     /// Next-stage candidate buffer (residual support before selection).
     pub(crate) candidates: Vec<(NodeId, f64)>,
     /// Weighted global-id contribution buffer of one task.

@@ -147,6 +147,9 @@ impl<'g, G: GraphView + ?Sized> FpgaHybrid<'g, G> {
                 aggregate_entries: outcome.ranking_int.len(),
                 table_evictions: stats.table_evictions,
                 memory_limited: false,
+                // The accelerator always runs Q-format arithmetic; report
+                // the derived fraction width as the executed rung.
+                precision_class: meloppr_core::PrecisionClass::Fixed(self.engine.format().q() as u8),
                 latency_estimate_ns: Some(outcome.latency.total_ns()),
                 host_latency_ns: Some(outcome.latency.host_bfs_ns),
             },

@@ -11,6 +11,7 @@
 //! and `q = 10`. The `study_fixed_point` experiment regenerates that sweep.
 
 use crate::error::{FpgaError, Result};
+use meloppr_core::quantized::{fixed_coeff, mul_shift};
 
 /// How the scale constant `d` of `Max = d·|G_L(s)|` is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,7 +102,10 @@ impl FixedPointFormat {
                 reason: format!("Max = {max} exceeds the 32-bit score range"),
             });
         }
-        let alpha_p = (alpha * (1u32 << q) as f64).round() as u16;
+        // Shared with the host-side Q-format rungs
+        // (`meloppr_core::quantized`), so the simulated accelerator and
+        // the quantized host path realize the same α by construction.
+        let alpha_p = fixed_coeff(alpha, q) as u16;
         Ok(FixedPointFormat {
             max_value: max as u32,
             alpha_p,
@@ -153,15 +157,16 @@ impl FixedPointFormat {
     }
 
     /// Hardware multiply-by-α: `(x·αp) >> q`, computed in 64 bits exactly
-    /// as a DSP-free multiplier + shifter would.
+    /// as a DSP-free multiplier + shifter would (the shared
+    /// [`mul_shift`] primitive the host Q-format rungs also use).
     pub fn mul_alpha(&self, x: u32) -> u32 {
-        ((x as u64 * self.alpha_p as u64) >> self.q) as u32
+        mul_shift(x as u64, self.alpha_p as u64, self.q) as u32
     }
 
     /// Hardware multiply-by-(1-α): `(x·(2^q − αp)) >> q`.
     pub fn mul_one_minus_alpha(&self, x: u32) -> u32 {
-        let comp = (1u32 << self.q) - self.alpha_p as u32;
-        ((x as u64 * comp as u64) >> self.q) as u32
+        let comp = (1u64 << self.q) - self.alpha_p as u64;
+        mul_shift(x as u64, comp, self.q) as u32
     }
 
     /// Quantizes a probability (`0 ≤ p ≤ 1`) into the integer domain.
@@ -247,6 +252,24 @@ mod tests {
         assert!(FixedPointFormat::new(10, 100, 1.5, 10).is_err());
         // Max overflow: d * size > u32::MAX.
         assert!(FixedPointFormat::new(u32::MAX, 1 << 20, 0.85, 10).is_err());
+    }
+
+    #[test]
+    fn datapath_agrees_with_host_quantized_primitives() {
+        // The host precision ladder's Fixed(q) rung and the simulated
+        // accelerator must realize the *same* α quantization — both
+        // delegate to `meloppr_core::quantized`, so this can only break
+        // if one side stops doing so.
+        for q in [4u32, 10, 15] {
+            let fmt = FixedPointFormat::new(10, 1000, 0.85, q).unwrap();
+            assert_eq!(fmt.alpha_p() as u64, fixed_coeff(0.85, q));
+            for x in [0u32, 1, 870, 54_321] {
+                assert_eq!(
+                    fmt.mul_alpha(x) as u64,
+                    mul_shift(x as u64, fmt.alpha_p() as u64, q)
+                );
+            }
+        }
     }
 
     #[test]

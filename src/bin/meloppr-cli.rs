@@ -11,7 +11,7 @@
 //!                    [--cache-window N]
 //!                    [--max-latency-ms X] [--max-memory-kb X]
 //!                    [--budget-memory SIZE] [--min-precision P]
-//!                    [--calibration-file F]
+//!                    [--precision exact|f32|qN] [--calibration-file F]
 //! meloppr-cli exact  <graph> --seed-node N [--k K] [--length L] [--alpha A]
 //! ```
 //!
@@ -52,6 +52,14 @@
 //! modelled working set fits, and the report counts queries that had to
 //! degrade. `--max-memory-kb` is the legacy spelling of the same bound.
 //!
+//! `--precision exact|f32|q16` requests a score-arithmetic rung of the
+//! staged backend's precision ladder: `exact` (f64, the default), `f32`
+//! (4-byte floats), or `qN` (Q-format fixed point with `N` fractional
+//! bits, the accelerator's integer domain on the host). Narrower rungs
+//! shrink the modelled working set — under `--budget-memory` the staged
+//! planner degrades the rung *before* it shrinks ball depth — and the
+//! report shows the class each query actually executed at.
+//!
 //! `--calibration-file F` (with `--backend auto`) makes the router's
 //! learned state persistent: latency-calibration EWMAs and cache
 //! hit-rate windows are loaded from `F` before serving and saved back
@@ -75,7 +83,7 @@ use meloppr::{
     FpgaHybrid, HybridConfig, MelopprParams, NodeId, PprBackend, PprParams, QueryRequest, Router,
     SelectionStrategy,
 };
-use meloppr::{AdmissionPolicy, CacheBudget, ConcurrentSubgraphCache};
+use meloppr::{AdmissionPolicy, CacheBudget, ConcurrentSubgraphCache, PrecisionClass};
 
 fn main() -> ExitCode {
     match run() {
@@ -100,7 +108,7 @@ const USAGE: &str = "usage:
                     [--cache-window N] \\
                     [--max-latency-ms X] [--max-memory-kb X] \\
                     [--budget-memory SIZE] [--min-precision P] \\
-                    [--calibration-file F]
+                    [--precision exact|f32|qN] [--calibration-file F]
   meloppr-cli exact <graph> --seed-node N [--k K] [--length L] [--alpha A]
 
   <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]
@@ -122,6 +130,10 @@ const USAGE: &str = "usage:
   --budget-memory SIZE = enforced per-query working-set budget (the
                    staged backend degrades deterministically to fit);
                    --max-memory-kb X is the same bound in KiB
+  --precision = score-arithmetic rung for the staged backend: exact
+                   (f64, default), f32, or qN (Q-format fixed point,
+                   N fractional bits, e.g. q16); narrower rungs shrink
+                   the working set before ball depth does
   --calibration-file F = persist the auto router's learned state (latency
                    EWMAs, cache hit-rate windows): loaded before serving,
                    saved after; corrupt files are ignored with a warning";
@@ -218,6 +230,7 @@ struct QueryArgs {
     max_latency_ms: Option<f64>,
     max_memory_bytes: Option<usize>,
     min_precision: Option<f64>,
+    precision: Option<PrecisionClass>,
     calibration_file: Option<String>,
 }
 
@@ -266,6 +279,7 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
         max_latency_ms: None,
         max_memory_bytes: None,
         min_precision: None,
+        precision: None,
         calibration_file: None,
     };
     let mut it = args.iter();
@@ -383,6 +397,13 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
                         .map_err(|e| format!("--min-precision: {e}"))?,
                 )
             }
+            "--precision" => {
+                let class: PrecisionClass = value("--precision")?
+                    .parse()
+                    .map_err(|e| format!("--precision: {e}"))?;
+                class.validate().map_err(|e| format!("--precision: {e}"))?;
+                out.precision = Some(class);
+            }
             "--calibration-file" => {
                 out.calibration_file = Some(value("--calibration-file")?.clone())
             }
@@ -477,6 +498,9 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
     }
     if let Some(p) = qa.min_precision {
         req = req.with_min_precision(p);
+    }
+    if let Some(class) = qa.precision {
+        req = req.with_precision(class);
     }
 
     let err = |e: meloppr::core::PprError| e.to_string();
@@ -619,6 +643,9 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
     );
     if stats.memory_limited {
         print!("   [memory-limited: degraded to fit the budget]");
+    }
+    if qa.precision.is_some() || stats.precision_class != PrecisionClass::Exact64 {
+        print!("   precision class: {}", stats.precision_class);
     }
     if stats.random_walk_steps > 0 {
         print!("   walk steps: {}", stats.random_walk_steps);

@@ -4,7 +4,8 @@
 //! meloppr-serve <graph> [--listen ADDR] [--workers N] [--queue N]
 //!               [--deadline-ms X] [--k K] [--length L] [--alpha A]
 //!               [--stages a,b,..] [--ratio R] [--walks W]
-//!               [--cache-capacity N] [--calibration-file F]
+//!               [--cache-capacity N] [--precision exact|f32|qN]
+//!               [--calibration-file F]
 //! ```
 //!
 //! `<graph>` is an edge-list file path or `corpus:<G1..G6>[:scale]`,
@@ -18,7 +19,12 @@
 //! for requests that do not carry their own): late-risk queries route to
 //! cheaper backends or degraded plans, unmeetable ones fail fast with a
 //! typed rejection, and when the bounded queue (depth `--queue`)
-//! saturates, the request with the most deadline slack is shed.
+//! saturates, the request with the most deadline slack is shed. Before
+//! rejecting, admission walks the precision ladder (`exact` → `f32` →
+//! `q16`): a deadline the staged backend cannot make at 8-byte scores
+//! may still be met with narrower arithmetic, and the `OK` frame
+//! reports the rung each query executed at. `--precision` sets the
+//! deployment-wide default rung for requests that carry none.
 //!
 //! `--calibration-file F` makes the router's learned state persistent:
 //! loaded at startup (missing file = silent first boot; corrupt file =
@@ -43,14 +49,15 @@ use meloppr::graph::CsrGraph;
 use meloppr::server::{PprServer, ServerConfig};
 use meloppr::{
     AcceleratorConfig, CacheBudget, ConcurrentSubgraphCache, FpgaHybrid, HybridConfig,
-    MelopprParams, PprParams, Router, SelectionStrategy,
+    MelopprParams, PprParams, PrecisionClass, Router, SelectionStrategy,
 };
 
 const USAGE: &str = "usage:
   meloppr-serve <graph> [--listen ADDR] [--workers N] [--queue N] \\
                 [--deadline-ms X] [--k K] [--length L] [--alpha A] \\
                 [--stages a,b,..] [--ratio R] [--walks W] \\
-                [--cache-capacity N] [--calibration-file F]
+                [--cache-capacity N] [--precision exact|f32|qN] \\
+                [--calibration-file F]
 
   <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]
   --listen ADDR   = bind address (default 127.0.0.1:7737; port 0 picks one)
@@ -60,6 +67,9 @@ const USAGE: &str = "usage:
   --deadline-ms X = default per-request deadline for QUERY frames that
                     carry no deadline_ms (default 100)
   --cache-capacity N = shared sub-graph cache budget in balls (default 1024)
+  --precision     = default score-arithmetic rung for QUERY frames that
+                    carry no precision= token: exact (f64, the default),
+                    f32, or qN (Q-format fixed point, e.g. q16)
   --calibration-file F = load learned router state at startup, save at
                     shutdown (corrupt files are ignored with a warning)";
 
@@ -112,6 +122,7 @@ struct ServeArgs {
     ratio: f64,
     walks: usize,
     cache_capacity: usize,
+    precision: Option<PrecisionClass>,
     calibration_file: Option<String>,
 }
 
@@ -132,6 +143,7 @@ fn parse_args(mut args: Vec<String>) -> Result<ServeArgs, String> {
         ratio: 0.05,
         walks: 10_000,
         cache_capacity: 1024,
+        precision: None,
         calibration_file: None,
     };
     let mut it = args.iter();
@@ -157,6 +169,11 @@ fn parse_args(mut args: Vec<String>) -> Result<ServeArgs, String> {
             "--ratio" => out.ratio = parse!("--ratio"),
             "--walks" => out.walks = parse!("--walks"),
             "--cache-capacity" => out.cache_capacity = parse!("--cache-capacity"),
+            "--precision" => {
+                let class: PrecisionClass = parse!("--precision");
+                class.validate().map_err(|e| format!("--precision: {e}"))?;
+                out.precision = Some(class);
+            }
             "--stages" => {
                 out.stages = value("--stages")?
                     .split(',')
@@ -268,16 +285,19 @@ fn run() -> Result<(), String> {
         workers: args.workers,
         queue_capacity: args.queue,
         default_deadline_ms: args.deadline_ms,
+        default_precision: args.precision,
         ..ServerConfig::default()
     };
     let server =
         PprServer::bind(&router, config, args.listen.as_str()).map_err(|e| e.to_string())?;
     eprintln!(
-        "meloppr-serve: listening on {} ({} workers, queue {}, default deadline {} ms)",
+        "meloppr-serve: listening on {} ({} workers, queue {}, default deadline {} ms, \
+         default precision {})",
         server.local_addr(),
         args.workers,
         args.queue,
-        args.deadline_ms
+        args.deadline_ms,
+        args.precision.unwrap_or_default()
     );
 
     signals::install();

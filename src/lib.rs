@@ -141,11 +141,12 @@ pub use meloppr_core::server;
 
 pub use meloppr_core::{
     exact_ppr, exact_top_k, format_bytes, parse_byte_size, precision_at_k, AdmissionPolicy,
-    BackendCaps, BackendError, BackendKind, BatchExecutor, BatchOutcome, BatchStats, CacheBudget,
-    CacheConsumer, CacheStats, ConcurrentSubgraphCache, ConsumerStats, CostEstimate, MelopprEngine,
-    MelopprOutcome, MelopprParams, PprBackend, PprParams, PprServer, QueryBudget, QueryOutcome,
-    QueryRequest, QueryStats, QueryWorkspace, Ranking, ResidualPolicy, Route, Router,
-    SelectionStrategy, ServerConfig, SubgraphCache, TelemetrySnapshot, WorkspacePool,
+    BackendCaps, BackendError, BackendKind, BallStore, BatchExecutor, BatchOutcome, BatchStats,
+    CacheBudget, CacheConsumer, CacheStats, CachedBall, CompactBall, ConcurrentSubgraphCache,
+    ConsumerStats, CostEstimate, MelopprEngine, MelopprOutcome, MelopprParams, PprBackend,
+    PprParams, PprServer, PrecisionClass, QueryBudget, QueryOutcome, QueryRequest, QueryStats,
+    QueryWorkspace, Ranking, ResidualPolicy, Route, Router, SelectionStrategy, ServerConfig,
+    SubgraphCache, TelemetrySnapshot, WorkspacePool,
 };
 pub use meloppr_fpga::{AcceleratorConfig, FpgaHybrid, HybridConfig, HybridMeloppr};
 pub use meloppr_graph::{

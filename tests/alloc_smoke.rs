@@ -19,7 +19,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use meloppr::backend::Meloppr;
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::{
-    MelopprParams, PprBackend, PprParams, QueryRequest, QueryWorkspace, SelectionStrategy,
+    MelopprParams, PprBackend, PprParams, PrecisionClass, QueryRequest, QueryWorkspace,
+    SelectionStrategy,
 };
 
 struct CountingAllocator;
@@ -115,5 +116,43 @@ fn steady_state_queries_allocate_approximately_nothing() {
     // The allocation discipline must not change answers.
     for chunk in outcomes.chunks(seeds.len()) {
         assert_eq!(chunk, &cold_outcomes[..], "steady outcomes diverged");
+    }
+
+    // The quantized rungs share the discipline: each width's dense
+    // scratch ([`QuantScratch`]) grows once during warm-up, after which
+    // narrow queries obey the same per-query ceiling as exact ones.
+    let classes = [PrecisionClass::Fast32, PrecisionClass::Fixed(16)];
+    for _ in 0..2 {
+        for &s in &seeds {
+            for class in classes {
+                backend
+                    .query(&QueryRequest::new(s).with_precision(class))
+                    .unwrap();
+            }
+        }
+    }
+    let mut quant_outcomes = Vec::new();
+    let quant_steady = count_allocations(|| {
+        for _ in 0..ROUNDS {
+            for &s in &seeds {
+                for class in classes {
+                    quant_outcomes.push(
+                        backend
+                            .query(&QueryRequest::new(s).with_precision(class))
+                            .unwrap(),
+                    );
+                }
+            }
+        }
+    });
+    let quant_per_query = quant_steady / (queries * classes.len());
+    assert!(
+        quant_per_query <= STEADY_STATE_ALLOCS_PER_QUERY,
+        "steady-state quantized query allocates too much: {quant_per_query} \
+         allocations/query (budget {STEADY_STATE_ALLOCS_PER_QUERY})"
+    );
+    // Every quantized outcome reports the rung it executed.
+    for (i, outcome) in quant_outcomes.iter().enumerate() {
+        assert_eq!(outcome.stats.precision_class, classes[i % classes.len()]);
     }
 }

@@ -15,7 +15,8 @@ use meloppr::core::backend::{BackendCaps, CostEstimate};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::{
     BackendKind, CacheBudget, ConcurrentSubgraphCache, MelopprParams, PprBackend, PprParams,
-    QueryOutcome, QueryRequest, QueryStats, QueryWorkspace, Router, SelectionStrategy,
+    PrecisionClass, QueryOutcome, QueryRequest, QueryStats, QueryWorkspace, Router,
+    SelectionStrategy,
 };
 
 /// A unique scratch path per test (the two tests must not share a file).
@@ -76,6 +77,7 @@ impl PprBackend for Miscalibrated {
                 aggregate_entries: 1,
                 table_evictions: 0,
                 memory_limited: false,
+                precision_class: PrecisionClass::Exact64,
                 latency_estimate_ns: Some(self.actual_ns),
                 host_latency_ns: None,
             },

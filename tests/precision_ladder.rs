@@ -1,0 +1,202 @@
+//! Precision-ladder suite: the quantized host rungs must keep the
+//! ranking fidelity their router-facing model promises.
+//!
+//! Three contracts pinned here, all referenced from the `quantized`
+//! module docs:
+//!
+//! 1. **Measured ≥ predicted, everywhere.** For every precision class,
+//!    across an alpha / walk-length / stage-depth sweep, the measured
+//!    `precision_at_k` of the quantized ranking against the Exact64
+//!    ranking of the *same* staged configuration is at least the
+//!    class's [`PrecisionClass::precision_factor`] — the multiplicative
+//!    penalty `estimate()` applies. The router's `min_precision` gate
+//!    must never be optimistic.
+//! 2. **The deployed rungs clear the 0.95 floor.** `Fast32` and
+//!    `Fixed(DEFAULT_FIXED_Q = 16)` — the two rungs deadline admission
+//!    actually degrades to — keep `precision_at_k(200) ≥ 0.95`.
+//! 3. **`estimate()` prices the ladder monotonically**: walking
+//!    `exact → f32 → q16` never increases predicted latency, predicted
+//!    peak memory, or expected precision, and under a byte budget the
+//!    planner narrows the rung *before* it shrinks ball depth.
+
+use meloppr::backend::Meloppr;
+use meloppr::graph::generators::corpus::PaperGraph;
+use meloppr::{
+    precision_at_k, CsrGraph, MelopprParams, PprBackend, PprParams, PrecisionClass, QueryBudget,
+    QueryRequest, SelectionStrategy,
+};
+
+const K: usize = 200;
+
+fn fixture() -> CsrGraph {
+    // Big enough that a top-200 ranking is meaningful, small enough to
+    // sweep: a half-scale citeseer-like corpus graph.
+    PaperGraph::G1Citeseer.generate_scaled(0.5, 13).unwrap()
+}
+
+fn staged(alpha: f64, stages: &[usize]) -> MelopprParams {
+    let length: usize = stages.iter().sum();
+    MelopprParams {
+        ppr: PprParams::new(alpha, length, K).unwrap(),
+        stages: stages.to_vec(),
+        selection: SelectionStrategy::TopFraction(0.05),
+        ..MelopprParams::paper_defaults()
+    }
+}
+
+/// Every class the ladder can execute, with its display label.
+fn classes() -> Vec<PrecisionClass> {
+    vec![
+        PrecisionClass::Fast32,
+        PrecisionClass::Fixed(20),
+        PrecisionClass::Fixed(16),
+        PrecisionClass::Fixed(12),
+        PrecisionClass::Fixed(8),
+    ]
+}
+
+#[test]
+fn measured_precision_meets_the_predicted_factor_across_sweeps() {
+    let g = fixture();
+    let seeds = [0u32, 3, 17];
+    for &alpha in &[0.7, 0.85, 0.95] {
+        for stages in [&[2usize, 2][..], &[3, 3][..]] {
+            let backend = Meloppr::new(&g, staged(alpha, stages)).unwrap();
+            for &seed in &seeds {
+                let exact = backend.query(&QueryRequest::new(seed)).unwrap().ranking;
+                for class in classes() {
+                    let outcome = backend
+                        .query(&QueryRequest::new(seed).with_precision(class))
+                        .unwrap();
+                    assert_eq!(
+                        outcome.stats.precision_class, class,
+                        "executed class must be the requested rung"
+                    );
+                    let measured = precision_at_k(&outcome.ranking, &exact, K);
+                    let predicted = class.precision_factor();
+                    assert!(
+                        measured >= predicted,
+                        "{class} at alpha={alpha} stages={stages:?} seed={seed}: \
+                         measured precision@{K} {measured:.4} fell below the \
+                         estimate's factor {predicted:.2} — the router would \
+                         admit optimistically"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deployed_rungs_clear_the_serving_floor() {
+    let g = fixture();
+    let backend = Meloppr::new(&g, staged(0.85, &[3, 3])).unwrap();
+    // The two rungs deadline admission degrades to (PrecisionClass::degraded).
+    let ladder = [
+        PrecisionClass::Fast32,
+        PrecisionClass::Fixed(meloppr::core::quantized::DEFAULT_FIXED_Q),
+    ];
+    for &seed in &[0u32, 3, 17, 42] {
+        let exact = backend.query(&QueryRequest::new(seed)).unwrap().ranking;
+        for class in ladder {
+            let quant = backend
+                .query(&QueryRequest::new(seed).with_precision(class))
+                .unwrap()
+                .ranking;
+            let p = precision_at_k(&quant, &exact, K);
+            assert!(
+                p >= 0.95,
+                "{class} seed={seed}: precision@{K} {p:.4} < 0.95 serving floor"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimate_prices_the_ladder_monotonically() {
+    let g = fixture();
+    let backend = Meloppr::new(&g, staged(0.85, &[3, 3])).unwrap();
+    let est_for = |class: Option<PrecisionClass>| {
+        let mut req = QueryRequest::new(0);
+        if let Some(class) = class {
+            req = req.with_precision(class);
+        }
+        backend.estimate(&req).unwrap()
+    };
+    let exact = est_for(None);
+    let f32e = est_for(Some(PrecisionClass::Fast32));
+    let q16e = est_for(Some(PrecisionClass::Fixed(16)));
+    // Walking down the ladder never increases any predicted cost.
+    for (label, narrow) in [("f32", &f32e), ("q16", &q16e)] {
+        assert!(
+            narrow.latency_ns <= exact.latency_ns,
+            "{label}: predicted latency rose down the ladder"
+        );
+        assert!(
+            narrow.peak_memory_bytes <= exact.peak_memory_bytes,
+            "{label}: predicted peak memory rose down the ladder"
+        );
+        assert!(
+            narrow.expected_precision <= exact.expected_precision + 1e-12,
+            "{label}: expected precision rose down the ladder"
+        );
+    }
+    // The class penalty is exactly the documented factor (no budget, so
+    // the requested rung passes through the planner untouched).
+    for (class, narrow) in [
+        (PrecisionClass::Fast32, &f32e),
+        (PrecisionClass::Fixed(16), &q16e),
+    ] {
+        let want = exact.expected_precision * class.precision_factor();
+        assert!(
+            (narrow.expected_precision - want).abs() < 1e-9,
+            "{class}: expected_precision {:.6} != exact * factor {want:.6}",
+            narrow.expected_precision
+        );
+    }
+    // Narrow score arrays genuinely shrink the modelled working set.
+    assert!(
+        f32e.peak_memory_bytes < exact.peak_memory_bytes,
+        "f32 must model a smaller working set than exact"
+    );
+}
+
+#[test]
+fn byte_budget_narrows_the_rung_before_depth() {
+    let g = fixture();
+    let backend = Meloppr::new(&g, staged(0.85, &[3, 3])).unwrap();
+    let unbudgeted = backend.estimate(&QueryRequest::new(0)).unwrap();
+    // A budget just below the exact working set: narrowing the score
+    // width alone reclaims enough bytes, so the planner must degrade
+    // the class and keep the full ball depth rather than truncate.
+    let budget = QueryBudget {
+        max_memory_bytes: Some(unbudgeted.peak_memory_bytes - 1),
+        ..QueryBudget::default()
+    };
+    let outcome = backend
+        .query(&QueryRequest::new(0).with_budget(budget))
+        .unwrap();
+    assert_ne!(
+        outcome.stats.precision_class,
+        PrecisionClass::Exact64,
+        "a sub-exact byte budget must narrow the rung"
+    );
+    // Width-first degradation preserves most ranking fidelity. (The
+    // budgeted loop may still shave some ball depth at run time as the
+    // aggregation state grows, so the floor here is looser than the
+    // width-only 0.95 serving floor.)
+    let exact = backend.query(&QueryRequest::new(0)).unwrap().ranking;
+    let p = precision_at_k(&outcome.ranking, &exact, K);
+    assert!(
+        p >= 0.85,
+        "width-degraded budget run lost ranking fidelity: precision@{K} {p:.4}"
+    );
+    // And the estimate under the same budget stays within the bound.
+    let est = backend
+        .estimate(&QueryRequest::new(0).with_budget(budget))
+        .unwrap();
+    assert!(
+        est.peak_memory_bytes < unbudgeted.peak_memory_bytes,
+        "budgeted estimate exceeds the byte bound it was given"
+    );
+}

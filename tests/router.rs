@@ -8,7 +8,8 @@ use meloppr::core::backend::{BackendCaps, CostEstimate};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::{
     BackendKind, CsrGraph, FpgaHybrid, HybridConfig, MelopprParams, PprBackend, PprParams,
-    QueryOutcome, QueryRequest, QueryStats, QueryWorkspace, Router, SelectionStrategy,
+    PrecisionClass, QueryOutcome, QueryRequest, QueryStats, QueryWorkspace, Router,
+    SelectionStrategy,
 };
 
 fn graph() -> CsrGraph {
@@ -191,6 +192,7 @@ impl PprBackend for Miscalibrated {
                 aggregate_entries: 1,
                 table_evictions: 0,
                 memory_limited: false,
+                precision_class: PrecisionClass::Exact64,
                 latency_estimate_ns: Some(self.actual_ns),
                 host_latency_ns: None,
             },

@@ -14,8 +14,8 @@ use meloppr::server::{
     write_frame, FrameEvent, FrameReader, QuerySpec, RejectReason, Request, Response,
 };
 use meloppr::{
-    BackendKind, BatchExecutor, CsrGraph, PprBackend, PprParams, PprServer, QueryOutcome,
-    QueryRequest, QueryStats, QueryWorkspace, Router, ServerConfig,
+    BackendKind, BatchExecutor, CsrGraph, PprBackend, PprParams, PprServer, PrecisionClass,
+    QueryOutcome, QueryRequest, QueryStats, QueryWorkspace, Router, ServerConfig,
 };
 
 fn graph() -> CsrGraph {
@@ -117,6 +117,7 @@ impl PprBackend for Stub {
                 aggregate_entries: 1,
                 table_evictions: 0,
                 memory_limited: false,
+                precision_class: PrecisionClass::Exact64,
                 latency_estimate_ns: None,
                 host_latency_ns: None,
             },
