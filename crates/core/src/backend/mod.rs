@@ -79,7 +79,7 @@ pub use model::{
     staged_precision_heuristic, LatencyModel, StagedWorkEstimate, WorkProfile,
 };
 pub use monte_carlo::MonteCarlo;
-pub use router::{CalibrationEntry, Route, Router};
+pub use router::{BreakerSnapshot, BreakerState, CalibrationEntry, Route, Router};
 pub use staged::Meloppr;
 
 use meloppr_graph::NodeId;

@@ -35,6 +35,16 @@
 //! `window` is the sliding window's outcomes oldest-first, one char per
 //! lookup (`h` = served without BFS, `m` = paid for the extraction, `-`
 //! for an empty window); `ewma -` means no lookup was ever recorded.
+//!
+//! The final line is an integrity footer over every byte before it:
+//!
+//! ```text
+//! footer crc32 9ae16a3b len 142
+//! ```
+//!
+//! A missing footer, a length mismatch (truncation) or a CRC mismatch
+//! (bit rot, torn write) all decode to an error — which [`load_state`]
+//! downgrades to a warning and a cold boot, like any other corruption.
 
 use std::fmt::Write as _;
 use std::io;
@@ -45,6 +55,21 @@ use crate::cache::{ConsumerState, ConsumerStats};
 
 /// First line of every state file; the version suffix gates decoding.
 const HEADER: &str = "meloppr-state v1";
+
+/// CRC-32/ISO-HDLC (the zlib/PNG polynomial), bit-at-a-time — the state
+/// file is a few hundred bytes at shutdown and startup, so a lookup
+/// table would be pure bloat.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Everything [`save_state`] persists: calibration entries plus each
 /// cached backend's consumer state, both keyed by [`BackendKind`].
@@ -139,6 +164,12 @@ impl PersistedState {
                 state.stats.rejected_admissions,
             );
         }
+        let _ = writeln!(
+            out,
+            "footer crc32 {:08x} len {}",
+            crc32(out.as_bytes()),
+            out.len()
+        );
         out
     }
 
@@ -146,12 +177,16 @@ impl PersistedState {
     /// malformed record with a human-readable reason (the caller decides
     /// whether that is a warning or an error).
     pub fn decode(text: &str) -> Result<Self, String> {
-        let mut lines = text.lines();
-        match lines.next().map(str::trim) {
+        // Header before footer: a version mismatch should say so, not
+        // "bad crc" (other versions may hash differently).
+        match text.lines().next().map(str::trim) {
             Some(HEADER) => {}
             Some(other) => return Err(format!("unsupported header {other:?} (want {HEADER:?})")),
             None => return Err("empty file".into()),
         }
+        let body = verify_footer(text)?;
+        let mut lines = body.lines();
+        lines.next(); // the header, checked above
         let mut state = PersistedState::default();
         for (number, line) in lines.enumerate() {
             let line = line.trim();
@@ -198,6 +233,56 @@ impl PersistedState {
         }
         Ok(state)
     }
+}
+
+/// Checks the trailing `footer crc32 <hex> len <bytes>` line against
+/// every byte before it and returns that body slice (header included).
+/// Any discrepancy — no footer at all, bytes missing relative to the
+/// recorded length, or a checksum mismatch — is reported as the
+/// corruption it implies.
+fn verify_footer(text: &str) -> Result<&str, String> {
+    let Some(start) = text.rfind("\nfooter ").map(|i| i + 1) else {
+        return Err("missing integrity footer (file truncated?)".into());
+    };
+    let body = &text[..start];
+    let mut trailing = text[start..].lines();
+    let footer = trailing.next().unwrap_or_default();
+    if trailing.any(|line| !line.trim().is_empty()) {
+        return Err("unexpected content after the integrity footer".into());
+    }
+    let mut tokens = footer.split_whitespace().skip(1); // "footer"
+    let expected_crc = match (tokens.next(), tokens.next()) {
+        (Some("crc32"), Some(value)) => u32::from_str_radix(value, 16)
+            .map_err(|e| format!("bad footer crc32 {value:?}: {e}"))?,
+        other => {
+            return Err(format!(
+                "malformed footer: want \"crc32 <hex>\", found {other:?}"
+            ))
+        }
+    };
+    let expected_len = match (tokens.next(), tokens.next()) {
+        (Some("len"), Some(value)) => value
+            .parse::<usize>()
+            .map_err(|e| format!("bad footer len {value:?}: {e}"))?,
+        other => {
+            return Err(format!(
+                "malformed footer: want \"len <bytes>\", found {other:?}"
+            ))
+        }
+    };
+    if expected_len != body.len() {
+        return Err(format!(
+            "state file truncated: footer recorded {expected_len} bytes, found {}",
+            body.len()
+        ));
+    }
+    let actual = crc32(body.as_bytes());
+    if actual != expected_crc {
+        return Err(format!(
+            "crc32 mismatch: footer recorded {expected_crc:08x}, content hashes to {actual:08x}"
+        ));
+    }
+    Ok(body)
 }
 
 fn parse_kind<'a>(tokens: &mut impl Iterator<Item = &'a str>) -> Result<BackendKind, String> {
@@ -276,6 +361,7 @@ fn parse_window<'a>(tokens: &mut impl Iterator<Item = &'a str>) -> Result<Vec<bo
 ///
 /// Any filesystem error (permissions, missing parent directory, …).
 pub fn save_state(router: &Router<'_>, path: &Path) -> io::Result<()> {
+    crate::failpoint::check("persist.io")?;
     let encoded = PersistedState::capture(router).encode();
     // Pid-suffixed temp name: two processes sharing one state file (CLI
     // alongside a daemon) each stage in their own sibling, so neither
@@ -301,6 +387,7 @@ pub fn save_state(router: &Router<'_>, path: &Path) -> io::Result<()> {
 ///
 /// Only real I/O failures while reading an existing file.
 pub fn load_state(router: &Router<'_>, path: &Path) -> io::Result<bool> {
+    crate::failpoint::check("persist.io")?;
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
@@ -382,26 +469,83 @@ mod tests {
         assert_eq!(PersistedState::decode(&bare.encode()).unwrap(), bare);
     }
 
+    /// Appends a valid integrity footer, so record-level corruption
+    /// tests exercise the record parser rather than the checksum.
+    fn with_footer(body: &str) -> String {
+        format!(
+            "{body}footer crc32 {:08x} len {}\n",
+            crc32(body.as_bytes()),
+            body.len()
+        )
+    }
+
     #[test]
     fn decode_rejects_corruption_with_reasons() {
         for (text, needle) in [
-            ("", "empty"),
-            ("meloppr-state v999\n", "unsupported header"),
-            ("meloppr-state v1\nfrobnicate all the things\n", "unknown record"),
-            ("meloppr-state v1\ncalibration nonsense ratio 1 samples 1 degraded 0\n", "unknown backend kind"),
-            ("meloppr-state v1\ncalibration meloppr ratio abc samples 1 degraded 0\n", "bad ratio"),
-            ("meloppr-state v1\ncalibration meloppr ratio 1.0 samples 1\n", "degraded"),
-            ("meloppr-state v1\nconsumer meloppr hits 1 shared 0 misses 0 extractions 0 rejected 0 ewma inf window h\n", "non-finite"),
-            ("meloppr-state v1\nconsumer meloppr hits 1 shared 0 misses 0 extractions 0 rejected 0 ewma 0.5 window hxm\n", "bad window outcome"),
+            ("".into(), "empty"),
+            ("meloppr-state v999\n".into(), "unsupported header"),
+            ("meloppr-state v1\n".into(), "missing integrity footer"),
+            (with_footer("meloppr-state v1\nfrobnicate all the things\n"), "unknown record"),
+            (with_footer("meloppr-state v1\ncalibration nonsense ratio 1 samples 1 degraded 0\n"), "unknown backend kind"),
+            (with_footer("meloppr-state v1\ncalibration meloppr ratio abc samples 1 degraded 0\n"), "bad ratio"),
+            (with_footer("meloppr-state v1\ncalibration meloppr ratio 1.0 samples 1\n"), "degraded"),
+            (with_footer("meloppr-state v1\nconsumer meloppr hits 1 shared 0 misses 0 extractions 0 rejected 0 ewma inf window h\n"), "non-finite"),
+            (with_footer("meloppr-state v1\nconsumer meloppr hits 1 shared 0 misses 0 extractions 0 rejected 0 ewma 0.5 window hxm\n"), "bad window outcome"),
         ] {
-            let err = PersistedState::decode(text).unwrap_err();
+            let err = PersistedState::decode(&text).unwrap_err();
             assert!(err.contains(needle), "{text:?} -> {err:?}");
         }
         // Comments and blank lines are fine.
-        let text = "meloppr-state v1\n\n# a comment\n";
+        let text = with_footer("meloppr-state v1\n\n# a comment\n");
         assert_eq!(
-            PersistedState::decode(text).unwrap(),
+            PersistedState::decode(&text).unwrap(),
             PersistedState::default()
         );
+    }
+
+    #[test]
+    fn footer_catches_bit_flips_and_truncation() {
+        let clean = sample_state().encode();
+
+        // A single flipped bit anywhere in the body fails the checksum.
+        let mut flipped = clean.clone().into_bytes();
+        let target = clean.len() / 2; // well inside the records
+        flipped[target] ^= 0x01;
+        if let Ok(text) = String::from_utf8(flipped) {
+            let err = PersistedState::decode(&text).unwrap_err();
+            assert!(err.contains("crc32 mismatch"), "{err}");
+        }
+
+        // Losing a record line (footer intact) is a length mismatch.
+        let record_start = clean.find("\nconsumer").unwrap() + 1;
+        let record_end = clean[record_start..].find('\n').unwrap() + record_start + 1;
+        let mut shorter = clean.clone();
+        shorter.replace_range(record_start..record_end, "");
+        let err = PersistedState::decode(&shorter).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+
+        // Losing the tail (footer included) reads as a missing footer.
+        let cut = &clean[..clean.rfind("footer").unwrap()];
+        let err = PersistedState::decode(cut).unwrap_err();
+        assert!(err.contains("missing integrity footer"), "{err}");
+    }
+
+    #[test]
+    fn load_state_warns_and_boots_cold_on_corruption() {
+        let router = Router::new();
+        let path = std::env::temp_dir().join(format!(
+            "meloppr-persist-bitflip-{}.state",
+            std::process::id()
+        ));
+        // A valid file round-trips through disk.
+        std::fs::write(&path, sample_state().encode()).unwrap();
+        assert!(load_state(&router, &path).unwrap());
+        // Corrupting it (torn footer) downgrades to a cold boot, not an
+        // error and not a panic.
+        let mut torn = sample_state().encode();
+        torn.truncate(torn.len() - 10);
+        std::fs::write(&path, torn).unwrap();
+        assert!(!load_state(&router, &path).unwrap());
+        let _ = std::fs::remove_file(&path);
     }
 }

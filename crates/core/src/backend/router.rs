@@ -1,8 +1,10 @@
 //! Per-request backend selection from capabilities and cost estimates,
-//! with optional self-calibration from observed query latency.
+//! with optional self-calibration from observed query latency, bounded
+//! retry-with-failover, and a per-backend circuit breaker.
 
-use std::sync::Mutex;
-use std::time::Instant;
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use super::{BackendKind, CostEstimate, PprBackend, QueryOutcome, QueryRequest};
 use crate::error::{BackendError, PprError, Result};
@@ -22,6 +24,152 @@ const CALIBRATION_RATIO_RANGE: (f64, f64) = (1e-6, 1e6);
 /// until budgeted traffic steers to a backend that serves full-fidelity
 /// answers instead.
 const DEGRADATION_PENALTY: f64 = 1.25;
+
+/// EWMA smoothing factor for the circuit breaker's error rate. 0.5 is
+/// deliberately fast: two consecutive errors from a cold breaker reach
+/// `0.75 > BREAKER_TRIP_THRESHOLD` and trip it — a failing backend
+/// should lose traffic within a couple of requests, not a couple of
+/// hundred.
+const BREAKER_BETA: f64 = 0.5;
+
+/// A closed breaker trips open when its error-rate EWMA exceeds this.
+const BREAKER_TRIP_THRESHOLD: f64 = 0.6;
+
+/// How long an open breaker blocks traffic before a half-open probe is
+/// allowed through (overridable via
+/// [`Router::with_breaker_cooldown`]).
+const DEFAULT_BREAKER_COOLDOWN: Duration = Duration::from_millis(500);
+
+/// Retries [`Router::query_with_failover`] performs beyond the first
+/// attempt. Two failovers bound worst-case added latency while still
+/// surviving a double fault.
+const MAX_FAILOVERS: u32 = 2;
+
+/// Externally visible circuit-breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows, errors feed the EWMA.
+    Closed,
+    /// Tripped: the backend is skipped by routing until its cooldown
+    /// elapses.
+    Open,
+    /// Cooldown elapsed: the next request may probe the backend; a
+    /// success re-closes the breaker, a failure re-opens it.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+impl std::str::FromStr for BreakerState {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "closed" => Ok(BreakerState::Closed),
+            "open" => Ok(BreakerState::Open),
+            "half-open" => Ok(BreakerState::HalfOpen),
+            other => Err(format!("unknown breaker state {other:?}")),
+        }
+    }
+}
+
+/// A point-in-time view of one backend's circuit breaker, for telemetry
+/// (STATS frames, the shutdown report).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSnapshot {
+    /// Which backend this breaker guards.
+    pub kind: BackendKind,
+    /// Current position.
+    pub state: BreakerState,
+    /// Error-rate EWMA (0 = healthy, 1 = every recent request failed).
+    pub error_ewma: f64,
+    /// Times the breaker has tripped open over its lifetime.
+    pub trips: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+enum BreakerPhase {
+    #[default]
+    Closed,
+    Open {
+        since: Instant,
+    },
+    HalfOpen,
+}
+
+/// Per-backend circuit breaker driven by query outcomes.
+#[derive(Debug, Clone, Copy, Default)]
+struct Breaker {
+    phase: BreakerPhase,
+    error_ewma: f64,
+    trips: u64,
+}
+
+impl Breaker {
+    /// Folds one query outcome in and advances the phase machine.
+    fn record(&mut self, ok: bool, now: Instant) {
+        self.error_ewma =
+            (1.0 - BREAKER_BETA) * self.error_ewma + BREAKER_BETA * f64::from(!ok as u8);
+        match self.phase {
+            BreakerPhase::Closed => {
+                if !ok && self.error_ewma > BREAKER_TRIP_THRESHOLD {
+                    self.phase = BreakerPhase::Open { since: now };
+                    self.trips += 1;
+                }
+            }
+            BreakerPhase::HalfOpen => {
+                if ok {
+                    self.phase = BreakerPhase::Closed;
+                    self.error_ewma = 0.0;
+                } else {
+                    self.phase = BreakerPhase::Open { since: now };
+                    self.trips += 1;
+                }
+            }
+            BreakerPhase::Open { .. } => {
+                // A request was forced through an open breaker (every
+                // alternative was open too): a success is as good as a
+                // half-open probe succeeding.
+                if ok {
+                    self.phase = BreakerPhase::Closed;
+                    self.error_ewma = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Whether routing may use this backend now, advancing
+    /// `Open → HalfOpen` when the cooldown has elapsed.
+    fn available(&mut self, cooldown: Duration, now: Instant) -> bool {
+        match self.phase {
+            BreakerPhase::Closed | BreakerPhase::HalfOpen => true,
+            BreakerPhase::Open { since } => {
+                if now.duration_since(since) >= cooldown {
+                    self.phase = BreakerPhase::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        match self.phase {
+            BreakerPhase::Closed => BreakerState::Closed,
+            BreakerPhase::Open { .. } => BreakerState::Open,
+            BreakerPhase::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+}
 
 /// Per-backend latency correction state.
 #[derive(Debug, Clone, Copy)]
@@ -133,6 +281,9 @@ pub struct Router<'g> {
     backends: Vec<Box<dyn PprBackend + Sync + 'g>>,
     calibrate: bool,
     calibration: Mutex<Vec<LatencyCalibration>>,
+    breakers: Mutex<Vec<Breaker>>,
+    /// `None` means [`DEFAULT_BREAKER_COOLDOWN`].
+    breaker_cooldown: Option<Duration>,
 }
 
 impl std::fmt::Debug for Router<'_> {
@@ -170,13 +321,39 @@ impl<'g> Router<'g> {
         self
     }
 
+    /// Overrides how long a tripped circuit breaker blocks traffic
+    /// before allowing a half-open probe (builder style; default
+    /// 500 ms). Chaos tests shorten this to exercise the full
+    /// trip → probe → restore cycle quickly.
+    #[must_use]
+    pub fn with_breaker_cooldown(mut self, cooldown: Duration) -> Self {
+        self.breaker_cooldown = Some(cooldown);
+        self
+    }
+
     /// Registers a backend.
     pub fn push(&mut self, backend: Box<dyn PprBackend + Sync + 'g>) {
         self.backends.push(backend);
+        self.calibration_guard().push(LatencyCalibration::default());
+        self.breakers_guard().push(Breaker::default());
+    }
+
+    /// Both router mutexes guard plain-data vectors whose invariants
+    /// hold at every instant, so a poisoned lock (a panicking query
+    /// unwinding through a worker's `catch_unwind`) is recovered, not
+    /// cascaded into every other serving thread.
+    fn calibration_guard(&self) -> MutexGuard<'_, Vec<LatencyCalibration>> {
         self.calibration
             .lock()
-            .expect("calibration poisoned")
-            .push(LatencyCalibration::default());
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn breakers_guard(&self) -> MutexGuard<'_, Vec<Breaker>> {
+        self.breakers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn cooldown(&self) -> Duration {
+        self.breaker_cooldown.unwrap_or(DEFAULT_BREAKER_COOLDOWN)
     }
 
     /// The registered backends, in registration order.
@@ -214,25 +391,76 @@ impl<'g> Router<'g> {
     /// [`PprError::Backend`]) if no backend is registered or every
     /// estimate fails.
     pub fn select(&self, req: &QueryRequest) -> Result<Route> {
+        self.select_excluding(req, &[])
+    }
+
+    /// As [`Router::select`], additionally skipping the backends in
+    /// `excluded` (failover re-routes exclude the backends that already
+    /// failed this request) and any backend whose circuit breaker is
+    /// open. If every remaining candidate is breaker-blocked, the
+    /// breaker filter is dropped — availability beats purity; a request
+    /// is served through an open breaker rather than refused when
+    /// nothing healthy remains.
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::select`] (every non-excluded backend failed to
+    /// estimate, or nothing is registered).
+    pub fn select_excluding(&self, req: &QueryRequest, excluded: &[usize]) -> Result<Route> {
         if self.backends.is_empty() {
             return Err(PprError::Backend(BackendError::NoBackendAvailable {
                 reason: "router has no registered backends".into(),
             }));
         }
-        let budget = &req.budget;
         let ratios: Vec<f64> = if self.calibrate {
-            self.calibration
-                .lock()
-                .expect("calibration poisoned")
-                .iter()
-                .map(|c| c.ratio)
-                .collect()
+            self.calibration_guard().iter().map(|c| c.ratio).collect()
         } else {
             Vec::new()
         };
-        let mut best: Option<(Route, usize)> = None; // (route, violations)
+        let available: Vec<bool> = {
+            let mut breakers = self.breakers_guard();
+            let (cooldown, now) = (self.cooldown(), Instant::now());
+            breakers
+                .iter_mut()
+                .map(|b| b.available(cooldown, now))
+                .collect()
+        };
         let mut estimate_failures: Vec<String> = Vec::new();
+        let mut pick = self.best_route(req, &ratios, &mut estimate_failures, |i| {
+            !excluded.contains(&i) && available.get(i).copied().unwrap_or(true)
+        });
+        if pick.is_none() && available.iter().any(|&a| !a) {
+            estimate_failures.clear();
+            pick = self.best_route(req, &ratios, &mut estimate_failures, |i| {
+                !excluded.contains(&i)
+            });
+        }
+        pick.ok_or_else(|| {
+            PprError::Backend(BackendError::NoBackendAvailable {
+                reason: format!(
+                    "every selectable backend failed to estimate the request: [{}]",
+                    estimate_failures.join("; ")
+                ),
+            })
+        })
+    }
+
+    /// The scoring core of selection over the backends `allow` admits:
+    /// minimize budget violations, then (admissible) maximize precision
+    /// / minimize latency, or (best-effort) minimize latency.
+    fn best_route(
+        &self,
+        req: &QueryRequest,
+        ratios: &[f64],
+        estimate_failures: &mut Vec<String>,
+        allow: impl Fn(usize) -> bool,
+    ) -> Option<Route> {
+        let budget = &req.budget;
+        let mut best: Option<(Route, usize)> = None; // (route, violations)
         for (index, backend) in self.backends.iter().enumerate() {
+            if !allow(index) {
+                continue;
+            }
             let mut estimate = match backend.estimate(req) {
                 Ok(est) => est,
                 // A backend that cannot even estimate the request (e.g.
@@ -282,14 +510,7 @@ impl<'g> Router<'g> {
                 best = Some((candidate, violations));
             }
         }
-        best.map(|(route, _)| route).ok_or_else(|| {
-            PprError::Backend(BackendError::NoBackendAvailable {
-                reason: format!(
-                    "every registered backend failed to estimate the request: [{}]",
-                    estimate_failures.join("; ")
-                ),
-            })
-        })
+        best.map(|(route, _)| route)
     }
 
     /// Routes and runs one query. With self-calibration enabled, the
@@ -322,9 +543,84 @@ impl<'g> Router<'g> {
     /// As [`Router::select`], plus any error from the chosen backend.
     pub fn query_routed(&self, req: &QueryRequest) -> Result<(Route, QueryOutcome)> {
         let route = self.select(req)?;
+        let outcome = self.run_attempt(req, &route)?;
+        Ok((route, outcome))
+    }
+
+    /// As [`Router::query_routed`] with bounded retry-with-failover:
+    /// when the chosen backend **fails** (returns `Err`), the request
+    /// re-routes to the best remaining backend that still fits the
+    /// deadline budget left after the failed attempt, up to
+    /// `MAX_FAILOVERS` retries. The third tuple element is how many
+    /// failovers this request consumed (0 = first backend served it).
+    ///
+    /// Two things are deliberately **not** retried:
+    ///
+    /// * **Completed queries.** Only an `Err` attempt re-routes; a
+    ///   query that returned is never re-run, so non-idempotent budget
+    ///   state (calibration EWMAs it fed, cache admissions it caused,
+    ///   consumer windows it advanced) is never double-counted — and a
+    ///   failed attempt's side effects are *preserved*, not replayed or
+    ///   rolled back.
+    /// * **Panics.** An unwinding backend propagates to the caller
+    ///   (serving workers isolate it with `catch_unwind` and answer a
+    ///   typed internal error); retrying a panic would re-run a code
+    ///   path just proven capable of corrupting shared state.
+    ///
+    /// Every attempt's outcome feeds the failed backend's circuit
+    /// breaker, so a persistently failing backend trips open and stops
+    /// being selected at all (see [`Router::breaker_snapshots`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::select`], plus the **last** attempt's backend error
+    /// once the failover budget (or the deadline) is exhausted.
+    pub fn query_with_failover(&self, req: &QueryRequest) -> Result<(Route, QueryOutcome, u32)> {
+        let started = Instant::now();
+        let mut attempt = *req;
+        let mut excluded: Vec<usize> = Vec::new();
+        let mut failovers = 0u32;
+        loop {
+            let route = self.select_excluding(&attempt, &excluded)?;
+            let err = match self.run_attempt(&attempt, &route) {
+                Ok(outcome) => return Ok((route, outcome, failovers)),
+                Err(err) => err,
+            };
+            if failovers >= MAX_FAILOVERS || excluded.len() + 1 >= self.backends.len() {
+                return Err(err);
+            }
+            if let Some(budget_ms) = req.budget.max_latency_ms {
+                // The failed attempt ate into the deadline: re-route
+                // with only the remainder, and stop retrying outright
+                // once nothing is left (the retry could not be served
+                // in time even if it succeeded).
+                let remaining_ms = budget_ms - started.elapsed().as_secs_f64() * 1e3;
+                if remaining_ms <= 0.0 {
+                    return Err(err);
+                }
+                attempt.budget.max_latency_ms = Some(remaining_ms);
+            }
+            excluded.push(route.index);
+            failovers += 1;
+        }
+    }
+
+    /// Runs one already-routed attempt: the `backend.query` failpoint
+    /// seams, the query itself, calibration feedback (when enabled),
+    /// and the circuit-breaker outcome record.
+    fn run_attempt(&self, req: &QueryRequest, route: &Route) -> Result<QueryOutcome> {
+        let result = self.run_backend(req, route);
+        self.record_breaker(route.index, result.is_ok());
+        result
+    }
+
+    fn run_backend(&self, req: &QueryRequest, route: &Route) -> Result<QueryOutcome> {
+        if crate::failpoint::ACTIVE {
+            crate::failpoint::check("backend.query")?;
+            crate::failpoint::check(&format!("backend.query.{}", route.kind))?;
+        }
         if !self.calibrate {
-            let outcome = self.backends[route.index].query(req)?;
-            return Ok((route, outcome));
+            return self.backends[route.index].query(req);
         }
         // The observation is measured against the *uncalibrated*
         // prediction; undo the ratio select() applied rather than paying
@@ -341,7 +637,33 @@ impl<'g> Router<'g> {
         if outcome.stats.memory_limited {
             self.observe_degradation(route.index);
         }
-        Ok((route, outcome))
+        Ok(outcome)
+    }
+
+    /// Feeds one query outcome into backend `index`'s circuit breaker.
+    /// Called automatically by the query paths; exposed for serving
+    /// layers that execute backends themselves.
+    pub fn record_breaker(&self, index: usize, ok: bool) {
+        if let Some(b) = self.breakers_guard().get_mut(index) {
+            b.record(ok, Instant::now());
+        }
+    }
+
+    /// A point-in-time view of every backend's circuit breaker, in
+    /// registration order — surfaced in STATS frames and the shutdown
+    /// report.
+    pub fn breaker_snapshots(&self) -> Vec<BreakerSnapshot> {
+        let breakers = self.breakers_guard();
+        self.backends
+            .iter()
+            .zip(breakers.iter())
+            .map(|(backend, b)| BreakerSnapshot {
+                kind: backend.capabilities().kind,
+                state: b.state(),
+                error_ewma: b.error_ewma,
+                trips: b.trips,
+            })
+            .collect()
     }
 
     /// Folds one latency observation for backend `index` into its
@@ -359,7 +681,7 @@ impl<'g> Router<'g> {
         }
         let (lo, hi) = CALIBRATION_RATIO_RANGE;
         let sample = (observed_ns / predicted_ns).clamp(lo, hi);
-        let mut calibration = self.calibration.lock().expect("calibration poisoned");
+        let mut calibration = self.calibration_guard();
         if let Some(c) = calibration.get_mut(index) {
             c.ratio = if c.samples == 0 {
                 sample // first observation replaces the 1.0 prior outright
@@ -382,7 +704,7 @@ impl<'g> Router<'g> {
     /// serving layers that execute backends themselves.
     pub fn observe_degradation(&self, index: usize) {
         let (lo, hi) = CALIBRATION_RATIO_RANGE;
-        let mut calibration = self.calibration.lock().expect("calibration poisoned");
+        let mut calibration = self.calibration_guard();
         if let Some(c) = calibration.get_mut(index) {
             let sample = (c.ratio * DEGRADATION_PENALTY).clamp(lo, hi);
             c.ratio = if c.samples == 0 {
@@ -399,7 +721,7 @@ impl<'g> Router<'g> {
     /// `index` (1.0 until the first observation), with the number of
     /// observations folded in.
     pub fn calibration_ratio(&self, index: usize) -> (f64, usize) {
-        let calibration = self.calibration.lock().expect("calibration poisoned");
+        let calibration = self.calibration_guard();
         calibration
             .get(index)
             .map(|c| (c.ratio, c.samples))
@@ -410,7 +732,7 @@ impl<'g> Router<'g> {
     /// order — the in-memory half of calibration persistence (see
     /// [`persist`](super::persist)).
     pub fn calibration_entries(&self) -> Vec<CalibrationEntry> {
-        let calibration = self.calibration.lock().expect("calibration poisoned");
+        let calibration = self.calibration_guard();
         self.backends
             .iter()
             .zip(calibration.iter())
@@ -435,7 +757,7 @@ impl<'g> Router<'g> {
             .iter()
             .map(|b| b.capabilities().kind)
             .collect();
-        let mut calibration = self.calibration.lock().expect("calibration poisoned");
+        let mut calibration = self.calibration_guard();
         let mut restored = vec![false; kinds.len()];
         let mut applied = 0;
         for entry in entries {
@@ -492,9 +814,16 @@ fn count_violations(estimate: &CostEstimate, budget: &super::QueryBudget) -> usi
 
 #[cfg(test)]
 mod tests {
-    use super::super::{ExactPower, LocalPpr, MonteCarlo, QueryBudget};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::super::{
+        BackendCaps, CostEstimate, ExactPower, LocalPpr, MonteCarlo, PprBackend, QueryBudget,
+        QueryOutcome, QueryStats,
+    };
     use super::*;
     use crate::params::PprParams;
+    use crate::quantized::PrecisionClass;
+    use crate::workspace::QueryWorkspace;
     use meloppr_graph::generators;
 
     #[test]
@@ -702,6 +1031,173 @@ mod tests {
         // replaces, the restored ratio.
         assert_eq!(fresh.calibration_ratio(1), (4.0, 1));
         assert_eq!(fresh.calibration_ratio(0), (1.0, 0));
+    }
+
+    /// A stub backend that fails its first `failures` queries with a
+    /// typed internal error and succeeds thereafter — the minimal
+    /// transient-fault model for failover and breaker tests.
+    struct Flaky {
+        kind: BackendKind,
+        latency_ns: f64,
+        failures_left: AtomicU64,
+    }
+
+    impl Flaky {
+        fn new(kind: BackendKind, latency_ns: f64, failures: u64) -> Self {
+            Flaky {
+                kind,
+                latency_ns,
+                failures_left: AtomicU64::new(failures),
+            }
+        }
+    }
+
+    impl PprBackend for Flaky {
+        fn capabilities(&self) -> BackendCaps {
+            BackendCaps {
+                kind: self.kind,
+                exact: false,
+                deterministic: true,
+                accelerated: false,
+                batch_aware: false,
+            }
+        }
+
+        fn estimate(&self, _req: &QueryRequest) -> Result<CostEstimate> {
+            Ok(CostEstimate {
+                latency_ns: self.latency_ns,
+                peak_memory_bytes: 1,
+                expected_precision: 1.0,
+            })
+        }
+
+        fn query_with(
+            &self,
+            _req: &QueryRequest,
+            _workspace: &mut QueryWorkspace,
+        ) -> Result<QueryOutcome> {
+            let remaining = self.failures_left.load(Ordering::SeqCst);
+            if remaining > 0 {
+                self.failures_left.store(remaining - 1, Ordering::SeqCst);
+                return Err(PprError::Backend(BackendError::Internal {
+                    reason: format!("flaky {} refused the query", self.kind),
+                }));
+            }
+            Ok(QueryOutcome {
+                ranking: vec![(0, 1.0)],
+                stats: QueryStats {
+                    backend: self.kind,
+                    stages: Vec::new(),
+                    total_diffusions: 0,
+                    bfs_edges_scanned: 0,
+                    diffusion_edge_updates: 0,
+                    random_walk_steps: 0,
+                    nodes_touched: 0,
+                    peak_memory_bytes: 0,
+                    peak_task_memory_bytes: 0,
+                    aggregate_entries: 0,
+                    table_evictions: 0,
+                    memory_limited: false,
+                    precision_class: PrecisionClass::Exact64,
+                    latency_estimate_ns: Some(self.latency_ns),
+                    host_latency_ns: None,
+                },
+            })
+        }
+    }
+
+    #[test]
+    fn failover_reroutes_backend_errors_and_counts_them() {
+        // The flaky backend is far cheaper, so it is always routed
+        // first; its one failure must fail over to the reliable one.
+        let router = Router::new()
+            .with_backend(Box::new(Flaky::new(BackendKind::LocalPpr, 1e3, 1)))
+            .with_backend(Box::new(Flaky::new(BackendKind::ExactPower, 1e6, 0)));
+        let (route, outcome, failovers) = router
+            .query_with_failover(&QueryRequest::new(0))
+            .expect("failover should rescue the query");
+        assert_eq!(route.kind, BackendKind::ExactPower);
+        assert_eq!(outcome.stats.backend, BackendKind::ExactPower);
+        assert_eq!(failovers, 1);
+        // The failure fed the flaky backend's breaker but one error is
+        // not enough to trip it.
+        let snaps = router.breaker_snapshots();
+        assert_eq!(snaps[0].state, BreakerState::Closed);
+        assert_eq!(snaps[0].trips, 0);
+        assert!(snaps[0].error_ewma > 0.0);
+        assert_eq!(snaps[1].state, BreakerState::Closed);
+        assert!((snaps[1].error_ewma - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failover_stops_when_no_alternative_exists() {
+        let router =
+            Router::new().with_backend(Box::new(Flaky::new(BackendKind::LocalPpr, 1e3, u64::MAX)));
+        let err = router
+            .query_with_failover(&QueryRequest::new(0))
+            .unwrap_err();
+        assert!(err.to_string().contains("refused the query"), "{err}");
+    }
+
+    #[test]
+    fn breaker_trips_open_then_half_open_probe_recloses() {
+        let router = Router::new()
+            .with_backend(Box::new(Flaky::new(BackendKind::LocalPpr, 1e3, 2)))
+            .with_backend(Box::new(Flaky::new(BackendKind::ExactPower, 1e6, 0)))
+            .with_breaker_cooldown(Duration::from_millis(10));
+        // Two consecutive errors trip the cheap backend's breaker open.
+        for _ in 0..2 {
+            let req = QueryRequest::new(0);
+            let route = router.select(&req).unwrap();
+            assert_eq!(route.kind, BackendKind::LocalPpr);
+            assert!(router.run_attempt(&req, &route).is_err());
+        }
+        let snap = router.breaker_snapshots()[0];
+        assert_eq!(snap.state, BreakerState::Open);
+        assert_eq!(snap.trips, 1);
+        // While open, selection skips it despite the cheaper estimate.
+        let route = router.select(&QueryRequest::new(0)).unwrap();
+        assert_eq!(route.kind, BackendKind::ExactPower);
+        // After the cooldown the breaker half-opens, the probe query is
+        // admitted (the backend has healed) and success re-closes it.
+        std::thread::sleep(Duration::from_millis(20));
+        let req = QueryRequest::new(0);
+        let route = router.select(&req).unwrap();
+        assert_eq!(route.kind, BackendKind::LocalPpr);
+        assert!(router.run_attempt(&req, &route).is_ok());
+        let snap = router.breaker_snapshots()[0];
+        assert_eq!(snap.state, BreakerState::Closed);
+        assert_eq!(snap.trips, 1);
+        assert!((snap.error_ewma - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_breaker_never_refuses_the_last_backend() {
+        // Availability over purity: when every candidate is
+        // breaker-open, selection drops the breaker filter instead of
+        // shedding the request, and a forced-through success re-closes.
+        let router =
+            Router::new().with_backend(Box::new(Flaky::new(BackendKind::LocalPpr, 1e3, 2)));
+        for _ in 0..2 {
+            assert!(router.query_routed(&QueryRequest::new(0)).is_err());
+        }
+        assert_eq!(router.breaker_snapshots()[0].state, BreakerState::Open);
+        let (route, _, failovers) = router.query_with_failover(&QueryRequest::new(0)).unwrap();
+        assert_eq!(route.kind, BackendKind::LocalPpr);
+        assert_eq!(failovers, 0);
+        assert_eq!(router.breaker_snapshots()[0].state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_state_round_trips_through_display() {
+        for state in [
+            BreakerState::Closed,
+            BreakerState::Open,
+            BreakerState::HalfOpen,
+        ] {
+            assert_eq!(state.to_string().parse::<BreakerState>(), Ok(state));
+        }
+        assert!("ajar".parse::<BreakerState>().is_err());
     }
 
     #[test]

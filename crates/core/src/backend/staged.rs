@@ -558,7 +558,12 @@ impl<G: GraphView + Sync + ?Sized> Meloppr<'_, G> {
         let budget = budget.as_ref();
         match &self.cache {
             CacheMode::Owned(cache) => {
-                let mut cache = cache.lock().expect("cache poisoned");
+                // The owned cache's invariants hold between lookups, so
+                // a poisoned lock (a co-tenant query panicked, e.g. an
+                // injected fault) is recovered, not cascaded.
+                let mut cache = cache
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 staged_query_impl(
                     self.graph,
                     params,

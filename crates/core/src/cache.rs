@@ -1091,6 +1091,45 @@ enum Found {
     Winner(Arc<Entry>),
 }
 
+/// Arms the winner's extraction against unwinds: if `extract` (or an
+/// injected failpoint) panics after the pending entry became
+/// map-visible, the entry would otherwise stay `Pending` forever and
+/// every singleflight waiter would deadlock on its condvar. Dropping
+/// while still armed performs the same cleanup an extraction `Err`
+/// gets: fail the entry, wake the waiters, purge the key.
+struct FailPendingOnUnwind<'a> {
+    cache: &'a ConcurrentSubgraphCache,
+    shard: &'a Shard,
+    key: CacheKey,
+    entry: &'a Arc<Entry>,
+    armed: bool,
+}
+
+impl FailPendingOnUnwind<'_> {
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for FailPendingOnUnwind<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        {
+            let mut state = self.cache.entry_state(self.entry);
+            *state = EntryState::Failed;
+        }
+        self.entry.ready.notify_all();
+        let mut map = self.cache.shard_write(self.shard);
+        if let Some(current) = map.get(&self.key) {
+            if Arc::ptr_eq(current, self.entry) {
+                map.remove(&self.key);
+            }
+        }
+    }
+}
+
 /// How a lookup participates in accounting and admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LookupMode {
@@ -1161,6 +1200,9 @@ pub struct ConcurrentSubgraphCache {
     extractions: AtomicU64,
     evictions: AtomicU64,
     rejected: AtomicU64,
+    /// Times a poisoned shard or entry lock was recovered
+    /// (clear-and-continue) instead of cascading the panic.
+    poison_recoveries: AtomicU64,
 }
 
 impl std::fmt::Debug for ConcurrentSubgraphCache {
@@ -1257,6 +1299,7 @@ impl ConcurrentSubgraphCache {
             extractions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -1302,6 +1345,94 @@ impl ConcurrentSubgraphCache {
                 None => CachedBall::Full(Arc::clone(sub)),
             },
         }
+    }
+
+    /// Read-locks a shard's map, recovering a poisoned lock by clearing
+    /// the shard ([`ConcurrentSubgraphCache::recover_shard`]) and
+    /// continuing — a cache must survive a co-tenant's panic, it only
+    /// costs re-extraction.
+    fn shard_read<'s>(
+        &self,
+        shard: &'s Shard,
+    ) -> std::sync::RwLockReadGuard<'s, FastHashMap<CacheKey, Arc<Entry>>> {
+        match shard.map.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                drop(poisoned);
+                self.recover_shard(shard);
+                shard
+                    .map
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+        }
+    }
+
+    /// Write-locks a shard's map, recovering a poisoned lock like
+    /// [`ConcurrentSubgraphCache::shard_read`].
+    fn shard_write<'s>(
+        &self,
+        shard: &'s Shard,
+    ) -> std::sync::RwLockWriteGuard<'s, FastHashMap<CacheKey, Arc<Entry>>> {
+        match shard.map.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                drop(poisoned);
+                self.recover_shard(shard);
+                shard
+                    .map
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+        }
+    }
+
+    /// Clear-and-continue recovery for a poisoned shard: a panic while
+    /// the shard lock was held may have interrupted a map/accounting
+    /// update mid-flight, so rather than trusting the half-written
+    /// state, drop every entry in the shard (releasing charged budget,
+    /// waking singleflight waiters of pending entries as `Failed` so
+    /// nobody deadlocks) and carry on with an empty — but provably
+    /// consistent — shard. Counted in
+    /// [`ConcurrentSubgraphCache::poison_recoveries`].
+    fn recover_shard(&self, shard: &Shard) {
+        self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard
+            .map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (_, entry) in map.drain() {
+            let bytes = entry.charged_bytes.swap(0, Ordering::Relaxed);
+            if bytes > 0 {
+                self.resident_entries.fetch_sub(1, Ordering::Relaxed);
+                self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            }
+            let mut state = self.entry_state(&entry);
+            if matches!(*state, EntryState::Pending) {
+                *state = EntryState::Failed;
+                drop(state);
+                entry.ready.notify_all();
+            }
+        }
+        shard.map.clear_poison();
+    }
+
+    /// Locks an entry's state, recovering from poisoning: the state
+    /// enum is plain data, valid at every instant, so a panic that
+    /// poisoned it left nothing to repair.
+    fn entry_state<'e>(&self, entry: &'e Entry) -> std::sync::MutexGuard<'e, EntryState> {
+        entry.state.lock().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            entry.state.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Times a poisoned cache lock was recovered instead of letting the
+    /// panic cascade (0 in a healthy process; see
+    /// `ConcurrentSubgraphCache::recover_shard`).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
     }
 
     /// Records one sighting of `key` in the frequency sketch, returning
@@ -1560,7 +1691,7 @@ impl ConcurrentSubgraphCache {
         let key = (node, depth);
         {
             let shard = self.shard_for(key);
-            let map = shard.map.read().expect("cache shard poisoned");
+            let map = self.shard_read(shard);
             if map.contains_key(&key) {
                 return;
             }
@@ -1585,7 +1716,7 @@ impl ConcurrentSubgraphCache {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = Entry::pending(stamp);
         let shard = self.shard_for(key);
-        let mut map = shard.map.write().expect("cache shard poisoned");
+        let mut map = self.shard_write(shard);
         if map.contains_key(&key) {
             // Raced with a concurrent installer: release the reservation.
             self.resident_entries.fetch_sub(1, Ordering::Relaxed);
@@ -1601,7 +1732,7 @@ impl ConcurrentSubgraphCache {
             .published
             .set(stored)
             .unwrap_or_else(|_| unreachable!("entry is freshly created"));
-        *entry.state.lock().expect("cache entry poisoned") = EntryState::Ready;
+        *self.entry_state(&entry) = EntryState::Ready;
         map.insert(key, entry);
     }
 
@@ -1672,13 +1803,13 @@ impl ConcurrentSubgraphCache {
 
         // Fast path: shared read lock only.
         let found = {
-            let map = shard.map.read().expect("cache shard poisoned");
+            let map = self.shard_read(shard);
             map.get(&key).cloned()
         };
         let found = match found {
             Some(entry) => Found::Existing(entry),
             None => {
-                let mut map = shard.map.write().expect("cache shard poisoned");
+                let mut map = self.shard_write(shard);
                 match map.get(&key) {
                     // Raced with another installer between the locks.
                     Some(entry) => Found::Existing(Arc::clone(entry)),
@@ -1712,7 +1843,7 @@ impl ConcurrentSubgraphCache {
                     }
                     return Ok((ball.clone(), 0));
                 }
-                let mut state = entry.state.lock().expect("cache entry poisoned");
+                let mut state = self.entry_state(&entry);
                 loop {
                     match &*state {
                         EntryState::Ready => {
@@ -1726,7 +1857,10 @@ impl ConcurrentSubgraphCache {
                             return Ok((ball.clone(), 0));
                         }
                         EntryState::Pending => {
-                            state = entry.ready.wait(state).expect("cache entry poisoned");
+                            state = entry.ready.wait(state).unwrap_or_else(|poisoned| {
+                                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                                poisoned.into_inner()
+                            });
                         }
                         EntryState::Failed => {
                             // The winner's extraction errored (and it
@@ -1741,6 +1875,7 @@ impl ConcurrentSubgraphCache {
                                     c.on_miss();
                                 }
                             }
+                            crate::failpoint::check("cache.extract")?;
                             let (sub, work) = extract(g)?;
                             self.count_extraction(consumer, mode);
                             // Deterministic failures cannot reach here, but
@@ -1768,8 +1903,19 @@ impl ConcurrentSubgraphCache {
                         let count = self.note_seen(key);
                         (count > 1, count)
                     };
-                match extract(g) {
+                let mut unwind_guard = FailPendingOnUnwind {
+                    cache: self,
+                    shard,
+                    key,
+                    entry: &entry,
+                    armed: true,
+                };
+                match crate::failpoint::check("cache.extract")
+                    .map_err(crate::error::PprError::from)
+                    .and_then(|()| extract(g))
+                {
                     Ok((sub, work)) => {
+                        unwind_guard.disarm();
                         let sub = Arc::new(sub);
                         self.count_extraction(consumer, mode);
                         // The resident representation (full or compact per
@@ -1804,7 +1950,7 @@ impl ConcurrentSubgraphCache {
                                     c.rejected.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
-                            let mut map = shard.map.write().expect("cache shard poisoned");
+                            let mut map = self.shard_write(shard);
                             if let Some(current) = map.get(&key) {
                                 if Arc::ptr_eq(current, &entry) {
                                     map.remove(&key);
@@ -1823,7 +1969,7 @@ impl ConcurrentSubgraphCache {
                             // while we extracted (our pending entry is
                             // gone), release the reservation — the ball
                             // is still served, it is just not resident.
-                            let map = shard.map.write().expect("cache shard poisoned");
+                            let map = self.shard_write(shard);
                             let still_resident = map
                                 .get(&key)
                                 .is_some_and(|current| Arc::ptr_eq(current, &entry));
@@ -1839,26 +1985,16 @@ impl ConcurrentSubgraphCache {
                                 .unwrap_or_else(|_| unreachable!("only the winner publishes"));
                         }
                         {
-                            let mut state = entry.state.lock().expect("cache entry poisoned");
+                            let mut state = self.entry_state(&entry);
                             *state = EntryState::Ready;
                         }
                         entry.ready.notify_all();
                         Ok((CachedBall::Full(sub), work))
                     }
-                    Err(err) => {
-                        {
-                            let mut state = entry.state.lock().expect("cache entry poisoned");
-                            *state = EntryState::Failed;
-                        }
-                        entry.ready.notify_all();
-                        let mut map = shard.map.write().expect("cache shard poisoned");
-                        if let Some(current) = map.get(&key) {
-                            if Arc::ptr_eq(current, &entry) {
-                                map.remove(&key);
-                            }
-                        }
-                        Err(err)
-                    }
+                    // The still-armed guard's drop performs the
+                    // Failed/notify/purge cleanup — the same path an
+                    // unwinding panic takes.
+                    Err(err) => Err(err),
                 }
             }
         }
@@ -1975,7 +2111,7 @@ impl ConcurrentSubgraphCache {
     fn plan_victims(&self, keep: CacheKey, bytes: usize) -> Option<Vec<CacheKey>> {
         let mut residents: Vec<(u64, CacheKey, usize)> = Vec::new();
         for shard in self.shards.iter() {
-            let map = shard.map.read().expect("cache shard poisoned");
+            let map = self.shard_read(shard);
             for (&key, entry) in map.iter() {
                 if key == keep || entry.published.get().is_none() {
                     continue;
@@ -2026,7 +2162,7 @@ impl ConcurrentSubgraphCache {
     /// budget reservation. Returns whether an eviction happened.
     fn try_evict(&self, key: CacheKey) -> bool {
         let shard = self.shard_for(key);
-        let mut map = shard.map.write().expect("cache shard poisoned");
+        let mut map = self.shard_write(shard);
         let is_resident = map
             .get(&key)
             .is_some_and(|entry| entry.published.get().is_some());
@@ -2056,10 +2192,7 @@ impl ConcurrentSubgraphCache {
 
     /// Resident entries across all shards (ready and in-flight).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.map.read().expect("cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| self.shard_read(s).len()).sum()
     }
 
     /// Whether no entry is resident.
@@ -2084,9 +2217,7 @@ impl ConcurrentSubgraphCache {
         self.shards
             .iter()
             .map(|s| {
-                s.map
-                    .read()
-                    .expect("cache shard poisoned")
+                self.shard_read(s)
                     .values()
                     .filter_map(|entry| entry.published.get())
                     .map(|ball| ball.memory_bytes_total())
@@ -2099,7 +2230,7 @@ impl ConcurrentSubgraphCache {
     /// extractions complete normally; their waiters are still served.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            let mut map = shard.map.write().expect("cache shard poisoned");
+            let mut map = self.shard_write(shard);
             for entry in map.values() {
                 // Only charged residents release budget; pending entries
                 // (whose winner validates membership at publish time)
@@ -2793,6 +2924,60 @@ mod concurrent_tests {
         assert_eq!(cache.recent_hit_rate(), 0.0);
         cache.get_or_extract(&g, 13, 1).unwrap();
         assert!((cache.recent_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_clear_and_continue() {
+        let g = generators::karate_club();
+        let cache = ConcurrentSubgraphCache::new(8);
+        let (first, work) = cache.get_or_extract_counted(&g, 0, 2).unwrap();
+        assert!(work > 0);
+        // Poison the shard holding (0, 2) by panicking while its write
+        // lock is held — the worst-case co-tenant failure.
+        let shard = cache.shard_for((0, 2));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.map.write().unwrap();
+            panic!("injected poison");
+        }));
+        assert!(unwound.is_err());
+        assert!(shard.map.is_poisoned());
+        // The next lookup recovers clear-and-continue: the shard's
+        // residents were dropped (budget released), the lookup
+        // re-extracts, and the recovery is counted.
+        let (second, work) = cache.get_or_extract_counted(&g, 0, 2).unwrap();
+        assert!(work > 0, "cleared shard must re-extract");
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.poison_recoveries(), 1);
+        assert!(!shard.map.is_poisoned());
+        // Accounting stayed exact through the clear.
+        assert_eq!(cache.resident_bytes(), cache.resident_bytes_exact());
+        // And the cache keeps serving: a re-hit shares the new resident.
+        let (third, work) = cache.get_or_extract_counted(&g, 0, 2).unwrap();
+        assert!(Arc::ptr_eq(&second, &third));
+        assert_eq!(work, 0);
+    }
+
+    #[test]
+    fn panicking_extraction_fails_pending_entry_instead_of_deadlocking() {
+        // A panic inside the winner's `extract` (e.g. an injected
+        // `cache.extract` panic fault) must not strand the pending
+        // entry: waiters would block on its condvar forever. The unwind
+        // guard fails and purges it, so a later lookup re-extracts.
+        let g = generators::karate_club();
+        let cache = ConcurrentSubgraphCache::new(8);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache
+                .lookup(&g, 7, 2, None, LookupMode::Demand, |_| {
+                    panic!("extraction blew up")
+                })
+                .map(|_| ())
+        }));
+        assert!(unwound.is_err());
+        // No deadlock and no stranded entry: the key extracts fresh.
+        let (ball, work) = cache.get_or_extract_counted(&g, 7, 2).unwrap();
+        assert!(work > 0);
+        assert!(ball.num_nodes() > 0);
+        assert_eq!(cache.resident_bytes(), cache.resident_bytes_exact());
     }
 }
 

@@ -46,6 +46,15 @@ pub enum BackendError {
         /// The underlying accelerator error, rendered.
         reason: String,
     },
+    /// An internal failure the client cannot act on: an isolated worker
+    /// panic, an injected fault
+    /// ([`failpoint`](crate::failpoint)), or a broken invariant caught
+    /// and contained by the serving stack.
+    Internal {
+        /// What failed, rendered for logs; the wire protocol reports
+        /// only a generic internal error to clients.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -59,6 +68,9 @@ impl fmt::Display for BackendError {
             }
             BackendError::Accelerator { reason } => {
                 write!(f, "accelerator error: {reason}")
+            }
+            BackendError::Internal { reason } => {
+                write!(f, "internal error: {reason}")
             }
         }
     }

@@ -1,0 +1,445 @@
+//! Deterministic, seeded fault injection for chaos testing.
+//!
+//! A *failpoint* is a named seam in the serving stack — cache
+//! extraction, ball diffusion, backend dispatch, state-file I/O, frame
+//! parsing — where a test can script a fault: a typed error, a panic,
+//! or an injected delay. Production code calls [`check`] at the seam;
+//! tests call [`configure`] to arm it.
+//!
+//! Three properties make the resulting chaos runs *debuggable*:
+//!
+//! 1. **Determinism.** Each point draws from its own
+//!    [SplitMix64](https://prng.di.unimi.it/splitmix64.c) stream,
+//!    seeded from the global seed ([`set_seed`]) mixed with the point's
+//!    name. Probabilistic faults therefore replay bit-identically, and
+//!    arming one point never perturbs another's sequence.
+//! 2. **Exact scheduling.** A spec can `skip` the first N evaluations
+//!    and fire for exactly the next `times` — so a test can assert
+//!    telemetry counters *equal* the schedule, not just bound it.
+//! 3. **Zero production overhead.** Without the `failpoints` cargo
+//!    feature every function in this module compiles to an inlined
+//!    no-op ([`ACTIVE`] is `false`); the alloc-smoke suite asserts the
+//!    hot path stays allocation-free either way.
+//!
+//! # Example (requires the `failpoints` feature)
+//!
+//! ```
+//! use meloppr_core::failpoint::{self, FaultAction, FaultSpec};
+//!
+//! failpoint::set_seed(42);
+//! // Fail the 3rd and 4th cache extraction, then recover.
+//! failpoint::configure(
+//!     "cache.extract",
+//!     FaultSpec::new(FaultAction::Error).skip(2).times(2),
+//! );
+//! // ... drive the server, assert typed errors, then:
+//! failpoint::clear_all();
+//! ```
+
+use std::fmt;
+use std::time::Duration;
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// [`check`] returns `Err(InjectedFault)`, which converts into the
+    /// crate's typed errors (or `io::Error` at I/O seams).
+    Error,
+    /// [`check`] panics, exercising `catch_unwind` isolation paths.
+    Panic,
+    /// [`check`] sleeps for the given duration, then succeeds —
+    /// for deadline-pressure and slow-peer scenarios.
+    Delay(Duration),
+}
+
+/// A scripted fault schedule for one named point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// The action taken when the point fires.
+    pub action: FaultAction,
+    /// Evaluations to let through unfaulted before the first fire.
+    pub skip: u64,
+    /// Maximum number of fires; `None` means every eligible
+    /// evaluation fires.
+    pub times: Option<u64>,
+    /// Probability (in `[0, 1]`) that an eligible evaluation fires,
+    /// drawn from the point's deterministic stream. `1.0` (the
+    /// default) gives exact schedules.
+    pub probability: f64,
+}
+
+impl FaultSpec {
+    /// A spec that fires `action` on every evaluation.
+    #[must_use]
+    pub fn new(action: FaultAction) -> FaultSpec {
+        FaultSpec {
+            action,
+            skip: 0,
+            times: None,
+            probability: 1.0,
+        }
+    }
+
+    /// Let the first `n` evaluations through unfaulted.
+    #[must_use]
+    pub fn skip(mut self, n: u64) -> FaultSpec {
+        self.skip = n;
+        self
+    }
+
+    /// Fire at most `n` times, then fall dormant.
+    #[must_use]
+    pub fn times(mut self, n: u64) -> FaultSpec {
+        self.times = Some(n);
+        self
+    }
+
+    /// Fire each eligible evaluation with probability `p`, drawn from
+    /// the point's seeded stream (deterministic across replays).
+    #[must_use]
+    pub fn probability(mut self, p: f64) -> FaultSpec {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// The typed error produced when an armed point fires
+/// [`FaultAction::Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Name of the failpoint that fired.
+    pub point: String,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.point)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+impl From<InjectedFault> for crate::error::PprError {
+    fn from(fault: InjectedFault) -> Self {
+        crate::error::PprError::Backend(crate::error::BackendError::Internal {
+            reason: fault.to_string(),
+        })
+    }
+}
+
+impl From<InjectedFault> for std::io::Error {
+    fn from(fault: InjectedFault) -> Self {
+        std::io::Error::other(fault.to_string())
+    }
+}
+
+impl From<InjectedFault> for String {
+    fn from(fault: InjectedFault) -> Self {
+        fault.to_string()
+    }
+}
+
+/// `true` when the `failpoints` cargo feature is compiled in; `false`
+/// builds reduce every function here to an inlined no-op.
+pub const ACTIVE: bool = cfg!(feature = "failpoints");
+
+#[cfg(feature = "failpoints")]
+mod active {
+    use super::{FaultAction, FaultSpec, InjectedFault};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// SplitMix64: tiny, seedable, and excellent bit mixing — exactly
+    /// what per-point deterministic streams need.
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw in `[0, 1)` with 53 bits of precision.
+        fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    struct PointState {
+        spec: FaultSpec,
+        hits: u64,
+        fired: u64,
+        rng: SplitMix64,
+    }
+
+    struct Registry {
+        seed: u64,
+        points: HashMap<String, PointState>,
+    }
+
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    /// Number of armed points — lets `check` bail with one relaxed
+    /// atomic load when nothing is configured.
+    static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+    fn registry() -> &'static Mutex<Registry> {
+        REGISTRY.get_or_init(|| {
+            Mutex::new(Registry {
+                seed: 0,
+                points: HashMap::new(),
+            })
+        })
+    }
+
+    fn lock(m: &Mutex<Registry>) -> std::sync::MutexGuard<'_, Registry> {
+        // A panic injected *by* a failpoint can unwind while this lock
+        // is not held, but be defensive anyway: the registry's state is
+        // plain data, always valid.
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// FNV-1a over the point name: mixed into the global seed so each
+    /// point gets an independent stream.
+    fn name_hash(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Set the global chaos seed. Points configured afterwards derive
+    /// their deterministic streams from `seed ^ fnv(name)`; call this
+    /// before [`configure`] for replayable probabilistic schedules.
+    pub fn set_seed(seed: u64) {
+        lock(registry()).seed = seed;
+    }
+
+    /// Arm (or re-arm, resetting counters and the stream) the named
+    /// failpoint with `spec`.
+    pub fn configure(name: &str, spec: FaultSpec) {
+        let mut reg = lock(registry());
+        let seed = reg.seed ^ name_hash(name);
+        let prev = reg.points.insert(
+            name.to_string(),
+            PointState {
+                spec,
+                hits: 0,
+                fired: 0,
+                rng: SplitMix64(seed),
+            },
+        );
+        if prev.is_none() {
+            ARMED.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Disarm one failpoint; its counters are forgotten.
+    pub fn clear(name: &str) {
+        if lock(registry()).points.remove(name).is_some() {
+            ARMED.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Disarm every failpoint — the chaos-test epilogue.
+    pub fn clear_all() {
+        let mut reg = lock(registry());
+        let n = reg.points.len();
+        reg.points.clear();
+        ARMED.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// Evaluations of `name` since it was armed (0 when unarmed).
+    pub fn hits(name: &str) -> u64 {
+        lock(registry()).points.get(name).map_or(0, |p| p.hits)
+    }
+
+    /// Fires of `name` since it was armed (0 when unarmed).
+    pub fn fired(name: &str) -> u64 {
+        lock(registry()).points.get(name).map_or(0, |p| p.fired)
+    }
+
+    /// Evaluate the named failpoint: returns the injected error,
+    /// panics, or sleeps per the armed [`FaultSpec`]; passes with one
+    /// relaxed atomic load when nothing is armed.
+    pub fn check(name: &str) -> Result<(), InjectedFault> {
+        if ARMED.load(Ordering::Relaxed) == 0 {
+            return Ok(());
+        }
+        let action = {
+            let mut reg = lock(registry());
+            let Some(point) = reg.points.get_mut(name) else {
+                return Ok(());
+            };
+            let hit = point.hits;
+            point.hits += 1;
+            if hit < point.spec.skip {
+                return Ok(());
+            }
+            if let Some(times) = point.spec.times {
+                if point.fired >= times {
+                    return Ok(());
+                }
+            }
+            if point.spec.probability < 1.0 && point.rng.next_f64() >= point.spec.probability {
+                return Ok(());
+            }
+            point.fired += 1;
+            point.spec.action
+            // Lock dropped here: a Delay must not serialize other
+            // points, and a Panic must not poison the registry.
+        };
+        match action {
+            FaultAction::Error => Err(InjectedFault {
+                point: name.to_string(),
+            }),
+            FaultAction::Panic => panic!("injected panic at failpoint `{name}`"),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use active::{check, clear, clear_all, configure, fired, hits, set_seed};
+
+#[cfg(not(feature = "failpoints"))]
+mod inactive {
+    use super::{FaultSpec, InjectedFault};
+
+    /// Set the global chaos seed (no-op without the `failpoints`
+    /// feature).
+    #[inline(always)]
+    pub fn set_seed(_seed: u64) {}
+
+    /// Arm a named failpoint (no-op without the `failpoints` feature).
+    #[inline(always)]
+    pub fn configure(_name: &str, _spec: FaultSpec) {}
+
+    /// Disarm one failpoint (no-op without the `failpoints` feature).
+    #[inline(always)]
+    pub fn clear(_name: &str) {}
+
+    /// Disarm every failpoint (no-op without the `failpoints`
+    /// feature).
+    #[inline(always)]
+    pub fn clear_all() {}
+
+    /// Evaluations of a point since it was armed (always 0 without the
+    /// `failpoints` feature).
+    #[inline(always)]
+    pub fn hits(_name: &str) -> u64 {
+        0
+    }
+
+    /// Fires of a point since it was armed (always 0 without the
+    /// `failpoints` feature).
+    #[inline(always)]
+    pub fn fired(_name: &str) -> u64 {
+        0
+    }
+
+    /// Evaluate a failpoint. Without the `failpoints` feature this is
+    /// an unconditional inlined `Ok(())` — zero overhead at the seams.
+    #[inline(always)]
+    pub fn check(_name: &str) -> Result<(), InjectedFault> {
+        Ok(())
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+pub use inactive::{check, clear, clear_all, configure, fired, hits, set_seed};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    /// The registry is global; serialize the tests that touch it.
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn skip_times_schedule_is_exact() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        clear_all();
+        configure(
+            "t.skip",
+            FaultSpec::new(FaultAction::Error).skip(2).times(2),
+        );
+        let outcomes: Vec<bool> = (0..6).map(|_| check("t.skip").is_err()).collect();
+        assert_eq!(outcomes, [false, false, true, true, false, false]);
+        assert_eq!(hits("t.skip"), 6);
+        assert_eq!(fired("t.skip"), 2);
+        clear_all();
+    }
+
+    #[test]
+    fn probability_streams_replay_bit_identically() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        clear_all();
+        let run = || {
+            set_seed(7);
+            configure(
+                "t.prob",
+                FaultSpec::new(FaultAction::Error).probability(0.5),
+            );
+            let v: Vec<bool> = (0..64).map(|_| check("t.prob").is_err()).collect();
+            clear_all();
+            v
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must replay the same fault sequence");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            (8..=56).contains(&fired),
+            "p=0.5 over 64 draws fired {fired} times"
+        );
+        // A different seed gives a different sequence.
+        set_seed(8);
+        configure(
+            "t.prob",
+            FaultSpec::new(FaultAction::Error).probability(0.5),
+        );
+        let c: Vec<bool> = (0..64).map(|_| check("t.prob").is_err()).collect();
+        clear_all();
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn unarmed_points_pass_and_faults_convert() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        clear_all();
+        assert!(check("t.unarmed").is_ok());
+        assert_eq!(hits("t.unarmed"), 0);
+
+        configure("t.conv", FaultSpec::new(FaultAction::Error));
+        let fault = check("t.conv").unwrap_err();
+        let ppr: crate::error::PprError = fault.clone().into();
+        assert!(ppr.to_string().contains("t.conv"));
+        let io: std::io::Error = fault.clone().into();
+        assert!(io.to_string().contains("t.conv"));
+        clear_all();
+        // Disarmed again: passes.
+        assert!(check("t.conv").is_ok());
+    }
+
+    #[test]
+    fn injected_panics_unwind_with_the_point_name() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        clear_all();
+        configure("t.panic", FaultSpec::new(FaultAction::Panic).times(1));
+        let err = std::panic::catch_unwind(|| check("t.panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("t.panic"), "panic payload was {msg:?}");
+        // `times(1)` exhausted: the next evaluation passes.
+        assert!(check("t.panic").is_ok());
+        clear_all();
+    }
+}

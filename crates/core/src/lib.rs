@@ -152,6 +152,7 @@ pub mod backend;
 pub mod cache;
 pub mod diffusion;
 mod error;
+pub mod failpoint;
 mod global_table;
 mod ground_truth;
 mod local_ppr;

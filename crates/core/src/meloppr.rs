@@ -762,6 +762,9 @@ pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
                     }
                 }
             }
+            // Chaos seam: a fault here models the diffusion stage dying
+            // mid-query (after extraction, before aggregation).
+            crate::failpoint::check("ball.diffuse")?;
             let (record, candidates_count) = execute_task_on_with(
                 sub.as_ref(),
                 bfs_work,

@@ -53,6 +53,44 @@
 //! high-water, shed / unmeetable / deadline-missed / degraded counters,
 //! and per-backend route counts. Snapshots are queryable over the
 //! protocol (`STATS`) and rendered on shutdown.
+//!
+//! # Failure model
+//!
+//! The server assumes *every* dependency can fail mid-request and
+//! answers each failure with a typed response instead of silence:
+//!
+//! * **Backend errors are retried, bounded.** A failed query attempt is
+//!   re-routed via [`Router::query_with_failover`] to the next-cheapest
+//!   backend that still fits the *remaining* deadline, at most
+//!   `MAX_FAILOVERS` (2) times. Only `Err`
+//!   attempts retry — a completed query is never re-run, so
+//!   non-idempotent state (calibration EWMAs, cache admissions) is
+//!   never double-counted. Repeated failures trip the backend's
+//!   **circuit breaker** open; routing then avoids it until a cooldown
+//!   elapses and a half-open probe succeeds. Breaker state rides along
+//!   in `STATS` (`breakers=`) and the shutdown report.
+//! * **Panics are isolated, not retried.** A worker wraps query
+//!   execution in `catch_unwind`: the panicking query answers `ERR`
+//!   with an internal-error message, `worker_panics` increments, and
+//!   the worker survives to drain the queue. Panic-poisoned locks
+//!   (workspace pool, cache shards, calibration, telemetry) all recover
+//!   rather than cascade — a poisoned cache shard is cleared and
+//!   counted, never trusted.
+//! * **Client failures free server resources.** A peer that disconnects
+//!   with responses still owed, or dies mid-frame (length prefix
+//!   without payload), is counted in `aborted_connections`; its pending
+//!   completions drain into the closed channel and the connection
+//!   thread exits without wedging workers or other connections.
+//! * **Overload sheds, deadline pressure degrades** (see the lifecycle
+//!   above): `queue-full` / `deadline-unmeetable` / `deadline-exceeded`
+//!   are typed rejections, and precision-ladder degradation is counted,
+//!   not hidden.
+//!
+//! The `failpoints` feature (off by default, zero overhead when off)
+//! injects deterministic faults at the seams named above — see
+//! [`crate::failpoint`] and `tests/chaos.rs`, which drives a live
+//! server through scripted fault schedules and asserts exactly this
+//! model.
 
 pub mod protocol;
 pub mod queue;
@@ -208,10 +246,19 @@ impl<'r, 'g> PprServer<'r, 'g> {
         let _ = TcpStream::connect(wake);
     }
 
-    /// A telemetry snapshot including live queue figures.
+    /// A telemetry snapshot including live queue figures and the
+    /// router's per-backend circuit-breaker states.
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        self.telemetry
-            .snapshot(self.queue.len(), self.queue.high_water())
+        let mut snap = self
+            .telemetry
+            .snapshot(self.queue.len(), self.queue.high_water());
+        snap.breakers = self
+            .router
+            .breaker_snapshots()
+            .into_iter()
+            .map(|b| (b.kind, b.state, b.trips))
+            .collect();
+        snap
     }
 
     /// Runs the accept loop and worker pool until [`PprServer::shutdown`].
@@ -290,8 +337,21 @@ impl<'r, 'g> PprServer<'r, 'g> {
                 return;
             }
         };
-        match self.router.query_routed(&req) {
-            Ok((route, outcome)) => {
+        // A panicking backend must not take the worker (and with it the
+        // whole drain) down: isolate the unwind, answer a typed internal
+        // error, and keep serving. The shared state a panic can reach is
+        // poison-recovering by construction (workspace pool, cache
+        // shards, calibration, breakers, telemetry), so resuming after
+        // the catch is sound — which is what makes the
+        // `AssertUnwindSafe` honest.
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.router.query_with_failover(&req)
+        }));
+        match attempt {
+            Ok(Ok((route, outcome, failovers))) => {
+                if failovers > 0 {
+                    self.telemetry.on_failover(u64::from(failovers));
+                }
                 let completed_at = Instant::now();
                 let latency = completed_at.duration_since(job.arrival);
                 let missed = completed_at > job.deadline;
@@ -314,18 +374,33 @@ impl<'r, 'g> PprServer<'r, 'g> {
                     ranking: outcome.ranking,
                 });
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 self.telemetry.on_error();
                 let _ = job.reply.send(Response::Error {
                     id: job.id,
                     message: e.to_string(),
                 });
             }
+            Err(panic) => {
+                self.telemetry.on_error();
+                self.telemetry.on_worker_panic();
+                let reason = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                let _ = job.reply.send(Response::Error {
+                    id: job.id,
+                    message: format!("internal error: query execution panicked: {reason}"),
+                });
+            }
         }
     }
 
     /// Serves one connection: read frames, admit queries, and interleave
-    /// out-of-order worker responses, until EOF or shutdown.
+    /// out-of-order worker responses, until EOF or shutdown. Counts the
+    /// connection as aborted when the peer dies mid-frame or with
+    /// responses still owed.
     fn handle_connection(&self, mut stream: TcpStream) -> io::Result<()> {
         stream.set_read_timeout(Some(self.config.poll_interval))?;
         // Nagle's algorithm can hold small response frames hostage to the
@@ -333,8 +408,34 @@ impl<'r, 'g> PprServer<'r, 'g> {
         // protocol, so write eagerly.
         stream.set_nodelay(true)?;
         let (tx, rx) = mpsc::channel::<Response>();
-        let mut reader = FrameReader::new();
         let mut inflight: usize = 0;
+        let mut torn_frame = false;
+        let result = self
+            .connection_loop(&mut stream, &tx, &rx, &mut inflight, &mut torn_frame)
+            .and_then(|()| stream.flush());
+        // The client failed us (not the reverse) when it cut a frame
+        // mid-payload or vanished while responses were owed: count it,
+        // free the thread, and let stranded completions drain into the
+        // dropped receiver. Workers and other connections never notice.
+        if torn_frame || result.is_err() || inflight > 0 {
+            self.telemetry.on_aborted_connection();
+        }
+        result
+    }
+
+    /// The read/admit/respond loop of one connection. On return,
+    /// `inflight` holds the number of responses still owed (non-zero
+    /// only on error paths) and `torn_frame` whether the peer died
+    /// mid-frame.
+    fn connection_loop(
+        &self,
+        stream: &mut TcpStream,
+        tx: &mpsc::Sender<Response>,
+        rx: &mpsc::Receiver<Response>,
+        inflight: &mut usize,
+        torn_frame: &mut bool,
+    ) -> io::Result<()> {
+        let mut reader = FrameReader::new();
         let mut open = true;
         loop {
             // Shutdown stops reading new frames but does NOT abandon
@@ -342,17 +443,28 @@ impl<'r, 'g> PprServer<'r, 'g> {
             // after the queue closes, and every admitted request must
             // still reach its client ("drained, not dropped").
             let reading = open && !self.is_shutdown();
-            if !reading && inflight == 0 {
+            if !reading && *inflight == 0 {
                 break;
             }
             if reading {
-                match reader.read_event(&mut stream) {
+                match reader.read_event(stream) {
                     Ok(FrameEvent::Frame(payload)) => {
-                        self.handle_frame(&payload, &mut stream, &tx, &mut inflight)?;
+                        self.handle_frame(&payload, stream, tx, inflight)?;
                     }
                     Ok(FrameEvent::Idle) => {}
-                    Ok(FrameEvent::Eof) => open = false,
-                    Err(_) => open = false,
+                    Ok(FrameEvent::Eof) => {
+                        open = false;
+                        // Bytes buffered past the last frame boundary
+                        // mean the peer died mid-frame.
+                        *torn_frame = reader.has_partial();
+                    }
+                    Err(_) => {
+                        // Unframeable input (oversized length, invalid
+                        // UTF-8, transport error): the peer broke the
+                        // framing contract.
+                        open = false;
+                        *torn_frame = true;
+                    }
                 }
             } else {
                 // EOF, read error, or shutdown, but responses still owed
@@ -361,8 +473,8 @@ impl<'r, 'g> PprServer<'r, 'g> {
                 // a vanished peer cannot wedge the wind-down.
                 match rx.recv_timeout(self.config.poll_interval) {
                     Ok(response) => {
-                        write_frame(&mut stream, &response.encode())?;
-                        inflight -= 1;
+                        write_frame(stream, &response.encode())?;
+                        *inflight -= 1;
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {}
                     Err(mpsc::RecvTimeoutError::Disconnected) => break,
@@ -370,11 +482,11 @@ impl<'r, 'g> PprServer<'r, 'g> {
             }
             // Flush any completions that arrived while we were reading.
             while let Ok(response) = rx.try_recv() {
-                write_frame(&mut stream, &response.encode())?;
-                inflight -= 1;
+                write_frame(stream, &response.encode())?;
+                *inflight -= 1;
             }
         }
-        stream.flush()
+        Ok(())
     }
 
     /// Dispatches one parsed frame.

@@ -142,6 +142,14 @@ impl FrameReader {
         }
     }
 
+    /// Whether the decoder holds a partially received frame. After
+    /// [`FrameEvent::Eof`] this distinguishes a clean close (frame
+    /// boundary) from a peer that died mid-frame — the server counts
+    /// the latter as an aborted connection.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
     /// Pops one complete frame off the buffer, if present.
     fn take_frame(&mut self) -> io::Result<Option<String>> {
         if self.buf.len() < 4 {
@@ -282,6 +290,7 @@ impl Request {
     ///
     /// A human-readable reason (sent back as an `ERR` response).
     pub fn parse(payload: &str) -> Result<Request, String> {
+        crate::failpoint::check("frame.parse").map_err(|f| f.to_string())?;
         let mut tokens = payload.split_whitespace();
         match tokens.next() {
             Some("STATS") => Ok(Request::Stats),

@@ -24,7 +24,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// The outcome of a [`DeadlineQueue::push`].
@@ -66,6 +66,14 @@ impl<T> std::fmt::Debug for DeadlineQueue<T> {
 }
 
 impl<T> DeadlineQueue<T> {
+    /// The queue's invariants hold at every await point, so a panic
+    /// that poisoned the lock (e.g. an injected worker panic unwinding
+    /// through `catch_unwind`) leaves valid state behind — recover it
+    /// rather than cascading the panic into every other worker.
+    fn state(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// An empty queue holding at most `capacity` entries.
     ///
     /// # Panics
@@ -88,7 +96,7 @@ impl<T> DeadlineQueue<T> {
     /// Offers `item` with `deadline`, shedding the latest deadline if
     /// the queue is full. Pushing to a closed queue refuses the item.
     pub fn push(&self, item: T, deadline: Instant) -> Enqueued<T> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state();
         if state.closed {
             return Enqueued::Refused(item);
         }
@@ -123,7 +131,7 @@ impl<T> DeadlineQueue<T> {
     /// once the queue is closed **and** drained — residents queued
     /// before [`DeadlineQueue::close`] are still served.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state();
         loop {
             if let Some((_, item)) = state.entries.pop_first() {
                 return Some(item);
@@ -131,20 +139,23 @@ impl<T> DeadlineQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).unwrap();
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: future pushes are refused, blocked poppers wake
     /// up, and `pop` returns `None` once residents drain.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        self.state().closed = true;
         self.available.notify_all();
     }
 
     /// Current number of queued entries.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().entries.len()
+        self.state().entries.len()
     }
 
     /// Whether the queue is currently empty.

@@ -13,10 +13,10 @@
 //! long-lived server whose load shifts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
-use crate::backend::BackendKind;
+use crate::backend::{BackendKind, BreakerState};
 
 /// Fixed-size ring of the most recent completion latencies, in
 /// milliseconds.
@@ -72,8 +72,18 @@ pub struct ServerTelemetry {
     degraded: AtomicU64,
     precision_degraded: AtomicU64,
     errors: AtomicU64,
+    worker_panics: AtomicU64,
+    failovers: AtomicU64,
+    aborted_connections: AtomicU64,
     routes: Mutex<Vec<(BackendKind, u64)>>,
     latencies: Mutex<LatencyReservoir>,
+}
+
+/// Telemetry mutexes guard pure accounting (a count vector, a latency
+/// ring) whose every intermediate state is valid, so a panicking worker
+/// must not take monitoring down with it: recover the guard instead.
+fn counters<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl ServerTelemetry {
@@ -89,6 +99,9 @@ impl ServerTelemetry {
             degraded: AtomicU64::new(0),
             precision_degraded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            aborted_connections: AtomicU64::new(0),
             routes: Mutex::new(Vec::new()),
             latencies: Mutex::new(LatencyReservoir::new(reservoir)),
         }
@@ -119,6 +132,24 @@ impl ServerTelemetry {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A worker caught a panicking query and answered a typed internal
+    /// error instead of dying (counted *in addition to* the error).
+    pub fn on_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query's first-choice backend failed and the request was
+    /// re-routed; `count` is how many failovers that one query used.
+    pub fn on_failover(&self, count: u64) {
+        self.failovers.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// A client connection died with responses still owed (mid-frame
+    /// EOF or a write to a closed socket).
+    pub fn on_aborted_connection(&self) {
+        self.aborted_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A query completed: record its route, end-to-end latency, and
     /// whether it was served degraded (plan, precision rung) or past
     /// its deadline.
@@ -141,22 +172,19 @@ impl ServerTelemetry {
             self.deadline_missed.fetch_add(1, Ordering::Relaxed);
         }
         {
-            let mut routes = self.routes.lock().unwrap();
+            let mut routes = counters(&self.routes);
             match routes.iter_mut().find(|(k, _)| *k == kind) {
                 Some((_, count)) => *count += 1,
                 None => routes.push((kind, 1)),
             }
         }
-        self.latencies
-            .lock()
-            .unwrap()
-            .record(latency.as_secs_f64() * 1e3);
+        counters(&self.latencies).record(latency.as_secs_f64() * 1e3);
     }
 
     /// An immutable snapshot; the caller supplies queue figures (the
     /// queue owns its own depth accounting).
     pub fn snapshot(&self, queue_depth: usize, queue_high_water: usize) -> TelemetrySnapshot {
-        let sorted = self.latencies.lock().unwrap().sorted();
+        let sorted = counters(&self.latencies).sorted();
         TelemetrySnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -166,13 +194,17 @@ impl ServerTelemetry {
             degraded: self.degraded.load(Ordering::Relaxed),
             precision_degraded: self.precision_degraded.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            aborted_connections: self.aborted_connections.load(Ordering::Relaxed),
             queue_depth,
             queue_high_water,
             p50_ms: quantile(&sorted, 0.50),
             p95_ms: quantile(&sorted, 0.95),
             p99_ms: quantile(&sorted, 0.99),
             max_ms: sorted.last().copied().unwrap_or(0.0),
-            routes: self.routes.lock().unwrap().clone(),
+            routes: counters(&self.routes).clone(),
+            breakers: Vec::new(),
         }
     }
 }
@@ -201,6 +233,14 @@ pub struct TelemetrySnapshot {
     pub precision_degraded: u64,
     /// Protocol parse failures plus backend execution errors.
     pub errors: u64,
+    /// Panicking queries caught by workers and answered as typed
+    /// internal errors (a subset of `errors`).
+    pub worker_panics: u64,
+    /// Failover retries consumed: every time a failed backend attempt
+    /// was re-routed to another backend.
+    pub failovers: u64,
+    /// Connections that died with responses still owed.
+    pub aborted_connections: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Deepest the queue has ever been (bounded by its capacity).
@@ -215,6 +255,10 @@ pub struct TelemetrySnapshot {
     pub max_ms: f64,
     /// Completions per backend, in first-served order.
     pub routes: Vec<(BackendKind, u64)>,
+    /// Per-backend circuit-breaker state and lifetime trip count, in
+    /// registration order. Filled in by the server (the router owns the
+    /// breakers); empty from a bare [`ServerTelemetry::snapshot`].
+    pub breakers: Vec<(BackendKind, BreakerState, u64)>,
 }
 
 impl TelemetrySnapshot {
@@ -229,10 +273,21 @@ impl TelemetrySnapshot {
                 .collect::<Vec<_>>()
                 .join(",")
         };
+        let breakers: String = if self.breakers.is_empty() {
+            "-".into()
+        } else {
+            self.breakers
+                .iter()
+                .map(|(kind, state, trips)| format!("{kind}:{state}:{trips}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         format!(
             "accepted={} completed={} shed={} rejected_unmeetable={} deadline_missed={} \
-             degraded={} precision_degraded={} errors={} queue_depth={} queue_high_water={} \
-             p50_ms={:.3} p95_ms={:.3} p99_ms={:.3} max_ms={:.3} routes={routes}",
+             degraded={} precision_degraded={} errors={} worker_panics={} failovers={} \
+             aborted_connections={} queue_depth={} queue_high_water={} \
+             p50_ms={:.3} p95_ms={:.3} p99_ms={:.3} max_ms={:.3} routes={routes} \
+             breakers={breakers}",
             self.accepted,
             self.completed,
             self.shed,
@@ -241,6 +296,9 @@ impl TelemetrySnapshot {
             self.degraded,
             self.precision_degraded,
             self.errors,
+            self.worker_panics,
+            self.failovers,
+            self.aborted_connections,
             self.queue_depth,
             self.queue_high_water,
             self.p50_ms,
@@ -267,6 +325,9 @@ impl TelemetrySnapshot {
             degraded: 0,
             precision_degraded: 0,
             errors: 0,
+            worker_panics: 0,
+            failovers: 0,
+            aborted_connections: 0,
             queue_depth: 0,
             queue_high_water: 0,
             p50_ms: 0.0,
@@ -274,6 +335,7 @@ impl TelemetrySnapshot {
             p99_ms: 0.0,
             max_ms: 0.0,
             routes: Vec::new(),
+            breakers: Vec::new(),
         };
         for token in line.split_whitespace() {
             let (key, value) = token
@@ -290,6 +352,9 @@ impl TelemetrySnapshot {
                 "degraded" => snap.degraded = parse_u64(value)?,
                 "precision_degraded" => snap.precision_degraded = parse_u64(value)?,
                 "errors" => snap.errors = parse_u64(value)?,
+                "worker_panics" => snap.worker_panics = parse_u64(value)?,
+                "failovers" => snap.failovers = parse_u64(value)?,
+                "aborted_connections" => snap.aborted_connections = parse_u64(value)?,
                 "queue_depth" => snap.queue_depth = parse_u64(value)? as usize,
                 "queue_high_water" => snap.queue_high_water = parse_u64(value)? as usize,
                 "p50_ms" => snap.p50_ms = parse_f64(value)?,
@@ -309,6 +374,28 @@ impl TelemetrySnapshot {
                                 .parse::<u64>()
                                 .map_err(|e| format!("bad route: {e}"))?;
                             snap.routes.push((kind, count));
+                        }
+                    }
+                }
+                "breakers" => {
+                    if value != "-" {
+                        for triple in value.split(',') {
+                            let mut parts = triple.splitn(3, ':');
+                            let (Some(kind), Some(state), Some(trips)) =
+                                (parts.next(), parts.next(), parts.next())
+                            else {
+                                return Err(format!("malformed breaker {triple:?}"));
+                            };
+                            let kind = kind
+                                .parse::<BackendKind>()
+                                .map_err(|e| format!("bad breaker kind: {e}"))?;
+                            let state = state
+                                .parse::<BreakerState>()
+                                .map_err(|e| format!("bad breaker state: {e}"))?;
+                            let trips = trips
+                                .parse::<u64>()
+                                .map_err(|e| format!("bad breaker trips: {e}"))?;
+                            snap.breakers.push((kind, state, trips));
                         }
                     }
                 }
@@ -339,6 +426,11 @@ impl std::fmt::Display for TelemetrySnapshot {
         )?;
         writeln!(
             f,
+            "  worker-panics {}  failovers {}  aborted-connections {}",
+            self.worker_panics, self.failovers, self.aborted_connections
+        )?;
+        writeln!(
+            f,
             "  queue depth {}  high-water {}",
             self.queue_depth, self.queue_high_water
         )?;
@@ -353,6 +445,12 @@ impl std::fmt::Display for TelemetrySnapshot {
         }
         for (kind, count) in &self.routes {
             write!(f, "  {kind}={count}")?;
+        }
+        if !self.breakers.is_empty() {
+            write!(f, "\n  breakers")?;
+            for (kind, state, trips) in &self.breakers {
+                write!(f, "  {kind}={state} (trips {trips})")?;
+            }
         }
         Ok(())
     }
@@ -452,5 +550,26 @@ mod tests {
         assert_eq!(parsed.routes, vec![(BackendKind::MonteCarlo, 1)]);
         // Display stays renderable for the shutdown report.
         assert!(snap.to_string().contains("high-water 2"));
+    }
+
+    #[test]
+    fn robustness_counters_and_breakers_roundtrip() {
+        let telemetry = ServerTelemetry::new(8);
+        telemetry.on_worker_panic();
+        telemetry.on_failover(2);
+        telemetry.on_aborted_connection();
+        let mut snap = telemetry.snapshot(0, 0);
+        snap.breakers = vec![
+            (BackendKind::Meloppr, BreakerState::Open, 3),
+            (BackendKind::LocalPpr, BreakerState::Closed, 0),
+        ];
+        let parsed = TelemetrySnapshot::parse_compact(&snap.render_compact()).unwrap();
+        assert_eq!(parsed.worker_panics, 1);
+        assert_eq!(parsed.failovers, 2);
+        assert_eq!(parsed.aborted_connections, 1);
+        assert_eq!(parsed.breakers, snap.breakers);
+        let report = snap.to_string();
+        assert!(report.contains("worker-panics 1"), "{report}");
+        assert!(report.contains("meloppr=open (trips 3)"), "{report}");
     }
 }

@@ -95,19 +95,27 @@ impl WorkspacePool {
         WorkspacePool::default()
     }
 
+    /// The pool holds only *idle* workspaces, which are always in a
+    /// valid (if dirty) state — a panic while the lock was held cannot
+    /// break an invariant, so recover from poisoning instead of taking
+    /// every future query down with the first panicking one. A query
+    /// that panicked mid-execution simply never returns its checked-out
+    /// workspace; the pool hands out a fresh one on demand.
+    fn idle(&self) -> std::sync::MutexGuard<'_, Vec<QueryWorkspace>> {
+        self.idle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Checks out an idle workspace, creating a fresh one if none is
     /// available.
     pub fn acquire(&self) -> QueryWorkspace {
-        self.idle
-            .lock()
-            .expect("workspace pool poisoned")
-            .pop()
-            .unwrap_or_default()
+        self.idle().pop().unwrap_or_default()
     }
 
     /// Returns a workspace to the pool for the next query.
     pub fn release(&self, ws: QueryWorkspace) {
-        let mut idle = self.idle.lock().expect("workspace pool poisoned");
+        let mut idle = self.idle();
         if idle.len() < Self::MAX_IDLE {
             idle.push(ws);
         }
@@ -115,7 +123,7 @@ impl WorkspacePool {
 
     /// Number of idle workspaces currently pooled.
     pub fn idle_len(&self) -> usize {
-        self.idle.lock().expect("workspace pool poisoned").len()
+        self.idle().len()
     }
 }
 

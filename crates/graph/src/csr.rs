@@ -96,7 +96,6 @@ impl CsrGraph {
                 reason: format!("offsets array too short: {}", offsets.len()),
             });
         }
-        let n = offsets.len() - 1;
         if offsets[0] != 0 {
             return Err(GraphError::InvalidCsr {
                 reason: format!("offsets[0] must be 0, got {}", offsets[0]),
@@ -120,11 +119,29 @@ impl CsrGraph {
             }
         }
         let graph = CsrGraph { offsets, neighbors };
-        graph.validate(n)?;
+        graph.validate()?;
         Ok(graph)
     }
 
-    fn validate(&self, n: usize) -> Result<()> {
+    /// Re-checks every structural invariant of the CSR arrays: neighbor
+    /// ids in bounds, no self-loops, strictly increasing (duplicate-free)
+    /// adjacency lists, and undirected symmetry (`u->v` implies `v->u`).
+    ///
+    /// Every constructor already validates, so a graph built through the
+    /// public API cannot fail this. Call it again at trust boundaries —
+    /// after deserializing a graph from disk or accepting one across a
+    /// process boundary — where a torn file or a hostile producer could
+    /// hand over arrays the type's invariants no longer hold for.
+    ///
+    /// Cost: `O(m log d)` (a binary search per arc for the symmetry
+    /// check) — proportional to a single BFS over the whole graph.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidCsr`] describing the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.num_nodes();
         for u in 0..n {
             let list = &self.neighbors[self.offsets[u] as usize..self.offsets[u + 1] as usize];
             let mut prev: Option<NodeId> = None;
@@ -318,6 +335,13 @@ mod tests {
 
     fn square() -> CsrGraph {
         CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn public_validate_accepts_constructed_graphs() {
+        // Constructors route through the same checks, so anything they
+        // return re-validates cleanly at a later trust boundary.
+        square().validate().unwrap();
     }
 
     #[test]

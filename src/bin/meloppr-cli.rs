@@ -180,6 +180,13 @@ fn load_graph(spec: &str) -> Result<CsrGraph, String> {
     } else {
         let parsed = read_edge_list_file(spec, EdgeListOptions::default())
             .map_err(|e| format!("reading {spec:?}: {e}"))?;
+        // Files are a trust boundary: re-check the CSR invariants so a
+        // malformed graph is rejected with the typed reason up front
+        // instead of corrupting query results (or panicking) later.
+        parsed
+            .graph
+            .validate()
+            .map_err(|e| format!("rejecting {spec:?}: {}", meloppr::core::PprError::from(e)))?;
         Ok(parsed.graph)
     }
 }

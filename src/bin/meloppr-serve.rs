@@ -217,9 +217,17 @@ fn load_graph(spec: &str) -> Result<CsrGraph, String> {
         }
         .map_err(|e| e.to_string())
     } else {
-        read_edge_list_file(spec, EdgeListOptions::default())
+        let graph = read_edge_list_file(spec, EdgeListOptions::default())
             .map(|parsed| parsed.graph)
-            .map_err(|e| format!("reading {spec:?}: {e}"))
+            .map_err(|e| format!("reading {spec:?}: {e}"))?;
+        // A daemon must not serve queries over a structurally broken
+        // graph (the zero-allocation hot paths index it unchecked):
+        // re-check the CSR invariants at this trust boundary and refuse
+        // to boot with the typed reason.
+        graph
+            .validate()
+            .map_err(|e| format!("rejecting {spec:?}: {}", meloppr::core::PprError::from(e)))?;
+        Ok(graph)
     }
 }
 

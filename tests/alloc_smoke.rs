@@ -60,6 +60,19 @@ const STEADY_STATE_ALLOCS_PER_QUERY: usize = 64;
 
 #[test]
 fn steady_state_queries_allocate_approximately_nothing() {
+    // The fault-injection seams (`cache.extract`, `ball.diffuse`, …) sit
+    // on this exact hot path; a default build must compile them to
+    // no-ops. The steady-state budget below then proves they cost zero
+    // allocations — a single format!-built dynamic failpoint name per
+    // query would blow it.
+    #[cfg(not(feature = "failpoints"))]
+    const {
+        assert!(
+            !meloppr::core::failpoint::ACTIVE,
+            "failpoints must be compiled out of default builds"
+        );
+    }
+
     let g = PaperGraph::G2Cora.generate_scaled(0.3, 5).unwrap();
     let params = MelopprParams {
         ppr: PprParams::new(0.85, 6, 20).unwrap(),

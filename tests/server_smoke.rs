@@ -4,6 +4,7 @@
 //! deadlock), and deadline scheduling routes late-risk queries to
 //! cheaper backends or fails them fast.
 
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -496,6 +497,91 @@ fn shutdown_drains_inflight_responses() {
         assert_eq!(stats, 1);
         serve.join().unwrap().unwrap();
     });
+}
+
+/// Mid-connection client failures: a peer that vanishes with responses
+/// still owed and a peer that dies mid-frame are both counted as
+/// aborted connections, their workers come back, and the server keeps
+/// serving everyone else.
+#[test]
+fn client_failures_free_workers_and_count_aborts() {
+    let router = Router::new().with_backend(Box::new(Stub {
+        kind: BackendKind::MonteCarlo,
+        precision: 0.9,
+        estimate_ns: 1e6,
+        work: Duration::from_millis(40),
+    }));
+    let server = PprServer::bind(
+        &router,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            default_deadline_ms: 10_000.0,
+            poll_interval: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve());
+        let _guard = ShutdownOnDrop(&server);
+
+        // Disconnect with responses owed: pipeline a burst at the slow
+        // single worker, give the server time to admit it, vanish. The
+        // slow worker spaces the response writes out, so at least one
+        // lands after the peer's RST and exposes the dead connection.
+        {
+            let mut doomed = Client::connect(addr);
+            for id in 0..4 {
+                doomed.send(&Request::Query(QuerySpec::new(id, 7)));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // Die mid-frame: promise 64 payload bytes, deliver 10, close.
+        {
+            let mut torn = TcpStream::connect(addr).unwrap();
+            torn.write_all(&64u32.to_be_bytes()).unwrap();
+            torn.write_all(b"QUERY seed").unwrap();
+            torn.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // Both aborts surface asynchronously on their connection
+        // threads; wait for the counters rather than racing them.
+        let patience = std::time::Instant::now() + Duration::from_secs(10);
+        while server.telemetry().aborted_connections < 2 {
+            assert!(
+                std::time::Instant::now() < patience,
+                "client failures never counted: {:?}",
+                server.telemetry()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // The worker pool survived both failures: a healthy client is
+        // still served, behind the doomed burst it has to queue after.
+        let mut conn = Client::connect(addr);
+        conn.send(&Request::Ping);
+        assert_eq!(conn.recv(), Response::Pong);
+        conn.send(&Request::Query(QuerySpec::new(99, 3)));
+        match conn.recv() {
+            Response::Ranking { id, .. } => assert_eq!(id, 99),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+        serve.join().unwrap().unwrap();
+    });
+
+    let snapshot = server.telemetry();
+    assert_eq!(snapshot.aborted_connections, 2);
+    // Every admitted request of the vanished client still executed to
+    // completion (into the void) — the worker was freed, not wedged.
+    assert_eq!(snapshot.completed, 5);
+    assert_eq!(snapshot.errors, 0);
 }
 
 /// Shutdown must unblock the accept loop even for a wildcard bind,
