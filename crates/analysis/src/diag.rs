@@ -1,0 +1,40 @@
+//! Diagnostics: one finding per (file, line, rule), rendered and
+//! ordered deterministically so CI output is diffable run-to-run.
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that produced it (a name from the rule registry).
+    pub rule: &'static str,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the canonical (path, line, rule, message)
+/// order. Every emitter goes through this before output so the report
+/// is byte-stable regardless of traversal order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}

@@ -1,0 +1,133 @@
+//! meloppr-lint: repo-native static invariant checker.
+//!
+//! The workspace's correctness story leans on conventions a compiler
+//! cannot see: the serving stack recovers poisoned locks instead of
+//! unwrapping them, hot paths thread scratch workspaces instead of
+//! allocating, node-keyed maps use the FxHash aliases, every failpoint
+//! seam stays exercised by the chaos suite. This crate scans the source
+//! tree lexically (no `syn`; the container is offline and zero
+//! dependencies means the gate can never be broken by the code it
+//! gates) and enforces each convention as a named, individually
+//! deniable rule.
+//!
+//! Suppression syntax, attached to the offending line or the line
+//! above:
+//!
+//! ```text
+//! // lint:allow(rule-name) -- why this site is provably fine
+//! ```
+
+#![forbid(unsafe_code)]
+pub mod diag;
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use diag::Diagnostic;
+use scan::SourceFile;
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Surviving findings, in canonical (path, line, rule, message)
+    /// order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by a justified `lint:allow`.
+    pub suppressed: usize,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints an in-memory file set: `(repo-relative path, contents)` pairs.
+/// This is the whole pipeline minus the filesystem walk, so fixture
+/// tests feed sources directly without temp directories.
+pub fn lint_files(files: &[(String, String)], only: Option<&BTreeSet<String>>) -> LintReport {
+    let scanned: Vec<SourceFile> = files
+        .iter()
+        .map(|(rel, text)| SourceFile::scan(rel, text))
+        .collect();
+    let mut state = rules::CrossFileState::default();
+    let mut raw = Vec::new();
+    for file in &scanned {
+        rules::check_file(file, &mut state, &mut raw);
+    }
+    rules::finish(&state, &mut raw);
+
+    let mut report = LintReport {
+        files_scanned: scanned.len(),
+        ..LintReport::default()
+    };
+    for d in raw {
+        if only.is_some_and(|set| !set.contains(d.rule)) {
+            continue;
+        }
+        let allowed = scanned
+            .iter()
+            .find(|f| f.rel == d.path)
+            .is_some_and(|f| d.line > 0 && f.allowed(d.line - 1, d.rule));
+        if allowed {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(d);
+        }
+    }
+    diag::sort(&mut report.diagnostics);
+    report
+}
+
+/// The repo sub-trees the checker walks. `tests/` is included so the
+/// failpoint-drift rule can cross-reference the chaos suite (other
+/// rules exempt test code line-by-line).
+const SCAN_ROOTS: &[&str] = &["crates", "src", "examples", "tests"];
+
+/// Walks `root` and lints every tracked `.rs` file.
+pub fn run(root: &Path, only: Option<&BTreeSet<String>>) -> io::Result<LintReport> {
+    let mut paths = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push((rel, fs::read_to_string(&path)?));
+    }
+    // Deterministic input order regardless of readdir order.
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(lint_files(&files, only))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

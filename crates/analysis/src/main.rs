@@ -1,0 +1,83 @@
+//! CLI entry point: `meloppr-lint [--root DIR] [--deny] [--rule NAME]...
+//! [--list-rules]`.
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
+//! `--deny`, 2 usage or I/O error. Output is deterministic: findings in
+//! (path, line, rule, message) order, then a one-line summary.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut only: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--deny" => deny = true,
+            "--rule" => match args.next() {
+                Some(name) if meloppr_lint::rules::is_known_rule(&name) => {
+                    only.insert(name);
+                }
+                Some(name) => return usage(&format!("unknown rule `{name}`")),
+                None => return usage("--rule needs a rule name"),
+            },
+            "--list-rules" => {
+                for rule in meloppr_lint::rules::RULES {
+                    println!("{:<20} {}", rule.name, rule.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let filter = (!only.is_empty()).then_some(&only);
+    let report = match meloppr_lint::run(&root, filter) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("meloppr-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "meloppr-lint: {} violation(s), {} suppressed, {} file(s) scanned",
+        report.diagnostics.len(),
+        report.suppressed,
+        report.files_scanned
+    );
+    if deny && !report.clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("meloppr-lint: {err}");
+    }
+    eprintln!(
+        "usage: meloppr-lint [--root DIR] [--deny] [--rule NAME]... [--list-rules]\n\
+         \n\
+         Scans crates/, src/, examples/ and tests/ under DIR (default `.`)\n\
+         and reports violations of the repo's invariants. With --deny, any\n\
+         violation exits non-zero (the CI gate). Suppress a finding with\n\
+         `// lint:allow(rule) -- justification` on or above the line."
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,733 @@
+//! The enforced invariants, one rule per named check.
+//!
+//! Every rule is individually deniable with
+//! `// lint:allow(<rule>) -- <justification>` on (or immediately
+//! above) the offending line. An allow without a justification is
+//! itself a finding (`bad-allow`): suppressions must say *why*.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::scan::{SourceFile, Tok, TokKind};
+
+/// A rule's registry entry.
+pub struct RuleInfo {
+    pub name: &'static str,
+    /// The invariant it guards, one line.
+    pub description: &'static str,
+}
+
+/// Every rule the checker knows, in presentation order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "panic-freedom",
+        description: "no unwrap/expect/panic!/direct indexing in the serving stack \
+                      (server, scheduler, router, batch workers) where catch_unwind \
+                      is the last line of defense",
+    },
+    RuleInfo {
+        name: "lock-order",
+        description: "the static lock-acquisition graph across all functions must be \
+                      acyclic (deadlock freedom chaos testing cannot prove)",
+    },
+    RuleInfo {
+        name: "hot-path-alloc",
+        description: "no heap allocation in workspace-threaded hot-path functions \
+                      (the zero-alloc invariant alloc_smoke enforces dynamically)",
+    },
+    RuleInfo {
+        name: "fast-hash",
+        description: "raw std HashMap/HashSet are banned outside fast_hash.rs and \
+                      tests; node-keyed maps use FastHashMap/FastHashSet",
+    },
+    RuleInfo {
+        name: "poison-recovery",
+        description: "lock().unwrap() is banned in non-test code; poisoned locks \
+                      recover via unwrap_or_else(PoisonError::into_inner)",
+    },
+    RuleInfo {
+        name: "failpoint-drift",
+        description: "every failpoint seam checked in production code is exercised \
+                      by tests/chaos.rs, and chaos.rs names no dead seams",
+    },
+    RuleInfo {
+        name: "undocumented-unsafe",
+        description: "every `unsafe` in non-test code carries a `// SAFETY:` comment \
+                      within the preceding five lines",
+    },
+    RuleInfo {
+        name: "bad-allow",
+        description: "every lint:allow names known rules and a `-- justification`",
+    },
+];
+
+/// True when `name` is a registered rule.
+pub fn is_known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// Cross-file state accumulated while files stream through the rules.
+#[derive(Default)]
+pub struct CrossFileState {
+    /// lock-order: directed edges `(from, to) -> first site`.
+    lock_edges: BTreeMap<(String, String), (String, usize)>,
+    /// lock-order: allow(lock-order) present at an edge's site.
+    lock_edge_allowed: BTreeSet<(String, String)>,
+    /// failpoint-drift: statically named seams -> first check site.
+    checked_points: BTreeMap<String, (String, usize)>,
+    /// failpoint-drift: dynamic seam families (format! prefixes).
+    checked_prefixes: BTreeMap<String, (String, usize)>,
+    /// failpoint-drift: names exercised in tests/chaos.rs -> site.
+    chaos_points: BTreeMap<String, (String, usize)>,
+    /// Whether tests/chaos.rs was seen at all.
+    saw_chaos: bool,
+}
+
+/// Runs every per-file rule over `file`, pushing raw findings (before
+/// allow filtering) into `diags` and updating cross-file state.
+pub fn check_file(file: &SourceFile, state: &mut CrossFileState, diags: &mut Vec<Diagnostic>) {
+    bad_allow(file, diags);
+    panic_freedom(file, diags);
+    hot_path_alloc(file, diags);
+    fast_hash(file, diags);
+    poison_recovery(file, diags);
+    undocumented_unsafe(file, diags);
+    collect_lock_order(file, state);
+    collect_failpoints(file, state);
+}
+
+/// Finalizes the cross-file rules once every file has streamed through.
+pub fn finish(state: &CrossFileState, diags: &mut Vec<Diagnostic>) {
+    lock_order_cycles(state, diags);
+    failpoint_drift(state, diags);
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn ident_prev_is_dot(tokens: &[Tok], i: usize) -> bool {
+    i > 0 && tokens[i - 1].is_punct('.')
+}
+
+/// `tokens[i]` begins `( )` (empty argument list), tolerating line
+/// breaks between them.
+fn empty_parens_at(tokens: &[Tok], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct('('))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(')'))
+}
+
+fn diag(file: &SourceFile, rule: &'static str, line0: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: file.rel.clone(),
+        line: line0 + 1,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------- bad-allow
+
+fn bad_allow(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for allow in file.allow_entries() {
+        if allow.rules.is_empty() {
+            diags.push(diag(
+                file,
+                "bad-allow",
+                allow.comment_line,
+                "lint:allow names no rule".into(),
+            ));
+            continue;
+        }
+        for rule in &allow.rules {
+            if !is_known_rule(rule) {
+                diags.push(diag(
+                    file,
+                    "bad-allow",
+                    allow.comment_line,
+                    format!("lint:allow names unknown rule `{rule}`"),
+                ));
+            }
+        }
+        if allow.justification.is_empty() {
+            diags.push(diag(
+                file,
+                "bad-allow",
+                allow.comment_line,
+                "lint:allow without `-- justification`: suppressions must say why".into(),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------ panic-freedom
+
+/// Modules where a panic escapes straight into `catch_unwind` recovery
+/// (or takes the whole serving thread down): the server stack, the
+/// router, and the batch worker pool.
+fn in_panic_free_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/server/")
+        || rel == "crates/core/src/backend/router.rs"
+        || rel == "crates/core/src/backend/batch.rs"
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_freedom(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !in_panic_free_scope(&file.rel) {
+        return;
+    }
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                if (t.text == "unwrap" || t.text == "expect" || t.text == "expect_err")
+                    && ident_prev_is_dot(tokens, i)
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    diags.push(diag(
+                        file,
+                        "panic-freedom",
+                        t.line,
+                        format!(
+                            ".{}() can panic a serving thread; return a typed error or recover",
+                            t.text
+                        ),
+                    ));
+                } else if PANIC_MACROS.contains(&t.text.as_str())
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                {
+                    diags.push(diag(
+                        file,
+                        "panic-freedom",
+                        t.line,
+                        format!(
+                            "{}! in the serving stack; answer a typed error instead",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            TokKind::Punct => {
+                // Direct indexing: `expr[...]` — `[` directly preceded
+                // by an identifier, `)`, or `]`. Attributes (`#[...]`),
+                // slice patterns, array types and macros like `vec![`
+                // all have a different predecessor.
+                if t.is_punct('[') && i > 0 {
+                    let prev = &tokens[i - 1];
+                    let is_index_base = (prev.kind == TokKind::Ident
+                        && !prev.text.chars().next().is_some_and(|c| c.is_ascii_digit()))
+                        || prev.is_punct(')')
+                        || prev.is_punct(']');
+                    // Only when truly adjacent in the source: an
+                    // identifier ending the previous statement and a
+                    // `[...]` array literal opening the next are not an
+                    // index expression.
+                    let adjacent =
+                        prev.line == t.line && prev.col + prev.text.chars().count() == t.col;
+                    if is_index_base && adjacent {
+                        diags.push(diag(
+                            file,
+                            "panic-freedom",
+                            t.line,
+                            format!(
+                                "direct indexing `{}[..]` can panic; use .get() or prove bounds \
+                                 and lint:allow",
+                                prev.text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- hot-path-alloc
+
+/// The staged-query / diffusion / extraction modules whose steady-state
+/// allocation behaviour `tests/alloc_smoke.rs` bounds dynamically.
+fn in_hot_alloc_scope(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/core/src/meloppr.rs"
+            | "crates/core/src/diffusion.rs"
+            | "crates/core/src/quantized.rs"
+            | "crates/core/src/selection.rs"
+            | "crates/core/src/score_vec.rs"
+            | "crates/core/src/global_table.rs"
+            | "crates/graph/src/bfs.rs"
+            | "crates/graph/src/subgraph.rs"
+            | "crates/graph/src/scratch.rs"
+    )
+}
+
+/// A function is "hot" when it threads a reusable scratch arena — the
+/// signature names a `*Scratch`/`*Workspace` type — or follows the
+/// in-place naming convention.
+fn is_hot_fn(name: &str, sig: &str) -> bool {
+    sig.contains("Scratch")
+        || sig.contains("Workspace")
+        || name.ends_with("_into")
+        || name.ends_with("_in_place")
+        || name.contains("_reusing")
+}
+
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("VecDeque", "new"),
+    ("VecDeque", "with_capacity"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Box", "new"),
+    ("BTreeMap", "new"),
+    ("BinaryHeap", "new"),
+];
+const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec", "collect", "clone"];
+
+fn hot_path_alloc(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !in_hot_alloc_scope(&file.rel) {
+        return;
+    }
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.is_test_line(t.line) {
+            continue;
+        }
+        let Some(enclosing) = file.enclosing_fn(t.line) else {
+            continue;
+        };
+        if enclosing.in_test || !is_hot_fn(&enclosing.name, &enclosing.sig) {
+            continue;
+        }
+        let label = if ALLOC_MACROS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            Some(format!("{}!", t.text))
+        } else if ALLOC_METHODS.contains(&t.text.as_str())
+            && ident_prev_is_dot(tokens, i)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            Some(format!(".{}()", t.text))
+        } else if tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
+            && ALLOC_PATHS
+                .iter()
+                .any(|&(ty, m)| t.text == ty && tokens[i + 3].text == m)
+        {
+            Some(format!("{}::{}", t.text, tokens[i + 3].text))
+        } else {
+            None
+        };
+        if let Some(label) = label {
+            diags.push(diag(
+                file,
+                "hot-path-alloc",
+                t.line,
+                format!(
+                    "`{label}` allocates inside workspace-threaded hot fn `{}`; reuse scratch \
+                     buffers or lint:allow with the amortization argument",
+                    enclosing.name
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- fast-hash
+
+fn fast_hash(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if file.rel.ends_with("fast_hash.rs") || file.rel.starts_with("crates/shims/") {
+        return;
+    }
+    for t in &file.tokens {
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !file.is_test_line(t.line)
+        {
+            diags.push(diag(
+                file,
+                "fast-hash",
+                t.line,
+                format!(
+                    "raw std {} (SipHash) outside fast_hash.rs; use Fast{} or justify",
+                    t.text, t.text
+                ),
+            ));
+        }
+    }
+}
+
+// ----------------------------------------------------------- poison-recovery
+
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Token index sequences `.lock() .unwrap()` (and read/write/expect
+/// variants), tolerant of line breaks between the links.
+fn poison_recovery(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !LOCK_METHODS.contains(&t.text.as_str())
+            || !ident_prev_is_dot(tokens, i)
+            || !empty_parens_at(tokens, i + 1)
+            || file.is_test_line(t.line)
+        {
+            continue;
+        }
+        let Some(dot) = tokens.get(i + 3) else {
+            continue;
+        };
+        let Some(next) = tokens.get(i + 4) else {
+            continue;
+        };
+        if dot.is_punct('.')
+            && (next.is_ident("unwrap") || next.is_ident("expect"))
+            && tokens.get(i + 5).is_some_and(|n| n.is_punct('('))
+        {
+            diags.push(diag(
+                file,
+                "poison-recovery",
+                t.line,
+                format!(
+                    ".{}().{}() cascades lock poisoning across threads; use \
+                     unwrap_or_else(PoisonError::into_inner) (state is valid at every await \
+                     point) or a typed error",
+                    t.text, next.text
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------ undocumented-unsafe
+
+fn undocumented_unsafe(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for t in &file.tokens {
+        if !t.is_ident("unsafe") || file.is_test_line(t.line) {
+            continue;
+        }
+        // Accept `SAFETY:` on the line itself or anywhere in the
+        // contiguous comment block immediately above it.
+        let mut documented = file
+            .lines
+            .get(t.line)
+            .is_some_and(|l| l.comment.contains("SAFETY:"));
+        let mut l = t.line;
+        while !documented && l > 0 {
+            l -= 1;
+            let Some(line) = file.lines.get(l) else { break };
+            if line.comment.is_empty() {
+                break;
+            }
+            documented = line.comment.contains("SAFETY:");
+        }
+        if !documented {
+            diags.push(diag(
+                file,
+                "undocumented-unsafe",
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment block directly above".into(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- lock-order
+
+/// Records, for every non-test function, each ordered pair of distinct
+/// lock classes acquired in source order. A lock class is
+/// `<file-stem>.<receiver>` — `self.calibration.lock()` in `router.rs`
+/// becomes `router.calibration` — scoping identity per file so two
+/// unrelated `state` fields in different modules never merge.
+fn collect_lock_order(file: &SourceFile, state: &mut CrossFileState) {
+    if file.rel.starts_with("tests/") {
+        return;
+    }
+    let stem = file
+        .rel
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("file");
+    let tokens = &file.tokens;
+    // (fn-span index) -> acquisition sequence.
+    let mut seqs: BTreeMap<(usize, usize), Vec<(String, usize)>> = BTreeMap::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !LOCK_METHODS.contains(&t.text.as_str())
+            || !ident_prev_is_dot(tokens, i)
+            || !empty_parens_at(tokens, i + 1)
+            || file.is_test_line(t.line)
+        {
+            continue;
+        }
+        let Some(f) = file.enclosing_fn(t.line) else {
+            continue;
+        };
+        if f.in_test {
+            continue;
+        }
+        // Receiver: the identifier before the method's dot; when the
+        // receiver is a call (`registry().lock()`), the callee name.
+        let recv = if i >= 2 {
+            match &tokens[i - 2] {
+                r if r.kind == TokKind::Ident => Some(r.text.clone()),
+                r if r.is_punct(')') => {
+                    // Walk back over the call's parens to its name.
+                    let mut depth = 0i32;
+                    let mut j = i - 2;
+                    loop {
+                        let tk = &tokens[j];
+                        if tk.is_punct(')') {
+                            depth += 1;
+                        } else if tk.is_punct('(') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        if j == 0 {
+                            break;
+                        }
+                        j -= 1;
+                    }
+                    (j > 0 && tokens[j - 1].kind == TokKind::Ident)
+                        .then(|| tokens[j - 1].text.clone())
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let Some(recv) = recv else { continue };
+        let class = format!("{stem}.{recv}");
+        seqs.entry(f.body).or_default().push((class, t.line));
+    }
+    for seq in seqs.values() {
+        for (a_idx, (a, _)) in seq.iter().enumerate() {
+            for (b, b_line) in seq.iter().skip(a_idx + 1) {
+                if a == b {
+                    continue;
+                }
+                let key = (a.clone(), b.clone());
+                state
+                    .lock_edges
+                    .entry(key.clone())
+                    .or_insert_with(|| (file.rel.clone(), b_line + 1));
+                if file.allowed(*b_line, "lock-order") {
+                    state.lock_edge_allowed.insert(key);
+                }
+            }
+        }
+    }
+}
+
+/// Rejects cycles in the union lock graph. An `allow(lock-order)` on
+/// any edge site of a cycle suppresses that cycle (the edge is declared
+/// safe, e.g. the guard is provably dropped between acquisitions).
+fn lock_order_cycles(state: &CrossFileState, diags: &mut Vec<Diagnostic>) {
+    // Adjacency over sorted nodes for deterministic traversal.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in state.lock_edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    // DFS cycle detection with path reconstruction.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut marks: BTreeMap<&str, Mark> = nodes.iter().map(|&n| (n, Mark::White)).collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in &nodes {
+        if marks.get(start) != Some(&Mark::White) {
+            continue;
+        }
+        // Iterative DFS keeping the grey path.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        *marks.entry(start).or_insert(Mark::Grey) = Mark::Grey;
+        while let Some((node, child_idx)) = stack.last_mut() {
+            let children = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if *child_idx >= children.len() {
+                marks.insert(node, Mark::Black);
+                path.pop();
+                stack.pop();
+                continue;
+            }
+            let child = children[*child_idx];
+            *child_idx += 1;
+            match marks.get(child).copied().unwrap_or(Mark::White) {
+                Mark::Grey => {
+                    // Cycle: the path from `child` to `node`, closed.
+                    let pos = path
+                        .iter()
+                        .position(|&n| n == child)
+                        .unwrap_or(path.len() - 1);
+                    let mut cycle: Vec<String> =
+                        path[pos..].iter().map(|s| (*s).to_owned()).collect();
+                    // Canonical rotation: start at the smallest node.
+                    let min = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    cycle.rotate_left(min);
+                    if reported.contains(&cycle) {
+                        continue;
+                    }
+                    let closed: Vec<String> =
+                        cycle.iter().cloned().chain([cycle[0].clone()]).collect();
+                    let mut edges = Vec::new();
+                    let mut suppressed = false;
+                    let mut anchor: Option<(String, usize)> = None;
+                    for pair in closed.windows(2) {
+                        let key = (pair[0].clone(), pair[1].clone());
+                        if state.lock_edge_allowed.contains(&key) {
+                            suppressed = true;
+                        }
+                        if let Some((path, line)) = state.lock_edges.get(&key) {
+                            if anchor.is_none() {
+                                anchor = Some((path.clone(), *line));
+                            }
+                            edges.push(format!("{} -> {} ({path}:{line})", pair[0], pair[1]));
+                        }
+                    }
+                    reported.insert(cycle);
+                    if suppressed {
+                        continue;
+                    }
+                    let (path, line) = anchor.unwrap_or_else(|| ("<unknown>".into(), 0));
+                    diags.push(Diagnostic {
+                        rule: "lock-order",
+                        path,
+                        line,
+                        message: format!(
+                            "lock acquisition cycle (potential deadlock): {}",
+                            edges.join(", ")
+                        ),
+                    });
+                }
+                Mark::White => {
+                    marks.insert(child, Mark::Grey);
+                    path.push(child);
+                    stack.push((child, 0));
+                }
+                Mark::Black => {}
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ failpoint-drift
+
+/// Collects `failpoint::check("…")` seams from production code and
+/// `failpoint::{configure,fired,hits,clear}("…")` references from
+/// `tests/chaos.rs`.
+fn collect_failpoints(file: &SourceFile, state: &mut CrossFileState) {
+    let is_chaos = file.rel == "tests/chaos.rs";
+    if is_chaos {
+        state.saw_chaos = true;
+    }
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Require the `failpoint :: <fn>` path so ordinary idents named
+        // `check` never register.
+        let is_failpoint_call = i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].is_ident("failpoint");
+        if !is_failpoint_call {
+            continue;
+        }
+        if is_chaos {
+            if !matches!(t.text.as_str(), "configure" | "fired" | "hits" | "clear") {
+                continue;
+            }
+            let Some(open) = tokens.get(i + 1) else {
+                continue;
+            };
+            if let Some((lit, line)) = file.next_string_literal(open.line, open.col) {
+                state
+                    .chaos_points
+                    .entry(lit)
+                    .or_insert((file.rel.clone(), line + 1));
+            }
+        } else {
+            if t.text != "check" || file.is_test_line(t.line) {
+                continue;
+            }
+            let Some(open) = tokens.get(i + 1) else {
+                continue;
+            };
+            // Dynamic seam: check(&format!("prefix{…}", …)).
+            let dynamic = tokens.get(i + 2).is_some_and(|n| n.is_punct('&'))
+                && tokens.get(i + 3).is_some_and(|n| n.is_ident("format"));
+            if let Some((lit, line)) = file.next_string_literal(open.line, open.col) {
+                if dynamic {
+                    let prefix = lit.split('{').next().unwrap_or("").to_owned();
+                    state
+                        .checked_prefixes
+                        .entry(prefix)
+                        .or_insert((file.rel.clone(), line + 1));
+                } else {
+                    state
+                        .checked_points
+                        .entry(lit)
+                        .or_insert((file.rel.clone(), line + 1));
+                }
+            }
+        }
+    }
+}
+
+fn failpoint_drift(state: &CrossFileState, diags: &mut Vec<Diagnostic>) {
+    // Nothing registered and no chaos suite: nothing to cross-check
+    // (keeps fixture runs over partial trees quiet).
+    if !state.saw_chaos && state.checked_points.is_empty() {
+        return;
+    }
+    for (name, (path, line)) in &state.checked_points {
+        if !state.chaos_points.contains_key(name) {
+            diags.push(Diagnostic {
+                rule: "failpoint-drift",
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "failpoint `{name}` is checked in production but never exercised in \
+                     tests/chaos.rs; seam coverage is rotting"
+                ),
+            });
+        }
+    }
+    for (name, (path, line)) in &state.chaos_points {
+        let live = state.checked_points.contains_key(name)
+            || state
+                .checked_prefixes
+                .keys()
+                .any(|p| !p.is_empty() && name.starts_with(p.as_str()));
+        if !live {
+            diags.push(Diagnostic {
+                rule: "failpoint-drift",
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "tests/chaos.rs references failpoint `{name}` that no production \
+                     code checks; the seam is dead"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,648 @@
+//! Lightweight Rust source scanning: comment/string masking, token
+//! extraction, brace-tracked function spans, `#[cfg(test)]` region
+//! detection, and `lint:allow` suppression parsing.
+//!
+//! This is deliberately **not** a parser. The workspace is offline (no
+//! `syn`), and the invariants the lint enforces are lexical: a
+//! `.unwrap()` token, a `HashMap` identifier, the order two `.lock()`
+//! calls appear in one function body. A character-level state machine
+//! that masks comments and string contents — preserving byte positions
+//! 1:1 — plus a brace counter is enough, and is simple enough to audit
+//! by eye, which matters for a tool whose job is to gate CI.
+
+/// One scanned line.
+#[derive(Debug)]
+pub struct Line {
+    /// The line with comments and string/char-literal *contents*
+    /// blanked to spaces (delimiters kept), byte positions preserved.
+    pub code: String,
+    /// Concatenated comment text on this line (for `lint:allow` and
+    /// `SAFETY:` detection).
+    pub comment: String,
+    /// Whether this line sits inside a `#[cfg(test)]` region (or the
+    /// whole file is test code: `tests/` trees, `test_util.rs`).
+    pub in_test: bool,
+}
+
+/// One `fn` item: name, flattened signature, and body line range.
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    /// Signature text from `fn` to the opening brace, whitespace
+    /// collapsed.
+    pub sig: String,
+    /// 0-based line range of the body, inclusive, covering the braces.
+    pub body: (usize, usize),
+    pub in_test: bool,
+}
+
+/// One token of masked code.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TokKind {
+    /// Identifier or number literal start.
+    Ident,
+    /// Any single non-ident, non-whitespace character.
+    Punct,
+}
+
+/// A token with its position (0-based line, byte column).
+#[derive(Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Tok {
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// A `lint:allow(rule, ...)` suppression attached to a line.
+#[derive(Debug)]
+pub struct Allow {
+    pub rules: Vec<String>,
+    /// Justification after ` -- `; empty when missing (which is itself
+    /// a diagnostic).
+    pub justification: String,
+    /// 0-based line the comment was written on.
+    pub comment_line: usize,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub rel: String,
+    pub raw: Vec<String>,
+    pub lines: Vec<Line>,
+    pub fns: Vec<FnSpan>,
+    pub tokens: Vec<Tok>,
+    /// `allows[line]` lists the suppressions governing that line.
+    allows: Vec<Vec<usize>>,
+    allow_entries: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Scans `text` as the file at repo-relative path `rel`.
+    pub fn scan(rel: &str, text: &str) -> SourceFile {
+        let whole_file_is_test =
+            rel.starts_with("tests/") || rel.contains("/tests/") || rel.ends_with("test_util.rs");
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let mut lines = mask(text);
+        mark_test_regions(&mut lines, whole_file_is_test);
+        let tokens = tokenize(&lines);
+        let fns = find_fns(&tokens, &lines);
+        let (allows, allow_entries) = collect_allows(&lines);
+        SourceFile {
+            rel: rel.to_owned(),
+            raw,
+            lines,
+            fns,
+            tokens,
+            allows,
+            allow_entries,
+        }
+    }
+
+    /// Whether `rule` is suppressed on 0-based `line`.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows.get(line).is_some_and(|ids| {
+            ids.iter()
+                .any(|&id| self.allow_entries[id].rules.iter().any(|r| r == rule))
+        })
+    }
+
+    /// Every `lint:allow` in the file, for malformed-allow checking.
+    pub fn allow_entries(&self) -> &[Allow] {
+        &self.allow_entries
+    }
+
+    /// The innermost function span containing 0-based `line`.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.0 <= line && line <= f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// Whether 0-based `line` is test code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.lines.get(line).is_none_or(|l| l.in_test)
+    }
+
+    /// Reads the next string literal in the *raw* source at or after
+    /// `(line, col)` — used where the masked text has blanked the
+    /// content (e.g. failpoint name literals). Returns the literal and
+    /// its line.
+    pub fn next_string_literal(&self, line: usize, col: usize) -> Option<(String, usize)> {
+        let mut start = col;
+        for l in line..self.raw.len().min(line + 4) {
+            let raw = &self.raw[l];
+            if let Some(open) = raw[start.min(raw.len())..].find('"') {
+                let begin = start + open + 1;
+                let end = raw[begin..].find('"')?;
+                return Some((raw[begin..begin + end].to_owned(), l));
+            }
+            start = 0;
+        }
+        None
+    }
+}
+
+/// Masks comments and string/char-literal contents to spaces,
+/// preserving byte positions exactly (every masked byte becomes one
+/// space; delimiters `"` stay). Handles nested block comments, raw
+/// strings (`r"…"`, `r#"…"#`, byte variants), escapes, and the
+/// char-literal/lifetime ambiguity.
+fn mask(text: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str { raw_hashes: Option<u32> },
+        CharLit,
+    }
+    let bytes: Vec<char> = text.chars().collect();
+    let mut st = St::Code;
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0;
+    let mut escaped = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            out.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    st = St::Str { raw_hashes: None };
+                    escaped = false;
+                    code.push('"');
+                    i += 1;
+                    continue;
+                }
+                // Raw/byte string prefixes: r"", r#""#, b"", br#""#.
+                // Only when the prefix is not the tail of an identifier.
+                let prev_is_ident =
+                    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_');
+                if (c == 'r' || c == 'b') && !prev_is_ident {
+                    let mut j = i + 1;
+                    if c == 'b' && bytes.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        // Emit the prefix as spaces, keep the quote.
+                        for _ in i..j {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        st = St::Str {
+                            raw_hashes: Some(hashes),
+                        };
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: '\x..' or 'x' is a
+                    // literal; 'ident (no closing quote right after one
+                    // char) is a lifetime.
+                    if next == Some('\\') || (bytes.get(i + 2) == Some(&'\'') && next != Some('\''))
+                    {
+                        st = St::CharLit;
+                        escaped = false;
+                        code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            St::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    comment.push_str("  ");
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    comment.push_str("  ");
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            St::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if escaped {
+                        escaped = false;
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '\\' {
+                        escaped = true;
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '"' {
+                        st = St::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(hashes) => {
+                    if c == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0u32;
+                        while seen < hashes && bytes.get(j) == Some(&'#') {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == hashes {
+                            code.push('"');
+                            for _ in 0..hashes {
+                                code.push(' ');
+                            }
+                            st = St::Code;
+                            i = j;
+                            continue;
+                        }
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+            St::CharLit => {
+                if escaped {
+                    escaped = false;
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\\' {
+                    escaped = true;
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    st = St::Code;
+                    code.push('\'');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        out.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    out
+}
+
+/// Marks lines inside `#[cfg(test)]`-attributed items (brace-tracked)
+/// as test code.
+fn mark_test_regions(lines: &mut [Line], whole_file: bool) {
+    if whole_file {
+        for line in lines.iter_mut() {
+            line.in_test = true;
+        }
+        return;
+    }
+    let mut depth = 0usize;
+    let mut pending_test = false;
+    let mut test_open_depths: Vec<usize> = Vec::new();
+    for line in lines.iter_mut() {
+        if line.code.contains("cfg(test") || line.code.contains("cfg(all(test") {
+            pending_test = true;
+        }
+        line.in_test = !test_open_depths.is_empty() || pending_test;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_test {
+                        test_open_depths.push(depth);
+                        pending_test = false;
+                    }
+                }
+                '}' => {
+                    if test_open_depths.last() == Some(&depth) {
+                        test_open_depths.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // `#[cfg(test)]` on a braceless item (`use …;`): the
+                // terminating semicolon ends the attribute's reach.
+                ';' => pending_test = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Splits masked code into identifier and single-character punct
+/// tokens, recording positions.
+fn tokenize(lines: &[Line]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (lineno, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line: lineno,
+                    col: start,
+                });
+            } else {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line: lineno,
+                    col: i,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Finds `fn` items by token scanning with brace tracking. Nested
+/// functions are recorded individually; [`SourceFile::enclosing_fn`]
+/// resolves the innermost one.
+fn find_fns(tokens: &[Tok], lines: &[Line]) -> Vec<FnSpan> {
+    struct Open {
+        name: String,
+        sig: String,
+        sig_done: bool,
+        body_start: usize,
+        open_depth: usize,
+    }
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut stack: Vec<Open> = Vec::new();
+    let mut pending: Option<Open> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_ident("fn") {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    pending = Some(Open {
+                        name: name_tok.text.clone(),
+                        sig: String::new(),
+                        sig_done: false,
+                        body_start: 0,
+                        open_depth: 0,
+                    });
+                }
+            }
+        }
+        if let Some(p) = pending.as_mut() {
+            if !p.sig_done && !t.is_punct('{') {
+                if !p.sig.is_empty() {
+                    p.sig.push(' ');
+                }
+                p.sig.push_str(&t.text);
+            }
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            if let Some(mut p) = pending.take() {
+                p.sig_done = true;
+                p.body_start = t.line;
+                p.open_depth = depth;
+                stack.push(p);
+            }
+        } else if t.is_punct('}') {
+            if let Some(top) = stack.last() {
+                if top.open_depth == depth {
+                    let top = stack.pop().expect("stack non-empty: just peeked");
+                    let in_test = lines.get(top.body_start).is_some_and(|l| l.in_test);
+                    out.push(FnSpan {
+                        name: top.name,
+                        sig: top.sig,
+                        body: (top.body_start, t.line),
+                        in_test,
+                    });
+                }
+            }
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(';') && pending.as_ref().is_some_and(|p| !p.sig_done) {
+            // Trait method declaration without a body.
+            pending = None;
+        }
+        i += 1;
+    }
+    out.sort_by_key(|f| f.body);
+    out
+}
+
+/// Parses `lint:allow(rule, ...) -- justification` comments and maps
+/// each to the line(s) it governs: its own line when that line has
+/// code, otherwise the next line that does.
+fn collect_allows(lines: &[Line]) -> (Vec<Vec<usize>>, Vec<Allow>) {
+    let mut entries: Vec<Allow> = Vec::new();
+    let mut map: Vec<Vec<usize>> = vec![Vec::new(); lines.len()];
+    for (lineno, line) in lines.iter().enumerate() {
+        // Suppressions live in plain `//` comments only. Doc comments
+        // (`///`, `//!` — their text starts with `/` or `!`) may quote
+        // the syntax when documenting it without arming it.
+        if line.comment.starts_with('/') || line.comment.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = line.comment.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &line.comment[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            entries.push(Allow {
+                rules: Vec::new(),
+                justification: String::new(),
+                comment_line: lineno,
+            });
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let after = &rest[close + 1..];
+        let justification = after
+            .find("--")
+            .map(|p| after[p + 2..].trim().to_owned())
+            .unwrap_or_default();
+        let id = entries.len();
+        entries.push(Allow {
+            rules,
+            justification,
+            comment_line: lineno,
+        });
+        // Attach to this line when it carries code, else to the next
+        // line that does.
+        let has_code = !line.code.trim().is_empty();
+        let target = if has_code {
+            Some(lineno)
+        } else {
+            (lineno + 1..lines.len()).find(|&l| !lines[l].code.trim().is_empty())
+        };
+        if let Some(t) = target {
+            map[t].push(id);
+        }
+    }
+    (map, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings() {
+        let f = SourceFile::scan(
+            "crates/x/src/a.rs",
+            "let a = \"unwrap() inside\"; // .unwrap() in comment\nlet b = 1;\n",
+        );
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains(".unwrap()"));
+        assert_eq!(f.lines[1].code, "let b = 1;");
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"HashMap \"quoted\"\"#; let c = 'x'; }\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        assert!(!f.lines[0].code.contains("HashMap"));
+        // Lifetime survives masking; the fn is still found.
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "f");
+    }
+
+    #[test]
+    fn nested_block_comments_mask_fully() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[0].code.contains("outer"));
+        assert!(!f.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn prod2() {}\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        assert!(!f.is_test_line(0));
+        assert!(f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+    }
+
+    #[test]
+    fn tests_tree_files_are_all_test() {
+        let f = SourceFile::scan("tests/chaos.rs", "fn helper() {}\n");
+        assert!(f.is_test_line(0));
+    }
+
+    #[test]
+    fn fn_spans_track_bodies_and_signatures() {
+        let src = "pub fn outer(ws: &mut QueryWorkspace) -> u32 {\n    fn inner() {}\n    1\n}\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        assert_eq!(f.fns.len(), 2);
+        let outer = f.enclosing_fn(2).expect("line 2 is inside outer");
+        assert_eq!(outer.name, "outer");
+        assert!(outer.sig.contains("QueryWorkspace"));
+        let inner = f.enclosing_fn(1).expect("line 1 is inside inner");
+        assert_eq!(inner.name, "inner");
+    }
+
+    #[test]
+    fn allows_attach_to_their_line_or_the_next() {
+        let src = "let a = x.unwrap(); // lint:allow(panic-freedom) -- bounded by caller\n\
+                   // lint:allow(fast-hash) -- cold path\nlet b: HashMap<u32,u32>;\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        assert!(f.allowed(0, "panic-freedom"));
+        assert!(!f.allowed(0, "fast-hash"));
+        assert!(f.allowed(2, "fast-hash"));
+        assert_eq!(f.allow_entries().len(), 2);
+        assert_eq!(f.allow_entries()[0].justification, "bounded by caller");
+    }
+
+    #[test]
+    fn string_literals_recoverable_from_raw() {
+        let src = "failpoint::check(\"cache.extract\")?;\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        let (lit, line) = f.next_string_literal(0, 0).expect("literal present");
+        assert_eq!(lit, "cache.extract");
+        assert_eq!(line, 0);
+    }
+}

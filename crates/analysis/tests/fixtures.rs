@@ -1,0 +1,357 @@
+//! Fixture tests: every rule proves one true positive and one
+//! `lint:allow`-suppressed negative against in-memory sources, so rule
+//! regressions fail here before they silently stop gating CI.
+
+use std::collections::BTreeSet;
+
+use meloppr_lint::{lint_files, LintReport};
+
+fn lint_one(rel: &str, src: &str) -> LintReport {
+    lint_files(&[(rel.to_owned(), src.to_owned())], None)
+}
+
+fn rules_hit(report: &LintReport) -> BTreeSet<&'static str> {
+    report.diagnostics.iter().map(|d| d.rule).collect()
+}
+
+// ------------------------------------------------------------ panic-freedom
+
+#[test]
+fn panic_freedom_flags_unwrap_expect_macros_and_indexing() {
+    let src = "fn f(v: Vec<u32>, i: usize) -> u32 {\n\
+               \x20   let a = v.get(i).unwrap();\n\
+               \x20   let b = v.get(i).expect(\"msg\");\n\
+               \x20   if i > 9 { panic!(\"boom\"); }\n\
+               \x20   v[i]\n\
+               }\n";
+    let report = lint_one("crates/core/src/server/fixture.rs", src);
+    let lines: Vec<usize> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "panic-freedom")
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(lines, vec![2, 3, 4, 5], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn panic_freedom_respects_allow_scope_and_tests() {
+    let src = "fn f(v: Vec<u32>, i: usize) -> u32 {\n\
+               \x20   // lint:allow(panic-freedom) -- i bounds-checked by caller\n\
+               \x20   v[i]\n\
+               }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   fn t(v: Vec<u32>) -> u32 { v[0] }\n\
+               }\n";
+    let report = lint_one("crates/core/src/server/fixture.rs", src);
+    assert!(report.clean(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed, 1);
+    // The same source outside the serving scope is not checked at all.
+    let elsewhere = lint_one(
+        "crates/graph/src/fixture.rs",
+        "fn f(v: Vec<u32>) -> u32 { v[0] }\n",
+    );
+    assert!(!rules_hit(&elsewhere).contains("panic-freedom"));
+}
+
+// --------------------------------------------------------------- lock-order
+
+/// Two functions acquiring the same two mutexes in opposite orders: the
+/// classic ABBA deadlock the rule exists to reject.
+const ABBA: &str = "struct S { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+                    impl S {\n\
+                    \x20   fn ab(&self) {\n\
+                    \x20       let _a = self.a.lock();\n\
+                    \x20       let _b = self.b.lock();\n\
+                    \x20   }\n\
+                    \x20   fn ba(&self) {\n\
+                    \x20       let _b = self.b.lock();\n\
+                    \x20       let _a = self.a.lock();\n\
+                    \x20   }\n\
+                    }\n";
+
+#[test]
+fn lock_order_rejects_abba_cycles() {
+    let report = lint_one("crates/core/src/fixture.rs", ABBA);
+    let cycles: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "lock-order")
+        .collect();
+    assert_eq!(cycles.len(), 1, "{:?}", report.diagnostics);
+    assert!(
+        cycles[0].message.contains("fixture.a") && cycles[0].message.contains("fixture.b"),
+        "cycle message names both lock classes: {}",
+        cycles[0].message
+    );
+}
+
+#[test]
+fn lock_order_allow_on_one_edge_suppresses_the_cycle() {
+    let src = ABBA.replace(
+        "\x20       let _a = self.a.lock();\n\x20   }\n}",
+        "\x20       // lint:allow(lock-order) -- _b dropped before this in real code\n\
+         \x20       let _a = self.a.lock();\n\x20   }\n}",
+    );
+    assert_ne!(src, ABBA, "fixture edit must apply");
+    let report = lint_one("crates/core/src/fixture.rs", &src);
+    assert!(
+        !rules_hit(&report).contains("lock-order"),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn lock_order_consistent_ordering_is_clean() {
+    let src = ABBA.replace(
+        "let _b = self.b.lock();\n\x20       let _a = self.a.lock();",
+        "let _a = self.a.lock();\n\x20       let _b = self.b.lock();",
+    );
+    let report = lint_one("crates/core/src/fixture.rs", &src);
+    assert!(!rules_hit(&report).contains("lock-order"));
+}
+
+// ----------------------------------------------------------- hot-path-alloc
+
+#[test]
+fn hot_path_alloc_flags_workspace_threaded_fns_only() {
+    let src = "fn diffuse_into(ws: &mut Workspace) {\n\
+               \x20   let v: Vec<u32> = Vec::new();\n\
+               \x20   let s = format!(\"x\");\n\
+               }\n\
+               fn setup() -> Vec<u32> {\n\
+               \x20   Vec::new()\n\
+               }\n";
+    let report = lint_one("crates/core/src/diffusion.rs", src);
+    let lines: Vec<usize> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "hot-path-alloc")
+        .map(|d| d.line)
+        .collect();
+    // Both allocs in the hot fn flagged; the cold `setup` untouched.
+    assert_eq!(lines, vec![2, 3], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn hot_path_alloc_allow_and_cold_files_are_clean() {
+    let src = "fn diffuse_into(ws: &mut Workspace) {\n\
+               \x20   // lint:allow(hot-path-alloc) -- grows once, amortized by the pool\n\
+               \x20   let v: Vec<u32> = Vec::new();\n\
+               }\n";
+    let report = lint_one("crates/core/src/diffusion.rs", src);
+    assert!(report.clean(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed, 1);
+    // The same fn in a file outside the hot set is not checked.
+    let cold = lint_one("crates/core/src/config.rs", src);
+    assert_eq!(cold.suppressed, 0);
+}
+
+// ---------------------------------------------------------------- fast-hash
+
+#[test]
+fn fast_hash_flags_std_maps_outside_fast_hash_rs() {
+    let src = "use std::collections::HashMap;\n\
+               fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+    let report = lint_one("crates/graph/src/fixture.rs", src);
+    assert_eq!(
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "fast-hash")
+            .count(),
+        3,
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn fast_hash_exempts_fast_hash_rs_tests_and_allows() {
+    let hub = "pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FxBuild>;\n";
+    assert!(lint_one("crates/graph/src/fast_hash.rs", hub).clean());
+    let test_only = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    assert!(lint_one("crates/graph/src/fixture.rs", test_only).clean());
+    let allowed = "// lint:allow(fast-hash) -- cold path keyed by attacker-controlled strings\n\
+                   use std::collections::HashMap;\n";
+    let report = lint_one("crates/graph/src/fixture.rs", allowed);
+    assert!(report.clean(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed, 1);
+}
+
+// ---------------------------------------------------------- poison-recovery
+
+#[test]
+fn poison_recovery_flags_lock_unwrap_chains() {
+    let src = "fn f(m: &std::sync::Mutex<u32>, rw: &std::sync::RwLock<u32>) {\n\
+               \x20   let a = m.lock().unwrap();\n\
+               \x20   let b = rw.read().expect(\"poisoned\");\n\
+               \x20   let c = rw.write()\n\
+               \x20       .unwrap();\n\
+               }\n";
+    let report = lint_one("crates/core/src/fixture.rs", src);
+    let lines: Vec<usize> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "poison-recovery")
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(lines, vec![2, 3, 4], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn poison_recovery_accepts_the_recovery_idiom_and_io_read() {
+    let src = "fn f(m: &std::sync::Mutex<u32>, s: &mut impl std::io::Read) {\n\
+               \x20   let a = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+               \x20   let mut buf = [0u8; 8];\n\
+               \x20   s.read(&mut buf).unwrap();\n\
+               }\n";
+    let report = lint_one("crates/graph/src/fixture.rs", src);
+    assert!(
+        !rules_hit(&report).contains("poison-recovery"),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+// ---------------------------------------------------------- failpoint-drift
+
+#[test]
+fn failpoint_drift_catches_both_directions() {
+    let prod = "fn f() -> Result<(), ()> {\n\
+                \x20   crate::failpoint::check(\"ball.diffuse\")?;\n\
+                \x20   crate::failpoint::check(\"cache.extract\")?;\n\
+                \x20   Ok(())\n\
+                }\n";
+    let chaos = "fn t() {\n\
+                 \x20   failpoint::configure(\"cache.extract\", spec());\n\
+                 \x20   failpoint::configure(\"persist.io\", spec());\n\
+                 }\n";
+    let report = lint_files(
+        &[
+            ("crates/core/src/fixture.rs".into(), prod.into()),
+            ("tests/chaos.rs".into(), chaos.into()),
+        ],
+        None,
+    );
+    let msgs: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "failpoint-drift")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(msgs.len(), 2, "{:?}", report.diagnostics);
+    // Unexercised production seam…
+    assert!(msgs.iter().any(|m| m.contains("`ball.diffuse`")));
+    // …and a dead name in the chaos suite.
+    assert!(msgs.iter().any(|m| m.contains("`persist.io`")));
+}
+
+#[test]
+fn failpoint_drift_accepts_dynamic_prefix_families() {
+    let prod = "fn f(kind: u32) -> Result<(), ()> {\n\
+                \x20   crate::failpoint::check(&format!(\"backend.query.{kind}\"))?;\n\
+                \x20   Ok(())\n\
+                }\n";
+    let chaos = "fn t() { failpoint::configure(\"backend.query.meloppr\", spec()); }\n";
+    let report = lint_files(
+        &[
+            ("crates/core/src/fixture.rs".into(), prod.into()),
+            ("tests/chaos.rs".into(), chaos.into()),
+        ],
+        None,
+    );
+    assert!(
+        !rules_hit(&report).contains("failpoint-drift"),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+// ------------------------------------------------------ undocumented-unsafe
+
+#[test]
+fn undocumented_unsafe_requires_a_safety_block() {
+    let bare = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let report = lint_one("crates/core/src/fixture.rs", bare);
+    assert!(rules_hit(&report).contains("undocumented-unsafe"));
+
+    let documented = "fn f(p: *const u8) -> u8 {\n\
+                      \x20   // SAFETY: caller guarantees p is valid for reads (API contract\n\
+                      \x20   // documented on the public wrapper).\n\
+                      \x20   unsafe { *p }\n\
+                      }\n";
+    let report = lint_one("crates/core/src/fixture.rs", documented);
+    assert!(
+        !rules_hit(&report).contains("undocumented-unsafe"),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+// ---------------------------------------------------------------- bad-allow
+
+#[test]
+fn bad_allow_flags_missing_justification_and_unknown_rules() {
+    let src = "fn f(v: Vec<u32>) -> u32 {\n\
+               \x20   // lint:allow(panic-freedom)\n\
+               \x20   let a = v.first().unwrap();\n\
+               \x20   // lint:allow(no-such-rule) -- misspelled\n\
+               \x20   *a\n\
+               }\n";
+    let report = lint_one("crates/core/src/server/fixture.rs", src);
+    let bad: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "bad-allow")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(bad.len(), 2, "{:?}", report.diagnostics);
+    assert!(bad.iter().any(|m| m.contains("justification")));
+    assert!(bad.iter().any(|m| m.contains("no-such-rule")));
+    // The justification-less allow still suppresses (the bad-allow
+    // finding is the enforcement, not a dead suppression).
+    assert!(!rules_hit(&report).contains("panic-freedom"));
+}
+
+// ------------------------------------------------------------- determinism
+
+#[test]
+fn diagnostics_are_sorted_and_stable_across_input_order() {
+    let a = (
+        "crates/core/src/server/b.rs".to_owned(),
+        "fn f(v: Vec<u32>) -> u32 { v.first().unwrap().clone() }\n".to_owned(),
+    );
+    let b = (
+        "crates/core/src/server/a.rs".to_owned(),
+        "fn g(v: Vec<u32>, i: usize) -> u32 { v[i] }\n".to_owned(),
+    );
+    let fwd = lint_files(&[a.clone(), b.clone()], None);
+    let rev = lint_files(&[b, a], None);
+    let render = |r: &LintReport| {
+        r.diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render(&fwd), render(&rev));
+    let mut sorted = render(&fwd);
+    sorted.sort();
+    assert_eq!(render(&fwd), sorted, "output is in canonical order");
+}
+
+// ------------------------------------------------------------- rule filter
+
+#[test]
+fn rule_filter_restricts_output() {
+    let src = "use std::collections::HashMap;\n\
+               fn f(v: Vec<u32>, i: usize) -> u32 { v[i] }\n";
+    let only: BTreeSet<String> = ["fast-hash".to_owned()].into();
+    let report = lint_files(
+        &[("crates/core/src/server/fixture.rs".into(), src.into())],
+        Some(&only),
+    );
+    assert_eq!(rules_hit(&report), ["fast-hash"].into());
+}

@@ -1,0 +1,27 @@
+//! Self-check: the real tree stays clean under the checker — the same
+//! invocation CI gates with (`meloppr-lint --deny`). A violation
+//! introduced anywhere in the workspace fails this test locally before
+//! CI sees it.
+
+use std::path::Path;
+
+#[test]
+fn repo_tree_is_clean_under_all_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels below the repo root")
+        .to_path_buf();
+    let report = meloppr_lint::run(&root, None).expect("repo tree is readable");
+    assert!(
+        report.files_scanned > 50,
+        "walker found only {} files — scan roots moved?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(ToString::to_string).collect();
+    assert!(
+        report.clean(),
+        "meloppr-lint found violations in the tree:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -25,6 +25,7 @@
 //! Criterion micro-benchmarks of the native Rust kernels live under
 //! `benches/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

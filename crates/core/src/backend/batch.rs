@@ -148,6 +148,7 @@ where
                         if i >= reqs.len() {
                             break;
                         }
+                        // lint:allow(panic-freedom) -- i < reqs.len() checked two lines up
                         let result = backend.query_with(&reqs[i], &mut ws);
                         if result.is_err() {
                             // Stop new claims promptly; in-flight requests
@@ -167,6 +168,7 @@ where
             .collect();
         handles
             .into_iter()
+            // lint:allow(panic-freedom) -- re-raising a worker panic; thread::scope would propagate it anyway
             .map(|h| h.join().expect("batch worker panicked"))
             .collect()
     });

@@ -620,6 +620,7 @@ impl<'g> Router<'g> {
             crate::failpoint::check(&format!("backend.query.{}", route.kind))?;
         }
         if !self.calibrate {
+            // lint:allow(panic-freedom) -- route.index was produced by select() over this very Vec
             return self.backends[route.index].query(req);
         }
         // The observation is measured against the *uncalibrated*
@@ -628,6 +629,7 @@ impl<'g> Router<'g> {
         let (ratio, _) = self.calibration_ratio(route.index);
         let predicted_ns = route.estimate.latency_ns / ratio;
         let started = Instant::now();
+        // lint:allow(panic-freedom) -- route.index was produced by select() over this very Vec
         let outcome = self.backends[route.index].query(req)?;
         let observed_ns = outcome
             .stats
@@ -767,6 +769,7 @@ impl<'g> Router<'g> {
             let Some(index) = kinds
                 .iter()
                 .enumerate()
+                // lint:allow(panic-freedom) -- i enumerates kinds; restored was sized to kinds.len()
                 .position(|(i, &kind)| kind == entry.kind && !restored[i])
             else {
                 continue;
@@ -775,6 +778,7 @@ impl<'g> Router<'g> {
                 c.ratio = entry.ratio.clamp(lo, hi);
                 c.samples = entry.samples.max(1);
                 c.degraded = entry.degraded;
+                // lint:allow(panic-freedom) -- index came from position() over kinds, same length
                 restored[index] = true;
                 applied += 1;
             }

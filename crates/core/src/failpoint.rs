@@ -146,7 +146,7 @@ pub const ACTIVE: bool = cfg!(feature = "failpoints");
 #[cfg(feature = "failpoints")]
 mod active {
     use super::{FaultAction, FaultSpec, InjectedFault};
-    use std::collections::HashMap;
+    use meloppr_graph::FastHashMap;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Mutex, OnceLock};
 
@@ -178,7 +178,7 @@ mod active {
 
     struct Registry {
         seed: u64,
-        points: HashMap<String, PointState>,
+        points: FastHashMap<String, PointState>,
     }
 
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
@@ -190,7 +190,7 @@ mod active {
         REGISTRY.get_or_init(|| {
             Mutex::new(Registry {
                 seed: 0,
-                points: HashMap::new(),
+                points: FastHashMap::default(),
             })
         })
     }

@@ -129,6 +129,7 @@ impl FrameReader {
                 // EOF: a partial buffered frame is abandoned with the
                 // connection.
                 Ok(0) => return Ok(FrameEvent::Eof),
+                // lint:allow(panic-freedom) -- Read's contract bounds n by chunk.len()
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e)
@@ -152,20 +153,20 @@ impl FrameReader {
 
     /// Pops one complete frame off the buffer, if present.
     fn take_frame(&mut self) -> io::Result<Option<String>> {
-        if self.buf.len() < 4 {
+        let Some(&len_bytes) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        };
+        let len = u32::from_be_bytes(len_bytes) as usize;
         if len > MAX_FRAME {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("frame of {len} bytes exceeds MAX_FRAME"),
             ));
         }
-        if self.buf.len() < 4 + len {
+        let Some(body) = self.buf.get(4..4 + len) else {
             return Ok(None);
-        }
-        let payload = self.buf[4..4 + len].to_vec();
+        };
+        let payload = body.to_vec();
         self.buf.drain(..4 + len);
         String::from_utf8(payload)
             .map(Some)

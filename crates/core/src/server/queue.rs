@@ -101,18 +101,18 @@ impl<T> DeadlineQueue<T> {
             return Enqueued::Refused(item);
         }
         let mut displaced = None;
+        // A full queue is non-empty (capacity > 0), so the last entry
+        // always exists; structured as a guard anyway so an impossible
+        // state admits the item rather than panic the serving thread.
         if state.entries.len() >= self.capacity {
-            let latest = *state
-                .entries
-                .last_key_value()
-                .expect("capacity > 0, so a full queue is non-empty")
-                .0;
-            if deadline >= latest.0 {
-                // The incoming entry has the most slack: refuse it. Ties
-                // favour residents (they have waited longer already).
-                return Enqueued::Refused(item);
+            if let Some((&latest, _)) = state.entries.last_key_value() {
+                if deadline >= latest.0 {
+                    // The incoming entry has the most slack: refuse it. Ties
+                    // favour residents (they have waited longer already).
+                    return Enqueued::Refused(item);
+                }
+                displaced = state.entries.pop_last().map(|(_, shed)| shed);
             }
-            displaced = state.entries.pop_last().map(|(_, shed)| shed);
         }
         let seq = state.seq;
         state.seq += 1;

@@ -38,15 +38,17 @@ impl LatencyReservoir {
 
     fn record(&mut self, latency_ms: f64) {
         let len = self.samples.len();
-        self.samples[self.cursor] = latency_ms;
+        if let Some(slot) = self.samples.get_mut(self.cursor) {
+            *slot = latency_ms;
+        }
         self.cursor = (self.cursor + 1) % len;
         self.filled = (self.filled + 1).min(len);
     }
 
     /// The retained samples, sorted ascending.
     fn sorted(&self) -> Vec<f64> {
-        let mut live = self.samples[..self.filled].to_vec();
-        live.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mut live: Vec<f64> = self.samples.iter().take(self.filled).copied().collect();
+        live.sort_by(f64::total_cmp);
         live
     }
 }
@@ -58,7 +60,7 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    sorted.get(rank - 1).copied().unwrap_or(0.0)
 }
 
 /// Live serving counters shared by every connection and worker thread.

@@ -15,9 +15,9 @@
 //! The **global score table** keeps the running top-`c·k` integer scores on
 //! chip so nothing is transferred to the host between diffusions (§V-B).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use meloppr_graph::{GraphView, NodeId, Subgraph};
+use meloppr_graph::{FastHashMap, GraphView, NodeId, Subgraph};
 
 /// Bytes per table word (§V-A: 32-bit integers everywhere).
 pub const WORD_BYTES: usize = 4;
@@ -155,7 +155,7 @@ impl ResScoreTable {
 #[derive(Debug, Clone, Default)]
 pub struct IntGlobalTable {
     capacity: usize,
-    scores: HashMap<NodeId, u32>,
+    scores: FastHashMap<NodeId, u32>,
     index: BTreeSet<(u32, NodeId)>,
     evictions: usize,
 }

@@ -12,6 +12,7 @@ use std::path::Path;
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::error::{GraphError, Result};
+use crate::fast_hash::FastHashMap;
 use crate::NodeId;
 
 /// Parsing options for [`parse_edge_list`].
@@ -100,7 +101,7 @@ fn parse_lines<'a, I>(lines: I, options: EdgeListOptions) -> Result<ParsedEdgeLi
 where
     I: Iterator<Item = std::result::Result<&'a str, std::io::Error>>,
 {
-    let mut remap: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+    let mut remap: FastHashMap<u64, NodeId> = FastHashMap::default();
     let mut original_ids: Vec<u64> = Vec::new();
     let mut builder = GraphBuilder::auto();
     if !options.skip_self_loops {

@@ -1,14 +1,18 @@
 //! Classic random-graph models, all deterministic under an explicit seed.
 
-use std::collections::HashSet;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::error::{GraphError, Result};
+use crate::fast_hash::FastHashSet;
 use crate::NodeId;
+
+/// A `FastHashSet` pre-sized for `n` insertions.
+fn set_with_capacity<T: std::hash::Hash + Eq>(n: usize) -> FastHashSet<T> {
+    FastHashSet::with_capacity_and_hasher(n, Default::default())
+}
 
 fn max_simple_edges(n: usize) -> usize {
     n.saturating_mul(n.saturating_sub(1)) / 2
@@ -31,7 +35,7 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
         });
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m);
+    let mut chosen: FastHashSet<(NodeId, NodeId)> = set_with_capacity(m);
     let mut builder = GraphBuilder::new(n);
     while chosen.len() < m {
         let u = rng.gen_range(0..n) as NodeId;
@@ -143,7 +147,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
         }
     }
     for u in core..n {
-        let mut targets: HashSet<NodeId> = HashSet::with_capacity(m);
+        let mut targets: FastHashSet<NodeId> = set_with_capacity(m);
         while targets.len() < m {
             let t = endpoints[rng.gen_range(0..endpoints.len())];
             if t as usize != u {
@@ -179,7 +183,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<CsrGra
         });
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut edges: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(n * k / 2);
+    let mut edges: FastHashSet<(NodeId, NodeId)> = set_with_capacity(n * k / 2);
     let norm = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
     for u in 0..n {
         for j in 1..=(k / 2) {
@@ -267,7 +271,7 @@ pub fn rmat(scale: u32, m: usize, probs: RmatProbabilities, seed: u64) -> Result
         });
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m);
+    let mut chosen: FastHashSet<(NodeId, NodeId)> = set_with_capacity(m);
     let mut builder = GraphBuilder::new(n);
     let budget = 100usize.saturating_mul(m).max(10_000);
     let mut attempts = 0usize;
@@ -440,12 +444,12 @@ pub fn locality_preferential(
         }
     }
 
-    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(target_edges);
+    let mut chosen: FastHashSet<(NodeId, NodeId)> = set_with_capacity(target_edges);
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * target_edges);
     let mut builder = GraphBuilder::new(n);
     let connect = |u: usize,
                    v: usize,
-                   chosen: &mut HashSet<(NodeId, NodeId)>,
+                   chosen: &mut FastHashSet<(NodeId, NodeId)>,
                    endpoints: &mut Vec<NodeId>,
                    builder: &mut GraphBuilder|
      -> bool {

@@ -34,6 +34,31 @@ pub struct Subgraph {
     seed_local: NodeId,
 }
 
+/// The buffer set [`Subgraph::extract_reusing`] threads: CSR offsets,
+/// packed neighbors, local→global ids, global→local map, walk degrees.
+type ExtractBuffers = (
+    Vec<u32>,
+    Vec<NodeId>,
+    Vec<NodeId>,
+    FastHashMap<NodeId, NodeId>,
+    Vec<u32>,
+);
+
+/// Cold-start buffer set for [`Subgraph::extract_reusing`], sized for a
+/// ball of `n` nodes. Deliberately outside the hot path: this runs once
+/// per workspace lifetime; steady-state extraction harvests the
+/// previous sub-graph's buffers instead.
+#[cold]
+fn fresh_buffers(n: usize) -> ExtractBuffers {
+    (
+        Vec::with_capacity(n + 1),
+        Vec::new(),
+        Vec::with_capacity(n),
+        FastHashMap::with_capacity_and_hasher(n, Default::default()),
+        Vec::with_capacity(n),
+    )
+}
+
 impl Subgraph {
     /// Extracts the induced sub-graph over a BFS ball of `parent`.
     ///
@@ -77,13 +102,7 @@ impl Subgraph {
                         prev.walk_degrees,
                     )
                 }
-                None => (
-                    Vec::with_capacity(n + 1),
-                    Vec::new(),
-                    Vec::with_capacity(n),
-                    FastHashMap::with_capacity_and_hasher(n, Default::default()),
-                    Vec::with_capacity(n),
-                ),
+                None => fresh_buffers(n),
             };
         offsets.clear();
         neighbors.clear();

@@ -8,6 +8,7 @@
 //! (plus throughput when configured). Good enough to eyeball regressions;
 //! not a statistics engine.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

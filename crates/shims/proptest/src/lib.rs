@@ -11,6 +11,7 @@
 //! Case generation is deterministic: the RNG is seeded from the test
 //! function's name, so failures reproduce across runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::SmallRng;

@@ -15,6 +15,7 @@
 //! (every consumer seeds explicitly and asserts reproducibility, not
 //! specific draws).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Low-level entropy source: everything derives from `next_u64`.

@@ -68,6 +68,7 @@
 //! silent first boot; a corrupt or version-mismatched file is ignored
 //! with a warning.
 
+#![forbid(unsafe_code)]
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;

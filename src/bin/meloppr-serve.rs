@@ -1,5 +1,9 @@
 //! `meloppr-serve` — a long-lived PPR serving daemon.
 //!
+//! This binary holds the workspace's only `unsafe` (the raw POSIX
+//! `signal(2)` declaration in its `signals` module); `deny` rather than
+//! `forbid` so that one module can opt back in with a reviewed `allow`.
+//!
 //! ```text
 //! meloppr-serve <graph> [--listen ADDR] [--workers N] [--queue N]
 //!               [--deadline-ms X] [--k K] [--length L] [--alpha A]
@@ -35,6 +39,8 @@
 //! On shutdown the final telemetry snapshot (latency p50/p95/p99, queue
 //! high-water, shed/degraded/deadline-missed counters, per-backend route
 //! counts) is printed to stderr.
+
+#![deny(unsafe_code)]
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -76,7 +82,11 @@ const USAGE: &str = "usage:
 /// Set by the signal handler; polled by the monitor thread.
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
 
+// The one `unsafe` in the workspace lives in this module (every lib
+// crate carries `#![forbid(unsafe_code)]`); the binary denies it so any
+// new site needs an explicit, reviewed `allow`.
 #[cfg(unix)]
+#[allow(unsafe_code)]
 mod signals {
     use super::SIGNALLED;
 
@@ -97,6 +107,13 @@ mod signals {
     /// Routes SIGINT/SIGTERM to the `SIGNALLED` flag.
     pub fn install() {
         let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        // SAFETY: `signal(2)` is called with a valid signal number and a
+        // handler that is a proper `extern "C" fn(i32)` (the cast chain
+        // only reinterprets the fn pointer as the usize ABI expects).
+        // The handler body is async-signal-safe — a single relaxed
+        // atomic store, no allocation, no locks. `signal`'s return value
+        // (the previous handler) is deliberately discarded; we never
+        // restore it because the flag stays armed for process lifetime.
         unsafe {
             signal(SIGINT, handler);
             signal(SIGTERM, handler);

@@ -125,6 +125,7 @@
 //! `meloppr-bench` crate for the experiment harness that regenerates
 //! every table and figure of the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use meloppr_core as core;

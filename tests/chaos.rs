@@ -539,3 +539,84 @@ fn truncated_calibration_file_boots_cold() {
 
     std::fs::remove_file(&path).unwrap();
 }
+
+/// The two protocol-level seams. A `frame.parse` fault refuses the
+/// frame as a typed `ERR` (id 0, the frame never became a request)
+/// without poisoning the connection; a bare `backend.query` fault —
+/// the kind-independent seam the router checks ahead of
+/// `backend.query.<kind>` — fails exactly one routed attempt. The same
+/// connection then completes a clean query end to end.
+#[test]
+fn frame_and_routing_seams_fire_then_recover() {
+    let _gate = gate();
+
+    let g = graph();
+    let backend = Meloppr::new(&g, meloppr_params()).unwrap();
+    let router = Router::new().with_backend(Box::new(backend));
+    let server = PprServer::bind(&router, serving_config(8), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    failpoint::set_seed(11);
+    failpoint::configure("frame.parse", FaultSpec::new(FaultAction::Error).times(1));
+    failpoint::configure("backend.query", FaultSpec::new(FaultAction::Error).times(1));
+
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve());
+        let _guard = ShutdownOnDrop(&server);
+        let mut conn = Client::connect(addr);
+
+        // First frame dies at the parse seam: ERR with id 0 (no request
+        // was ever decoded), connection survives.
+        conn.send(&Request::Query(QuerySpec::new(7, 0)));
+        match conn.recv() {
+            Response::Error { id, message } => {
+                assert_eq!(id, 0, "parse-refused frames answer with id 0");
+                assert!(
+                    message.contains("frame.parse"),
+                    "error is not the injected fault: {message:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Second query reaches the router and dies at the bare seam.
+        conn.send(&Request::Query(QuerySpec::new(8, 0)));
+        match conn.recv() {
+            Response::Error { id, message } => {
+                assert_eq!(id, 8);
+                assert!(
+                    message.contains("backend.query"),
+                    "error is not the injected fault: {message:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Both schedules are spent: a clean query completes on the same
+        // connection.
+        conn.send(&Request::Query(QuerySpec::new(9, 0)));
+        match conn.recv() {
+            Response::Ranking { id, ranking, .. } => {
+                assert_eq!(id, 9);
+                assert!(!ranking.is_empty(), "clean query returned no ranking");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        assert_eq!(failpoint::fired("frame.parse"), 1);
+        assert_eq!(failpoint::fired("backend.query"), 1);
+
+        conn.send(&Request::Shutdown);
+        match conn.recv() {
+            Response::Stats(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        serve.join().unwrap().unwrap();
+    });
+    failpoint::clear("frame.parse");
+    failpoint::clear("backend.query");
+
+    let snap = server.telemetry();
+    assert_eq!(snap.errors, 2, "one parse refusal + one routed failure");
+    assert_eq!(snap.worker_panics, 0);
+}
