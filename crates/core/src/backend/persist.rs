@@ -58,9 +58,20 @@ const HEADER: &str = "meloppr-state v1";
 
 /// CRC-32/ISO-HDLC (the zlib/PNG polynomial), bit-at-a-time — the state
 /// file is a few hundred bytes at shutdown and startup, so a lookup
-/// table would be pure bloat.
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFF_u32;
+/// table would be pure bloat. The ball index (`meloppr_core::ballindex`)
+/// reuses this function for its own integrity footer; its builder
+/// streams megabytes through it once, offline, where bit-at-a-time is
+/// still fine.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(0xFFFF_FFFF, bytes)
+}
+
+/// Incremental CRC-32 step: feed chunks through with an initial state of
+/// `0xFFFF_FFFF` and complement the final state — equivalent to one
+/// [`crc32`] call over the concatenated bytes. The ball-index loader
+/// verifies multi-megabyte files in fixed-size chunks this way.
+pub(crate) fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
     for &byte in bytes {
         crc ^= u32::from(byte);
         for _ in 0..8 {
@@ -68,7 +79,7 @@ fn crc32(bytes: &[u8]) -> u32 {
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
         }
     }
-    !crc
+    crc
 }
 
 /// Everything [`save_state`] persists: calibration entries plus each
@@ -215,6 +226,10 @@ impl PersistedState {
                             .map_err(|e| context(&e))?,
                         rejected_admissions: parse_field(&mut tokens, "rejected")
                             .map_err(|e| context(&e))?,
+                        // Cold-tier counters are not persisted (the v1
+                        // format predates the disk tier); they restart
+                        // at zero on every boot.
+                        ..Default::default()
                     };
                     let ewma = parse_optional_f64(&mut tokens, "ewma").map_err(|e| context(&e))?;
                     let window = parse_window(&mut tokens).map_err(|e| context(&e))?;
@@ -447,6 +462,7 @@ mod tests {
                         misses: 4,
                         extractions: 4,
                         rejected_admissions: 1,
+                        ..Default::default()
                     },
                     ewma: Some(0.75),
                     window: vec![true, false, true, true],

@@ -19,6 +19,13 @@ use crate::quantized::PrecisionClass;
 use crate::selection::SelectionStrategy;
 use crate::workspace::{QueryWorkspace, WorkspacePool};
 
+/// Relative cost of serving a ball from the cold tier (one positioned
+/// index read plus compact decode) versus extracting it with a live
+/// BFS: strictly between a RAM hit (0.0, free) and a miss (1.0, the
+/// full BFS charge). Feeds the `estimate()` BFS term so routing prices
+/// a tiered cache between all-RAM and all-miss serving.
+const COLD_HIT_COST_FACTOR: f64 = 0.35;
+
 /// Multi-stage MeLoPPR (§IV) as a backend.
 ///
 /// Execution variants are constructor options:
@@ -240,6 +247,28 @@ impl<'g, G: GraphView + Sync + ?Sized> Meloppr<'g, G> {
         }
     }
 
+    /// Fraction of this backend's lifetime cache lookups served by the
+    /// cold tier (a positioned index read instead of a BFS) — 0.0 with
+    /// no cache attached, no cold tier configured, or before any lookup.
+    /// Lifetime rather than windowed: the cold fraction tracks what
+    /// share of the key space lives on disk, which shifts with the index
+    /// contents, not with short-term traffic.
+    fn cold_hit_fraction(&self) -> f64 {
+        let stats = match &self.cache {
+            CacheMode::None => return 0.0,
+            CacheMode::Owned(cache) => cache
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .consumer_stats(),
+            CacheMode::Shared { consumer, .. } => consumer.stats(),
+        };
+        let lookups = stats.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        (stats.cold_hits as f64 / lookups as f64).clamp(0.0, 1.0)
+    }
+
     /// The modelled working set of one stage task on the average
     /// depth-`depth` probe ball — the runtime budget gate's formula
     /// (`QueryAccumulator::working_set_bound`) evaluated with an empty
@@ -441,6 +470,15 @@ impl<G: GraphView + Sync + ?Sized> PprBackend for Meloppr<'_, G> {
         // mixes other consumers' traffic in). Warm-up extractions never
         // enter the window.
         let bfs_miss_fraction = 1.0 - self.cache_hit_rate();
+        // A cold-tier hit avoids the BFS entirely (the window above
+        // records it as a hit because no extraction ran) but still pays
+        // a positioned index read and compact decode; charge the
+        // observed cold fraction of lookups at a flat factor of the BFS
+        // cost, so a tiered cache prices strictly between all-RAM hits
+        // and all-misses. With no cold tier the fraction is 0 and the
+        // pricing is unchanged.
+        let bfs_miss_fraction =
+            (bfs_miss_fraction + COLD_HIT_COST_FACTOR * self.cold_hit_fraction()).min(1.0);
         // Reduced-width rungs run the dense vectorizable diffusion
         // kernel; charge their per-edge cost at the class's documented
         // discount so a deadline router learns that narrower is faster.
@@ -709,6 +747,69 @@ mod tests {
         assert!(
             shared.estimate(&req).unwrap().latency_ns < plain.estimate(&req).unwrap().latency_ns
         );
+    }
+
+    #[test]
+    fn estimate_prices_cold_hits_between_ram_hits_and_misses() {
+        let g = generators::corpus::PaperGraph::G2Cora
+            .generate_scaled(0.2, 9)
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("meloppr-staged-cold-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("balls.idx");
+        crate::ballindex::build_index(&g, 3, &path).unwrap();
+        let index = Arc::new(crate::ballindex::BallIndex::open(&path).unwrap());
+        let seeds: Vec<u32> = (0..24).collect();
+        let window = 16;
+
+        // All-miss reference: distinct cold seeds through a RAM-only
+        // cache leave the window dominated by misses.
+        let miss = Meloppr::new(&g, params())
+            .unwrap()
+            .with_cache_window(window)
+            .with_shared_cache(Arc::new(ConcurrentSubgraphCache::new(4096)));
+        for &s in &seeds {
+            miss.query(&QueryRequest::new(s)).unwrap();
+        }
+
+        // Cold tier: the same distinct seeds are first touches too, but
+        // the index (built at the stage depth) serves them from disk —
+        // windowed as hits, priced via the cold fraction.
+        let cold = Meloppr::new(&g, params())
+            .unwrap()
+            .with_cache_window(window)
+            .with_shared_cache(Arc::new(
+                ConcurrentSubgraphCache::new(4096).with_cold_tier(Arc::clone(&index)),
+            ));
+        for &s in &seeds {
+            cold.query(&QueryRequest::new(s)).unwrap();
+        }
+        let cold_stats = cold.cache_consumer().unwrap().stats();
+        assert!(cold_stats.cold_hits > 0, "the index must actually serve");
+
+        // All-RAM reference: one seed repeated until the window holds
+        // only resident hits.
+        let ram = Meloppr::new(&g, params())
+            .unwrap()
+            .with_cache_window(window)
+            .with_shared_cache(Arc::new(ConcurrentSubgraphCache::new(4096)));
+        for _ in 0..40 {
+            ram.query(&QueryRequest::new(5)).unwrap();
+        }
+
+        let req = QueryRequest::new(5);
+        let ram_ns = ram.estimate(&req).unwrap().latency_ns;
+        let cold_ns = cold.estimate(&req).unwrap().latency_ns;
+        let miss_ns = miss.estimate(&req).unwrap().latency_ns;
+        assert!(
+            ram_ns < cold_ns,
+            "cold-tier serving must price above all-RAM hits: {ram_ns} vs {cold_ns}"
+        );
+        assert!(
+            cold_ns < miss_ns,
+            "cold-tier serving must price below all-miss BFS: {cold_ns} vs {miss_ns}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -108,6 +108,29 @@
 //! map, so they can never evict an admitted entry. Rejections are
 //! counted in [`CacheStats::rejected_admissions`] and per consumer.
 //!
+//! # The cold tier: a persisted ball index below RAM
+//!
+//! A byte-budgeted cache eventually faces graphs whose hot ball set does
+//! not fit in RAM at all. Attaching a persisted
+//! [`BallIndex`] via
+//! [`ConcurrentSubgraphCache::with_cold_tier`] adds a disk tier below the
+//! RAM tier: a RAM miss whose `(node, depth)` ball is in the index is
+//! served by **one positioned read** (`read_exact_at` into a pooled,
+//! caller-owned buffer — no mmap, no `unsafe`), decoded from the compact
+//! wire form, re-represented per the configured [`BallStore`] (under the
+//! default `Full` store the record is inflated back into a full
+//! [`Subgraph`] so disk-served answers stay **bit-identical** to
+//! BFS-served ones; under `Compact` the wire form is the resident form)
+//! and admitted through the same [`AdmissionPolicy`]/[`CacheBudget`]
+//! gates as a fresh extraction. Live BFS remains the fallback whenever the index lacks the
+//! node or depth, or the read/decode fails — the cold tier is an
+//! accelerator, never a correctness dependency. Cold traffic is counted
+//! separately ([`CacheStats::cold_hits`], [`CacheStats::cold_bytes_read`],
+//! [`CacheStats::cold_fallbacks`], and per consumer) so the staged
+//! backend's `estimate()` can price a cold hit between a RAM hit and a
+//! BFS miss. The on-disk file format is documented in
+//! [`ballindex`](crate::ballindex).
+//!
 //! Both cache facades store [`Arc<Subgraph>`] so readers share entries
 //! without copying, and both charge **zero BFS work on hits** — the
 //! whole point of caching (the work counter in the `_counted` getters is
@@ -118,6 +141,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 use meloppr_graph::{bfs_ball, ExtractScratch, FastHashMap, GraphView, NodeId, Subgraph};
 
+use crate::ballindex::BallIndex;
 use crate::error::Result;
 use crate::quantized::CompactBall;
 
@@ -326,6 +350,14 @@ impl SubgraphCache {
         self
     }
 
+    /// Attaches a persisted ball index as the cold tier (builder style),
+    /// as [`ConcurrentSubgraphCache::with_cold_tier`].
+    #[must_use]
+    pub fn with_cold_tier(mut self, index: Arc<BallIndex>) -> Self {
+        self.core = self.core.with_cold_tier(index);
+        self
+    }
+
     /// Resizes the hit-rate window, discarding its current contents
     /// (cumulative counters are kept).
     ///
@@ -398,9 +430,10 @@ impl SubgraphCache {
         node: NodeId,
         depth: u32,
         scratch: &mut ExtractScratch,
+        cold_buf: &mut Vec<u8>,
     ) -> Result<(CachedBall, usize)> {
         self.core
-            .get_ball_with_as(g, node, depth, scratch, &self.consumer)
+            .get_ball_with_as(g, node, depth, scratch, cold_buf, &self.consumer)
     }
 
     /// Ball-representation probe, as
@@ -411,9 +444,10 @@ impl SubgraphCache {
         node: NodeId,
         depth: u32,
         scratch: &mut ExtractScratch,
+        cold_buf: &mut Vec<u8>,
     ) -> Result<(CachedBall, usize)> {
         self.core
-            .probe_ball_with_as(g, node, depth, scratch, &self.consumer)
+            .probe_ball_with_as(g, node, depth, scratch, cold_buf, &self.consumer)
     }
 
     /// Admits an already-extracted ball (see
@@ -421,6 +455,13 @@ impl SubgraphCache {
     pub(crate) fn admit_extracted(&mut self, node: NodeId, depth: u32, sub: &Arc<Subgraph>) {
         self.core
             .admit_extracted(node, depth, sub, Some(&self.consumer));
+    }
+
+    /// Admits a cold-served compact ball (see
+    /// [`ConcurrentSubgraphCache::admit_cached`]).
+    pub(crate) fn admit_cached(&mut self, node: NodeId, depth: u32, ball: &CachedBall) {
+        self.core
+            .admit_cached(node, depth, ball, Some(&self.consumer));
     }
 
     /// Pre-extracts the ball around `(node, depth)` into the cache
@@ -452,6 +493,12 @@ impl SubgraphCache {
     /// appear here.
     pub fn recent_hit_rate(&self) -> f64 {
         self.consumer.windowed_hit_rate()
+    }
+
+    /// This cache's cumulative per-consumer counters (including the
+    /// cold-tier breakdown), as [`CacheConsumer::stats`].
+    pub fn consumer_stats(&self) -> ConsumerStats {
+        self.consumer.stats()
     }
 
     /// The configured budget.
@@ -506,6 +553,14 @@ pub struct CacheStats {
     /// Extracted balls the [`AdmissionPolicy`] refused to make resident
     /// (served to the caller, never inserted).
     pub rejected_admissions: u64,
+    /// RAM misses served from the cold tier (one positioned index read,
+    /// no BFS). A subset of `misses`: every cold hit is still a RAM miss.
+    pub cold_hits: u64,
+    /// Bytes read from the cold-tier index by those cold hits.
+    pub cold_bytes_read: u64,
+    /// RAM misses that consulted a configured cold tier and fell back to
+    /// live BFS (index lacked the node/depth, or the read/decode failed).
+    pub cold_fallbacks: u64,
 }
 
 impl CacheStats {
@@ -535,6 +590,9 @@ impl CacheStats {
             rejected_admissions: self
                 .rejected_admissions
                 .saturating_sub(earlier.rejected_admissions),
+            cold_hits: self.cold_hits.saturating_sub(earlier.cold_hits),
+            cold_bytes_read: self.cold_bytes_read.saturating_sub(earlier.cold_bytes_read),
+            cold_fallbacks: self.cold_fallbacks.saturating_sub(earlier.cold_fallbacks),
         }
     }
 }
@@ -559,6 +617,14 @@ pub struct ConsumerStats {
     pub extractions: u64,
     /// Extractions whose ball the [`AdmissionPolicy`] refused to admit.
     pub rejected_admissions: u64,
+    /// This consumer's RAM misses served from the cold tier (a subset of
+    /// `misses` — no BFS ran, one positioned index read did).
+    pub cold_hits: u64,
+    /// Bytes this consumer's cold hits read from the index.
+    pub cold_bytes_read: u64,
+    /// This consumer's RAM misses that consulted the cold tier and fell
+    /// back to live BFS.
+    pub cold_fallbacks: u64,
 }
 
 impl ConsumerStats {
@@ -589,6 +655,9 @@ impl ConsumerStats {
             rejected_admissions: self
                 .rejected_admissions
                 .saturating_sub(earlier.rejected_admissions),
+            cold_hits: self.cold_hits.saturating_sub(earlier.cold_hits),
+            cold_bytes_read: self.cold_bytes_read.saturating_sub(earlier.cold_bytes_read),
+            cold_fallbacks: self.cold_fallbacks.saturating_sub(earlier.cold_fallbacks),
         }
     }
 }
@@ -605,6 +674,9 @@ impl From<CacheStats> for ConsumerStats {
             misses: stats.misses,
             extractions: stats.extractions,
             rejected_admissions: stats.rejected_admissions,
+            cold_hits: stats.cold_hits,
+            cold_bytes_read: stats.cold_bytes_read,
+            cold_fallbacks: stats.cold_fallbacks,
         }
     }
 }
@@ -691,6 +763,9 @@ pub struct CacheConsumer {
     misses: AtomicU64,
     extractions: AtomicU64,
     rejected: AtomicU64,
+    cold_hits: AtomicU64,
+    cold_bytes: AtomicU64,
+    cold_fallbacks: AtomicU64,
     /// EWMA of lookup outcomes (1.0 = free), stored as `f64` bits;
     /// `EWMA_UNSET` before the first sample.
     ewma_bits: AtomicU64,
@@ -737,6 +812,9 @@ impl CacheConsumer {
             misses: AtomicU64::new(0),
             extractions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            cold_hits: AtomicU64::new(0),
+            cold_bytes: AtomicU64::new(0),
+            cold_fallbacks: AtomicU64::new(0),
             ewma_bits: AtomicU64::new(EWMA_UNSET),
             window: (0..window).map(|_| AtomicU8::new(WINDOW_EMPTY)).collect(),
             cursor: AtomicUsize::new(0),
@@ -774,6 +852,9 @@ impl CacheConsumer {
             misses: self.misses.load(Ordering::Relaxed),
             extractions: self.extractions.load(Ordering::Relaxed),
             rejected_admissions: self.rejected.load(Ordering::Relaxed),
+            cold_hits: self.cold_hits.load(Ordering::Relaxed),
+            cold_bytes_read: self.cold_bytes.load(Ordering::Relaxed),
+            cold_fallbacks: self.cold_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -853,6 +934,18 @@ impl CacheConsumer {
         self.record(false);
     }
 
+    /// A RAM miss served by the cold tier: still a miss in the lookup
+    /// taxonomy (`cold_hits` is a subset of `misses`), but the windowed
+    /// rate — which exists to discount predicted **BFS** — counts it as
+    /// free, because no BFS ran; `estimate()` prices the disk read
+    /// separately from the cold fraction.
+    fn on_cold_hit(&self, bytes: usize) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cold_hits.fetch_add(1, Ordering::Relaxed);
+        self.cold_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.record(true);
+    }
+
     /// Snapshot of this consumer's complete persistable state — counters,
     /// EWMA and the window's outcomes oldest-first. Relaxed loads: call
     /// after lookups have quiesced (e.g. at server shutdown).
@@ -894,6 +987,12 @@ impl CacheConsumer {
             .store(state.stats.extractions, Ordering::Relaxed);
         self.rejected
             .store(state.stats.rejected_admissions, Ordering::Relaxed);
+        self.cold_hits
+            .store(state.stats.cold_hits, Ordering::Relaxed);
+        self.cold_bytes
+            .store(state.stats.cold_bytes_read, Ordering::Relaxed);
+        self.cold_fallbacks
+            .store(state.stats.cold_fallbacks, Ordering::Relaxed);
         // Reset the ring, then replay the newest window_len() outcomes.
         for slot in self.window.iter() {
             slot.store(WINDOW_EMPTY, Ordering::Relaxed);
@@ -1064,8 +1163,9 @@ struct Shard {
 /// Adapts a lookup result to the legacy full-ball contract: a compact
 /// hit (only reachable when [`BallStore::Compact`] was opted into) is
 /// served by a fresh extraction — the compact resident keeps its slot,
-/// and the hit was already counted. [`CompactBall`] deliberately has no
-/// inflation path back to [`Subgraph`] (it drops the global→local map).
+/// and the hit was already counted. Re-extracting (rather than
+/// [`CompactBall::to_subgraph`]) keeps the legacy getters' "BFS path by
+/// contract" promise and their work accounting intact.
 fn inflate_full<G: GraphView + ?Sized>(
     g: &G,
     node: NodeId,
@@ -1081,6 +1181,57 @@ fn inflate_full<G: GraphView + ?Sized>(
             Ok((Arc::new(sub), b.edges_scanned))
         }
     }
+}
+
+/// What a lookup's extraction closure produced on a RAM miss: a ball
+/// decoded from the cold tier (one positioned read, no BFS), or a live
+/// BFS extraction.
+enum ExtractedBall {
+    /// Decoded from the cold-tier index; `bytes` is the record length
+    /// read from disk.
+    Cold { ball: CompactBall, bytes: usize },
+    /// A live BFS extraction (`work` = adjacency entries scanned).
+    /// `fallback` is set when a configured cold tier was consulted first
+    /// and could not serve the ball.
+    Fresh {
+        sub: Subgraph,
+        work: usize,
+        fallback: bool,
+    },
+}
+
+/// The cold-capable extraction body shared by the ball-representation
+/// lookups: try one positioned index read first, fall back to live BFS
+/// when the index lacks the ball or the read/decode fails — the cold
+/// tier is an accelerator, never a correctness dependency.
+fn read_cold_or_extract<G: GraphView + ?Sized>(
+    g: &G,
+    cold: Option<&BallIndex>,
+    node: NodeId,
+    depth: u32,
+    scratch: &mut ExtractScratch,
+    buf: &mut Vec<u8>,
+) -> Result<ExtractedBall> {
+    if let Some(index) = cold {
+        if let Ok(Some(ball)) = index.read_ball(node, depth, buf) {
+            return Ok(ExtractedBall::Cold {
+                bytes: buf.len(),
+                ball,
+            });
+        }
+        let (sub, work) = scratch.extract_owned(g, node, depth)?;
+        return Ok(ExtractedBall::Fresh {
+            sub,
+            work,
+            fallback: true,
+        });
+    }
+    let (sub, work) = scratch.extract_owned(g, node, depth)?;
+    Ok(ExtractedBall::Fresh {
+        sub,
+        work,
+        fallback: false,
+    })
 }
 
 /// What a lookup found after consulting (and possibly updating) a shard.
@@ -1182,6 +1333,10 @@ pub struct ConcurrentSubgraphCache {
     budget: CacheBudget,
     admission: AdmissionPolicy,
     store: BallStore,
+    /// Optional cold tier: a persisted ball index consulted by the
+    /// ball-representation lookups on a RAM miss before falling back to
+    /// live BFS.
+    cold: Option<Arc<BallIndex>>,
     /// Counting sketch of key sightings for the frequency-aware
     /// admission policies; empty for other policies. Collisions
     /// over-count, which can only admit early.
@@ -1200,6 +1355,9 @@ pub struct ConcurrentSubgraphCache {
     extractions: AtomicU64,
     evictions: AtomicU64,
     rejected: AtomicU64,
+    cold_hits: AtomicU64,
+    cold_bytes_read: AtomicU64,
+    cold_fallbacks: AtomicU64,
     /// Times a poisoned shard or entry lock was recovered
     /// (clear-and-continue) instead of cascading the panic.
     poison_recoveries: AtomicU64,
@@ -1289,6 +1447,7 @@ impl ConcurrentSubgraphCache {
             budget,
             admission: AdmissionPolicy::Always,
             store: BallStore::Full,
+            cold: None,
             seen: Box::new([]),
             clock: AtomicU64::new(0),
             resident_entries: AtomicUsize::new(0),
@@ -1299,6 +1458,9 @@ impl ConcurrentSubgraphCache {
             extractions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            cold_hits: AtomicU64::new(0),
+            cold_bytes_read: AtomicU64::new(0),
+            cold_fallbacks: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
         }
     }
@@ -1334,6 +1496,29 @@ impl ConcurrentSubgraphCache {
         self.store
     }
 
+    /// Attaches a persisted [`BallIndex`] as this cache's **cold tier**
+    /// (builder style): a RAM miss whose `(node, depth)` ball the index
+    /// holds is served by one positioned read, decoded, re-represented
+    /// per the configured [`BallStore`] (inflated to a full [`Subgraph`]
+    /// under the default `Full` store so disk-served answers stay
+    /// bit-identical to BFS-served ones) and admitted through the normal
+    /// [`AdmissionPolicy`]/[`CacheBudget`] gates; live BFS remains the
+    /// fallback when the index lacks the ball or the read fails. Only the
+    /// ball-representation lookups
+    /// ([`ConcurrentSubgraphCache::get_ball_with_as`] and the budget
+    /// probes) consult the cold tier — the legacy full-[`Subgraph`]
+    /// getters are BFS paths by contract.
+    #[must_use]
+    pub fn with_cold_tier(mut self, index: Arc<BallIndex>) -> Self {
+        self.cold = Some(index);
+        self
+    }
+
+    /// The attached cold-tier ball index, if any.
+    pub fn cold_tier(&self) -> Option<&BallIndex> {
+        self.cold.as_deref()
+    }
+
     /// The representation an extracted ball would be stored under: the
     /// compact form when configured and the ball fits `u16` local ids,
     /// the full form otherwise.
@@ -1344,6 +1529,25 @@ impl ConcurrentSubgraphCache {
                 Some(compact) => CachedBall::Compact(Arc::new(compact)),
                 None => CachedBall::Full(Arc::clone(sub)),
             },
+        }
+    }
+
+    /// The representation a cold-tier ball is served and stored under.
+    /// Under [`BallStore::Full`] (the default, bit-identical mode) the
+    /// decoded record is inflated back into a full [`Subgraph`] so it
+    /// diffuses through exactly the kernel a fresh BFS extraction would
+    /// — disk-served and RAM-served answers stay bit-identical. Under
+    /// [`BallStore::Compact`] the wire form *is* the resident form, so
+    /// no inflation happens. Inflation failure (unreachable for records
+    /// that passed [`CompactBall::from_raw_parts`]) degrades to the
+    /// compact form rather than failing the lookup.
+    fn cold_ball(&self, ball: CompactBall) -> CachedBall {
+        match self.store {
+            BallStore::Full => match ball.to_subgraph() {
+                Ok(sub) => CachedBall::Full(Arc::new(sub)),
+                Err(_) => CachedBall::Compact(Arc::new(ball)),
+            },
+            BallStore::Compact => CachedBall::Compact(Arc::new(ball)),
         }
     }
 
@@ -1524,10 +1728,14 @@ impl ConcurrentSubgraphCache {
         node: NodeId,
         depth: u32,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        let (ball, work) = self.lookup(g, node, depth, None, LookupMode::Demand, |g| {
+        let (ball, work) = self.lookup(g, node, depth, None, LookupMode::Demand, |g, _| {
             let ball = bfs_ball(g, node, depth)?;
             let sub = Subgraph::extract(g, &ball)?;
-            Ok((sub, ball.edges_scanned))
+            Ok(ExtractedBall::Fresh {
+                sub,
+                work: ball.edges_scanned,
+                fallback: false,
+            })
         })?;
         inflate_full(g, node, depth, ball, work)
     }
@@ -1548,12 +1756,22 @@ impl ConcurrentSubgraphCache {
         depth: u32,
         consumer: &CacheConsumer,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        let (ball, work) =
-            self.lookup(g, node, depth, Some(consumer), LookupMode::Demand, |g| {
+        let (ball, work) = self.lookup(
+            g,
+            node,
+            depth,
+            Some(consumer),
+            LookupMode::Demand,
+            |g, _| {
                 let ball = bfs_ball(g, node, depth)?;
                 let sub = Subgraph::extract(g, &ball)?;
-                Ok((sub, ball.edges_scanned))
-            })?;
+                Ok(ExtractedBall::Fresh {
+                    sub,
+                    work: ball.edges_scanned,
+                    fallback: false,
+                })
+            },
+        )?;
         inflate_full(g, node, depth, ball, work)
     }
 
@@ -1572,8 +1790,13 @@ impl ConcurrentSubgraphCache {
         depth: u32,
         scratch: &mut ExtractScratch,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        let (ball, work) = self.lookup(g, node, depth, None, LookupMode::Demand, |g| {
-            Ok(scratch.extract_owned(g, node, depth)?)
+        let (ball, work) = self.lookup(g, node, depth, None, LookupMode::Demand, |g, _| {
+            let (sub, work) = scratch.extract_owned(g, node, depth)?;
+            Ok(ExtractedBall::Fresh {
+                sub,
+                work,
+                fallback: false,
+            })
         })?;
         inflate_full(g, node, depth, ball, work)
     }
@@ -1593,10 +1816,21 @@ impl ConcurrentSubgraphCache {
         scratch: &mut ExtractScratch,
         consumer: &CacheConsumer,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        let (ball, work) =
-            self.lookup(g, node, depth, Some(consumer), LookupMode::Demand, |g| {
-                Ok(scratch.extract_owned(g, node, depth)?)
-            })?;
+        let (ball, work) = self.lookup(
+            g,
+            node,
+            depth,
+            Some(consumer),
+            LookupMode::Demand,
+            |g, _| {
+                let (sub, work) = scratch.extract_owned(g, node, depth)?;
+                Ok(ExtractedBall::Fresh {
+                    sub,
+                    work,
+                    fallback: false,
+                })
+            },
+        )?;
         inflate_full(g, node, depth, ball, work)
     }
 
@@ -1607,6 +1841,12 @@ impl ConcurrentSubgraphCache {
     /// re-extracted, which is the whole point of compact residents (the
     /// quantized diffusion kernel consumes either form directly).
     ///
+    /// This is a cold-tier-aware lookup: with a
+    /// [`ConcurrentSubgraphCache::with_cold_tier`] index attached, a RAM
+    /// miss tries one positioned read into `cold_buf` (a caller-pooled
+    /// buffer — the workspace owns it on the serving path, so steady
+    /// state stays allocation-free) before falling back to live BFS.
+    ///
     /// # Errors
     ///
     /// Propagates graph errors from extraction on misses.
@@ -1616,28 +1856,43 @@ impl ConcurrentSubgraphCache {
         node: NodeId,
         depth: u32,
         scratch: &mut ExtractScratch,
+        cold_buf: &mut Vec<u8>,
         consumer: &CacheConsumer,
     ) -> Result<(CachedBall, usize)> {
-        self.lookup(g, node, depth, Some(consumer), LookupMode::Demand, |g| {
-            Ok(scratch.extract_owned(g, node, depth)?)
-        })
+        self.lookup(
+            g,
+            node,
+            depth,
+            Some(consumer),
+            LookupMode::Demand,
+            |g, cold| read_cold_or_extract(g, cold, node, depth, scratch, cold_buf),
+        )
     }
 
     /// Ball-representation form of
     /// [`ConcurrentSubgraphCache::probe_or_extract_with_as`]: counted
     /// like demand, never admits, serves a compact resident as-is on a
-    /// hit.
+    /// hit. Cold-tier-aware like
+    /// [`ConcurrentSubgraphCache::get_ball_with_as`] — a probe served
+    /// from the index costs a read, not a BFS, and the depth the budget
+    /// gate settles on is admitted explicitly afterwards.
     pub(crate) fn probe_ball_with_as<G: GraphView + ?Sized>(
         &self,
         g: &G,
         node: NodeId,
         depth: u32,
         scratch: &mut ExtractScratch,
+        cold_buf: &mut Vec<u8>,
         consumer: &CacheConsumer,
     ) -> Result<(CachedBall, usize)> {
-        self.lookup(g, node, depth, Some(consumer), LookupMode::Probe, |g| {
-            Ok(scratch.extract_owned(g, node, depth)?)
-        })
+        self.lookup(
+            g,
+            node,
+            depth,
+            Some(consumer),
+            LookupMode::Probe,
+            |g, cold| read_cold_or_extract(g, cold, node, depth, scratch, cold_buf),
+        )
     }
 
     /// As [`ConcurrentSubgraphCache::get_or_extract_with_as`], but an
@@ -1662,9 +1917,15 @@ impl ConcurrentSubgraphCache {
         scratch: &mut ExtractScratch,
         consumer: &CacheConsumer,
     ) -> Result<(Arc<Subgraph>, usize)> {
-        let (ball, work) = self.lookup(g, node, depth, Some(consumer), LookupMode::Probe, |g| {
-            Ok(scratch.extract_owned(g, node, depth)?)
-        })?;
+        let (ball, work) =
+            self.lookup(g, node, depth, Some(consumer), LookupMode::Probe, |g, _| {
+                let (sub, work) = scratch.extract_owned(g, node, depth)?;
+                Ok(ExtractedBall::Fresh {
+                    sub,
+                    work,
+                    fallback: false,
+                })
+            })?;
         inflate_full(g, node, depth, ball, work)
     }
 
@@ -1688,6 +1949,33 @@ impl ConcurrentSubgraphCache {
         sub: &Arc<Subgraph>,
         consumer: Option<&CacheConsumer>,
     ) {
+        let stored = self.store_ball(sub);
+        self.admit_stored(node, depth, stored, sub.num_nodes(), consumer);
+    }
+
+    /// As [`ConcurrentSubgraphCache::admit_extracted`] for a ball already
+    /// in a resident representation: the admission half of a budgeted
+    /// probe that was served **from the cold tier** (a decoded
+    /// [`CachedBall::Compact`] has no full [`Subgraph`] to re-compact).
+    /// Same sighting/policy/budget semantics.
+    pub(crate) fn admit_cached(
+        &self,
+        node: NodeId,
+        depth: u32,
+        ball: &CachedBall,
+        consumer: Option<&CacheConsumer>,
+    ) {
+        self.admit_stored(node, depth, ball.clone(), ball.num_nodes(), consumer);
+    }
+
+    fn admit_stored(
+        &self,
+        node: NodeId,
+        depth: u32,
+        stored: CachedBall,
+        nodes: usize,
+        consumer: Option<&CacheConsumer>,
+    ) {
         let key = (node, depth);
         {
             let shard = self.shard_for(key);
@@ -1702,9 +1990,8 @@ impl ConcurrentSubgraphCache {
             let count = self.note_seen(key);
             (count > 1, count)
         };
-        let stored = self.store_ball(sub);
         let bytes = stored.memory_bytes_total();
-        let admitted = self.admission.size_gate(sub.num_nodes(), seen_before)
+        let admitted = self.admission.size_gate(nodes, seen_before)
             && self.reserve_residency(key, bytes, candidate_freq);
         if !admitted {
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -1751,10 +2038,14 @@ impl ConcurrentSubgraphCache {
     ///
     /// Propagates graph errors from extraction.
     pub fn warm<G: GraphView + ?Sized>(&self, g: &G, node: NodeId, depth: u32) -> Result<()> {
-        self.lookup(g, node, depth, None, LookupMode::Warming, |g| {
+        self.lookup(g, node, depth, None, LookupMode::Warming, |g, _| {
             let ball = bfs_ball(g, node, depth)?;
             let sub = Subgraph::extract(g, &ball)?;
-            Ok((sub, ball.edges_scanned))
+            Ok(ExtractedBall::Fresh {
+                sub,
+                work: ball.edges_scanned,
+                fallback: false,
+            })
         })
         .map(|_| ())
     }
@@ -1771,8 +2062,13 @@ impl ConcurrentSubgraphCache {
         depth: u32,
         scratch: &mut ExtractScratch,
     ) -> Result<()> {
-        self.lookup(g, node, depth, None, LookupMode::Warming, |g| {
-            Ok(scratch.extract_owned(g, node, depth)?)
+        self.lookup(g, node, depth, None, LookupMode::Warming, |g, _| {
+            let (sub, work) = scratch.extract_owned(g, node, depth)?;
+            Ok(ExtractedBall::Fresh {
+                sub,
+                work,
+                fallback: false,
+            })
         })
         .map(|_| ())
     }
@@ -1780,10 +2076,12 @@ impl ConcurrentSubgraphCache {
     /// The shared lookup core: fast-path read, singleflight install on
     /// miss, condvar wait for in-flight extractions, post-extraction
     /// admission. `extract` runs at most once per call and **never under
-    /// a shard lock**. [`LookupMode::Warming`] suppresses all lookup
-    /// accounting (only physical extraction work is counted) and
-    /// bypasses the frequency gate; [`LookupMode::Probe`] counts like
-    /// demand but never admits the extracted ball.
+    /// a shard lock**; it receives the cache's cold tier (if any) so
+    /// cold-capable callers can try one index read before BFS — only the
+    /// singleflight winner ever touches the disk. [`LookupMode::Warming`]
+    /// suppresses all lookup accounting (only physical extraction work is
+    /// counted) and bypasses the frequency gate; [`LookupMode::Probe`]
+    /// counts like demand but never admits the extracted ball.
     fn lookup<G, F>(
         &self,
         g: &G,
@@ -1795,7 +2093,7 @@ impl ConcurrentSubgraphCache {
     ) -> Result<(CachedBall, usize)>
     where
         G: GraphView + ?Sized,
-        F: FnOnce(&G) -> Result<(Subgraph, usize)>,
+        F: FnOnce(&G, Option<&BallIndex>) -> Result<ExtractedBall>,
     {
         let key = (node, depth);
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
@@ -1871,17 +2169,46 @@ impl ConcurrentSubgraphCache {
                             drop(state);
                             if mode != LookupMode::Warming {
                                 self.misses.fetch_add(1, Ordering::Relaxed);
-                                if let Some(c) = consumer {
-                                    c.on_miss();
-                                }
                             }
-                            crate::failpoint::check("cache.extract")?;
-                            let (sub, work) = extract(g)?;
-                            self.count_extraction(consumer, mode);
+                            let extracted = crate::failpoint::check("cache.extract")
+                                .map_err(crate::error::PprError::from)
+                                .and_then(|()| extract(g, self.cold.as_deref()));
+                            let extracted = match extracted {
+                                Ok(extracted) => extracted,
+                                Err(err) => {
+                                    if mode != LookupMode::Warming {
+                                        if let Some(c) = consumer {
+                                            c.on_miss();
+                                        }
+                                    }
+                                    return Err(err);
+                                }
+                            };
                             // Deterministic failures cannot reach here, but
                             // a success is still a valid answer: serve it
                             // without touching the map (the key was purged).
-                            return Ok((CachedBall::Full(Arc::new(sub)), work));
+                            return match extracted {
+                                ExtractedBall::Cold { ball, bytes } => {
+                                    self.count_cold_hit(consumer, mode, bytes);
+                                    Ok((self.cold_ball(ball), 0))
+                                }
+                                ExtractedBall::Fresh {
+                                    sub,
+                                    work,
+                                    fallback,
+                                } => {
+                                    if fallback {
+                                        self.count_cold_fallback(consumer, mode);
+                                    }
+                                    if mode != LookupMode::Warming {
+                                        if let Some(c) = consumer {
+                                            c.on_miss();
+                                        }
+                                    }
+                                    self.count_extraction(consumer, mode);
+                                    Ok((CachedBall::Full(Arc::new(sub)), work))
+                                }
+                            };
                         }
                     }
                 }
@@ -1889,9 +2216,10 @@ impl ConcurrentSubgraphCache {
             Found::Winner(entry) => {
                 if mode != LookupMode::Warming {
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    if let Some(c) = consumer {
-                        c.on_miss();
-                    }
+                    // The consumer's miss/cold-hit attribution is
+                    // deferred until the extraction resolves: a cold hit
+                    // records a *free* window outcome (no BFS ran), which
+                    // is only known afterwards.
                 }
                 // The frequency sketch counts demand sightings; a warm-up
                 // is treated as already-seen and maximally hot (warming
@@ -1912,17 +2240,45 @@ impl ConcurrentSubgraphCache {
                 };
                 match crate::failpoint::check("cache.extract")
                     .map_err(crate::error::PprError::from)
-                    .and_then(|()| extract(g))
+                    .and_then(|()| extract(g, self.cold.as_deref()))
                 {
-                    Ok((sub, work)) => {
+                    Ok(extracted) => {
                         unwind_guard.disarm();
-                        let sub = Arc::new(sub);
-                        self.count_extraction(consumer, mode);
-                        // The resident representation (full or compact per
-                        // the [`BallStore`]) is what gets published and
-                        // charged; the caller is always served the full
-                        // extraction it just performed.
-                        let stored = self.store_ball(&sub);
+                        // Resolve the extraction into the resident
+                        // representation (`stored`), what this caller is
+                        // served, and the cold/BFS accounting. A fresh
+                        // BFS serves the caller the full extraction it
+                        // just performed; a cold hit decodes the wire
+                        // record and re-represents it per the configured
+                        // ball store (`cold_ball`) — no BFS to charge
+                        // either way.
+                        let (stored, served, nodes, work) = match extracted {
+                            ExtractedBall::Cold { ball, bytes } => {
+                                self.count_cold_hit(consumer, mode, bytes);
+                                let nodes = ball.global_ids().len();
+                                let stored = self.cold_ball(ball);
+                                (stored.clone(), stored, nodes, 0)
+                            }
+                            ExtractedBall::Fresh {
+                                sub,
+                                work,
+                                fallback,
+                            } => {
+                                if fallback {
+                                    self.count_cold_fallback(consumer, mode);
+                                }
+                                if mode != LookupMode::Warming {
+                                    if let Some(c) = consumer {
+                                        c.on_miss();
+                                    }
+                                }
+                                self.count_extraction(consumer, mode);
+                                let sub = Arc::new(sub);
+                                let nodes = sub.num_nodes();
+                                let stored = self.store_ball(&sub);
+                                (stored, CachedBall::Full(sub), nodes, work)
+                            }
+                        };
                         let bytes = stored.memory_bytes_total();
                         // Admission is two gates: the policy's size gate,
                         // then budget reservation (which plans and evicts
@@ -1930,7 +2286,7 @@ impl ConcurrentSubgraphCache {
                         // the TinyLFU frequency-vs-victim comparison when
                         // configured). Probes never admit.
                         let admitted = mode != LookupMode::Probe
-                            && self.admission.size_gate(sub.num_nodes(), seen_before)
+                            && self.admission.size_gate(nodes, seen_before)
                             && self.reserve_residency(key, bytes, candidate_freq);
                         if !admitted {
                             // Rejected: remove the entry from the map
@@ -1958,7 +2314,7 @@ impl ConcurrentSubgraphCache {
                             }
                             entry
                                 .published
-                                .set(CachedBall::Full(Arc::clone(&sub)))
+                                .set(served.clone())
                                 .unwrap_or_else(|_| unreachable!("only the winner publishes"));
                         } else {
                             // Publish under the shard write lock so the
@@ -1989,12 +2345,19 @@ impl ConcurrentSubgraphCache {
                             *state = EntryState::Ready;
                         }
                         entry.ready.notify_all();
-                        Ok((CachedBall::Full(sub), work))
+                        Ok((served, work))
                     }
                     // The still-armed guard's drop performs the
                     // Failed/notify/purge cleanup — the same path an
                     // unwinding panic takes.
-                    Err(err) => Err(err),
+                    Err(err) => {
+                        if mode != LookupMode::Warming {
+                            if let Some(c) = consumer {
+                                c.on_miss();
+                            }
+                        }
+                        Err(err)
+                    }
                 }
             }
         }
@@ -2009,6 +2372,34 @@ impl ConcurrentSubgraphCache {
         }
         if let Some(c) = consumer {
             c.extractions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one RAM miss served from the cold tier (`bytes` read from
+    /// the index, no BFS). The `extractions` counter deliberately does
+    /// **not** move — it is the headline "BFS avoided" number the
+    /// beyond-RAM benchmarks assert on.
+    fn count_cold_hit(&self, consumer: Option<&CacheConsumer>, mode: LookupMode, bytes: usize) {
+        self.cold_hits.fetch_add(1, Ordering::Relaxed);
+        self.cold_bytes_read
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        if mode == LookupMode::Warming {
+            return;
+        }
+        if let Some(c) = consumer {
+            c.on_cold_hit(bytes);
+        }
+    }
+
+    /// Counts one RAM miss that consulted the cold tier and fell back to
+    /// live BFS (the extraction itself is counted separately).
+    fn count_cold_fallback(&self, consumer: Option<&CacheConsumer>, mode: LookupMode) {
+        self.cold_fallbacks.fetch_add(1, Ordering::Relaxed);
+        if mode == LookupMode::Warming {
+            return;
+        }
+        if let Some(c) = consumer {
+            c.cold_fallbacks.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -2187,6 +2578,9 @@ impl ConcurrentSubgraphCache {
             extractions: self.extractions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             rejected_admissions: self.rejected.load(Ordering::Relaxed),
+            cold_hits: self.cold_hits.load(Ordering::Relaxed),
+            cold_bytes_read: self.cold_bytes_read.load(Ordering::Relaxed),
+            cold_fallbacks: self.cold_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -2967,7 +3361,7 @@ mod concurrent_tests {
         let cache = ConcurrentSubgraphCache::new(8);
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cache
-                .lookup(&g, 7, 2, None, LookupMode::Demand, |_| {
+                .lookup(&g, 7, 2, None, LookupMode::Demand, |_, _| {
                     panic!("extraction blew up")
                 })
                 .map(|_| ())

@@ -30,6 +30,15 @@
 //!   [`backend::Meloppr::with_shared_cache`]), governed by a
 //!   byte-and/or-entry [`CacheBudget`] that is never exceeded; plus the
 //!   single-threaded [`SubgraphCache`] facade over the same core;
+//! * [`ballindex`] — the disk half of the two-tier ball store: an
+//!   offline-built, CRC-checksummed per-node ball index
+//!   ([`build_index`]) that the cache's cold tier
+//!   ([`ConcurrentSubgraphCache::with_cold_tier`]) serves RAM misses
+//!   from with one positioned read ([`BallIndex`]), decoding the compact
+//!   wire form (inflated to a full sub-graph under the default
+//!   [`BallStore::Full`] so disk-served answers stay bit-identical) and
+//!   falling back to live BFS only when the index lacks the node or its
+//!   depth;
 //! * [`diffusion`] — the `GD(l)` kernel producing accumulated (`πa`) and
 //!   residual (`πr`) scores (Eq. 1, Fig. 3(b)), with
 //!   [`diffuse_into`] computing into caller-owned scratch;
@@ -150,6 +159,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod backend;
+pub mod ballindex;
 pub mod cache;
 pub mod diffusion;
 mod error;
@@ -178,6 +188,7 @@ pub use backend::{
     BackendCaps, BackendKind, BatchExecutor, BatchOutcome, BatchStats, CostEstimate, ExactPower,
     PprBackend, QueryBudget, QueryOutcome, QueryRequest, QueryStats, Route, Router,
 };
+pub use ballindex::{build_index, BallIndex, IndexBuildReport};
 pub use cache::{
     AdmissionPolicy, BallStore, CacheBudget, CacheConsumer, CacheStats, CachedBall,
     ConcurrentSubgraphCache, ConsumerStats, SubgraphCache,

@@ -213,6 +213,7 @@ pub(crate) fn execute_task_on(
         bfs_edges_scanned,
         params,
         task,
+        params.stages[task.stage],
         class,
         &mut diffusion,
         &mut quant,
@@ -236,12 +237,19 @@ pub(crate) fn execute_task_on(
 /// and `children` the spawned next-stage tasks, both overwritten (not
 /// appended). Returns the trace record and the pre-selection candidate
 /// count. Bit-identical to [`execute_task_on`].
+///
+/// `len` is the diffusion length to run — `params.stages[task.stage]`
+/// for a whole stage task, or the *remaining* length when a
+/// budget-segmented continuation piece finishes the stage (the child
+/// weights and Eq. 8 adjustment then use `α^len`, which is exactly the
+/// uneven-stage-split identity).
 #[allow(clippy::too_many_arguments)] // the workspace split keeps borrows disjoint
 pub(crate) fn execute_task_on_with(
     ball: BallRef<'_>,
     bfs_edges_scanned: usize,
     params: &MelopprParams,
     task: &TaskSpec,
+    len: usize,
     class: PrecisionClass,
     diffusion: &mut DiffusionScratch,
     quant: &mut QuantScratchSet,
@@ -250,7 +258,7 @@ pub(crate) fn execute_task_on_with(
     children: &mut Vec<TaskSpec>,
 ) -> Result<(DiffusionRecord, usize)> {
     let num_stages = params.stages.len();
-    let l = params.stages[task.stage];
+    let l = len;
     let config = DiffusionConfig::new(params.ppr.alpha, l)?;
     let work = diffuse_ball(
         ball,
@@ -347,6 +355,97 @@ pub(crate) fn execute_task_on_with(
         },
         candidates_count,
     ))
+}
+
+/// One piece of a budget-segmented stage ball: a pending continuation
+/// carrying the node it resumes from, the accumulated path weight, and
+/// how much of the stage's diffusion length it still owes.
+///
+/// When a hub ball's working set exceeds the memory budget, the staged
+/// loop no longer truncates the ball and runs the full stage length on
+/// it (a localized approximation). Instead it runs an *exact* length-`d`
+/// diffusion on the depth-`d` ball that does fit and hands the remaining
+/// `remaining - d` steps off to one continuation piece per
+/// positive-residual node — frontier-contiguous segments diffused
+/// sequentially through the same workspace and merged in the aggregation
+/// table ([`execute_segment_piece`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SegmentPiece {
+    pub(crate) node: NodeId,
+    pub(crate) weight: f64,
+    pub(crate) remaining: u32,
+}
+
+/// The budget-segmentation core: runs an **exact** length-`depth`
+/// diffusion on a depth-`depth` ball (a length-`d` walk cannot escape a
+/// depth-`d` ball, so no residual mass is lost to truncation), then
+/// subtracts `α^d·r` from every positive-residual node's contribution
+/// and pushes a continuation piece owing the remaining
+/// `piece.remaining - depth` steps with weight `piece.weight·α^d·r`.
+///
+/// This is the linear-decomposition identity (Eq. 7) applied *within* a
+/// stage: chaining the pieces reproduces the full-length `GD(remaining)`
+/// of the unsegmented ball up to floating-point associativity — the same
+/// guarantee `uneven_stage_splits_remain_exact` establishes across stage
+/// boundaries. Because **every** positive-residual node hands off (no
+/// selection mid-stage), the three [`ResidualPolicy`] variants coincide
+/// here; the configured selection and residual policy apply only when a
+/// piece finishes the stage (via [`execute_task_on_with`]).
+#[allow(clippy::too_many_arguments)] // same workspace split as execute_task_on_with
+fn execute_segment_piece(
+    ball: BallRef<'_>,
+    bfs_edges_scanned: usize,
+    params: &MelopprParams,
+    piece: &SegmentPiece,
+    stage: usize,
+    depth: u32,
+    class: PrecisionClass,
+    diffusion: &mut DiffusionScratch,
+    quant: &mut QuantScratchSet,
+    contributions: &mut Vec<(NodeId, f64)>,
+    segments: &mut Vec<SegmentPiece>,
+) -> Result<DiffusionRecord> {
+    debug_assert!(depth >= 1 && depth < piece.remaining);
+    let config = DiffusionConfig::new(params.ppr.alpha, depth as usize)?;
+    let work = diffuse_ball(
+        ball,
+        &[(ball.seed_local(), 1.0)],
+        config,
+        class,
+        quant,
+        diffusion,
+    )?;
+    let alpha_d = params.ppr.alpha.powi(depth as i32);
+    let remaining = piece.remaining - depth;
+    let (contribution, residual) = diffusion.accumulated_mut_residual();
+    for (local, &r) in residual.iter().enumerate() {
+        if r > 0.0 {
+            contribution[local] = (contribution[local] - alpha_d * r).max(0.0);
+            segments.push(SegmentPiece {
+                node: ball.to_global(local as NodeId),
+                weight: piece.weight * alpha_d * r,
+                remaining,
+            });
+        }
+    }
+    contributions.clear();
+    contributions.extend(
+        diffusion
+            .accumulated()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > 0.0)
+            .map(|(local, &s)| (ball.to_global(local as NodeId), piece.weight * s)),
+    );
+    Ok(DiffusionRecord {
+        stage,
+        node: piece.node,
+        weight: piece.weight,
+        ball_nodes: ball.num_nodes(),
+        ball_edges: ball.num_edges(),
+        bfs_edges_scanned,
+        diffusion_edge_updates: work.edge_updates,
+    })
 }
 
 /// Mutable accounting shared by the sequential and parallel executors.
@@ -644,19 +743,24 @@ impl Ball<'_> {
 /// # Memory-budget enforcement
 ///
 /// With `budget_bytes` set, the modelled working set of every task —
-/// [`cpu_task_memory`] on the extracted ball plus the aggregation table
-/// and pending queue under the same byte model — is bounded *before* the
-/// task runs: a ball whose conservative working-set bound exceeds the
-/// budget is re-extracted at a smaller depth (deterministically, one
-/// level at a time) until it fits, and the outcome reports
-/// [`MelopprStats::memory_limited`]. Shrinking the extraction depth
-/// keeps the diffusion length (the smaller ball is a localized
-/// approximation — exactly the paper's fit-the-budget adaptivity), so a
-/// budgeted query degrades precision, never correctness, and a query
-/// whose budget is never hit is bit-identical to an unbudgeted run.
-/// `MelopprStats::peak_cpu_bytes` then never exceeds the budget unless
-/// even depth-0 balls cannot fit (the floor — still reported honestly,
-/// with `memory_limited` set).
+/// [`cpu_task_memory`] on the extracted ball plus the aggregation table,
+/// the pending queue and pending segment pieces under the same byte
+/// model — is bounded *before* the task runs: a ball whose conservative
+/// working-set bound exceeds the budget is re-extracted at a smaller
+/// depth (deterministically, one level at a time) until it fits. The
+/// shrunken ball is then **segmented**, not truncated: the task runs an
+/// exact length-`d` diffusion on the depth-`d` ball and hands the
+/// stage's remaining steps off to continuation pieces
+/// ([`execute_segment_piece`]), so the budgeted query still serves the
+/// full-depth ranking (up to floating-point associativity) instead of a
+/// localized approximation, and `memory_limited` stays `false`. Only
+/// when even a depth-1 ball exceeds the budget does the loop fall back
+/// to the pre-segmentation floor — the remaining length diffused on the
+/// depth-0 ball, reported honestly with
+/// [`MelopprStats::memory_limited`] set. A query whose budget is never
+/// hit is bit-identical to an unbudgeted run, and
+/// `MelopprStats::peak_cpu_bytes` never exceeds the budget except at
+/// that floor.
 ///
 /// `params` must already be validated.
 pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
@@ -678,6 +782,8 @@ pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
         queue,
         table,
         sparse,
+        cold_buf,
+        segments,
         ..
     } = ws;
     let mut acc = QueryAccumulator::new(params, table, class);
@@ -690,7 +796,7 @@ pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
     let budgeted = budget.is_some();
     while let Some(task) = queue.pop_front() {
         let stage_depth = params.stages[task.stage] as u32;
-        let mut depth = match budget {
+        let plan_depth = match budget {
             Some(plan) => plan
                 .ball_depths
                 .get(task.stage)
@@ -699,88 +805,164 @@ pub(crate) fn staged_query_impl<G: GraphView + ?Sized>(
                 .min(stage_depth),
             None => stage_depth,
         };
-        if depth < stage_depth {
-            // Starting below the stage depth is already degradation.
-            acc.memory_limited = true;
-        }
-        loop {
-            // Under a budget, cached lookups are non-admitting *probes*:
-            // a depth the gate discards must not make its (over-budget)
-            // ball resident — probe balls would be the biggest entries
-            // in the cache and would displace hot residents. The depth
-            // that actually executes is admitted explicitly below.
-            // Resident keys still hit for free either way.
-            let (sub, bfs_work): (Ball<'_>, usize) = match &mut source {
-                BallSource::Fresh => {
-                    let (sub, work) = extract.extract(graph, task.node, depth)?;
-                    (Ball::Borrowed(sub), work)
-                }
-                BallSource::Owned(cache) => {
-                    let (ball, work) = if budgeted {
-                        cache.probe_ball_with(graph, task.node, depth, extract)?
-                    } else {
-                        cache.get_ball_with(graph, task.node, depth, extract)?
-                    };
-                    (Ball::from_cached(ball), work)
-                }
-                BallSource::Shared { cache, consumer } => {
-                    let (ball, work) = if budgeted {
-                        cache.probe_ball_with_as(graph, task.node, depth, extract, consumer)?
-                    } else {
-                        cache.get_ball_with_as(graph, task.node, depth, extract, consumer)?
-                    };
-                    (Ball::from_cached(ball), work)
-                }
-            };
-            if let Some(plan) = budget {
-                let bound = acc.working_set_bound(
-                    sub.num_nodes(),
-                    sub.num_edges(),
-                    queue.len(),
-                    &params.selection,
-                );
-                if bound > plan.limit {
-                    acc.memory_limited = true;
-                    if depth > 0 {
-                        // Deterministic degradation: shrink the ball one
-                        // BFS level and re-extract. Depth 0 is the
-                        // floor — run it even if it still exceeds an
-                        // unsatisfiable budget.
-                        depth -= 1;
-                        continue;
+        // The stage task enters as one segment piece owing the whole
+        // stage length; pieces that fit whole run as ordinary tasks, so
+        // without a budget this loop body executes exactly once with the
+        // pre-segmentation semantics.
+        segments.clear();
+        segments.push(SegmentPiece {
+            node: task.node,
+            weight: task.weight,
+            remaining: stage_depth,
+        });
+        while let Some(piece) = segments.pop() {
+            let mut depth = plan_depth.min(piece.remaining);
+            // Set once the depth-0 floor is hit: the remaining length
+            // then runs on the depth-0 ball (the pre-segmentation floor
+            // semantics) instead of handing off a zero-progress piece.
+            let mut floored = false;
+            loop {
+                // Under a budget, cached lookups are non-admitting
+                // *probes*: a depth the gate discards must not make its
+                // (over-budget) ball resident — probe balls would be the
+                // biggest entries in the cache and would displace hot
+                // residents. The depth that actually executes is
+                // admitted explicitly below. Resident keys still hit for
+                // free either way.
+                let (sub, bfs_work): (Ball<'_>, usize) = match &mut source {
+                    BallSource::Fresh => {
+                        let (sub, work) = extract.extract(graph, piece.node, depth)?;
+                        (Ball::Borrowed(sub), work)
                     }
-                }
-            }
-            if budgeted {
-                if let Ball::Cached(ball) = &sub {
-                    match &mut source {
-                        BallSource::Fresh => {}
-                        BallSource::Owned(cache) => cache.admit_extracted(task.node, depth, ball),
-                        BallSource::Shared { cache, consumer } => {
-                            cache.admit_extracted(task.node, depth, ball, Some(consumer))
+                    BallSource::Owned(cache) => {
+                        let (ball, work) = if budgeted {
+                            cache.probe_ball_with(graph, piece.node, depth, extract, cold_buf)?
+                        } else {
+                            cache.get_ball_with(graph, piece.node, depth, extract, cold_buf)?
+                        };
+                        (Ball::from_cached(ball), work)
+                    }
+                    BallSource::Shared { cache, consumer } => {
+                        let (ball, work) = if budgeted {
+                            cache.probe_ball_with_as(
+                                graph, piece.node, depth, extract, cold_buf, consumer,
+                            )?
+                        } else {
+                            cache.get_ball_with_as(
+                                graph, piece.node, depth, extract, cold_buf, consumer,
+                            )?
+                        };
+                        (Ball::from_cached(ball), work)
+                    }
+                };
+                if let Some(plan) = budget {
+                    // A piece that will segment hands off every
+                    // positive-residual node, so bound its spawn by the
+                    // whole ball, not the configured selection.
+                    let spawn_selection = if depth >= piece.remaining {
+                        &params.selection
+                    } else {
+                        &crate::selection::SelectionStrategy::All
+                    };
+                    let bound = acc.working_set_bound(
+                        sub.num_nodes(),
+                        sub.num_edges(),
+                        queue.len() + segments.len(),
+                        spawn_selection,
+                    );
+                    if bound > plan.limit {
+                        if depth > 0 {
+                            // Deterministic degradation: shrink the ball
+                            // one BFS level and re-extract; the stage's
+                            // remaining length is preserved by
+                            // segmentation, not lost.
+                            depth -= 1;
+                            continue;
                         }
+                        // Even a depth-0 ball exceeds an unsatisfiable
+                        // budget: run the floor anyway.
+                        floored = true;
                     }
                 }
+                if budgeted {
+                    match &sub {
+                        Ball::Cached(ball) => match &mut source {
+                            BallSource::Fresh => {}
+                            BallSource::Owned(cache) => {
+                                cache.admit_extracted(piece.node, depth, ball)
+                            }
+                            BallSource::Shared { cache, consumer } => {
+                                cache.admit_extracted(piece.node, depth, ball, Some(consumer))
+                            }
+                        },
+                        Ball::CachedCompact(ball) => {
+                            let cached = CachedBall::Compact(std::sync::Arc::clone(ball));
+                            match &mut source {
+                                BallSource::Fresh => {}
+                                BallSource::Owned(cache) => {
+                                    cache.admit_cached(piece.node, depth, &cached)
+                                }
+                                BallSource::Shared { cache, consumer } => {
+                                    cache.admit_cached(piece.node, depth, &cached, Some(consumer))
+                                }
+                            }
+                        }
+                        Ball::Borrowed(_) => {}
+                    }
+                }
+                // Chaos seam: a fault here models the diffusion stage
+                // dying mid-query (after extraction, before
+                // aggregation).
+                crate::failpoint::check("ball.diffuse")?;
+                let segmented = depth > 0 && depth < piece.remaining && !floored;
+                let (record, candidates_count) = if segmented {
+                    let record = execute_segment_piece(
+                        sub.as_ref(),
+                        bfs_work,
+                        params,
+                        &piece,
+                        task.stage,
+                        depth,
+                        class,
+                        diffusion,
+                        quant,
+                        contributions,
+                        segments,
+                    )?;
+                    children.clear();
+                    (record, 0)
+                } else {
+                    if depth < piece.remaining {
+                        // The ball is shallower than the length it must
+                        // diffuse (the floor, or a plan that starts at
+                        // depth 0): a localized approximation — the only
+                        // degradation segmentation cannot absorb.
+                        acc.memory_limited = true;
+                    }
+                    let task_piece = TaskSpec {
+                        node: piece.node,
+                        weight: piece.weight,
+                        stage: task.stage,
+                    };
+                    execute_task_on_with(
+                        sub.as_ref(),
+                        bfs_work,
+                        params,
+                        &task_piece,
+                        piece.remaining as usize,
+                        class,
+                        diffusion,
+                        quant,
+                        candidates,
+                        contributions,
+                        children,
+                    )?
+                };
+                acc.merge_parts(contributions, children.len(), record, candidates_count);
+                queue.extend(children.iter().copied());
+                acc.observe_working_set(&record, queue.len() + segments.len());
+                break;
             }
-            // Chaos seam: a fault here models the diffusion stage dying
-            // mid-query (after extraction, before aggregation).
-            crate::failpoint::check("ball.diffuse")?;
-            let (record, candidates_count) = execute_task_on_with(
-                sub.as_ref(),
-                bfs_work,
-                params,
-                &task,
-                class,
-                diffusion,
-                quant,
-                candidates,
-                contributions,
-                children,
-            )?;
-            acc.merge_parts(contributions, children.len(), record, candidates_count);
-            queue.extend(children.iter().copied());
-            acc.observe_working_set(&record, queue.len());
-            break;
         }
     }
     Ok(acc.finish(sparse))

@@ -470,7 +470,7 @@ impl QuantView for meloppr_graph::CsrGraph {
 /// Only balls with ≤ 65 536 nodes compress (`u16` local ids); larger
 /// balls stay full-width ([`CompactBall::from_subgraph`] returns `None`
 /// and the cache falls back to the full representation).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompactBall {
     global_ids: Vec<NodeId>,
     offsets: Vec<u32>,
@@ -505,6 +505,105 @@ impl CompactBall {
         })
     }
 
+    /// Reassembles a ball from its four raw arrays — the decode half of
+    /// the on-disk ball-index codec (`meloppr_core::ballindex`).
+    ///
+    /// Every structural invariant the in-memory accessors rely on is
+    /// validated up front, so a corrupt or truncated index record can
+    /// never cause an out-of-bounds panic downstream: the offsets array
+    /// must be a monotone prefix-sum starting at 0 and ending at
+    /// `neighbors.len()`, every local neighbor id must address a node,
+    /// and the per-node arrays must agree on the node count (which must
+    /// fit `u16` local ids, as for [`CompactBall::from_subgraph`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PprError::InvalidParams`] describing the first violated
+    /// invariant.
+    pub fn from_raw_parts(
+        global_ids: Vec<NodeId>,
+        offsets: Vec<u32>,
+        neighbors: Vec<u16>,
+        walk_degrees: Vec<u32>,
+    ) -> Result<Self> {
+        let n = global_ids.len();
+        let invalid = |reason: String| PprError::InvalidParams { reason };
+        if n == 0 {
+            return Err(invalid("compact ball must have at least one node".into()));
+        }
+        if n > u16::MAX as usize + 1 {
+            return Err(invalid(format!(
+                "compact ball has {n} nodes; u16 local ids address at most 65536"
+            )));
+        }
+        if walk_degrees.len() != n {
+            return Err(invalid(format!(
+                "walk_degrees length {} != node count {n}",
+                walk_degrees.len()
+            )));
+        }
+        if offsets.len() != n + 1 {
+            return Err(invalid(format!(
+                "offsets length {} != node count + 1 ({})",
+                offsets.len(),
+                n + 1
+            )));
+        }
+        if offsets[0] != 0 {
+            return Err(invalid(format!(
+                "offsets must start at 0, got {}",
+                offsets[0]
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(invalid("offsets must be non-decreasing".into()));
+        }
+        if offsets[n] as usize != neighbors.len() {
+            return Err(invalid(format!(
+                "offsets end at {} but {} neighbors are stored",
+                offsets[n],
+                neighbors.len()
+            )));
+        }
+        if neighbors.iter().any(|&v| v as usize >= n) {
+            return Err(invalid(format!(
+                "neighbor local id out of bounds for {n} nodes"
+            )));
+        }
+        Ok(CompactBall {
+            global_ids,
+            offsets,
+            neighbors,
+            walk_degrees,
+        })
+    }
+
+    /// Inflates the compact form back into a full [`Subgraph`] —
+    /// bit-identical to the extraction that produced it, because
+    /// [`CompactBall::from_subgraph`] preserves the CSR layout exactly
+    /// (only narrowing local ids to `u16`). The cache's cold tier uses
+    /// this so disk-served balls diffuse through the same full-width
+    /// kernel as RAM-resident ones under [`BallStore::Full`].
+    ///
+    /// [`BallStore::Full`]: crate::cache::BallStore::Full
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`Subgraph::from_parts`] validation error when the
+    /// arrays do not describe a well-formed ball (unreachable for balls
+    /// built by [`CompactBall::from_subgraph`] or validated by
+    /// [`CompactBall::from_raw_parts`] over an undirected parent graph).
+    pub fn to_subgraph(&self) -> Result<Subgraph> {
+        let neighbors: Vec<NodeId> = self.neighbors.iter().map(|&v| NodeId::from(v)).collect();
+        Subgraph::from_parts(
+            self.global_ids.clone(),
+            self.offsets.clone(),
+            neighbors,
+            self.walk_degrees.clone(),
+        )
+        .map_err(PprError::from)
+    }
+
     /// The ball seed's local id (always 0, as for [`Subgraph`]).
     pub fn seed_local(&self) -> NodeId {
         0
@@ -523,6 +622,22 @@ impl CompactBall {
     /// Directed adjacency entries stored.
     pub fn num_directed_edges(&self) -> usize {
         self.neighbors.len()
+    }
+
+    /// The CSR offsets array (`n + 1` entries) — the encode half of the
+    /// ball-index codec reads the raw arrays directly.
+    pub(crate) fn offsets_raw(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The packed `u16` local adjacency array.
+    pub(crate) fn neighbors_raw(&self) -> &[u16] {
+        &self.neighbors
+    }
+
+    /// The parent-graph walk-degree array (one entry per node).
+    pub(crate) fn walk_degrees_raw(&self) -> &[u32] {
+        &self.walk_degrees
     }
 
     /// Heap bytes of this representation — the number a byte-budgeted
@@ -900,6 +1015,38 @@ mod tests {
             .unwrap();
         assert_eq!(out_full.accumulated(), out_compact.accumulated());
         assert_eq!(out_full.residual(), out_compact.residual());
+    }
+
+    #[test]
+    fn compact_to_subgraph_is_bit_identical_to_extraction() {
+        let g = generators::grid(12, 12).unwrap();
+        for (seed, depth) in [(40, 3), (0, 2), (143, 4)] {
+            let ball = bfs_ball(&g, seed, depth).unwrap();
+            let sub = meloppr_graph::Subgraph::extract(&g, &ball).unwrap();
+            let compact = CompactBall::from_subgraph(&sub).unwrap();
+            let inflated = compact.to_subgraph().unwrap();
+            assert_eq!(inflated.global_ids(), sub.global_ids());
+            assert_eq!(inflated.seed_local(), sub.seed_local());
+            let n = GraphView::num_nodes(&sub) as NodeId;
+            assert_eq!(GraphView::num_nodes(&inflated) as NodeId, n);
+            for u in 0..n {
+                assert_eq!(
+                    GraphView::neighbors(&inflated, u),
+                    GraphView::neighbors(&sub, u)
+                );
+                assert_eq!(
+                    GraphView::walk_degree(&inflated, u),
+                    GraphView::walk_degree(&sub, u)
+                );
+            }
+            // The full-width f64 kernel over the inflated ball must be
+            // bit-identical to the same kernel over the original — this
+            // is the cold tier's Exact64 bit-identity guarantee.
+            let a = diffuse_from_seed(&sub, 0, cfg(depth as usize)).unwrap();
+            let b = diffuse_from_seed(&inflated, 0, cfg(depth as usize)).unwrap();
+            assert_eq!(a.accumulated, b.accumulated);
+            assert_eq!(a.residual, b.residual);
+        }
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub struct QueryWorkspace {
     pub(crate) sparse: Vec<(NodeId, f64)>,
     /// Monte-Carlo terminal counts.
     pub(crate) mc_counts: FastHashMap<NodeId, usize>,
+    /// Cold-tier read buffer: one positioned index read lands here
+    /// before decoding, sized to the largest cold record this workspace
+    /// has served (so steady-state cold hits allocate nothing).
+    pub(crate) cold_buf: Vec<u8>,
+    /// Pending segment pieces of the ball currently being diffused under
+    /// a byte budget (see the staged engine's segmentation).
+    pub(crate) segments: Vec<crate::meloppr::SegmentPiece>,
 }
 
 impl QueryWorkspace {

@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! meloppr-cli info   <graph>
+//! meloppr-cli index  <graph> --out F [--index-depth D]
 //! meloppr-cli query  <graph> (--seed-node N | --batch-file F) [--k K] [--length L]
 //!                    [--stages a,b,..] [--ratio R] [--alpha A]
 //!                    [--backend auto|exact|local|mc|meloppr|fpga] [--fpga]
 //!                    [--walks W] [--threads T]
 //!                    [--cache-shared] [--cache-capacity N] [--cache-bytes SIZE]
 //!                    [--cache-admission always|max-nodes:N|freq:N|tinylfu]
-//!                    [--cache-window N]
+//!                    [--cache-window N] [--ball-index F]
 //!                    [--max-latency-ms X] [--max-memory-kb X]
 //!                    [--budget-memory SIZE] [--min-precision P]
 //!                    [--precision exact|f32|qN] [--calibration-file F]
@@ -46,11 +47,23 @@
 //! sliding window (lookups) of the hit rate that routing estimates
 //! discount BFS by.
 //!
+//! `meloppr-cli index` builds the **persisted ball index** offline: one
+//! BFS ball per node at `--index-depth` (default 3, the default stage
+//! depth), encoded in the compact cached-ball wire layout behind a
+//! versioned, CRC-checksummed footer. `--ball-index F` then attaches
+//! the file as the shared cache's cold tier: a RAM miss is served with
+//! one positioned read and a compact decode instead of a live BFS
+//! (falling back to BFS when the index lacks the node or depth). A
+//! missing index file boots cold silently; a corrupt, truncated or
+//! version-mismatched one warns and boots cold, exactly like
+//! calibration state.
+//!
 //! `--budget-memory 256KiB` attaches an **enforced** per-query working
 //! set budget (`QueryBudget::max_memory_bytes`): the staged backend
-//! shrinks stage-ball depth deterministically until each task's
-//! modelled working set fits, and the report counts queries that had to
-//! degrade. `--max-memory-kb` is the legacy spelling of the same bound.
+//! runs over-budget balls as frontier-contiguous segments at full
+//! effective depth (shrinking depth only at the unsatisfiable floor),
+//! and the report counts queries that had to degrade. `--max-memory-kb`
+//! is the legacy spelling of the same bound.
 //!
 //! `--precision exact|f32|q16` requests a score-arithmetic rung of the
 //! staged backend's precision ladder: `exact` (f64, the default), `f32`
@@ -80,11 +93,11 @@ use meloppr::graph::edge_list::{read_edge_list_file, EdgeListOptions};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::graph::{components, CsrGraph};
 use meloppr::{
-    exact_top_k, format_bytes, parse_byte_size, AcceleratorConfig, BatchExecutor, BatchStats,
-    FpgaHybrid, HybridConfig, MelopprParams, NodeId, PprBackend, PprParams, QueryRequest, Router,
-    SelectionStrategy,
+    build_index, exact_top_k, format_bytes, parse_byte_size, AcceleratorConfig, BatchExecutor,
+    BatchStats, FpgaHybrid, HybridConfig, MelopprParams, NodeId, PprBackend, PprParams,
+    QueryRequest, Router, SelectionStrategy,
 };
-use meloppr::{AdmissionPolicy, CacheBudget, ConcurrentSubgraphCache, PrecisionClass};
+use meloppr::{AdmissionPolicy, BallIndex, CacheBudget, ConcurrentSubgraphCache, PrecisionClass};
 
 fn main() -> ExitCode {
     match run() {
@@ -100,13 +113,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   meloppr-cli info  <graph>
+  meloppr-cli index <graph> --out F [--index-depth D]
   meloppr-cli query <graph> (--seed-node N | --batch-file F) [--k K] [--length L] \\
                     [--stages a,b,..] [--ratio R] [--alpha A] \\
                     [--backend auto|exact|local|mc|meloppr|fpga] [--fpga] \\
                     [--walks W] [--threads T] \\
                     [--cache-shared] [--cache-capacity N] [--cache-bytes SIZE] \\
                     [--cache-admission always|max-nodes:N|freq:N|tinylfu] \\
-                    [--cache-window N] \\
+                    [--cache-window N] [--ball-index F] \\
                     [--max-latency-ms X] [--max-memory-kb X] \\
                     [--budget-memory SIZE] [--min-precision P] \\
                     [--precision exact|f32|qN] [--calibration-file F]
@@ -128,6 +142,13 @@ const USAGE: &str = "usage:
                    frequency beats the would-be eviction victim's)
   --cache-window = sliding window (lookups) for the hit rate that
                    routing estimates discount BFS by (default 256)
+  --ball-index F = attach a persisted ball index (built with the index
+                   command) as the shared cache's cold tier: RAM misses
+                   are served by one positioned read instead of a BFS;
+                   requires --cache-shared. Corrupt or mismatched files
+                   warn and boot cold
+  --out F / --index-depth D = (index command) write the ball index for
+                   every node at depth D (default 3) to F
   --budget-memory SIZE = enforced per-query working-set budget (the
                    staged backend degrades deterministically to fit);
                    --max-memory-kb X is the same bound in KiB
@@ -153,6 +174,7 @@ fn run() -> Result<(), String> {
 
     match command.as_str() {
         "info" => info(&graph_spec, &graph),
+        "index" => index(&graph_spec, &graph, &args),
         "query" => query(&graph, &args, false),
         "exact" => query(&graph, &args, true),
         other => Err(format!("unknown command {other:?}")),
@@ -209,6 +231,51 @@ fn info(spec: &str, g: &CsrGraph) -> Result<(), String> {
     Ok(())
 }
 
+/// The `index` command: build the persisted ball index offline and
+/// report what went to disk.
+fn index(spec: &str, g: &CsrGraph, args: &[String]) -> Result<(), String> {
+    let mut out_path: Option<String> = None;
+    let mut depth: u32 = 3;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out_path = Some(value("--out")?.clone()),
+            "--index-depth" => {
+                depth = value("--index-depth")?
+                    .parse()
+                    .map_err(|e| format!("--index-depth: {e}"))?;
+                if depth == 0 {
+                    return Err("--index-depth must be >= 1".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let out_path = out_path.ok_or("--out is required")?;
+
+    let started = std::time::Instant::now();
+    let report = build_index(g, depth, Path::new(&out_path))
+        .map_err(|e| format!("writing {out_path:?}: {e}"))?;
+    println!("ball index for {spec} at depth {depth} -> {out_path}");
+    println!(
+        "  nodes indexed:      {} ({} skipped)",
+        report.nodes_indexed, report.nodes_skipped
+    );
+    println!("  ball bytes (RAM):   {}", format_bytes(report.ball_bytes));
+    println!(
+        "  file bytes:         {}",
+        format_bytes(report.file_bytes as usize)
+    );
+    println!(
+        "  build time:         {:.2} s",
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum BackendChoice {
     Auto,
@@ -235,6 +302,7 @@ struct QueryArgs {
     cache_bytes: Option<usize>,
     cache_admission: AdmissionPolicy,
     cache_window: usize,
+    ball_index: Option<String>,
     max_latency_ms: Option<f64>,
     max_memory_bytes: Option<usize>,
     min_precision: Option<f64>,
@@ -284,6 +352,7 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
         cache_bytes: None,
         cache_admission: AdmissionPolicy::Always,
         cache_window: 256,
+        ball_index: None,
         max_latency_ms: None,
         max_memory_bytes: None,
         min_precision: None,
@@ -379,6 +448,7 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
                     return Err("--cache-window must be >= 1".into());
                 }
             }
+            "--ball-index" => out.ball_index = Some(value("--ball-index")?.clone()),
             "--max-latency-ms" => {
                 out.max_latency_ms = Some(
                     value("--max-latency-ms")?
@@ -434,6 +504,11 @@ fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
              (reports per-batch cache stats) or --backend auto (attaches to the \
              router's meloppr backend)"
                 .into(),
+        );
+    }
+    if out.ball_index.is_some() && !out.cache_shared {
+        return Err(
+            "--ball-index is the shared cache's cold tier: it requires --cache-shared".into(),
         );
     }
     Ok(out)
@@ -599,6 +674,14 @@ fn query(g: &CsrGraph, args: &[String], exact_only: bool) -> Result<(), String> 
                 cache.hit_rate() * 100.0,
                 qa.cache_budget_label(),
             );
+            if qa.ball_index.is_some() {
+                println!(
+                    "cold tier: {} cold hits ({} read), {} fallbacks to BFS",
+                    cache.cold_hits,
+                    format_bytes(cache.cold_bytes_read as usize),
+                    cache.cold_fallbacks,
+                );
+            }
         } else if qa.cache_shared {
             println!(
                 "shared cache: attached to the router's meloppr backend \
@@ -691,6 +774,32 @@ fn save_calibration(router: &Router<'_>, qa: &QueryArgs) -> Result<(), String> {
         .map_err(|e| format!("writing calibration file {path:?}: {e}"))
 }
 
+/// Builds the shared cache per the cache flags, attaching the
+/// `--ball-index` cold tier when one is given. A missing index file
+/// boots cold silently; a corrupt or version-mismatched one warns (via
+/// `BallIndex::load`) and boots cold.
+fn build_shared_cache(qa: &QueryArgs) -> Result<Arc<ConcurrentSubgraphCache>, String> {
+    let mut cache =
+        ConcurrentSubgraphCache::with_budget(qa.cache_budget()).with_admission(qa.cache_admission);
+    if let Some(path) = &qa.ball_index {
+        match BallIndex::load(Path::new(path)) {
+            Ok(Some(index)) => {
+                println!(
+                    "ball index: cold tier attached from {path} (depth {}, {} nodes)",
+                    index.depth(),
+                    index.num_nodes()
+                );
+                cache = cache.with_cold_tier(Arc::new(index));
+            }
+            // `load` already warned on stderr for corrupt/mismatched
+            // files; a missing file is a silent cold boot.
+            Ok(None) => {}
+            Err(e) => return Err(format!("reading ball index {path:?}: {e}")),
+        }
+    }
+    Ok(Arc::new(cache))
+}
+
 /// Builds the pinned (non-auto) backend named by `--backend` as a
 /// `Sync` trait object ready for sequential or batched serving.
 fn build_pinned<'g>(
@@ -722,10 +831,7 @@ fn build_pinned<'g>(
                 .map_err(err)?
                 .with_cache_window(qa.cache_window);
             if qa.cache_shared {
-                let cache = Arc::new(
-                    ConcurrentSubgraphCache::with_budget(qa.cache_budget())
-                        .with_admission(qa.cache_admission),
-                );
+                let cache = build_shared_cache(qa)?;
                 (
                     Box::new(backend.with_shared_cache(cache)) as Box<dyn PprBackend + Sync>,
                     format!(
@@ -771,10 +877,7 @@ fn build_router<'g>(
         // requests it routes there; its estimates discount BFS by the
         // backend consumer's windowed hit rate (and with self-calibration
         // also learn residual latency error).
-        meloppr_backend = meloppr_backend.with_shared_cache(Arc::new(
-            ConcurrentSubgraphCache::with_budget(qa.cache_budget())
-                .with_admission(qa.cache_admission),
-        ));
+        meloppr_backend = meloppr_backend.with_shared_cache(build_shared_cache(qa)?);
     }
     Ok(Router::new()
         .with_backend(Box::new(ExactPower::new(g, ppr).map_err(err)?))

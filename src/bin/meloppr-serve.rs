@@ -8,8 +8,8 @@
 //! meloppr-serve <graph> [--listen ADDR] [--workers N] [--queue N]
 //!               [--deadline-ms X] [--k K] [--length L] [--alpha A]
 //!               [--stages a,b,..] [--ratio R] [--walks W]
-//!               [--cache-capacity N] [--precision exact|f32|qN]
-//!               [--calibration-file F]
+//!               [--cache-capacity N] [--ball-index F]
+//!               [--precision exact|f32|qN] [--calibration-file F]
 //! ```
 //!
 //! `<graph>` is an edge-list file path or `corpus:<G1..G6>[:scale]`,
@@ -29,6 +29,15 @@
 //! may still be met with narrower arithmetic, and the `OK` frame
 //! reports the rung each query executed at. `--precision` sets the
 //! deployment-wide default rung for requests that carry none.
+//!
+//! `--ball-index F` attaches a persisted ball index (built offline with
+//! `meloppr-cli index`) as the shared cache's cold tier: a RAM miss is
+//! served with one positioned read and a compact decode instead of a
+//! live BFS over the graph, falling back to BFS when the index lacks
+//! the node or depth. A missing file boots cold silently; a corrupt,
+//! truncated or version-mismatched one warns and boots cold — the
+//! daemon never refuses to start over cold-tier state, exactly like
+//! calibration.
 //!
 //! `--calibration-file F` makes the router's learned state persistent:
 //! loaded at startup (missing file = silent first boot; corrupt file =
@@ -54,7 +63,7 @@ use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::graph::CsrGraph;
 use meloppr::server::{PprServer, ServerConfig};
 use meloppr::{
-    AcceleratorConfig, CacheBudget, ConcurrentSubgraphCache, FpgaHybrid, HybridConfig,
+    AcceleratorConfig, BallIndex, CacheBudget, ConcurrentSubgraphCache, FpgaHybrid, HybridConfig,
     MelopprParams, PprParams, PrecisionClass, Router, SelectionStrategy,
 };
 
@@ -62,8 +71,8 @@ const USAGE: &str = "usage:
   meloppr-serve <graph> [--listen ADDR] [--workers N] [--queue N] \\
                 [--deadline-ms X] [--k K] [--length L] [--alpha A] \\
                 [--stages a,b,..] [--ratio R] [--walks W] \\
-                [--cache-capacity N] [--precision exact|f32|qN] \\
-                [--calibration-file F]
+                [--cache-capacity N] [--ball-index F] \\
+                [--precision exact|f32|qN] [--calibration-file F]
 
   <graph> = an edge-list file path, or corpus:<G1..G6>[:scale]
   --listen ADDR   = bind address (default 127.0.0.1:7737; port 0 picks one)
@@ -73,6 +82,10 @@ const USAGE: &str = "usage:
   --deadline-ms X = default per-request deadline for QUERY frames that
                     carry no deadline_ms (default 100)
   --cache-capacity N = shared sub-graph cache budget in balls (default 1024)
+  --ball-index F  = persisted ball index (meloppr-cli index) attached as
+                    the shared cache's cold tier: RAM misses are served
+                    by one positioned read instead of a BFS; corrupt or
+                    mismatched files warn and boot cold
   --precision     = default score-arithmetic rung for QUERY frames that
                     carry no precision= token: exact (f64, the default),
                     f32, or qN (Q-format fixed point, e.g. q16)
@@ -139,6 +152,7 @@ struct ServeArgs {
     ratio: f64,
     walks: usize,
     cache_capacity: usize,
+    ball_index: Option<String>,
     precision: Option<PrecisionClass>,
     calibration_file: Option<String>,
 }
@@ -160,6 +174,7 @@ fn parse_args(mut args: Vec<String>) -> Result<ServeArgs, String> {
         ratio: 0.05,
         walks: 10_000,
         cache_capacity: 1024,
+        ball_index: None,
         precision: None,
         calibration_file: None,
     };
@@ -186,6 +201,7 @@ fn parse_args(mut args: Vec<String>) -> Result<ServeArgs, String> {
             "--ratio" => out.ratio = parse!("--ratio"),
             "--walks" => out.walks = parse!("--walks"),
             "--cache-capacity" => out.cache_capacity = parse!("--cache-capacity"),
+            "--ball-index" => out.ball_index = Some(value("--ball-index")?.clone()),
             "--precision" => {
                 let class: PrecisionClass = parse!("--precision");
                 class.validate().map_err(|e| format!("--precision: {e}"))?;
@@ -267,11 +283,28 @@ fn build_router<'g>(g: &'g CsrGraph, args: &ServeArgs) -> Result<Router<'g>, Str
         },
         ..HybridConfig::default()
     };
+    let mut cache = ConcurrentSubgraphCache::with_budget(CacheBudget::entries(args.cache_capacity));
+    if let Some(path) = &args.ball_index {
+        match BallIndex::load(Path::new(path)) {
+            Ok(Some(index)) => {
+                eprintln!(
+                    "meloppr-serve: ball index cold tier attached from {path} \
+                     (depth {}, {} nodes)",
+                    index.depth(),
+                    index.num_nodes()
+                );
+                cache = cache.with_cold_tier(Arc::new(index));
+            }
+            // `load` already warned for corrupt/mismatched files; a
+            // missing file is a silent cold boot. The daemon always
+            // starts — cold-tier state is never worth refusing to serve.
+            Ok(None) => {}
+            Err(e) => return Err(format!("reading ball index {path:?}: {e}")),
+        }
+    }
     let meloppr_backend = Meloppr::new(g, staged.clone())
         .map_err(err)?
-        .with_shared_cache(Arc::new(ConcurrentSubgraphCache::with_budget(
-            CacheBudget::entries(args.cache_capacity),
-        )));
+        .with_shared_cache(Arc::new(cache));
     let mut router = Router::new()
         .with_backend(Box::new(ExactPower::new(g, ppr).map_err(err)?))
         .with_backend(Box::new(LocalPpr::new(g, ppr).map_err(err)?))

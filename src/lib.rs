@@ -141,13 +141,13 @@ pub use meloppr_core::backend;
 pub use meloppr_core::server;
 
 pub use meloppr_core::{
-    exact_ppr, exact_top_k, format_bytes, parse_byte_size, precision_at_k, AdmissionPolicy,
-    BackendCaps, BackendError, BackendKind, BallStore, BatchExecutor, BatchOutcome, BatchStats,
-    CacheBudget, CacheConsumer, CacheStats, CachedBall, CompactBall, ConcurrentSubgraphCache,
-    ConsumerStats, CostEstimate, MelopprEngine, MelopprOutcome, MelopprParams, PprBackend,
-    PprParams, PprServer, PrecisionClass, QueryBudget, QueryOutcome, QueryRequest, QueryStats,
-    QueryWorkspace, Ranking, ResidualPolicy, Route, Router, SelectionStrategy, ServerConfig,
-    SubgraphCache, TelemetrySnapshot, WorkspacePool,
+    build_index, exact_ppr, exact_top_k, format_bytes, parse_byte_size, precision_at_k,
+    AdmissionPolicy, BackendCaps, BackendError, BackendKind, BallIndex, BallStore, BatchExecutor,
+    BatchOutcome, BatchStats, CacheBudget, CacheConsumer, CacheStats, CachedBall, CompactBall,
+    ConcurrentSubgraphCache, ConsumerStats, CostEstimate, IndexBuildReport, MelopprEngine,
+    MelopprOutcome, MelopprParams, PprBackend, PprParams, PprServer, PrecisionClass, QueryBudget,
+    QueryOutcome, QueryRequest, QueryStats, QueryWorkspace, Ranking, ResidualPolicy, Route, Router,
+    SelectionStrategy, ServerConfig, SubgraphCache, TelemetrySnapshot, WorkspacePool,
 };
 pub use meloppr_fpga::{AcceleratorConfig, FpgaHybrid, HybridConfig, HybridMeloppr};
 pub use meloppr_graph::{

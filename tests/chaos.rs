@@ -23,9 +23,9 @@ use meloppr::core::failpoint::{self, FaultAction, FaultSpec};
 use meloppr::graph::generators::corpus::PaperGraph;
 use meloppr::server::{write_frame, FrameEvent, FrameReader, QuerySpec, Request, Response};
 use meloppr::{
-    BackendKind, CacheBudget, ConcurrentSubgraphCache, CsrGraph, MelopprParams, PprBackend,
-    PprParams, PprServer, PrecisionClass, QueryOutcome, QueryRequest, QueryStats, QueryWorkspace,
-    Router, ServerConfig,
+    build_index, BackendKind, BallIndex, CacheBudget, ConcurrentSubgraphCache, CsrGraph,
+    MelopprParams, PprBackend, PprParams, PprServer, PrecisionClass, QueryOutcome, QueryRequest,
+    QueryStats, QueryWorkspace, Router, ServerConfig,
 };
 
 /// Serializes chaos tests: the failpoint registry (and its counters)
@@ -467,6 +467,84 @@ fn tripped_backend_fails_over_then_probe_recloses() {
         .unwrap();
     assert_eq!(sick.1, BreakerState::Closed, "probe never re-closed");
     assert_eq!(sick.2, 1, "breaker tripped more than the schedule");
+}
+
+/// Cold-tier read failures mid-burst: the ball index is an accelerator,
+/// never a correctness dependency. A scripted `index.read` fault makes
+/// the cold tier fail for a stretch of the burst — every affected
+/// lookup silently falls back to live BFS, every ranking stays
+/// bit-identical to clean execution, no query errors, and the
+/// consumer's `cold_fallbacks` counter records at least the scheduled
+/// fires (plus any lookups the index legitimately cannot serve).
+#[test]
+fn cold_tier_read_failures_fall_back_to_bfs_bit_identically() {
+    let _gate = gate();
+    const BURST: u64 = 16;
+    const FAULTS: u64 = 5;
+
+    let g = graph();
+    let seed_of = |id: u64| (id * 31 % g.num_nodes() as u64) as u32;
+    let path = std::env::temp_dir().join(format!("meloppr-chaos-ballidx-{}", std::process::id()));
+    // Index depth matches the stage depth, so every RAM miss is
+    // cold-servable and the fault schedule decides which ones fall back.
+    build_index(&g, 3, &path).unwrap();
+
+    // Clean reference: identical backend, RAM-only cache, no faults.
+    let reference_backend = Meloppr::new(&g, meloppr_params())
+        .unwrap()
+        .with_shared_cache(Arc::new(ConcurrentSubgraphCache::with_budget(
+            CacheBudget::entries(256),
+        )));
+    let reference: Vec<Vec<(u32, f64)>> = (0..BURST)
+        .map(|id| {
+            reference_backend
+                .query(&QueryRequest::new(seed_of(id)))
+                .unwrap()
+                .ranking
+        })
+        .collect();
+
+    let index = Arc::new(BallIndex::open(&path).unwrap());
+    let backend = Meloppr::new(&g, meloppr_params())
+        .unwrap()
+        .with_shared_cache(Arc::new(
+            ConcurrentSubgraphCache::with_budget(CacheBudget::entries(256)).with_cold_tier(index),
+        ));
+
+    // Let the first few cold reads through, then fail the next FAULTS.
+    failpoint::set_seed(23);
+    failpoint::configure(
+        "index.read",
+        FaultSpec::new(FaultAction::Error).skip(3).times(FAULTS),
+    );
+
+    for id in 0..BURST {
+        let outcome = backend
+            .query(&QueryRequest::new(seed_of(id)))
+            .expect("a cold-tier fault must never surface as a query error");
+        assert_eq!(
+            outcome.ranking, reference[id as usize],
+            "query {id} diverged under cold-tier faults"
+        );
+    }
+    assert_eq!(failpoint::fired("index.read"), FAULTS, "schedule not spent");
+    failpoint::clear("index.read");
+
+    let stats = backend
+        .cache_consumer()
+        .expect("shared mode has a consumer")
+        .stats();
+    assert!(
+        stats.cold_fallbacks >= FAULTS,
+        "every scheduled fault must be a counted BFS fallback \
+         (cold_fallbacks {} < {FAULTS})",
+        stats.cold_fallbacks
+    );
+    assert!(
+        stats.cold_hits > 0,
+        "unfaulted cold reads must still serve from the index"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 /// Calibration-state durability under truncation and injected I/O
